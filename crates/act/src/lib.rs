@@ -1,0 +1,42 @@
+//! # focal-act — an ACT-style bottom-up carbon baseline
+//!
+//! FOCAL positions itself as a complement to ACT (Gupta et al., ISCA'22):
+//! ACT quantifies footprints in absolute terms from fab data; FOCAL reasons
+//! relatively from first principles (§3.5 of the paper). This crate
+//! implements an ACT-style model so the reproduction can:
+//!
+//! 1. cross-check FOCAL's relative conclusions against a bottom-up
+//!    accounting, and
+//! 2. derive *empirical* E2O weights per device class
+//!    ([`DeviceFootprint::e2o_weight`]), grounding FOCAL's α = 0.8 / 0.2
+//!    scenarios the same way the paper grounds them in Gupta et al.
+//!
+//! Parameter values are documented approximations of ACT's public
+//! defaults (see `params` module docs); the crate is a *relative*
+//! baseline, not a substitute for ACT.
+//!
+//! ## Example
+//!
+//! ```
+//! use focal_act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, TechNode, UsePhase};
+//! use focal_core::SiliconArea;
+//!
+//! let act = ActModel::new(ActParameters::for_node(TechNode::N5));
+//! let server = DeviceFootprint::assess(
+//!     &act,
+//!     SiliconArea::from_mm2(600.0)?,
+//!     &UsePhase::new(4.0, 250.0, CarbonIntensity::WORLD_AVERAGE)?,
+//! )?;
+//! println!("{server}");
+//! # Ok::<(), focal_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod model;
+mod params;
+
+pub use focal_scaling::TechNode;
+pub use model::{ActModel, DeviceFootprint, UsePhase};
+pub use params::{ActParameters, CarbonIntensity};

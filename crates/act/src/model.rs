@@ -1,0 +1,318 @@
+//! The ACT-style device carbon model: embodied + operational, in absolute
+//! kg CO₂e.
+
+use crate::params::{ActParameters, CarbonIntensity};
+use focal_core::{CarbonFootprint, E2oWeight, ModelError, Result, SiliconArea};
+use std::fmt;
+
+/// The ACT-style bottom-up carbon model for one chip.
+///
+/// # Examples
+///
+/// ```
+/// use focal_act::{ActModel, ActParameters, TechNode};
+/// use focal_core::SiliconArea;
+///
+/// let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+/// let die = SiliconArea::from_mm2(100.0)?;
+/// let embodied = act.embodied_carbon(die)?;
+/// assert!(embodied.get() > 1.0 && embodied.get() < 5.0); // a few kg CO₂e
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActModel {
+    params: ActParameters,
+}
+
+impl ActModel {
+    /// Creates a model from per-node parameters.
+    pub fn new(params: ActParameters) -> Self {
+        ActModel { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ActParameters {
+        &self.params
+    }
+
+    /// Embodied carbon of one good die: `area · CPA`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for positive areas; guards the footprint constructor.
+    pub fn embodied_carbon(&self, die: SiliconArea) -> Result<CarbonFootprint> {
+        CarbonFootprint::from_kg_co2e(die.as_cm2() * self.params.carbon_per_area())
+    }
+}
+
+impl fmt::Display for ActModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ACT model [{}]", self.params)
+    }
+}
+
+/// A device's use phase: how long it lives, how much power it draws, and
+/// how dirty its electricity is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsePhase {
+    /// Deployed lifetime in years.
+    pub lifetime_years: f64,
+    /// Average power draw over the lifetime (including idle), watts.
+    pub average_power_watts: f64,
+    /// Carbon intensity of the electricity consumed during use.
+    pub use_carbon_intensity: CarbonIntensity,
+}
+
+impl UsePhase {
+    /// Creates a use phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lifetime or power is not strictly positive and
+    /// finite.
+    pub fn new(
+        lifetime_years: f64,
+        average_power_watts: f64,
+        use_carbon_intensity: CarbonIntensity,
+    ) -> Result<Self> {
+        for (name, v) in [
+            ("lifetime (years)", lifetime_years),
+            ("average power (W)", average_power_watts),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v <= 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(0, +inf)",
+                });
+            }
+        }
+        Ok(UsePhase {
+            lifetime_years,
+            average_power_watts,
+            use_carbon_intensity,
+        })
+    }
+
+    /// Lifetime energy in kWh.
+    pub fn lifetime_energy_kwh(&self) -> f64 {
+        const HOURS_PER_YEAR: f64 = 24.0 * 365.25;
+        self.lifetime_years * HOURS_PER_YEAR * self.average_power_watts / 1000.0
+    }
+
+    /// Operational carbon over the lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated inputs; guards the footprint constructor.
+    pub fn operational_carbon(&self) -> Result<CarbonFootprint> {
+        CarbonFootprint::from_kg_co2e(
+            self.lifetime_energy_kwh() * self.use_carbon_intensity.kg_per_kwh(),
+        )
+    }
+}
+
+/// A full ACT-style device assessment: embodied + operational footprint.
+///
+/// Besides the absolute total, this exposes the **empirical E2O weight** —
+/// the embodied share of the total — which is exactly how the FOCAL paper
+/// grounds its α = 0.8 / α = 0.2 scenarios in the bottom-up data of Gupta
+/// et al.
+///
+/// # Examples
+///
+/// ```
+/// use focal_act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, TechNode, UsePhase};
+/// use focal_core::SiliconArea;
+///
+/// let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+/// // A phone-like SoC: 100 mm², 3 years, 0.05 W lifetime average
+/// // (battery devices idle almost always).
+/// let phone = DeviceFootprint::assess(
+///     &act,
+///     SiliconArea::from_mm2(100.0)?,
+///     &UsePhase::new(3.0, 0.05, CarbonIntensity::WORLD_AVERAGE)?,
+/// )?;
+/// // Mobile devices are embodied-dominated (Gupta et al.).
+/// assert!(phone.e2o_weight().get() > 0.6);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFootprint {
+    embodied: CarbonFootprint,
+    operational: CarbonFootprint,
+}
+
+impl DeviceFootprint {
+    /// Assesses a device: embodied from the ACT model, operational from
+    /// the use phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor errors from the underlying models.
+    pub fn assess(model: &ActModel, die: SiliconArea, use_phase: &UsePhase) -> Result<Self> {
+        Ok(DeviceFootprint {
+            embodied: model.embodied_carbon(die)?,
+            operational: use_phase.operational_carbon()?,
+        })
+    }
+
+    /// Builds a footprint from precomputed components.
+    pub fn from_components(embodied: CarbonFootprint, operational: CarbonFootprint) -> Self {
+        DeviceFootprint {
+            embodied,
+            operational,
+        }
+    }
+
+    /// Embodied kg CO₂e.
+    pub fn embodied(&self) -> CarbonFootprint {
+        self.embodied
+    }
+
+    /// Operational kg CO₂e.
+    pub fn operational(&self) -> CarbonFootprint {
+        self.operational
+    }
+
+    /// Total kg CO₂e.
+    pub fn total(&self) -> CarbonFootprint {
+        self.embodied + self.operational
+    }
+
+    /// The embodied share of the total — an empirical estimate of FOCAL's
+    /// α_E2O for this device class.
+    pub fn e2o_weight(&self) -> E2oWeight {
+        E2oWeight::new(self.embodied.get() / self.total().get())
+            .expect("shares of a positive total lie in [0, 1]")
+    }
+}
+
+impl fmt::Display for DeviceFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "embodied {:.2} + operational {:.2} = {:.2} kgCO₂e (α≈{:.2})",
+            self.embodied.get(),
+            self.operational.get(),
+            self.total().get(),
+            self.e2o_weight().get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechNode;
+
+    fn die(mm2: f64) -> SiliconArea {
+        SiliconArea::from_mm2(mm2).unwrap()
+    }
+
+    #[test]
+    fn embodied_scales_linearly_with_area() {
+        let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+        let small = act.embodied_carbon(die(50.0)).unwrap();
+        let big = act.embodied_carbon(die(100.0)).unwrap();
+        assert!((big.get() / small.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newer_nodes_have_dirtier_area() {
+        let old = ActModel::new(ActParameters::for_node(TechNode::N28));
+        let new = ActModel::new(ActParameters::for_node(TechNode::N5));
+        let d = die(100.0);
+        assert!(new.embodied_carbon(d).unwrap().get() > old.embodied_carbon(d).unwrap().get());
+    }
+
+    #[test]
+    fn use_phase_energy_hand_checked() {
+        // 1 year at 1 kW = 8766 kWh.
+        let up = UsePhase::new(1.0, 1000.0, CarbonIntensity::WORLD_AVERAGE).unwrap();
+        assert!((up.lifetime_energy_kwh() - 8766.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn use_phase_validates() {
+        assert!(UsePhase::new(0.0, 1.0, CarbonIntensity::RENEWABLE).is_err());
+        assert!(UsePhase::new(1.0, -5.0, CarbonIntensity::RENEWABLE).is_err());
+        assert!(UsePhase::new(f64::NAN, 1.0, CarbonIntensity::RENEWABLE).is_err());
+    }
+
+    /// Gupta et al.'s qualitative split, reproduced bottom-up: a battery
+    /// device is embodied-dominated, an always-on device operational-
+    /// dominated.
+    #[test]
+    fn device_classes_match_gupta_et_al() {
+        let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+        // A battery-constrained SoC averages well under 0.1 W over its
+        // life (it is idle almost always).
+        let phone = DeviceFootprint::assess(
+            &act,
+            die(100.0),
+            &UsePhase::new(3.0, 0.05, CarbonIntensity::WORLD_AVERAGE).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            phone.e2o_weight().get() > 0.6,
+            "phone α = {}",
+            phone.e2o_weight()
+        );
+
+        let always_on = DeviceFootprint::assess(
+            &act,
+            die(100.0),
+            &UsePhase::new(6.0, 15.0, CarbonIntensity::WORLD_AVERAGE).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            always_on.e2o_weight().get() < 0.3,
+            "always-on α = {}",
+            always_on.e2o_weight()
+        );
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let f = DeviceFootprint::from_components(
+            CarbonFootprint::from_kg_co2e(8.0).unwrap(),
+            CarbonFootprint::from_kg_co2e(2.0).unwrap(),
+        );
+        assert_eq!(f.total().get(), 10.0);
+        assert_eq!(f.e2o_weight().get(), 0.8);
+    }
+
+    #[test]
+    fn greener_use_energy_shifts_alpha_up() {
+        let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+        let dirty = DeviceFootprint::assess(
+            &act,
+            die(100.0),
+            &UsePhase::new(4.0, 5.0, CarbonIntensity::COAL_HEAVY).unwrap(),
+        )
+        .unwrap();
+        let green = DeviceFootprint::assess(
+            &act,
+            die(100.0),
+            &UsePhase::new(4.0, 5.0, CarbonIntensity::RENEWABLE).unwrap(),
+        )
+        .unwrap();
+        assert!(green.e2o_weight().get() > dirty.e2o_weight().get());
+    }
+
+    #[test]
+    fn display_reports_alpha() {
+        let f = DeviceFootprint::from_components(
+            CarbonFootprint::from_kg_co2e(1.0).unwrap(),
+            CarbonFootprint::from_kg_co2e(1.0).unwrap(),
+        );
+        assert!(f.to_string().contains("α≈0.50"));
+    }
+}

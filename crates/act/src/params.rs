@@ -1,0 +1,225 @@
+//! ACT-style model parameters.
+//!
+//! ## Substitution note (see DESIGN.md §3)
+//!
+//! ACT (Gupta et al., ISCA'22 \[19\]) is data-driven: its per-node
+//! constants come from fab sustainability reports. We encode documented
+//! approximations of ACT's public defaults — energy per area (EPA), gas
+//! per area (GPA), material per area (MPA), fab carbon intensity and
+//! yield — sufficient for ACT's role in this reproduction: a *relative*
+//! bottom-up baseline to cross-check FOCAL's first-order conclusions
+//! (§3.5). Absolute values carry the uncertainty the FOCAL paper is all
+//! about.
+
+use crate::TechNode;
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// Carbon intensity of an energy source, in g CO₂e per kWh.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CarbonIntensity(f64);
+
+impl CarbonIntensity {
+    /// Coal-heavy grid (≈ 820 g/kWh) — typical of several fab locations.
+    pub const COAL_HEAVY: CarbonIntensity = CarbonIntensity(820.0);
+
+    /// World-average grid (≈ 475 g/kWh).
+    pub const WORLD_AVERAGE: CarbonIntensity = CarbonIntensity(475.0);
+
+    /// Mostly-renewable supply (≈ 41 g/kWh, wind/solar LCA).
+    pub const RENEWABLE: CarbonIntensity = CarbonIntensity(41.0);
+
+    /// Creates a carbon intensity in g CO₂e/kWh.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is negative or not finite.
+    pub fn g_per_kwh(value: f64) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "carbon intensity",
+                value,
+            });
+        }
+        if value < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "carbon intensity",
+                value,
+                expected: "[0, +inf) g/kWh",
+            });
+        }
+        Ok(CarbonIntensity(value))
+    }
+
+    /// The intensity in g CO₂e/kWh.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The intensity in kg CO₂e/kWh.
+    #[inline]
+    pub fn kg_per_kwh(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl fmt::Display for CarbonIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gCO₂e/kWh", self.0)
+    }
+}
+
+/// Per-node manufacturing parameters in the ACT style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActParameters {
+    /// Fab energy per processed wafer area, kWh/cm².
+    pub epa_kwh_per_cm2: f64,
+    /// Direct gas emissions per wafer area, kg CO₂e/cm².
+    pub gpa_kg_per_cm2: f64,
+    /// Upstream material emissions per wafer area, kg CO₂e/cm².
+    pub mpa_kg_per_cm2: f64,
+    /// Carbon intensity of the fab's energy supply.
+    pub fab_carbon_intensity: CarbonIntensity,
+    /// Fab yield (fraction of good dies), ACT's default is 0.875.
+    pub yield_fraction: f64,
+}
+
+impl ActParameters {
+    /// Approximate ACT defaults for a technology node (coal-heavy fab
+    /// energy, 87.5 % yield). EPA/GPA rise toward newer nodes, tracking
+    /// the Imec trend the FOCAL paper cites.
+    pub fn for_node(node: TechNode) -> Self {
+        let (epa, gpa) = match node {
+            TechNode::N28 => (0.90, 0.10),
+            TechNode::N20 => (1.00, 0.12),
+            TechNode::N16 => (1.20, 0.14),
+            TechNode::N10 => (1.47, 0.17),
+            TechNode::N7 => (1.52, 0.20),
+            TechNode::N5 => (2.15, 0.24),
+            TechNode::N3 => (2.75, 0.29),
+        };
+        ActParameters {
+            epa_kwh_per_cm2: epa,
+            gpa_kg_per_cm2: gpa,
+            mpa_kg_per_cm2: 0.50,
+            fab_carbon_intensity: CarbonIntensity::COAL_HEAVY,
+            yield_fraction: 0.875,
+        }
+    }
+
+    /// Returns a copy with a different fab energy supply.
+    #[must_use]
+    pub fn with_fab_carbon_intensity(mut self, ci: CarbonIntensity) -> Self {
+        self.fab_carbon_intensity = ci;
+        self
+    }
+
+    /// Returns a copy with a different yield.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `y ∉ (0, 1]`.
+    pub fn with_yield(mut self, y: f64) -> Result<Self> {
+        if !y.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "yield",
+                value: y,
+            });
+        }
+        if y <= 0.0 || y > 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "yield",
+                value: y,
+                expected: "(0, 1]",
+            });
+        }
+        self.yield_fraction = y;
+        Ok(self)
+    }
+
+    /// Carbon per good die area, kg CO₂e/cm² — ACT's CPA:
+    /// `(EPA·CI_fab + GPA + MPA) / yield`.
+    pub fn carbon_per_area(&self) -> f64 {
+        (self.epa_kwh_per_cm2 * self.fab_carbon_intensity.kg_per_kwh()
+            + self.gpa_kg_per_cm2
+            + self.mpa_kg_per_cm2)
+            / self.yield_fraction
+    }
+}
+
+impl fmt::Display for ActParameters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ACT params (EPA {} kWh/cm², GPA {} kg/cm², MPA {} kg/cm², {}, yield {})",
+            self.epa_kwh_per_cm2,
+            self.gpa_kg_per_cm2,
+            self.mpa_kg_per_cm2,
+            self.fab_carbon_intensity,
+            self.yield_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carbon_intensity_validates() {
+        assert!(CarbonIntensity::g_per_kwh(0.0).is_ok());
+        assert!(CarbonIntensity::g_per_kwh(-1.0).is_err());
+        assert!(CarbonIntensity::g_per_kwh(f64::NAN).is_err());
+        assert_eq!(CarbonIntensity::COAL_HEAVY.kg_per_kwh(), 0.82);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(CarbonIntensity::RENEWABLE < CarbonIntensity::WORLD_AVERAGE);
+        assert!(CarbonIntensity::WORLD_AVERAGE < CarbonIntensity::COAL_HEAVY);
+    }
+
+    #[test]
+    fn epa_rises_toward_newer_nodes() {
+        let mut prev = 0.0;
+        for node in TechNode::ROADMAP {
+            let p = ActParameters::for_node(node);
+            assert!(p.epa_kwh_per_cm2 > prev, "{node}");
+            prev = p.epa_kwh_per_cm2;
+        }
+    }
+
+    #[test]
+    fn cpa_formula_hand_checked() {
+        let p = ActParameters::for_node(TechNode::N7);
+        // (1.52·0.82 + 0.20 + 0.50) / 0.875
+        let expected = (1.52 * 0.82 + 0.7) / 0.875;
+        assert!((p.carbon_per_area() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greener_fab_lowers_cpa() {
+        let coal = ActParameters::for_node(TechNode::N5);
+        let green = coal.with_fab_carbon_intensity(CarbonIntensity::RENEWABLE);
+        assert!(green.carbon_per_area() < coal.carbon_per_area());
+        // But scope-1 gases + scope-3 materials remain (§3.3 of the paper):
+        // the CPA does not collapse to zero.
+        assert!(green.carbon_per_area() > (0.24 + 0.50) / 0.875);
+    }
+
+    #[test]
+    fn lower_yield_raises_cpa() {
+        let p = ActParameters::for_node(TechNode::N7);
+        let worse = p.with_yield(0.5).unwrap();
+        assert!(worse.carbon_per_area() > p.carbon_per_area());
+        assert!(p.with_yield(0.0).is_err());
+        assert!(p.with_yield(1.5).is_err());
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let p = ActParameters::for_node(TechNode::N28);
+        assert!(p.to_string().contains("kWh/cm²"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the ACT-style baseline.
+
+use focal_act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, TechNode, UsePhase};
+use focal_core::SiliconArea;
+use proptest::prelude::*;
+
+proptest! {
+    /// Embodied carbon is exactly linear in die area at any node.
+    #[test]
+    fn embodied_linear_in_area(a in 10.0f64..900.0, k in 1.1f64..8.0) {
+        for node in TechNode::ROADMAP {
+            let act = ActModel::new(ActParameters::for_node(node));
+            let small = act.embodied_carbon(SiliconArea::from_mm2(a).unwrap()).unwrap();
+            let big = act.embodied_carbon(SiliconArea::from_mm2(a * k).unwrap()).unwrap();
+            prop_assert!((big.get() / small.get() - k).abs() < 1e-9);
+        }
+    }
+
+    /// Operational carbon is bilinear in lifetime and power.
+    #[test]
+    fn operational_bilinear(
+        years in 0.5f64..10.0,
+        watts in 0.01f64..500.0,
+        k in 1.1f64..5.0,
+    ) {
+        let ci = CarbonIntensity::WORLD_AVERAGE;
+        let base = UsePhase::new(years, watts, ci).unwrap().operational_carbon().unwrap();
+        let more_years = UsePhase::new(years * k, watts, ci).unwrap().operational_carbon().unwrap();
+        let more_watts = UsePhase::new(years, watts * k, ci).unwrap().operational_carbon().unwrap();
+        prop_assert!((more_years.get() / base.get() - k).abs() < 1e-9);
+        prop_assert!((more_watts.get() / base.get() - k).abs() < 1e-9);
+    }
+
+    /// The empirical α always lies strictly inside (0, 1) and moves in
+    /// the right direction: more power ⇒ lower α, bigger die ⇒ higher α.
+    #[test]
+    fn empirical_alpha_direction(
+        area in 20.0f64..800.0,
+        watts in 0.01f64..200.0,
+        years in 1.0f64..8.0,
+    ) {
+        let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+        let assess = |a: f64, w: f64| {
+            DeviceFootprint::assess(
+                &act,
+                SiliconArea::from_mm2(a).unwrap(),
+                &UsePhase::new(years, w, CarbonIntensity::WORLD_AVERAGE).unwrap(),
+            )
+            .unwrap()
+            .e2o_weight()
+            .get()
+        };
+        let base = assess(area, watts);
+        prop_assert!(base > 0.0 && base < 1.0);
+        prop_assert!(assess(area, watts * 2.0) < base);
+        prop_assert!(assess(area * 2.0, watts) > base);
+    }
+
+    /// CPA decomposition: removing the energy term (renewable fab) leaves
+    /// exactly the gas + material floor.
+    #[test]
+    fn cpa_floor_under_green_fab(yield_frac in 0.5f64..1.0) {
+        for node in TechNode::ROADMAP {
+            let p = ActParameters::for_node(node).with_yield(yield_frac).unwrap();
+            let zero_ci = p.with_fab_carbon_intensity(CarbonIntensity::g_per_kwh(0.0).unwrap());
+            let floor = (p.gpa_kg_per_cm2 + p.mpa_kg_per_cm2) / yield_frac;
+            prop_assert!((zero_ci.carbon_per_area() - floor).abs() < 1e-12);
+        }
+    }
+
+    /// Totals are additive: total = embodied + operational exactly.
+    #[test]
+    fn totals_are_additive(area in 20.0f64..800.0, watts in 0.1f64..100.0) {
+        let act = ActModel::new(ActParameters::for_node(TechNode::N5));
+        let die = SiliconArea::from_mm2(area).unwrap();
+        let up = UsePhase::new(4.0, watts, CarbonIntensity::COAL_HEAVY).unwrap();
+        let fp = DeviceFootprint::assess(&act, die, &up).unwrap();
+        let total = fp.embodied().get() + fp.operational().get();
+        prop_assert!((fp.total().get() - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benchmarks: one group per paper figure, timing the full
+//! regeneration of that figure's data series, plus the findings batch.
+//!
+//! These exist so `cargo bench --workspace` regenerates every experiment
+//! under measurement — if a figure's numbers drift, its bench is the
+//! place where both the cost and (via the harness binaries) the values
+//! are re-derived.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_embodied_vs_die_size", |b| {
+        b.iter(|| black_box(focal_studies::wafer_figure::figure1().unwrap()))
+    });
+    c.bench_function("fig1_trendlines", |b| {
+        b.iter(|| black_box(focal_studies::wafer_figure::figure1_trendlines().unwrap()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let study = focal_studies::multicore::MulticoreStudy::default();
+    c.bench_function("fig3_multicore", |b| {
+        b.iter(|| black_box(study.figure3().unwrap()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let study = focal_studies::asymmetric::AsymmetricStudy::default();
+    c.bench_function("fig4_asymmetric", |b| {
+        b.iter(|| black_box(study.figure4().unwrap()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let acc = focal_studies::accelerator::AcceleratorStudy::default();
+    let dark = focal_studies::dark_silicon::DarkSiliconStudy::default();
+    c.bench_function("fig5a_accelerator", |b| {
+        b.iter(|| black_box(acc.figure5a().unwrap()))
+    });
+    c.bench_function("fig5b_dark_silicon", |b| {
+        b.iter(|| black_box(dark.figure5b().unwrap()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let study = focal_studies::caching::CachingStudy::paper().unwrap();
+    c.bench_function("fig6_caching", |b| {
+        b.iter(|| black_box(study.figure6().unwrap()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_cores", |b| {
+        b.iter(|| black_box(focal_studies::microarch::MicroarchStudy.figure7().unwrap()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let study = focal_studies::speculation::SpeculationStudy::default();
+    c.bench_function("fig8_branch", |b| {
+        b.iter(|| black_box(study.figure8().unwrap()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let study = focal_studies::case_study::CaseStudy::paper().unwrap();
+    c.bench_function("fig9_case_study", |b| {
+        b.iter(|| black_box(study.figure9().unwrap()))
+    });
+}
+
+fn bench_findings(c: &mut Criterion) {
+    c.bench_function("findings_all_18", |b| {
+        b.iter(|| black_box(focal_studies::all_findings().unwrap()))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_findings
+);
+criterion_main!(figures);

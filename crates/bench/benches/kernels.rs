@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the individual model kernels the figures are
+//! built from: NCF evaluation, Monte-Carlo uncertainty, yield/geometry
+//! math and the exact die-placement counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use focal_core::{DesignPoint, E2oRange, E2oWeight, MonteCarloNcf, Ncf, Scenario};
+use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+use focal_wafer::{DefectDensity, Wafer, YieldModel};
+use std::hint::black_box;
+
+fn bench_ncf(c: &mut Criterion) {
+    let x = DesignPoint::from_power_perf(1.39, 2.32, 1.75).unwrap();
+    let y = DesignPoint::reference();
+    c.bench_function("ncf_evaluate", |b| {
+        b.iter(|| {
+            black_box(Ncf::evaluate(
+                black_box(&x),
+                black_box(&y),
+                Scenario::FixedWork,
+                E2oWeight::EMBODIED_DOMINATED,
+            ))
+        })
+    });
+    c.bench_function("classify", |b| {
+        b.iter(|| black_box(focal_core::classify(&x, &y, E2oWeight::EMBODIED_DOMINATED)))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).unwrap();
+    let y = DesignPoint::reference();
+    let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 42).unwrap();
+    let mut group = c.benchmark_group("monte_carlo_ncf");
+    for samples in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &n| {
+            b.iter(|| black_box(mc.run(&x, &y, Scenario::FixedWork, n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicore_models(c: &mut Criterion) {
+    let f = ParallelFraction::new(0.95).unwrap();
+    let gamma = LeakageFraction::PAPER;
+    let pollack = PollackRule::CLASSIC;
+    c.bench_function("woo_lee_design_point_32", |b| {
+        b.iter(|| {
+            black_box(
+                SymmetricMulticore::unit_cores(32)
+                    .unwrap()
+                    .design_point(f, gamma, pollack)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_wafer_math(c: &mut Criterion) {
+    let die = focal_core::SiliconArea::from_mm2(100.0).unwrap();
+    c.bench_function("chips_de_vries", |b| {
+        b.iter(|| black_box(Wafer::W300MM.chips_de_vries(black_box(die)).unwrap()))
+    });
+    c.bench_function("murphy_yield", |b| {
+        b.iter(|| {
+            black_box(YieldModel::Murphy.fraction_good(black_box(die), DefectDensity::TSMC_VOLUME))
+        })
+    });
+    let mut group = c.benchmark_group("chips_exact_grid");
+    for mm2 in [100.0f64, 400.0] {
+        let die = focal_core::SiliconArea::from_mm2(mm2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(mm2 as u64), &die, |b, d| {
+            b.iter(|| black_box(Wafer::W300MM.chips_exact_square(*d).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_ncf,
+    bench_monte_carlo,
+    bench_multicore_models,
+    bench_wafer_math
+);
+criterion_main!(kernels);

@@ -1,0 +1,37 @@
+//! Chips-per-wafer ablation: the de Vries empirical formula vs. exact
+//! grid placement vs. the naive area ratio, plus scribe/edge effects.
+
+use focal_core::SiliconArea;
+use focal_report::Table;
+use focal_wafer::{DiePlacement, Wafer};
+
+fn main() -> focal_core::Result<()> {
+    let w = Wafer::W300MM;
+    let mut table = Table::new(vec![
+        "die (mm²)",
+        "area ratio",
+        "de Vries",
+        "exact grid",
+        "exact + scribe/edge",
+    ]);
+    for a in [50.0, 100.0, 200.0, 400.0, 600.0, 800.0] {
+        let die = SiliconArea::from_mm2(a)?;
+        let side = a.sqrt();
+        let production = w.chips_exact(&DiePlacement::production(side, side))?;
+        table.row(vec![
+            format!("{a:.0}"),
+            format!("{:.0}", w.chips_area_ratio(die)),
+            format!("{:.0}", w.chips_de_vries(die)?),
+            format!("{}", w.chips_exact_square(die)?),
+            format!("{production}"),
+        ]);
+    }
+    println!("chips per 300 mm wafer, four estimators:\n");
+    println!("{table}");
+    println!(
+        "the de Vries formula tracks exact placement within a few percent across \
+         the practical range, which justifies its use in Figure 1; real scribe \
+         lanes and edge exclusion cost a further ~5-10%."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Yield-model ablation: how Figure 1's per-chip embodied footprint
+//! changes across the five classical yield models and with harvesting.
+
+use focal_core::SiliconArea;
+use focal_report::Table;
+use focal_wafer::{DefectDensity, EmbodiedModel, HarvestPolicy, Wafer, YieldModel};
+
+fn main() -> focal_core::Result<()> {
+    let reference = SiliconArea::from_mm2(100.0)?;
+    let models: Vec<(&str, YieldModel)> = vec![
+        ("perfect", YieldModel::Perfect),
+        ("poisson", YieldModel::Poisson),
+        ("murphy", YieldModel::Murphy),
+        ("seeds", YieldModel::Seeds),
+        (
+            "bose-einstein n=3",
+            YieldModel::BoseEinstein { critical_layers: 3 },
+        ),
+        (
+            "neg-binomial α=2",
+            YieldModel::NegativeBinomial { alpha: 2.0 },
+        ),
+    ];
+
+    println!("normalized embodied footprint per chip (vs 100 mm², D0 = 0.09/cm²):\n");
+    let mut table = Table::new(vec!["yield model", "200 mm²", "400 mm²", "800 mm²"]);
+    for (name, model) in &models {
+        let m = EmbodiedModel::new(Wafer::W300MM, *model, DefectDensity::TSMC_VOLUME);
+        let v = |a: f64| -> focal_core::Result<f64> {
+            m.normalized_footprint(SiliconArea::from_mm2(a)?, reference)
+        };
+        table.row_numeric(*name, &[v(200.0)?, v(400.0)?, v(800.0)?]);
+    }
+    println!("{table}");
+
+    println!("harvesting sweep (Murphy, 800 mm²): salvage fraction → footprint");
+    let mut h = Table::new(vec!["salvage", "normalized footprint"]);
+    for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let m = EmbodiedModel::figure1_murphy().with_harvest(HarvestPolicy::new(s)?);
+        h.row_numeric(
+            format!("{:.0}%", s * 100.0),
+            &[m.normalized_footprint(SiliconArea::from_mm2(800.0)?, reference)?],
+        );
+    }
+    println!("{h}");
+    println!(
+        "takeaway: the paper's choice of die area as the embodied proxy is robust — \
+         every defect model preserves the ordering and super-linearity; harvesting \
+         interpolates toward the perfect-yield (area-proportional) bound."
+    );
+    Ok(())
+}

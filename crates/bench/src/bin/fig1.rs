@@ -1,0 +1,21 @@
+//! Regenerates Figure 1: embodied footprint per chip vs. die size.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::wafer_figure::figure1()?;
+    focal_bench::print_figure(&fig);
+
+    let ((lin, lin_r2), (quad, quad_r2)) = focal_studies::wafer_figure::figure1_trendlines()?;
+    println!("\ntrendlines (as in the paper's Figure 1):");
+    println!(
+        "  perfect yield ~ linear:    {:+.4} {:+.6}*A            (R² = {lin_r2:.5})",
+        lin.coefficients()[0],
+        lin.coefficients()[1]
+    );
+    println!(
+        "  Murphy ~ quadratic: {:+.4} {:+.6}*A {:+.9}*A² (R² = {quad_r2:.5})",
+        quad.coefficients()[0],
+        quad.coefficients()[1],
+        quad.coefficients()[2]
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: symmetric multicore vs. single-core.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::multicore::MulticoreStudy::default().figure3()?;
+    focal_bench::print_figure(&fig);
+    Ok(())
+}

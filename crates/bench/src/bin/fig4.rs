@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: asymmetric vs. symmetric multicores.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::asymmetric::AsymmetricStudy::default().figure4()?;
+    focal_bench::print_figure(&fig);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: hardware acceleration (a) and dark silicon (b).
+
+fn main() -> focal_core::Result<()> {
+    let a = focal_studies::accelerator::AcceleratorStudy::default().figure5a()?;
+    focal_bench::print_figure(&a);
+    let b = focal_studies::dark_silicon::DarkSiliconStudy::default().figure5b()?;
+    focal_bench::print_figure(&b);
+    Ok(())
+}

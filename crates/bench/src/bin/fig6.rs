@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: last-level cache sustainability.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::caching::CachingStudy::paper()?.figure6()?;
+    focal_bench::print_figure(&fig);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: InO vs. FSC vs. OoO microarchitectures.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::microarch::MicroarchStudy.figure7()?;
+    focal_bench::print_figure(&fig);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: branch-prediction sustainability vs. predictor area.
+
+fn main() -> focal_core::Result<()> {
+    let fig = focal_studies::speculation::SpeculationStudy::default().figure8()?;
+    focal_bench::print_figure(&fig);
+    Ok(())
+}

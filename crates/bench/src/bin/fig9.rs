@@ -1,0 +1,21 @@
+//! Regenerates Figure 9: the §7 sustainable-multicore case study.
+
+use focal_report::Table;
+
+fn main() -> focal_core::Result<()> {
+    let study = focal_studies::case_study::CaseStudy::paper()?;
+    let fig = study.figure9()?;
+    focal_bench::print_figure(&fig);
+
+    println!("\nper-option verdicts:");
+    let mut table = Table::new(vec![
+        "cores",
+        "α=0.8 (embodied dom)",
+        "α=0.2 (operational dom)",
+    ]);
+    for (cores, emb, op) in study.classification_table()? {
+        table.row(vec![cores.to_string(), emb.to_string(), op.to_string()]);
+    }
+    println!("{table}");
+    Ok(())
+}

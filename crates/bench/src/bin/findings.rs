@@ -1,0 +1,15 @@
+//! Recomputes all 17 findings plus the §7 case-study headline, printing
+//! paper-vs-measured tables for every quantitative claim.
+
+fn main() -> focal_core::Result<()> {
+    let findings = focal_studies::all_findings()?;
+    for f in &findings {
+        println!("{f}");
+        println!("{}", f.to_table());
+    }
+    let ok = focal_bench::print_findings_summary(&findings);
+    if ok != findings.len() {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Emits the full Markdown reproduction report (the generated core of
+//! EXPERIMENTS.md): every finding's paper-vs-measured metrics.
+
+fn main() -> focal_core::Result<()> {
+    let findings = focal_studies::all_findings()?;
+    print!("{}", focal_studies::findings_markdown(&findings));
+    eprintln!("\n{}", focal_studies::findings_summary_table(&findings));
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Monte-Carlo robustness of every mechanism's verdict under α sampling
+//! and proxy-ratio noise (the paper's §3.5 argument, quantified).
+
+fn main() -> focal_core::Result<()> {
+    for jitter in [0.0, 0.05, 0.10] {
+        println!(
+            "verdict agreement with ±{:.0}% proxy-ratio noise, α sampled from the paper bands \
+             (20k samples):\n",
+            jitter * 100.0
+        );
+        println!(
+            "{}",
+            focal_studies::robustness::robustness_table(jitter, 20_000, 0xF0CA1)?
+        );
+    }
+    println!(
+        "Reading: near-100% rows are conclusions that survive the paper's inherent \
+         data uncertainty; lower rows (small-margin mechanisms like pipeline gating) \
+         are honest 'it depends' calls — exactly the cautious reading §3.5 prescribes."
+    );
+    Ok(())
+}

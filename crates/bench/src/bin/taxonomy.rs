@@ -1,0 +1,8 @@
+//! Prints the paper's mechanism taxonomy (abstract + §5-§6), computed
+//! live from the models.
+
+fn main() -> focal_core::Result<()> {
+    println!("archetypal mechanisms, classified by FOCAL (computed, not transcribed):\n");
+    println!("{}", focal_studies::taxonomy::taxonomy_table()?);
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # focal-cache — CACTI-lite cache area/energy substrate
+//!
+//! The caching study of the paper (§5.5, Figure 6) needs three pieces,
+//! all provided here:
+//!
+//! * [`CactiLite`] — an analytical SRAM area/energy model calibrated to the
+//!   CACTI 5.1 / 65 nm data points the paper quotes (0.55 nJ & 25 % of core
+//!   area at 1 MiB; 2.9 nJ & ×20.7 area at 16 MiB).
+//! * [`MissRateModel`] — the √2 empirical miss-rate rule.
+//! * [`MemoryBoundWorkload`] — the paper's memory-intensive workload (80 %
+//!   stall time/energy at 1 MiB), closing the loop into FOCAL design
+//!   points.
+//!
+//! ## Example
+//!
+//! ```
+//! use focal_cache::{CacheSize, MemoryBoundWorkload};
+//! use focal_core::{E2oWeight, NcfPair};
+//!
+//! let w = MemoryBoundWorkload::paper()?;
+//! let base = w.design_point(CacheSize::from_mib(1.0)?)?;
+//! let big = w.design_point(CacheSize::from_mib(16.0)?)?;
+//! let ncf = NcfPair::evaluate(&big, &base, E2oWeight::EMBODIED_DOMINATED);
+//! assert!(ncf.fixed_work.value() > 1.0); // Finding #8: big caches are not
+//! assert!(ncf.fixed_time.value() > 1.0); // sustainable when embodied dominates
+//! # Ok::<(), focal_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod cacti;
+mod hierarchy;
+mod missrate;
+mod size;
+mod workload;
+
+pub use cacti::CactiLite;
+pub use hierarchy::{CacheHierarchy, CacheLevel};
+pub use missrate::MissRateModel;
+pub use size::CacheSize;
+pub use workload::MemoryBoundWorkload;

@@ -1,0 +1,139 @@
+//! Cache miss-rate scaling: the √2 empirical rule (Hartstein et al. \[22\]).
+
+use crate::size::CacheSize;
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// A power-law miss-rate model `miss(s) ∝ s^{−e}`.
+///
+/// The paper follows the empirical rule that "cache miss rate scales
+/// following a square-root of its size" — doubling the cache divides the
+/// miss rate by √2, i.e. `e = 0.5`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_cache::{CacheSize, MissRateModel};
+///
+/// let model = MissRateModel::SQRT2_RULE;
+/// let base = CacheSize::from_mib(1.0)?;
+/// let big = CacheSize::from_mib(16.0)?;
+/// assert!((model.miss_ratio(big, base) - 0.25).abs() < 1e-12); // 16^-0.5
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MissRateModel {
+    exponent: f64,
+}
+
+impl MissRateModel {
+    /// The √2 rule: `miss ∝ size^{−1/2}`.
+    pub const SQRT2_RULE: MissRateModel = MissRateModel { exponent: 0.5 };
+
+    /// Creates a model with a custom exponent `e ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the exponent is outside `(0, 1]` — `e → 0`
+    /// would mean caches never help, `e > 1` would beat fully-associative
+    /// cold-miss limits.
+    pub fn new(exponent: f64) -> Result<Self> {
+        if !exponent.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "miss-rate exponent",
+                value: exponent,
+            });
+        }
+        if exponent <= 0.0 || exponent > 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "miss-rate exponent",
+                value: exponent,
+                expected: "(0, 1]",
+            });
+        }
+        Ok(MissRateModel { exponent })
+    }
+
+    /// The power-law exponent.
+    #[inline]
+    pub fn exponent(self) -> f64 {
+        self.exponent
+    }
+
+    /// The ratio `miss(size) / miss(base)` = `(size/base)^{−e}`.
+    pub fn miss_ratio(self, size: CacheSize, base: CacheSize) -> f64 {
+        size.ratio_to(base).powf(-self.exponent)
+    }
+}
+
+impl Default for MissRateModel {
+    /// Defaults to the √2 rule.
+    fn default() -> Self {
+        MissRateModel::SQRT2_RULE
+    }
+}
+
+impl fmt::Display for MissRateModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "miss∝size^-{}", self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib(m: f64) -> CacheSize {
+        CacheSize::from_mib(m).unwrap()
+    }
+
+    #[test]
+    fn sqrt2_rule_halves_miss_over_two_doublings() {
+        let m = MissRateModel::SQRT2_RULE;
+        let base = mib(1.0);
+        // One doubling: ÷√2.
+        assert!((m.miss_ratio(mib(2.0), base) - 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+        // Two doublings: ÷2.
+        assert!((m.miss_ratio(mib(4.0), base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_size_has_unit_ratio() {
+        let m = MissRateModel::SQRT2_RULE;
+        assert_eq!(m.miss_ratio(mib(4.0), mib(4.0)), 1.0);
+    }
+
+    #[test]
+    fn shrinking_cache_raises_misses() {
+        let m = MissRateModel::SQRT2_RULE;
+        assert!(m.miss_ratio(mib(0.5), mib(1.0)) > 1.0);
+    }
+
+    #[test]
+    fn exponent_is_validated() {
+        assert!(MissRateModel::new(0.5).is_ok());
+        assert!(MissRateModel::new(1.0).is_ok());
+        assert!(MissRateModel::new(0.0).is_err());
+        assert!(MissRateModel::new(1.5).is_err());
+        assert!(MissRateModel::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn default_is_sqrt2() {
+        assert_eq!(MissRateModel::default(), MissRateModel::SQRT2_RULE);
+    }
+
+    #[test]
+    fn stronger_exponent_reduces_misses_faster() {
+        let weak = MissRateModel::new(0.3).unwrap();
+        let strong = MissRateModel::new(0.8).unwrap();
+        let r_weak = weak.miss_ratio(mib(16.0), mib(1.0));
+        let r_strong = strong.miss_ratio(mib(16.0), mib(1.0));
+        assert!(r_strong < r_weak);
+    }
+
+    #[test]
+    fn display_shows_law() {
+        assert_eq!(MissRateModel::SQRT2_RULE.to_string(), "miss∝size^-0.5");
+    }
+}

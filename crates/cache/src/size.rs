@@ -1,0 +1,145 @@
+//! Cache capacity newtype.
+
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// A cache capacity, stored in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use focal_cache::CacheSize;
+///
+/// let llc = CacheSize::from_mib(4.0)?;
+/// assert_eq!(llc.bytes(), 4 * 1024 * 1024);
+/// assert_eq!(llc.mib(), 4.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheSize {
+    bytes: u64,
+}
+
+impl CacheSize {
+    /// Creates a size from mebibytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mib` is not strictly positive and finite.
+    pub fn from_mib(mib: f64) -> Result<Self> {
+        if !mib.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "cache size (MiB)",
+                value: mib,
+            });
+        }
+        if mib <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "cache size (MiB)",
+                value: mib,
+                expected: "(0, +inf) MiB",
+            });
+        }
+        Ok(CacheSize {
+            bytes: (mib * 1024.0 * 1024.0).round() as u64,
+        })
+    }
+
+    /// Creates a size from kibibytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `kib` is not strictly positive and finite.
+    pub fn from_kib(kib: f64) -> Result<Self> {
+        Self::from_mib(kib / 1024.0)
+    }
+
+    /// The capacity in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// The capacity in mebibytes.
+    #[inline]
+    pub fn mib(self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The dimensionless capacity ratio `self / other`.
+    #[inline]
+    pub fn ratio_to(self, other: CacheSize) -> f64 {
+        self.bytes as f64 / other.bytes as f64
+    }
+
+    /// The paper's Figure 6 sweep: 1, 2, 4, 8, 16 MiB.
+    pub fn paper_sweep() -> Vec<CacheSize> {
+        [1.0, 2.0, 4.0, 8.0, 16.0]
+            .into_iter()
+            .map(|m| CacheSize::from_mib(m).expect("static sizes are valid"))
+            .collect()
+    }
+}
+
+impl fmt::Display for CacheSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mib = self.mib();
+        if mib >= 1.0 && (mib.fract() == 0.0) {
+            write!(f, "{}MiB", mib as u64)
+        } else {
+            write!(f, "{}KiB", (self.bytes as f64 / 1024.0).round() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(CacheSize::from_mib(1.0).is_ok());
+        assert!(CacheSize::from_mib(0.0).is_err());
+        assert!(CacheSize::from_mib(-1.0).is_err());
+        assert!(CacheSize::from_mib(f64::NAN).is_err());
+        assert!(CacheSize::from_kib(64.0).is_ok());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let s = CacheSize::from_mib(8.0).unwrap();
+        assert_eq!(s.bytes(), 8 * 1024 * 1024);
+        assert_eq!(s.mib(), 8.0);
+        let k = CacheSize::from_kib(512.0).unwrap();
+        assert_eq!(k.mib(), 0.5);
+    }
+
+    #[test]
+    fn ratio_is_capacity_ratio() {
+        let a = CacheSize::from_mib(16.0).unwrap();
+        let b = CacheSize::from_mib(1.0).unwrap();
+        assert_eq!(a.ratio_to(b), 16.0);
+        assert_eq!(b.ratio_to(a), 1.0 / 16.0);
+    }
+
+    #[test]
+    fn paper_sweep_is_powers_of_two() {
+        let sweep = CacheSize::paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        let mibs: Vec<f64> = sweep.iter().map(|s| s.mib()).collect();
+        assert_eq!(mibs, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(CacheSize::from_mib(4.0).unwrap().to_string(), "4MiB");
+        assert_eq!(CacheSize::from_kib(64.0).unwrap().to_string(), "64KiB");
+    }
+
+    #[test]
+    fn ordering_follows_capacity() {
+        let small = CacheSize::from_mib(1.0).unwrap();
+        let big = CacheSize::from_mib(2.0).unwrap();
+        assert!(small < big);
+    }
+}

@@ -1,0 +1,299 @@
+//! The memory-bound workload model of the caching study (§5.5).
+//!
+//! The paper assumes a memory-intensive workload that, with the base 1 MiB
+//! LLC, spends 80 % of its execution time *and* energy waiting for memory.
+//! Growing the LLC cuts the miss rate (√2 rule), which proportionally cuts
+//! both the memory stall time and the memory energy, while the cache itself
+//! gets bigger (area) and costlier per access (energy). This module closes
+//! that loop into a FOCAL [`DesignPoint`] per cache size.
+
+use crate::cacti::CactiLite;
+use crate::missrate::MissRateModel;
+use crate::size::CacheSize;
+use focal_core::{DesignPoint, ModelError, Result};
+
+/// A memory-bound workload on a core + LLC + DRAM system.
+///
+/// ## Energy decomposition at the base cache size
+///
+/// Total energy is normalized to 1 at the base configuration and split
+/// into three components:
+///
+/// * `memory_fraction` — energy spent in the memory system while stalled
+///   (the paper's 80 %); scales with the miss ratio.
+/// * `cache_fraction` — energy spent in LLC accesses (default 5 %); scales
+///   with the per-access energy ratio from [`CactiLite`] (the access
+///   *count* is workload-fixed).
+/// * the remainder — core energy, which scales with the core's busy time
+///   (constant work ⇒ constant, to first order).
+///
+/// Execution time is likewise `T = (1 − stall) + stall · miss_ratio`
+/// normalized to 1 at the base size.
+///
+/// # Examples
+///
+/// ```
+/// use focal_cache::{CacheSize, MemoryBoundWorkload};
+///
+/// let workload = MemoryBoundWorkload::paper()?;
+/// let base = workload.design_point(CacheSize::from_mib(1.0)?)?;
+/// let big = workload.design_point(CacheSize::from_mib(16.0)?)?;
+/// assert!(big.performance().get() > 2.0); // caching helps performance…
+/// assert!(big.area().get() > 4.0 * base.area().get()); // …but costs area
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBoundWorkload {
+    cacti: CactiLite,
+    miss_model: MissRateModel,
+    base_size: CacheSize,
+    /// Fraction of base execution time stalled on memory.
+    stall_fraction: f64,
+    /// Fraction of base energy spent in the memory system.
+    memory_energy_fraction: f64,
+    /// Fraction of base energy spent in LLC accesses.
+    cache_energy_fraction: f64,
+}
+
+impl MemoryBoundWorkload {
+    /// The paper's configuration: CACTI-65 nm calibration, √2 miss rule,
+    /// 1 MiB base LLC, 80 % stall time and 80 % memory energy, with 5 % of
+    /// base energy attributed to LLC accesses.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors
+    /// [`MemoryBoundWorkload::new`].
+    pub fn paper() -> Result<Self> {
+        MemoryBoundWorkload::new(
+            CactiLite::paper_65nm(),
+            MissRateModel::SQRT2_RULE,
+            CacheSize::from_mib(1.0)?,
+            0.8,
+            0.8,
+            0.05,
+        )
+    }
+
+    /// Creates a workload model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fraction is outside `[0, 1)` or the memory
+    /// and cache energy fractions together reach 1 (no core energy left),
+    /// or if `base_size` is outside the CACTI calibration.
+    pub fn new(
+        cacti: CactiLite,
+        miss_model: MissRateModel,
+        base_size: CacheSize,
+        stall_fraction: f64,
+        memory_energy_fraction: f64,
+        cache_energy_fraction: f64,
+    ) -> Result<Self> {
+        for (name, v) in [
+            ("stall fraction", stall_fraction),
+            ("memory energy fraction", memory_energy_fraction),
+            ("cache energy fraction", cache_energy_fraction),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if !(0.0..1.0).contains(&v) {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "[0, 1)",
+                });
+            }
+        }
+        if memory_energy_fraction + cache_energy_fraction >= 1.0 {
+            return Err(ModelError::Inconsistent {
+                constraint: "memory + cache energy fractions must leave core energy (< 1 total)",
+            });
+        }
+        // Fail fast if the base size is outside the CACTI calibration.
+        cacti.access_energy(base_size)?;
+        Ok(MemoryBoundWorkload {
+            cacti,
+            miss_model,
+            base_size,
+            stall_fraction,
+            memory_energy_fraction,
+            cache_energy_fraction,
+        })
+    }
+
+    /// The base LLC size everything is normalized to.
+    pub fn base_size(&self) -> CacheSize {
+        self.base_size
+    }
+
+    /// Miss ratio relative to the base size.
+    pub fn miss_ratio(&self, size: CacheSize) -> f64 {
+        self.miss_model.miss_ratio(size, self.base_size)
+    }
+
+    /// Normalized execution time `T(s) = (1 − stall) + stall · miss_ratio`.
+    pub fn execution_time(&self, size: CacheSize) -> f64 {
+        (1.0 - self.stall_fraction) + self.stall_fraction * self.miss_ratio(size)
+    }
+
+    /// Normalized performance `1/T(s)` (1 at the base size).
+    pub fn performance(&self, size: CacheSize) -> f64 {
+        1.0 / self.execution_time(size)
+    }
+
+    /// Normalized energy per unit of work:
+    /// `E(s) = core + cache·energy_ratio(s) + memory·miss_ratio(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn energy(&self, size: CacheSize) -> Result<f64> {
+        let core = 1.0 - self.memory_energy_fraction - self.cache_energy_fraction;
+        Ok(core
+            + self.cache_energy_fraction * self.cacti.energy_ratio(size)?
+            + self.memory_energy_fraction * self.miss_ratio(size))
+    }
+
+    /// Normalized average power `P(s) = E(s)/T(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn power(&self, size: CacheSize) -> Result<f64> {
+        Ok(self.energy(size)? / self.execution_time(size))
+    }
+
+    /// Total chip area (core + LLC) in core-area units:
+    /// `1 + area_core_fraction(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn chip_area(&self, size: CacheSize) -> Result<f64> {
+        Ok(1.0 + self.cacti.area_core_fraction(size)?)
+    }
+
+    /// The FOCAL design point for the given LLC size; performance, power
+    /// and energy are normalized to the base configuration, area to the
+    /// core's area.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn design_point(&self, size: CacheSize) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            self.chip_area(size)?,
+            self.power(size)?,
+            self.energy(size)?,
+            self.performance(size),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mib(m: f64) -> CacheSize {
+        CacheSize::from_mib(m).unwrap()
+    }
+
+    fn paper() -> MemoryBoundWorkload {
+        MemoryBoundWorkload::paper().unwrap()
+    }
+
+    #[test]
+    fn base_configuration_is_the_unit() {
+        let w = paper();
+        let base = mib(1.0);
+        assert_eq!(w.execution_time(base), 1.0);
+        assert_eq!(w.performance(base), 1.0);
+        assert!((w.energy(base).unwrap() - 1.0).abs() < 1e-12);
+        assert!((w.power(base).unwrap() - 1.0).abs() < 1e-12);
+        assert!((w.chip_area(base).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sixteen_mib_performance_is_2_5x() {
+        // miss ratio 0.25 ⇒ T = 0.2 + 0.8·0.25 = 0.4 ⇒ perf = 2.5 (the
+        // right edge of Figure 6's x-axis).
+        let w = paper();
+        assert!((w.performance(mib(16.0)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_decomposition_at_16mib() {
+        // E = 0.15 + 0.05·(2.9/0.55) + 0.8·0.25
+        let w = paper();
+        let expected = 0.15 + 0.05 * (2.9 / 0.55) + 0.2;
+        assert!((w.energy(mib(16.0)).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_has_interior_minimum() {
+        // Memory energy falls but cache energy rises: the total is
+        // U-shaped over a wide enough sweep. With the paper constants the
+        // minimum lies beyond 16 MiB? Verify energy decreases initially.
+        let w = paper();
+        let e1 = w.energy(mib(1.0)).unwrap();
+        let e2 = w.energy(mib(2.0)).unwrap();
+        let e4 = w.energy(mib(4.0)).unwrap();
+        assert!(e2 < e1);
+        assert!(e4 < e2);
+    }
+
+    #[test]
+    fn power_rises_with_cache_size() {
+        // Performance improves faster than energy falls, so power grows —
+        // this is what makes caching fail under fixed-time (Finding #8).
+        let w = paper();
+        let p1 = w.power(mib(1.0)).unwrap();
+        let p16 = w.power(mib(16.0)).unwrap();
+        assert!(p16 > p1);
+    }
+
+    #[test]
+    fn chip_area_tracks_cacti() {
+        let w = paper();
+        let a16 = w.chip_area(mib(16.0)).unwrap();
+        assert!((a16 - (1.0 + 0.25 * 20.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_point_bundles_axes() {
+        let w = paper();
+        let dp = w.design_point(mib(8.0)).unwrap();
+        assert!((dp.performance().get() - w.performance(mib(8.0))).abs() < 1e-12);
+        assert!((dp.energy().get() - w.energy(mib(8.0)).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validates_fractions() {
+        let c = CactiLite::paper_65nm();
+        let m = MissRateModel::SQRT2_RULE;
+        let base = mib(1.0);
+        assert!(MemoryBoundWorkload::new(c, m, base, 1.0, 0.5, 0.1).is_err());
+        assert!(MemoryBoundWorkload::new(c, m, base, 0.5, 0.9, 0.1).is_err()); // sums to 1
+        assert!(MemoryBoundWorkload::new(c, m, base, 0.5, -0.1, 0.1).is_err());
+        assert!(MemoryBoundWorkload::new(c, m, base, 0.5, 0.5, 0.1).is_ok());
+    }
+
+    #[test]
+    fn base_size_must_be_calibrated() {
+        let c = CactiLite::paper_65nm();
+        let m = MissRateModel::SQRT2_RULE;
+        assert!(MemoryBoundWorkload::new(c, m, mib(0.125), 0.8, 0.8, 0.05).is_err());
+    }
+
+    #[test]
+    fn out_of_range_sizes_propagate_errors() {
+        let w = paper();
+        assert!(w.energy(mib(64.0)).is_err());
+        assert!(w.design_point(mib(0.25)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the cache substrate.
+
+use focal_cache::{
+    CacheHierarchy, CacheLevel, CacheSize, CactiLite, MemoryBoundWorkload, MissRateModel,
+};
+use proptest::prelude::*;
+
+fn mib(m: f64) -> CacheSize {
+    CacheSize::from_mib(m).unwrap()
+}
+
+proptest! {
+    /// The workload's design point always satisfies the fixed-work energy
+    /// identity E = P/perf.
+    #[test]
+    fn workload_energy_identity(m in 0.5f64..32.0) {
+        let w = MemoryBoundWorkload::paper().unwrap();
+        let dp = w.design_point(mib(m)).unwrap();
+        let derived = dp.power().get() / dp.performance().get();
+        prop_assert!((dp.energy().get() - derived).abs() < 1e-9);
+    }
+
+    /// Performance is bounded by the no-stall limit `1/(1 − stall)`.
+    #[test]
+    fn performance_bounded_by_stall_elimination(m in 1.0f64..32.0) {
+        let w = MemoryBoundWorkload::paper().unwrap();
+        let perf = w.performance(mib(m));
+        prop_assert!(perf >= 1.0 - 1e-12);
+        prop_assert!(perf <= 1.0 / 0.2 + 1e-9); // stall = 0.8 at base
+    }
+
+    /// CACTI-lite area and energy ratios are strictly monotone in size.
+    #[test]
+    fn cacti_monotone(m in 0.5f64..16.0, grow in 1.01f64..2.0) {
+        let c = CactiLite::paper_65nm();
+        let small = mib(m);
+        let big = mib(m * grow);
+        prop_assert!(c.area_ratio(big).unwrap() > c.area_ratio(small).unwrap());
+        prop_assert!(c.energy_ratio(big).unwrap() > c.energy_ratio(small).unwrap());
+        prop_assert!(c.access_energy(big).unwrap().get() > c.access_energy(small).unwrap().get());
+    }
+
+    /// A hierarchy's DRAM traffic is the product of its levels' miss
+    /// ratios in any order (commutativity of filtering).
+    #[test]
+    fn hierarchy_filter_order_irrelevant(
+        s1 in 1.0f64..4.0,
+        s2 in 1.0f64..4.0,
+    ) {
+        let c = CactiLite::paper_65nm();
+        let base = mib(1.0);
+        let l1 = CacheLevel::new(mib(s1), base, MissRateModel::SQRT2_RULE);
+        let l2 = CacheLevel::new(mib(s2), base, MissRateModel::SQRT2_RULE);
+        let h12 = CacheHierarchy::new(c, vec![l1, l2], 0.8, 0.8, 0.05).unwrap();
+        let h21 = CacheHierarchy::new(c, vec![l2, l1], 0.8, 0.8, 0.05).unwrap();
+        prop_assert!((h12.dram_traffic_ratio() - h21.dram_traffic_ratio()).abs() < 1e-12);
+        // Time (hence performance) only depends on the DRAM traffic.
+        prop_assert!((h12.execution_time() - h21.execution_time()).abs() < 1e-12);
+    }
+
+    /// Growing any single level of a hierarchy never slows it down and
+    /// never shrinks the chip.
+    #[test]
+    fn growing_a_level_helps(inner in 1.0f64..4.0, outer in 4.0f64..16.0, grow in 1.1f64..1.9) {
+        let c = CactiLite::paper_65nm();
+        let base = CacheHierarchy::new(
+            c,
+            vec![
+                CacheLevel::new(mib(inner), mib(1.0), MissRateModel::SQRT2_RULE),
+                CacheLevel::new(mib(outer), mib(4.0), MissRateModel::SQRT2_RULE),
+            ],
+            0.8,
+            0.8,
+            0.05,
+        )
+        .unwrap();
+        let grown = CacheHierarchy::new(
+            c,
+            vec![
+                CacheLevel::new(mib(inner * grow), mib(1.0), MissRateModel::SQRT2_RULE),
+                CacheLevel::new(mib(outer), mib(4.0), MissRateModel::SQRT2_RULE),
+            ],
+            0.8,
+            0.8,
+            0.05,
+        )
+        .unwrap();
+        let p_base = base.design_point().unwrap();
+        let p_grown = grown.design_point().unwrap();
+        prop_assert!(p_grown.performance().get() >= p_base.performance().get() - 1e-12);
+        prop_assert!(p_grown.area().get() >= p_base.area().get());
+    }
+
+    /// Cache sizes round-trip through bytes within rounding error.
+    #[test]
+    fn size_round_trips(m in 0.001f64..64.0) {
+        let s = mib(m);
+        prop_assert!((s.mib() - m).abs() < 1e-6);
+    }
+}

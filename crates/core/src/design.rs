@@ -1,0 +1,383 @@
+//! Design points: the (area, power, energy, performance) tuples that NCF
+//! compares.
+
+use crate::error::{ensure_positive, Result};
+use crate::quantity::{Energy, Performance, Power, SiliconArea};
+use std::fmt;
+
+/// A processor design characterized by the four quantities the FOCAL model
+/// needs: chip area (embodied proxy), average power (fixed-time operational
+/// proxy), energy per unit of work (fixed-work operational proxy), and
+/// performance.
+///
+/// Energy, power and performance are linked for a fixed amount of work:
+/// `energy = power / performance`. The [`DesignPoint::from_power_perf`]
+/// constructor derives energy from that identity; [`DesignPoint::new`]
+/// accepts all four explicitly and verifies consistency only in debug
+/// builds, because some published data points (e.g. the branch-predictor
+/// study) quote independently-measured energy and power.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::DesignPoint;
+///
+/// // A design with 39% more area, 2.32x the power and 1.75x the performance
+/// // of the baseline (the paper's OoO core vs. InO, §5.6).
+/// let ooo = DesignPoint::from_power_perf(1.39, 2.32, 1.75)?;
+/// assert!((ooo.energy().get() - 2.32 / 1.75).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    area: SiliconArea,
+    power: Power,
+    energy: Energy,
+    performance: Performance,
+}
+
+impl DesignPoint {
+    /// Creates a design point from all four quantities.
+    ///
+    /// Use this when energy and power come from independent measurements;
+    /// otherwise prefer [`DesignPoint::from_power_perf`], which derives
+    /// energy from the fixed-work identity.
+    pub fn new(area: SiliconArea, power: Power, energy: Energy, performance: Performance) -> Self {
+        DesignPoint {
+            area,
+            power,
+            energy,
+            performance,
+        }
+    }
+
+    /// Creates a design point from raw relative values, deriving energy as
+    /// `power / performance` (one unit of work).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any argument is not strictly positive and finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use focal_core::DesignPoint;
+    /// let baseline = DesignPoint::from_power_perf(1.0, 1.0, 1.0)?;
+    /// assert_eq!(baseline.energy().get(), 1.0);
+    /// # Ok::<(), focal_core::ModelError>(())
+    /// ```
+    pub fn from_power_perf(area: f64, power: f64, performance: f64) -> Result<Self> {
+        let area = SiliconArea::from_mm2(area)?;
+        let power = Power::from_watts(power)?;
+        let performance = Performance::from_speedup(performance)?;
+        let energy = power / performance;
+        Ok(DesignPoint {
+            area,
+            power,
+            energy,
+            performance,
+        })
+    }
+
+    /// Creates a design point from raw relative values for all four axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any argument is not strictly positive and finite.
+    pub fn from_raw(area: f64, power: f64, energy: f64, performance: f64) -> Result<Self> {
+        Ok(DesignPoint {
+            area: SiliconArea::from_mm2(area)?,
+            power: Power::from_watts(power)?,
+            energy: Energy::from_joules(energy)?,
+            performance: Performance::from_speedup(performance)?,
+        })
+    }
+
+    /// The unit baseline design: area = power = energy = performance = 1.
+    ///
+    /// Studies normalize their comparisons to this design (the paper's
+    /// "one-BCE single-core processor").
+    pub fn reference() -> Self {
+        DesignPoint::from_raw(1.0, 1.0, 1.0, 1.0).expect("unit design is valid")
+    }
+
+    /// Chip area (embodied-footprint proxy).
+    #[inline]
+    pub fn area(&self) -> SiliconArea {
+        self.area
+    }
+
+    /// Average power (fixed-time operational proxy).
+    #[inline]
+    pub fn power(&self) -> Power {
+        self.power
+    }
+
+    /// Energy per unit of work (fixed-work operational proxy).
+    #[inline]
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Performance (speedup relative to the study's reference design).
+    #[inline]
+    pub fn performance(&self) -> Performance {
+        self.performance
+    }
+
+    /// Returns a copy with the area scaled by `factor` (e.g. to add an
+    /// accelerator's 6.5 % area overhead: `design.with_area_scaled(1.065)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is not strictly positive and finite.
+    pub fn with_area_scaled(&self, factor: f64) -> Result<Self> {
+        let factor = ensure_positive("area scale factor", factor)?;
+        Ok(DesignPoint {
+            area: self.area.scaled(factor),
+            ..*self
+        })
+    }
+
+    /// Returns a copy with power and energy scaled by `factor` (performance
+    /// unchanged), e.g. to model a fixed-frequency power-saving feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is not strictly positive and finite.
+    pub fn with_operational_scaled(&self, factor: f64) -> Result<Self> {
+        let factor = ensure_positive("operational scale factor", factor)?;
+        Ok(DesignPoint {
+            power: self.power.scaled(factor),
+            energy: self.energy.scaled(factor),
+            ..*self
+        })
+    }
+
+    /// Normalizes this design point to `baseline`, returning a design point
+    /// whose four axes are the dimensionless ratios `self / baseline`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use focal_core::DesignPoint;
+    /// let x = DesignPoint::from_raw(8.0, 4.0, 2.0, 2.0)?;
+    /// let y = DesignPoint::from_raw(4.0, 2.0, 1.0, 1.0)?;
+    /// let n = x.normalized_to(&y)?;
+    /// assert_eq!(n.area().get(), 2.0);
+    /// assert_eq!(n.performance().get(), 2.0);
+    /// # Ok::<(), focal_core::ModelError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid design points; the `Result` guards against
+    /// ratios degenerating through extreme magnitudes.
+    pub fn normalized_to(&self, baseline: &DesignPoint) -> Result<Self> {
+        DesignPoint::from_raw(
+            self.area / baseline.area,
+            self.power / baseline.power,
+            self.energy / baseline.energy,
+            self.performance / baseline.performance,
+        )
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DesignPoint(area={}, power={}, energy={}, perf={})",
+            self.area, self.power, self.energy, self.performance
+        )
+    }
+}
+
+/// Incremental builder for [`DesignPoint`], convenient when a study derives
+/// the four axes in separate steps.
+///
+/// Unset power/energy default to being derived from each other through the
+/// fixed-work identity once performance is known; unset area defaults to 1.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::DesignPointBuilder;
+///
+/// let d = DesignPointBuilder::new()
+///     .area(1.065)
+///     .power(0.5)
+///     .performance(1.0)
+///     .build()?;
+/// assert_eq!(d.energy().get(), 0.5);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DesignPointBuilder {
+    area: Option<f64>,
+    power: Option<f64>,
+    energy: Option<f64>,
+    performance: Option<f64>,
+}
+
+impl DesignPointBuilder {
+    /// Creates a builder with no axes set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative chip area (default 1).
+    #[must_use]
+    pub fn area(mut self, area: f64) -> Self {
+        self.area = Some(area);
+        self
+    }
+
+    /// Sets the relative average power.
+    #[must_use]
+    pub fn power(mut self, power: f64) -> Self {
+        self.power = Some(power);
+        self
+    }
+
+    /// Sets the relative energy per unit of work.
+    #[must_use]
+    pub fn energy(mut self, energy: f64) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Sets the relative performance (default 1).
+    #[must_use]
+    pub fn performance(mut self, performance: f64) -> Self {
+        self.performance = Some(performance);
+        self
+    }
+
+    /// Builds the design point, deriving whichever of power/energy was not
+    /// provided from the other via `energy = power / performance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if neither power nor energy was provided, or if any
+    /// value fails validation.
+    pub fn build(self) -> Result<DesignPoint> {
+        let area = self.area.unwrap_or(1.0);
+        let performance = self.performance.unwrap_or(1.0);
+        let (power, energy) = match (self.power, self.energy) {
+            (Some(p), Some(e)) => (p, e),
+            (Some(p), None) => (p, p / performance),
+            (None, Some(e)) => (e * performance, e),
+            (None, None) => {
+                return Err(crate::ModelError::Inconsistent {
+                    constraint: "a design point needs at least one of power or energy",
+                })
+            }
+        };
+        DesignPoint::from_raw(area, power, energy, performance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_power_perf_derives_energy() {
+        let d = DesignPoint::from_power_perf(1.0, 6.0, 3.0).unwrap();
+        assert_eq!(d.energy().get(), 2.0);
+    }
+
+    #[test]
+    fn reference_is_unit() {
+        let r = DesignPoint::reference();
+        assert_eq!(r.area().get(), 1.0);
+        assert_eq!(r.power().get(), 1.0);
+        assert_eq!(r.energy().get(), 1.0);
+        assert_eq!(r.performance().get(), 1.0);
+    }
+
+    #[test]
+    fn with_area_scaled_only_touches_area() {
+        let d = DesignPoint::from_power_perf(1.0, 2.0, 2.0).unwrap();
+        let d2 = d.with_area_scaled(1.065).unwrap();
+        assert!((d2.area().get() - 1.065).abs() < 1e-12);
+        assert_eq!(d2.power(), d.power());
+        assert_eq!(d2.energy(), d.energy());
+        assert_eq!(d2.performance(), d.performance());
+    }
+
+    #[test]
+    fn with_operational_scaled_touches_power_and_energy() {
+        let d = DesignPoint::from_power_perf(1.0, 2.0, 1.0).unwrap();
+        let d2 = d.with_operational_scaled(0.5).unwrap();
+        assert_eq!(d2.power().get(), 1.0);
+        assert_eq!(d2.energy().get(), 1.0);
+        assert_eq!(d2.area(), d.area());
+    }
+
+    #[test]
+    fn normalization_produces_ratios() {
+        let x = DesignPoint::from_raw(3.0, 6.0, 2.0, 1.5).unwrap();
+        let y = DesignPoint::from_raw(1.5, 2.0, 4.0, 3.0).unwrap();
+        let n = x.normalized_to(&y).unwrap();
+        assert_eq!(n.area().get(), 2.0);
+        assert_eq!(n.power().get(), 3.0);
+        assert_eq!(n.energy().get(), 0.5);
+        assert_eq!(n.performance().get(), 0.5);
+    }
+
+    #[test]
+    fn builder_derives_energy_from_power() {
+        let d = DesignPointBuilder::new()
+            .power(4.0)
+            .performance(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(d.energy().get(), 2.0);
+        assert_eq!(d.area().get(), 1.0);
+    }
+
+    #[test]
+    fn builder_derives_power_from_energy() {
+        let d = DesignPointBuilder::new()
+            .energy(2.0)
+            .performance(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(d.power().get(), 4.0);
+    }
+
+    #[test]
+    fn builder_requires_an_operational_axis() {
+        let err = DesignPointBuilder::new().area(2.0).build().unwrap_err();
+        assert!(matches!(err, crate::ModelError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn builder_accepts_independent_power_and_energy() {
+        // Branch-predictor data point: power +6.6%, energy -7%, perf +14%.
+        let d = DesignPointBuilder::new()
+            .power(1.066)
+            .energy(0.93)
+            .performance(1.14)
+            .build()
+            .unwrap();
+        assert_eq!(d.power().get(), 1.066);
+        assert_eq!(d.energy().get(), 0.93);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(DesignPoint::from_power_perf(-1.0, 1.0, 1.0).is_err());
+        assert!(DesignPoint::from_raw(1.0, 1.0, 1.0, 0.0).is_err());
+        assert!(DesignPoint::from_power_perf(1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_axes() {
+        let d = DesignPoint::reference();
+        let s = d.to_string();
+        assert!(s.contains("area") && s.contains("perf"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Error types shared by all FOCAL model crates.
+
+use std::fmt;
+
+/// The error type returned by fallible FOCAL model constructors and
+/// evaluators.
+///
+/// FOCAL follows the "functions validate their arguments" guideline: every
+/// parameter that has a physical or mathematical domain (areas must be
+/// positive, fractions must lie in `[0, 1]`, …) is checked at construction
+/// time so that downstream model code can assume well-formed inputs.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{E2oWeight, ModelError};
+///
+/// let err = E2oWeight::new(1.5).unwrap_err();
+/// assert!(matches!(err, ModelError::OutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parameter fell outside its mathematical domain.
+    OutOfRange {
+        /// Name of the offending parameter (e.g. `"alpha_e2o"`).
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain (e.g. `"[0, 1]"`).
+        expected: &'static str,
+    },
+    /// A parameter that must be a finite number was NaN or infinite.
+    NotFinite {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Two parameters are individually valid but mutually inconsistent
+    /// (e.g. a big core using more base-core equivalents than the whole
+    /// chip provides).
+    Inconsistent {
+        /// Description of the violated consistency condition.
+        constraint: &'static str,
+    },
+    /// A requested data point is outside the calibrated range of an
+    /// empirical sub-model (e.g. a cache size the CACTI-lite model was
+    /// never calibrated for).
+    OutsideCalibration {
+        /// Name of the model refusing to extrapolate.
+        model: &'static str,
+        /// Human-readable description of the calibrated domain.
+        domain: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::OutOfRange {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "parameter `{parameter}` = {value} is outside its valid domain {expected}"
+            ),
+            ModelError::NotFinite { parameter, value } => {
+                write!(f, "parameter `{parameter}` = {value} must be finite")
+            }
+            ModelError::Inconsistent { constraint } => {
+                write!(f, "inconsistent parameters: {constraint}")
+            }
+            ModelError::OutsideCalibration { model, domain } => {
+                write!(f, "model `{model}` is only calibrated for {domain}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias for `Result<T, ModelError>`.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Validates that `value` is finite, returning [`ModelError::NotFinite`]
+/// otherwise.
+///
+/// This is the first line of defence used by every validating constructor
+/// in the FOCAL crates.
+pub(crate) fn ensure_finite(parameter: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::NotFinite { parameter, value })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(parameter: &'static str, value: f64) -> Result<f64> {
+    let value = ensure_finite(parameter, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfRange {
+            parameter,
+            value,
+            expected: "(0, +inf)",
+        })
+    }
+}
+
+/// Validates that `value` is finite and lies in the closed unit interval.
+pub(crate) fn ensure_unit_interval(parameter: &'static str, value: f64) -> Result<f64> {
+    let value = ensure_finite(parameter, value)?;
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfRange {
+            parameter,
+            value,
+            expected: "[0, 1]",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_finite_accepts_ordinary_values() {
+        assert_eq!(ensure_finite("x", 1.25).unwrap(), 1.25);
+        assert_eq!(ensure_finite("x", -3.0).unwrap(), -3.0);
+        assert_eq!(ensure_finite("x", 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ensure_finite_rejects_nan_and_infinities() {
+        assert!(ensure_finite("x", f64::NAN).is_err());
+        assert!(ensure_finite("x", f64::INFINITY).is_err());
+        assert!(ensure_finite("x", f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_negatives() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -1.0).is_err());
+        assert_eq!(ensure_positive("x", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn ensure_unit_interval_accepts_bounds() {
+        assert_eq!(ensure_unit_interval("f", 0.0).unwrap(), 0.0);
+        assert_eq!(ensure_unit_interval("f", 1.0).unwrap(), 1.0);
+        assert!(ensure_unit_interval("f", 1.0001).is_err());
+        assert!(ensure_unit_interval("f", -0.0001).is_err());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = ModelError::OutOfRange {
+            parameter: "alpha_e2o",
+            value: 2.0,
+            expected: "[0, 1]",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("alpha_e2o"));
+        assert!(msg.contains("[0, 1]"));
+
+        let err = ModelError::OutsideCalibration {
+            model: "cacti-lite",
+            domain: "1 MiB to 16 MiB",
+        };
+        assert!(err.to_string().contains("cacti-lite"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Fleet-level NCF aggregation.
+//!
+//! A design change rarely ships into a single use case: a processor lands
+//! in laptops (embodied-dominated, fixed-work-ish), datacenters
+//! (operational-leaning, rebound-prone) and embedded roles at once. A
+//! [`Fleet`] aggregates NCF over such a mix — each segment carrying its
+//! own α weight, scenario blend and share of the fleet's total footprint
+//! — answering the question the paper's per-scenario analysis builds
+//! toward: *does this design reduce the footprint of everything we will
+//! actually ship?*
+
+use crate::design::DesignPoint;
+use crate::error::{ensure_unit_interval, ModelError, Result};
+use crate::ncf::Ncf;
+use crate::scenario::Scenario;
+use crate::weight::E2oWeight;
+use std::fmt;
+
+/// One deployment segment of a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Segment name for reports.
+    pub name: String,
+    /// This segment's share of the fleet's total footprint, in `[0, 1]`.
+    pub share: f64,
+    /// The segment's embodied-to-operational weight.
+    pub alpha: E2oWeight,
+    /// Fraction of this segment's usage that behaves fixed-time
+    /// (rebound-prone); the rest is fixed-work.
+    pub fixed_time_share: f64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `share` or `fixed_time_share` leaves `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        share: f64,
+        alpha: E2oWeight,
+        fixed_time_share: f64,
+    ) -> Result<Self> {
+        Ok(Segment {
+            name: name.into(),
+            share: ensure_unit_interval("segment share", share)?,
+            alpha,
+            fixed_time_share: ensure_unit_interval("fixed-time share", fixed_time_share)?,
+        })
+    }
+
+    /// This segment's NCF for `x` vs `y`: the scenario-blended value at
+    /// the segment's α.
+    pub fn ncf(&self, x: &DesignPoint, y: &DesignPoint) -> f64 {
+        let fw = Ncf::evaluate(x, y, Scenario::FixedWork, self.alpha).value();
+        let ft = Ncf::evaluate(x, y, Scenario::FixedTime, self.alpha).value();
+        (1.0 - self.fixed_time_share) * fw + self.fixed_time_share * ft
+    }
+}
+
+/// A fleet: a set of segments whose shares sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{DesignPoint, E2oWeight, Fleet, Segment};
+///
+/// let fleet = Fleet::new(vec![
+///     Segment::new("laptops", 0.5, E2oWeight::EMBODIED_DOMINATED, 0.2)?,
+///     Segment::new("servers", 0.3, E2oWeight::OPERATIONAL_DOMINATED, 0.9)?,
+///     Segment::new("embedded", 0.2, E2oWeight::BALANCED, 0.0)?,
+/// ])?;
+/// let x = DesignPoint::from_power_perf(0.9, 0.9, 1.1)?;
+/// let y = DesignPoint::reference();
+/// assert!(fleet.ncf(&x, &y) < 1.0); // wins across the whole fleet
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fleet {
+    segments: Vec<Segment>,
+}
+
+impl Fleet {
+    /// Creates a fleet, validating that the shares sum to 1 (±1e-6).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty segment list or shares that do not
+    /// sum to 1.
+    pub fn new(segments: Vec<Segment>) -> Result<Self> {
+        if segments.is_empty() {
+            return Err(ModelError::Inconsistent {
+                constraint: "a fleet needs at least one segment",
+            });
+        }
+        let total: f64 = segments.iter().map(|s| s.share).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ModelError::Inconsistent {
+                constraint: "fleet segment shares must sum to 1",
+            });
+        }
+        Ok(Fleet { segments })
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The fleet-aggregate NCF: the share-weighted sum of segment NCFs.
+    pub fn ncf(&self, x: &DesignPoint, y: &DesignPoint) -> f64 {
+        self.segments.iter().map(|s| s.share * s.ncf(x, y)).sum()
+    }
+
+    /// Per-segment NCFs, for reports.
+    pub fn per_segment_ncf(&self, x: &DesignPoint, y: &DesignPoint) -> Vec<(&str, f64)> {
+        self.segments
+            .iter()
+            .map(|s| (s.name.as_str(), s.ncf(x, y)))
+            .collect()
+    }
+
+    /// `true` if the design reduces the footprint in *every* segment —
+    /// the fleet-level analogue of strong sustainability.
+    pub fn wins_every_segment(&self, x: &DesignPoint, y: &DesignPoint, tolerance: f64) -> bool {
+        self.segments.iter().all(|s| s.ncf(x, y) < 1.0 - tolerance)
+    }
+}
+
+impl fmt::Display for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fleet of {} segments (", self.segments.len())?;
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {:.0}%", s.name, s.share * 100.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Fleet {
+        Fleet::new(vec![
+            Segment::new("laptops", 0.5, E2oWeight::EMBODIED_DOMINATED, 0.2).unwrap(),
+            Segment::new("servers", 0.3, E2oWeight::OPERATIONAL_DOMINATED, 0.9).unwrap(),
+            Segment::new("embedded", 0.2, E2oWeight::BALANCED, 0.0).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shares() {
+        assert!(Fleet::new(vec![]).is_err());
+        assert!(Fleet::new(vec![
+            Segment::new("a", 0.5, E2oWeight::BALANCED, 0.0).unwrap(),
+            Segment::new("b", 0.4, E2oWeight::BALANCED, 0.0).unwrap(),
+        ])
+        .is_err());
+        assert!(Segment::new("a", 1.5, E2oWeight::BALANCED, 0.0).is_err());
+        assert!(Segment::new("a", 0.5, E2oWeight::BALANCED, -0.1).is_err());
+    }
+
+    #[test]
+    fn identical_designs_have_unit_fleet_ncf() {
+        let y = DesignPoint::reference();
+        assert!((fleet().ncf(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_ncf_is_share_weighted_sum() {
+        let x = DesignPoint::from_power_perf(1.2, 0.8, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        let f = fleet();
+        let manual: f64 = f
+            .per_segment_ncf(&x, &y)
+            .iter()
+            .zip(f.segments())
+            .map(|((_, ncf), s)| s.share * ncf)
+            .sum();
+        assert!((f.ncf(&x, &y) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_design_wins_every_segment() {
+        let x = DesignPoint::from_power_perf(0.8, 0.8, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        assert!(fleet().wins_every_segment(&x, &y, 1e-9));
+    }
+
+    #[test]
+    fn rebound_prone_design_loses_the_server_segment() {
+        // PRE-like: saves energy, burns power. The server segment (90%
+        // fixed-time) punishes it even though laptops like it.
+        let x = DesignPoint::from_raw(1.005, 1.29, 0.93, 1.38).unwrap();
+        let y = DesignPoint::reference();
+        let f = fleet();
+        let per = f.per_segment_ncf(&x, &y);
+        let servers = per.iter().find(|(n, _)| *n == "servers").unwrap().1;
+        let laptops = per.iter().find(|(n, _)| *n == "laptops").unwrap().1;
+        assert!(servers > 1.0, "servers {servers}");
+        assert!(laptops < 1.005, "laptops {laptops}");
+        assert!(!f.wins_every_segment(&x, &y, 1e-9));
+    }
+
+    #[test]
+    fn single_segment_fleet_matches_blended_ncf() {
+        let seg = Segment::new("only", 1.0, E2oWeight::OPERATIONAL_DOMINATED, 0.3).unwrap();
+        let f = Fleet::new(vec![seg]).unwrap();
+        let x = DesignPoint::from_power_perf(1.1, 0.9, 1.2).unwrap();
+        let y = DesignPoint::reference();
+        let blended =
+            crate::sensitivity::blended_ncf(&x, &y, E2oWeight::OPERATIONAL_DOMINATED, 0.3).unwrap();
+        assert!((f.ncf(&x, &y) - blended).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_segments() {
+        let s = fleet().to_string();
+        assert!(s.contains("laptops 50%"));
+        assert!(s.contains("servers 30%"));
+    }
+}

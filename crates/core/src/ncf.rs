@@ -1,0 +1,378 @@
+//! The Normalized Carbon Footprint (NCF) metric (§3.4 of the paper).
+//!
+//! For two designs `X` and `Y`, an E2O weight `α` and a scenario `s`:
+//!
+//! ```text
+//! NCF_fw,α(X, Y) = α · A_X/A_Y + (1 − α) · E_X/E_Y      (fixed-work)
+//! NCF_ft,α(X, Y) = α · A_X/A_Y + (1 − α) · P_X/P_Y      (fixed-time)
+//! ```
+//!
+//! `NCF < 1` means `X` incurs a lower footprint than `Y`; `NCF > 1` a higher
+//! one.
+
+use crate::design::DesignPoint;
+use crate::scenario::Scenario;
+use crate::weight::{E2oRange, E2oWeight};
+use std::fmt;
+
+/// The result of one NCF evaluation, retaining the embodied and operational
+/// ratio terms so reports can show *why* a design wins or loses.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{DesignPoint, E2oWeight, Ncf, Scenario};
+///
+/// let x = DesignPoint::from_power_perf(1.39, 2.32, 1.75)?; // OoO vs InO
+/// let y = DesignPoint::reference();
+/// let ncf = Ncf::evaluate(&x, &y, Scenario::FixedWork, E2oWeight::EMBODIED_DOMINATED);
+/// assert!(ncf.value() > 1.0); // OoO is less sustainable than InO
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ncf {
+    embodied_ratio: f64,
+    operational_ratio: f64,
+    weight: E2oWeight,
+    scenario: Scenario,
+}
+
+impl Ncf {
+    /// Evaluates `NCF_s,α(x, y)`.
+    pub fn evaluate(x: &DesignPoint, y: &DesignPoint, scenario: Scenario, alpha: E2oWeight) -> Ncf {
+        Ncf {
+            embodied_ratio: x.area() / y.area(),
+            operational_ratio: scenario.operational_ratio(x, y),
+            weight: alpha,
+            scenario,
+        }
+    }
+
+    /// Builds an NCF directly from precomputed area and operational ratios.
+    ///
+    /// Useful when a study works with ratios throughout (e.g. the published
+    /// runahead numbers are already relative to the baseline core).
+    pub fn from_ratios(
+        embodied_ratio: f64,
+        operational_ratio: f64,
+        scenario: Scenario,
+        alpha: E2oWeight,
+    ) -> Ncf {
+        Ncf {
+            embodied_ratio,
+            operational_ratio,
+            weight: alpha,
+            scenario,
+        }
+    }
+
+    /// The weighted NCF value; `< 1` means `X` has the smaller footprint.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.weight.embodied() * self.embodied_ratio
+            + self.weight.operational() * self.operational_ratio
+    }
+
+    /// The embodied term `A_X / A_Y` before weighting.
+    #[inline]
+    pub fn embodied_ratio(&self) -> f64 {
+        self.embodied_ratio
+    }
+
+    /// The operational term (`E_X/E_Y` or `P_X/P_Y`) before weighting.
+    #[inline]
+    pub fn operational_ratio(&self) -> f64 {
+        self.operational_ratio
+    }
+
+    /// The weight used for this evaluation.
+    #[inline]
+    pub fn weight(&self) -> E2oWeight {
+        self.weight
+    }
+
+    /// The scenario used for this evaluation.
+    #[inline]
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// `true` if `X` strictly reduces the footprint (NCF < 1 − tolerance).
+    #[inline]
+    pub fn is_reduction(&self, tolerance: f64) -> bool {
+        self.value() < 1.0 - tolerance
+    }
+
+    /// `true` if `X` strictly increases the footprint (NCF > 1 + tolerance).
+    #[inline]
+    pub fn is_increase(&self, tolerance: f64) -> bool {
+        self.value() > 1.0 + tolerance
+    }
+
+    /// The footprint saving expressed as a percentage: `(1 − NCF) · 100`.
+    ///
+    /// Positive = reduction (the paper's "reduces the footprint by 39 %"),
+    /// negative = increase.
+    #[inline]
+    pub fn saving_percent(&self) -> f64 {
+        (1.0 - self.value()) * 100.0
+    }
+}
+
+impl fmt::Display for Ncf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NCF_{},{}={:.4}",
+            self.scenario.subscript(),
+            self.weight.get(),
+            self.value()
+        )
+    }
+}
+
+/// NCF evaluated under *both* scenarios for one weight — the input to the
+/// strong/weak/less sustainability classification (§4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NcfPair {
+    /// NCF under the fixed-work scenario.
+    pub fixed_work: Ncf,
+    /// NCF under the fixed-time scenario.
+    pub fixed_time: Ncf,
+}
+
+impl NcfPair {
+    /// Evaluates both scenarios for designs `x` vs `y` at weight `alpha`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use focal_core::{DesignPoint, E2oWeight, NcfPair};
+    ///
+    /// let x = DesignPoint::from_power_perf(1.0, 0.9, 1.0)?;
+    /// let y = DesignPoint::reference();
+    /// let pair = NcfPair::evaluate(&x, &y, E2oWeight::OPERATIONAL_DOMINATED);
+    /// assert!(pair.fixed_work.value() < 1.0);
+    /// assert!(pair.fixed_time.value() < 1.0);
+    /// # Ok::<(), focal_core::ModelError>(())
+    /// ```
+    pub fn evaluate(x: &DesignPoint, y: &DesignPoint, alpha: E2oWeight) -> NcfPair {
+        NcfPair {
+            fixed_work: Ncf::evaluate(x, y, Scenario::FixedWork, alpha),
+            fixed_time: Ncf::evaluate(x, y, Scenario::FixedTime, alpha),
+        }
+    }
+
+    /// Returns the NCF for `scenario`.
+    pub fn get(&self, scenario: Scenario) -> Ncf {
+        match scenario {
+            Scenario::FixedWork => self.fixed_work,
+            Scenario::FixedTime => self.fixed_time,
+        }
+    }
+
+    /// The larger (worst-case) of the two NCF values.
+    pub fn worst(&self) -> f64 {
+        self.fixed_work.value().max(self.fixed_time.value())
+    }
+
+    /// The smaller (best-case) of the two NCF values.
+    pub fn best(&self) -> f64 {
+        self.fixed_work.value().min(self.fixed_time.value())
+    }
+}
+
+/// An NCF evaluated across an α band, yielding the center value plus the
+/// error-bar extremes the paper plots for `α = 0.8 ± 0.1` and `0.2 ± 0.1`.
+///
+/// NCF is affine in α, so its extrema over a band always occur at the band's
+/// endpoints; evaluating low/center/high is exact, not an approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NcfBand {
+    /// NCF at the band's lower α.
+    pub at_low: Ncf,
+    /// NCF at the band's center α.
+    pub at_center: Ncf,
+    /// NCF at the band's upper α.
+    pub at_high: Ncf,
+}
+
+impl NcfBand {
+    /// Evaluates the NCF at the band's low, center and high α.
+    pub fn evaluate(
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        range: E2oRange,
+    ) -> NcfBand {
+        NcfBand {
+            at_low: Ncf::evaluate(x, y, scenario, range.low()),
+            at_center: Ncf::evaluate(x, y, scenario, range.center()),
+            at_high: Ncf::evaluate(x, y, scenario, range.high()),
+        }
+    }
+
+    /// The center NCF value.
+    pub fn center(&self) -> f64 {
+        self.at_center.value()
+    }
+
+    /// The smallest NCF value over the band.
+    ///
+    /// Because NCF is affine in α this is exactly
+    /// `min(value(α_low), value(α_high))`.
+    pub fn min(&self) -> f64 {
+        self.at_low.value().min(self.at_high.value())
+    }
+
+    /// The largest NCF value over the band.
+    pub fn max(&self) -> f64 {
+        self.at_low.value().max(self.at_high.value())
+    }
+
+    /// `true` if the NCF stays strictly below 1 over the whole band, i.e.
+    /// the footprint reduction is robust to the α uncertainty.
+    pub fn robust_reduction(&self, tolerance: f64) -> bool {
+        self.max() < 1.0 - tolerance
+    }
+
+    /// `true` if the NCF stays strictly above 1 over the whole band.
+    pub fn robust_increase(&self, tolerance: f64) -> bool {
+        self.min() > 1.0 + tolerance
+    }
+}
+
+impl fmt::Display for NcfBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NCF_{}={:.4} [{:.4}, {:.4}]",
+            self.at_center.scenario().subscript(),
+            self.center(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy() -> (DesignPoint, DesignPoint) {
+        // X: half the area, 1.5x the power, 3x the performance => E = 0.5.
+        let x = DesignPoint::from_power_perf(0.5, 1.5, 3.0).unwrap();
+        let y = DesignPoint::reference();
+        (x, y)
+    }
+
+    #[test]
+    fn ncf_definition_fixed_work() {
+        let (x, y) = xy();
+        let alpha = E2oWeight::new(0.8).unwrap();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedWork, alpha);
+        // 0.8 * 0.5 + 0.2 * 0.5 = 0.5
+        assert!((ncf.value() - 0.5).abs() < 1e-12);
+        assert_eq!(ncf.embodied_ratio(), 0.5);
+        assert_eq!(ncf.operational_ratio(), 0.5);
+    }
+
+    #[test]
+    fn ncf_definition_fixed_time() {
+        let (x, y) = xy();
+        let alpha = E2oWeight::new(0.8).unwrap();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedTime, alpha);
+        // 0.8 * 0.5 + 0.2 * 1.5 = 0.7
+        assert!((ncf.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_designs_have_unit_ncf() {
+        let y = DesignPoint::reference();
+        for scenario in Scenario::ALL {
+            for a in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                let ncf = Ncf::evaluate(&y, &y, scenario, E2oWeight::new(a).unwrap());
+                assert!((ncf.value() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_ignores_operational_axis() {
+        let (x, y) = xy();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedTime, E2oWeight::new(1.0).unwrap());
+        assert_eq!(ncf.value(), 0.5); // pure area ratio
+    }
+
+    #[test]
+    fn alpha_zero_ignores_area() {
+        let (x, y) = xy();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedTime, E2oWeight::new(0.0).unwrap());
+        assert_eq!(ncf.value(), 1.5); // pure power ratio
+    }
+
+    #[test]
+    fn saving_percent_sign_convention() {
+        let (x, y) = xy();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedWork, E2oWeight::BALANCED);
+        assert!(ncf.saving_percent() > 0.0);
+        let ncf_rev = Ncf::evaluate(&y, &x, Scenario::FixedWork, E2oWeight::BALANCED);
+        assert!(ncf_rev.saving_percent() < 0.0);
+    }
+
+    #[test]
+    fn ncf_is_not_symmetric_but_reciprocal_in_ratios() {
+        let (x, y) = xy();
+        let a = E2oWeight::BALANCED;
+        let fwd = Ncf::evaluate(&x, &y, Scenario::FixedWork, a);
+        let rev = Ncf::evaluate(&y, &x, Scenario::FixedWork, a);
+        assert!((fwd.embodied_ratio() * rev.embodied_ratio() - 1.0).abs() < 1e-12);
+        assert!((fwd.operational_ratio() * rev.operational_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_contains_both_scenarios() {
+        let (x, y) = xy();
+        let pair = NcfPair::evaluate(&x, &y, E2oWeight::EMBODIED_DOMINATED);
+        assert_eq!(
+            pair.get(Scenario::FixedWork).scenario(),
+            Scenario::FixedWork
+        );
+        assert!((pair.worst() - 0.7).abs() < 1e-12);
+        assert!((pair.best() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_extremes_at_endpoints() {
+        let (x, y) = xy();
+        let band = NcfBand::evaluate(&x, &y, Scenario::FixedTime, E2oRange::EMBODIED_DOMINATED);
+        // value(α) = α·0.5 + (1−α)·1.5 = 1.5 − α ⇒ decreasing in α.
+        assert!((band.max() - (1.5 - 0.7)).abs() < 1e-12);
+        assert!((band.min() - (1.5 - 0.9)).abs() < 1e-12);
+        assert!((band.center() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_robustness_predicates() {
+        let (x, y) = xy();
+        let band = NcfBand::evaluate(&x, &y, Scenario::FixedWork, E2oRange::EMBODIED_DOMINATED);
+        assert!(band.robust_reduction(1e-9));
+        assert!(!band.robust_increase(1e-9));
+    }
+
+    #[test]
+    fn from_ratios_matches_evaluate() {
+        let (x, y) = xy();
+        let a = E2oWeight::EMBODIED_DOMINATED;
+        let direct = Ncf::evaluate(&x, &y, Scenario::FixedWork, a);
+        let via_ratios = Ncf::from_ratios(0.5, 0.5, Scenario::FixedWork, a);
+        assert!((direct.value() - via_ratios.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_subscript() {
+        let (x, y) = xy();
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedWork, E2oWeight::BALANCED);
+        assert!(ncf.to_string().contains("NCF_fw"));
+    }
+}

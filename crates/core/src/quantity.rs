@@ -1,0 +1,373 @@
+//! Strongly-typed physical quantities used throughout the FOCAL model.
+//!
+//! FOCAL deliberately works with *relative* (normalized) quantities: the NCF
+//! metric compares two designs, so only ratios of areas, energies and powers
+//! matter. The newtypes in this module keep the different axes apart at the
+//! type level (an area can never be accidentally divided by a power) while
+//! staying zero-cost at run time.
+//!
+//! Where a substrate crate needs absolute units (e.g. the wafer model works
+//! in mm², the cache model in nJ), the same newtypes are used with the unit
+//! documented by the constructor (`SiliconArea::from_mm2`, `Energy::from_nj`).
+
+use crate::error::{ensure_positive, Result};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Implements the shared surface of a positive, finite `f64` quantity
+/// newtype: validating constructor, raw accessor, ratio, scaling and
+/// formatting.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $ctor:ident, $param:literal, $unit_doc:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = concat!("Creates a new quantity from a value in ", $unit_doc, ".")]
+            ///
+            /// # Errors
+            ///
+            /// Returns [`crate::ModelError::OutOfRange`] if the value is not
+            /// strictly positive, or [`crate::ModelError::NotFinite`] if it
+            /// is NaN or infinite.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("# use focal_core::", stringify!($name), ";")]
+            #[doc = concat!("let q = ", stringify!($name), "::", stringify!($ctor), "(2.0)?;")]
+            /// assert_eq!(q.get(), 2.0);
+            /// # Ok::<(), focal_core::ModelError>(())
+            /// ```
+            pub fn $ctor(value: f64) -> Result<Self> {
+                Ok(Self(ensure_positive($param, value)?))
+            }
+
+            /// Returns the underlying `f64` value.
+            #[inline]
+            pub fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the dimensionless ratio `self / other`.
+            ///
+            /// This is the fundamental operation of the FOCAL model: NCF is
+            /// a weighted sum of such ratios.
+            #[inline]
+            pub fn ratio_to(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+
+            /// Returns this quantity scaled by a dimensionless factor.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the scaled value would be
+            /// non-positive or non-finite; in release builds the invalid
+            /// value propagates (matching `f64` semantics) and will be
+            /// caught by the next validating constructor.
+            #[inline]
+            #[must_use]
+            pub fn scaled(self, factor: f64) -> Self {
+                debug_assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "scaling factor must be positive and finite, got {factor}"
+                );
+                Self(self.0 * factor)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                debug_assert!(
+                    self.0 > rhs.0,
+                    "subtraction would produce a non-positive quantity"
+                );
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                self.scaled(rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.ratio_to(rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Silicon die area — FOCAL's first-order proxy for the *embodied*
+    /// carbon footprint (§3.1 of the paper).
+    ///
+    /// The unit is context-dependent: the core model only ever takes ratios,
+    /// so any consistent unit works; the wafer substrate uses mm²
+    /// (see [`SiliconArea::from_mm2`]). Relative studies use "base core
+    /// equivalents" (BCEs) as the unit.
+    SiliconArea,
+    from_mm2,
+    "area",
+    "mm² (or any consistent relative unit)"
+);
+
+impl SiliconArea {
+    /// Creates an area measured in base-core equivalents (BCEs), the
+    /// relative unit used by the Hill-Marty multicore studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bce` is not strictly positive and finite.
+    pub fn from_bce(bce: f64) -> Result<Self> {
+        Self::from_mm2(bce)
+    }
+
+    /// Returns the area in cm², assuming the stored unit is mm².
+    #[inline]
+    pub fn as_cm2(self) -> f64 {
+        self.get() / 100.0
+    }
+}
+
+quantity!(
+    /// Average power draw — FOCAL's proxy for the *operational* footprint
+    /// under the **fixed-time** scenario (§3.2).
+    Power,
+    from_watts,
+    "power",
+    "watts (or any consistent relative unit)"
+);
+
+quantity!(
+    /// Total energy consumed for a fixed amount of work — FOCAL's proxy for
+    /// the *operational* footprint under the **fixed-work** scenario (§3.2).
+    Energy,
+    from_joules,
+    "energy",
+    "joules (or any consistent relative unit)"
+);
+
+impl Energy {
+    /// Creates an energy measured in nanojoules (used by the cache model).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `nj` is not strictly positive and finite.
+    pub fn from_nj(nj: f64) -> Result<Self> {
+        Self::from_joules(nj)
+    }
+}
+
+quantity!(
+    /// Application-level performance (work per unit time), normalized to a
+    /// reference design.
+    ///
+    /// Higher is better. Execution time for a fixed amount of work is the
+    /// reciprocal of performance.
+    Performance,
+    from_speedup,
+    "performance",
+    "speedup relative to a reference design"
+);
+
+quantity!(
+    /// Execution time for a fixed amount of work, normalized to a reference
+    /// design. Lower is better.
+    ExecutionTime,
+    from_seconds,
+    "time",
+    "seconds (or any consistent relative unit)"
+);
+
+quantity!(
+    /// An (absolute or normalized) carbon footprint, used by the wafer and
+    /// ACT substrates. The core NCF metric itself is dimensionless and is
+    /// represented by [`crate::Ncf`].
+    CarbonFootprint,
+    from_kg_co2e,
+    "carbon",
+    "kg CO₂-equivalent (or any consistent relative unit)"
+);
+
+impl Performance {
+    /// The reference performance (speedup of 1).
+    pub fn baseline() -> Self {
+        Performance(1.0)
+    }
+
+    /// Returns the execution time needed to complete one unit of work.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use focal_core::Performance;
+    /// let p = Performance::from_speedup(2.0)?;
+    /// assert_eq!(p.execution_time().get(), 0.5);
+    /// # Ok::<(), focal_core::ModelError>(())
+    /// ```
+    pub fn execution_time(self) -> ExecutionTime {
+        ExecutionTime(1.0 / self.0)
+    }
+}
+
+impl ExecutionTime {
+    /// Returns the performance (speedup) corresponding to this execution
+    /// time for a fixed amount of work.
+    pub fn performance(self) -> Performance {
+        Performance(1.0 / self.0)
+    }
+}
+
+impl Mul<ExecutionTime> for Power {
+    type Output = Energy;
+
+    /// Energy is power integrated over time; for the piecewise-constant
+    /// power profiles FOCAL considers this is a plain product.
+    fn mul(self, rhs: ExecutionTime) -> Energy {
+        Energy(self.get() * rhs.get())
+    }
+}
+
+impl Div<ExecutionTime> for Energy {
+    type Output = Power;
+
+    /// Average power is energy divided by execution time.
+    fn div(self, rhs: ExecutionTime) -> Power {
+        Power(self.get() / rhs.get())
+    }
+}
+
+impl Div<Performance> for Power {
+    type Output = Energy;
+
+    /// For one unit of work, `energy = power × time = power / performance`.
+    ///
+    /// This identity is used pervasively: the paper derives multicore energy
+    /// (Eq. 3) as power (Eq. 2) divided by speedup (Eq. 1).
+    fn div(self, rhs: Performance) -> Energy {
+        Energy(self.get() / rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(SiliconArea::from_mm2(-1.0).is_err());
+        assert!(Power::from_watts(0.0).is_err());
+        assert!(Energy::from_joules(f64::NAN).is_err());
+        assert!(Performance::from_speedup(f64::INFINITY).is_err());
+        assert!(SiliconArea::from_mm2(450.0).is_ok());
+    }
+
+    #[test]
+    fn ratio_is_dimensionless_division() {
+        let a = SiliconArea::from_mm2(300.0).unwrap();
+        let b = SiliconArea::from_mm2(100.0).unwrap();
+        assert_eq!(a.ratio_to(b), 3.0);
+        assert_eq!(a / b, 3.0);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = Power::from_watts(10.0).unwrap();
+        let t = ExecutionTime::from_seconds(3.0).unwrap();
+        assert_eq!((p * t).get(), 30.0);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let e = Energy::from_joules(30.0).unwrap();
+        let t = ExecutionTime::from_seconds(3.0).unwrap();
+        assert_eq!((e / t).get(), 10.0);
+    }
+
+    #[test]
+    fn power_over_performance_is_energy_for_unit_work() {
+        // Paper Eq. 3 = Eq. 2 / Eq. 1: energy = power / speedup.
+        let p = Power::from_watts(8.0).unwrap();
+        let s = Performance::from_speedup(4.0).unwrap();
+        assert_eq!((p / s).get(), 2.0);
+    }
+
+    #[test]
+    fn performance_and_time_are_reciprocal() {
+        let p = Performance::from_speedup(4.0).unwrap();
+        assert_eq!(p.execution_time().get(), 0.25);
+        assert_eq!(p.execution_time().performance().get(), 4.0);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let a = SiliconArea::from_mm2(100.0).unwrap();
+        assert_eq!(a.scaled(2.5).get(), 250.0);
+        assert_eq!((a * 2.5).get(), 250.0);
+    }
+
+    #[test]
+    fn add_and_sum_accumulate() {
+        let a = Energy::from_joules(1.0).unwrap();
+        let b = Energy::from_joules(2.0).unwrap();
+        assert_eq!((a + b).get(), 3.0);
+        let total: Energy = vec![a, b, a].into_iter().sum();
+        assert_eq!(total.get(), 4.0);
+    }
+
+    #[test]
+    fn area_cm2_conversion() {
+        let a = SiliconArea::from_mm2(450.0).unwrap();
+        assert!((a.as_cm2() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        let a = SiliconArea::from_mm2(123.5).unwrap();
+        assert_eq!(a.to_string(), "123.5");
+        assert_eq!(format!("{a:.0}"), "124");
+    }
+
+    #[test]
+    fn quantities_are_copy_and_comparable() {
+        let a = Power::from_watts(1.0).unwrap();
+        let b = a; // Copy
+        assert!(a <= b);
+        assert_eq!(a, b);
+    }
+}

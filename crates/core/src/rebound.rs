@@ -1,0 +1,140 @@
+//! Rebound-effect (Jevons' paradox) modeling helpers (§2, §3.7).
+//!
+//! The paper captures two rebound channels:
+//!
+//! 1. **Usage rebound** — efficiency gains fill the freed-up time with more
+//!    work. This is exactly the fixed-time scenario: no extra machinery is
+//!    needed beyond evaluating `NCF_ft`.
+//! 2. **Deployment rebound** — efficiency gains increase the number of
+//!    devices produced, inflating the *embodied* share of the total
+//!    footprint. The paper models this "by changing the embodied-to-
+//!    operational weight"; [`deployment_adjusted_weight`] implements that
+//!    adjustment.
+
+use crate::error::{ensure_positive, Result};
+use crate::weight::E2oWeight;
+
+/// Adjusts an E2O weight for a deployment rebound: if efficiency gains cause
+/// `deployment_factor`× as many devices to be manufactured (for the same
+/// total operational footprint per device), the embodied share of the total
+/// footprint grows accordingly.
+///
+/// With original embodied share `α` and operational share `1 − α`, scaling
+/// the embodied side by `k` gives the adjusted share
+///
+/// ```text
+/// α' = k·α / (k·α + (1 − α))
+/// ```
+///
+/// `deployment_factor = 1` leaves the weight unchanged; factors `> 1` push
+/// the weight toward embodied-dominated, which is the direction the paper
+/// warns about.
+///
+/// # Errors
+///
+/// Returns an error if `deployment_factor` is not strictly positive and
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{deployment_adjusted_weight, E2oWeight};
+///
+/// let base = E2oWeight::OPERATIONAL_DOMINATED; // α = 0.2
+/// let adjusted = deployment_adjusted_weight(base, 4.0)?;
+/// assert!((adjusted.get() - 0.5).abs() < 1e-12); // 4·0.2 / (4·0.2 + 0.8)
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn deployment_adjusted_weight(alpha: E2oWeight, deployment_factor: f64) -> Result<E2oWeight> {
+    let k = ensure_positive("deployment_factor", deployment_factor)?;
+    let embodied = k * alpha.embodied();
+    let operational = alpha.operational();
+    E2oWeight::new(embodied / (embodied + operational))
+}
+
+/// Adjusts an E2O weight for a change in device lifetime: a device kept in
+/// service `lifetime_factor`× longer accumulates proportionally more
+/// operational footprint against the same embodied footprint.
+///
+/// ```text
+/// α' = α / (α + k·(1 − α))
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if `lifetime_factor` is not strictly positive and
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{lifetime_adjusted_weight, E2oWeight};
+///
+/// // Doubling the lifetime of an embodied-dominated device (α = 0.8)
+/// // shifts weight toward operational: α' = 0.8 / (0.8 + 2·0.2) = 2/3.
+/// let adjusted = lifetime_adjusted_weight(E2oWeight::EMBODIED_DOMINATED, 2.0)?;
+/// assert!((adjusted.get() - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn lifetime_adjusted_weight(alpha: E2oWeight, lifetime_factor: f64) -> Result<E2oWeight> {
+    let k = ensure_positive("lifetime_factor", lifetime_factor)?;
+    let embodied = alpha.embodied();
+    let operational = k * alpha.operational();
+    E2oWeight::new(embodied / (embodied + operational))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_factor_is_identity() {
+        for a in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let w = E2oWeight::new(a).unwrap();
+            assert!((deployment_adjusted_weight(w, 1.0).unwrap().get() - a).abs() < 1e-12);
+            assert!((lifetime_adjusted_weight(w, 1.0).unwrap().get() - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deployment_rebound_pushes_toward_embodied() {
+        let w = E2oWeight::new(0.3).unwrap();
+        let adj = deployment_adjusted_weight(w, 3.0).unwrap();
+        assert!(adj.get() > w.get());
+    }
+
+    #[test]
+    fn longer_lifetime_pushes_toward_operational() {
+        let w = E2oWeight::new(0.8).unwrap();
+        let adj = lifetime_adjusted_weight(w, 3.0).unwrap();
+        assert!(adj.get() < w.get());
+    }
+
+    #[test]
+    fn extreme_weights_are_fixed_points() {
+        // Pure embodied (α = 1) or pure operational (α = 0) cannot shift.
+        let one = E2oWeight::new(1.0).unwrap();
+        let zero = E2oWeight::new(0.0).unwrap();
+        assert_eq!(deployment_adjusted_weight(one, 5.0).unwrap().get(), 1.0);
+        assert_eq!(deployment_adjusted_weight(zero, 5.0).unwrap().get(), 0.0);
+        assert_eq!(lifetime_adjusted_weight(one, 5.0).unwrap().get(), 1.0);
+        assert_eq!(lifetime_adjusted_weight(zero, 5.0).unwrap().get(), 0.0);
+    }
+
+    #[test]
+    fn deployment_and_lifetime_are_inverse_adjustments() {
+        // Scaling embodied by k is the same as scaling operational by 1/k.
+        let w = E2oWeight::new(0.4).unwrap();
+        let a = deployment_adjusted_weight(w, 2.5).unwrap();
+        let b = lifetime_adjusted_weight(w, 1.0 / 2.5).unwrap();
+        assert!((a.get() - b.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_factors_are_rejected() {
+        let w = E2oWeight::BALANCED;
+        assert!(deployment_adjusted_weight(w, 0.0).is_err());
+        assert!(deployment_adjusted_weight(w, -1.0).is_err());
+        assert!(lifetime_adjusted_weight(w, f64::NAN).is_err());
+    }
+}

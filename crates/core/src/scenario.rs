@@ -1,0 +1,143 @@
+//! Use-case scenarios and the operational-footprint proxies they induce
+//! (§3.2 and Figure 2 of the paper).
+
+use crate::design::DesignPoint;
+use std::fmt;
+
+/// The anticipated use-case scenario, which determines the first-order proxy
+/// for the operational footprint.
+///
+/// * **Fixed-work** — the device performs a fixed amount of work over its
+///   lifetime (strong-scaling HPC, a video decoder handling a fixed frame
+///   rate). Operational footprint ∝ **energy** per unit of work.
+/// * **Fixed-time** — a more efficient device performs *more* work in the
+///   same deployed lifetime (weak-scaling HPC, always-on NICs, datacenter
+///   machines whose freed-up time is refilled — i.e. the rebound effect of
+///   increased usage). Operational footprint ∝ **power**.
+///
+/// When the use case is unknown at design time both scenarios should be
+/// evaluated; the paper's strong/weak/less sustainability taxonomy (§4,
+/// implemented in [`crate::classify`]) is built on exactly that comparison.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{DesignPoint, Scenario};
+///
+/// let x = DesignPoint::from_power_perf(1.0, 2.0, 4.0)?; // E = 0.5
+/// assert_eq!(Scenario::FixedWork.operational_proxy(&x), 0.5);
+/// assert_eq!(Scenario::FixedTime.operational_proxy(&x), 2.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Fixed amount of work over the lifetime; proxy = energy.
+    FixedWork,
+    /// Fixed deployed time (work expands to fill it); proxy = power.
+    FixedTime,
+}
+
+impl Scenario {
+    /// Both scenarios, in the order the paper presents them.
+    pub const ALL: [Scenario; 2] = [Scenario::FixedWork, Scenario::FixedTime];
+
+    /// Extracts the operational-footprint proxy of `design` under this
+    /// scenario: energy for fixed-work, power for fixed-time.
+    #[inline]
+    pub fn operational_proxy(self, design: &DesignPoint) -> f64 {
+        match self {
+            Scenario::FixedWork => design.energy().get(),
+            Scenario::FixedTime => design.power().get(),
+        }
+    }
+
+    /// The dimensionless ratio of operational proxies `x / y` under this
+    /// scenario — the second term of the NCF definition.
+    #[inline]
+    pub fn operational_ratio(self, x: &DesignPoint, y: &DesignPoint) -> f64 {
+        match self {
+            Scenario::FixedWork => x.energy() / y.energy(),
+            Scenario::FixedTime => x.power() / y.power(),
+        }
+    }
+
+    /// A short lowercase label (`"fixed-work"` / `"fixed-time"`) used in
+    /// reports and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::FixedWork => "fixed-work",
+            Scenario::FixedTime => "fixed-time",
+        }
+    }
+
+    /// The abbreviated subscript the paper uses (`fw` / `ft`).
+    pub fn subscript(self) -> &'static str {
+        match self {
+            Scenario::FixedWork => "fw",
+            Scenario::FixedTime => "ft",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(power: f64, perf: f64) -> DesignPoint {
+        DesignPoint::from_power_perf(1.0, power, perf).unwrap()
+    }
+
+    #[test]
+    fn fixed_work_proxy_is_energy() {
+        let d = design(3.0, 2.0);
+        assert_eq!(Scenario::FixedWork.operational_proxy(&d), 1.5);
+    }
+
+    #[test]
+    fn fixed_time_proxy_is_power() {
+        let d = design(3.0, 2.0);
+        assert_eq!(Scenario::FixedTime.operational_proxy(&d), 3.0);
+    }
+
+    #[test]
+    fn operational_ratio_matches_proxies() {
+        let x = design(2.0, 4.0); // E = 0.5
+        let y = design(1.0, 1.0); // E = 1.0
+        assert_eq!(Scenario::FixedWork.operational_ratio(&x, &y), 0.5);
+        assert_eq!(Scenario::FixedTime.operational_ratio(&x, &y), 2.0);
+    }
+
+    /// Figure 2 of the paper: design Y is faster but hungrier than design X.
+    /// Under fixed-work the winner is decided by energy; under fixed-time by
+    /// power.
+    #[test]
+    fn figure2_semantics() {
+        let x = design(1.0, 1.0); // slow, frugal: E = 1.0
+        let y = design(1.8, 2.0); // fast, hungry:  E = 0.9
+
+        // Fixed-work: Y finishes the same work with less energy -> Y wins.
+        assert!(Scenario::FixedWork.operational_ratio(&y, &x) < 1.0);
+        // Fixed-time: Y fills the freed time with extra work, so its higher
+        // power dominates -> X wins.
+        assert!(Scenario::FixedTime.operational_ratio(&y, &x) > 1.0);
+    }
+
+    #[test]
+    fn labels_and_subscripts() {
+        assert_eq!(Scenario::FixedWork.label(), "fixed-work");
+        assert_eq!(Scenario::FixedTime.subscript(), "ft");
+        assert_eq!(Scenario::FixedWork.to_string(), "fixed-work");
+    }
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(Scenario::ALL.len(), 2);
+        assert_ne!(Scenario::ALL[0], Scenario::ALL[1]);
+    }
+}

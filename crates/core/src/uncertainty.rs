@@ -1,0 +1,525 @@
+//! Uncertainty quantification for NCF analyses.
+//!
+//! FOCAL's raison d'être is *inherent data uncertainty* (§2): the model is
+//! deliberately parameterized so that conclusions can be tested against
+//! ranges of unknowns. This module provides two tools:
+//!
+//! * [`Interval`] — conservative interval arithmetic, used to propagate
+//!   worst-case bounds through NCF expressions analytically.
+//! * [`MonteCarloNcf`] — Monte-Carlo sampling of the α weight (and,
+//!   optionally, jitter on the proxy ratios) yielding distributional
+//!   summaries such as "probability that the design reduces the footprint".
+
+use crate::design::DesignPoint;
+use crate::error::{ensure_finite, ensure_positive, ModelError, Result};
+use crate::ncf::Ncf;
+use crate::scenario::Scenario;
+use crate::weight::E2oRange;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` with conservative (outward-rounding-free)
+/// arithmetic for the operations NCF needs: addition, scaling by a
+/// non-negative constant, multiplication and division of positive
+/// intervals.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::Interval;
+///
+/// let a = Interval::new(2.0, 3.0)?;
+/// let b = Interval::new(1.0, 2.0)?;
+/// let q = a.div(b)?;
+/// assert_eq!(q.lo(), 1.0);
+/// assert_eq!(q.hi(), 3.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either bound is not finite or if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        let lo = ensure_finite("interval lo", lo)?;
+        let hi = ensure_finite("interval hi", hi)?;
+        if lo > hi {
+            return Err(ModelError::Inconsistent {
+                constraint: "interval lower bound must not exceed upper bound",
+            });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The degenerate interval `[v, v]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` is not finite.
+    pub fn point(v: f64) -> Result<Self> {
+        Interval::new(v, v)
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint of the interval.
+    #[inline]
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Width `hi − lo`.
+    #[inline]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` if `v` lies inside the interval (inclusive).
+    #[inline]
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval sum.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Scales by a non-negative constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `k` is negative or not finite.
+    pub fn scale(self, k: f64) -> Result<Interval> {
+        let k = ensure_finite("scale factor", k)?;
+        if k < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "scale factor",
+                value: k,
+                expected: "[0, +inf)",
+            });
+        }
+        Ok(Interval {
+            lo: self.lo * k,
+            hi: self.hi * k,
+        })
+    }
+
+    /// Product of two positive intervals.
+    ///
+    /// (Named `mul` rather than implementing `std::ops::Mul` because the
+    /// operation is fallible.)
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either interval extends to non-positive values
+    /// (the general sign-case product is not needed by the NCF model and is
+    /// deliberately not implemented).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Interval) -> Result<Interval> {
+        ensure_positive("interval lo (mul)", self.lo.min(other.lo))?;
+        Ok(Interval {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        })
+    }
+
+    /// Quotient of two positive intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either interval extends to non-positive values.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Interval) -> Result<Interval> {
+        ensure_positive("interval lo (div)", self.lo.min(other.lo))?;
+        Ok(Interval {
+            lo: self.lo / other.hi,
+            hi: self.hi / other.lo,
+        })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Computes the exact NCF interval over an α band with optional
+/// multiplicative uncertainty on the two proxy ratios.
+///
+/// NCF is affine in α and monotone in each ratio, so the interval is exact:
+/// the extrema occur at corner combinations of `(α, embodied, operational)`.
+///
+/// # Errors
+///
+/// Returns an error if `ratio_uncertainty` is negative, not finite, or ≥ 1
+/// (a ±100 % ratio error would make the lower ratio non-positive).
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{ncf_interval, DesignPoint, E2oRange, Scenario};
+///
+/// let x = DesignPoint::from_power_perf(0.5, 0.5, 1.0)?;
+/// let y = DesignPoint::reference();
+/// let iv = ncf_interval(&x, &y, Scenario::FixedWork, E2oRange::EMBODIED_DOMINATED, 0.05)?;
+/// assert!(iv.hi() < 1.0); // robustly sustainable even with 5% ratio error
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn ncf_interval(
+    x: &DesignPoint,
+    y: &DesignPoint,
+    scenario: Scenario,
+    range: E2oRange,
+    ratio_uncertainty: f64,
+) -> Result<Interval> {
+    let u = ensure_finite("ratio_uncertainty", ratio_uncertainty)?;
+    if !(0.0..1.0).contains(&u) {
+        return Err(ModelError::OutOfRange {
+            parameter: "ratio_uncertainty",
+            value: u,
+            expected: "[0, 1)",
+        });
+    }
+    let a_ratio = x.area() / y.area();
+    let o_ratio = scenario.operational_ratio(x, y);
+    let a_iv = Interval::new(a_ratio * (1.0 - u), a_ratio * (1.0 + u))?;
+    let o_iv = Interval::new(o_ratio * (1.0 - u), o_ratio * (1.0 + u))?;
+
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for alpha in [range.low(), range.high()] {
+        for a in [a_iv.lo, a_iv.hi] {
+            for o in [o_iv.lo, o_iv.hi] {
+                let v = alpha.embodied() * a + alpha.operational() * o;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    Interval::new(lo, hi)
+}
+
+/// Summary statistics of a Monte-Carlo NCF experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSummary {
+    /// Sample mean of the NCF values.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, n−1).
+    pub std_dev: f64,
+    /// Minimum sampled NCF.
+    pub min: f64,
+    /// Maximum sampled NCF.
+    pub max: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Fraction of samples with NCF < 1 — the estimated probability that
+    /// design X reduces the footprint given the sampled uncertainty.
+    pub prob_reduction: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+impl fmt::Display for McSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NCF ~ {:.4} ± {:.4} (p5={:.4}, p95={:.4}), P[reduction]={:.1}% over {} samples",
+            self.mean,
+            self.std_dev,
+            self.p05,
+            self.p95,
+            self.prob_reduction * 100.0,
+            self.samples
+        )
+    }
+}
+
+/// A Monte-Carlo NCF experiment: α is drawn uniformly from an [`E2oRange`]
+/// and the embodied/operational ratios receive independent uniform
+/// multiplicative jitter of ±`ratio_uncertainty`.
+///
+/// The sampler is deterministic given the seed, so experiments are
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{DesignPoint, E2oRange, MonteCarloNcf, Scenario};
+///
+/// let x = DesignPoint::from_power_perf(0.6, 0.7, 1.0)?;
+/// let y = DesignPoint::reference();
+/// let mc = MonteCarloNcf::new(E2oRange::OPERATIONAL_DOMINATED, 0.1, 42)?;
+/// let summary = mc.run(&x, &y, Scenario::FixedWork, 10_000);
+/// assert!(summary.prob_reduction > 0.99);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MonteCarloNcf {
+    range: E2oRange,
+    ratio_uncertainty: f64,
+    seed: u64,
+}
+
+impl MonteCarloNcf {
+    /// Creates a sampler drawing α from `range` with ±`ratio_uncertainty`
+    /// multiplicative jitter on both proxy ratios.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `ratio_uncertainty` is not in `[0, 1)`.
+    pub fn new(range: E2oRange, ratio_uncertainty: f64, seed: u64) -> Result<Self> {
+        let u = ensure_finite("ratio_uncertainty", ratio_uncertainty)?;
+        if !(0.0..1.0).contains(&u) {
+            return Err(ModelError::OutOfRange {
+                parameter: "ratio_uncertainty",
+                value: u,
+                expected: "[0, 1)",
+            });
+        }
+        Ok(MonteCarloNcf {
+            range,
+            ratio_uncertainty: u,
+            seed,
+        })
+    }
+
+    /// Draws `samples` NCF values for `x` vs `y` under `scenario` and
+    /// summarizes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn run(
+        &self,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> McSummary {
+        assert!(samples > 0, "Monte-Carlo needs at least one sample");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let alpha_dist = Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
+        let jitter =
+            Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
+
+        let a_ratio = x.area() / y.area();
+        let o_ratio = scenario.operational_ratio(x, y);
+
+        let mut values: Vec<f64> = (0..samples)
+            .map(|_| {
+                let alpha = alpha_dist.sample(&mut rng);
+                let a = a_ratio * jitter.sample(&mut rng);
+                let o = o_ratio * jitter.sample(&mut rng);
+                alpha * a + (1.0 - alpha) * o
+            })
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NCF samples are finite"));
+
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let pct = |p: f64| values[((p * (n - 1) as f64).round() as usize).min(n - 1)];
+        let below = values.iter().filter(|&&v| v < 1.0).count();
+
+        McSummary {
+            mean,
+            std_dev: var.sqrt(),
+            min: values[0],
+            max: values[n - 1],
+            p05: pct(0.05),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            prob_reduction: below as f64 / n as f64,
+            samples: n,
+        }
+    }
+
+    /// Convenience: evaluates the deterministic center-point NCF alongside
+    /// the Monte-Carlo summary.
+    pub fn run_with_center(
+        &self,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> (Ncf, McSummary) {
+        let center = Ncf::evaluate(x, y, scenario, self.range.center());
+        (center, self.run(x, y, scenario, samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::E2oWeight;
+
+    #[test]
+    fn interval_construction_validates() {
+        assert!(Interval::new(1.0, 2.0).is_ok());
+        assert!(Interval::new(2.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        let p = Interval::point(3.0).unwrap();
+        assert_eq!(p.lo(), p.hi());
+        assert_eq!(p.width(), 0.0);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::new(1.0, 2.0).unwrap();
+        let b = Interval::new(3.0, 4.0).unwrap();
+        assert_eq!(a.add(b), Interval::new(4.0, 6.0).unwrap());
+        assert_eq!(a.mul(b).unwrap(), Interval::new(3.0, 8.0).unwrap());
+        let q = b.div(a).unwrap();
+        assert_eq!(q, Interval::new(1.5, 4.0).unwrap());
+        assert_eq!(a.scale(2.0).unwrap(), Interval::new(2.0, 4.0).unwrap());
+        assert!(a.scale(-1.0).is_err());
+    }
+
+    #[test]
+    fn interval_division_requires_positive() {
+        let a = Interval::new(-1.0, 2.0).unwrap();
+        let b = Interval::new(1.0, 2.0).unwrap();
+        assert!(a.div(b).is_err());
+        assert!(b.div(a).is_err());
+    }
+
+    #[test]
+    fn interval_contains_and_mid() {
+        let a = Interval::new(1.0, 3.0).unwrap();
+        assert!(a.contains(1.0));
+        assert!(a.contains(3.0));
+        assert!(!a.contains(3.0001));
+        assert_eq!(a.mid(), 2.0);
+    }
+
+    #[test]
+    fn ncf_interval_brackets_point_estimates() {
+        let x = DesignPoint::from_power_perf(0.5, 1.5, 3.0).unwrap();
+        let y = DesignPoint::reference();
+        let range = E2oRange::EMBODIED_DOMINATED;
+        let iv = ncf_interval(&x, &y, Scenario::FixedTime, range, 0.0).unwrap();
+        for alpha in range.grid(9) {
+            let v = Ncf::evaluate(&x, &y, Scenario::FixedTime, alpha).value();
+            assert!(iv.contains(v), "{v} not in {iv}");
+        }
+    }
+
+    #[test]
+    fn ncf_interval_widens_with_uncertainty() {
+        let x = DesignPoint::from_power_perf(0.5, 1.5, 3.0).unwrap();
+        let y = DesignPoint::reference();
+        let tight = ncf_interval(&x, &y, Scenario::FixedWork, E2oRange::FULL, 0.0).unwrap();
+        let wide = ncf_interval(&x, &y, Scenario::FixedWork, E2oRange::FULL, 0.2).unwrap();
+        assert!(wide.width() > tight.width());
+        assert!(wide.lo() <= tight.lo() && wide.hi() >= tight.hi());
+    }
+
+    #[test]
+    fn ncf_interval_rejects_invalid_uncertainty() {
+        let x = DesignPoint::reference();
+        assert!(ncf_interval(&x, &x, Scenario::FixedWork, E2oRange::FULL, 1.0).is_err());
+        assert!(ncf_interval(&x, &x, Scenario::FixedWork, E2oRange::FULL, -0.1).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_is_reproducible() {
+        let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 7).unwrap();
+        let a = mc.run(&x, &y, Scenario::FixedWork, 1000);
+        let b = mc.run(&x, &y, Scenario::FixedWork, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monte_carlo_stays_inside_analytic_interval() {
+        let x = DesignPoint::from_power_perf(0.7, 1.2, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        let range = E2oRange::OPERATIONAL_DOMINATED;
+        let iv = ncf_interval(&x, &y, Scenario::FixedTime, range, 0.05).unwrap();
+        let mc = MonteCarloNcf::new(range, 0.05, 99).unwrap();
+        let s = mc.run(&x, &y, Scenario::FixedTime, 5000);
+        assert!(s.min >= iv.lo() - 1e-12);
+        assert!(s.max <= iv.hi() + 1e-12);
+        assert!(iv.contains(s.mean));
+    }
+
+    #[test]
+    fn monte_carlo_percentiles_are_ordered() {
+        let x = DesignPoint::from_power_perf(1.1, 1.05, 1.0).unwrap();
+        let y = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.2, 3).unwrap();
+        let s = mc.run(&x, &y, Scenario::FixedWork, 2000);
+        assert!(s.min <= s.p05 && s.p05 <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.samples, 2000);
+    }
+
+    #[test]
+    fn prob_reduction_tracks_dominance() {
+        let y = DesignPoint::reference();
+        let better = DesignPoint::from_power_perf(0.5, 0.5, 1.2).unwrap();
+        let worse = DesignPoint::from_power_perf(2.0, 2.0, 1.0).unwrap();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 11).unwrap();
+        assert_eq!(
+            mc.run(&better, &y, Scenario::FixedWork, 2000)
+                .prob_reduction,
+            1.0
+        );
+        assert_eq!(
+            mc.run(&worse, &y, Scenario::FixedWork, 2000).prob_reduction,
+            0.0
+        );
+    }
+
+    #[test]
+    fn run_with_center_matches_plain_evaluate() {
+        let x = DesignPoint::from_power_perf(0.9, 0.8, 1.0).unwrap();
+        let y = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::EMBODIED_DOMINATED, 0.0, 5).unwrap();
+        let (center, _) = mc.run_with_center(&x, &y, Scenario::FixedWork, 10);
+        let direct = Ncf::evaluate(&x, &y, Scenario::FixedWork, E2oWeight::EMBODIED_DOMINATED);
+        assert_eq!(center.value(), direct.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let x = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.0, 1).unwrap();
+        let _ = mc.run(&x, &x, Scenario::FixedWork, 0);
+    }
+}

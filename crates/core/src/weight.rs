@@ -1,0 +1,304 @@
+//! The embodied-to-operational (E2O) weight `α_E2O` and the uncertainty
+//! ranges the paper recommends sweeping (§3.3).
+
+use crate::error::{ensure_unit_interval, ModelError, Result};
+use std::fmt;
+
+/// The embodied-to-operational weight `α_E2O` ∈ \[0, 1\] (§3.3).
+///
+/// `α = 1` means the total footprint is entirely embodied; `α = 0` means it
+/// is entirely operational. Because the true ratio is uncertain (device
+/// class, lifetime, rebound effects, energy mix), analyses should sweep a
+/// range — see [`E2oRange`].
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::E2oWeight;
+///
+/// let alpha = E2oWeight::new(0.8)?;
+/// assert_eq!(alpha.embodied(), 0.8);
+/// assert!((alpha.operational() - 0.2).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct E2oWeight(f64);
+
+impl E2oWeight {
+    /// The scenario where the embodied footprint dominates (α = 0.8), which
+    /// Gupta et al. \[20\] report for battery-operated mobile devices and
+    /// hyperscale-datacenter servers.
+    pub const EMBODIED_DOMINATED: E2oWeight = E2oWeight(0.8);
+
+    /// The scenario where the operational footprint dominates (α = 0.2),
+    /// reported for always-connected devices.
+    pub const OPERATIONAL_DOMINATED: E2oWeight = E2oWeight(0.2);
+
+    /// Equal weighting of embodied and operational footprints (α = 0.5).
+    pub const BALANCED: E2oWeight = E2oWeight(0.5);
+
+    /// Creates a weight, validating `alpha ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `alpha` lies outside `[0, 1]`
+    /// or is not finite.
+    pub fn new(alpha: f64) -> Result<Self> {
+        Ok(E2oWeight(ensure_unit_interval("alpha_e2o", alpha)?))
+    }
+
+    /// The weight given to the embodied (area) ratio.
+    #[inline]
+    pub fn embodied(self) -> f64 {
+        self.0
+    }
+
+    /// The weight given to the operational (energy or power) ratio,
+    /// `1 − α`.
+    #[inline]
+    pub fn operational(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Returns the raw α value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for E2oWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α_E2O={}", self.0)
+    }
+}
+
+impl Default for E2oWeight {
+    /// Defaults to [`E2oWeight::BALANCED`].
+    fn default() -> Self {
+        E2oWeight::BALANCED
+    }
+}
+
+impl TryFrom<f64> for E2oWeight {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        E2oWeight::new(value)
+    }
+}
+
+/// A symmetric uncertainty band `center ± half_width` for α_E2O, used to
+/// draw the paper's error bars and to test classification robustness.
+///
+/// The paper uses `0.8 ± 0.1` (embodied-dominated) and `0.2 ± 0.1`
+/// (operational-dominated).
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::E2oRange;
+///
+/// let range = E2oRange::EMBODIED_DOMINATED;
+/// assert!((range.low().get() - 0.7).abs() < 1e-12);
+/// assert_eq!(range.center().get(), 0.8);
+/// assert!((range.high().get() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E2oRange {
+    center: E2oWeight,
+    half_width: f64,
+}
+
+impl E2oRange {
+    /// `α_E2O ∈ [0.7, 0.9]`, the paper's embodied-dominated band.
+    pub const EMBODIED_DOMINATED: E2oRange = E2oRange {
+        center: E2oWeight::EMBODIED_DOMINATED,
+        half_width: 0.1,
+    };
+
+    /// `α_E2O ∈ [0.1, 0.3]`, the paper's operational-dominated band.
+    pub const OPERATIONAL_DOMINATED: E2oRange = E2oRange {
+        center: E2oWeight::OPERATIONAL_DOMINATED,
+        half_width: 0.1,
+    };
+
+    /// The full `[0, 1]` band, centered at 0.5 — useful for worst-case
+    /// robustness checks.
+    pub const FULL: E2oRange = E2oRange {
+        center: E2oWeight::BALANCED,
+        half_width: 0.5,
+    };
+
+    /// Creates a band `center ± half_width`, clamped to remain within
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `center ± half_width` would leave `[0, 1]`, if
+    /// `half_width` is negative, or if either value is not finite.
+    pub fn new(center: f64, half_width: f64) -> Result<Self> {
+        let center_w = E2oWeight::new(center)?;
+        if !half_width.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "half_width",
+                value: half_width,
+            });
+        }
+        if half_width < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "half_width",
+                value: half_width,
+                expected: "[0, +inf)",
+            });
+        }
+        if center - half_width < 0.0 || center + half_width > 1.0 {
+            return Err(ModelError::Inconsistent {
+                constraint: "alpha band center ± half_width must stay within [0, 1]",
+            });
+        }
+        Ok(E2oRange {
+            center: center_w,
+            half_width,
+        })
+    }
+
+    /// The band's lower bound.
+    pub fn low(&self) -> E2oWeight {
+        E2oWeight(self.center.0 - self.half_width)
+    }
+
+    /// The band's center.
+    pub fn center(&self) -> E2oWeight {
+        self.center
+    }
+
+    /// The band's upper bound.
+    pub fn high(&self) -> E2oWeight {
+        E2oWeight(self.center.0 + self.half_width)
+    }
+
+    /// The band's half-width.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Returns `true` if `alpha` lies inside the band (inclusive).
+    pub fn contains(&self, alpha: E2oWeight) -> bool {
+        alpha >= self.low() && alpha <= self.high()
+    }
+
+    /// Returns `n` evenly spaced weights spanning the band (inclusive of
+    /// both endpoints), for grid sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a grid needs at least both endpoints).
+    pub fn grid(&self, n: usize) -> Vec<E2oWeight> {
+        assert!(n >= 2, "an alpha grid needs at least 2 points, got {n}");
+        let lo = self.low().0;
+        let hi = self.high().0;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                E2oWeight(lo + t * (hi - lo))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for E2oRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α_E2O={}±{}", self.center.0, self.half_width)
+    }
+}
+
+impl From<E2oWeight> for E2oRange {
+    /// A single weight is a zero-width band.
+    fn from(w: E2oWeight) -> Self {
+        E2oRange {
+            center: w,
+            half_width: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_validate_domain() {
+        assert!(E2oWeight::new(0.0).is_ok());
+        assert!(E2oWeight::new(1.0).is_ok());
+        assert!(E2oWeight::new(-0.1).is_err());
+        assert!(E2oWeight::new(1.1).is_err());
+        assert!(E2oWeight::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn embodied_and_operational_sum_to_one() {
+        let a = E2oWeight::new(0.35).unwrap();
+        assert!((a.embodied() + a.operational() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_scenarios_match() {
+        assert_eq!(E2oWeight::EMBODIED_DOMINATED.get(), 0.8);
+        assert_eq!(E2oWeight::OPERATIONAL_DOMINATED.get(), 0.2);
+        assert!((E2oRange::EMBODIED_DOMINATED.low().get() - 0.7).abs() < 1e-12);
+        assert!((E2oRange::EMBODIED_DOMINATED.high().get() - 0.9).abs() < 1e-12);
+        assert!((E2oRange::OPERATIONAL_DOMINATED.low().get() - 0.1).abs() < 1e-12);
+        assert!((E2oRange::OPERATIONAL_DOMINATED.high().get() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_rejects_bands_leaving_unit_interval() {
+        assert!(E2oRange::new(0.05, 0.1).is_err());
+        assert!(E2oRange::new(0.95, 0.1).is_err());
+        assert!(E2oRange::new(0.5, -0.1).is_err());
+        assert!(E2oRange::new(0.5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn grid_spans_band_inclusively() {
+        let g = E2oRange::EMBODIED_DOMINATED.grid(5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0].get() - 0.7).abs() < 1e-12);
+        assert!((g[4].get() - 0.9).abs() < 1e-12);
+        assert!((g[2].get() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn grid_panics_for_single_point() {
+        let _ = E2oRange::FULL.grid(1);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let r = E2oRange::OPERATIONAL_DOMINATED;
+        assert!(r.contains(E2oWeight::new(0.1).unwrap()));
+        assert!(r.contains(E2oWeight::new(0.3).unwrap()));
+        assert!(!r.contains(E2oWeight::new(0.31).unwrap()));
+    }
+
+    #[test]
+    fn zero_width_band_from_weight() {
+        let r: E2oRange = E2oWeight::EMBODIED_DOMINATED.into();
+        assert_eq!(r.low(), r.high());
+        assert_eq!(r.center(), E2oWeight::EMBODIED_DOMINATED);
+    }
+
+    #[test]
+    fn default_is_balanced() {
+        assert_eq!(E2oWeight::default(), E2oWeight::BALANCED);
+    }
+
+    #[test]
+    fn try_from_roundtrip() {
+        let w = E2oWeight::try_from(0.25).unwrap();
+        assert_eq!(w.get(), 0.25);
+        assert!(E2oWeight::try_from(2.0).is_err());
+    }
+}

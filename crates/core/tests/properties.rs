@@ -1,0 +1,124 @@
+//! Property-based tests of focal-core invariants, run in-crate (the
+//! facade's `tests/` covers cross-crate properties).
+
+use focal_core::{
+    alpha_crossover, classify_over_range, deployment_adjusted_weight, lifetime_adjusted_weight,
+    AlphaCrossover, DesignPoint, E2oRange, E2oWeight, Ncf, NcfBand, Scenario,
+};
+use proptest::prelude::*;
+
+fn arb_design() -> impl Strategy<Value = DesignPoint> {
+    (0.05f64..20.0, 0.05f64..20.0, 0.05f64..20.0, 0.05f64..20.0)
+        .prop_map(|(a, p, e, s)| DesignPoint::from_raw(a, p, e, s).expect("positive axes"))
+}
+
+proptest! {
+    /// NcfBand's min/max really are the extrema over a dense α grid.
+    #[test]
+    fn band_extrema_are_tight(x in arb_design(), y in arb_design()) {
+        for range in [E2oRange::EMBODIED_DOMINATED, E2oRange::OPERATIONAL_DOMINATED, E2oRange::FULL] {
+            for scenario in Scenario::ALL {
+                let band = NcfBand::evaluate(&x, &y, scenario, range);
+                for alpha in range.grid(33) {
+                    let v = Ncf::evaluate(&x, &y, scenario, alpha).value();
+                    prop_assert!(v >= band.min() - 1e-9);
+                    prop_assert!(v <= band.max() + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The α crossover is consistent with direct evaluation: on the
+    /// winning side NCF < 1, on the losing side NCF > 1.
+    #[test]
+    fn crossover_sides_are_correct(x in arb_design(), y in arb_design()) {
+        for scenario in Scenario::ALL {
+            match alpha_crossover(&x, &y, scenario) {
+                AlphaCrossover::At { alpha, wins_below } => {
+                    let eps = 1e-6;
+                    if alpha.get() > eps {
+                        let below = Ncf::evaluate(
+                            &x, &y, scenario, E2oWeight::new(alpha.get() - eps).unwrap()
+                        ).value();
+                        prop_assert_eq!(below < 1.0, wins_below);
+                    }
+                    if alpha.get() < 1.0 - eps {
+                        let above = Ncf::evaluate(
+                            &x, &y, scenario, E2oWeight::new(alpha.get() + eps).unwrap()
+                        ).value();
+                        prop_assert_eq!(above < 1.0, !wins_below);
+                    }
+                }
+                AlphaCrossover::AlwaysBelow => {
+                    for a in [0.0, 0.5, 1.0] {
+                        let v = Ncf::evaluate(&x, &y, scenario, E2oWeight::new(a).unwrap()).value();
+                        prop_assert!(v <= 1.0 + 1e-9);
+                    }
+                }
+                AlphaCrossover::AlwaysAbove => {
+                    for a in [0.0, 0.5, 1.0] {
+                        let v = Ncf::evaluate(&x, &y, scenario, E2oWeight::new(a).unwrap()).value();
+                        prop_assert!(v >= 1.0 - 1e-9);
+                    }
+                }
+                AlphaCrossover::AlwaysOne => {
+                    let v = Ncf::evaluate(&x, &y, scenario, E2oWeight::BALANCED).value();
+                    prop_assert!((v - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Verdict flips over α happen at most twice across the full range
+    /// (NCF is affine in α per scenario, so each scenario contributes at
+    /// most one sign change).
+    #[test]
+    fn at_most_two_verdict_changes_over_alpha(x in arb_design(), y in arb_design()) {
+        let robust = classify_over_range(&x, &y, E2oRange::FULL, 201);
+        let mut changes = 0;
+        for w in robust.per_alpha.windows(2) {
+            if w[0].1 != w[1].1 {
+                changes += 1;
+            }
+        }
+        prop_assert!(changes <= 2, "saw {changes} verdict changes");
+    }
+
+    /// Rebound weight adjustments are monotone in their factor and
+    /// compose: deployment(k1) then deployment(k2) = deployment(k1·k2).
+    #[test]
+    fn weight_adjustments_compose(
+        alpha in 0.01f64..0.99,
+        k1 in 0.1f64..10.0,
+        k2 in 0.1f64..10.0,
+    ) {
+        let w = E2oWeight::new(alpha).unwrap();
+        let sequential =
+            deployment_adjusted_weight(deployment_adjusted_weight(w, k1).unwrap(), k2).unwrap();
+        let combined = deployment_adjusted_weight(w, k1 * k2).unwrap();
+        prop_assert!((sequential.get() - combined.get()).abs() < 1e-12);
+
+        // Lifetime is the inverse channel.
+        let via_lifetime = lifetime_adjusted_weight(w, 1.0 / k1).unwrap();
+        let via_deployment = deployment_adjusted_weight(w, k1).unwrap();
+        prop_assert!((via_lifetime.get() - via_deployment.get()).abs() < 1e-12);
+    }
+
+    /// Normalizing X to Y then evaluating against the unit reference gives
+    /// the same NCF as evaluating X against Y directly.
+    #[test]
+    fn normalization_commutes_with_ncf(
+        x in arb_design(),
+        y in arb_design(),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let w = E2oWeight::new(alpha).unwrap();
+        let normalized = x.normalized_to(&y).unwrap();
+        for scenario in Scenario::ALL {
+            let direct = Ncf::evaluate(&x, &y, scenario, w).value();
+            let via_norm =
+                Ncf::evaluate(&normalized, &DesignPoint::reference(), scenario, w).value();
+            prop_assert!((direct - via_norm).abs() < 1e-9 * direct.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Amdahl's and Gustafson's laws for symmetric parallel machines.
+
+use crate::fraction::ParallelFraction;
+use focal_core::{ModelError, Result};
+
+/// Amdahl's Law: the speedup of `n` equal processors on a workload whose
+/// fraction `f` parallelizes (Eq. 1 of the paper):
+///
+/// ```text
+/// S(f, n) = 1 / ((1 − f) + f/n)
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{amdahl_speedup, ParallelFraction};
+///
+/// let f = ParallelFraction::new(0.95)?;
+/// let s = amdahl_speedup(f, 32)?;
+/// assert!((s - 12.55).abs() < 0.01);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn amdahl_speedup(f: ParallelFraction, n: u32) -> Result<f64> {
+    if n == 0 {
+        return Err(ModelError::OutOfRange {
+            parameter: "processor count n",
+            value: 0.0,
+            expected: "[1, +inf)",
+        });
+    }
+    Ok(1.0 / (f.serial() + f.parallel() / n as f64))
+}
+
+/// The asymptotic Amdahl speedup limit `1/(1 − f)` as `n → ∞`.
+///
+/// For `f = 1` the limit is unbounded and `+inf` is returned.
+pub fn amdahl_limit(f: ParallelFraction) -> f64 {
+    if f.serial() == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / f.serial()
+    }
+}
+
+/// Gustafson's Law (scaled speedup): if the *parallel part of the work*
+/// grows with the machine so that a fraction `f` of the *scaled* execution
+/// time is parallel,
+///
+/// ```text
+/// S(f, n) = (1 − f) + f·n
+/// ```
+///
+/// This is the natural performance law for the fixed-time scenario, where
+/// extra capacity is filled with extra work; it is provided as an extension
+/// for weak-scaling studies.
+///
+/// # Errors
+///
+/// Returns an error if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{gustafson_speedup, ParallelFraction};
+///
+/// let f = ParallelFraction::new(0.95)?;
+/// assert!((gustafson_speedup(f, 32)? - 30.45).abs() < 0.01);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn gustafson_speedup(f: ParallelFraction, n: u32) -> Result<f64> {
+    if n == 0 {
+        return Err(ModelError::OutOfRange {
+            parameter: "processor count n",
+            value: 0.0,
+            expected: "[1, +inf)",
+        });
+    }
+    Ok(f.serial() + f.parallel() * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_processor_gives_unit_speedup() {
+        for v in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(amdahl_speedup(f(v), 1).unwrap(), 1.0);
+            assert_eq!(gustafson_speedup(f(v), 1).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn fully_serial_never_speeds_up() {
+        assert_eq!(amdahl_speedup(f(0.0), 1024).unwrap(), 1.0);
+        assert_eq!(gustafson_speedup(f(0.0), 1024).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fully_parallel_is_linear() {
+        assert_eq!(amdahl_speedup(f(1.0), 64).unwrap(), 64.0);
+        assert_eq!(gustafson_speedup(f(1.0), 64).unwrap(), 64.0);
+    }
+
+    #[test]
+    fn amdahl_hand_checked_values() {
+        // f = 0.5, n = 2: 1 / (0.5 + 0.25) = 4/3.
+        assert!((amdahl_speedup(f(0.5), 2).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        // f = 0.95, n = 32: 1 / (0.05 + 0.95/32) ≈ 12.549.
+        assert!((amdahl_speedup(f(0.95), 32).unwrap() - 12.549).abs() < 0.001);
+    }
+
+    #[test]
+    fn amdahl_monotone_in_n_and_bounded_by_limit() {
+        let fr = f(0.9);
+        let mut prev = 0.0;
+        for n in [1u32, 2, 4, 8, 16, 32, 1024] {
+            let s = amdahl_speedup(fr, n).unwrap();
+            assert!(s > prev);
+            assert!(s < amdahl_limit(fr) + 1e-12);
+            prev = s;
+        }
+        assert!((amdahl_limit(fr) - 10.0).abs() < 1e-9);
+        assert_eq!(amdahl_limit(f(1.0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_multi_core() {
+        let fr = f(0.8);
+        for n in [2u32, 8, 32] {
+            assert!(gustafson_speedup(fr, n).unwrap() > amdahl_speedup(fr, n).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        assert!(amdahl_speedup(f(0.5), 0).is_err());
+        assert!(gustafson_speedup(f(0.5), 0).is_err());
+    }
+}

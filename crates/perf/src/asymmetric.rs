@@ -1,0 +1,291 @@
+//! Asymmetric (heterogeneous) multicore model: Hill–Marty speedup (Eq. 4)
+//! with the Woo–Lee power and energy extensions (Eqs. 5–6 of the paper).
+
+use crate::fraction::{LeakageFraction, ParallelFraction};
+use crate::pollack::PollackRule;
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// An asymmetric multicore of `total_bce` BCEs: one big core of
+/// `big_core_bce` BCEs plus `total_bce − big_core_bce` one-BCE small cores.
+///
+/// ## Model (paper §5.2)
+///
+/// With `N = total_bce`, `M = big_core_bce`, big-core performance `√M`
+/// (Pollack), serial execution on the big core and parallel execution on
+/// the small cores (big core idle):
+///
+/// ```text
+/// S = 1 / ((1 − f)/√M + f/(N − M))                                   (Eq. 4)
+/// P = [ (1−f)/√M · (M + (N−M)γ) + f/(N−M) · (Mγ + (N−M)) ] / T       (Eq. 5)
+/// E = (1−f)/√M · (M + (N−M)γ) + f/(N−M) · (Mγ + (N−M))               (Eq. 6)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{AsymmetricMulticore, LeakageFraction, ParallelFraction, PollackRule};
+///
+/// // Figure 4: one 4-BCE big core + 28 small cores.
+/// let chip = AsymmetricMulticore::new(32.0, 4.0)?;
+/// let f = ParallelFraction::new(0.8)?;
+/// let s = chip.speedup(f, PollackRule::CLASSIC);
+/// assert!((s - 1.0 / (0.2 / 2.0 + 0.8 / 28.0)).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymmetricMulticore {
+    total_bce: f64,
+    big_core_bce: f64,
+}
+
+impl AsymmetricMulticore {
+    /// Creates an asymmetric multicore of `total_bce` BCEs with one
+    /// `big_core_bce`-BCE big core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `1 ≤ big_core_bce < total_bce` (there must
+    /// be at least one small core) and both values are finite.
+    pub fn new(total_bce: f64, big_core_bce: f64) -> Result<Self> {
+        for (name, v) in [("total BCE", total_bce), ("big-core BCE", big_core_bce)] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        if big_core_bce < 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "big-core BCE",
+                value: big_core_bce,
+                expected: "[1, total_bce)",
+            });
+        }
+        if big_core_bce >= total_bce {
+            return Err(ModelError::Inconsistent {
+                constraint: "the big core must leave room for at least one small core (M < N)",
+            });
+        }
+        Ok(AsymmetricMulticore {
+            total_bce,
+            big_core_bce,
+        })
+    }
+
+    /// The paper's Figure 4 configuration: a 4-BCE big core within
+    /// `total_bce` BCEs.
+    ///
+    /// # Errors
+    ///
+    /// See [`AsymmetricMulticore::new`].
+    pub fn figure4(total_bce: f64) -> Result<Self> {
+        AsymmetricMulticore::new(total_bce, 4.0)
+    }
+
+    /// Total chip area in BCEs, `N`.
+    #[inline]
+    pub fn total_bce(&self) -> f64 {
+        self.total_bce
+    }
+
+    /// The big core's size in BCEs, `M`.
+    #[inline]
+    pub fn big_core_bce(&self) -> f64 {
+        self.big_core_bce
+    }
+
+    /// The number of one-BCE small cores, `N − M`.
+    #[inline]
+    pub fn small_cores(&self) -> f64 {
+        self.total_bce - self.big_core_bce
+    }
+
+    /// Normalized execution time `(1 − f)/perf_big + f/(N − M)`.
+    pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        let perf_big = pollack
+            .core_performance(self.big_core_bce)
+            .expect("validated big core");
+        f.serial() / perf_big + f.parallel() / self.small_cores()
+    }
+
+    /// Speedup over a one-BCE single-core processor (Eq. 4).
+    pub fn speedup(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        1.0 / self.execution_time(f, pollack)
+    }
+
+    /// Energy for one unit of work (Eq. 6): serial-phase energy plus
+    /// parallel-phase energy.
+    pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        let m = self.big_core_bce;
+        let small = self.small_cores();
+        let perf_big = pollack.core_performance(m).expect("validated big core");
+        let serial_power = m + small * gamma.get();
+        let parallel_power = m * gamma.get() + small;
+        f.serial() / perf_big * serial_power + f.parallel() / small * parallel_power
+    }
+
+    /// Average power (Eq. 5): energy divided by execution time.
+    pub fn power(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        self.energy(f, gamma, pollack) / self.execution_time(f, pollack)
+    }
+
+    /// Bundles area, power, energy and performance into a FOCAL
+    /// [`DesignPoint`] normalized to a one-BCE single-core processor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated configurations; the `Result` guards the
+    /// `DesignPoint` constructor invariants.
+    pub fn design_point(
+        &self,
+        f: ParallelFraction,
+        gamma: LeakageFraction,
+        pollack: PollackRule,
+    ) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            self.total_bce,
+            self.power(f, gamma, pollack),
+            self.energy(f, gamma, pollack),
+            self.speedup(f, pollack),
+        )
+    }
+}
+
+impl fmt::Display for AsymmetricMulticore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1x{}-BCE big + {}x1-BCE small ({} BCEs)",
+            self.big_core_bce,
+            self.small_cores(),
+            self.total_bce
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLLACK: PollackRule = PollackRule::CLASSIC;
+    const GAMMA: LeakageFraction = LeakageFraction::PAPER;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(AsymmetricMulticore::new(32.0, 4.0).is_ok());
+        assert!(AsymmetricMulticore::new(4.0, 4.0).is_err()); // M = N
+        assert!(AsymmetricMulticore::new(4.0, 8.0).is_err()); // M > N
+        assert!(AsymmetricMulticore::new(8.0, 0.5).is_err()); // M < 1
+        assert!(AsymmetricMulticore::new(f64::NAN, 4.0).is_err());
+    }
+
+    #[test]
+    fn eq4_speedup_hand_checked() {
+        // N = 16, M = 4, f = 0.5: S = 1/(0.5/2 + 0.5/12) = 1/(0.25 + 0.041̄6)
+        let chip = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        let expected = 1.0 / (0.25 + 0.5 / 12.0);
+        assert!((chip.speedup(f(0.5), POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq6_energy_hand_checked() {
+        // N = 16, M = 4, f = 0.8, γ = 0.2:
+        // E = 0.2/2·(4 + 12·0.2) + 0.8/12·(4·0.2 + 12)
+        let chip = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        let expected = 0.1 * (4.0 + 2.4) + (0.8 / 12.0) * (0.8 + 12.0);
+        assert!((chip.energy(f(0.8), GAMMA, POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_power_is_energy_over_time() {
+        let chip = AsymmetricMulticore::new(32.0, 4.0).unwrap();
+        let fr = f(0.8);
+        let p = chip.power(fr, GAMMA, POLLACK);
+        let e = chip.energy(fr, GAMMA, POLLACK);
+        let t = chip.execution_time(fr, POLLACK);
+        assert!((p - e / t).abs() < 1e-12);
+        // And E = P/S.
+        assert!((e - p / chip.speedup(fr, POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure4_configurations() {
+        for n in [8.0, 16.0, 32.0] {
+            let chip = AsymmetricMulticore::figure4(n).unwrap();
+            assert_eq!(chip.big_core_bce(), 4.0);
+            assert_eq!(chip.small_cores(), n - 4.0);
+            assert_eq!(chip.total_bce(), n);
+        }
+    }
+
+    /// The paper's Finding #5 setup: asymmetric helps modestly-parallel
+    /// software. At f = 0.8 the 16-BCE asymmetric chip outperforms a
+    /// 16-BCE symmetric chip.
+    #[test]
+    fn asymmetric_wins_at_modest_parallelism() {
+        use crate::symmetric::SymmetricMulticore;
+        let asym = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        let sym = SymmetricMulticore::unit_cores(16).unwrap();
+        let fr = f(0.8);
+        assert!(asym.speedup(fr, POLLACK) > sym.speedup(fr, POLLACK));
+    }
+
+    /// The paper's Finding #5 flip side: at f = 0.95 a *half-size*
+    /// asymmetric chip (16 BCEs) degrades performance by ≈ 23.5 % versus a
+    /// 32-BCE symmetric chip; and at f = 1 a same-size symmetric chip wins
+    /// because the big core's 4 BCEs only contribute Mγ idle leakage.
+    #[test]
+    fn high_parallelism_favors_symmetric_throughput() {
+        use crate::symmetric::SymmetricMulticore;
+        let asym16 = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        let sym32 = SymmetricMulticore::unit_cores(32).unwrap();
+        let fr = f(0.95);
+        let ratio = asym16.speedup(fr, POLLACK) / sym32.speedup(fr, POLLACK);
+        assert!((ratio - 0.765).abs() < 0.005, "got {ratio}");
+
+        let asym32 = AsymmetricMulticore::new(32.0, 4.0).unwrap();
+        assert!(sym32.speedup(f(1.0), POLLACK) > asym32.speedup(f(1.0), POLLACK));
+    }
+
+    #[test]
+    fn fully_serial_runs_on_big_core() {
+        let chip = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        // S = √M = 2 for f = 0.
+        assert!((chip.speedup(f(0.0), POLLACK) - 2.0).abs() < 1e-12);
+        // P = M + (N−M)γ.
+        let expected_power = 4.0 + 12.0 * 0.2;
+        assert!((chip.power(f(0.0), GAMMA, POLLACK) - expected_power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_parallel_runs_on_small_cores() {
+        let chip = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        // S = N − M = 12 for f = 1.
+        assert!((chip.speedup(f(1.0), POLLACK) - 12.0).abs() < 1e-12);
+        // P = Mγ + (N−M).
+        let expected_power = 0.8 + 12.0;
+        assert!((chip.power(f(1.0), GAMMA, POLLACK) - expected_power).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_point_matches_scalar_queries() {
+        let chip = AsymmetricMulticore::new(32.0, 4.0).unwrap();
+        let fr = f(0.8);
+        let dp = chip.design_point(fr, GAMMA, POLLACK).unwrap();
+        assert_eq!(dp.area().get(), 32.0);
+        assert!((dp.performance().get() - chip.speedup(fr, POLLACK)).abs() < 1e-12);
+        assert!((dp.energy().get() - chip.energy(fr, GAMMA, POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let chip = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        assert_eq!(chip.to_string(), "1x4-BCE big + 12x1-BCE small (16 BCEs)");
+    }
+}

@@ -1,0 +1,325 @@
+//! Generalized heterogeneous multicore: arbitrary clusters of cores, a
+//! strict superset of the paper's 1-big-plus-smalls topology.
+//!
+//! Real products mix more than two core types (e.g. Apple/Qualcomm
+//! prime + performance + efficiency clusters). This module extends the
+//! Hill–Marty/Woo–Lee machinery to any cluster list, with the paper's
+//! scheduling convention: serial phases run on the *fastest* core while
+//! everything else idles at γ leakage; parallel phases run on *all*
+//! cores, work divided in proportion to per-core performance.
+
+use crate::fraction::{LeakageFraction, ParallelFraction};
+use crate::pollack::PollackRule;
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// A homogeneous cluster: `count` cores of `bce_per_core` BCEs each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cluster {
+    /// Number of cores in the cluster.
+    pub count: u32,
+    /// Size of each core in BCEs.
+    pub bce_per_core: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `count == 0` or `bce_per_core` is not strictly
+    /// positive and finite.
+    pub fn new(count: u32, bce_per_core: f64) -> Result<Self> {
+        if count == 0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "cluster core count",
+                value: 0.0,
+                expected: "[1, +inf)",
+            });
+        }
+        if !bce_per_core.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "cluster BCEs per core",
+                value: bce_per_core,
+            });
+        }
+        if bce_per_core <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "cluster BCEs per core",
+                value: bce_per_core,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(Cluster {
+            count,
+            bce_per_core,
+        })
+    }
+
+    fn total_bce(&self) -> f64 {
+        self.count as f64 * self.bce_per_core
+    }
+}
+
+/// A heterogeneous multicore composed of one or more clusters.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{
+///     Cluster, ClusteredMulticore, LeakageFraction, ParallelFraction, PollackRule,
+/// };
+///
+/// // A phone-style chip: 1 prime (4 BCE) + 3 performance (2 BCE) + 4
+/// // efficiency (1 BCE) cores.
+/// let chip = ClusteredMulticore::new(vec![
+///     Cluster::new(1, 4.0)?,
+///     Cluster::new(3, 2.0)?,
+///     Cluster::new(4, 1.0)?,
+/// ])?;
+/// assert_eq!(chip.total_bce(), 14.0);
+/// let f = ParallelFraction::new(0.8)?;
+/// let s = chip.speedup(f, PollackRule::CLASSIC);
+/// assert!(s > 1.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteredMulticore {
+    clusters: Vec<Cluster>,
+}
+
+impl ClusteredMulticore {
+    /// Creates a chip from its clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `clusters` is empty.
+    pub fn new(clusters: Vec<Cluster>) -> Result<Self> {
+        if clusters.is_empty() {
+            return Err(ModelError::Inconsistent {
+                constraint: "a multicore needs at least one cluster",
+            });
+        }
+        Ok(ClusteredMulticore { clusters })
+    }
+
+    /// The paper's asymmetric topology as a two-cluster chip: one big core
+    /// of `big_bce` plus `small_count` one-BCE cores.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::new`].
+    pub fn big_little(big_bce: f64, small_count: u32) -> Result<Self> {
+        ClusteredMulticore::new(vec![
+            Cluster::new(1, big_bce)?,
+            Cluster::new(small_count, 1.0)?,
+        ])
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Total chip area in BCEs.
+    pub fn total_bce(&self) -> f64 {
+        self.clusters.iter().map(Cluster::total_bce).sum()
+    }
+
+    /// Performance of the fastest single core (used for serial phases).
+    pub fn serial_performance(&self, pollack: PollackRule) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| {
+                pollack
+                    .core_performance(c.bce_per_core)
+                    .expect("validated cluster")
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate parallel throughput: the sum of every core's
+    /// performance (perfectly divisible parallel work).
+    pub fn parallel_throughput(&self, pollack: PollackRule) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| {
+                c.count as f64
+                    * pollack
+                        .core_performance(c.bce_per_core)
+                        .expect("validated cluster")
+            })
+            .sum()
+    }
+
+    /// Normalized execution time
+    /// `(1 − f)/serial_perf + f/parallel_throughput`.
+    pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        f.serial() / self.serial_performance(pollack)
+            + f.parallel() / self.parallel_throughput(pollack)
+    }
+
+    /// Speedup over a one-BCE single core.
+    pub fn speedup(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        1.0 / self.execution_time(f, pollack)
+    }
+
+    /// Energy for one unit of work: serial phase burns the fast core at
+    /// full power (its BCE count) with everything else leaking; parallel
+    /// phase burns all cores at full power.
+    pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        let serial_perf = self.serial_performance(pollack);
+        // The serial host is (a biggest-core) cluster member.
+        let host_bce = self
+            .clusters
+            .iter()
+            .map(|c| c.bce_per_core)
+            .fold(0.0, f64::max);
+        let total = self.total_bce();
+        let serial_power = host_bce + (total - host_bce) * gamma.get();
+        let parallel_power = total;
+        f.serial() / serial_perf * serial_power
+            + f.parallel() / self.parallel_throughput(pollack) * parallel_power
+    }
+
+    /// Average power, `energy / time`.
+    pub fn power(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        self.energy(f, gamma, pollack) / self.execution_time(f, pollack)
+    }
+
+    /// The FOCAL design point, normalized to a one-BCE single core.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated chips; guards the `DesignPoint`
+    /// invariants.
+    pub fn design_point(
+        &self,
+        f: ParallelFraction,
+        gamma: LeakageFraction,
+        pollack: PollackRule,
+    ) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            self.total_bce(),
+            self.power(f, gamma, pollack),
+            self.energy(f, gamma, pollack),
+            self.speedup(f, pollack),
+        )
+    }
+}
+
+impl fmt::Display for ClusteredMulticore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .clusters
+            .iter()
+            .map(|c| format!("{}x{}-BCE", c.count, c.bce_per_core))
+            .collect();
+        write!(
+            f,
+            "clustered[{}] ({} BCEs)",
+            parts.join(" + "),
+            self.total_bce()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymmetric::AsymmetricMulticore;
+    use crate::symmetric::SymmetricMulticore;
+
+    const POLLACK: PollackRule = PollackRule::CLASSIC;
+    const GAMMA: LeakageFraction = LeakageFraction::PAPER;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ClusteredMulticore::new(vec![]).is_err());
+        assert!(Cluster::new(0, 1.0).is_err());
+        assert!(Cluster::new(1, 0.0).is_err());
+        assert!(Cluster::new(1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn single_cluster_reduces_to_symmetric() {
+        let clustered = ClusteredMulticore::new(vec![Cluster::new(8, 1.0).unwrap()]).unwrap();
+        let symmetric = SymmetricMulticore::unit_cores(8).unwrap();
+        for fv in [0.0, 0.5, 0.95, 1.0] {
+            let fr = f(fv);
+            assert!(
+                (clustered.speedup(fr, POLLACK) - symmetric.speedup(fr, POLLACK)).abs() < 1e-12,
+                "f={fv}"
+            );
+            assert!(
+                (clustered.energy(fr, GAMMA, POLLACK) - symmetric.energy(fr, GAMMA, POLLACK)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    /// The paper's asymmetric chip lets the big core *join* the parallel
+    /// phase in Hill–Marty's original formulation but the Woo–Lee §5.2
+    /// variant idles it; the cluster model keeps all cores busy in
+    /// parallel phases, so its speedup upper-bounds the Woo–Lee variant.
+    #[test]
+    fn big_little_bounds_woo_lee_asymmetric() {
+        let clustered = ClusteredMulticore::big_little(4.0, 12).unwrap();
+        let asym = AsymmetricMulticore::new(16.0, 4.0).unwrap();
+        for fv in [0.3, 0.5, 0.8, 0.95] {
+            let fr = f(fv);
+            assert!(
+                clustered.speedup(fr, POLLACK) >= asym.speedup(fr, POLLACK) - 1e-12,
+                "f={fv}"
+            );
+        }
+        // Serial phases are identical: the big core hosts both.
+        assert!((clustered.speedup(f(0.0), POLLACK) - asym.speedup(f(0.0), POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_cluster_phone_chip_is_consistent() {
+        let chip = ClusteredMulticore::new(vec![
+            Cluster::new(1, 4.0).unwrap(),
+            Cluster::new(3, 2.0).unwrap(),
+            Cluster::new(4, 1.0).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(chip.total_bce(), 14.0);
+        assert_eq!(chip.serial_performance(POLLACK), 2.0);
+        let expected_throughput = 2.0 + 3.0 * 2.0_f64.sqrt() + 4.0;
+        assert!((chip.parallel_throughput(POLLACK) - expected_throughput).abs() < 1e-12);
+        // Energy identity.
+        let fr = f(0.8);
+        let e = chip.energy(fr, GAMMA, POLLACK);
+        let p = chip.power(fr, GAMMA, POLLACK);
+        let s = chip.speedup(fr, POLLACK);
+        assert!((e - p / s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_point_round_trip() {
+        let chip = ClusteredMulticore::big_little(4.0, 4).unwrap();
+        let fr = f(0.5);
+        let dp = chip.design_point(fr, GAMMA, POLLACK).unwrap();
+        assert_eq!(dp.area().get(), 8.0);
+        assert!((dp.performance().get() - chip.speedup(fr, POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_serial_power_is_host_plus_leakage() {
+        let chip = ClusteredMulticore::big_little(4.0, 12).unwrap();
+        let expected = 4.0 + 12.0 * 0.2;
+        assert!((chip.power(f(0.0), GAMMA, POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_clusters() {
+        let chip = ClusteredMulticore::big_little(4.0, 4).unwrap();
+        assert_eq!(chip.to_string(), "clustered[1x4-BCE + 4x1-BCE] (8 BCEs)");
+    }
+}

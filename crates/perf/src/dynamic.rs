@@ -1,0 +1,205 @@
+//! Dynamic (fused/composable) multicore model — the third Hill–Marty
+//! topology \[23\], provided as an extension beyond the paper's Figures 3–4.
+//!
+//! A dynamic multicore can fuse all `N` BCEs into one big core of
+//! performance `N^e` for serial phases and split them into `N` one-BCE
+//! cores for parallel phases. It upper-bounds both the symmetric and the
+//! asymmetric topologies in performance; its sustainability depends on the
+//! power cost of the fused mode.
+
+use crate::fraction::{LeakageFraction, ParallelFraction};
+use crate::pollack::PollackRule;
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// A dynamic multicore of `total_bce` BCEs (Hill–Marty "dynamic" topology).
+///
+/// ## Power model
+///
+/// The paper does not evaluate dynamic multicores; we extend Woo–Lee
+/// consistently with the symmetric/asymmetric conventions: in fused mode
+/// the whole chip is active and consumes `N` power units (power scales with
+/// active resources, no idle silicon); in split mode all `N` cores are
+/// active and also consume `N` units. Leakage only matters when silicon
+/// idles, which never happens here, so `γ` does not appear — the price of
+/// dynamism is paid in area/complexity, which FOCAL captures via the
+/// embodied proxy.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{DynamicMulticore, ParallelFraction, PollackRule};
+///
+/// let chip = DynamicMulticore::new(16.0)?;
+/// let f = ParallelFraction::new(0.5)?;
+/// // S = 1/(0.5/4 + 0.5/16) = 1/0.15625 = 6.4
+/// assert!((chip.speedup(f, PollackRule::CLASSIC) - 6.4).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicMulticore {
+    total_bce: f64,
+}
+
+impl DynamicMulticore {
+    /// Creates a dynamic multicore of `total_bce` BCEs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `total_bce < 1` or is not finite.
+    pub fn new(total_bce: f64) -> Result<Self> {
+        if !total_bce.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "total BCE",
+                value: total_bce,
+            });
+        }
+        if total_bce < 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "total BCE",
+                value: total_bce,
+                expected: "[1, +inf)",
+            });
+        }
+        Ok(DynamicMulticore { total_bce })
+    }
+
+    /// Total chip area in BCEs, `N`.
+    #[inline]
+    pub fn total_bce(&self) -> f64 {
+        self.total_bce
+    }
+
+    /// Normalized execution time `(1 − f)/N^e + f/N`.
+    pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        let fused_perf = pollack
+            .core_performance(self.total_bce)
+            .expect("validated total_bce");
+        f.serial() / fused_perf + f.parallel() / self.total_bce
+    }
+
+    /// Hill–Marty dynamic speedup `1/((1 − f)/N^e + f/N)`.
+    pub fn speedup(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        1.0 / self.execution_time(f, pollack)
+    }
+
+    /// Average power: `N` units in both phases (see the type-level model
+    /// notes), so exactly `N` regardless of `f`.
+    pub fn power(&self, _f: ParallelFraction, _gamma: LeakageFraction) -> f64 {
+        self.total_bce
+    }
+
+    /// Energy for one unit of work, `E = P/S`.
+    pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        self.power(f, gamma) / self.speedup(f, pollack)
+    }
+
+    /// Bundles the chip's quantities into a FOCAL [`DesignPoint`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated configurations; the `Result` guards the
+    /// `DesignPoint` constructor invariants.
+    pub fn design_point(
+        &self,
+        f: ParallelFraction,
+        gamma: LeakageFraction,
+        pollack: PollackRule,
+    ) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            self.total_bce,
+            self.power(f, gamma),
+            self.energy(f, gamma, pollack),
+            self.speedup(f, pollack),
+        )
+    }
+}
+
+impl fmt::Display for DynamicMulticore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dynamic multicore ({} BCEs)", self.total_bce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asymmetric::AsymmetricMulticore;
+    use crate::symmetric::SymmetricMulticore;
+
+    const POLLACK: PollackRule = PollackRule::CLASSIC;
+    const GAMMA: LeakageFraction = LeakageFraction::PAPER;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DynamicMulticore::new(1.0).is_ok());
+        assert!(DynamicMulticore::new(0.5).is_err());
+        assert!(DynamicMulticore::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn speedup_hand_checked() {
+        let chip = DynamicMulticore::new(64.0).unwrap();
+        let expected = 1.0 / (0.1 / 8.0 + 0.9 / 64.0);
+        assert!((chip.speedup(f(0.9), POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominates_symmetric_and_asymmetric_in_performance() {
+        let n = 32.0;
+        let dynamic = DynamicMulticore::new(n).unwrap();
+        let symmetric = SymmetricMulticore::unit_cores(32).unwrap();
+        let asymmetric = AsymmetricMulticore::new(n, 4.0).unwrap();
+        for fv in [0.3, 0.5, 0.8, 0.95] {
+            let fr = f(fv);
+            let s_dyn = dynamic.speedup(fr, POLLACK);
+            assert!(s_dyn >= symmetric.speedup(fr, POLLACK) - 1e-12, "f={fv}");
+            assert!(s_dyn >= asymmetric.speedup(fr, POLLACK) - 1e-12, "f={fv}");
+        }
+    }
+
+    #[test]
+    fn power_is_constant_n() {
+        let chip = DynamicMulticore::new(16.0).unwrap();
+        for fv in [0.0, 0.5, 1.0] {
+            assert_eq!(chip.power(f(fv), GAMMA), 16.0);
+        }
+    }
+
+    #[test]
+    fn energy_shrinks_with_parallelism() {
+        let chip = DynamicMulticore::new(16.0).unwrap();
+        let e_serial = chip.energy(f(0.1), GAMMA, POLLACK);
+        let e_parallel = chip.energy(f(0.95), GAMMA, POLLACK);
+        assert!(e_parallel < e_serial);
+    }
+
+    #[test]
+    fn fully_parallel_energy_is_one() {
+        // All N cores busy on useful work: E = N/N = 1.
+        let chip = DynamicMulticore::new(16.0).unwrap();
+        assert!((chip.energy(f(1.0), GAMMA, POLLACK) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_point_round_trip() {
+        let chip = DynamicMulticore::new(8.0).unwrap();
+        let fr = f(0.8);
+        let dp = chip.design_point(fr, GAMMA, POLLACK).unwrap();
+        assert_eq!(dp.area().get(), 8.0);
+        assert_eq!(dp.power().get(), 8.0);
+        assert!((dp.performance().get() - chip.speedup(fr, POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names_topology() {
+        assert!(DynamicMulticore::new(8.0)
+            .unwrap()
+            .to_string()
+            .contains("dynamic"));
+    }
+}

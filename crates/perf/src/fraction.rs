@@ -1,0 +1,195 @@
+//! Validated model fractions: the parallel fraction `f` and the per-core
+//! idle-leakage fraction `γ`.
+
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// The fraction `f ∈ [0, 1]` of sequential execution time that can be
+/// parallelized (Amdahl's Law).
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::ParallelFraction;
+///
+/// let f = ParallelFraction::new(0.95)?;
+/// assert_eq!(f.parallel(), 0.95);
+/// assert!((f.serial() - 0.05).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ParallelFraction(f64);
+
+impl ParallelFraction {
+    /// Creates a parallel fraction, validating `f ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `f` lies outside `[0, 1]`.
+    pub fn new(f: f64) -> Result<Self> {
+        if !f.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "parallel fraction f",
+                value: f,
+            });
+        }
+        if !(0.0..=1.0).contains(&f) {
+            return Err(ModelError::OutOfRange {
+                parameter: "parallel fraction f",
+                value: f,
+                expected: "[0, 1]",
+            });
+        }
+        Ok(ParallelFraction(f))
+    }
+
+    /// The parallelizable fraction `f`.
+    #[inline]
+    pub fn parallel(self) -> f64 {
+        self.0
+    }
+
+    /// The serial fraction `1 − f`.
+    #[inline]
+    pub fn serial(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// The values the paper sweeps in Figures 3 and 4.
+    pub fn paper_sweep() -> Vec<ParallelFraction> {
+        [0.5, 0.7, 0.8, 0.9, 0.95]
+            .into_iter()
+            .map(ParallelFraction)
+            .collect()
+    }
+}
+
+impl fmt::Display for ParallelFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for ParallelFraction {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        ParallelFraction::new(value)
+    }
+}
+
+/// The leakage power `γ ∈ [0, 1)` an idle core consumes, as a fraction of
+/// its active power (Woo & Lee \[50\]). The paper uses `γ = 0.2`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::LeakageFraction;
+///
+/// let gamma = LeakageFraction::PAPER; // 0.2
+/// assert_eq!(gamma.get(), 0.2);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LeakageFraction(f64);
+
+impl LeakageFraction {
+    /// The paper's value, `γ = 0.2`.
+    pub const PAPER: LeakageFraction = LeakageFraction(0.2);
+
+    /// An ideal power-gated core, `γ = 0`.
+    pub const NONE: LeakageFraction = LeakageFraction(0.0);
+
+    /// Creates a leakage fraction, validating `γ ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `γ` lies outside `[0, 1)`
+    /// (an idle core leaking its full active power would make idling
+    /// meaningless).
+    pub fn new(gamma: f64) -> Result<Self> {
+        if !gamma.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "leakage fraction gamma",
+                value: gamma,
+            });
+        }
+        if !(0.0..1.0).contains(&gamma) {
+            return Err(ModelError::OutOfRange {
+                parameter: "leakage fraction gamma",
+                value: gamma,
+                expected: "[0, 1)",
+            });
+        }
+        Ok(LeakageFraction(gamma))
+    }
+
+    /// The leakage fraction γ.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for LeakageFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "γ={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for LeakageFraction {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self> {
+        LeakageFraction::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_fraction_validates() {
+        assert!(ParallelFraction::new(0.0).is_ok());
+        assert!(ParallelFraction::new(1.0).is_ok());
+        assert!(ParallelFraction::new(-0.01).is_err());
+        assert!(ParallelFraction::new(1.01).is_err());
+        assert!(ParallelFraction::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn serial_complements_parallel() {
+        let f = ParallelFraction::new(0.8).unwrap();
+        assert!((f.parallel() + f.serial() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_sweep_matches_figures() {
+        let sweep = ParallelFraction::paper_sweep();
+        let vals: Vec<f64> = sweep.iter().map(|f| f.parallel()).collect();
+        assert_eq!(vals, vec![0.5, 0.7, 0.8, 0.9, 0.95]);
+    }
+
+    #[test]
+    fn leakage_validates() {
+        assert!(LeakageFraction::new(0.0).is_ok());
+        assert!(LeakageFraction::new(0.999).is_ok());
+        assert!(LeakageFraction::new(1.0).is_err());
+        assert!(LeakageFraction::new(-0.1).is_err());
+        assert_eq!(LeakageFraction::PAPER.get(), 0.2);
+        assert_eq!(LeakageFraction::NONE.get(), 0.0);
+    }
+
+    #[test]
+    fn try_from_works() {
+        assert!(ParallelFraction::try_from(0.5).is_ok());
+        assert!(LeakageFraction::try_from(1.5).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ParallelFraction::new(0.9).unwrap().to_string(), "f=0.9");
+        assert_eq!(LeakageFraction::PAPER.to_string(), "γ=0.2");
+    }
+}

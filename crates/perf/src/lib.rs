@@ -1,0 +1,55 @@
+//! # focal-perf — analytical multicore performance and power models
+//!
+//! The first-order performance/power substrate the FOCAL studies run on:
+//!
+//! * [`amdahl_speedup`] / [`gustafson_speedup`] — the classical laws.
+//! * [`PollackRule`] — single-core performance vs. core resources.
+//! * [`SymmetricMulticore`] — Hill–Marty symmetric speedup with Woo–Lee
+//!   power/energy (paper Eqs. 1–3, Figure 3).
+//! * [`AsymmetricMulticore`] — heterogeneous big+small chips (Eqs. 4–6,
+//!   Figure 4).
+//! * [`DynamicMulticore`] — the fused Hill–Marty topology (extension).
+//!
+//! All quantities are normalized to a one-BCE single-core processor, which
+//! is FOCAL's reference design: area in base-core equivalents (BCEs), power
+//! in units of one active base core, performance as speedup.
+//!
+//! ## Example
+//!
+//! ```
+//! use focal_core::{E2oWeight, NcfPair};
+//! use focal_perf::{
+//!     LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore,
+//! };
+//!
+//! // Finding #1: a 32-BCE multicore vs. a 32-BCE big single core.
+//! let f = ParallelFraction::new(0.95)?;
+//! let multicore = SymmetricMulticore::unit_cores(32)?
+//!     .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)?;
+//! let big_core = SymmetricMulticore::big_core(32.0)?
+//!     .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)?;
+//!
+//! let ncf = NcfPair::evaluate(&multicore, &big_core, E2oWeight::OPERATIONAL_DOMINATED);
+//! assert!(ncf.fixed_work.value() < 1.0);
+//! assert!(ncf.fixed_time.value() < 1.0); // strongly sustainable
+//! # Ok::<(), focal_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod amdahl;
+mod asymmetric;
+mod cluster;
+mod dynamic;
+mod fraction;
+mod pollack;
+mod symmetric;
+
+pub use amdahl::{amdahl_limit, amdahl_speedup, gustafson_speedup};
+pub use asymmetric::AsymmetricMulticore;
+pub use cluster::{Cluster, ClusteredMulticore};
+pub use dynamic::DynamicMulticore;
+pub use fraction::{LeakageFraction, ParallelFraction};
+pub use pollack::PollackRule;
+pub use symmetric::SymmetricMulticore;

@@ -1,0 +1,190 @@
+//! Pollack's rule: single-core performance grows as the square root of the
+//! core's resources \[7\].
+
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// A generalized Pollack's rule `perf(r) = r^e` mapping a core's size in
+/// base-core equivalents (BCEs) to its performance.
+///
+/// The classical rule uses `e = 0.5` (performance = √resources); the
+/// exponent is exposed so ablation studies can test the sensitivity of the
+/// multicore findings to it.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::PollackRule;
+///
+/// let pollack = PollackRule::CLASSIC;
+/// assert_eq!(pollack.core_performance(4.0)?, 2.0);
+/// assert_eq!(pollack.core_performance(1.0)?, 1.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PollackRule {
+    exponent: f64,
+}
+
+impl PollackRule {
+    /// The classical square-root rule, `perf = √BCE`.
+    pub const CLASSIC: PollackRule = PollackRule { exponent: 0.5 };
+
+    /// Creates a rule with a custom exponent `e ∈ (0, 1]`.
+    ///
+    /// `e = 1` would mean perfectly linear returns on core resources (no
+    /// diminishing returns), the upper bound of plausibility; exponents
+    /// above 1 are rejected as super-linear single-thread scaling does not
+    /// occur in practice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfRange`] if `exponent` is outside `(0, 1]`.
+    pub fn new(exponent: f64) -> Result<Self> {
+        if !exponent.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "pollack exponent",
+                value: exponent,
+            });
+        }
+        if exponent <= 0.0 || exponent > 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "pollack exponent",
+                value: exponent,
+                expected: "(0, 1]",
+            });
+        }
+        Ok(PollackRule { exponent })
+    }
+
+    /// The exponent `e`.
+    #[inline]
+    pub fn exponent(self) -> f64 {
+        self.exponent
+    }
+
+    /// Performance of a core built from `bce` base-core equivalents,
+    /// relative to a one-BCE core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bce` is not strictly positive and finite.
+    pub fn core_performance(self, bce: f64) -> Result<f64> {
+        if !bce.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "core BCE count",
+                value: bce,
+            });
+        }
+        if bce <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "core BCE count",
+                value: bce,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(bce.powf(self.exponent))
+    }
+
+    /// The inverse mapping: how many BCEs a core needs to reach the given
+    /// performance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `performance` is not strictly positive and
+    /// finite.
+    pub fn bce_for_performance(self, performance: f64) -> Result<f64> {
+        if !performance.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "target performance",
+                value: performance,
+            });
+        }
+        if performance <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "target performance",
+                value: performance,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(performance.powf(1.0 / self.exponent))
+    }
+}
+
+impl Default for PollackRule {
+    /// Defaults to the classical √ rule.
+    fn default() -> Self {
+        PollackRule::CLASSIC
+    }
+}
+
+impl fmt::Display for PollackRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "perf=BCE^{}", self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_is_square_root() {
+        let p = PollackRule::CLASSIC;
+        assert_eq!(p.core_performance(4.0).unwrap(), 2.0);
+        assert_eq!(p.core_performance(16.0).unwrap(), 4.0);
+        assert!((p.core_performance(2.0).unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bce_is_unit_performance_for_any_exponent() {
+        for e in [0.3, 0.5, 0.7, 1.0] {
+            let p = PollackRule::new(e).unwrap();
+            assert_eq!(p.core_performance(1.0).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn exponent_domain_is_validated() {
+        assert!(PollackRule::new(0.0).is_err());
+        assert!(PollackRule::new(-0.5).is_err());
+        assert!(PollackRule::new(1.0001).is_err());
+        assert!(PollackRule::new(f64::NAN).is_err());
+        assert!(PollackRule::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = PollackRule::new(0.6).unwrap();
+        for bce in [1.0, 2.0, 7.5, 64.0] {
+            let perf = p.core_performance(bce).unwrap();
+            let back = p.bce_for_performance(perf).unwrap();
+            assert!((back - bce).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_for_sublinear_exponents() {
+        let p = PollackRule::CLASSIC;
+        // Doubling resources yields less than double performance.
+        let perf4 = p.core_performance(4.0).unwrap();
+        let perf8 = p.core_performance(8.0).unwrap();
+        assert!(perf8 / perf4 < 2.0);
+        assert!(perf8 / perf4 > 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let p = PollackRule::CLASSIC;
+        assert!(p.core_performance(0.0).is_err());
+        assert!(p.core_performance(-4.0).is_err());
+        assert!(p.bce_for_performance(0.0).is_err());
+        assert!(p.bce_for_performance(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_and_display() {
+        assert_eq!(PollackRule::default(), PollackRule::CLASSIC);
+        assert_eq!(PollackRule::CLASSIC.to_string(), "perf=BCE^0.5");
+    }
+}

@@ -1,0 +1,342 @@
+//! Symmetric (homogeneous) multicore model: Hill–Marty speedup \[23\] with
+//! the Woo–Lee power and energy extensions \[50\] (Eqs. 1–3 of the paper).
+
+use crate::fraction::{LeakageFraction, ParallelFraction};
+use crate::pollack::PollackRule;
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// A symmetric multicore: `cores` identical cores of `bce_per_core`
+/// base-core equivalents each.
+///
+/// The paper's Figure 3 uses one-BCE cores ([`SymmetricMulticore::unit_cores`]);
+/// the big single-core comparator is `SymmetricMulticore::new(1, N)`. The
+/// general form (n cores of r BCEs) supports Hill–Marty-style r-sweeps.
+///
+/// ## Model
+///
+/// With core performance `p = r^e` (Pollack), serial fraction `1 − f` and
+/// parallel fraction `f`:
+///
+/// ```text
+/// time    T = (1 − f)/p + f/(n·p)
+/// speedup S = 1/T                                          (Eq. 1 for r = 1)
+/// power   P = [t_s·r·(1 + (n−1)γ) + t_p·n·r] / T           (Eq. 2 for r = 1)
+/// energy  E = P / S                                        (Eq. 3 for r = 1)
+/// ```
+///
+/// where an active core consumes `r` power units (power scales with core
+/// resources) and an idle core leaks `γ·r`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+///
+/// let chip = SymmetricMulticore::unit_cores(32)?;
+/// let f = ParallelFraction::new(0.95)?;
+/// let s = chip.speedup(f, PollackRule::CLASSIC);
+/// assert!((s - 12.55).abs() < 0.01);
+/// let e = chip.energy(f, LeakageFraction::PAPER, PollackRule::CLASSIC);
+/// assert!((e - (1.0 + 0.05 * 31.0 * 0.2)).abs() < 1e-12); // Eq. 3
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricMulticore {
+    cores: u32,
+    bce_per_core: f64,
+}
+
+impl SymmetricMulticore {
+    /// A multicore of `n` one-BCE cores — the paper's Figure 3
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0`.
+    pub fn unit_cores(n: u32) -> Result<Self> {
+        SymmetricMulticore::new(n, 1.0)
+    }
+
+    /// A single big core of `n` BCEs — the Pollack-rule comparator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bce` is not strictly positive and finite.
+    pub fn big_core(bce: f64) -> Result<Self> {
+        SymmetricMulticore::new(1, bce)
+    }
+
+    /// A multicore of `cores` cores with `bce_per_core` BCEs each.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cores == 0` or `bce_per_core` is not strictly
+    /// positive and finite.
+    pub fn new(cores: u32, bce_per_core: f64) -> Result<Self> {
+        if cores == 0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "core count",
+                value: 0.0,
+                expected: "[1, +inf)",
+            });
+        }
+        if !bce_per_core.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "BCEs per core",
+                value: bce_per_core,
+            });
+        }
+        if bce_per_core <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "BCEs per core",
+                value: bce_per_core,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(SymmetricMulticore {
+            cores,
+            bce_per_core,
+        })
+    }
+
+    /// The number of cores `n`.
+    #[inline]
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// The size of each core in BCEs, `r`.
+    #[inline]
+    pub fn bce_per_core(&self) -> f64 {
+        self.bce_per_core
+    }
+
+    /// Total chip area in BCEs, `N = n·r` — FOCAL's embodied proxy.
+    #[inline]
+    pub fn total_bce(&self) -> f64 {
+        self.cores as f64 * self.bce_per_core
+    }
+
+    /// Per-core performance `p = r^e` under the given Pollack rule.
+    pub fn core_performance(&self, pollack: PollackRule) -> f64 {
+        pollack
+            .core_performance(self.bce_per_core)
+            .expect("validated bce_per_core")
+    }
+
+    /// Normalized execution time `T = (1 − f)/p + f/(n·p)` for one unit of
+    /// work (time 1 on a one-BCE single core).
+    pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        let p = self.core_performance(pollack);
+        f.serial() / p + f.parallel() / (self.cores as f64 * p)
+    }
+
+    /// Hill–Marty speedup over a one-BCE single-core processor (Eq. 1 of
+    /// the paper for one-BCE cores).
+    pub fn speedup(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
+        1.0 / self.execution_time(f, pollack)
+    }
+
+    /// Woo–Lee average power in units of a one-BCE core's active power
+    /// (Eq. 2 of the paper for one-BCE cores).
+    pub fn power(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        let n = self.cores as f64;
+        let r = self.bce_per_core;
+        let p = self.core_performance(pollack);
+        let t_serial = f.serial() / p;
+        let t_parallel = f.parallel() / (n * p);
+        let total = t_serial + t_parallel;
+        // Serial: one active core (r units) + (n−1) idle cores (γ·r each).
+        let p_serial = r * (1.0 + (n - 1.0) * gamma.get());
+        // Parallel: all n cores active.
+        let p_parallel = n * r;
+        (t_serial * p_serial + t_parallel * p_parallel) / total
+    }
+
+    /// Woo–Lee energy for one unit of work, `E = P/S` (Eq. 3 of the paper
+    /// for one-BCE cores, where it simplifies to `1 + (1 − f)(N − 1)γ`).
+    pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
+        self.power(f, gamma, pollack) / self.speedup(f, pollack)
+    }
+
+    /// Bundles area (total BCEs), power, energy and performance into a
+    /// FOCAL [`DesignPoint`] normalized to a one-BCE single-core processor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated configurations; the `Result` guards the
+    /// `DesignPoint` constructor invariants.
+    pub fn design_point(
+        &self,
+        f: ParallelFraction,
+        gamma: LeakageFraction,
+        pollack: PollackRule,
+    ) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            self.total_bce(),
+            self.power(f, gamma, pollack),
+            self.energy(f, gamma, pollack),
+            self.speedup(f, pollack),
+        )
+    }
+}
+
+impl fmt::Display for SymmetricMulticore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}-BCE cores ({} BCEs)",
+            self.cores,
+            self.bce_per_core,
+            self.total_bce()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLLACK: PollackRule = PollackRule::CLASSIC;
+    const GAMMA: LeakageFraction = LeakageFraction::PAPER;
+
+    fn f(v: f64) -> ParallelFraction {
+        ParallelFraction::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SymmetricMulticore::new(0, 1.0).is_err());
+        assert!(SymmetricMulticore::new(4, 0.0).is_err());
+        assert!(SymmetricMulticore::new(4, -1.0).is_err());
+        assert!(SymmetricMulticore::new(4, f64::NAN).is_err());
+        assert!(SymmetricMulticore::unit_cores(0).is_err());
+    }
+
+    #[test]
+    fn eq1_speedup_for_unit_cores() {
+        // S = 1/((1−f) + f/N)
+        let chip = SymmetricMulticore::unit_cores(16).unwrap();
+        let fr = f(0.9);
+        let expected = 1.0 / (0.1 + 0.9 / 16.0);
+        assert!((chip.speedup(fr, POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_power_for_unit_cores() {
+        // P = (1 + (1−f)(N−1)γ) / ((1−f) + f/N)
+        let n = 8.0;
+        let chip = SymmetricMulticore::unit_cores(8).unwrap();
+        let fr = f(0.8);
+        let expected = (1.0 + 0.2 * (n - 1.0) * 0.2) / (0.2 + 0.8 / n);
+        assert!((chip.power(fr, GAMMA, POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_energy_for_unit_cores() {
+        // E = 1 + (1−f)(N−1)γ
+        for n in [2u32, 4, 8, 16, 32] {
+            for fv in [0.5, 0.8, 0.95] {
+                let chip = SymmetricMulticore::unit_cores(n).unwrap();
+                let expected = 1.0 + (1.0 - fv) * (n as f64 - 1.0) * 0.2;
+                let got = chip.energy(f(fv), GAMMA, POLLACK);
+                assert!((got - expected).abs() < 1e-12, "n={n} f={fv}");
+            }
+        }
+    }
+
+    #[test]
+    fn big_core_follows_pollack() {
+        // N-BCE single core: speedup √N, power N, energy √N.
+        let big = SymmetricMulticore::big_core(16.0).unwrap();
+        let fr = f(0.9); // irrelevant for a single core
+        assert!((big.speedup(fr, POLLACK) - 4.0).abs() < 1e-12);
+        assert!((big.power(fr, GAMMA, POLLACK) - 16.0).abs() < 1e-12);
+        assert!((big.energy(fr, GAMMA, POLLACK) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_unit_core_is_the_reference() {
+        let chip = SymmetricMulticore::unit_cores(1).unwrap();
+        let fr = f(0.75);
+        assert_eq!(chip.speedup(fr, POLLACK), 1.0);
+        assert_eq!(chip.power(fr, GAMMA, POLLACK), 1.0);
+        assert_eq!(chip.energy(fr, GAMMA, POLLACK), 1.0);
+        assert_eq!(chip.total_bce(), 1.0);
+    }
+
+    #[test]
+    fn speedup_monotone_in_core_count() {
+        let fr = f(0.95);
+        let mut prev = 0.0;
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            let s = SymmetricMulticore::unit_cores(n)
+                .unwrap()
+                .speedup(fr, POLLACK);
+            assert!(s > prev || n == 1);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_idle_cores_under_low_parallelism() {
+        // With f = 0.5, adding cores adds mostly leaking idle silicon.
+        let fr = f(0.5);
+        let e8 = SymmetricMulticore::unit_cores(8)
+            .unwrap()
+            .energy(fr, GAMMA, POLLACK);
+        let e32 = SymmetricMulticore::unit_cores(32)
+            .unwrap()
+            .energy(fr, GAMMA, POLLACK);
+        assert!(e32 > e8);
+    }
+
+    #[test]
+    fn zero_leakage_makes_energy_one_for_unit_cores() {
+        // E = 1 + (1−f)(N−1)·0 = 1: all energy is useful work.
+        let chip = SymmetricMulticore::unit_cores(16).unwrap();
+        let e = chip.energy(f(0.7), LeakageFraction::NONE, POLLACK);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_point_carries_all_axes() {
+        let chip = SymmetricMulticore::unit_cores(32).unwrap();
+        let fr = f(0.95);
+        let dp = chip.design_point(fr, GAMMA, POLLACK).unwrap();
+        assert_eq!(dp.area().get(), 32.0);
+        assert!((dp.performance().get() - chip.speedup(fr, POLLACK)).abs() < 1e-12);
+        assert!((dp.power().get() - chip.power(fr, GAMMA, POLLACK)).abs() < 1e-12);
+        assert!((dp.energy().get() - chip.energy(fr, GAMMA, POLLACK)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_form_reduces_consistently() {
+        // 4 cores of 4 BCEs: serial perf 2, parallel perf 8.
+        let chip = SymmetricMulticore::new(4, 4.0).unwrap();
+        let fr = f(0.8);
+        let expected_time = 0.2 / 2.0 + 0.8 / (4.0 * 2.0);
+        assert!((chip.execution_time(fr, POLLACK) - expected_time).abs() < 1e-12);
+        assert_eq!(chip.total_bce(), 16.0);
+    }
+
+    #[test]
+    fn fully_parallel_power_is_all_cores_active() {
+        let chip = SymmetricMulticore::unit_cores(8).unwrap();
+        assert!((chip.power(f(1.0), GAMMA, POLLACK) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_serial_power_is_one_active_plus_leakage() {
+        let chip = SymmetricMulticore::unit_cores(8).unwrap();
+        let expected = 1.0 + 7.0 * 0.2;
+        assert!((chip.power(f(0.0), GAMMA, POLLACK) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_configuration() {
+        let chip = SymmetricMulticore::new(4, 2.0).unwrap();
+        assert_eq!(chip.to_string(), "4x2-BCE cores (8 BCEs)");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the multicore performance/power laws.
+
+use focal_perf::{
+    amdahl_speedup, gustafson_speedup, AsymmetricMulticore, Cluster, ClusteredMulticore,
+    DynamicMulticore, LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore,
+};
+use proptest::prelude::*;
+
+fn arb_f() -> impl Strategy<Value = ParallelFraction> {
+    (0.0f64..=1.0).prop_map(|f| ParallelFraction::new(f).unwrap())
+}
+
+fn arb_gamma() -> impl Strategy<Value = LeakageFraction> {
+    (0.0f64..0.99).prop_map(|g| LeakageFraction::new(g).unwrap())
+}
+
+fn arb_pollack() -> impl Strategy<Value = PollackRule> {
+    (0.2f64..=1.0).prop_map(|e| PollackRule::new(e).unwrap())
+}
+
+proptest! {
+    /// Speedups never fall when f rises for symmetric and dynamic chips.
+    /// For the Woo–Lee asymmetric topology monotonicity holds only when
+    /// the small-core array out-runs the big core (`N − M ≥ perf_big`);
+    /// otherwise moving work off the big core onto too few small cores
+    /// genuinely slows the chip down — a real Hill–Marty subtlety the
+    /// property encodes.
+    #[test]
+    fn speedup_monotone_in_f(
+        n in 2u32..128,
+        f1 in 0.0f64..0.99,
+        delta in 0.001f64..0.01,
+        pollack in arb_pollack(),
+    ) {
+        let fa = ParallelFraction::new(f1).unwrap();
+        let fb = ParallelFraction::new((f1 + delta).min(1.0)).unwrap();
+        let sym = SymmetricMulticore::unit_cores(n).unwrap();
+        prop_assert!(sym.speedup(fb, pollack) >= sym.speedup(fa, pollack) - 1e-12);
+        let dynamic = DynamicMulticore::new(n as f64).unwrap();
+        prop_assert!(dynamic.speedup(fb, pollack) >= dynamic.speedup(fa, pollack) - 1e-12);
+        if n > 4 {
+            let asym = AsymmetricMulticore::new(n as f64, 4.0).unwrap();
+            let perf_big = pollack.core_performance(4.0).unwrap();
+            let monotone = asym.speedup(fb, pollack) >= asym.speedup(fa, pollack) - 1e-12;
+            if asym.small_cores() >= perf_big {
+                prop_assert!(monotone);
+            }
+        }
+    }
+
+    /// Woo–Lee power is bounded by [serial floor, all-cores ceiling].
+    #[test]
+    fn symmetric_power_bounds(
+        n in 1u32..256,
+        f in arb_f(),
+        gamma in arb_gamma(),
+    ) {
+        let chip = SymmetricMulticore::unit_cores(n).unwrap();
+        let p = chip.power(f, gamma, PollackRule::CLASSIC);
+        let serial_floor = 1.0 + (n as f64 - 1.0) * gamma.get();
+        let ceiling = n as f64;
+        prop_assert!(p >= serial_floor.min(ceiling) - 1e-9, "p={p}");
+        prop_assert!(p <= ceiling.max(serial_floor) + 1e-9, "p={p}");
+    }
+
+    /// Energy decreases (weakly) in f for unit-core chips: parallelism
+    /// converts leaky idle time into useful work.
+    #[test]
+    fn energy_monotone_decreasing_in_f(
+        n in 1u32..128,
+        f1 in 0.0f64..0.99,
+        delta in 0.001f64..0.01,
+        gamma in arb_gamma(),
+    ) {
+        let fa = ParallelFraction::new(f1).unwrap();
+        let fb = ParallelFraction::new((f1 + delta).min(1.0)).unwrap();
+        let chip = SymmetricMulticore::unit_cores(n).unwrap();
+        let ea = chip.energy(fa, gamma, PollackRule::CLASSIC);
+        let eb = chip.energy(fb, gamma, PollackRule::CLASSIC);
+        prop_assert!(eb <= ea + 1e-12);
+    }
+
+    /// Gustafson dominates Amdahl for any machine and workload.
+    #[test]
+    fn gustafson_dominates_amdahl(n in 1u32..1024, f in arb_f()) {
+        prop_assert!(
+            gustafson_speedup(f, n).unwrap() >= amdahl_speedup(f, n).unwrap() - 1e-12
+        );
+    }
+
+    /// A clustered chip with one uniform cluster equals the symmetric
+    /// model for any Pollack exponent and leakage.
+    #[test]
+    fn cluster_generalizes_symmetric(
+        n in 1u32..64,
+        r in 0.5f64..8.0,
+        f in arb_f(),
+        gamma in arb_gamma(),
+        pollack in arb_pollack(),
+    ) {
+        let clustered =
+            ClusteredMulticore::new(vec![Cluster::new(n, r).unwrap()]).unwrap();
+        let symmetric = SymmetricMulticore::new(n, r).unwrap();
+        prop_assert!(
+            (clustered.speedup(f, pollack) - symmetric.speedup(f, pollack)).abs() < 1e-9
+        );
+        prop_assert!(
+            (clustered.energy(f, gamma, pollack) - symmetric.energy(f, gamma, pollack)).abs()
+                < 1e-9
+        );
+    }
+
+    /// Chip-level conservation: total BCE equals the sum of cluster BCEs,
+    /// and adding a cluster strictly increases parallel throughput.
+    #[test]
+    fn adding_a_cluster_adds_throughput(
+        n1 in 1u32..16,
+        r1 in 0.5f64..4.0,
+        n2 in 1u32..16,
+        r2 in 0.5f64..4.0,
+    ) {
+        let one = ClusteredMulticore::new(vec![Cluster::new(n1, r1).unwrap()]).unwrap();
+        let two = ClusteredMulticore::new(vec![
+            Cluster::new(n1, r1).unwrap(),
+            Cluster::new(n2, r2).unwrap(),
+        ])
+        .unwrap();
+        prop_assert!(
+            (two.total_bce() - (one.total_bce() + n2 as f64 * r2)).abs() < 1e-12
+        );
+        let pollack = PollackRule::CLASSIC;
+        prop_assert!(two.parallel_throughput(pollack) > one.parallel_throughput(pollack));
+        prop_assert!(two.serial_performance(pollack) >= one.serial_performance(pollack));
+    }
+
+    /// Asymmetric energy (Eq. 6) is exactly the phase-decomposed sum.
+    #[test]
+    fn asymmetric_energy_decomposition(
+        n in 6u32..128,
+        m in 1u32..4,
+        f in arb_f(),
+        gamma in arb_gamma(),
+    ) {
+        let big = m as f64;
+        let chip = AsymmetricMulticore::new(n as f64, big).unwrap();
+        let small = n as f64 - big;
+        let perf_big = big.sqrt();
+        let expected = f.serial() / perf_big * (big + small * gamma.get())
+            + f.parallel() / small * (big * gamma.get() + small);
+        let got = chip.energy(f, gamma, PollackRule::CLASSIC);
+        prop_assert!((got - expected).abs() < 1e-9);
+    }
+}

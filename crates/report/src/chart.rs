@@ -1,0 +1,217 @@
+//! ASCII scatter charts, so the benchmark harness can sketch each paper
+//! figure directly in the terminal.
+
+use std::fmt;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSeries {
+    /// Legend name.
+    pub name: String,
+    /// Plot symbol (one char per series).
+    pub symbol: char,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ChartSeries {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, symbol: char, points: Vec<(f64, f64)>) -> Self {
+        ChartSeries {
+            name: name.into(),
+            symbol,
+            points,
+        }
+    }
+}
+
+/// An ASCII scatter chart.
+///
+/// # Examples
+///
+/// ```
+/// use focal_report::{AsciiChart, ChartSeries};
+///
+/// let chart = AsciiChart::new("NCF vs performance", 40, 12)
+///     .series(ChartSeries::new("multicore", 'o', vec![(1.0, 1.0), (2.0, 0.8)]));
+/// let text = chart.render();
+/// assert!(text.contains("NCF vs performance"));
+/// assert!(text.contains('o'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<ChartSeries>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart of `width × height` characters (plot area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart needs at least 2x2 cells");
+        AsciiChart {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn series(mut self, series: ChartSeries) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter());
+        let first = pts.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for &(x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Degenerate ranges get padded so everything still plots.
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y0 == y1 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Renders the chart as multi-line text (title, plot, axis labels,
+    /// legend). An empty chart renders its title and a note.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            out.push_str("(no data)\n");
+            return out;
+        };
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                // y axis points up: row 0 is the top.
+                grid[self.height - 1 - cy][cx] = s.symbol;
+            }
+        }
+
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y1:>8.2} ")
+            } else if i == self.height - 1 {
+                format!("{y0:>8.2} ")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(9));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<width$.2}{:>rest$.2}\n",
+            " ".repeat(10),
+            x0,
+            x1,
+            width = self.width / 2,
+            rest = self.width - self.width / 2
+        ));
+        for s in &self.series {
+            out.push_str(&format!("  {} {}\n", s.symbol, s.name));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let chart = AsciiChart::new("t", 20, 8)
+            .series(ChartSeries::new("a", 'o', vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(ChartSeries::new("b", 'x', vec![(0.5, 0.5)]));
+        let text = chart.render();
+        assert!(text.contains('o'));
+        assert!(text.contains('x'));
+        assert!(text.contains("  o a"));
+        assert!(text.contains("  x b"));
+    }
+
+    #[test]
+    fn empty_chart_notes_no_data() {
+        let chart = AsciiChart::new("empty", 10, 5);
+        assert!(chart.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn extremes_land_on_corners() {
+        let chart = AsciiChart::new("c", 10, 5).series(ChartSeries::new(
+            "s",
+            '*',
+            vec![(0.0, 0.0), (1.0, 1.0)],
+        ));
+        let text = chart.render();
+        let plot_lines: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        // Top row holds the (1,1) point at the right edge.
+        assert!(plot_lines.first().unwrap().ends_with('*'));
+        // Bottom plot row holds (0,0) at the left edge (just after '|').
+        let bottom = plot_lines.last().unwrap();
+        let after_bar = bottom.split('|').nth(1).unwrap();
+        assert!(after_bar.starts_with('*'));
+    }
+
+    #[test]
+    fn degenerate_range_still_renders() {
+        let chart =
+            AsciiChart::new("flat", 10, 5).series(ChartSeries::new("s", '*', vec![(1.0, 2.0)]));
+        let text = chart.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_chart_panics() {
+        let _ = AsciiChart::new("t", 1, 5);
+    }
+
+    #[test]
+    fn axis_labels_show_bounds() {
+        let chart = AsciiChart::new("c", 16, 4).series(ChartSeries::new(
+            "s",
+            '*',
+            vec![(2.0, 10.0), (4.0, 30.0)],
+        ));
+        let text = chart.render();
+        assert!(text.contains("30.00"));
+        assert!(text.contains("10.00"));
+        assert!(text.contains("2.00"));
+        assert!(text.contains("4.00"));
+    }
+}

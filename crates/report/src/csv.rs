@@ -1,0 +1,124 @@
+//! Minimal CSV writing (RFC 4180 quoting), hand-rolled to keep the
+//! dependency set to the approved list.
+
+use std::fmt::Write as _;
+
+/// Builds CSV text row by row.
+///
+/// # Examples
+///
+/// ```
+/// use focal_report::CsvWriter;
+///
+/// let mut csv = CsvWriter::new(vec!["die_mm2", "footprint"]);
+/// csv.row(&["100".to_string(), "1.0".to_string()]);
+/// csv.row_numeric(&[800.0, 16.98]);
+/// let text = csv.finish();
+/// assert!(text.starts_with("die_mm2,footprint\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    columns: usize,
+    out: String,
+}
+
+impl CsvWriter {
+    /// Creates a writer with a header row.
+    pub fn new<S: AsRef<str>>(headers: Vec<S>) -> Self {
+        let mut w = CsvWriter {
+            columns: headers.len(),
+            out: String::new(),
+        };
+        let cells: Vec<String> = headers.iter().map(|h| Self::escape(h.as_ref())).collect();
+        w.out.push_str(&cells.join(","));
+        w.out.push('\n');
+        w
+    }
+
+    fn escape(cell: &str) -> String {
+        if cell.contains([',', '"', '\n', '\r']) {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+
+    /// Appends a row of string cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        let escaped: Vec<String> = cells.iter().map(|c| Self::escape(c)).collect();
+        self.out.push_str(&escaped.join(","));
+        self.out.push('\n');
+        self
+    }
+
+    /// Appends a row of numbers (full precision via `{}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_numeric(&mut self, values: &[f64]) -> &mut Self {
+        assert_eq!(values.len(), self.columns, "CSV row width mismatch");
+        let mut first = true;
+        for v in values {
+            if !first {
+                self.out.push(',');
+            }
+            write!(self.out, "{v}").expect("writing to String cannot fail");
+            first = false;
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// Consumes the writer, returning the CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut w = CsvWriter::new(vec!["a", "b"]);
+        w.row(&["1".into(), "2".into()]);
+        w.row_numeric(&[3.5, 4.25]);
+        let text = w.finish();
+        assert_eq!(text, "a,b\n1,2\n3.5,4.25\n");
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let mut w = CsvWriter::new(vec!["label"]);
+        w.row(&["hello, \"world\"".into()]);
+        let text = w.finish();
+        assert_eq!(text, "label\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn newlines_are_quoted() {
+        let mut w = CsvWriter::new(vec!["x"]);
+        w.row(&["line1\nline2".into()]);
+        assert!(w.finish().contains("\"line1\nline2\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new(vec!["a", "b"]);
+        w.row_numeric(&[1.0]);
+    }
+
+    #[test]
+    fn headers_are_escaped_too() {
+        let w = CsvWriter::new(vec!["a,b", "c"]);
+        assert!(w.finish().starts_with("\"a,b\",c\n"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Plain-text and Markdown table rendering for the benchmark harness.
+
+use std::fmt;
+
+/// Horizontal alignment of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table: a header row plus data rows.
+///
+/// # Examples
+///
+/// ```
+/// use focal_report::Table;
+///
+/// let mut t = Table::new(vec!["design", "NCF_fw", "NCF_ft"]);
+/// t.row(vec!["FSC vs OoO".to_string(), "0.55".to_string(), "0.47".to_string()]);
+/// let text = t.to_text();
+/// assert!(text.contains("FSC vs OoO"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (the common label+numbers
+    /// shape); use [`Table::with_aligns`] to override.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = (0..headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Overrides the per-column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of alignments differs from the number of
+    /// columns.
+    #[must_use]
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of a label plus formatted numbers (4 decimal places).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `1 + values.len()` differs from the column count.
+    pub fn row_numeric(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.4}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let pad = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(pad)),
+            Align::Right => format!("{}{cell}", " ".repeat(pad)),
+        }
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .zip(&self.aligns)
+                .map(|((c, &w), &a)| Self::pad(c, w, a))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", seps.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha".into(), "1.5".into()]);
+        t.row_numeric("beta", &[2.25]);
+        t
+    }
+
+    #[test]
+    fn text_render_aligns_columns() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Numbers right-aligned: the value column ends at the same offset.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_render_has_separator_row() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("| :--- | ---: |"));
+        assert!(md.contains("| beta | 2.2500 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment count")]
+    fn mismatched_aligns_panic() {
+        let _ = Table::new(vec!["a", "b"]).with_aligns(vec![Align::Left]);
+    }
+
+    #[test]
+    fn row_numeric_formats_4dp() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row_numeric("x", &[1.0 / 3.0]);
+        assert!(t.to_text().contains("0.3333"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new(vec!["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.to_text());
+    }
+
+    #[test]
+    fn unicode_headers_align_by_chars() {
+        let mut t = Table::new(vec!["α_E2O", "NCF"]);
+        t.row(vec!["0.8".into(), "1.0".into()]);
+        let text = t.to_text();
+        assert!(text.contains("α_E2O"));
+    }
+}

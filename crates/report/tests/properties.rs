@@ -1,0 +1,145 @@
+//! Property-based tests of the report renderers: alignment invariants for
+//! tables, RFC-4180 round-trips for CSV, and bounds-safety for charts.
+
+use focal_report::{AsciiChart, ChartSeries, CsvWriter, Table};
+use proptest::prelude::*;
+
+/// A tiny RFC-4180 parser for round-trip checking (quotes, embedded
+/// commas/newlines).
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => cell.push(other),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    // Printable ASCII plus the characters that force quoting.
+    proptest::string::string_regex("[ -~]{0,12}")
+        .expect("valid regex")
+        .prop_map(|s| s.replace('\r', " "))
+}
+
+proptest! {
+    /// CSV round-trips arbitrary cells (including commas, quotes and
+    /// embedded newlines) through a conforming parser.
+    #[test]
+    fn csv_round_trips(
+        headers in proptest::collection::vec(arb_cell(), 1..5),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(arb_cell(), 1..5), 0..6),
+    ) {
+        let width = headers.len();
+        let mut writer = CsvWriter::new(headers.clone());
+        let mut expected = vec![headers];
+        for mut row in rows {
+            row.resize(width, String::new());
+            writer.row(&row);
+            expected.push(row);
+        }
+        let text = writer.finish();
+        let parsed = parse_csv(&text);
+        prop_assert_eq!(parsed, expected);
+    }
+
+    /// CSV handles a newline-containing cell without corrupting row
+    /// structure.
+    #[test]
+    fn csv_embedded_newlines(prefix in arb_cell(), suffix in arb_cell()) {
+        let tricky = format!("{prefix}\n{suffix}");
+        let mut writer = CsvWriter::new(vec!["a", "b"]);
+        writer.row(&[tricky.clone(), "plain".into()]);
+        let parsed = parse_csv(&writer.finish());
+        prop_assert_eq!(parsed.len(), 2);
+        prop_assert_eq!(&parsed[1][0], &tricky);
+    }
+
+    /// Every rendered table line has the same display width: alignment
+    /// never drifts regardless of cell contents.
+    #[test]
+    fn table_lines_align(
+        rows in proptest::collection::vec(
+            (arb_cell(), -1e6f64..1e6), 1..8),
+    ) {
+        let mut table = Table::new(vec!["label", "value"]);
+        for (label, value) in &rows {
+            table.row_numeric(label.clone(), &[*value]);
+        }
+        let text = table.to_text();
+        let widths: Vec<usize> =
+            text.lines().map(|l| l.chars().count()).collect();
+        prop_assert!(widths.len() >= 3);
+        // Header, rule and every data row share one width.
+        let expected = widths[0];
+        for (i, w) in widths.iter().enumerate() {
+            prop_assert_eq!(*w, expected, "line {} width {} != {}", i, w, expected);
+        }
+    }
+
+    /// Markdown rendering always emits head + separator + one line per row,
+    /// each with the same column count.
+    #[test]
+    fn markdown_structure(
+        rows in proptest::collection::vec(arb_cell(), 1..6),
+    ) {
+        let mut table = Table::new(vec!["k", "v"]);
+        for r in &rows {
+            // Pipes inside cells would break Markdown structure; the
+            // caller owns escaping, so keep the property's domain clean.
+            table.row(vec![r.replace('|', "/"), "x".into()]);
+        }
+        let md = table.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        prop_assert_eq!(lines.len(), 2 + rows.len());
+        for line in &lines {
+            prop_assert_eq!(line.matches('|').count(), 3, "line: {}", line);
+        }
+    }
+
+    /// Charts never panic and always plot every series symbol for any
+    /// finite data, including degenerate (single-point, flat) series.
+    #[test]
+    fn chart_total_for_finite_data(
+        points in proptest::collection::vec(
+            (-1e9f64..1e9, -1e9f64..1e9), 1..30),
+        width in 2usize..80,
+        height in 2usize..30,
+    ) {
+        let chart = AsciiChart::new("prop", width, height)
+            .series(ChartSeries::new("s", '*', points));
+        let text = chart.render();
+        prop_assert!(text.contains('*'));
+        prop_assert!(text.contains("prop"));
+        // Plot rows are exactly `height` lines containing the axis bar.
+        let plot_rows = text.lines().filter(|l| l.contains('|')).count();
+        prop_assert_eq!(plot_rows, height);
+    }
+}

@@ -1,0 +1,148 @@
+//! Classical (Dennard) versus post-Dennard scaling rules (§6).
+//!
+//! Per node transition the paper assumes chip area halves and the circuit
+//! clocks 1.41× higher. Under **classical** scaling voltage scales down
+//! with feature size, so power halves and energy falls by 2.82×; under
+//! **post-Dennard** scaling voltage is stuck, so power stays constant and
+//! energy falls only by the 1.41× performance gain.
+
+use std::fmt;
+
+/// The voltage-scaling regime governing a die shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalingRegime {
+    /// Dennard scaling: V scales with feature size.
+    Classical,
+    /// Post-Dennard: V is (nearly) constant; power density rises.
+    PostDennard,
+}
+
+impl ScalingRegime {
+    /// Both regimes, classical first.
+    pub const ALL: [ScalingRegime; 2] = [ScalingRegime::Classical, ScalingRegime::PostDennard];
+
+    /// The per-transition factors this regime implies.
+    pub fn shrink_factors(self) -> ShrinkFactors {
+        match self {
+            ScalingRegime::Classical => ShrinkFactors {
+                area: 0.5,
+                frequency: std::f64::consts::SQRT_2,
+                power: 0.5,
+                energy: 0.5 / std::f64::consts::SQRT_2, // 1/2.82
+            },
+            ScalingRegime::PostDennard => ShrinkFactors {
+                area: 0.5,
+                frequency: std::f64::consts::SQRT_2,
+                power: 1.0,
+                energy: 1.0 / std::f64::consts::SQRT_2, // 1/1.41
+            },
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingRegime::Classical => "classical (Dennard)",
+            ScalingRegime::PostDennard => "post-Dennard",
+        }
+    }
+}
+
+impl fmt::Display for ScalingRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Multiplicative factors applied to a design when moving it one node
+/// forward (same microarchitecture, same transistor count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShrinkFactors {
+    /// Chip-area factor (0.5: the die halves).
+    pub area: f64,
+    /// Clock-frequency factor (≈ 1.41).
+    pub frequency: f64,
+    /// Power factor (0.5 classical, 1.0 post-Dennard).
+    pub power: f64,
+    /// Energy-per-work factor (`power / frequency`).
+    pub energy: f64,
+}
+
+impl ShrinkFactors {
+    /// Compounds the factors over `transitions` node transitions.
+    #[must_use]
+    pub fn over_transitions(&self, transitions: u32) -> ShrinkFactors {
+        let n = transitions as i32;
+        ShrinkFactors {
+            area: self.area.powi(n),
+            frequency: self.frequency.powi(n),
+            power: self.power.powi(n),
+            energy: self.energy.powi(n),
+        }
+    }
+}
+
+impl fmt::Display for ShrinkFactors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area x{:.3}, freq x{:.3}, power x{:.3}, energy x{:.3}",
+            self.area, self.frequency, self.power, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_factors_match_paper() {
+        let f = ScalingRegime::Classical.shrink_factors();
+        assert_eq!(f.area, 0.5);
+        assert!((f.frequency - 1.41).abs() < 0.01);
+        assert_eq!(f.power, 0.5);
+        // Energy reduced by 2.82x.
+        assert!((1.0 / f.energy - 2.82).abs() < 0.02);
+    }
+
+    #[test]
+    fn post_dennard_factors_match_paper() {
+        let f = ScalingRegime::PostDennard.shrink_factors();
+        assert_eq!(f.area, 0.5);
+        assert_eq!(f.power, 1.0);
+        // Energy reduced by 1.41x.
+        assert!((1.0 / f.energy - 1.41).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_is_power_over_frequency_in_both_regimes() {
+        for regime in ScalingRegime::ALL {
+            let f = regime.shrink_factors();
+            assert!((f.energy - f.power / f.frequency).abs() < 1e-12, "{regime}");
+        }
+    }
+
+    #[test]
+    fn factors_compound_over_transitions() {
+        let f = ScalingRegime::Classical
+            .shrink_factors()
+            .over_transitions(2);
+        assert_eq!(f.area, 0.25);
+        assert!((f.frequency - 2.0).abs() < 1e-12);
+        assert_eq!(f.power, 0.25);
+        let id = ScalingRegime::PostDennard
+            .shrink_factors()
+            .over_transitions(0);
+        assert_eq!(id.area, 1.0);
+        assert_eq!(id.power, 1.0);
+    }
+
+    #[test]
+    fn labels_distinguish_regimes() {
+        assert_ne!(
+            ScalingRegime::Classical.to_string(),
+            ScalingRegime::PostDennard.to_string()
+        );
+    }
+}

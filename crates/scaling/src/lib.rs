@@ -1,0 +1,38 @@
+//! # focal-scaling — technology nodes, Dennard scaling, die shrinks
+//!
+//! The technology-scaling substrate of the die-shrink analysis (§6) and
+//! the sustainable-multicore case study (§7):
+//!
+//! * [`TechNode`] — the 28 nm → 3 nm roadmap.
+//! * [`ScalingRegime`] / [`ShrinkFactors`] — classical (Dennard) vs.
+//!   post-Dennard per-transition factors (area ×0.5, frequency ×1.41,
+//!   power ×0.5 or ×1.0).
+//! * [`DieShrink`] — folds the Imec manufacturing growth into the embodied
+//!   proxy and reproduces Finding #17.
+//! * [`iso_power_frequency`] — the power-constrained clock model behind
+//!   Figure 9's 1.41× → 1.24× frequency range.
+//!
+//! ## Example
+//!
+//! ```
+//! use focal_scaling::{DieShrink, ScalingRegime};
+//!
+//! let shrink = DieShrink::next_node(ScalingRegime::PostDennard);
+//! // Area halves, wafers get 25.2% dirtier: net embodied x0.626.
+//! assert!((shrink.embodied_factor() - 0.626).abs() < 0.001);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod dennard;
+mod node;
+mod power_constrained;
+mod roadmap;
+mod shrink;
+
+pub use dennard::{ScalingRegime, ShrinkFactors};
+pub use node::TechNode;
+pub use power_constrained::iso_power_frequency;
+pub use roadmap::{Roadmap, RoadmapStep};
+pub use shrink::DieShrink;

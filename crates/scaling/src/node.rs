@@ -1,0 +1,171 @@
+//! The CMOS technology-node roadmap the Imec analysis covers (28 nm down
+//! to 3 nm).
+
+use focal_core::{ModelError, Result};
+use std::fmt;
+
+/// A logic technology node on the 28 nm → 3 nm roadmap analyzed by
+/// Imec \[16\] and referenced throughout §3.1 and §6 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use focal_scaling::TechNode;
+///
+/// let now = TechNode::N7;
+/// let next = now.next().unwrap();
+/// assert_eq!(next, TechNode::N5);
+/// assert_eq!(TechNode::N28.transitions_to(TechNode::N3), Some(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TechNode {
+    /// 28 nm planar.
+    N28,
+    /// 20 nm planar.
+    N20,
+    /// 16 nm FinFET.
+    N16,
+    /// 10 nm FinFET.
+    N10,
+    /// 7 nm FinFET (EUV introduction).
+    N7,
+    /// 5 nm FinFET/EUV.
+    N5,
+    /// 3 nm (gate-all-around era).
+    N3,
+}
+
+impl TechNode {
+    /// The full roadmap, oldest first.
+    pub const ROADMAP: [TechNode; 7] = [
+        TechNode::N28,
+        TechNode::N20,
+        TechNode::N16,
+        TechNode::N10,
+        TechNode::N7,
+        TechNode::N5,
+        TechNode::N3,
+    ];
+
+    /// The node's marketing feature size in nanometres.
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            TechNode::N28 => 28.0,
+            TechNode::N20 => 20.0,
+            TechNode::N16 => 16.0,
+            TechNode::N10 => 10.0,
+            TechNode::N7 => 7.0,
+            TechNode::N5 => 5.0,
+            TechNode::N3 => 3.0,
+        }
+    }
+
+    /// Index on the roadmap (N28 = 0 … N3 = 6).
+    fn index(self) -> usize {
+        TechNode::ROADMAP
+            .iter()
+            .position(|&n| n == self)
+            .expect("every node is on the roadmap")
+    }
+
+    /// The next (smaller) node, or `None` at the end of the roadmap.
+    pub fn next(self) -> Option<TechNode> {
+        TechNode::ROADMAP.get(self.index() + 1).copied()
+    }
+
+    /// The previous (larger) node, or `None` at the start.
+    pub fn prev(self) -> Option<TechNode> {
+        self.index().checked_sub(1).map(|i| TechNode::ROADMAP[i])
+    }
+
+    /// Number of forward transitions from `self` to `target`, or `None`
+    /// if `target` is an older node.
+    pub fn transitions_to(self, target: TechNode) -> Option<u32> {
+        target.index().checked_sub(self.index()).map(|d| d as u32)
+    }
+
+    /// Parses a label like `"7nm"`, `"N7"` or `"7"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unrecognized labels.
+    pub fn parse(label: &str) -> Result<TechNode> {
+        let trimmed = label
+            .trim()
+            .trim_start_matches(['n', 'N'])
+            .trim_end_matches("nm");
+        match trimmed {
+            "28" => Ok(TechNode::N28),
+            "20" => Ok(TechNode::N20),
+            "16" => Ok(TechNode::N16),
+            "10" => Ok(TechNode::N10),
+            "7" => Ok(TechNode::N7),
+            "5" => Ok(TechNode::N5),
+            "3" => Ok(TechNode::N3),
+            _ => Err(ModelError::OutOfRange {
+                parameter: "technology node label",
+                value: f64::NAN,
+                expected: "one of 28/20/16/10/7/5/3 nm",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roadmap_is_ordered_oldest_first() {
+        let sizes: Vec<f64> = TechNode::ROADMAP.iter().map(|n| n.feature_nm()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(sizes, sorted);
+        assert_eq!(TechNode::ROADMAP.len(), 7);
+    }
+
+    #[test]
+    fn next_and_prev_walk_the_roadmap() {
+        assert_eq!(TechNode::N28.next(), Some(TechNode::N20));
+        assert_eq!(TechNode::N3.next(), None);
+        assert_eq!(TechNode::N3.prev(), Some(TechNode::N5));
+        assert_eq!(TechNode::N28.prev(), None);
+    }
+
+    #[test]
+    fn transitions_count_forward_only() {
+        assert_eq!(TechNode::N28.transitions_to(TechNode::N28), Some(0));
+        assert_eq!(TechNode::N28.transitions_to(TechNode::N3), Some(6));
+        assert_eq!(TechNode::N7.transitions_to(TechNode::N5), Some(1));
+        assert_eq!(TechNode::N5.transitions_to(TechNode::N7), None);
+    }
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(TechNode::parse("7nm").unwrap(), TechNode::N7);
+        assert_eq!(TechNode::parse("N7").unwrap(), TechNode::N7);
+        assert_eq!(TechNode::parse("7").unwrap(), TechNode::N7);
+        assert_eq!(TechNode::parse(" 28nm ").unwrap(), TechNode::N28);
+        assert!(TechNode::parse("14nm").is_err());
+        assert!(TechNode::parse("").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for node in TechNode::ROADMAP {
+            assert_eq!(TechNode::parse(&node.to_string()).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_roadmap_position() {
+        assert!(TechNode::N28 < TechNode::N3);
+        assert!(TechNode::N7 < TechNode::N5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Iso-power frequency scaling for power-constrained designs (§7).
+//!
+//! Modern processors are power-limited: when a new node packs more cores,
+//! the clock must drop so total power stays within the old budget. The
+//! paper's case study assumes the new node clocks 1.41× higher at
+//! iso-power for the *same* core count (post-Dennard), and derives lower
+//! boosts for larger core counts — "from being 1.41× higher for 4 cores
+//! … to being 1.24× higher for 8 cores".
+
+use focal_core::{ModelError, Result};
+
+/// Solves the iso-power frequency for a power-constrained die shrink.
+///
+/// ## Model
+///
+/// Let `relative_power` be the new configuration's power draw relative to
+/// the budget configuration *at equal frequency* (e.g. the Woo–Lee
+/// multicore power ratio `P(n)/P(4)`), and let `iso_power_frequency_gain`
+/// be the frequency boost the new node affords at the same power (1.41
+/// under post-Dennard). With dynamic power cubic in frequency, the
+/// achievable frequency factor `φ` satisfies
+///
+/// ```text
+/// relative_power · (φ / gain)³ = 1
+/// φ = gain · relative_power^(−1/3)
+/// ```
+///
+/// # Errors
+///
+/// Returns an error if either argument is not strictly positive and
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use focal_scaling::iso_power_frequency;
+///
+/// // Same core count: full 1.41x boost.
+/// assert!((iso_power_frequency(1.0, 1.41)? - 1.41).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn iso_power_frequency(relative_power: f64, iso_power_frequency_gain: f64) -> Result<f64> {
+    for (name, v) in [
+        ("relative power", relative_power),
+        ("iso-power frequency gain", iso_power_frequency_gain),
+    ] {
+        if !v.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: name,
+                value: v,
+            });
+        }
+        if v <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: name,
+                value: v,
+                expected: "(0, +inf)",
+            });
+        }
+    }
+    Ok(iso_power_frequency_gain * relative_power.powf(-1.0 / 3.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+
+    #[test]
+    fn unit_power_gets_full_boost() {
+        let phi = iso_power_frequency(1.0, std::f64::consts::SQRT_2).unwrap();
+        assert!((phi - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_power_costs_cube_root_of_two() {
+        let phi = iso_power_frequency(2.0, 1.0).unwrap();
+        assert!((phi - 0.5_f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    /// Reproduces the paper's §7 statement: with Woo–Lee power at f = 0.75
+    /// and γ = 0.2, the achievable frequency falls from 1.41× (4 cores) to
+    /// ≈ 1.24× (8 cores).
+    #[test]
+    fn paper_case_study_frequencies() {
+        let f = ParallelFraction::new(0.75).unwrap();
+        let gamma = LeakageFraction::PAPER;
+        let pollack = PollackRule::CLASSIC;
+        let p4 = SymmetricMulticore::unit_cores(4)
+            .unwrap()
+            .power(f, gamma, pollack);
+        let phi = |n: u32| {
+            let pn = SymmetricMulticore::unit_cores(n)
+                .unwrap()
+                .power(f, gamma, pollack);
+            iso_power_frequency(pn / p4, std::f64::consts::SQRT_2).unwrap()
+        };
+        assert!((phi(4) - 1.414).abs() < 0.001);
+        assert!((phi(8) - 1.24).abs() < 0.01, "got {}", phi(8));
+        // Monotone decline in between.
+        let mut prev = f64::INFINITY;
+        for n in 4..=8 {
+            let p = phi(n);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(iso_power_frequency(0.0, 1.41).is_err());
+        assert!(iso_power_frequency(1.0, 0.0).is_err());
+        assert!(iso_power_frequency(f64::NAN, 1.0).is_err());
+    }
+}

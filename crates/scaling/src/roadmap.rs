@@ -1,0 +1,204 @@
+//! Multi-node roadmap projections: cumulative shrink factors from a
+//! starting node to every later node, in one table-ready structure.
+
+use crate::dennard::{ScalingRegime, ShrinkFactors};
+use crate::node::TechNode;
+use crate::shrink::DieShrink;
+use focal_core::{ModelError, Result};
+use focal_wafer::ManufacturingTrend;
+use std::fmt;
+
+/// One row of a roadmap projection: the cumulative factors at a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadmapStep {
+    /// The technology node.
+    pub node: TechNode,
+    /// Transitions from the roadmap's starting node.
+    pub transitions: u32,
+    /// Cumulative physical shrink factors (area/frequency/power/energy).
+    pub factors: ShrinkFactors,
+    /// Cumulative per-wafer manufacturing-footprint growth.
+    pub wafer_footprint: f64,
+    /// Cumulative *effective embodied* factor (area × wafer footprint).
+    pub embodied: f64,
+}
+
+/// A projection of a design carried unchanged from `start` down the
+/// roadmap.
+///
+/// # Examples
+///
+/// ```
+/// use focal_scaling::{Roadmap, ScalingRegime, TechNode};
+///
+/// let roadmap = Roadmap::project(TechNode::N28, TechNode::N3, ScalingRegime::PostDennard)?;
+/// let last = roadmap.steps().last().unwrap();
+/// assert_eq!(last.transitions, 6);
+/// assert!(last.embodied < 0.07); // 0.626^6
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roadmap {
+    regime: ScalingRegime,
+    trend: ManufacturingTrend,
+    steps: Vec<RoadmapStep>,
+}
+
+impl Roadmap {
+    /// Projects from `start` to `end` (inclusive) under `regime` with the
+    /// Imec manufacturing trend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `end` is not a later node than `start`.
+    pub fn project(start: TechNode, end: TechNode, regime: ScalingRegime) -> Result<Self> {
+        Roadmap::project_with_trend(start, end, regime, ManufacturingTrend::IMEC)
+    }
+
+    /// Like [`Roadmap::project`] with a custom manufacturing trend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `end` is not a later node than `start`.
+    pub fn project_with_trend(
+        start: TechNode,
+        end: TechNode,
+        regime: ScalingRegime,
+        trend: ManufacturingTrend,
+    ) -> Result<Self> {
+        let Some(total) = start.transitions_to(end) else {
+            return Err(ModelError::Inconsistent {
+                constraint: "roadmap end node must not be older than the start node",
+            });
+        };
+        let mut steps = Vec::new();
+        let mut node = start;
+        for t in 0..=total {
+            let shrink = DieShrink::new(regime, trend, t);
+            steps.push(RoadmapStep {
+                node,
+                transitions: t,
+                factors: regime.shrink_factors().over_transitions(t),
+                wafer_footprint: trend.wafer_footprint_node_factor(t),
+                embodied: shrink.embodied_factor(),
+            });
+            if t < total {
+                node = node.next().expect("within the roadmap");
+            }
+        }
+        Ok(Roadmap {
+            regime,
+            trend,
+            steps,
+        })
+    }
+
+    /// The scaling regime.
+    pub fn regime(&self) -> ScalingRegime {
+        self.regime
+    }
+
+    /// The projection rows, starting node first.
+    pub fn steps(&self) -> &[RoadmapStep] {
+        &self.steps
+    }
+
+    /// The node (if any) at which the cumulative embodied factor first
+    /// drops below `threshold`.
+    pub fn first_below_embodied(&self, threshold: f64) -> Option<TechNode> {
+        self.steps
+            .iter()
+            .find(|s| s.embodied < threshold)
+            .map(|s| s.node)
+    }
+}
+
+impl fmt::Display for Roadmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "roadmap {} -> {} under {} scaling:",
+            self.steps
+                .first()
+                .map(|s| s.node.to_string())
+                .unwrap_or_default(),
+            self.steps
+                .last()
+                .map(|s| s.node.to_string())
+                .unwrap_or_default(),
+            self.regime
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:>5}: area x{:.3}, wafer x{:.3}, embodied x{:.3}, freq x{:.2}, energy x{:.3}",
+                s.node.to_string(),
+                s.factors.area,
+                s.wafer_footprint,
+                s.embodied,
+                s.factors.frequency,
+                s.factors.energy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_roadmap_has_seven_steps() {
+        let r = Roadmap::project(TechNode::N28, TechNode::N3, ScalingRegime::PostDennard).unwrap();
+        assert_eq!(r.steps().len(), 7);
+        assert_eq!(r.steps()[0].node, TechNode::N28);
+        assert_eq!(r.steps()[6].node, TechNode::N3);
+        assert_eq!(r.steps()[0].transitions, 0);
+        assert_eq!(r.steps()[6].transitions, 6);
+    }
+
+    #[test]
+    fn first_step_is_identity() {
+        let r = Roadmap::project(TechNode::N16, TechNode::N7, ScalingRegime::Classical).unwrap();
+        let first = &r.steps()[0];
+        assert_eq!(first.factors.area, 1.0);
+        assert_eq!(first.wafer_footprint, 1.0);
+        assert_eq!(first.embodied, 1.0);
+    }
+
+    #[test]
+    fn embodied_compounds_per_transition() {
+        let r = Roadmap::project(TechNode::N28, TechNode::N10, ScalingRegime::PostDennard).unwrap();
+        let single: f64 = 0.5 * 1.252;
+        for s in r.steps() {
+            assert!((s.embodied - single.powi(s.transitions as i32)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn backwards_roadmap_is_rejected() {
+        assert!(Roadmap::project(TechNode::N3, TechNode::N28, ScalingRegime::Classical).is_err());
+    }
+
+    #[test]
+    fn single_node_roadmap_is_allowed() {
+        let r = Roadmap::project(TechNode::N7, TechNode::N7, ScalingRegime::Classical).unwrap();
+        assert_eq!(r.steps().len(), 1);
+    }
+
+    #[test]
+    fn first_below_embodied_threshold() {
+        let r = Roadmap::project(TechNode::N28, TechNode::N3, ScalingRegime::PostDennard).unwrap();
+        // 0.626^t < 0.25 first at t = 3 (0.245) → N10.
+        assert_eq!(r.first_below_embodied(0.25), Some(TechNode::N10));
+        assert_eq!(r.first_below_embodied(1e-9), None);
+    }
+
+    #[test]
+    fn display_renders_every_node() {
+        let r = Roadmap::project(TechNode::N28, TechNode::N16, ScalingRegime::Classical).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("28nm") && s.contains("20nm") && s.contains("16nm"));
+    }
+}

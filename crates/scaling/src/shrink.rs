@@ -1,0 +1,223 @@
+//! Die-shrink sustainability analysis (§6, Finding #17).
+//!
+//! Moving an existing design to the next node halves its area but makes
+//! each wafer dirtier to produce (Imec: scope-2 +25.2 %, scope-1 +19.5 %
+//! per transition). FOCAL folds the manufacturing growth into the embodied
+//! proxy: `embodied ∝ area × wafer-footprint factor`.
+
+use crate::dennard::ScalingRegime;
+use focal_core::{DesignPoint, Result};
+use focal_wafer::ManufacturingTrend;
+use std::fmt;
+
+/// A die-shrink: the same microarchitecture reimplemented `transitions`
+/// nodes ahead under a scaling regime.
+///
+/// # Examples
+///
+/// ```
+/// use focal_scaling::{DieShrink, ScalingRegime};
+/// use focal_core::{classify, E2oWeight, Sustainability};
+///
+/// let shrink = DieShrink::next_node(ScalingRegime::PostDennard);
+/// let (new, old) = shrink.design_points()?;
+/// // Finding #17: a die shrink is strongly sustainable.
+/// let c = classify(&new, &old, E2oWeight::EMBODIED_DOMINATED);
+/// assert_eq!(c.class, Sustainability::Strongly);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieShrink {
+    regime: ScalingRegime,
+    trend: ManufacturingTrend,
+    transitions: u32,
+}
+
+impl DieShrink {
+    /// A single-transition shrink with the Imec manufacturing trend.
+    pub fn next_node(regime: ScalingRegime) -> Self {
+        DieShrink {
+            regime,
+            trend: ManufacturingTrend::IMEC,
+            transitions: 1,
+        }
+    }
+
+    /// A multi-transition shrink with a custom manufacturing trend.
+    pub fn new(regime: ScalingRegime, trend: ManufacturingTrend, transitions: u32) -> Self {
+        DieShrink {
+            regime,
+            trend,
+            transitions,
+        }
+    }
+
+    /// The scaling regime.
+    pub fn regime(&self) -> ScalingRegime {
+        self.regime
+    }
+
+    /// Number of node transitions.
+    pub fn transitions(&self) -> u32 {
+        self.transitions
+    }
+
+    /// The *effective embodied factor*: chip-area factor × per-wafer
+    /// manufacturing-footprint growth. For one post-/classical transition
+    /// with Imec numbers: `0.5 × 1.252 = 0.626` — the paper's "0.625".
+    pub fn embodied_factor(&self) -> f64 {
+        let area = self
+            .regime
+            .shrink_factors()
+            .over_transitions(self.transitions)
+            .area;
+        area * self.trend.wafer_footprint_node_factor(self.transitions)
+    }
+
+    /// The power factor (fixed-time operational proxy).
+    pub fn power_factor(&self) -> f64 {
+        self.regime
+            .shrink_factors()
+            .over_transitions(self.transitions)
+            .power
+    }
+
+    /// The energy factor (fixed-work operational proxy).
+    pub fn energy_factor(&self) -> f64 {
+        self.regime
+            .shrink_factors()
+            .over_transitions(self.transitions)
+            .energy
+    }
+
+    /// The performance factor (clock-frequency gain).
+    pub fn performance_factor(&self) -> f64 {
+        self.regime
+            .shrink_factors()
+            .over_transitions(self.transitions)
+            .frequency
+    }
+
+    /// `(new, old)` design points for NCF evaluation. The "area" axis of
+    /// the new design carries the *effective embodied factor* (area ×
+    /// manufacturing growth), which is how FOCAL compares embodied
+    /// footprints across technology nodes.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid configurations; guards the `DesignPoint`
+    /// constructor invariants.
+    pub fn design_points(&self) -> Result<(DesignPoint, DesignPoint)> {
+        let old = DesignPoint::reference();
+        let new = DesignPoint::from_raw(
+            self.embodied_factor(),
+            self.power_factor(),
+            self.energy_factor(),
+            self.performance_factor(),
+        )?;
+        Ok((new, old))
+    }
+}
+
+impl fmt::Display for DieShrink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "die shrink x{} transitions under {} scaling",
+            self.transitions, self.regime
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::{classify, E2oWeight, Ncf, Scenario, Sustainability};
+
+    #[test]
+    fn embodied_factor_matches_paper_case_study() {
+        // "the embodied carbon footprint of the 4-core option in the new
+        // technology node equals 0.625, i.e. chip area halves but the
+        // manufacturing footprint increases by 25.2%."
+        let s = DieShrink::next_node(ScalingRegime::PostDennard);
+        assert!((s.embodied_factor() - 0.626).abs() < 0.001);
+    }
+
+    /// Finding #17: a die shrink is strongly sustainable under both
+    /// regimes and both α scenarios.
+    #[test]
+    fn finding17_die_shrink_strongly_sustainable() {
+        for regime in ScalingRegime::ALL {
+            let (new, old) = DieShrink::next_node(regime).design_points().unwrap();
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                let c = classify(&new, &old, alpha);
+                assert!(
+                    matches!(
+                        c.class,
+                        Sustainability::Strongly | Sustainability::Indifferent
+                    ),
+                    "{regime} α={alpha}: {:?}",
+                    c.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classical_shrink_is_strict_everywhere() {
+        let (new, old) = DieShrink::next_node(ScalingRegime::Classical)
+            .design_points()
+            .unwrap();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            assert_eq!(classify(&new, &old, alpha).class, Sustainability::Strongly);
+        }
+    }
+
+    #[test]
+    fn post_dennard_fixed_time_operational_is_flat() {
+        // Post-Dennard: power constant ⇒ the fixed-time operational ratio
+        // is exactly 1; the shrink still wins on embodied.
+        let s = DieShrink::next_node(ScalingRegime::PostDennard);
+        let (new, old) = s.design_points().unwrap();
+        let ncf = Ncf::evaluate(&new, &old, Scenario::FixedTime, E2oWeight::BALANCED);
+        assert!((ncf.operational_ratio() - 1.0).abs() < 1e-12);
+        assert!(ncf.value() < 1.0);
+    }
+
+    #[test]
+    fn multi_transition_compounds() {
+        let s1 = DieShrink::new(ScalingRegime::Classical, ManufacturingTrend::IMEC, 1);
+        let s2 = DieShrink::new(ScalingRegime::Classical, ManufacturingTrend::IMEC, 2);
+        assert!((s2.embodied_factor() - s1.embodied_factor().powi(2)).abs() < 1e-12);
+        assert!((s2.performance_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_transitions_is_identity() {
+        let s = DieShrink::new(ScalingRegime::PostDennard, ManufacturingTrend::IMEC, 0);
+        assert_eq!(s.embodied_factor(), 1.0);
+        assert_eq!(s.power_factor(), 1.0);
+        assert_eq!(s.energy_factor(), 1.0);
+    }
+
+    #[test]
+    fn greener_fabs_would_amplify_the_win() {
+        // If manufacturing stopped getting dirtier (0% growth), the
+        // embodied factor would be the pure area halving.
+        let flat = ManufacturingTrend::new(0.0, 0.0, 0.0, 0.0).unwrap();
+        let s = DieShrink::new(ScalingRegime::PostDennard, flat, 1);
+        assert_eq!(s.embodied_factor(), 0.5);
+    }
+
+    #[test]
+    fn display_mentions_regime() {
+        let s = DieShrink::next_node(ScalingRegime::Classical);
+        assert!(s.to_string().contains("classical"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the technology-scaling substrate.
+
+use focal_core::{classify, E2oWeight, Sustainability};
+use focal_scaling::{iso_power_frequency, DieShrink, Roadmap, ScalingRegime, TechNode};
+use focal_wafer::ManufacturingTrend;
+use proptest::prelude::*;
+
+proptest! {
+    /// Iso-power frequency: scaling the power ratio by k³ scales the
+    /// frequency by 1/k (exact inverse-cube law).
+    #[test]
+    fn iso_power_inverse_cube(p in 0.1f64..10.0, k in 0.5f64..2.0, gain in 1.0f64..2.0) {
+        let base = iso_power_frequency(p, gain).unwrap();
+        let scaled = iso_power_frequency(p * k.powi(3), gain).unwrap();
+        prop_assert!((scaled - base / k).abs() < 1e-9 * base.max(1.0));
+    }
+
+    /// Iso-power frequency is monotone decreasing in relative power.
+    #[test]
+    fn iso_power_monotone(p in 0.1f64..10.0, dp in 0.01f64..1.0) {
+        let a = iso_power_frequency(p, 1.41).unwrap();
+        let b = iso_power_frequency(p + dp, 1.41).unwrap();
+        prop_assert!(b < a);
+    }
+
+    /// Shrink factors compound exactly: factors(a+b) = factors(a)·factors(b).
+    #[test]
+    fn shrink_factors_compound(a in 0u32..5, b in 0u32..5) {
+        for regime in ScalingRegime::ALL {
+            let fa = regime.shrink_factors().over_transitions(a);
+            let fb = regime.shrink_factors().over_transitions(b);
+            let fab = regime.shrink_factors().over_transitions(a + b);
+            prop_assert!((fab.area - fa.area * fb.area).abs() < 1e-12);
+            prop_assert!((fab.frequency - fa.frequency * fb.frequency).abs() < 1e-9);
+            prop_assert!((fab.power - fa.power * fb.power).abs() < 1e-12);
+            prop_assert!((fab.energy - fa.energy * fb.energy).abs() < 1e-12);
+        }
+    }
+
+    /// A die shrink is strongly sustainable for any manufacturing growth
+    /// below the area halving (the paper's Finding #17 condition).
+    #[test]
+    fn shrink_strong_while_growth_below_halving(growth in 0.0f64..0.9) {
+        let trend = ManufacturingTrend::new(growth, growth, growth, growth).unwrap();
+        for regime in ScalingRegime::ALL {
+            let shrink = DieShrink::new(regime, trend, 1);
+            prop_assert!(shrink.embodied_factor() < 1.0);
+            let (new, old) = shrink.design_points().unwrap();
+            for alpha in [E2oWeight::EMBODIED_DOMINATED, E2oWeight::OPERATIONAL_DOMINATED] {
+                prop_assert_eq!(
+                    classify(&new, &old, alpha).class,
+                    Sustainability::Strongly
+                );
+            }
+        }
+    }
+
+    /// Once per-node manufacturing growth exceeds 100 % (doubling), the
+    /// embodied factor crosses 1 and the shrink stops paying.
+    #[test]
+    fn shrink_fails_when_growth_exceeds_doubling(excess in 0.01f64..2.0) {
+        let growth = 1.0 + excess; // > 100 % growth per node
+        let trend = ManufacturingTrend::new(growth, growth, growth, growth).unwrap();
+        let shrink = DieShrink::new(ScalingRegime::PostDennard, trend, 1);
+        prop_assert!(shrink.embodied_factor() > 1.0);
+    }
+
+    /// Roadmap rows agree with standalone DieShrink at every step.
+    #[test]
+    fn roadmap_rows_match_die_shrink(regime_classical in any::<bool>()) {
+        let regime = if regime_classical {
+            ScalingRegime::Classical
+        } else {
+            ScalingRegime::PostDennard
+        };
+        let roadmap = Roadmap::project(TechNode::N28, TechNode::N3, regime).unwrap();
+        for step in roadmap.steps() {
+            let shrink = DieShrink::new(regime, ManufacturingTrend::IMEC, step.transitions);
+            prop_assert!((step.embodied - shrink.embodied_factor()).abs() < 1e-12);
+            prop_assert!(
+                (step.factors.frequency - shrink.performance_factor()).abs() < 1e-12
+            );
+        }
+    }
+}
+
+#[test]
+fn node_transitions_are_path_independent() {
+    // transitions(a→c) = transitions(a→b) + transitions(b→c).
+    for a in TechNode::ROADMAP {
+        for b in TechNode::ROADMAP {
+            for c in TechNode::ROADMAP {
+                if let (Some(ab), Some(bc), Some(ac)) = (
+                    a.transitions_to(b),
+                    b.transitions_to(c),
+                    a.transitions_to(c),
+                ) {
+                    assert_eq!(ab + bc, ac);
+                }
+            }
+        }
+    }
+}

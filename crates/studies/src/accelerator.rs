@@ -1,0 +1,152 @@
+//! §5.3 — hardware acceleration (Figure 5(a), Finding #6).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{E2oRange, Result, SweepSeries};
+use focal_uarch::Accelerator;
+
+/// Number of utilization grid points for the Figure 5 sweep.
+pub const UTILIZATION_STEPS: usize = 21;
+
+/// The acceleration study around Hameed et al.'s H.264 accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorStudy {
+    /// The accelerator under study (paper: +6.5 % area, 500× energy).
+    pub accelerator: Accelerator,
+}
+
+impl Default for AcceleratorStudy {
+    fn default() -> Self {
+        AcceleratorStudy {
+            accelerator: Accelerator::HAMEED_H264,
+        }
+    }
+}
+
+impl AcceleratorStudy {
+    /// One NCF-vs-utilization curve for an α band (the x-axis here is the
+    /// fraction of time on the accelerator, stored in the series'
+    /// `performance` slot as Figure 5 plots utilization horizontally).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn curve(&self, range: E2oRange, name: &str) -> Result<SweepSeries> {
+        let mut s = SweepSeries::new(name);
+        for i in 0..UTILIZATION_STEPS {
+            let u = i as f64 / (UTILIZATION_STEPS - 1) as f64;
+            let ncf = self.accelerator.ncf(u, range.center())?;
+            s.push_raw(format!("u={u:.2}"), u, ncf);
+        }
+        Ok(s)
+    }
+
+    /// Builds Figure 5(a): NCF vs. fraction of time on the accelerator,
+    /// one curve per α regime.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn figure5a(&self) -> Result<Figure> {
+        let panels = vec![Panel::new(
+            "(6.5% extra chip area)",
+            vec![
+                self.curve(E2oRange::EMBODIED_DOMINATED, "embodied dominated")?,
+                self.curve(E2oRange::OPERATIONAL_DOMINATED, "operational dominated")?,
+            ],
+        )];
+        Ok(Figure::new(
+            "fig5a",
+            "Hardware specialization: total footprint (normalized to the OoO \
+             core) vs. fraction of time on the accelerator",
+            panels,
+        ))
+    }
+
+    /// Finding #6: acceleration is strongly sustainable when operational
+    /// emissions dominate (break-even within a few percent utilization,
+    /// NCF ≈ 0.61 at 50 % use); when embodied emissions dominate it needs
+    /// ≈ 30 % utilization to break even.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding6(&self) -> Result<Finding> {
+        let op = focal_core::E2oWeight::OPERATIONAL_DOMINATED;
+        let emb = focal_core::E2oWeight::EMBODIED_DOMINATED;
+        let ncf_half = self.accelerator.ncf(0.5, op)?;
+        let break_even_emb = self
+            .accelerator
+            .break_even_utilization(emb)
+            .expect("the H.264 accelerator breaks even below full utilization");
+        let break_even_op = self
+            .accelerator
+            .break_even_utilization(op)
+            .expect("break-even exists under operational dominance");
+
+        Ok(Finding {
+            id: 6,
+            claim: "Hardware acceleration is strongly sustainable if the operational footprint dominates; \
+                    under embodied dominance it must be used extensively",
+            metrics: vec![
+                Metric::new("NCF @50% utilization, α=0.2", 0.61, ncf_half, 0.01),
+                Metric::new("break-even utilization, α=0.8", 0.30, break_even_emb, 0.05),
+                // The paper quantifies this only as "a small fraction of
+                // the time"; the closed form gives ≈ 1.6 %.
+                Metric::new("break-even utilization, α=0.2", 0.016, break_even_op, 0.01),
+            ],
+            qualitative_holds: ncf_half < 1.0 && break_even_emb > 0.2 && break_even_op < 0.1,
+            note: Some(
+                "The paper states the footprint 'reduces by 60%' at 50% utilization; the model \
+                 yields NCF ≈ 0.61, i.e. a reduction *to* ~60% (a 39% saving). We read the \
+                 paper's figure, which shows the curve at ≈0.6, as the NCF value.",
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> AcceleratorStudy {
+        AcceleratorStudy::default()
+    }
+
+    #[test]
+    fn figure5a_has_two_monotone_curves() {
+        let fig = study().figure5a().unwrap();
+        assert_eq!(fig.panels.len(), 1);
+        let panel = &fig.panels[0];
+        assert_eq!(panel.series.len(), 2);
+        for s in &panel.series {
+            assert_eq!(s.points.len(), UTILIZATION_STEPS);
+            for w in s.points.windows(2) {
+                assert!(w[1].ncf < w[0].ncf, "{} must fall with utilization", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn embodied_curve_starts_above_one_operational_below_by_small_u() {
+        let fig = study().figure5a().unwrap();
+        let emb = &fig.panels[0].series[0];
+        let op = &fig.panels[0].series[1];
+        assert!(emb.points[0].ncf > 1.0);
+        assert!(op.points[0].ncf > 1.0);
+        // At 20 % utilization the operational curve is already saving.
+        let op_at_02 = op
+            .points
+            .iter()
+            .find(|p| (p.performance - 0.2).abs() < 1e-9)
+            .unwrap();
+        assert!(op_at_02.ncf < 1.0);
+    }
+
+    #[test]
+    fn finding6_reproduces() {
+        let f = study().finding6().unwrap();
+        assert!(f.reproduces(), "{f}");
+        assert!(f.note.is_some());
+    }
+}

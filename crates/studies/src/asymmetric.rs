@@ -1,0 +1,256 @@
+//! §5.2 — asymmetric multicore (Figure 4, Findings #4–#5).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{DesignPoint, E2oWeight, Ncf, Result, Scenario, SweepSeries};
+use focal_perf::{
+    AsymmetricMulticore, LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore,
+};
+
+/// The chip sizes Figure 4 sweeps.
+pub const BCE_SWEEP: [u32; 3] = [8, 16, 32];
+
+/// The parallel fractions Figure 4 sweeps.
+pub const F_SWEEP: [f64; 3] = [0.5, 0.8, 0.95];
+
+/// The asymmetric-multicore study: one 4-BCE big core alongside one-BCE
+/// small cores, versus same-size symmetric chips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymmetricStudy {
+    /// Idle-core leakage fraction (paper: 0.2).
+    pub gamma: LeakageFraction,
+    /// Pollack rule for the big core (paper: √BCE).
+    pub pollack: PollackRule,
+    /// The big core's size in BCEs (paper: 4).
+    pub big_core_bce: f64,
+}
+
+impl Default for AsymmetricStudy {
+    fn default() -> Self {
+        AsymmetricStudy {
+            gamma: LeakageFraction::PAPER,
+            pollack: PollackRule::CLASSIC,
+            big_core_bce: 4.0,
+        }
+    }
+}
+
+impl AsymmetricStudy {
+    /// The asymmetric chip's design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration leaves no small cores.
+    pub fn asymmetric_point(&self, n: f64, f: ParallelFraction) -> Result<DesignPoint> {
+        AsymmetricMulticore::new(n, self.big_core_bce)?.design_point(f, self.gamma, self.pollack)
+    }
+
+    /// The same-size symmetric comparator's design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `n == 0`.
+    pub fn symmetric_point(&self, n: u32, f: ParallelFraction) -> Result<DesignPoint> {
+        SymmetricMulticore::unit_cores(n)?.design_point(f, self.gamma, self.pollack)
+    }
+
+    /// Builds Figure 4: four panels, each with `sym`/`asym` curves for
+    /// f ∈ {0.5, 0.8, 0.95} over 8/16/32 BCEs, normalized to the one-BCE
+    /// single-core processor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in sweep.
+    pub fn figure4(&self) -> Result<Figure> {
+        let reference = DesignPoint::reference();
+        let mut panels = Vec::new();
+        for (alpha, alpha_name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
+        ] {
+            for scenario in Scenario::ALL {
+                let mut series = Vec::new();
+                for &fv in &F_SWEEP {
+                    let f = ParallelFraction::new(fv)?;
+                    let mut sym = SweepSeries::new(format!("sym {fv}"));
+                    let mut asym = SweepSeries::new(format!("asym {fv}"));
+                    for &n in &BCE_SWEEP {
+                        let sp = self.symmetric_point(n, f)?;
+                        sym.push_design(format!("{n} BCEs"), &sp, &reference, scenario, alpha);
+                        let ap = self.asymmetric_point(n as f64, f)?;
+                        asym.push_design(format!("{n} BCEs"), &ap, &reference, scenario, alpha);
+                    }
+                    series.push(sym);
+                    series.push(asym);
+                }
+                panels.push(Panel::new(format!("({alpha_name}, {scenario})"), series));
+            }
+        }
+        Ok(Figure::new(
+            "fig4",
+            "Asymmetric (1x4-BCE big + N-4 small) vs. symmetric multicores: \
+             NCF vs. performance, N ∈ {8,16,32}, f ∈ {0.5,0.8,0.95}, γ = 0.2",
+            panels,
+        ))
+    }
+
+    /// Finding #4: heterogeneity is weakly sustainable — for 32 BCEs and
+    /// f = 0.8 under operational dominance it cuts the footprint 4 %
+    /// under fixed-work but adds 22 % under fixed-time (relative to the
+    /// same-size symmetric chip, comparing Figure-4 NCF values).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding4(&self) -> Result<Finding> {
+        let f = ParallelFraction::new(0.8)?;
+        let alpha = E2oWeight::OPERATIONAL_DOMINATED;
+        let reference = DesignPoint::reference();
+        let asym = self.asymmetric_point(32.0, f)?;
+        let sym = self.symmetric_point(32, f)?;
+
+        let ratio = |scenario| {
+            Ncf::evaluate(&asym, &reference, scenario, alpha).value()
+                / Ncf::evaluate(&sym, &reference, scenario, alpha).value()
+        };
+        let fw_saving = (1.0 - ratio(Scenario::FixedWork)) * 100.0;
+        let ft_increase = (ratio(Scenario::FixedTime) - 1.0) * 100.0;
+
+        Ok(Finding {
+            id: 4,
+            claim: "Heterogeneity is weakly sustainable",
+            metrics: vec![
+                Metric::new(
+                    "fixed-work saving @32 BCE f=0.8, α=0.2 (%)",
+                    4.0,
+                    fw_saving,
+                    1.0,
+                ),
+                Metric::new(
+                    "fixed-time increase @32 BCE f=0.8, α=0.2 (%)",
+                    22.0,
+                    ft_increase,
+                    1.0,
+                ),
+            ],
+            qualitative_holds: fw_saving > 0.0 && ft_increase > 0.0,
+            note: None,
+        })
+    }
+
+    /// Finding #5: at modest parallelism an asymmetric 16-BCE chip beats a
+    /// 32-BCE symmetric chip by 35 % performance at 28–50 % lower
+    /// footprint; at f = 0.95 it still saves 38–50 % footprint but loses
+    /// 23.5 % performance.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding5(&self) -> Result<Finding> {
+        let reference = DesignPoint::reference();
+        let footprint_saving = |x: &DesignPoint, y: &DesignPoint, scenario, alpha| {
+            (1.0 - Ncf::evaluate(x, &reference, scenario, alpha).value()
+                / Ncf::evaluate(y, &reference, scenario, alpha).value())
+                * 100.0
+        };
+
+        // Modest parallelism.
+        let f08 = ParallelFraction::new(0.8)?;
+        let asym16 = self.asymmetric_point(16.0, f08)?;
+        let sym32 = self.symmetric_point(32, f08)?;
+        let perf_gain = (asym16.performance().get() / sym32.performance().get() - 1.0) * 100.0;
+        let save_min = footprint_saving(
+            &asym16,
+            &sym32,
+            Scenario::FixedTime,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        );
+        let save_max = footprint_saving(
+            &asym16,
+            &sym32,
+            Scenario::FixedWork,
+            E2oWeight::EMBODIED_DOMINATED,
+        );
+
+        // High parallelism.
+        let f95 = ParallelFraction::new(0.95)?;
+        let asym16_95 = self.asymmetric_point(16.0, f95)?;
+        let sym32_95 = self.symmetric_point(32, f95)?;
+        let perf_loss =
+            (1.0 - asym16_95.performance().get() / sym32_95.performance().get()) * 100.0;
+        let save95_min = footprint_saving(
+            &asym16_95,
+            &sym32_95,
+            Scenario::FixedTime,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        );
+
+        Ok(Finding {
+            id: 5,
+            claim: "Heterogeneity improves performance sustainably only when software lacks high parallelism",
+            metrics: vec![
+                Metric::new("perf gain asym16 vs sym32 @f=0.8 (%)", 35.0, perf_gain, 1.0),
+                Metric::new("min footprint saving @f=0.8 (%)", 28.0, save_min, 1.5),
+                Metric::new("max footprint saving @f=0.8 (%)", 50.0, save_max, 1.0),
+                Metric::new("perf loss asym16 vs sym32 @f=0.95 (%)", 23.5, perf_loss, 1.0),
+                Metric::new("min footprint saving @f=0.95 (%)", 38.0, save95_min, 1.0),
+            ],
+            qualitative_holds: perf_gain > 0.0 && save_min > 0.0 && perf_loss > 0.0,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> AsymmetricStudy {
+        AsymmetricStudy::default()
+    }
+
+    #[test]
+    fn figure4_has_four_panels_with_six_series() {
+        let fig = study().figure4().unwrap();
+        assert_eq!(fig.panels.len(), 4);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 6); // (sym, asym) x 3 f-values
+            for s in &p.series {
+                assert_eq!(s.points.len(), BCE_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn finding4_reproduces() {
+        let f = study().finding4().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn finding5_reproduces() {
+        let f = study().finding5().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn asym_curves_sit_left_of_sym_at_high_f() {
+        // At f = 0.95 the asymmetric chip trades peak performance for a
+        // smaller footprint (Figure 4's ③ annotation).
+        let st = study();
+        let f = ParallelFraction::new(0.95).unwrap();
+        let asym = st.asymmetric_point(32.0, f).unwrap();
+        let sym = st.symmetric_point(32, f).unwrap();
+        // Same area, both normalized to the same reference.
+        assert_eq!(asym.area().get(), sym.area().get());
+    }
+
+    #[test]
+    fn asym_serial_boost_shows_at_low_f() {
+        let st = study();
+        let f = ParallelFraction::new(0.5).unwrap();
+        let asym = st.asymmetric_point(16.0, f).unwrap();
+        let sym = st.symmetric_point(16, f).unwrap();
+        assert!(asym.performance().get() > sym.performance().get());
+    }
+}

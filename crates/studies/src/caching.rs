@@ -1,0 +1,204 @@
+//! §5.5 — caching (Figure 6, Finding #8).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_cache::{CacheSize, MemoryBoundWorkload};
+use focal_core::{DesignPoint, E2oWeight, Ncf, Result, Scenario, SweepSeries};
+
+/// The caching study: a memory-bound workload with an LLC swept from 1 to
+/// 16 MiB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachingStudy {
+    /// The workload model (paper defaults via
+    /// [`MemoryBoundWorkload::paper`]).
+    pub workload: MemoryBoundWorkload,
+}
+
+impl CachingStudy {
+    /// Creates the study with the paper's workload.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn paper() -> Result<Self> {
+        Ok(CachingStudy {
+            workload: MemoryBoundWorkload::paper()?,
+        })
+    }
+
+    /// One NCF-vs-performance curve for a scenario at a given α; points
+    /// are the 1/2/4/8/16 MiB cache sizes, normalized to the 1 MiB
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper sweep.
+    pub fn curve(&self, scenario: Scenario, alpha: E2oWeight) -> Result<SweepSeries> {
+        let base = self.workload.design_point(self.workload.base_size())?;
+        let mut s = SweepSeries::new(scenario.label());
+        for size in CacheSize::paper_sweep() {
+            let dp = self.workload.design_point(size)?;
+            s.push_design(size.to_string(), &dp, &base, scenario, alpha);
+        }
+        Ok(s)
+    }
+
+    /// Builds Figure 6: two panels (embodied/operational dominated), each
+    /// with fixed-work and fixed-time curves over the cache-size sweep.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper sweep.
+    pub fn figure6(&self) -> Result<Figure> {
+        let mut panels = Vec::new();
+        for (alpha, name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
+        ] {
+            panels.push(Panel::new(
+                format!("({name})"),
+                vec![
+                    self.curve(Scenario::FixedWork, alpha)?,
+                    self.curve(Scenario::FixedTime, alpha)?,
+                ],
+            ));
+        }
+        Ok(Figure::new(
+            "fig6",
+            "Sustainability impact of last-level caches: NCF vs. performance \
+             for 1-16 MiB LLCs (CACTI-65nm calibration, sqrt(2) miss rule)",
+            panels,
+        ))
+    }
+
+    /// Finding #8: caching is not sustainable when embodied emissions
+    /// dominate; marginally weakly sustainable (small caches, fixed-work)
+    /// when operational emissions dominate.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding8(&self) -> Result<Finding> {
+        let base = self.workload.design_point(self.workload.base_size())?;
+        let ncf = |mib: f64, scenario, alpha| -> Result<f64> {
+            let dp = self.workload.design_point(CacheSize::from_mib(mib)?)?;
+            Ok(Ncf::evaluate(&dp, &base, scenario, alpha).value())
+        };
+
+        // Embodied dominated: every size increases the footprint.
+        let mut emb_never_saves = true;
+        for mib in [2.0, 4.0, 8.0, 16.0] {
+            for scenario in Scenario::ALL {
+                emb_never_saves &= ncf(mib, scenario, E2oWeight::EMBODIED_DOMINATED)? > 1.0;
+            }
+        }
+        // Operational dominated: a 2 MiB cache saves under fixed-work but
+        // not under fixed-time (the "marginally weakly sustainable" case).
+        let op_fw_2m = ncf(2.0, Scenario::FixedWork, E2oWeight::OPERATIONAL_DOMINATED)?;
+        let op_ft_2m = ncf(2.0, Scenario::FixedTime, E2oWeight::OPERATIONAL_DOMINATED)?;
+        let op_fw_16m = ncf(16.0, Scenario::FixedWork, E2oWeight::OPERATIONAL_DOMINATED)?;
+
+        Ok(Finding {
+            id: 8,
+            claim:
+                "Caching is not sustainable when embodied emissions dominate; at best marginally \
+                    weakly sustainable when operational emissions dominate",
+            metrics: vec![
+                Metric::new(
+                    "NCF_fw,0.2 @2MiB (<1: marginal saving)",
+                    0.88,
+                    op_fw_2m,
+                    0.03,
+                ),
+                Metric::new("NCF_ft,0.2 @2MiB (>1: rebound loss)", 1.07, op_ft_2m, 0.03),
+                Metric::new("NCF_fw,0.2 @16MiB (>1: too big)", 1.48, op_fw_16m, 0.06),
+            ],
+            qualitative_holds: emb_never_saves && op_fw_2m < 1.0 && op_ft_2m > 1.0,
+            note: Some(
+                "The 5%-of-energy LLC-access share and 15% residual core energy are model \
+                 parameters the paper leaves implicit; see DESIGN.md.",
+            ),
+        })
+    }
+
+    /// The design point for one cache size, exposed for the examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn design_point(&self, size: CacheSize) -> Result<DesignPoint> {
+        self.workload.design_point(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> CachingStudy {
+        CachingStudy::paper().unwrap()
+    }
+
+    #[test]
+    fn figure6_has_two_panels_with_two_curves() {
+        let fig = study().figure6().unwrap();
+        assert_eq!(fig.panels.len(), 2);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 2);
+            for s in &p.series {
+                assert_eq!(s.points.len(), 5);
+                // Performance spans 1.0 → 2.5 like the paper's x-axis.
+                assert!((s.points[0].performance - 1.0).abs() < 1e-12);
+                assert!((s.points[4].performance - 2.5).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_embodied_panel_rises_steeply() {
+        let fig = study().figure6().unwrap();
+        let emb_fw = &fig.panels[0].series[0];
+        // 16 MiB under embodied dominance: NCF ≈ 4.1 (Fig 6(a) tops out
+        // near 5 on its axis).
+        let last = emb_fw.points.last().unwrap();
+        assert!(last.ncf > 3.5 && last.ncf < 5.0, "got {}", last.ncf);
+    }
+
+    #[test]
+    fn figure6_embodied_curves_rise_monotonically() {
+        let fig = study().figure6().unwrap();
+        for s in &fig.panels[0].series {
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].ncf > w[0].ncf,
+                    "{}: NCF must grow with cache size under embodied dominance",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_operational_fixed_work_dips_then_rises() {
+        // The op-dom fixed-work curve is the one place caching pays off:
+        // it dips below 1 at 2 MiB before the area term drags it back up.
+        let fig = study().figure6().unwrap();
+        let fw = &fig.panels[1].series[0];
+        assert!(fw.points[1].ncf < 1.0, "2 MiB saves: {}", fw.points[1].ncf);
+        assert!(fw.points[4].ncf > 1.0, "16 MiB loses: {}", fw.points[4].ncf);
+    }
+
+    #[test]
+    fn finding8_reproduces() {
+        let f = study().finding8().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn base_point_is_unit() {
+        let st = study();
+        let base = st.design_point(CacheSize::from_mib(1.0).unwrap()).unwrap();
+        assert!((base.performance().get() - 1.0).abs() < 1e-12);
+        assert!((base.energy().get() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! §7 — sustainable multicore design in a new technology node (Figure 9).
+//!
+//! A quad-core chip moves to the next node under a fixed power budget.
+//! Options: keep 4 cores (die shrink) … double to 8 cores (constant
+//! area). Per the paper: f = 0.75, γ = 0.2, post-Dennard iso-power
+//! frequency 1.41× for 4 cores falling to ≈ 1.24× for 8 (see
+//! [`focal_scaling::iso_power_frequency`]); embodied footprint scales as
+//! `(cores/8) × 1.252` relative to the old 4-core chip.
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{DesignPoint, E2oWeight, Result, Scenario, Sustainability, SweepSeries};
+use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+use focal_scaling::iso_power_frequency;
+use focal_wafer::ManufacturingTrend;
+
+/// One candidate configuration in the new technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeOption {
+    /// Core count (4–8 in the paper).
+    pub cores: u32,
+    /// Achievable clock relative to the old node (1.41 → 1.24).
+    pub frequency_gain: f64,
+    /// Performance relative to the old 4-core chip.
+    pub performance: f64,
+    /// Embodied footprint relative to the old 4-core chip.
+    pub embodied: f64,
+    /// Energy per unit of work relative to the old chip (power is flat by
+    /// construction, so this is `1 / performance`).
+    pub energy: f64,
+}
+
+/// The §7 case study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseStudy {
+    /// Parallel fraction (paper: 0.75).
+    pub f: ParallelFraction,
+    /// Idle leakage (paper: 0.2).
+    pub gamma: LeakageFraction,
+    /// Old-node core count (paper: 4).
+    pub base_cores: u32,
+    /// Manufacturing trend (paper: Imec, +25.2 % per node).
+    pub trend: ManufacturingTrend,
+}
+
+impl CaseStudy {
+    /// The paper's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn paper() -> Result<Self> {
+        Ok(CaseStudy {
+            f: ParallelFraction::new(0.75)?,
+            gamma: LeakageFraction::PAPER,
+            base_cores: 4,
+            trend: ManufacturingTrend::IMEC,
+        })
+    }
+
+    fn woo_lee_power(&self, cores: u32) -> Result<f64> {
+        Ok(SymmetricMulticore::unit_cores(cores)?.power(self.f, self.gamma, PollackRule::CLASSIC))
+    }
+
+    fn amdahl_speedup(&self, cores: u32) -> Result<f64> {
+        Ok(SymmetricMulticore::unit_cores(cores)?.speedup(self.f, PollackRule::CLASSIC))
+    }
+
+    /// Evaluates one new-node option with `cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `cores < base_cores` (the study only grows the
+    /// chip) or `cores == 0`.
+    pub fn option(&self, cores: u32) -> Result<NodeOption> {
+        if cores < self.base_cores {
+            return Err(focal_core::ModelError::Inconsistent {
+                constraint: "the case study considers core counts at or above the old chip's",
+            });
+        }
+        let p_base = self.woo_lee_power(self.base_cores)?;
+        let p_new = self.woo_lee_power(cores)?;
+        // Iso-power clock: 1.41x for the same configuration, less for more
+        // cores (dynamic power cubic in frequency).
+        let frequency_gain = iso_power_frequency(p_new / p_base, std::f64::consts::SQRT_2)?;
+        let performance =
+            self.amdahl_speedup(cores)? * frequency_gain / self.amdahl_speedup(self.base_cores)?;
+        // Area per core halves; embodied also carries the wafer-footprint
+        // growth: (cores / (2·base)) × 1.252.
+        let embodied = (cores as f64 / (2.0 * self.base_cores as f64))
+            * self.trend.wafer_footprint_node_factor(1);
+        Ok(NodeOption {
+            cores,
+            frequency_gain,
+            performance,
+            embodied,
+            energy: 1.0 / performance,
+        })
+    }
+
+    /// The new-node design point vs. the old chip (area axis carries the
+    /// effective embodied factor; power is flat at the budget).
+    ///
+    /// # Errors
+    ///
+    /// See [`CaseStudy::option`].
+    pub fn design_point(&self, cores: u32) -> Result<DesignPoint> {
+        let o = self.option(cores)?;
+        DesignPoint::from_raw(o.embodied, 1.0, o.energy, o.performance)
+    }
+
+    /// Builds Figure 9: two panels (embodied/operational dominated), each
+    /// with fixed-work and fixed-time curves over 4–8 cores; NCF and
+    /// performance are relative to the old-node 4-core chip.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper configuration.
+    pub fn figure9(&self) -> Result<Figure> {
+        let old = DesignPoint::reference();
+        let mut panels = Vec::new();
+        for (alpha, name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
+        ] {
+            let mut series = Vec::new();
+            for scenario in Scenario::ALL {
+                let mut s = SweepSeries::new(scenario.label());
+                for cores in self.base_cores..=(2 * self.base_cores) {
+                    let dp = self.design_point(cores)?;
+                    s.push_design(format!("{cores} cores"), &dp, &old, scenario, alpha);
+                }
+                series.push(s);
+            }
+            panels.push(Panel::new(format!("({name})"), series));
+        }
+        Ok(Figure::new(
+            "fig9",
+            "Next-node multicore options (4-8 cores, power-constrained, \
+             f = 0.75): NCF vs. performance relative to the old 4-core chip",
+            panels,
+        ))
+    }
+
+    /// Classifies each option; the paper's conclusion: 4–6 cores strongly
+    /// sustainable, 7–8 weakly (operational dom) or not (embodied dom)
+    /// sustainable.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper configuration.
+    pub fn classification_table(&self) -> Result<Vec<(u32, Sustainability, Sustainability)>> {
+        let old = DesignPoint::reference();
+        let mut rows = Vec::new();
+        for cores in self.base_cores..=(2 * self.base_cores) {
+            let dp = self.design_point(cores)?;
+            let emb = focal_core::classify(&dp, &old, E2oWeight::EMBODIED_DOMINATED).class;
+            let op = focal_core::classify(&dp, &old, E2oWeight::OPERATIONAL_DOMINATED).class;
+            rows.push((cores, emb, op));
+        }
+        Ok(rows)
+    }
+
+    /// The case study's headline numbers as a pseudo-finding (the paper
+    /// numbers it as §7 rather than a Finding).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper configuration.
+    pub fn headline(&self) -> Result<Finding> {
+        let o4 = self.option(4)?;
+        let o6 = self.option(6)?;
+        let o8 = self.option(8)?;
+        let rows = self.classification_table()?;
+        let sober_strong = rows
+            .iter()
+            .take(3) // 4, 5, 6 cores
+            .all(|(_, e, o)| *e == Sustainability::Strongly && *o == Sustainability::Strongly);
+        let aggressive_not_strong = rows
+            .iter()
+            .skip(3) // 7, 8 cores
+            .all(|(_, e, o)| *e != Sustainability::Strongly && *o != Sustainability::Strongly);
+
+        Ok(Finding {
+            id: 18, // §7 case study, numbered after the 17 findings
+            claim: "4-6 core next-node designs are strongly sustainable; 7-8 cores are weakly or not sustainable",
+            metrics: vec![
+                Metric::new("frequency gain, 4 cores", 1.41, o4.frequency_gain, 0.01),
+                Metric::new("frequency gain, 8 cores", 1.24, o8.frequency_gain, 0.01),
+                Metric::new("embodied factor, 4 cores", 0.625, o4.embodied, 0.002),
+                Metric::new("embodied factor, 8 cores", 1.25, o8.embodied, 0.005),
+                Metric::new("performance range low", 1.41, o4.performance, 0.01),
+                Metric::new("performance range high (6 cores)", 1.52, o6.performance, 0.01),
+            ],
+            qualitative_holds: sober_strong && aggressive_not_strong,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> CaseStudy {
+        CaseStudy::paper().unwrap()
+    }
+
+    #[test]
+    fn frequency_gains_match_paper_range() {
+        let st = study();
+        assert!((st.option(4).unwrap().frequency_gain - 1.414).abs() < 0.001);
+        assert!((st.option(8).unwrap().frequency_gain - 1.24).abs() < 0.01);
+        // Monotone decline in between.
+        let mut prev = f64::INFINITY;
+        for cores in 4..=8 {
+            let g = st.option(cores).unwrap().frequency_gain;
+            assert!(g < prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn embodied_factors_match_paper() {
+        let st = study();
+        assert!((st.option(4).unwrap().embodied - 0.626).abs() < 0.001);
+        assert!((st.option(8).unwrap().embodied - 1.252).abs() < 0.001);
+    }
+
+    #[test]
+    fn performance_range_is_141_to_157() {
+        let st = study();
+        let p4 = st.option(4).unwrap().performance;
+        let p8 = st.option(8).unwrap().performance;
+        assert!((p4 - 1.414).abs() < 0.001);
+        assert!(p8 > 1.55 && p8 < 1.60, "got {p8}");
+        // More cores is always (somewhat) faster here.
+        let mut prev = 0.0;
+        for cores in 4..=8 {
+            let p = st.option(cores).unwrap().performance;
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn figure9_panels_and_monotone_ncf() {
+        let fig = study().figure9().unwrap();
+        assert_eq!(fig.panels.len(), 2);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 2);
+            for s in &p.series {
+                assert_eq!(s.points.len(), 5);
+                // NCF grows with core count (more embodied footprint).
+                for w in s.points.windows(2) {
+                    assert!(w[1].ncf > w[0].ncf, "{}", s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_conclusion() {
+        let rows = study().classification_table().unwrap();
+        assert_eq!(rows.len(), 5);
+        for (cores, emb, op) in &rows[..3] {
+            assert_eq!(*emb, Sustainability::Strongly, "{cores} cores (emb)");
+            assert_eq!(*op, Sustainability::Strongly, "{cores} cores (op)");
+        }
+        // 7 and 8 cores: not sustainable under embodied dominance, weakly
+        // under operational dominance.
+        for (cores, emb, op) in &rows[3..] {
+            assert_eq!(*emb, Sustainability::Less, "{cores} cores (emb)");
+            assert_eq!(*op, Sustainability::Weakly, "{cores} cores (op)");
+        }
+    }
+
+    #[test]
+    fn headline_reproduces() {
+        let f = study().headline().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn shrinking_below_base_cores_is_rejected() {
+        assert!(study().option(3).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! §5.4 — dark silicon (Figure 5(b), Finding #7).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{E2oRange, E2oWeight, Result, SweepSeries};
+use focal_uarch::DarkSiliconSoc;
+
+/// Number of utilization grid points.
+pub const UTILIZATION_STEPS: usize = 21;
+
+/// The dark-silicon study: a SoC whose accelerators fill two thirds of the
+/// die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DarkSiliconStudy {
+    /// The SoC under study (paper: 2/3 accelerators, 500× energy).
+    pub soc: DarkSiliconSoc,
+}
+
+impl Default for DarkSiliconStudy {
+    fn default() -> Self {
+        DarkSiliconStudy {
+            soc: DarkSiliconSoc::PAPER,
+        }
+    }
+}
+
+impl DarkSiliconStudy {
+    /// One NCF-vs-utilization curve (utilization on the x-axis).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn curve(&self, range: E2oRange, name: &str) -> Result<SweepSeries> {
+        let mut s = SweepSeries::new(name);
+        for i in 0..UTILIZATION_STEPS {
+            let u = i as f64 / (UTILIZATION_STEPS - 1) as f64;
+            s.push_raw(format!("u={u:.2}"), u, self.soc.ncf(u, range.center())?);
+        }
+        Ok(s)
+    }
+
+    /// Builds Figure 5(b): NCF vs. utilization for the 200 %-extra-area
+    /// SoC, one curve per α regime.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn figure5b(&self) -> Result<Figure> {
+        Ok(Figure::new(
+            "fig5b",
+            "Dark silicon (accelerators fill 2/3 of the chip): total footprint \
+             normalized to the OoO core vs. fraction of time on accelerators",
+            vec![Panel::new(
+                "(200% extra chip area)",
+                vec![
+                    self.curve(E2oRange::EMBODIED_DOMINATED, "embodied dominated")?,
+                    self.curve(E2oRange::OPERATIONAL_DOMINATED, "operational dominated")?,
+                ],
+            )],
+        ))
+    }
+
+    /// Finding #7: dark silicon is not sustainable — ≈ 2.5× the footprint
+    /// when embodied emissions dominate; needs > 50 % utilization to break
+    /// even when operational emissions dominate.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding7(&self) -> Result<Finding> {
+        let emb = E2oWeight::EMBODIED_DOMINATED;
+        let op = E2oWeight::OPERATIONAL_DOMINATED;
+        // Representative utilization for the embodied-dominated headline.
+        let ncf_emb = self.soc.ncf(0.25, emb)?;
+        let break_even_op = self
+            .soc
+            .break_even_utilization(op)
+            .expect("the dark-silicon SoC eventually breaks even under op dominance");
+        // Qualitative: under embodied dominance, no utilization level saves.
+        let mut never_saves_emb = true;
+        for i in 0..=10 {
+            never_saves_emb &= self.soc.ncf(i as f64 / 10.0, emb)? > 1.0;
+        }
+
+        Ok(Finding {
+            id: 7,
+            claim: "Dark silicon is not sustainable",
+            metrics: vec![
+                Metric::new("NCF (emb dom, ~25% use)", 2.5, ncf_emb, 0.1),
+                Metric::new("break-even utilization (op dom)", 0.55, break_even_op, 0.1),
+            ],
+            qualitative_holds: never_saves_emb && break_even_op > 0.5,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> DarkSiliconStudy {
+        DarkSiliconStudy::default()
+    }
+
+    #[test]
+    fn figure5b_embodied_curve_stays_far_above_one() {
+        let fig = study().figure5b().unwrap();
+        let emb = &fig.panels[0].series[0];
+        for p in &emb.points {
+            assert!(p.ncf > 2.4, "u={}: {}", p.performance, p.ncf);
+        }
+    }
+
+    #[test]
+    fn figure5b_operational_curve_crosses_one_past_half() {
+        let fig = study().figure5b().unwrap();
+        let op = &fig.panels[0].series[1];
+        let below: Vec<&focal_core::SweepPoint> =
+            op.points.iter().filter(|p| p.ncf < 1.0).collect();
+        assert!(!below.is_empty(), "high utilization must eventually save");
+        // The first utilization that saves is above 0.5.
+        assert!(below[0].performance > 0.5);
+    }
+
+    #[test]
+    fn finding7_reproduces() {
+        let f = study().finding7().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn figure5b_starts_at_max_penalty() {
+        // Unused dark silicon under embodied dominance: NCF = 0.8·3 + 0.2.
+        let fig = study().figure5b().unwrap();
+        let emb = &fig.panels[0].series[0];
+        assert!((emb.points[0].ncf - 2.6).abs() < 1e-9);
+    }
+}

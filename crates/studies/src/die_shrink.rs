@@ -1,0 +1,69 @@
+//! §6 — die shrink (Finding #17).
+
+use crate::finding::{Finding, Metric};
+use focal_core::{classify, E2oWeight, Result, Sustainability};
+use focal_scaling::{DieShrink, ScalingRegime};
+
+/// The die-shrink study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DieShrinkStudy;
+
+impl DieShrinkStudy {
+    /// Finding #17: a die shrink is strongly sustainable under both
+    /// classical and post-Dennard scaling. (Under post-Dennard the
+    /// fixed-time operational term is exactly flat, so "strongly" holds
+    /// through the embodied saving alone.)
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in configurations.
+    pub fn finding17(&self) -> Result<Finding> {
+        let mut holds = true;
+        let mut metrics = Vec::new();
+        for regime in ScalingRegime::ALL {
+            let shrink = DieShrink::next_node(regime);
+            let (new, old) = shrink.design_points()?;
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                let class = classify(&new, &old, alpha).class;
+                holds &= class == Sustainability::Strongly;
+            }
+            metrics.push(Metric::new(
+                format!("embodied factor ({regime})"),
+                0.626,
+                shrink.embodied_factor(),
+                0.001,
+            ));
+            metrics.push(Metric::new(
+                format!("energy factor ({regime})"),
+                match regime {
+                    ScalingRegime::Classical => 1.0 / 2.82,
+                    ScalingRegime::PostDennard => 1.0 / 1.41,
+                },
+                shrink.energy_factor(),
+                0.01,
+            ));
+        }
+        Ok(Finding {
+            id: 17,
+            claim: "A die shrink is strongly sustainable",
+            metrics,
+            qualitative_holds: holds,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding17_reproduces() {
+        let f = DieShrinkStudy.finding17().unwrap();
+        assert!(f.reproduces(), "{f}");
+        assert_eq!(f.metrics.len(), 4);
+    }
+}

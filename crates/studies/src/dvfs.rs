@@ -1,0 +1,121 @@
+//! §5.8 — frequency and voltage scaling (Findings #14–#15).
+
+use crate::finding::{Finding, Metric};
+use focal_core::{classify, DesignPoint, E2oWeight, Result, Sustainability};
+use focal_uarch::{DvfsCore, TurboBoost};
+
+/// The DVFS study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsStudy {
+    /// The DVFS-capable core (default: 70 % dynamic power, 2 % regulator
+    /// area).
+    pub core: DvfsCore,
+    /// The turbo configuration (default: +1 % turbo circuitry).
+    pub turbo: TurboBoost,
+    /// The representative down-scaling point evaluated by Finding #14.
+    pub downscale: f64,
+    /// The representative boost point evaluated by Finding #15.
+    pub boost: f64,
+}
+
+impl Default for DvfsStudy {
+    fn default() -> Self {
+        DvfsStudy {
+            core: DvfsCore::default_core(),
+            turbo: TurboBoost::default_turbo(),
+            downscale: 0.8,
+            boost: 1.2,
+        }
+    }
+}
+
+impl DvfsStudy {
+    /// Finding #14: DVFS (scaling down) is strongly sustainable.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default configuration.
+    pub fn finding14(&self) -> Result<Finding> {
+        let nominal = self.core.nominal_without_dvfs()?;
+        let scaled = self.core.design_point(self.downscale)?;
+        let mut strongly = true;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            strongly &= classify(&scaled, &nominal, alpha).class == Sustainability::Strongly;
+        }
+        // Cubic power / quadratic energy at k = 0.8, δ = 0.7.
+        let power = self.core.power(self.downscale)?;
+        let energy = self.core.energy(self.downscale)?;
+        Ok(Finding {
+            id: 14,
+            claim: "DVFS is strongly sustainable",
+            metrics: vec![
+                Metric::new(
+                    "power @k=0.8 (δ·k³+(1−δ)k)",
+                    0.7 * 0.512 + 0.3 * 0.8,
+                    power,
+                    1e-9,
+                ),
+                Metric::new("energy @k=0.8 (δ·k²+(1−δ))", 0.7 * 0.64 + 0.3, energy, 1e-9),
+            ],
+            qualitative_holds: strongly,
+            note: None,
+        })
+    }
+
+    /// Finding #15: turbo boosting is less sustainable.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default configuration.
+    pub fn finding15(&self) -> Result<Finding> {
+        let nominal = DesignPoint::reference();
+        let boosted = self.turbo.design_point(self.boost)?;
+        let mut less = true;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            less &= classify(&boosted, &nominal, alpha).class == Sustainability::Less;
+        }
+        Ok(Finding {
+            id: 15,
+            claim: "Turboboosting leads to a less sustainable system",
+            metrics: vec![Metric::new(
+                "power @k=1.2 (> 1)",
+                0.7 * 1.728 + 0.3 * 1.2,
+                self.core.power(self.boost)?,
+                1e-9,
+            )],
+            qualitative_holds: less,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding14_reproduces() {
+        let f = DvfsStudy::default().finding14().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn finding15_reproduces() {
+        let f = DvfsStudy::default().finding15().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn deeper_downscaling_saves_more() {
+        let st = DvfsStudy::default();
+        let e_shallow = st.core.energy(0.9).unwrap();
+        let e_deep = st.core.energy(0.6).unwrap();
+        assert!(e_deep < e_shallow);
+    }
+}

@@ -1,0 +1,326 @@
+//! Extensions beyond the paper's evaluation (DESIGN.md §8): the dynamic
+//! Hill–Marty topology, Gustafson-scaled workloads, deployment-rebound
+//! analysis, and the reconfigurable-accelerator alternative the §5.4
+//! discussion proposes.
+
+use crate::figure::{Figure, Panel};
+use focal_core::{
+    classify, deployment_adjusted_weight, DesignPoint, E2oWeight, Result, Scenario, Sustainability,
+    SweepSeries,
+};
+use focal_perf::{
+    gustafson_speedup, DynamicMulticore, LeakageFraction, ParallelFraction, PollackRule,
+    SymmetricMulticore,
+};
+use focal_uarch::{DarkSiliconSoc, FixedFunctionSuite, ReconfigurableFabric};
+
+/// Extension study: the dynamic (fused/composable) multicore added to the
+/// Figure-3 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicMulticoreStudy {
+    /// Idle leakage (paper: 0.2).
+    pub gamma: LeakageFraction,
+    /// Pollack rule.
+    pub pollack: PollackRule,
+}
+
+impl Default for DynamicMulticoreStudy {
+    fn default() -> Self {
+        DynamicMulticoreStudy {
+            gamma: LeakageFraction::PAPER,
+            pollack: PollackRule::CLASSIC,
+        }
+    }
+}
+
+impl DynamicMulticoreStudy {
+    /// A Figure-3-style panel with symmetric, big-core and dynamic curves
+    /// at a given `f`, under the given α and scenario.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in sweep.
+    pub fn panel(
+        &self,
+        f: ParallelFraction,
+        scenario: Scenario,
+        alpha: E2oWeight,
+    ) -> Result<Panel> {
+        let reference = DesignPoint::reference();
+        let mut sym = SweepSeries::new("symmetric");
+        let mut dynamic = SweepSeries::new("dynamic");
+        let mut big = SweepSeries::new("single-core");
+        for &n in &[1u32, 2, 4, 8, 16, 32] {
+            let s = SymmetricMulticore::unit_cores(n)?.design_point(f, self.gamma, self.pollack)?;
+            sym.push_design(format!("{n} BCEs"), &s, &reference, scenario, alpha);
+            let d = DynamicMulticore::new(n as f64)?.design_point(f, self.gamma, self.pollack)?;
+            dynamic.push_design(format!("{n} BCEs"), &d, &reference, scenario, alpha);
+            let b = SymmetricMulticore::big_core(n as f64)?.design_point(
+                f,
+                self.gamma,
+                self.pollack,
+            )?;
+            big.push_design(format!("{n} BCEs"), &b, &reference, scenario, alpha);
+        }
+        Ok(Panel::new(
+            format!("(f={}, {scenario}, {alpha})", f.parallel()),
+            vec![sym, dynamic, big],
+        ))
+    }
+
+    /// The headline question: is a dynamic multicore *more* sustainable
+    /// than a symmetric one of the same size? Under fixed-work yes at
+    /// high f (it converts serial idle leakage into useful speed); under
+    /// fixed-time its always-full-power profile costs it.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in configuration.
+    pub fn dynamic_vs_symmetric(
+        &self,
+        n: u32,
+        f: ParallelFraction,
+        alpha: E2oWeight,
+    ) -> Result<Sustainability> {
+        let dynamic = DynamicMulticore::new(n as f64)?.design_point(f, self.gamma, self.pollack)?;
+        let symmetric =
+            SymmetricMulticore::unit_cores(n)?.design_point(f, self.gamma, self.pollack)?;
+        Ok(classify(&dynamic, &symmetric, alpha).class)
+    }
+}
+
+/// Extension study: weak-scaling (Gustafson) workloads as the natural
+/// fixed-time regime — the machine's extra throughput is filled with
+/// extra work, and the right performance law is `S = (1 − f) + f·n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GustafsonStudy;
+
+impl GustafsonStudy {
+    /// Compares Amdahl vs Gustafson accounting for an `n`-core chip: the
+    /// chip is physically identical (area, power), but the *work done*
+    /// differs, which is precisely why the fixed-time scenario uses power
+    /// as the operational proxy — energy-per-work falls as n grows even
+    /// though power rises.
+    ///
+    /// Returns `(amdahl_speedup, gustafson_speedup, energy_per_work_ratio)`
+    /// where the last value is the Gustafson energy per unit of work
+    /// relative to single-core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `n == 0`.
+    pub fn weak_scaling_energy(
+        &self,
+        n: u32,
+        f: ParallelFraction,
+        gamma: LeakageFraction,
+    ) -> Result<(f64, f64, f64)> {
+        let chip = SymmetricMulticore::unit_cores(n)?;
+        let amdahl = chip.speedup(f, PollackRule::CLASSIC);
+        let gustafson = gustafson_speedup(f, n)?;
+        // Under weak scaling the chip runs the same wall-clock time as the
+        // single core, drawing (approximately) its Woo-Lee average power,
+        // and completes `gustafson` units of work — so energy per unit of
+        // work is power / gustafson.
+        let power = chip.power(f, gamma, PollackRule::CLASSIC);
+        Ok((amdahl, gustafson, power / gustafson))
+    }
+}
+
+/// Extension study: deployment rebound — efficiency gains increase the
+/// number of devices manufactured, shifting the effective α toward
+/// embodied (§3.7's second rebound channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeploymentReboundStudy;
+
+impl DeploymentReboundStudy {
+    /// Re-evaluates a comparison with the α weight adjusted for a
+    /// `deployment_factor`× increase in units shipped, returning
+    /// `(original verdict, adjusted verdict)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive deployment factor.
+    pub fn verdict_shift(
+        &self,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        alpha: E2oWeight,
+        deployment_factor: f64,
+    ) -> Result<(Sustainability, Sustainability)> {
+        let adjusted = deployment_adjusted_weight(alpha, deployment_factor)?;
+        Ok((classify(x, y, alpha).class, classify(x, y, adjusted).class))
+    }
+}
+
+/// Extension study: reconfigurable fabric vs. dark-silicon suite
+/// (the §5.4 discussion, quantified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigurableStudy {
+    /// The dark-silicon fixed-function suite.
+    pub suite: FixedFunctionSuite,
+    /// The reconfigurable alternative.
+    pub fabric: ReconfigurableFabric,
+}
+
+impl ReconfigurableStudy {
+    /// A representative configuration: 20 fixed accelerators of 10 % core
+    /// area each (together the paper's two-thirds-dark chip) versus one
+    /// fabric of 40 % core area at a 10× lower energy advantage.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn representative() -> Result<Self> {
+        Ok(ReconfigurableStudy {
+            suite: FixedFunctionSuite::new(20, 0.10, 500.0)?,
+            fabric: ReconfigurableFabric::new(0.40, 50.0)?,
+        })
+    }
+
+    /// The extension figure: NCF vs utilization for the bare dark-silicon
+    /// SoC, the fixed suite and the fabric, under both α regimes.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn figure(&self) -> Result<Figure> {
+        let mut panels = Vec::new();
+        for (alpha, name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
+        ] {
+            let mut fixed = SweepSeries::new("fixed suite (dark silicon)");
+            let mut fabric = SweepSeries::new("reconfigurable fabric");
+            let mut soc = SweepSeries::new("paper's 2/3-dark SoC");
+            let paper_soc = DarkSiliconSoc::PAPER;
+            for i in 0..=20 {
+                let u = i as f64 / 20.0;
+                fixed.push_raw(format!("u={u:.2}"), u, self.suite.ncf(u, alpha)?);
+                fabric.push_raw(format!("u={u:.2}"), u, self.fabric.ncf(u, alpha)?);
+                soc.push_raw(format!("u={u:.2}"), u, paper_soc.ncf(u, alpha)?);
+            }
+            panels.push(Panel::new(format!("({name})"), vec![fixed, fabric, soc]));
+        }
+        Ok(Figure::new(
+            "ext_reconfig",
+            "Extension: reconfigurable fabric vs. fixed-function dark silicon \
+             (NCF vs. accelerated fraction of time)",
+            panels,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::Ncf;
+
+    #[test]
+    fn dynamic_panel_has_three_series() {
+        let study = DynamicMulticoreStudy::default();
+        let f = ParallelFraction::new(0.8).unwrap();
+        let panel = study
+            .panel(f, Scenario::FixedWork, E2oWeight::OPERATIONAL_DOMINATED)
+            .unwrap();
+        assert_eq!(panel.series.len(), 3);
+        // The dynamic curve reaches the highest performance.
+        let max_perf = |s: &SweepSeries| s.max_performance().unwrap().performance;
+        assert!(max_perf(&panel.series[1]) >= max_perf(&panel.series[0]));
+        assert!(max_perf(&panel.series[1]) >= max_perf(&panel.series[2]));
+    }
+
+    #[test]
+    fn dynamic_is_weakly_sustainable_vs_symmetric_at_high_f() {
+        // Fixed-work: dynamic converts leakage into speed (lower energy);
+        // fixed-time: it burns full power always (higher power) -> weak.
+        let study = DynamicMulticoreStudy::default();
+        let f = ParallelFraction::new(0.5).unwrap();
+        let verdict = study
+            .dynamic_vs_symmetric(32, f, E2oWeight::OPERATIONAL_DOMINATED)
+            .unwrap();
+        assert_eq!(verdict, Sustainability::Weakly);
+    }
+
+    #[test]
+    fn gustafson_energy_per_work_falls_with_cores() {
+        let study = GustafsonStudy;
+        let f = ParallelFraction::new(0.9).unwrap();
+        let (_, g8, e8) = study
+            .weak_scaling_energy(8, f, LeakageFraction::PAPER)
+            .unwrap();
+        let (_, g32, e32) = study
+            .weak_scaling_energy(32, f, LeakageFraction::PAPER)
+            .unwrap();
+        assert!(g32 > g8);
+        assert!(
+            e32 < e8,
+            "energy per unit of (scaled) work falls: {e32} vs {e8}"
+        );
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl() {
+        let study = GustafsonStudy;
+        let f = ParallelFraction::new(0.8).unwrap();
+        let (a, g, _) = study
+            .weak_scaling_energy(16, f, LeakageFraction::PAPER)
+            .unwrap();
+        assert!(g > a);
+    }
+
+    #[test]
+    fn deployment_rebound_can_flip_a_verdict() {
+        // An accelerator that wins at α = 0.2 but loses once a 6x
+        // deployment rebound drags α toward embodied.
+        let study = DeploymentReboundStudy;
+        let x = focal_uarch::Accelerator::HAMEED_H264
+            .design_point(0.10)
+            .unwrap();
+        let y = DesignPoint::reference();
+        let (before, after) = study
+            .verdict_shift(&x, &y, E2oWeight::OPERATIONAL_DOMINATED, 16.0)
+            .unwrap();
+        assert_eq!(before, Sustainability::Strongly);
+        assert_eq!(after, Sustainability::Less);
+    }
+
+    #[test]
+    fn deployment_rebound_identity_for_factor_one() {
+        let study = DeploymentReboundStudy;
+        let x = focal_uarch::PipelineGating::PAPER.design_point().unwrap();
+        let y = DesignPoint::reference();
+        let (before, after) = study
+            .verdict_shift(&x, &y, E2oWeight::BALANCED, 1.0)
+            .unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reconfigurable_figure_shows_fabric_winning() {
+        let study = ReconfigurableStudy::representative().unwrap();
+        let fig = study.figure().unwrap();
+        assert_eq!(fig.panels.len(), 2);
+        for panel in &fig.panels {
+            let fixed = &panel.series[0];
+            let fabric = &panel.series[1];
+            for (a, b) in fixed.points.iter().zip(&fabric.points) {
+                assert!(b.ncf < a.ncf, "fabric below suite at u={}", a.performance);
+            }
+        }
+    }
+
+    #[test]
+    fn ncf_helper_against_manual() {
+        let study = ReconfigurableStudy::representative().unwrap();
+        let alpha = E2oWeight::EMBODIED_DOMINATED;
+        let manual = Ncf::evaluate(
+            &study.fabric.design_point(0.5).unwrap(),
+            &DesignPoint::reference(),
+            Scenario::FixedWork,
+            alpha,
+        )
+        .value();
+        assert!((study.fabric.ncf(0.5, alpha).unwrap() - manual).abs() < 1e-12);
+    }
+}

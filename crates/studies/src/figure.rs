@@ -1,0 +1,142 @@
+//! Common figure structures: every study exposes its paper figure as a
+//! [`Figure`] of [`Panel`]s of [`focal_core::SweepSeries`].
+
+use focal_core::SweepSeries;
+use focal_report::{AsciiChart, ChartSeries, CsvWriter};
+
+/// One panel of a paper figure (e.g. Figure 3(a) "embodied dominated,
+/// fixed-work").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Panel title, matching the paper's subcaption.
+    pub title: String,
+    /// The curves in this panel.
+    pub series: Vec<SweepSeries>,
+}
+
+impl Panel {
+    /// Creates a panel.
+    pub fn new(title: impl Into<String>, series: Vec<SweepSeries>) -> Self {
+        Panel {
+            title: title.into(),
+            series,
+        }
+    }
+
+    /// Renders the panel as an ASCII chart (performance on x, NCF on y).
+    pub fn to_chart(&self, width: usize, height: usize) -> AsciiChart {
+        const SYMBOLS: [char; 10] = ['o', 'x', '+', '*', '#', '@', '%', '&', '=', '~'];
+        let mut chart = AsciiChart::new(self.title.clone(), width, height);
+        for (i, s) in self.series.iter().enumerate() {
+            chart = chart.series(ChartSeries::new(
+                s.name.clone(),
+                SYMBOLS[i % SYMBOLS.len()],
+                s.points.iter().map(|p| (p.performance, p.ncf)).collect(),
+            ));
+        }
+        chart
+    }
+
+    /// Renders the panel's data as CSV
+    /// (`series,label,performance,ncf` rows).
+    pub fn to_csv(&self) -> String {
+        let mut csv = CsvWriter::new(vec!["series", "label", "performance", "ncf"]);
+        for s in &self.series {
+            for p in &s.points {
+                csv.row(&[
+                    s.name.clone(),
+                    p.label.clone(),
+                    format!("{}", p.performance),
+                    format!("{}", p.ncf),
+                ]);
+            }
+        }
+        csv.finish()
+    }
+}
+
+/// A complete paper figure: an identifier, caption and panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure identifier (e.g. `"fig3"`).
+    pub id: &'static str,
+    /// The paper's caption, abbreviated.
+    pub caption: &'static str,
+    /// The panels, in the paper's order.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Creates a figure.
+    pub fn new(id: &'static str, caption: &'static str, panels: Vec<Panel>) -> Self {
+        Figure {
+            id,
+            caption,
+            panels,
+        }
+    }
+
+    /// Renders every panel as CSV, concatenated with panel headers.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for p in &self.panels {
+            out.push_str(&format!("# {} — {}\n", self.id, p.title));
+            out.push_str(&p.to_csv());
+        }
+        out
+    }
+
+    /// Renders the whole figure as ASCII charts.
+    pub fn to_text(&self, width: usize, height: usize) -> String {
+        let mut out = format!("{}: {}\n\n", self.id, self.caption);
+        for p in &self.panels {
+            out.push_str(&p.to_chart(width, height).render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut s = SweepSeries::new("f=0.5");
+        s.push_raw("2 cores", 1.33, 0.9);
+        s.push_raw("4 cores", 1.6, 0.8);
+        Figure::new(
+            "figX",
+            "a test figure",
+            vec![Panel::new("panel (a)", vec![s])],
+        )
+    }
+
+    #[test]
+    fn csv_contains_all_points() {
+        let csv = sample_figure().to_csv();
+        assert!(csv.contains("# figX — panel (a)"));
+        assert!(csv.contains("f=0.5,2 cores,1.33,0.9"));
+        assert!(csv.contains("f=0.5,4 cores,1.6,0.8"));
+    }
+
+    #[test]
+    fn text_render_includes_caption_and_chart() {
+        let text = sample_figure().to_text(30, 8);
+        assert!(text.contains("a test figure"));
+        assert!(text.contains("panel (a)"));
+        assert!(text.contains("f=0.5"));
+    }
+
+    #[test]
+    fn chart_assigns_distinct_symbols() {
+        let mut a = SweepSeries::new("a");
+        a.push_raw("p", 1.0, 1.0);
+        let mut b = SweepSeries::new("b");
+        b.push_raw("p", 2.0, 2.0);
+        let panel = Panel::new("t", vec![a, b]);
+        let text = panel.to_chart(20, 6).render();
+        assert!(text.contains("  o a"));
+        assert!(text.contains("  x b"));
+    }
+}

@@ -1,0 +1,70 @@
+//! §5.9 — pipeline gating (Finding #16).
+
+use crate::finding::{Finding, Metric};
+use focal_core::{classify, DesignPoint, E2oWeight, Ncf, Result, Scenario, Sustainability};
+use focal_uarch::PipelineGating;
+
+/// The pipeline-gating study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingStudy {
+    /// The gating configuration (paper: energy ×0.965, perf ×0.934, no
+    /// area overhead).
+    pub gating: PipelineGating,
+}
+
+impl Default for GatingStudy {
+    fn default() -> Self {
+        GatingStudy {
+            gating: PipelineGating::PAPER,
+        }
+    }
+}
+
+impl GatingStudy {
+    /// Finding #16: pipeline gating is strongly sustainable —
+    /// `NCF_fw,0.8 = 0.99`, `NCF_ft,0.8 = 0.98`, `NCF_fw,0.2 = 0.97`,
+    /// `NCF_ft,0.2 = 0.92`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding16(&self) -> Result<Finding> {
+        let base = DesignPoint::reference();
+        let gated = self.gating.design_point()?;
+        let val = |scenario, alpha: f64| -> Result<f64> {
+            Ok(Ncf::evaluate(&gated, &base, scenario, E2oWeight::new(alpha)?).value())
+        };
+        let metrics = vec![
+            Metric::new("NCF_fw,0.8", 0.99, val(Scenario::FixedWork, 0.8)?, 0.005),
+            Metric::new("NCF_ft,0.8", 0.98, val(Scenario::FixedTime, 0.8)?, 0.005),
+            Metric::new("NCF_fw,0.2", 0.97, val(Scenario::FixedWork, 0.2)?, 0.005),
+            Metric::new("NCF_ft,0.2", 0.92, val(Scenario::FixedTime, 0.2)?, 0.005),
+        ];
+        let mut strongly = true;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            strongly &= classify(&gated, &base, alpha).class == Sustainability::Strongly;
+        }
+        Ok(Finding {
+            id: 16,
+            claim: "Pipeline gating is strongly sustainable",
+            metrics,
+            qualitative_holds: strongly,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding16_reproduces() {
+        let f = GatingStudy::default().finding16().unwrap();
+        assert!(f.reproduces(), "{f}");
+        assert_eq!(f.metrics.len(), 4);
+    }
+}

@@ -1,0 +1,241 @@
+//! §5.6 — core microarchitecture (Figure 7, Findings #9–#11).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{
+    classify, DesignPoint, E2oWeight, Ncf, Result, Scenario, Sustainability, SweepSeries,
+};
+use focal_uarch::CoreMicroarch;
+
+/// The microarchitecture study: InO vs. FSC vs. OoO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MicroarchStudy;
+
+impl MicroarchStudy {
+    /// Builds Figure 7: four panels (embodied/operational × fixed-work/
+    /// fixed-time), each plotting the three cores' NCF (vs. InO) against
+    /// their performance.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data.
+    pub fn figure7(&self) -> Result<Figure> {
+        let ino = CoreMicroarch::InOrder.design_point()?;
+        let mut panels = Vec::new();
+        for (alpha, alpha_name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
+        ] {
+            for scenario in Scenario::ALL {
+                let mut s = SweepSeries::new("cores");
+                for core in CoreMicroarch::ALL {
+                    let dp = core.design_point()?;
+                    s.push_design(core.label(), &dp, &ino, scenario, alpha);
+                }
+                panels.push(Panel::new(format!("({alpha_name}, {scenario})"), vec![s]));
+            }
+        }
+        Ok(Figure::new(
+            "fig7",
+            "InO vs. FSC vs. OoO: NCF (vs. InO) against performance",
+            panels,
+        ))
+    }
+
+    /// Finding #9: OoO cores are less sustainable than InO cores (and
+    /// inversely, InO is strongly sustainable vs. OoO).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data.
+    pub fn finding9(&self) -> Result<Finding> {
+        let ooo = CoreMicroarch::OutOfOrder.design_point()?;
+        let ino = CoreMicroarch::InOrder.design_point()?;
+        let mut holds = true;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            holds &= classify(&ooo, &ino, alpha).class == Sustainability::Less;
+            holds &= classify(&ino, &ooo, alpha).class == Sustainability::Strongly;
+        }
+        let ncf = Ncf::evaluate(
+            &ooo,
+            &ino,
+            Scenario::FixedWork,
+            E2oWeight::EMBODIED_DOMINATED,
+        );
+        Ok(Finding {
+            id: 9,
+            claim: "OoO cores are less sustainable than InO cores",
+            metrics: vec![Metric::new(
+                "NCF_fw,0.8 (OoO vs InO) > 1",
+                1.377, // 0.8·1.39 + 0.2·(2.32/1.75), read off Figure 7(a)
+                ncf.value(),
+                0.01,
+            )],
+            qualitative_holds: holds,
+            note: None,
+        })
+    }
+
+    /// Finding #10: FSC is (very close to) strongly sustainable compared
+    /// to InO — it wins under fixed-work and is only barely above 1 under
+    /// fixed-time.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data.
+    pub fn finding10(&self) -> Result<Finding> {
+        let fsc = CoreMicroarch::ForwardSlice.design_point()?;
+        let ino = CoreMicroarch::InOrder.design_point()?;
+        let mut fw_wins = true;
+        let mut ft_barely = true;
+        let mut worst_ft: f64 = 0.0;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            let fw = Ncf::evaluate(&fsc, &ino, Scenario::FixedWork, alpha).value();
+            let ft = Ncf::evaluate(&fsc, &ino, Scenario::FixedTime, alpha).value();
+            fw_wins &= fw < 1.0;
+            ft_barely &= ft < 1.02;
+            worst_ft = worst_ft.max(ft);
+        }
+        Ok(Finding {
+            id: 10,
+            claim: "A low-complexity core such as FSC is (very close to being) strongly sustainable vs. InO",
+            metrics: vec![Metric::new(
+                "worst-case NCF_ft (FSC vs InO) barely above 1",
+                1.01,
+                worst_ft,
+                0.01,
+            )],
+            qualitative_holds: fw_wins && ft_barely,
+            note: None,
+        })
+    }
+
+    /// Finding #11: FSC vs. OoO — footprint 32–53 % smaller at a 6.3 %
+    /// performance cost.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data.
+    pub fn finding11(&self) -> Result<Finding> {
+        let fsc = CoreMicroarch::ForwardSlice.design_point()?;
+        let ooo = CoreMicroarch::OutOfOrder.design_point()?;
+        let perf_loss = (1.0 - fsc.performance().get() / ooo.performance().get()) * 100.0;
+        // The paper's "32% to 53%" spans the center weights (min at
+        // α = 0.8, fixed-work) through the error-bar extreme (α = 0.1,
+        // fixed-time).
+        let mut min_saving = f64::INFINITY;
+        let mut max_saving = f64::NEG_INFINITY;
+        let mut all_below_one = true;
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            for scenario in Scenario::ALL {
+                let ncf = Ncf::evaluate(&fsc, &ooo, scenario, alpha);
+                all_below_one &= ncf.value() < 1.0;
+                min_saving = min_saving.min(ncf.saving_percent());
+            }
+        }
+        for range in [
+            focal_core::E2oRange::EMBODIED_DOMINATED,
+            focal_core::E2oRange::OPERATIONAL_DOMINATED,
+        ] {
+            for scenario in Scenario::ALL {
+                let band = focal_core::NcfBand::evaluate(&fsc, &ooo, scenario, range);
+                max_saving = max_saving.max((1.0 - band.min()) * 100.0);
+            }
+        }
+        Ok(Finding {
+            id: 11,
+            claim: "FSC is strongly sustainable compared to OoO",
+            metrics: vec![
+                Metric::new("perf degradation FSC vs OoO (%)", 6.3, perf_loss, 0.2),
+                Metric::new("min footprint saving (%)", 32.0, min_saving, 1.0),
+                Metric::new(
+                    "max footprint saving (incl. α error bars) (%)",
+                    53.0,
+                    max_saving,
+                    1.0,
+                ),
+            ],
+            qualitative_holds: all_below_one,
+            note: None,
+        })
+    }
+}
+
+/// Convenience: the Pareto view of the three cores at a given scenario and
+/// weight (the "bottom-right is optimal" reading of Figure 7).
+///
+/// # Errors
+///
+/// Never fails for the built-in data.
+pub fn core_pareto(scenario: Scenario, alpha: E2oWeight) -> Result<Vec<(CoreMicroarch, f64, f64)>> {
+    let ino = CoreMicroarch::InOrder.design_point()?;
+    let mut rows = Vec::new();
+    for core in CoreMicroarch::ALL {
+        let dp = core.design_point()?;
+        rows.push((
+            core,
+            dp.performance() / DesignPoint::reference().performance(),
+            Ncf::evaluate(&dp, &ino, scenario, alpha).value(),
+        ));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_has_four_panels_of_three_points() {
+        let fig = MicroarchStudy.figure7().unwrap();
+        assert_eq!(fig.panels.len(), 4);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 1);
+            assert_eq!(p.series[0].points.len(), 3);
+            // InO is the (1, 1) anchor.
+            let ino = &p.series[0].points[0];
+            assert!((ino.performance - 1.0).abs() < 1e-12);
+            assert!((ino.ncf - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure7_fsc_sits_bottom_right_of_ino() {
+        // Under fixed-work panels, FSC has higher perf and lower NCF than
+        // InO — the paper's headline shape.
+        let fig = MicroarchStudy.figure7().unwrap();
+        for p in [&fig.panels[0], &fig.panels[2]] {
+            let pts = &p.series[0].points;
+            let (ino, fsc) = (&pts[0], &pts[1]);
+            assert!(fsc.performance > ino.performance);
+            assert!(fsc.ncf < ino.ncf, "{}: {}", p.title, fsc.ncf);
+        }
+    }
+
+    #[test]
+    fn findings_9_10_11_reproduce() {
+        for f in [
+            MicroarchStudy.finding9().unwrap(),
+            MicroarchStudy.finding10().unwrap(),
+            MicroarchStudy.finding11().unwrap(),
+        ] {
+            assert!(f.reproduces(), "{f}");
+        }
+    }
+
+    #[test]
+    fn pareto_rows_cover_all_cores() {
+        let rows = core_pareto(Scenario::FixedWork, E2oWeight::BALANCED).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, CoreMicroarch::InOrder);
+    }
+}

@@ -1,0 +1,368 @@
+//! §5.1 — symmetric multicore (Figure 3, Findings #1–#3).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{DesignPoint, E2oWeight, Ncf, Result, Scenario, SweepSeries};
+use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+
+/// The BCE counts Figure 3 sweeps (powers of two, 1–32).
+pub const BCE_SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The study configuration: γ and the Pollack rule (the paper's values by
+/// default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticoreStudy {
+    /// Idle-core leakage fraction (paper: 0.2).
+    pub gamma: LeakageFraction,
+    /// Single-big-core performance rule (paper: √BCE).
+    pub pollack: PollackRule,
+}
+
+impl Default for MulticoreStudy {
+    fn default() -> Self {
+        MulticoreStudy {
+            gamma: LeakageFraction::PAPER,
+            pollack: PollackRule::CLASSIC,
+        }
+    }
+}
+
+impl MulticoreStudy {
+    /// The NCF of an `n`-unit-core multicore running software with
+    /// parallel fraction `f`, relative to the one-BCE single-core
+    /// reference (the normalization of Figure 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `n == 0`.
+    pub fn multicore_ncf(
+        &self,
+        n: u32,
+        f: ParallelFraction,
+        scenario: Scenario,
+        alpha: E2oWeight,
+    ) -> Result<Ncf> {
+        let chip = SymmetricMulticore::unit_cores(n)?;
+        let dp = chip.design_point(f, self.gamma, self.pollack)?;
+        Ok(Ncf::evaluate(
+            &dp,
+            &DesignPoint::reference(),
+            scenario,
+            alpha,
+        ))
+    }
+
+    /// The design point of an `n`-unit-core multicore.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `n == 0`.
+    pub fn multicore_point(&self, n: u32, f: ParallelFraction) -> Result<DesignPoint> {
+        SymmetricMulticore::unit_cores(n)?.design_point(f, self.gamma, self.pollack)
+    }
+
+    /// The design point of an `n`-BCE single big core (Pollack comparator).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive `n`.
+    pub fn big_core_point(&self, n: f64) -> Result<DesignPoint> {
+        // f is irrelevant for one core; use 0 for clarity.
+        SymmetricMulticore::big_core(n)?.design_point(
+            ParallelFraction::new(0.0).expect("0 is a valid fraction"),
+            self.gamma,
+            self.pollack,
+        )
+    }
+
+    /// Builds Figure 3: four panels (embodied/operational × fixed-work/
+    /// fixed-time), each with one multicore curve per `f` plus the
+    /// single-core (Pollack) curve; NCF and performance are normalized to
+    /// the one-BCE single-core processor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in sweep; the `Result` propagates
+    /// constructor guards.
+    pub fn figure3(&self) -> Result<Figure> {
+        let reference = DesignPoint::reference();
+        let mut panels = Vec::new();
+        for (alpha, alpha_name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
+        ] {
+            for scenario in Scenario::ALL {
+                let mut series = Vec::new();
+                for f in ParallelFraction::paper_sweep() {
+                    let mut s = SweepSeries::new(format!("f={}", f.parallel()));
+                    for &n in &BCE_SWEEP {
+                        let dp = self.multicore_point(n, f)?;
+                        s.push_design(format!("{n} BCEs"), &dp, &reference, scenario, alpha);
+                    }
+                    series.push(s);
+                }
+                let mut single = SweepSeries::new("single-core");
+                for &n in &BCE_SWEEP {
+                    let dp = self.big_core_point(n as f64)?;
+                    s_push(&mut single, n, &dp, &reference, scenario, alpha);
+                }
+                series.push(single);
+                panels.push(Panel::new(format!("({alpha_name}, {scenario})"), series));
+            }
+        }
+        Ok(Figure::new(
+            "fig3",
+            "Symmetric multicore vs. single-core: NCF vs. performance, \
+             N = 1..32 BCEs, f = 0.5..0.95, γ = 0.2",
+            panels,
+        ))
+    }
+
+    /// Finding #1: multicore is strongly sustainable vs. an equal-area big
+    /// single core; at 32 BCEs and f = 0.95 under fixed-time the footprint
+    /// falls 10 % (embodied dom) and 39 % (operational dom).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding1(&self) -> Result<Finding> {
+        let f = ParallelFraction::new(0.95)?;
+        let multicore = self.multicore_point(32, f)?;
+        let big = self.big_core_point(32.0)?;
+
+        let ncf_emb = Ncf::evaluate(
+            &multicore,
+            &big,
+            Scenario::FixedTime,
+            E2oWeight::EMBODIED_DOMINATED,
+        );
+        let ncf_op = Ncf::evaluate(
+            &multicore,
+            &big,
+            Scenario::FixedTime,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        );
+
+        // Strong sustainability must hold across the BCE sweep and both α
+        // regimes.
+        let mut strongly = true;
+        for &n in &BCE_SWEEP[1..] {
+            let mc = self.multicore_point(n, f)?;
+            let bc = self.big_core_point(n as f64)?;
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                let c = focal_core::classify(&mc, &bc, alpha);
+                strongly &= c.class == focal_core::Sustainability::Strongly;
+            }
+        }
+
+        Ok(Finding {
+            id: 1,
+            claim: "Multicore is strongly sustainable, especially when the operational footprint dominates",
+            metrics: vec![
+                Metric::new(
+                    "fixed-time saving @32 BCE f=0.95, α=0.8 (%)",
+                    10.0,
+                    ncf_emb.saving_percent(),
+                    1.0,
+                ),
+                Metric::new(
+                    "fixed-time saving @32 BCE f=0.95, α=0.2 (%)",
+                    39.0,
+                    ncf_op.saving_percent(),
+                    1.0,
+                ),
+            ],
+            qualitative_holds: strongly,
+            note: None,
+        })
+    }
+
+    /// Finding #2: parallelizing software is weakly sustainable — under
+    /// operational dominance, raising f from 0.5 to 0.95 on a 32-BCE chip
+    /// cuts the footprint 23 % (fixed-work) but raises it 53 %
+    /// (fixed-time).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding2(&self) -> Result<Finding> {
+        let alpha = E2oWeight::OPERATIONAL_DOMINATED;
+        let low = ParallelFraction::new(0.5)?;
+        let high = ParallelFraction::new(0.95)?;
+
+        let ratio = |scenario| -> Result<f64> {
+            let ncf_low = self.multicore_ncf(32, low, scenario, alpha)?;
+            let ncf_high = self.multicore_ncf(32, high, scenario, alpha)?;
+            Ok(ncf_high.value() / ncf_low.value())
+        };
+        let fw_change = (1.0 - ratio(Scenario::FixedWork)?) * 100.0;
+        let ft_change = (ratio(Scenario::FixedTime)? - 1.0) * 100.0;
+
+        Ok(Finding {
+            id: 2,
+            claim: "Parallelizing software is weakly sustainable",
+            metrics: vec![
+                Metric::new(
+                    "fixed-work reduction, f 0.5→0.95, α=0.2 (%)",
+                    23.0,
+                    fw_change,
+                    1.0,
+                ),
+                Metric::new(
+                    "fixed-time increase, f 0.5→0.95, α=0.2 (%)",
+                    53.0,
+                    ft_change,
+                    1.0,
+                ),
+            ],
+            qualitative_holds: fw_change > 0.0 && ft_change > 0.0,
+            note: None,
+        })
+    }
+
+    /// Finding #3: 16 BCEs + f = 0.95 beats 32 BCEs + f = 0.9 — 17 %
+    /// higher performance at 30 % (op dom, ft) to 50 % (emb dom, fw) lower
+    /// footprint.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding3(&self) -> Result<Finding> {
+        let small = self.multicore_point(16, ParallelFraction::new(0.95)?)?;
+        let big = self.multicore_point(32, ParallelFraction::new(0.9)?)?;
+        let reference = DesignPoint::reference();
+
+        let perf_gain = (small.performance().get() / big.performance().get() - 1.0) * 100.0;
+
+        let footprint_ratio = |scenario, alpha| {
+            Ncf::evaluate(&small, &reference, scenario, alpha).value()
+                / Ncf::evaluate(&big, &reference, scenario, alpha).value()
+        };
+        let saving_ft_op =
+            (1.0 - footprint_ratio(Scenario::FixedTime, E2oWeight::OPERATIONAL_DOMINATED)) * 100.0;
+        let saving_fw_emb =
+            (1.0 - footprint_ratio(Scenario::FixedWork, E2oWeight::EMBODIED_DOMINATED)) * 100.0;
+
+        Ok(Finding {
+            id: 3,
+            claim: "Parallelizing software is a more sustainable way to improve performance than adding cores",
+            metrics: vec![
+                Metric::new("perf gain 16@0.95 vs 32@0.9 (%)", 17.0, perf_gain, 1.0),
+                Metric::new("footprint saving (op dom, ft) (%)", 30.0, saving_ft_op, 1.5),
+                Metric::new("footprint saving (emb dom, fw) (%)", 50.0, saving_fw_emb, 1.0),
+            ],
+            qualitative_holds: perf_gain > 0.0 && saving_ft_op > 0.0 && saving_fw_emb > 0.0,
+            note: None,
+        })
+    }
+}
+
+fn s_push(
+    series: &mut SweepSeries,
+    n: u32,
+    dp: &DesignPoint,
+    reference: &DesignPoint,
+    scenario: Scenario,
+    alpha: E2oWeight,
+) {
+    series.push_design(format!("{n} BCEs"), dp, reference, scenario, alpha);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> MulticoreStudy {
+        MulticoreStudy::default()
+    }
+
+    #[test]
+    fn figure3_has_four_panels_with_six_series() {
+        let fig = study().figure3().unwrap();
+        assert_eq!(fig.panels.len(), 4);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 6); // 5 f-values + single-core
+            for s in &p.series {
+                assert_eq!(s.points.len(), BCE_SWEEP.len());
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_starts_at_the_reference_point() {
+        // At N = 1 every curve passes through (perf 1, NCF 1).
+        let fig = study().figure3().unwrap();
+        for p in &fig.panels {
+            for s in &p.series {
+                let first = &s.points[0];
+                assert!((first.performance - 1.0).abs() < 1e-12, "{}", s.name);
+                assert!((first.ncf - 1.0).abs() < 1e-12, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_single_core_curve_uses_pollack() {
+        let fig = study().figure3().unwrap();
+        let single = fig.panels[0]
+            .series
+            .iter()
+            .find(|s| s.name == "single-core")
+            .unwrap();
+        // Performance of the 32-BCE big core is √32 ≈ 5.657.
+        let last = single.points.last().unwrap();
+        assert!((last.performance - 32.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finding1_reproduces() {
+        let f = study().finding1().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn finding2_reproduces() {
+        let f = study().finding2().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn finding3_reproduces() {
+        let f = study().finding3().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn multicore_beats_big_core_on_ncf_for_parallel_software() {
+        // The qualitative shape of Figure 3: at f = 0.95, the multicore
+        // curve lies below-right of the single-core curve.
+        let st = study();
+        let f = ParallelFraction::new(0.95).unwrap();
+        let mc = st.multicore_point(32, f).unwrap();
+        let bc = st.big_core_point(32.0).unwrap();
+        assert!(mc.performance().get() > bc.performance().get());
+        assert!(mc.power().get() < bc.power().get());
+    }
+
+    #[test]
+    fn ncf_helper_matches_manual_evaluation() {
+        let st = study();
+        let f = ParallelFraction::new(0.8).unwrap();
+        let via_helper = st
+            .multicore_ncf(8, f, Scenario::FixedWork, E2oWeight::BALANCED)
+            .unwrap()
+            .value();
+        let dp = st.multicore_point(8, f).unwrap();
+        let manual = Ncf::evaluate(
+            &dp,
+            &DesignPoint::reference(),
+            Scenario::FixedWork,
+            E2oWeight::BALANCED,
+        )
+        .value();
+        assert_eq!(via_helper, manual);
+    }
+}

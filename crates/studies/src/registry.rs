@@ -1,0 +1,112 @@
+//! The complete registry: every figure and every finding of the paper,
+//! regenerated in one call each. This is what the benchmark harness and
+//! EXPERIMENTS.md are built from.
+
+use crate::accelerator::AcceleratorStudy;
+use crate::asymmetric::AsymmetricStudy;
+use crate::caching::CachingStudy;
+use crate::case_study::CaseStudy;
+use crate::dark_silicon::DarkSiliconStudy;
+use crate::die_shrink::DieShrinkStudy;
+use crate::dvfs::DvfsStudy;
+use crate::figure::Figure;
+use crate::finding::Finding;
+use crate::gating::GatingStudy;
+use crate::microarch::MicroarchStudy;
+use crate::multicore::MulticoreStudy;
+use crate::speculation::SpeculationStudy;
+use focal_core::Result;
+
+/// Regenerates every figure of the paper's evaluation (Figures 1 and 3–9;
+/// Figure 2 is a conceptual illustration with no data series).
+///
+/// # Errors
+///
+/// Never fails for the paper's built-in configurations.
+pub fn all_figures() -> Result<Vec<Figure>> {
+    Ok(vec![
+        crate::wafer_figure::figure1()?,
+        MulticoreStudy::default().figure3()?,
+        AsymmetricStudy::default().figure4()?,
+        AcceleratorStudy::default().figure5a()?,
+        DarkSiliconStudy::default().figure5b()?,
+        CachingStudy::paper()?.figure6()?,
+        MicroarchStudy.figure7()?,
+        SpeculationStudy::default().figure8()?,
+        CaseStudy::paper()?.figure9()?,
+    ])
+}
+
+/// Recomputes all 17 findings plus the §7 case-study headline (id 18).
+///
+/// # Errors
+///
+/// Never fails for the paper's built-in configurations.
+pub fn all_findings() -> Result<Vec<Finding>> {
+    let multicore = MulticoreStudy::default();
+    let asymmetric = AsymmetricStudy::default();
+    let speculation = SpeculationStudy::default();
+    let dvfs = DvfsStudy::default();
+    Ok(vec![
+        multicore.finding1()?,
+        multicore.finding2()?,
+        multicore.finding3()?,
+        asymmetric.finding4()?,
+        asymmetric.finding5()?,
+        AcceleratorStudy::default().finding6()?,
+        DarkSiliconStudy::default().finding7()?,
+        CachingStudy::paper()?.finding8()?,
+        MicroarchStudy.finding9()?,
+        MicroarchStudy.finding10()?,
+        MicroarchStudy.finding11()?,
+        speculation.finding12()?,
+        speculation.finding13()?,
+        dvfs.finding14()?,
+        dvfs.finding15()?,
+        GatingStudy::default().finding16()?,
+        DieShrinkStudy.finding17()?,
+        CaseStudy::paper()?.headline()?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_regenerates() {
+        let figs = all_figures().unwrap();
+        assert_eq!(figs.len(), 9);
+        let ids: Vec<&str> = figs.iter().map(|f| f.id).collect();
+        assert_eq!(
+            ids,
+            vec!["fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9"]
+        );
+        for f in &figs {
+            assert!(!f.panels.is_empty(), "{} has panels", f.id);
+            for p in &f.panels {
+                assert!(!p.series.is_empty(), "{}/{} has series", f.id, p.title);
+            }
+        }
+    }
+
+    /// The headline regression test of the whole reproduction: every
+    /// finding's qualitative verdict and quantitative metrics match the
+    /// paper.
+    #[test]
+    fn every_finding_reproduces() {
+        let findings = all_findings().unwrap();
+        assert_eq!(findings.len(), 18);
+        for f in &findings {
+            assert!(f.reproduces(), "Finding #{} failed:\n{f}", f.id);
+        }
+    }
+
+    #[test]
+    fn finding_ids_are_sequential() {
+        let findings = all_findings().unwrap();
+        for (i, f) in findings.iter().enumerate() {
+            assert_eq!(f.id as usize, i + 1);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Markdown report generation: renders the findings registry into the
+//! paper-vs-measured tables EXPERIMENTS.md is built from.
+
+use crate::finding::Finding;
+use focal_report::Table;
+
+/// Renders a set of findings as a Markdown report: a summary line, the
+/// full metric table, and per-finding notes.
+///
+/// # Examples
+///
+/// ```
+/// let findings = focal_studies::all_findings()?;
+/// let md = focal_studies::findings_markdown(&findings);
+/// assert!(md.contains("| # | claim | metric | paper | measured | ok |"));
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn findings_markdown(findings: &[Finding]) -> String {
+    let ok = findings.iter().filter(|f| f.reproduces()).count();
+    let mut out = String::new();
+    out.push_str("# FOCAL reproduction report\n\n");
+    out.push_str(&format!(
+        "**{ok}/{} experiments reproduce** the paper's numbers and verdicts.\n\n",
+        findings.len()
+    ));
+
+    out.push_str("| # | claim | metric | paper | measured | ok |\n");
+    out.push_str("| ---: | :--- | :--- | ---: | ---: | :--- |\n");
+    for f in findings {
+        for (i, m) in f.metrics.iter().enumerate() {
+            let (id, claim) = if i == 0 {
+                (f.id.to_string(), f.claim.to_string())
+            } else {
+                (String::new(), String::new())
+            };
+            out.push_str(&format!(
+                "| {id} | {claim} | {} | {:.4} | {:.4} | {} |\n",
+                m.name,
+                m.paper,
+                m.measured,
+                if m.matches() { "yes" } else { "**NO**" }
+            ));
+        }
+    }
+
+    let notes: Vec<&Finding> = findings.iter().filter(|f| f.note.is_some()).collect();
+    if !notes.is_empty() {
+        out.push_str("\n## Notes\n\n");
+        for f in notes {
+            out.push_str(&format!(
+                "- **Finding #{}** — {}\n",
+                f.id,
+                f.note.expect("filtered to noted findings")
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the findings as a plain-text summary table (one row per
+/// finding with its worst metric deviation).
+pub fn findings_summary_table(findings: &[Finding]) -> Table {
+    let mut table = Table::new(vec!["#", "claim", "metrics", "max |Δ|", "verdict"]);
+    for f in findings {
+        let max_dev = f
+            .metrics
+            .iter()
+            .map(|m| (m.measured - m.paper).abs())
+            .fold(0.0, f64::max);
+        table.row(vec![
+            f.id.to_string(),
+            f.claim.chars().take(60).collect(),
+            f.metrics.len().to_string(),
+            format!("{max_dev:.4}"),
+            if f.reproduces() {
+                "ok".into()
+            } else {
+                "CHECK".into()
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::Metric;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                id: 1,
+                claim: "claim one",
+                metrics: vec![
+                    Metric::new("m1", 1.0, 1.001, 0.01),
+                    Metric::new("m2", 2.0, 2.0, 0.01),
+                ],
+                qualitative_holds: true,
+                note: Some("a caveat"),
+            },
+            Finding {
+                id: 2,
+                claim: "claim two",
+                metrics: vec![Metric::new("m3", 5.0, 9.0, 0.1)],
+                qualitative_holds: true,
+                note: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn markdown_counts_and_flags() {
+        let md = findings_markdown(&sample());
+        assert!(md.contains("**1/2 experiments reproduce**"));
+        assert!(md.contains("| 1 | claim one | m1 | 1.0000 | 1.0010 | yes |"));
+        // Continuation rows leave id/claim blank.
+        assert!(md.contains("|  |  | m2 |"));
+        assert!(md.contains("**NO**"));
+        assert!(md.contains("- **Finding #1** — a caveat"));
+    }
+
+    #[test]
+    fn summary_table_shows_max_deviation() {
+        let t = findings_summary_table(&sample());
+        let text = t.to_text();
+        assert!(text.contains("4.0000")); // |9 − 5|
+        assert!(text.contains("CHECK"));
+        assert!(text.contains("ok"));
+    }
+
+    #[test]
+    fn real_registry_renders_all_ok() {
+        let findings = crate::all_findings().unwrap();
+        let md = findings_markdown(&findings);
+        assert!(md.contains(&format!(
+            "**{0}/{0} experiments reproduce**",
+            findings.len()
+        )));
+        assert!(!md.contains("**NO**"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Whole-SoC composition — an extension assembling the paper's per-
+//! mechanism studies into one chip-level FOCAL assessment.
+//!
+//! §5 evaluates each mechanism in isolation; a real design decision picks
+//! a *bundle*: a core microarchitecture, an LLC size, and a set of
+//! accelerators. [`SocConfig`] composes those pieces into a single
+//! [`DesignPoint`] so the bundle itself can be classified, and
+//! [`SocConfig::compare`] pits two whole SoCs against each other.
+//!
+//! ## Composition model (first-order, matching the per-study conventions)
+//!
+//! With the core as the unit of area and of busy power:
+//!
+//! * **Area** — `core_area + llc_area + accelerator_area`, each in units
+//!   of the baseline (InO) core's area. Core area comes from
+//!   [`CoreMicroarch`], LLC area from the CACTI-lite calibration,
+//!   accelerator area from its overhead parameter.
+//! * **Time** — the memory-bound workload model sets the stall share; the
+//!   core's microarchitectural speedup accelerates the *compute* share
+//!   only (memory stalls don't shrink with a faster core).
+//! * **Energy** — compute energy scales with the core's energy-per-work;
+//!   LLC + DRAM energy follow the caching study; offloading a fraction of
+//!   compute time to an accelerator divides that slice's energy by the
+//!   accelerator's advantage.
+//!
+//! Everything is normalized to the baseline SoC: an InO core with the
+//! 1 MiB LLC and no accelerator.
+
+use focal_cache::{CacheSize, MemoryBoundWorkload};
+use focal_core::{classify, Classification, DesignPoint, E2oWeight, Result};
+use focal_uarch::{Accelerator, CoreMicroarch};
+use std::fmt;
+
+/// A whole-SoC configuration: core + LLC + optional accelerator (with its
+/// anticipated utilization).
+///
+/// # Examples
+///
+/// ```
+/// use focal_cache::CacheSize;
+/// use focal_studies::soc::SocConfig;
+/// use focal_uarch::{Accelerator, CoreMicroarch};
+///
+/// let soc = SocConfig::new(CoreMicroarch::ForwardSlice, CacheSize::from_mib(2.0)?)?
+///     .with_accelerator(Accelerator::HAMEED_H264, 0.3)?;
+/// let dp = soc.design_point()?;
+/// assert!(dp.performance().get() > 1.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocConfig {
+    core: CoreMicroarch,
+    llc: CacheSize,
+    accelerator: Option<(Accelerator, f64)>,
+    workload: MemoryBoundWorkload,
+}
+
+impl SocConfig {
+    /// Creates a SoC with the given core and LLC, no accelerator, using
+    /// the paper's memory-bound workload constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the LLC size falls outside the CACTI
+    /// calibration.
+    pub fn new(core: CoreMicroarch, llc: CacheSize) -> Result<Self> {
+        let workload = MemoryBoundWorkload::paper()?;
+        // Fail fast on uncalibrated LLC sizes.
+        workload.design_point(llc)?;
+        Ok(SocConfig {
+            core,
+            llc,
+            accelerator: None,
+            workload,
+        })
+    }
+
+    /// The baseline every composition is normalized to: InO core, 1 MiB
+    /// LLC, no accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn baseline() -> Result<Self> {
+        SocConfig::new(CoreMicroarch::InOrder, CacheSize::from_mib(1.0)?)
+    }
+
+    /// Attaches an accelerator used for `utilization` of the *compute*
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn with_accelerator(mut self, accelerator: Accelerator, utilization: f64) -> Result<Self> {
+        // Validate via the accelerator's own domain check.
+        accelerator.operational_ratio(utilization)?;
+        self.accelerator = Some((accelerator, utilization));
+        Ok(self)
+    }
+
+    /// The core microarchitecture.
+    pub fn core(&self) -> CoreMicroarch {
+        self.core
+    }
+
+    /// The LLC size.
+    pub fn llc(&self) -> CacheSize {
+        self.llc
+    }
+
+    /// Total chip area in baseline-core units:
+    /// `core + LLC + accelerator`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for uncalibrated LLC sizes.
+    pub fn area(&self) -> Result<f64> {
+        // chip_area() returns 1 (core) + LLC fraction; swap in this
+        // configuration's core area.
+        let llc_area = self.workload.design_point(self.llc)?.area().get() - 1.0;
+        let accel_area = self
+            .accelerator
+            .map(|(a, _)| a.area_overhead())
+            .unwrap_or(0.0);
+        Ok(self.core.area() + llc_area + accel_area)
+    }
+
+    /// Normalized execution time. The baseline splits time into compute
+    /// `(1 − stall)` and memory stall; the core speeds up compute, the
+    /// LLC shrinks the stall (miss-ratio law). The accelerator matches
+    /// core performance (Hameed), so it does not change time.
+    pub fn execution_time(&self) -> f64 {
+        const STALL: f64 = 0.8; // the paper's memory-bound workload
+        let compute = (1.0 - STALL) / self.core.performance();
+        let stall = STALL * self.workload.miss_ratio(self.llc);
+        compute + stall
+    }
+
+    /// Normalized performance, `1 / time`.
+    pub fn performance(&self) -> f64 {
+        1.0 / self.execution_time()
+    }
+
+    /// Normalized energy per unit of work.
+    ///
+    /// Baseline decomposition (paper constants): 15 % core compute, 5 %
+    /// LLC accesses, 80 % memory. Compute energy scales with the core's
+    /// energy-per-work and is partially offloaded to the accelerator;
+    /// LLC energy scales with per-access energy; memory energy with the
+    /// miss ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for uncalibrated LLC sizes.
+    pub fn energy(&self) -> Result<f64> {
+        const CORE_E: f64 = 0.15;
+        const LLC_E: f64 = 0.05;
+        const MEM_E: f64 = 0.80;
+        let offload = self
+            .accelerator
+            .map(|(a, u)| a.operational_ratio(u).expect("validated utilization"))
+            .unwrap_or(1.0);
+        let compute = CORE_E * self.core.energy() * offload;
+        let llc_dp = self.workload.design_point(self.llc)?;
+        // Recover the LLC energy ratio from the workload model: its
+        // energy = core + llc·ratio + mem·miss.
+        let llc_ratio =
+            (llc_dp.energy().get() - CORE_E - MEM_E * self.workload.miss_ratio(self.llc)) / LLC_E;
+        Ok(compute + LLC_E * llc_ratio + MEM_E * self.workload.miss_ratio(self.llc))
+    }
+
+    /// The composed FOCAL design point, normalized to
+    /// [`SocConfig::baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for uncalibrated LLC sizes.
+    pub fn design_point(&self) -> Result<DesignPoint> {
+        let baseline = SocConfig::baseline()?;
+        let time = self.execution_time() / baseline.execution_time();
+        let energy = self.energy()? / baseline.energy()?;
+        let area = self.area()? / baseline.area()?;
+        DesignPoint::from_raw(area, energy / time, energy, 1.0 / time)
+    }
+
+    /// Classifies this SoC against another whole SoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for uncalibrated LLC sizes.
+    pub fn compare(&self, other: &SocConfig, alpha: E2oWeight) -> Result<Classification> {
+        Ok(classify(
+            &self.design_point()?,
+            &other.design_point()?,
+            alpha,
+        ))
+    }
+}
+
+impl fmt::Display for SocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SoC[{} core, {} LLC", self.core, self.llc)?;
+        if let Some((acc, u)) = self.accelerator {
+            write!(f, ", {acc} @{:.0}%", u * 100.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates the whole bundle design space — every combination of core
+/// microarchitecture, LLC size and accelerator option — as named
+/// [`focal_core::Candidate`]s ready for
+/// [`focal_core::pareto_frontier`].
+///
+/// # Errors
+///
+/// Returns an error if any LLC size falls outside the CACTI calibration
+/// or any accelerator utilization leaves `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::{pareto_frontier, DesignPoint, E2oWeight, Scenario};
+/// use focal_studies::soc::design_space;
+///
+/// let candidates = design_space(
+///     &[1.0, 2.0, 4.0],
+///     &[None, Some((focal_uarch::Accelerator::HAMEED_H264, 0.3))],
+/// )?;
+/// assert_eq!(candidates.len(), 3 * 3 * 2); // cores x LLCs x accel options
+/// let frontier = pareto_frontier(
+///     &candidates,
+///     &DesignPoint::reference(),
+///     Scenario::FixedWork,
+///     E2oWeight::EMBODIED_DOMINATED,
+/// );
+/// assert!(!frontier.is_empty());
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+pub fn design_space(
+    llc_mib_options: &[f64],
+    accelerator_options: &[Option<(Accelerator, f64)>],
+) -> Result<Vec<focal_core::Candidate>> {
+    let mut candidates = Vec::new();
+    for core in CoreMicroarch::ALL {
+        for &llc_mib in llc_mib_options {
+            for accel in accelerator_options {
+                let mut soc = SocConfig::new(core, CacheSize::from_mib(llc_mib)?)?;
+                if let Some((a, u)) = accel {
+                    soc = soc.with_accelerator(*a, *u)?;
+                }
+                candidates.push(focal_core::Candidate::new(
+                    soc.to_string(),
+                    soc.design_point()?,
+                ));
+            }
+        }
+    }
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::Sustainability;
+
+    fn mib(m: f64) -> CacheSize {
+        CacheSize::from_mib(m).unwrap()
+    }
+
+    #[test]
+    fn baseline_is_the_unit() {
+        let base = SocConfig::baseline().unwrap();
+        let dp = base.design_point().unwrap();
+        assert!((dp.area().get() - 1.0).abs() < 1e-12);
+        assert!((dp.performance().get() - 1.0).abs() < 1e-12);
+        assert!((dp.energy().get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_only_upgrade_reduces_to_microarch_ratios_on_compute() {
+        // With the same LLC and no accelerator, only the compute slice
+        // changes: time = 0.2/perf + 0.8.
+        let fsc = SocConfig::new(CoreMicroarch::ForwardSlice, mib(1.0)).unwrap();
+        let expected_time = 0.2 / 1.64 + 0.8;
+        assert!((fsc.execution_time() - expected_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_workload_dampens_core_gains() {
+        // An OoO core is +75% on compute but the SoC is memory-bound, so
+        // whole-SoC speedup is far smaller — the composition captures
+        // what the isolated §5.6 study cannot.
+        let ooo = SocConfig::new(CoreMicroarch::OutOfOrder, mib(1.0)).unwrap();
+        let base = SocConfig::baseline().unwrap();
+        let soc_speedup = ooo.performance() / base.performance();
+        assert!(soc_speedup < 1.15, "got {soc_speedup}");
+        assert!(soc_speedup > 1.0);
+    }
+
+    #[test]
+    fn area_composes_additively() {
+        let soc = SocConfig::new(CoreMicroarch::OutOfOrder, mib(2.0))
+            .unwrap()
+            .with_accelerator(Accelerator::HAMEED_H264, 0.5)
+            .unwrap();
+        // OoO 1.39 + LLC(2MiB) 0.25·2^1.093 + accel 0.065.
+        let llc = 0.25 * 2.0_f64.powf(20.7_f64.ln() / 16.0_f64.ln());
+        assert!((soc.area().unwrap() - (1.39 + llc + 0.065)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fsc_bundle_beats_ooo_bundle_everywhere() {
+        // The paper's Finding #11 at SoC scale: swap OoO for FSC in an
+        // otherwise identical chip.
+        let fsc = SocConfig::new(CoreMicroarch::ForwardSlice, mib(2.0)).unwrap();
+        let ooo = SocConfig::new(CoreMicroarch::OutOfOrder, mib(2.0)).unwrap();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            let c = fsc.compare(&ooo, alpha).unwrap();
+            assert_eq!(c.class, Sustainability::Strongly, "α = {alpha}");
+        }
+        // But the whole-SoC performance penalty is tiny (memory-bound).
+        let perf_ratio = fsc.performance() / ooo.performance();
+        assert!(perf_ratio > 0.98, "got {perf_ratio}");
+    }
+
+    #[test]
+    fn accelerator_helps_energy_without_touching_time() {
+        let plain = SocConfig::new(CoreMicroarch::InOrder, mib(1.0)).unwrap();
+        let accel = SocConfig::new(CoreMicroarch::InOrder, mib(1.0))
+            .unwrap()
+            .with_accelerator(Accelerator::HAMEED_H264, 0.5)
+            .unwrap();
+        assert_eq!(plain.execution_time(), accel.execution_time());
+        assert!(accel.energy().unwrap() < plain.energy().unwrap());
+        assert!(accel.area().unwrap() > plain.area().unwrap());
+    }
+
+    /// The bundle question the isolated studies cannot answer: is "bigger
+    /// cache + weaker core" greener than "smaller cache + stronger core"
+    /// at equal-ish performance? With the paper constants, the FSC+2MiB
+    /// bundle dominates the OoO+1MiB one.
+    #[test]
+    fn bundle_tradeoffs_are_answerable() {
+        let frugal = SocConfig::new(CoreMicroarch::ForwardSlice, mib(2.0)).unwrap();
+        let brawny = SocConfig::new(CoreMicroarch::OutOfOrder, mib(1.0)).unwrap();
+        let dp_f = frugal.design_point().unwrap();
+        let dp_b = brawny.design_point().unwrap();
+        assert!(dp_f.performance().get() > dp_b.performance().get());
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            let c = frugal.compare(&brawny, alpha).unwrap();
+            assert_eq!(c.class, Sustainability::Strongly, "α = {alpha}");
+        }
+    }
+
+    #[test]
+    fn validation_propagates() {
+        assert!(SocConfig::new(CoreMicroarch::InOrder, mib(256.0)).is_err());
+        let soc = SocConfig::baseline().unwrap();
+        assert!(soc.with_accelerator(Accelerator::HAMEED_H264, 1.5).is_err());
+    }
+
+    #[test]
+    fn display_names_the_bundle() {
+        let soc = SocConfig::new(CoreMicroarch::ForwardSlice, mib(4.0))
+            .unwrap()
+            .with_accelerator(Accelerator::HAMEED_H264, 0.25)
+            .unwrap();
+        let s = soc.to_string();
+        assert!(s.contains("FSC") && s.contains("4MiB") && s.contains("25%"));
+    }
+}
+
+#[cfg(test)]
+mod design_space_tests {
+    use super::*;
+    use focal_core::{pareto_frontier, DesignPoint, E2oWeight, Scenario};
+
+    #[test]
+    fn enumerates_full_cartesian_product() {
+        let candidates =
+            design_space(&[1.0, 2.0], &[None, Some((Accelerator::HAMEED_H264, 0.25))]).unwrap();
+        assert_eq!(candidates.len(), 3 * 2 * 2);
+        // Names are unique bundles.
+        let mut names: Vec<&str> = candidates.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn pareto_frontier_prunes_dominated_bundles() {
+        let candidates = design_space(
+            &[1.0, 2.0, 4.0],
+            &[None, Some((Accelerator::HAMEED_H264, 0.3))],
+        )
+        .unwrap();
+        let frontier = pareto_frontier(
+            &candidates,
+            &DesignPoint::reference(),
+            Scenario::FixedWork,
+            E2oWeight::EMBODIED_DOMINATED,
+        );
+        assert!(!frontier.is_empty());
+        assert!(
+            frontier.len() < candidates.len(),
+            "something must be dominated"
+        );
+        let names: Vec<&str> = frontier.iter().map(|c| c.name.as_str()).collect();
+        // Finding 10 at SoC scale: the FSC-for-InO swap at the baseline
+        // LLC strictly dominates the baseline bundle (more performance at
+        // lower NCF), so FSC+1MiB sits on the frontier and the plain
+        // baseline does not.
+        assert!(
+            names.contains(&"SoC[FSC core, 1MiB LLC]"),
+            "frontier: {names:?}"
+        );
+        assert!(
+            !names.contains(&"SoC[InO core, 1MiB LLC]"),
+            "the baseline must be dominated: {names:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_options_propagate() {
+        assert!(design_space(&[256.0], &[None]).is_err());
+        assert!(design_space(&[1.0], &[Some((Accelerator::HAMEED_H264, 2.0))]).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! §5.7 — speculation: branch prediction (Figure 8, Finding #12) and
+//! precise runahead (Finding #13).
+
+use crate::figure::{Figure, Panel};
+use crate::finding::{Finding, Metric};
+use focal_core::{DesignPoint, E2oWeight, Ncf, Result, Scenario, SweepSeries};
+use focal_uarch::{BranchPredictor, PreciseRunahead};
+
+/// Number of predictor-area grid points for Figure 8 (0 % to 8 %).
+pub const AREA_STEPS: usize = 17;
+
+/// The speculation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationStudy {
+    /// The branch-predictor data point (paper: Parikh hybrid).
+    pub predictor: BranchPredictor,
+    /// The runahead data point (paper: PRE).
+    pub runahead: PreciseRunahead,
+}
+
+impl Default for SpeculationStudy {
+    fn default() -> Self {
+        SpeculationStudy {
+            predictor: BranchPredictor::PARIKH_HYBRID,
+            runahead: PreciseRunahead::PAPER,
+        }
+    }
+}
+
+impl SpeculationStudy {
+    /// One NCF-vs-predictor-area curve (area fraction on the x-axis).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn curve(&self, scenario: Scenario, alpha: E2oWeight) -> Result<SweepSeries> {
+        let base = DesignPoint::reference();
+        let mut s = SweepSeries::new(scenario.label());
+        for i in 0..AREA_STEPS {
+            let area = 0.08 * i as f64 / (AREA_STEPS - 1) as f64;
+            let dp = self.predictor.design_point(area)?;
+            let ncf = Ncf::evaluate(&dp, &base, scenario, alpha);
+            s.push_raw(format!("{:.1}%", area * 100.0), area, ncf.value());
+        }
+        Ok(s)
+    }
+
+    /// Builds Figure 8: two panels (embodied/operational dominated), each
+    /// with fixed-work and fixed-time NCF curves over predictor area
+    /// 0–8 %.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in grid.
+    pub fn figure8(&self) -> Result<Figure> {
+        let mut panels = Vec::new();
+        for (alpha, name) in [
+            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
+            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
+        ] {
+            panels.push(Panel::new(
+                format!("({name})"),
+                vec![
+                    self.curve(Scenario::FixedWork, alpha)?,
+                    self.curve(Scenario::FixedTime, alpha)?,
+                ],
+            ));
+        }
+        Ok(Figure::new(
+            "fig8",
+            "Branch prediction: NCF vs. predictor chip area (0-8% of the core)",
+            panels,
+        ))
+    }
+
+    /// Finding #12: branch prediction is weakly sustainable when
+    /// operational emissions dominate and less sustainable when embodied
+    /// emissions dominate (beyond ≈ 2 % predictor area).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding12(&self) -> Result<Finding> {
+        let base = DesignPoint::reference();
+        let ncf = |area: f64, scenario, alpha| -> Result<f64> {
+            Ok(Ncf::evaluate(&self.predictor.design_point(area)?, &base, scenario, alpha).value())
+        };
+
+        // Op dominated, fixed-work: saves at every size in [0, 8%].
+        let mut op_fw_always_saves = true;
+        // Fixed-time: loses at every size under both regimes.
+        let mut ft_always_loses = true;
+        for i in 0..=8 {
+            let a = i as f64 / 100.0;
+            op_fw_always_saves &=
+                ncf(a, Scenario::FixedWork, E2oWeight::OPERATIONAL_DOMINATED)? < 1.0;
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                ft_always_loses &= ncf(a, Scenario::FixedTime, alpha)? > 1.0;
+            }
+        }
+        // Embodied dominated, fixed-work: the break-even predictor size.
+        // NCF = 0.8(1+a) + 0.2·0.93 = 1 ⇒ a = (1 − 0.986)/0.8 = 1.75%.
+        let mut break_even = 0.0;
+        for i in 0..=80 {
+            let a = i as f64 / 1000.0;
+            if ncf(a, Scenario::FixedWork, E2oWeight::EMBODIED_DOMINATED)? > 1.0 {
+                break;
+            }
+            break_even = a;
+        }
+
+        Ok(Finding {
+            id: 12,
+            claim: "Branch prediction is weakly sustainable when operational emissions dominate, \
+                    less sustainable when embodied emissions dominate",
+            metrics: vec![Metric::new(
+                "max sustainable predictor area, α=0.8 fixed-work (%)",
+                2.0,
+                break_even * 100.0,
+                0.4,
+            )],
+            qualitative_holds: op_fw_always_saves && ft_always_loses,
+            note: Some(
+                "The paper's Figure 8 caption puts the embodied-dominated break-even at 'more \
+                 than 2% of core chip area'; the closed-form threshold with Parikh's numbers \
+                 is 1.75%.",
+            ),
+        })
+    }
+
+    /// Finding #13: precise runahead is weakly sustainable —
+    /// `NCF_fw,0.2 = 0.95`, `NCF_ft,0.2 = 1.23`, `NCF_fw,0.8 = 0.99`,
+    /// `NCF_ft,0.8 = 1.06`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn finding13(&self) -> Result<Finding> {
+        let base = DesignPoint::reference();
+        let pre = self.runahead.design_point()?;
+        let val = |scenario, alpha: f64| -> Result<f64> {
+            Ok(Ncf::evaluate(&pre, &base, scenario, E2oWeight::new(alpha)?).value())
+        };
+        let metrics = vec![
+            Metric::new("NCF_fw,0.2", 0.95, val(Scenario::FixedWork, 0.2)?, 0.01),
+            Metric::new("NCF_ft,0.2", 1.23, val(Scenario::FixedTime, 0.2)?, 0.01),
+            Metric::new("NCF_fw,0.8", 0.99, val(Scenario::FixedWork, 0.8)?, 0.01),
+            Metric::new("NCF_ft,0.8", 1.06, val(Scenario::FixedTime, 0.8)?, 0.01),
+        ];
+        let qualitative_holds = metrics[0].measured < 1.0
+            && metrics[1].measured > 1.0
+            && metrics[2].measured < 1.0
+            && metrics[3].measured > 1.0;
+        Ok(Finding {
+            id: 13,
+            claim: "Runahead execution is weakly sustainable",
+            metrics,
+            qualitative_holds,
+            note: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> SpeculationStudy {
+        SpeculationStudy::default()
+    }
+
+    #[test]
+    fn figure8_panels_and_ranges() {
+        let fig = study().figure8().unwrap();
+        assert_eq!(fig.panels.len(), 2);
+        for p in &fig.panels {
+            assert_eq!(p.series.len(), 2);
+            for s in &p.series {
+                assert_eq!(s.points.len(), AREA_STEPS);
+                assert_eq!(s.points[0].performance, 0.0);
+                assert!((s.points.last().unwrap().performance - 0.08).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_fixed_work_curves_slope_up_with_area() {
+        let fig = study().figure8().unwrap();
+        for p in &fig.panels {
+            let fw = &p.series[0];
+            for w in fw.points.windows(2) {
+                assert!(w[1].ncf > w[0].ncf);
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_operational_fixed_work_stays_below_one() {
+        let fig = study().figure8().unwrap();
+        let op_fw = &fig.panels[1].series[0];
+        for pt in &op_fw.points {
+            assert!(pt.ncf < 1.0, "area {}: {}", pt.performance, pt.ncf);
+        }
+    }
+
+    #[test]
+    fn finding12_reproduces() {
+        let f = study().finding12().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+
+    #[test]
+    fn finding13_reproduces() {
+        let f = study().finding13().unwrap();
+        assert!(f.reproduces(), "{f}");
+    }
+}

@@ -1,0 +1,98 @@
+//! §3.1 — embodied footprint per chip vs. die size (Figure 1).
+
+use crate::figure::{Figure, Panel};
+use focal_core::{Result, SiliconArea, SweepSeries};
+use focal_wafer::{EmbodiedModel, Polynomial};
+
+/// Number of die-size grid points for the Figure 1 sweep.
+pub const DIE_STEPS: usize = 15;
+
+/// Builds Figure 1: normalized embodied footprint per chip (vs. a 100 mm²
+/// die) as a function of die size, for perfect yield and the Murphy model
+/// on a 300 mm wafer. The x-axis (stored in the series' `performance`
+/// slot) is the die size in mm².
+///
+/// # Errors
+///
+/// Never fails for the built-in sweep.
+pub fn figure1() -> Result<Figure> {
+    let reference = SiliconArea::from_mm2(100.0)?;
+    let mut series = Vec::new();
+    for (model, name) in [
+        (EmbodiedModel::figure1_perfect(), "perfect yield"),
+        (EmbodiedModel::figure1_murphy(), "Murphy model"),
+    ] {
+        let mut s = SweepSeries::new(name);
+        for (die_mm2, footprint) in model.sweep_normalized(100.0, 800.0, DIE_STEPS, reference)? {
+            s.push_raw(format!("{die_mm2:.0} mm²"), die_mm2, footprint);
+        }
+        series.push(s);
+    }
+    Ok(Figure::new(
+        "fig1",
+        "Embodied footprint per chip vs. die size (300 mm wafer, D0 = 0.09/cm², \
+         normalized to 100 mm²); perfect yield is ~linear, Murphy ~quadratic",
+        vec![Panel::new("(embodied per chip)", series)],
+    ))
+}
+
+/// The paper's Figure 1 trendlines: a linear fit of the perfect-yield
+/// curve and a quadratic fit of the Murphy curve, returned as
+/// `(linear, quadratic)` with their R² values.
+///
+/// # Errors
+///
+/// Never fails for the built-in sweep.
+pub fn figure1_trendlines() -> Result<((Polynomial, f64), (Polynomial, f64))> {
+    let reference = SiliconArea::from_mm2(100.0)?;
+    let perfect =
+        EmbodiedModel::figure1_perfect().sweep_normalized(100.0, 800.0, DIE_STEPS, reference)?;
+    let murphy =
+        EmbodiedModel::figure1_murphy().sweep_normalized(100.0, 800.0, DIE_STEPS, reference)?;
+    let (px, py): (Vec<f64>, Vec<f64>) = perfect.into_iter().unzip();
+    let (mx, my): (Vec<f64>, Vec<f64>) = murphy.into_iter().unzip();
+    let lin = Polynomial::fit(&px, &py, 1)?;
+    let lin_r2 = lin.r_squared(&px, &py);
+    let quad = Polynomial::fit(&mx, &my, 2)?;
+    let quad_r2 = quad.r_squared(&mx, &my);
+    Ok(((lin, lin_r2), (quad, quad_r2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_two_series_over_the_sweep() {
+        let fig = figure1().unwrap();
+        assert_eq!(fig.panels.len(), 1);
+        let series = &fig.panels[0].series;
+        assert_eq!(series.len(), 2);
+        for s in series {
+            assert_eq!(s.points.len(), DIE_STEPS);
+            assert!(
+                (s.points[0].ncf - 1.0).abs() < 1e-9,
+                "normalized at 100 mm²"
+            );
+        }
+    }
+
+    #[test]
+    fn murphy_curve_dominates_perfect() {
+        let fig = figure1().unwrap();
+        let perfect = &fig.panels[0].series[0];
+        let murphy = &fig.panels[0].series[1];
+        for (p, m) in perfect.points.iter().zip(&murphy.points).skip(1) {
+            assert!(m.ncf > p.ncf, "at {} mm²", p.performance);
+        }
+    }
+
+    #[test]
+    fn trendlines_fit_well_and_match_shapes() {
+        let ((lin, lin_r2), (quad, quad_r2)) = figure1_trendlines().unwrap();
+        assert!(lin_r2 > 0.995, "perfect yield ≈ linear: {lin_r2}");
+        assert!(quad_r2 > 0.999, "Murphy ≈ quadratic: {quad_r2}");
+        assert!(lin.coefficients()[1] > 0.0);
+        assert!(quad.coefficients()[2] > 0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Hardware-acceleration model (§5.3, Figure 5a).
+//!
+//! The paper's running example is the H.264 accelerator of Hameed et al.
+//! \[21\]: +6.5 % chip area, same performance as the OoO core, 500× less
+//! energy for the accelerated work.
+
+use focal_core::{DesignPoint, ModelError, Ncf, Result, Scenario};
+use std::fmt;
+
+/// A fixed-function accelerator attached to a core.
+///
+/// ## Model
+///
+/// Let `u` be the fraction of execution time spent on the accelerator.
+/// The accelerator delivers the *same performance* as the core on the
+/// offloaded work (Hameed et al.), so total execution time is unchanged
+/// and energy and power scale identically:
+///
+/// ```text
+/// A(u)     = 1 + area_overhead
+/// E(u)     = P(u) = (1 − u) + u / energy_advantage
+/// NCF(u)   = α·A + (1 − α)·E(u)        (identical for fw and ft)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::Accelerator;
+/// use focal_core::E2oWeight;
+///
+/// let h264 = Accelerator::HAMEED_H264;
+/// let ncf = h264.ncf(0.5, E2oWeight::OPERATIONAL_DOMINATED)?;
+/// assert!(ncf < 0.65); // big savings at 50 % utilization
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accelerator {
+    /// Extra chip area as a fraction of the baseline core (0.065 = +6.5 %).
+    area_overhead: f64,
+    /// How many times less energy the accelerator uses for the same work.
+    energy_advantage: f64,
+}
+
+impl Accelerator {
+    /// The H.264 accelerator of Hameed et al.: +6.5 % area, 500× less
+    /// energy at equal performance.
+    pub const HAMEED_H264: Accelerator = Accelerator {
+        area_overhead: 0.065,
+        energy_advantage: 500.0,
+    };
+
+    /// Creates an accelerator model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `area_overhead` is negative or
+    /// `energy_advantage < 1` (an "accelerator" that wastes energy), or if
+    /// either is not finite.
+    pub fn new(area_overhead: f64, energy_advantage: f64) -> Result<Self> {
+        if !area_overhead.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "area overhead",
+                value: area_overhead,
+            });
+        }
+        if area_overhead < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "area overhead",
+                value: area_overhead,
+                expected: "[0, +inf)",
+            });
+        }
+        if !energy_advantage.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "energy advantage",
+                value: energy_advantage,
+            });
+        }
+        if energy_advantage < 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "energy advantage",
+                value: energy_advantage,
+                expected: "[1, +inf)",
+            });
+        }
+        Ok(Accelerator {
+            area_overhead,
+            energy_advantage,
+        })
+    }
+
+    /// The extra chip area fraction.
+    #[inline]
+    pub fn area_overhead(&self) -> f64 {
+        self.area_overhead
+    }
+
+    /// The energy advantage factor.
+    #[inline]
+    pub fn energy_advantage(&self) -> f64 {
+        self.energy_advantage
+    }
+
+    fn check_utilization(utilization: f64) -> Result<f64> {
+        if !utilization.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "accelerator utilization",
+                value: utilization,
+            });
+        }
+        if !(0.0..=1.0).contains(&utilization) {
+            return Err(ModelError::OutOfRange {
+                parameter: "accelerator utilization",
+                value: utilization,
+                expected: "[0, 1]",
+            });
+        }
+        Ok(utilization)
+    }
+
+    /// Relative energy (= relative power, since time is unchanged) when a
+    /// fraction `utilization` of execution time runs on the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn operational_ratio(&self, utilization: f64) -> Result<f64> {
+        let u = Self::check_utilization(utilization)?;
+        Ok((1.0 - u) + u / self.energy_advantage)
+    }
+
+    /// The core+accelerator design point, normalized to the core alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn design_point(&self, utilization: f64) -> Result<DesignPoint> {
+        let op = self.operational_ratio(utilization)?;
+        DesignPoint::from_raw(1.0 + self.area_overhead, op, op, 1.0)
+    }
+
+    /// `NCF(u)` against the accelerator-less core. Because performance is
+    /// unchanged, fixed-work and fixed-time give the same value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn ncf(&self, utilization: f64, alpha: focal_core::E2oWeight) -> Result<f64> {
+        let x = self.design_point(utilization)?;
+        let y = DesignPoint::reference();
+        Ok(Ncf::evaluate(&x, &y, Scenario::FixedWork, alpha).value())
+    }
+
+    /// The utilization at which the accelerator's operational savings
+    /// exactly offset its embodied overhead (`NCF = 1`), or `None` if the
+    /// accelerator never breaks even for this α (break-even above 100 %
+    /// utilization).
+    ///
+    /// Solving `α(1 + o) + (1 − α)(1 − u·(1 − 1/g)) = 1` for `u`:
+    /// `u* = α·o / ((1 − α)(1 − 1/g))`.
+    pub fn break_even_utilization(&self, alpha: focal_core::E2oWeight) -> Option<f64> {
+        let saving_rate = (1.0 - alpha.get()) * (1.0 - 1.0 / self.energy_advantage);
+        if saving_rate <= 0.0 {
+            // α = 1 or no energy advantage: never breaks even unless free.
+            return if self.area_overhead == 0.0 {
+                Some(0.0)
+            } else {
+                None
+            };
+        }
+        let u = alpha.get() * self.area_overhead / saving_rate;
+        (u <= 1.0).then_some(u)
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accelerator(+{:.1}% area, {}x energy)",
+            self.area_overhead * 100.0,
+            self.energy_advantage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::E2oWeight;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Accelerator::new(0.065, 500.0).is_ok());
+        assert!(Accelerator::new(-0.1, 500.0).is_err());
+        assert!(Accelerator::new(0.1, 0.5).is_err());
+        assert!(Accelerator::new(f64::NAN, 500.0).is_err());
+        assert!(Accelerator::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn unused_accelerator_is_pure_overhead() {
+        let a = Accelerator::HAMEED_H264;
+        assert_eq!(a.operational_ratio(0.0).unwrap(), 1.0);
+        let ncf = a.ncf(0.0, E2oWeight::EMBODIED_DOMINATED).unwrap();
+        assert!((ncf - (0.8 * 1.065 + 0.2)).abs() < 1e-12);
+        assert!(ncf > 1.0);
+    }
+
+    #[test]
+    fn full_offload_operational_floor() {
+        let a = Accelerator::HAMEED_H264;
+        assert!((a.operational_ratio(1.0).unwrap() - 1.0 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operational_ratio_validates_utilization() {
+        let a = Accelerator::HAMEED_H264;
+        assert!(a.operational_ratio(-0.1).is_err());
+        assert!(a.operational_ratio(1.1).is_err());
+        assert!(a.operational_ratio(f64::NAN).is_err());
+    }
+
+    /// Finding #6 (operational dominated): savings appear at small
+    /// utilization; at 50 % utilization NCF ≈ 0.61 (the paper phrases
+    /// this as a reduction "by 60 %", i.e. NCF ≈ 0.6 — see EXPERIMENTS.md).
+    #[test]
+    fn finding6_operational_dominated() {
+        let a = Accelerator::HAMEED_H264;
+        let alpha = E2oWeight::OPERATIONAL_DOMINATED;
+        // Breaks even below 7 % utilization.
+        let be = a.break_even_utilization(alpha).unwrap();
+        assert!(be < 0.07, "break-even {be}");
+        let ncf50 = a.ncf(0.5, alpha).unwrap();
+        assert!((ncf50 - 0.614).abs() < 0.005, "got {ncf50}");
+    }
+
+    /// Finding #6 (embodied dominated): break-even near 30 % utilization.
+    #[test]
+    fn finding6_embodied_dominated_break_even() {
+        let a = Accelerator::HAMEED_H264;
+        let be = a
+            .break_even_utilization(E2oWeight::EMBODIED_DOMINATED)
+            .unwrap();
+        assert!(be > 0.2 && be < 0.35, "break-even {be}");
+        // Below break-even the NCF is above 1, above it below 1.
+        assert!(a.ncf(be - 0.05, E2oWeight::EMBODIED_DOMINATED).unwrap() > 1.0);
+        assert!(a.ncf(be + 0.05, E2oWeight::EMBODIED_DOMINATED).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn break_even_analytic_matches_numeric_root() {
+        let a = Accelerator::HAMEED_H264;
+        for alpha in [0.2, 0.5, 0.8] {
+            let w = E2oWeight::new(alpha).unwrap();
+            if let Some(u) = a.break_even_utilization(w) {
+                let ncf = a.ncf(u, w).unwrap();
+                assert!(
+                    (ncf - 1.0).abs() < 1e-9,
+                    "α={alpha}: NCF at break-even {ncf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn break_even_unreachable_for_huge_overhead() {
+        let bloated = Accelerator::new(5.0, 2.0).unwrap();
+        assert_eq!(
+            bloated.break_even_utilization(E2oWeight::EMBODIED_DOMINATED),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_overhead_breaks_even_immediately() {
+        let free = Accelerator::new(0.0, 10.0).unwrap();
+        let be = free.break_even_utilization(E2oWeight::new(1.0).unwrap());
+        assert_eq!(be, Some(0.0));
+    }
+
+    #[test]
+    fn ncf_monotone_decreasing_in_utilization() {
+        let a = Accelerator::HAMEED_H264;
+        let alpha = E2oWeight::BALANCED;
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let u = i as f64 / 10.0;
+            let ncf = a.ncf(u, alpha).unwrap();
+            assert!(ncf < prev);
+            prev = ncf;
+        }
+    }
+
+    #[test]
+    fn design_point_has_unit_performance() {
+        let dp = Accelerator::HAMEED_H264.design_point(0.3).unwrap();
+        assert_eq!(dp.performance().get(), 1.0);
+        assert!((dp.area().get() - 1.065).abs() < 1e-12);
+        assert_eq!(dp.power().get(), dp.energy().get());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(Accelerator::HAMEED_H264.to_string().contains("6.5%"));
+    }
+}

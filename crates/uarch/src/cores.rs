@@ -1,0 +1,201 @@
+//! Core microarchitecture data models: in-order (InO), Forward Slice Core
+//! (FSC) and out-of-order (OoO), §5.6 of the paper.
+//!
+//! ## Substitution note (see DESIGN.md §3)
+//!
+//! The paper takes chip area, power, energy and performance from
+//! Lakshminarasimhan et al. \[29\] (McPAT + CACTI 6.5 at 22 nm). We encode
+//! exactly the relative numbers the paper states — FSC: +64 % performance,
+//! +1 % area, +1 % power over InO; OoO: +75 % performance, +39 % area,
+//! 2.32× power — which is all the study consumes.
+
+use focal_core::{DesignPoint, Result};
+use std::fmt;
+
+/// The three core microarchitectures compared in Figure 7.
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::CoreMicroarch;
+///
+/// let ooo = CoreMicroarch::OutOfOrder.design_point()?;
+/// let ino = CoreMicroarch::InOrder.design_point()?;
+/// assert!(ooo.performance().get() / ino.performance().get() > 1.7);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreMicroarch {
+    /// A 2-wide in-order core — the baseline.
+    InOrder,
+    /// The Forward Slice Core \[29\]: slice-out-of-order execution using
+    /// in-order issue queues that run out-of-order with respect to each
+    /// other. Near-OoO performance at near-InO cost.
+    ForwardSlice,
+    /// A 2-wide out-of-order core.
+    OutOfOrder,
+}
+
+impl CoreMicroarch {
+    /// All three microarchitectures, in the paper's order.
+    pub const ALL: [CoreMicroarch; 3] = [
+        CoreMicroarch::InOrder,
+        CoreMicroarch::ForwardSlice,
+        CoreMicroarch::OutOfOrder,
+    ];
+
+    /// Relative chip area (InO = 1).
+    pub fn area(self) -> f64 {
+        match self {
+            CoreMicroarch::InOrder => 1.0,
+            CoreMicroarch::ForwardSlice => 1.01,
+            CoreMicroarch::OutOfOrder => 1.39,
+        }
+    }
+
+    /// Relative average power (InO = 1).
+    pub fn power(self) -> f64 {
+        match self {
+            CoreMicroarch::InOrder => 1.0,
+            CoreMicroarch::ForwardSlice => 1.01,
+            CoreMicroarch::OutOfOrder => 2.32,
+        }
+    }
+
+    /// Relative performance (InO = 1). All three cores run at the same
+    /// 2 GHz with the same cache hierarchy and width, so this is pure
+    /// microarchitectural speedup.
+    pub fn performance(self) -> f64 {
+        match self {
+            CoreMicroarch::InOrder => 1.0,
+            CoreMicroarch::ForwardSlice => 1.64,
+            CoreMicroarch::OutOfOrder => 1.75,
+        }
+    }
+
+    /// Relative energy per unit of work, `power / performance`.
+    pub fn energy(self) -> f64 {
+        self.power() / self.performance()
+    }
+
+    /// The FOCAL design point (all axes relative to InO).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data; the `Result` guards the
+    /// `DesignPoint` constructor invariants.
+    pub fn design_point(self) -> Result<DesignPoint> {
+        DesignPoint::from_power_perf(self.area(), self.power(), self.performance())
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreMicroarch::InOrder => "InO",
+            CoreMicroarch::ForwardSlice => "FSC",
+            CoreMicroarch::OutOfOrder => "OoO",
+        }
+    }
+}
+
+impl fmt::Display for CoreMicroarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::{classify, E2oWeight, Sustainability};
+
+    #[test]
+    fn paper_data_is_encoded_exactly() {
+        assert_eq!(CoreMicroarch::ForwardSlice.performance(), 1.64);
+        assert_eq!(CoreMicroarch::OutOfOrder.performance(), 1.75);
+        assert_eq!(CoreMicroarch::ForwardSlice.area(), 1.01);
+        assert_eq!(CoreMicroarch::OutOfOrder.area(), 1.39);
+        assert_eq!(CoreMicroarch::ForwardSlice.power(), 1.01);
+        assert_eq!(CoreMicroarch::OutOfOrder.power(), 2.32);
+    }
+
+    #[test]
+    fn energy_is_power_over_performance() {
+        for c in CoreMicroarch::ALL {
+            assert!((c.energy() - c.power() / c.performance()).abs() < 1e-12);
+        }
+        // FSC consumes less energy than InO: 1.01/1.64 ≈ 0.62.
+        assert!(CoreMicroarch::ForwardSlice.energy() < 0.65);
+        // OoO consumes more: 2.32/1.75 ≈ 1.33.
+        assert!(CoreMicroarch::OutOfOrder.energy() > 1.3);
+    }
+
+    /// Finding #9: OoO is less sustainable than InO under both scenarios.
+    #[test]
+    fn finding9_ooo_less_sustainable_than_ino() {
+        let ooo = CoreMicroarch::OutOfOrder.design_point().unwrap();
+        let ino = CoreMicroarch::InOrder.design_point().unwrap();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            assert_eq!(classify(&ooo, &ino, alpha).class, Sustainability::Less);
+        }
+    }
+
+    /// Finding #10: FSC is weakly-to-strongly sustainable vs InO — lower
+    /// footprint under fixed-work; under fixed-time only "barely" higher.
+    #[test]
+    fn finding10_fsc_close_to_strong_vs_ino() {
+        use focal_core::{Ncf, Scenario};
+        let fsc = CoreMicroarch::ForwardSlice.design_point().unwrap();
+        let ino = CoreMicroarch::InOrder.design_point().unwrap();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            let fw = Ncf::evaluate(&fsc, &ino, Scenario::FixedWork, alpha).value();
+            let ft = Ncf::evaluate(&fsc, &ino, Scenario::FixedTime, alpha).value();
+            assert!(fw < 1.0, "FSC beats InO under fixed-work (α={alpha})");
+            assert!(
+                ft < 1.02,
+                "FSC only barely above InO under fixed-time, got {ft}"
+            );
+        }
+    }
+
+    /// Finding #11: FSC vs OoO — footprint 32–53 % smaller at ≈ 6.3 % lower
+    /// performance.
+    #[test]
+    fn finding11_fsc_strongly_sustainable_vs_ooo() {
+        use focal_core::{Ncf, Scenario};
+        let fsc = CoreMicroarch::ForwardSlice.design_point().unwrap();
+        let ooo = CoreMicroarch::OutOfOrder.design_point().unwrap();
+        let perf_loss: f64 = 1.0 - 1.64 / 1.75;
+        assert!((perf_loss - 0.063).abs() < 0.001);
+        let mut savings = Vec::new();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            for scenario in Scenario::ALL {
+                let ncf = Ncf::evaluate(&fsc, &ooo, scenario, alpha);
+                assert!(ncf.value() < 1.0);
+                savings.push(ncf.saving_percent());
+            }
+        }
+        let min = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            min > 20.0 && max < 60.0,
+            "savings range [{min:.0}%, {max:.0}%]"
+        );
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(CoreMicroarch::InOrder.to_string(), "InO");
+        assert_eq!(CoreMicroarch::ForwardSlice.label(), "FSC");
+        assert_eq!(CoreMicroarch::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Dark-silicon SoC model (§5.4, Figure 5b).
+//!
+//! A modern SoC integrates tens of accelerators that cannot all be powered
+//! at once. The paper's configuration: accelerators occupy two thirds of
+//! the chip (i.e. the chip is 3× the core's area), each accelerator is
+//! 500× more energy-efficient than the core when used, and unused
+//! accelerators draw no leakage.
+
+use crate::accelerator::Accelerator;
+use focal_core::{DesignPoint, E2oWeight, ModelError, Ncf, Result, Scenario};
+use std::fmt;
+
+/// A system-on-chip where a fraction of the die is dark-silicon
+/// accelerators.
+///
+/// ## Model
+///
+/// With accelerators occupying fraction `d` of the chip, the chip is
+/// `1/(1 − d)` times the core's area. The operational side is the
+/// accelerator model's: offloading fraction `u` of time to (some)
+/// accelerator divides that portion's energy by the energy advantage.
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::DarkSiliconSoc;
+/// use focal_core::E2oWeight;
+///
+/// let soc = DarkSiliconSoc::PAPER; // 2/3 accelerators, 500x energy
+/// // Embodied dominated: ~2.5x footprint increase (Finding #7).
+/// let ncf = soc.ncf(0.2, E2oWeight::EMBODIED_DOMINATED)?;
+/// assert!(ncf > 2.4 && ncf < 2.7);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DarkSiliconSoc {
+    /// Fraction of the chip occupied by accelerators.
+    accelerator_area_fraction: f64,
+    /// Energy advantage of an accelerator over the core.
+    energy_advantage: f64,
+}
+
+impl DarkSiliconSoc {
+    /// The paper's configuration: accelerators fill two thirds of the chip
+    /// with a 500× energy advantage.
+    pub const PAPER: DarkSiliconSoc = DarkSiliconSoc {
+        accelerator_area_fraction: 2.0 / 3.0,
+        energy_advantage: 500.0,
+    };
+
+    /// Creates a dark-silicon SoC model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `accelerator_area_fraction ∉ [0, 1)` or
+    /// `energy_advantage < 1`.
+    pub fn new(accelerator_area_fraction: f64, energy_advantage: f64) -> Result<Self> {
+        if !accelerator_area_fraction.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "accelerator area fraction",
+                value: accelerator_area_fraction,
+            });
+        }
+        if !(0.0..1.0).contains(&accelerator_area_fraction) {
+            return Err(ModelError::OutOfRange {
+                parameter: "accelerator area fraction",
+                value: accelerator_area_fraction,
+                expected: "[0, 1)",
+            });
+        }
+        if !energy_advantage.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "energy advantage",
+                value: energy_advantage,
+            });
+        }
+        if energy_advantage < 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "energy advantage",
+                value: energy_advantage,
+                expected: "[1, +inf)",
+            });
+        }
+        Ok(DarkSiliconSoc {
+            accelerator_area_fraction,
+            energy_advantage,
+        })
+    }
+
+    /// The chip's area relative to the bare core: `1/(1 − d)` (3 for the
+    /// paper's two-thirds configuration, i.e. +200 % extra chip area).
+    pub fn chip_area_ratio(&self) -> f64 {
+        1.0 / (1.0 - self.accelerator_area_fraction)
+    }
+
+    /// The equivalent single-accelerator view of this SoC: the combined
+    /// accelerator estate as one [`Accelerator`] whose area overhead is
+    /// `chip_area_ratio − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for validated configurations.
+    pub fn as_accelerator(&self) -> Result<Accelerator> {
+        Accelerator::new(self.chip_area_ratio() - 1.0, self.energy_advantage)
+    }
+
+    /// The SoC's design point at the given accelerator utilization,
+    /// normalized to the bare core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn design_point(&self, utilization: f64) -> Result<DesignPoint> {
+        self.as_accelerator()?.design_point(utilization)
+    }
+
+    /// `NCF(u)` against the bare core (identical under both scenarios
+    /// because performance is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `utilization ∉ [0, 1]`.
+    pub fn ncf(&self, utilization: f64, alpha: E2oWeight) -> Result<f64> {
+        let x = self.design_point(utilization)?;
+        let y = DesignPoint::reference();
+        Ok(Ncf::evaluate(&x, &y, Scenario::FixedWork, alpha).value())
+    }
+
+    /// Utilization needed to break even (`NCF = 1`), or `None` if the dark
+    /// silicon can never amortize its embodied cost at this α.
+    pub fn break_even_utilization(&self, alpha: E2oWeight) -> Option<f64> {
+        self.as_accelerator()
+            .ok()
+            .and_then(|a| a.break_even_utilization(alpha))
+    }
+}
+
+impl fmt::Display for DarkSiliconSoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dark-silicon SoC ({:.0}% accelerators, {}x energy)",
+            self.accelerator_area_fraction * 100.0,
+            self.energy_advantage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(DarkSiliconSoc::new(2.0 / 3.0, 500.0).is_ok());
+        assert!(DarkSiliconSoc::new(1.0, 500.0).is_err());
+        assert!(DarkSiliconSoc::new(-0.1, 500.0).is_err());
+        assert!(DarkSiliconSoc::new(0.5, 0.9).is_err());
+    }
+
+    #[test]
+    fn paper_chip_is_three_times_the_core() {
+        assert!((DarkSiliconSoc::PAPER.chip_area_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    /// Finding #7, embodied dominated: ≈ 2.5× footprint increase.
+    #[test]
+    fn finding7_embodied_dominated() {
+        let soc = DarkSiliconSoc::PAPER;
+        let alpha = E2oWeight::EMBODIED_DOMINATED;
+        // Even moderate utilization cannot save it: NCF ≈ 0.8·3 + 0.2·E(u).
+        for u in [0.0, 0.25, 0.5, 1.0] {
+            let ncf = soc.ncf(u, alpha).unwrap();
+            assert!(ncf > 2.4, "u={u}: {ncf}");
+            assert!(ncf < 2.61, "u={u}: {ncf}");
+        }
+    }
+
+    /// Finding #7, operational dominated: break-even needs > 50 %
+    /// utilization.
+    #[test]
+    fn finding7_operational_dominated_break_even() {
+        let soc = DarkSiliconSoc::PAPER;
+        let be = soc
+            .break_even_utilization(E2oWeight::OPERATIONAL_DOMINATED)
+            .unwrap();
+        assert!(be > 0.5, "break-even {be}");
+        assert!(soc.ncf(0.4, E2oWeight::OPERATIONAL_DOMINATED).unwrap() > 1.0);
+        assert!(soc.ncf(0.7, E2oWeight::OPERATIONAL_DOMINATED).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn equivalent_accelerator_has_200_percent_overhead() {
+        let acc = DarkSiliconSoc::PAPER.as_accelerator().unwrap();
+        assert!((acc.area_overhead() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.energy_advantage(), 500.0);
+    }
+
+    #[test]
+    fn zero_dark_fraction_is_a_bare_core() {
+        let soc = DarkSiliconSoc::new(0.0, 500.0).unwrap();
+        assert_eq!(soc.chip_area_ratio(), 1.0);
+        // Unused: NCF = 1 exactly.
+        let ncf = soc.ncf(0.0, E2oWeight::BALANCED).unwrap();
+        assert!((ncf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(DarkSiliconSoc::PAPER.to_string().contains("67%"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Dynamic voltage and frequency scaling (§5.8, Findings #14–#15).
+//!
+//! The paper's first-order electrical assumptions: with voltage scaled
+//! proportionally to frequency, **dynamic power scales cubically** with
+//! frequency, **dynamic energy quadratically**, and **leakage power
+//! linearly** (with voltage). On-chip regulators cost "no more than a
+//! couple percent" of core area.
+
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// A core with DVFS support.
+///
+/// ## Model
+///
+/// With frequency scale `k` (voltage ∝ frequency) and a dynamic-power
+/// share `δ` at nominal:
+///
+/// ```text
+/// performance(k) = k                      (frequency-bound workload)
+/// power(k)       = δ·k³ + (1 − δ)·k      (dynamic cubic + leakage linear)
+/// energy(k)      = power/perf = δ·k² + (1 − δ)
+/// area           = 1 + regulator_overhead
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::DvfsCore;
+/// use focal_core::{classify, E2oWeight, Sustainability};
+///
+/// let core = DvfsCore::default_core();
+/// // Scale down to 80% frequency: strongly sustainable (Finding #14).
+/// let scaled = core.design_point(0.8)?;
+/// let nominal = core.nominal_without_dvfs()?;
+/// let c = classify(&scaled, &nominal, E2oWeight::OPERATIONAL_DOMINATED);
+/// assert_eq!(c.class, Sustainability::Strongly);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsCore {
+    /// Share of nominal power that is dynamic (voltage/frequency
+    /// sensitive); the remainder is leakage.
+    dynamic_power_fraction: f64,
+    /// Chip-area overhead of the on-chip voltage regulators.
+    regulator_area_overhead: f64,
+}
+
+impl DvfsCore {
+    /// A representative configuration: 70 % dynamic power at nominal and a
+    /// 2 % regulator area overhead.
+    pub fn default_core() -> Self {
+        DvfsCore {
+            dynamic_power_fraction: 0.7,
+            regulator_area_overhead: 0.02,
+        }
+    }
+
+    /// Creates a DVFS core model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dynamic_power_fraction ∉ (0, 1]` or the
+    /// regulator overhead is negative/non-finite.
+    pub fn new(dynamic_power_fraction: f64, regulator_area_overhead: f64) -> Result<Self> {
+        if !dynamic_power_fraction.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "dynamic power fraction",
+                value: dynamic_power_fraction,
+            });
+        }
+        if dynamic_power_fraction <= 0.0 || dynamic_power_fraction > 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "dynamic power fraction",
+                value: dynamic_power_fraction,
+                expected: "(0, 1]",
+            });
+        }
+        if !regulator_area_overhead.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "regulator area overhead",
+                value: regulator_area_overhead,
+            });
+        }
+        if regulator_area_overhead < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "regulator area overhead",
+                value: regulator_area_overhead,
+                expected: "[0, +inf)",
+            });
+        }
+        Ok(DvfsCore {
+            dynamic_power_fraction,
+            regulator_area_overhead,
+        })
+    }
+
+    /// The dynamic power share δ.
+    #[inline]
+    pub fn dynamic_power_fraction(&self) -> f64 {
+        self.dynamic_power_fraction
+    }
+
+    /// The regulator area overhead.
+    #[inline]
+    pub fn regulator_area_overhead(&self) -> f64 {
+        self.regulator_area_overhead
+    }
+
+    fn check_freq(freq_scale: f64) -> Result<f64> {
+        if !freq_scale.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "frequency scale",
+                value: freq_scale,
+            });
+        }
+        if freq_scale <= 0.0 || freq_scale > 2.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "frequency scale",
+                value: freq_scale,
+                expected: "(0, 2] (beyond 2x nominal is outside the model's validity)",
+            });
+        }
+        Ok(freq_scale)
+    }
+
+    /// Relative performance at frequency scale `k` (frequency-bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `k ∉ (0, 2]`.
+    pub fn performance(&self, freq_scale: f64) -> Result<f64> {
+        Self::check_freq(freq_scale)
+    }
+
+    /// Relative power `δ·k³ + (1 − δ)·k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `k ∉ (0, 2]`.
+    pub fn power(&self, freq_scale: f64) -> Result<f64> {
+        let k = Self::check_freq(freq_scale)?;
+        let d = self.dynamic_power_fraction;
+        Ok(d * k.powi(3) + (1.0 - d) * k)
+    }
+
+    /// Relative energy `δ·k² + (1 − δ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `k ∉ (0, 2]`.
+    pub fn energy(&self, freq_scale: f64) -> Result<f64> {
+        let k = Self::check_freq(freq_scale)?;
+        let d = self.dynamic_power_fraction;
+        Ok(d * k.powi(2) + (1.0 - d))
+    }
+
+    /// The design point at frequency scale `k`, including the regulator
+    /// area, normalized to the nominal core *without* DVFS hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `k ∉ (0, 2]`.
+    pub fn design_point(&self, freq_scale: f64) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            1.0 + self.regulator_area_overhead,
+            self.power(freq_scale)?,
+            self.energy(freq_scale)?,
+            self.performance(freq_scale)?,
+        )
+    }
+
+    /// The baseline: the same core at nominal frequency without DVFS
+    /// hardware (area 1, power 1, energy 1, performance 1).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; mirrors the `DesignPoint` constructor signature.
+    pub fn nominal_without_dvfs(&self) -> Result<DesignPoint> {
+        DesignPoint::from_raw(1.0, 1.0, 1.0, 1.0)
+    }
+}
+
+impl Default for DvfsCore {
+    fn default() -> Self {
+        DvfsCore::default_core()
+    }
+}
+
+impl fmt::Display for DvfsCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DVFS core (δ={}, regulator +{:.0}%)",
+            self.dynamic_power_fraction,
+            self.regulator_area_overhead * 100.0
+        )
+    }
+}
+
+/// Turbo boost (§5.8, Finding #15): running above nominal frequency when
+/// thermal headroom allows, paying extra area for the boost circuitry.
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::TurboBoost;
+/// use focal_core::{classify, E2oWeight, Sustainability};
+///
+/// let turbo = TurboBoost::default_turbo();
+/// let boosted = turbo.design_point(1.2)?;
+/// let nominal = focal_core::DesignPoint::reference();
+/// let c = classify(&boosted, &nominal, E2oWeight::OPERATIONAL_DOMINATED);
+/// assert_eq!(c.class, Sustainability::Less); // Finding #15
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurboBoost {
+    core: DvfsCore,
+    /// Extra area for turbo/thermal-management circuitry (on top of the
+    /// regulators).
+    turbo_area_overhead: f64,
+}
+
+impl TurboBoost {
+    /// Default: the default DVFS core plus 1 % turbo circuitry.
+    pub fn default_turbo() -> Self {
+        TurboBoost {
+            core: DvfsCore::default_core(),
+            turbo_area_overhead: 0.01,
+        }
+    }
+
+    /// Creates a turbo-boost model on top of a DVFS core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the turbo area overhead is negative or not
+    /// finite.
+    pub fn new(core: DvfsCore, turbo_area_overhead: f64) -> Result<Self> {
+        if !turbo_area_overhead.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "turbo area overhead",
+                value: turbo_area_overhead,
+            });
+        }
+        if turbo_area_overhead < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "turbo area overhead",
+                value: turbo_area_overhead,
+                expected: "[0, +inf)",
+            });
+        }
+        Ok(TurboBoost {
+            core,
+            turbo_area_overhead,
+        })
+    }
+
+    /// The boosted design point at `freq_scale > 1`, normalized to the
+    /// nominal core without DVFS/turbo hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `freq_scale ≤ 1` (that would not be a boost) or
+    /// outside the DVFS model's validity.
+    pub fn design_point(&self, freq_scale: f64) -> Result<DesignPoint> {
+        if freq_scale <= 1.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "turbo frequency scale",
+                value: freq_scale,
+                expected: "(1, 2]",
+            });
+        }
+        DesignPoint::from_raw(
+            1.0 + self.core.regulator_area_overhead + self.turbo_area_overhead,
+            self.core.power(freq_scale)?,
+            self.core.energy(freq_scale)?,
+            self.core.performance(freq_scale)?,
+        )
+    }
+}
+
+impl fmt::Display for TurboBoost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turbo boost on {}", self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::{classify, E2oRange, E2oWeight, Sustainability};
+
+    #[test]
+    fn construction_validates() {
+        assert!(DvfsCore::new(0.7, 0.02).is_ok());
+        assert!(DvfsCore::new(0.0, 0.02).is_err());
+        assert!(DvfsCore::new(1.1, 0.02).is_err());
+        assert!(DvfsCore::new(0.7, -0.01).is_err());
+        assert!(TurboBoost::new(DvfsCore::default_core(), -0.01).is_err());
+    }
+
+    #[test]
+    fn nominal_point_is_unity() {
+        let c = DvfsCore::default_core();
+        assert_eq!(c.performance(1.0).unwrap(), 1.0);
+        assert!((c.power(1.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((c.energy(1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_quadratic_linear_scaling() {
+        // Pure dynamic core (δ = 1): power = k³, energy = k².
+        let c = DvfsCore::new(1.0, 0.0).unwrap();
+        assert!((c.power(0.5).unwrap() - 0.125).abs() < 1e-12);
+        assert!((c.energy(0.5).unwrap() - 0.25).abs() < 1e-12);
+        // Nearly pure leakage core (δ → 0): power ≈ k (linear).
+        let l = DvfsCore::new(1e-9, 0.0).unwrap();
+        assert!((l.power(0.5).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    /// Finding #14: scaling down is strongly sustainable — the cubic power
+    /// and quadratic energy savings dwarf the 2 % regulator area.
+    #[test]
+    fn finding14_downscaling_strongly_sustainable() {
+        let c = DvfsCore::default_core();
+        let nominal = c.nominal_without_dvfs().unwrap();
+        for k in [0.5, 0.7, 0.9] {
+            let scaled = c.design_point(k).unwrap();
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                assert_eq!(
+                    classify(&scaled, &nominal, alpha).class,
+                    Sustainability::Strongly,
+                    "k={k}, α={alpha}"
+                );
+            }
+        }
+    }
+
+    /// Finding #14 caveat: if the operational savings are tiny (k ≈ 1) and
+    /// the embodied weight is extreme, the regulator area can flip the
+    /// verdict — "might lead to a net increase … (though unlikely)".
+    #[test]
+    fn finding14_edge_case_near_nominal() {
+        let c = DvfsCore::default_core();
+        let nominal = c.nominal_without_dvfs().unwrap();
+        let barely = c.design_point(0.999).unwrap();
+        let verdict = classify(&barely, &nominal, E2oWeight::new(0.99).unwrap());
+        assert_eq!(verdict.class, Sustainability::Less);
+    }
+
+    /// Finding #15: turbo boost is less sustainable under both scenarios
+    /// and both α regimes.
+    #[test]
+    fn finding15_turbo_less_sustainable() {
+        let t = TurboBoost::default_turbo();
+        let nominal = DesignPoint::reference();
+        for k in [1.1, 1.3, 1.5] {
+            let boosted = t.design_point(k).unwrap();
+            for alpha in [
+                E2oWeight::EMBODIED_DOMINATED,
+                E2oWeight::OPERATIONAL_DOMINATED,
+            ] {
+                assert_eq!(
+                    classify(&boosted, &nominal, alpha).class,
+                    Sustainability::Less,
+                    "k={k}, α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downscaling_verdict_robust_across_full_alpha_band() {
+        use focal_core::classify_over_range;
+        let c = DvfsCore::default_core();
+        let nominal = c.nominal_without_dvfs().unwrap();
+        let scaled = c.design_point(0.7).unwrap();
+        let robust = classify_over_range(&scaled, &nominal, E2oRange::FULL, 21);
+        // Strongly sustainable for all α except the extreme embodied-only
+        // corner (α near 1, where the regulator area dominates).
+        assert!(robust.observed.contains(&Sustainability::Strongly));
+    }
+
+    #[test]
+    fn frequency_domain_is_validated() {
+        let c = DvfsCore::default_core();
+        assert!(c.power(0.0).is_err());
+        assert!(c.power(2.1).is_err());
+        assert!(c.power(f64::NAN).is_err());
+        let t = TurboBoost::default_turbo();
+        assert!(t.design_point(1.0).is_err());
+        assert!(t.design_point(0.9).is_err());
+    }
+
+    #[test]
+    fn energy_is_power_over_performance() {
+        let c = DvfsCore::default_core();
+        for k in [0.5, 0.8, 1.0, 1.4] {
+            let e = c.energy(k).unwrap();
+            let p = c.power(k).unwrap();
+            let s = c.performance(k).unwrap();
+            assert!((e - p / s).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        assert!(DvfsCore::default_core().to_string().contains("DVFS"));
+        assert!(TurboBoost::default_turbo().to_string().contains("turbo"));
+    }
+}

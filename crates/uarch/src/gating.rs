@@ -1,0 +1,191 @@
+//! Pipeline gating (§5.9, Finding #16): confidence-driven fetch gating that
+//! suppresses wrong-path work (Manne et al. \[33\], numbers from Parikh et
+//! al. \[39\]).
+
+use focal_core::{DesignPoint, ModelError, Result};
+use std::fmt;
+
+/// A pipeline-gating configuration: relative energy and performance vs. the
+/// ungated core, at zero hardware overhead (the confidence estimator reuses
+/// the hybrid predictor's saturating counters).
+///
+/// The paper's numbers: energy −3.5 %, performance −6.6 %, hence power
+/// −9.9 % ("almost 10 %").
+///
+/// # Examples
+///
+/// ```
+/// use focal_uarch::PipelineGating;
+/// use focal_core::{classify, E2oWeight, Sustainability};
+///
+/// let gated = PipelineGating::PAPER.design_point()?;
+/// let base = focal_core::DesignPoint::reference();
+/// let c = classify(&gated, &base, E2oWeight::OPERATIONAL_DOMINATED);
+/// assert_eq!(c.class, Sustainability::Strongly); // Finding #16
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineGating {
+    /// Relative energy (0.965 = −3.5 %).
+    pub energy_ratio: f64,
+    /// Relative performance (0.934 = −6.6 %).
+    pub performance_ratio: f64,
+    /// Extra chip area fraction (0 for the paper configuration).
+    pub area_overhead: f64,
+}
+
+impl PipelineGating {
+    /// The paper's configuration: energy ×0.965, performance ×0.934,
+    /// no area overhead.
+    pub const PAPER: PipelineGating = PipelineGating {
+        energy_ratio: 0.965,
+        performance_ratio: 0.934,
+        area_overhead: 0.0,
+    };
+
+    /// Creates a gating configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the ratios are not strictly positive and finite
+    /// or the area overhead is negative.
+    pub fn new(energy_ratio: f64, performance_ratio: f64, area_overhead: f64) -> Result<Self> {
+        for (name, v) in [
+            ("energy ratio", energy_ratio),
+            ("performance ratio", performance_ratio),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v <= 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(0, +inf)",
+                });
+            }
+        }
+        if !area_overhead.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "area overhead",
+                value: area_overhead,
+            });
+        }
+        if area_overhead < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "area overhead",
+                value: area_overhead,
+                expected: "[0, +inf)",
+            });
+        }
+        Ok(PipelineGating {
+            energy_ratio,
+            performance_ratio,
+            area_overhead,
+        })
+    }
+
+    /// Relative power, `energy × performance` (≈ 0.901 for the paper
+    /// configuration — "power hence reduces by almost 10 %").
+    pub fn power_ratio(&self) -> f64 {
+        self.energy_ratio * self.performance_ratio
+    }
+
+    /// The gated core's design point vs. the ungated core.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the published constants; guards the `DesignPoint`
+    /// invariants for custom values.
+    pub fn design_point(&self) -> Result<DesignPoint> {
+        DesignPoint::from_raw(
+            1.0 + self.area_overhead,
+            self.power_ratio(),
+            self.energy_ratio,
+            self.performance_ratio,
+        )
+    }
+}
+
+impl fmt::Display for PipelineGating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline gating (E x{}, perf x{})",
+            self.energy_ratio, self.performance_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_core::{classify, E2oWeight, Ncf, Scenario, Sustainability};
+
+    #[test]
+    fn power_reduces_by_almost_ten_percent() {
+        let p = PipelineGating::PAPER.power_ratio();
+        assert!((p - 0.9013).abs() < 0.001, "got {p}");
+    }
+
+    /// Finding #16: all four NCF values match the paper.
+    #[test]
+    fn finding16_ncf_values() {
+        let gated = PipelineGating::PAPER.design_point().unwrap();
+        let base = DesignPoint::reference();
+        let cases = [
+            (Scenario::FixedWork, 0.8, 0.99),
+            (Scenario::FixedTime, 0.8, 0.98),
+            (Scenario::FixedWork, 0.2, 0.97),
+            (Scenario::FixedTime, 0.2, 0.92),
+        ];
+        for (scenario, alpha, expected) in cases {
+            let ncf = Ncf::evaluate(&gated, &base, scenario, E2oWeight::new(alpha).unwrap());
+            assert!(
+                (ncf.value() - expected).abs() < 0.005,
+                "{scenario} α={alpha}: got {:.4}, paper {expected}",
+                ncf.value()
+            );
+        }
+    }
+
+    #[test]
+    fn gating_is_strongly_sustainable_everywhere() {
+        let gated = PipelineGating::PAPER.design_point().unwrap();
+        let base = DesignPoint::reference();
+        for alpha in [
+            E2oWeight::EMBODIED_DOMINATED,
+            E2oWeight::OPERATIONAL_DOMINATED,
+        ] {
+            assert_eq!(
+                classify(&gated, &base, alpha).class,
+                Sustainability::Strongly
+            );
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(PipelineGating::new(0.9, 0.9, 0.0).is_ok());
+        assert!(PipelineGating::new(0.0, 0.9, 0.0).is_err());
+        assert!(PipelineGating::new(0.9, 0.9, -0.1).is_err());
+        assert!(PipelineGating::new(0.9, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn gating_trades_performance_for_sustainability() {
+        let dp = PipelineGating::PAPER.design_point().unwrap();
+        assert!(dp.performance().get() < 1.0);
+        assert!(dp.energy().get() < 1.0);
+        assert!(dp.power().get() < 1.0);
+        assert_eq!(dp.area().get(), 1.0);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(PipelineGating::PAPER.to_string().contains("gating"));
+    }
+}

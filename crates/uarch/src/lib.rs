@@ -1,0 +1,37 @@
+//! # focal-uarch — microarchitecture mechanism models
+//!
+//! Data models for every archetypal processor mechanism the paper's §5
+//! evaluates, each producing FOCAL [`focal_core::DesignPoint`]s relative to
+//! its study's baseline:
+//!
+//! * [`CoreMicroarch`] — InO / FSC / OoO cores (§5.6, Figure 7).
+//! * [`Accelerator`] — fixed-function acceleration (§5.3, Figure 5a).
+//! * [`DarkSiliconSoc`] — dark-silicon SoCs (§5.4, Figure 5b).
+//! * [`BranchPredictor`] / [`PreciseRunahead`] — speculation (§5.7,
+//!   Figure 8 and Finding #13).
+//! * [`PipelineGating`] — speculation control for power (§5.9,
+//!   Finding #16).
+//! * [`DvfsCore`] / [`TurboBoost`] — voltage/frequency scaling (§5.8,
+//!   Findings #14–#15).
+//!
+//! Published data points (Hameed, Parikh, PRE, FSC) are encoded exactly as
+//! the paper quotes them; see each module's substitution notes.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod accelerator;
+mod cores;
+mod dark_silicon;
+mod dvfs;
+mod gating;
+mod reconfigurable;
+mod speculation;
+
+pub use accelerator::Accelerator;
+pub use cores::CoreMicroarch;
+pub use dark_silicon::DarkSiliconSoc;
+pub use dvfs::{DvfsCore, TurboBoost};
+pub use gating::PipelineGating;
+pub use reconfigurable::{FixedFunctionSuite, ReconfigurableFabric};
+pub use speculation::{BranchPredictor, PreciseRunahead};

@@ -1,0 +1,286 @@
+//! Reconfigurable acceleration — the alternative the paper's §5.4
+//! discussion proposes to dark silicon: *"Instead of having many
+//! fixed-function accelerators, it might be more sustainable to design
+//! reconfigurable accelerators to amortize the embodied footprint across
+//! multiple applications."*
+//!
+//! This module models both options so the claim can be evaluated:
+//!
+//! * [`FixedFunctionSuite`] — `k` single-purpose accelerators, each
+//!   covering one application domain at a high energy advantage.
+//! * [`ReconfigurableFabric`] — one CGRA/FPGA-style fabric covering *all*
+//!   domains at a lower energy advantage (reconfiguration overhead).
+
+use crate::accelerator::Accelerator;
+use focal_core::{DesignPoint, E2oWeight, ModelError, Ncf, Result, Scenario};
+use std::fmt;
+
+/// A suite of `count` fixed-function accelerators, each adding
+/// `area_per_accelerator` of core area and delivering `energy_advantage`
+/// on its own domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedFunctionSuite {
+    /// Number of distinct accelerators (application domains covered).
+    pub count: u32,
+    /// Area of each accelerator, as a fraction of the core.
+    pub area_per_accelerator: f64,
+    /// Energy advantage when a domain runs on its accelerator.
+    pub energy_advantage: f64,
+}
+
+impl FixedFunctionSuite {
+    /// Creates a suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `count == 0`, the area is negative/non-finite,
+    /// or the energy advantage is below 1.
+    pub fn new(count: u32, area_per_accelerator: f64, energy_advantage: f64) -> Result<Self> {
+        if count == 0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "accelerator count",
+                value: 0.0,
+                expected: "[1, +inf)",
+            });
+        }
+        // Reuse the single-accelerator validation.
+        Accelerator::new(area_per_accelerator, energy_advantage)?;
+        Ok(FixedFunctionSuite {
+            count,
+            area_per_accelerator,
+            energy_advantage,
+        })
+    }
+
+    /// Total accelerator area as a fraction of the core.
+    pub fn total_area_overhead(&self) -> f64 {
+        self.count as f64 * self.area_per_accelerator
+    }
+
+    /// The suite's design point when the accelerated domains together
+    /// cover `total_utilization` of execution time (each domain runs on
+    /// its own accelerator; the rest runs on the core).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `total_utilization ∉ [0, 1]`.
+    pub fn design_point(&self, total_utilization: f64) -> Result<DesignPoint> {
+        Accelerator::new(self.total_area_overhead(), self.energy_advantage)?
+            .design_point(total_utilization)
+    }
+
+    /// NCF against the bare core (performance unchanged, so scenario-
+    /// independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `total_utilization ∉ [0, 1]`.
+    pub fn ncf(&self, total_utilization: f64, alpha: E2oWeight) -> Result<f64> {
+        let x = self.design_point(total_utilization)?;
+        Ok(Ncf::evaluate(&x, &DesignPoint::reference(), Scenario::FixedWork, alpha).value())
+    }
+}
+
+impl fmt::Display for FixedFunctionSuite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fixed accelerators (+{:.0}% area total, {}x energy)",
+            self.count,
+            self.total_area_overhead() * 100.0,
+            self.energy_advantage
+        )
+    }
+}
+
+/// One reconfigurable fabric that serves every accelerated domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigurableFabric {
+    /// Fabric area as a fraction of the core (typically a few fixed
+    /// accelerators' worth).
+    pub area_overhead: f64,
+    /// Energy advantage (lower than fixed-function: LUT/CGRA overheads).
+    pub energy_advantage: f64,
+}
+
+impl ReconfigurableFabric {
+    /// Creates a fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the area is negative/non-finite or the energy
+    /// advantage is below 1.
+    pub fn new(area_overhead: f64, energy_advantage: f64) -> Result<Self> {
+        Accelerator::new(area_overhead, energy_advantage)?;
+        Ok(ReconfigurableFabric {
+            area_overhead,
+            energy_advantage,
+        })
+    }
+
+    /// The fabric's design point at `total_utilization` (it can serve any
+    /// domain, so the whole accelerated share runs on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `total_utilization ∉ [0, 1]`.
+    pub fn design_point(&self, total_utilization: f64) -> Result<DesignPoint> {
+        Accelerator::new(self.area_overhead, self.energy_advantage)?.design_point(total_utilization)
+    }
+
+    /// NCF against the bare core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `total_utilization ∉ [0, 1]`.
+    pub fn ncf(&self, total_utilization: f64, alpha: E2oWeight) -> Result<f64> {
+        let x = self.design_point(total_utilization)?;
+        Ok(Ncf::evaluate(&x, &DesignPoint::reference(), Scenario::FixedWork, alpha).value())
+    }
+
+    /// The utilization above which the *fixed-function suite* (not the
+    /// core) becomes the better choice: the fabric wins on embodied
+    /// footprint, the suite on operational efficiency, so there is a
+    /// crossover utilization
+    ///
+    /// ```text
+    /// u* = α·(A_fixed − A_fabric) / ((1 − α)·(1/g_fabric − 1/g_fixed))
+    /// ```
+    ///
+    /// Returns `None` when one option dominates for every utilization.
+    pub fn crossover_vs_fixed(&self, suite: &FixedFunctionSuite, alpha: E2oWeight) -> Option<f64> {
+        let area_gap = suite.total_area_overhead() - self.area_overhead;
+        let energy_gap = 1.0 / self.energy_advantage - 1.0 / suite.energy_advantage;
+        if energy_gap <= 0.0 || area_gap <= 0.0 {
+            // The fabric is not both smaller and less efficient: no
+            // crossover within the model's premises.
+            return None;
+        }
+        let u = alpha.embodied() * area_gap / (alpha.operational() * energy_gap);
+        (u <= 1.0).then_some(u)
+    }
+}
+
+impl fmt::Display for ReconfigurableFabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reconfigurable fabric (+{:.0}% area, {}x energy)",
+            self.area_overhead * 100.0,
+            self.energy_advantage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper-flavoured comparison: 20 fixed accelerators of 10% core
+    /// area each (= dark silicon, 2/3 of the chip) vs one fabric of 40%
+    /// core area at a 10x-lower energy advantage.
+    fn suite() -> FixedFunctionSuite {
+        FixedFunctionSuite::new(20, 0.10, 500.0).unwrap()
+    }
+
+    fn fabric() -> ReconfigurableFabric {
+        ReconfigurableFabric::new(0.40, 50.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FixedFunctionSuite::new(0, 0.1, 100.0).is_err());
+        assert!(FixedFunctionSuite::new(5, -0.1, 100.0).is_err());
+        assert!(FixedFunctionSuite::new(5, 0.1, 0.5).is_err());
+        assert!(ReconfigurableFabric::new(-0.1, 100.0).is_err());
+        assert!(ReconfigurableFabric::new(0.4, 0.9).is_err());
+    }
+
+    #[test]
+    fn suite_area_accumulates() {
+        assert!((suite().total_area_overhead() - 2.0).abs() < 1e-12);
+    }
+
+    /// The paper's discussion claim: under embodied dominance, the fabric
+    /// beats the fixed suite at any utilization (its embodied cost is 5x
+    /// smaller and embodied dominates).
+    #[test]
+    fn fabric_wins_under_embodied_dominance() {
+        let alpha = E2oWeight::EMBODIED_DOMINATED;
+        for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let f = fabric().ncf(u, alpha).unwrap();
+            let s = suite().ncf(u, alpha).unwrap();
+            assert!(f < s, "u={u}: fabric {f} vs suite {s}");
+        }
+        // And the fabric comes close to break-even at high utilization
+        // while the dark-silicon suite never gets near it.
+        assert!(fabric().ncf(0.9, alpha).unwrap() < 1.15);
+        assert!(suite().ncf(1.0, alpha).unwrap() > 2.0);
+    }
+
+    /// Both accelerators' energies are tiny (500x vs 50x advantage), so
+    /// the 5x area gap dominates for any realistic α: within the paper's
+    /// α = 0.2 ± 0.1 band the fixed suite never catches up — the
+    /// reconfigurable option wins across the board, which is exactly the
+    /// paper's §5.4 suggestion.
+    #[test]
+    fn fabric_dominates_across_paper_alpha_band() {
+        for alpha in [
+            E2oWeight::OPERATIONAL_DOMINATED,
+            E2oWeight::BALANCED,
+            E2oWeight::EMBODIED_DOMINATED,
+        ] {
+            assert_eq!(
+                fabric().crossover_vs_fixed(&suite(), alpha),
+                None,
+                "{alpha}"
+            );
+            for u in [0.2, 0.6, 1.0] {
+                assert!(fabric().ncf(u, alpha).unwrap() < suite().ncf(u, alpha).unwrap());
+            }
+        }
+    }
+
+    /// A crossover only appears for near-pure operational weights, where
+    /// the suite's 10x-better energy finally matters.
+    #[test]
+    fn crossover_exists_only_for_extreme_operational_weights() {
+        let alpha = E2oWeight::new(0.005).unwrap();
+        let u_star = fabric().crossover_vs_fixed(&suite(), alpha).unwrap();
+        assert!(u_star > 0.0 && u_star < 1.0, "u* = {u_star}");
+        // It is an exact break-even…
+        let f = fabric().ncf(u_star, alpha).unwrap();
+        let s = suite().ncf(u_star, alpha).unwrap();
+        assert!((f - s).abs() < 1e-9, "fabric {f} vs suite {s}");
+        // …with the fabric winning below and the suite above.
+        let above = u_star + (1.0 - u_star) * 0.5;
+        assert!(
+            fabric().ncf(u_star * 0.5, alpha).unwrap() < suite().ncf(u_star * 0.5, alpha).unwrap()
+        );
+        assert!(fabric().ncf(above, alpha).unwrap() > suite().ncf(above, alpha).unwrap());
+    }
+
+    #[test]
+    fn no_crossover_when_fabric_dominates() {
+        // A fabric that is smaller AND at least as efficient: no crossover.
+        let dominant = ReconfigurableFabric::new(0.1, 500.0).unwrap();
+        assert_eq!(
+            dominant.crossover_vs_fixed(&suite(), E2oWeight::BALANCED),
+            None
+        );
+    }
+
+    #[test]
+    fn design_points_share_the_accelerator_semantics() {
+        let dp = fabric().design_point(0.5).unwrap();
+        assert!((dp.area().get() - 1.4).abs() < 1e-12);
+        assert_eq!(dp.performance().get(), 1.0);
+        assert!(dp.energy().get() < 1.0);
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        assert!(suite().to_string().contains("20 fixed"));
+        assert!(fabric().to_string().contains("reconfigurable"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the microarchitecture mechanism models.
+
+use focal_core::{classify, DesignPoint, E2oWeight, Sustainability};
+use focal_uarch::{
+    Accelerator, BranchPredictor, DarkSiliconSoc, DvfsCore, FixedFunctionSuite, PipelineGating,
+    ReconfigurableFabric, TurboBoost,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Accelerator NCF is affine and decreasing in utilization, bounded by
+    /// its endpoints.
+    #[test]
+    fn accelerator_ncf_affine_in_utilization(
+        overhead in 0.0f64..3.0,
+        advantage in 1.0f64..1000.0,
+        alpha in 0.01f64..0.99,
+        u in 0.0f64..=1.0,
+    ) {
+        let acc = Accelerator::new(overhead, advantage).unwrap();
+        let w = E2oWeight::new(alpha).unwrap();
+        let at = |u: f64| acc.ncf(u, w).unwrap();
+        let interpolated = (1.0 - u) * at(0.0) + u * at(1.0);
+        prop_assert!((at(u) - interpolated).abs() < 1e-9);
+        prop_assert!(at(1.0) <= at(0.0) + 1e-12);
+    }
+
+    /// The break-even utilization, when it exists, really zeroes the
+    /// saving.
+    #[test]
+    fn accelerator_break_even_is_exact(
+        overhead in 0.0f64..1.0,
+        advantage in 1.5f64..1000.0,
+        alpha in 0.01f64..0.99,
+    ) {
+        let acc = Accelerator::new(overhead, advantage).unwrap();
+        let w = E2oWeight::new(alpha).unwrap();
+        if let Some(u) = acc.break_even_utilization(w) {
+            prop_assert!((0.0..=1.0).contains(&u));
+            prop_assert!((acc.ncf(u, w).unwrap() - 1.0).abs() < 1e-9);
+        } else {
+            // No break-even within [0, 1]: even full utilization loses.
+            prop_assert!(acc.ncf(1.0, w).unwrap() > 1.0 - 1e-9);
+        }
+    }
+
+    /// Dark silicon equals an accelerator with the equivalent area
+    /// overhead for every utilization and weight.
+    #[test]
+    fn dark_silicon_equals_equivalent_accelerator(
+        dark_fraction in 0.0f64..0.9,
+        u in 0.0f64..=1.0,
+        alpha in 0.0f64..=1.0,
+    ) {
+        let soc = DarkSiliconSoc::new(dark_fraction, 500.0).unwrap();
+        let acc = soc.as_accelerator().unwrap();
+        let w = E2oWeight::new(alpha).unwrap();
+        prop_assert!((soc.ncf(u, w).unwrap() - acc.ncf(u, w).unwrap()).abs() < 1e-12);
+    }
+
+    /// DVFS power/energy/performance identities hold across the whole
+    /// validity domain and for any dynamic-power split.
+    #[test]
+    fn dvfs_identities_hold(delta in 0.05f64..1.0, k in 0.05f64..2.0) {
+        let core = DvfsCore::new(delta, 0.02).unwrap();
+        let e = core.energy(k).unwrap();
+        let p = core.power(k).unwrap();
+        let s = core.performance(k).unwrap();
+        prop_assert!((e - p / s).abs() < 1e-12);
+        // Power is superlinear above nominal, sublinear below, relative
+        // to frequency — except in the pure-leakage limit where it is
+        // exactly linear.
+        if delta > 0.1 {
+            if k > 1.0 {
+                prop_assert!(p > k);
+            } else if k < 1.0 {
+                prop_assert!(p < k + 1e-12);
+            }
+        }
+    }
+
+    /// Turbo boost is less sustainable for every boost level and weight.
+    #[test]
+    fn turbo_always_less_sustainable(k in 1.01f64..2.0, alpha in 0.01f64..0.99) {
+        let turbo = TurboBoost::default_turbo();
+        let boosted = turbo.design_point(k).unwrap();
+        let verdict = classify(&boosted, &DesignPoint::reference(), E2oWeight::new(alpha).unwrap());
+        prop_assert_eq!(verdict.class, Sustainability::Less);
+    }
+
+    /// A gating configuration that reduces both energy and performance by
+    /// the same mechanism always reduces power more than energy.
+    #[test]
+    fn gating_power_below_energy(e_ratio in 0.8f64..1.0, perf_ratio in 0.8f64..1.0) {
+        let g = PipelineGating::new(e_ratio, perf_ratio, 0.0).unwrap();
+        prop_assert!(g.power_ratio() <= g.energy_ratio + 1e-12);
+    }
+
+    /// The branch predictor's derived power ratio is consistent with its
+    /// design point at any area.
+    #[test]
+    fn predictor_design_point_consistent(
+        e in 0.7f64..1.2,
+        perf in 0.9f64..1.5,
+        area in 0.0f64..0.5,
+    ) {
+        let bp = BranchPredictor::new(e, perf).unwrap();
+        let dp = bp.design_point(area).unwrap();
+        prop_assert!((dp.power().get() - e * perf).abs() < 1e-12);
+        prop_assert!((dp.area().get() - (1.0 + area)).abs() < 1e-12);
+    }
+
+    /// The reconfigurable crossover, when it exists, is an exact tie; on
+    /// either side the predicted winner really wins.
+    #[test]
+    fn reconfig_crossover_exact(
+        suite_area in 0.05f64..0.2,
+        count in 5u32..30,
+        fabric_area in 0.1f64..0.8,
+        alpha in 0.001f64..0.999,
+    ) {
+        let suite = FixedFunctionSuite::new(count, suite_area, 500.0).unwrap();
+        let fabric = ReconfigurableFabric::new(fabric_area, 50.0).unwrap();
+        let w = E2oWeight::new(alpha).unwrap();
+        if let Some(u) = fabric.crossover_vs_fixed(&suite, w) {
+            let f = fabric.ncf(u, w).unwrap();
+            let s = suite.ncf(u, w).unwrap();
+            prop_assert!((f - s).abs() < 1e-9);
+        }
+    }
+}

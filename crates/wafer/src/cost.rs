@@ -1,0 +1,190 @@
+//! Wafer-economics metrics: cost per good die and performance per wafer.
+//!
+//! The related-work section of the paper points to *performance per
+//! wafer* (Zhang et al. \[52\]) as a metric that balances performance
+//! against cost **and** sustainability — both scale with how many good
+//! chips a wafer delivers. This module provides that metric on top of the
+//! geometry/yield substrate.
+
+use crate::embodied::EmbodiedModel;
+use focal_core::{ModelError, Result, SiliconArea};
+use std::fmt;
+
+/// Wafer-economics evaluator: wraps an [`EmbodiedModel`] (wafer, yield,
+/// harvesting) with a per-wafer cost.
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::{EmbodiedModel, WaferEconomics};
+/// use focal_core::SiliconArea;
+///
+/// let econ = WaferEconomics::new(EmbodiedModel::figure1_murphy(), 10_000.0)?;
+/// let small = econ.cost_per_good_die(SiliconArea::from_mm2(100.0)?)?;
+/// let big = econ.cost_per_good_die(SiliconArea::from_mm2(400.0)?)?;
+/// assert!(big > 4.0 * small); // yield makes big dies superlinearly costly
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaferEconomics {
+    model: EmbodiedModel,
+    wafer_cost: f64,
+}
+
+impl WaferEconomics {
+    /// Creates an evaluator with the given per-wafer cost (any currency;
+    /// only ratios matter for the sustainability analyses).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `wafer_cost` is not strictly positive and
+    /// finite.
+    pub fn new(model: EmbodiedModel, wafer_cost: f64) -> Result<Self> {
+        if !wafer_cost.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "wafer cost",
+                value: wafer_cost,
+            });
+        }
+        if wafer_cost <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "wafer cost",
+                value: wafer_cost,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(WaferEconomics { model, wafer_cost })
+    }
+
+    /// The underlying embodied model.
+    pub fn model(&self) -> &EmbodiedModel {
+        &self.model
+    }
+
+    /// Cost of one good die: `wafer_cost / good_chips_per_wafer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/yield errors.
+    pub fn cost_per_good_die(&self, die: SiliconArea) -> Result<f64> {
+        Ok(self.wafer_cost / self.model.good_chips_per_wafer(die)?)
+    }
+
+    /// Performance per wafer (Zhang et al.): the total performance of all
+    /// good chips cut from one wafer, given each chip's performance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `chip_performance` is not strictly positive
+    /// and finite, or propagates geometry/yield errors.
+    pub fn performance_per_wafer(&self, die: SiliconArea, chip_performance: f64) -> Result<f64> {
+        if !chip_performance.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "chip performance",
+                value: chip_performance,
+            });
+        }
+        if chip_performance <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "chip performance",
+                value: chip_performance,
+                expected: "(0, +inf)",
+            });
+        }
+        Ok(self.model.good_chips_per_wafer(die)? * chip_performance)
+    }
+
+    /// Compares two chip options by performance per wafer: returns the
+    /// ratio `ppw(a) / ppw(b)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`WaferEconomics::performance_per_wafer`].
+    pub fn ppw_ratio(&self, a: (SiliconArea, f64), b: (SiliconArea, f64)) -> Result<f64> {
+        Ok(self.performance_per_wafer(a.0, a.1)? / self.performance_per_wafer(b.0, b.1)?)
+    }
+}
+
+impl fmt::Display for WaferEconomics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wafer economics (cost {} per wafer)", self.wafer_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn econ() -> WaferEconomics {
+        WaferEconomics::new(EmbodiedModel::figure1_murphy(), 10_000.0).unwrap()
+    }
+
+    fn die(mm2: f64) -> SiliconArea {
+        SiliconArea::from_mm2(mm2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(WaferEconomics::new(EmbodiedModel::figure1_perfect(), 0.0).is_err());
+        assert!(WaferEconomics::new(EmbodiedModel::figure1_perfect(), -5.0).is_err());
+        assert!(WaferEconomics::new(EmbodiedModel::figure1_perfect(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cost_per_die_grows_superlinearly() {
+        let e = econ();
+        let c100 = e.cost_per_good_die(die(100.0)).unwrap();
+        let c400 = e.cost_per_good_die(die(400.0)).unwrap();
+        assert!(c400 > 4.0 * c100);
+    }
+
+    #[test]
+    fn cost_tracks_the_embodied_footprint() {
+        // Cost per die and embodied footprint per die are the same curve
+        // up to a constant: both are wafer-resource ÷ good dies.
+        let e = econ();
+        let ratio_cost =
+            e.cost_per_good_die(die(300.0)).unwrap() / e.cost_per_good_die(die(100.0)).unwrap();
+        let ratio_footprint = e
+            .model()
+            .normalized_footprint(die(300.0), die(100.0))
+            .unwrap();
+        assert!((ratio_cost - ratio_footprint).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_per_wafer_prefers_small_fast_chips() {
+        // Pollack: doubling die area buys only √2 performance, but costs
+        // more than 2x the dies per wafer — PPW falls.
+        let e = econ();
+        let ppw_small = e.performance_per_wafer(die(100.0), 1.0).unwrap();
+        let ppw_big = e.performance_per_wafer(die(200.0), 2.0_f64.sqrt()).unwrap();
+        assert!(ppw_small > ppw_big);
+        let ratio = e
+            .ppw_ratio((die(100.0), 1.0), (die(200.0), 2.0_f64.sqrt()))
+            .unwrap();
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    fn performance_per_wafer_validates_inputs() {
+        let e = econ();
+        assert!(e.performance_per_wafer(die(100.0), 0.0).is_err());
+        assert!(e.performance_per_wafer(die(100.0), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn linear_performance_keeps_ppw_roughly_flat_under_perfect_yield() {
+        // With perfect yield and *linear* perf-in-area, PPW is ~constant
+        // up to edge effects.
+        let e = WaferEconomics::new(EmbodiedModel::figure1_perfect(), 1.0).unwrap();
+        let a = e.performance_per_wafer(die(100.0), 1.0).unwrap();
+        let b = e.performance_per_wafer(die(200.0), 2.0).unwrap();
+        assert!((a - b).abs() / a < 0.1);
+    }
+
+    #[test]
+    fn display_mentions_cost() {
+        assert!(econ().to_string().contains("10000"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-chip embodied footprint: wafer footprint ÷ good chips per wafer.
+//!
+//! This module composes the geometry, yield and harvesting models into the
+//! quantity FOCAL's Figure 1 plots: the embodied footprint *per chip* as a
+//! function of die size, normalized to a 100 mm² reference die.
+
+use crate::geometry::Wafer;
+use crate::harvest::HarvestPolicy;
+use crate::yield_model::{DefectDensity, YieldModel};
+use focal_core::{ModelError, Result, SiliconArea};
+
+/// A per-chip embodied-footprint model: a wafer, a yield model, a defect
+/// density and a harvesting policy.
+///
+/// The absolute per-wafer footprint cancels out of all the normalized
+/// quantities this model produces, which is exactly why FOCAL can use die
+/// area as the embodied proxy despite not knowing the absolute footprint.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::SiliconArea;
+/// use focal_wafer::{DefectDensity, EmbodiedModel, Wafer, YieldModel};
+///
+/// let model = EmbodiedModel::new(Wafer::W300MM, YieldModel::Murphy, DefectDensity::TSMC_VOLUME);
+/// let small = SiliconArea::from_mm2(100.0)?;
+/// let big = SiliconArea::from_mm2(800.0)?;
+/// // A big chip has a larger per-chip embodied footprint (Figure 1).
+/// assert!(model.normalized_footprint(big, small)? > 8.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbodiedModel {
+    wafer: Wafer,
+    yield_model: YieldModel,
+    defect_density: DefectDensity,
+    harvest: HarvestPolicy,
+}
+
+impl EmbodiedModel {
+    /// Creates a model with no harvesting.
+    pub fn new(wafer: Wafer, yield_model: YieldModel, defect_density: DefectDensity) -> Self {
+        EmbodiedModel {
+            wafer,
+            yield_model,
+            defect_density,
+            harvest: HarvestPolicy::none(),
+        }
+    }
+
+    /// The paper's Figure 1 configurations: a 300 mm wafer at
+    /// `D0 = 0.09 /cm²` with either perfect yield or the Murphy model.
+    pub fn figure1_perfect() -> Self {
+        EmbodiedModel::new(
+            Wafer::W300MM,
+            YieldModel::Perfect,
+            DefectDensity::TSMC_VOLUME,
+        )
+    }
+
+    /// See [`EmbodiedModel::figure1_perfect`].
+    pub fn figure1_murphy() -> Self {
+        EmbodiedModel::new(
+            Wafer::W300MM,
+            YieldModel::Murphy,
+            DefectDensity::TSMC_VOLUME,
+        )
+    }
+
+    /// Returns a copy with the given harvesting policy.
+    #[must_use]
+    pub fn with_harvest(mut self, harvest: HarvestPolicy) -> Self {
+        self.harvest = harvest;
+        self
+    }
+
+    /// The wafer used by this model.
+    pub fn wafer(&self) -> Wafer {
+        self.wafer
+    }
+
+    /// The yield model used.
+    pub fn yield_model(&self) -> YieldModel {
+        self.yield_model
+    }
+
+    /// Good (sellable) chips per wafer for a die of the given size:
+    /// de Vries gross count × effective yield.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the die does not fit the wafer or the yield
+    /// parameters are invalid.
+    pub fn good_chips_per_wafer(&self, die: SiliconArea) -> Result<f64> {
+        let gross = self.wafer.chips_de_vries(die)?;
+        let y = self
+            .harvest
+            .effective_yield(self.yield_model, die, self.defect_density)?;
+        Ok(gross * y)
+    }
+
+    /// Embodied footprint per chip in *wafer units*: `1 / good CPW`
+    /// (the footprint of one whole wafer spread over its good chips).
+    ///
+    /// # Errors
+    ///
+    /// See [`EmbodiedModel::good_chips_per_wafer`].
+    pub fn footprint_per_chip_wafer_units(&self, die: SiliconArea) -> Result<f64> {
+        Ok(1.0 / self.good_chips_per_wafer(die)?)
+    }
+
+    /// Embodied footprint per chip normalized to a reference die size —
+    /// the y-axis of Figure 1 (reference = 100 mm²).
+    ///
+    /// # Errors
+    ///
+    /// See [`EmbodiedModel::good_chips_per_wafer`].
+    pub fn normalized_footprint(&self, die: SiliconArea, reference: SiliconArea) -> Result<f64> {
+        Ok(self.footprint_per_chip_wafer_units(die)?
+            / self.footprint_per_chip_wafer_units(reference)?)
+    }
+
+    /// Sweeps die sizes from `from_mm2` to `to_mm2` in `steps` equal steps
+    /// (inclusive), returning `(die size mm², normalized footprint)` pairs
+    /// normalized to `reference`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sweep bounds are invalid or any point fails
+    /// to evaluate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2`.
+    pub fn sweep_normalized(
+        &self,
+        from_mm2: f64,
+        to_mm2: f64,
+        steps: usize,
+        reference: SiliconArea,
+    ) -> Result<Vec<(f64, f64)>> {
+        assert!(steps >= 2, "a sweep needs at least 2 points");
+        if !(from_mm2.is_finite() && to_mm2.is_finite()) || from_mm2 <= 0.0 || to_mm2 <= from_mm2 {
+            return Err(ModelError::Inconsistent {
+                constraint: "sweep bounds must satisfy 0 < from < to and be finite",
+            });
+        }
+        (0..steps)
+            .map(|i| {
+                let a = from_mm2 + (to_mm2 - from_mm2) * i as f64 / (steps - 1) as f64;
+                let die = SiliconArea::from_mm2(a)?;
+                Ok((a, self.normalized_footprint(die, reference)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::Polynomial;
+
+    fn die(mm2: f64) -> SiliconArea {
+        SiliconArea::from_mm2(mm2).unwrap()
+    }
+
+    #[test]
+    fn good_cpw_less_than_gross_under_murphy() {
+        let m = EmbodiedModel::figure1_murphy();
+        let gross = Wafer::W300MM.chips_de_vries(die(400.0)).unwrap();
+        let good = m.good_chips_per_wafer(die(400.0)).unwrap();
+        assert!(good < gross);
+    }
+
+    #[test]
+    fn perfect_yield_good_cpw_equals_gross() {
+        let m = EmbodiedModel::figure1_perfect();
+        let gross = Wafer::W300MM.chips_de_vries(die(400.0)).unwrap();
+        let good = m.good_chips_per_wafer(die(400.0)).unwrap();
+        assert_eq!(good, gross);
+    }
+
+    #[test]
+    fn reference_die_normalizes_to_one() {
+        for m in [
+            EmbodiedModel::figure1_perfect(),
+            EmbodiedModel::figure1_murphy(),
+        ] {
+            let r = die(100.0);
+            assert!((m.normalized_footprint(r, r).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Figure 1: at 800 mm² the perfect-yield curve reaches ≈ 9.5× the
+    /// 100 mm² footprint and the Murphy curve ≈ 17× (the figure's y-axis
+    /// tops out at 20).
+    #[test]
+    fn figure1_endpoint_magnitudes() {
+        let r = die(100.0);
+        let perfect = EmbodiedModel::figure1_perfect()
+            .normalized_footprint(die(800.0), r)
+            .unwrap();
+        let murphy = EmbodiedModel::figure1_murphy()
+            .normalized_footprint(die(800.0), r)
+            .unwrap();
+        assert!(perfect > 9.0 && perfect < 10.0, "perfect: {perfect}");
+        assert!(murphy > 16.0 && murphy < 18.0, "murphy: {murphy}");
+        assert!(murphy > perfect);
+    }
+
+    /// Figure 1 trendlines: perfect yield is ≈ linear in die size, Murphy
+    /// ≈ second-degree polynomial.
+    #[test]
+    fn figure1_trendline_shapes() {
+        let r = die(100.0);
+        let perfect: Vec<(f64, f64)> = EmbodiedModel::figure1_perfect()
+            .sweep_normalized(100.0, 800.0, 15, r)
+            .unwrap();
+        let murphy: Vec<(f64, f64)> = EmbodiedModel::figure1_murphy()
+            .sweep_normalized(100.0, 800.0, 15, r)
+            .unwrap();
+
+        let (px, py): (Vec<f64>, Vec<f64>) = perfect.into_iter().unzip();
+        let (mx, my): (Vec<f64>, Vec<f64>) = murphy.into_iter().unzip();
+
+        let lin = Polynomial::fit(&px, &py, 1).unwrap();
+        assert!(lin.r_squared(&px, &py) > 0.995, "perfect yield ≈ linear");
+
+        let lin_m = Polynomial::fit(&mx, &my, 1).unwrap();
+        let quad_m = Polynomial::fit(&mx, &my, 2).unwrap();
+        assert!(quad_m.r_squared(&mx, &my) > 0.999);
+        assert!(quad_m.r_squared(&mx, &my) > lin_m.r_squared(&mx, &my));
+        // The quadratic term is genuinely positive (super-linear growth).
+        assert!(quad_m.coefficients()[2] > 0.0);
+    }
+
+    #[test]
+    fn footprint_monotone_in_die_size() {
+        let m = EmbodiedModel::figure1_murphy();
+        let r = die(100.0);
+        let mut prev = 0.0;
+        for a in [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0] {
+            let v = m.normalized_footprint(die(a), r).unwrap();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn harvesting_recovers_toward_perfect() {
+        let r = die(100.0);
+        let a = die(800.0);
+        let murphy = EmbodiedModel::figure1_murphy();
+        let half = murphy.with_harvest(HarvestPolicy::new(0.5).unwrap());
+        let full = murphy.with_harvest(HarvestPolicy::full());
+        let perfect = EmbodiedModel::figure1_perfect();
+
+        let f_murphy = murphy.normalized_footprint(a, r).unwrap();
+        let f_half = half.normalized_footprint(a, r).unwrap();
+        let f_full = full.normalized_footprint(a, r).unwrap();
+        let f_perfect = perfect.normalized_footprint(a, r).unwrap();
+
+        assert!(f_half < f_murphy);
+        assert!((f_full - f_perfect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_validates_bounds() {
+        let m = EmbodiedModel::figure1_perfect();
+        let r = die(100.0);
+        assert!(m.sweep_normalized(800.0, 100.0, 5, r).is_err());
+        assert!(m.sweep_normalized(-5.0, 100.0, 5, r).is_err());
+        let pts = m.sweep_normalized(100.0, 800.0, 8, r).unwrap();
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0].0, 100.0);
+        assert_eq!(pts[7].0, 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn sweep_panics_on_single_step() {
+        let m = EmbodiedModel::figure1_perfect();
+        let _ = m.sweep_normalized(100.0, 800.0, 1, die(100.0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Manufacturing-footprint trends across technology nodes, after Imec's
+//! DTCO/PPACE analysis \[16\] as quoted by the paper.
+//!
+//! The paper uses two formulations of the same Imec data:
+//!
+//! * **Annual growth** (§3.1): energy per wafer (scope 2) grows ≈ 11.9 %
+//!   per year; chemicals/gases (scope 1) grow ≈ 9.3 % per year.
+//! * **Per node transition** (§6): between two consecutive technology
+//!   nodes, scope 2 grows 25.2 % and scope 1 grows 19.5 %.
+//!
+//! [`ManufacturingTrend`] captures both and projects a per-wafer
+//! [`ScopeBreakdown`] forward by years or node transitions.
+
+use crate::scopes::ScopeBreakdown;
+use focal_core::{ModelError, Result};
+
+/// Imec-derived growth rates of the per-wafer manufacturing footprint.
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::ManufacturingTrend;
+///
+/// let trend = ManufacturingTrend::IMEC;
+/// // One node transition: scope 2 grows 25.2 %.
+/// let f = trend.scope2_node_factor(1);
+/// assert!((f - 1.252).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManufacturingTrend {
+    /// Annual growth rate of scope-1 (chemicals/gases) emissions per wafer.
+    pub scope1_annual_growth: f64,
+    /// Annual growth rate of scope-2 (energy) emissions per wafer.
+    pub scope2_annual_growth: f64,
+    /// Per-node-transition growth of scope-1 emissions per wafer.
+    pub scope1_node_growth: f64,
+    /// Per-node-transition growth of scope-2 emissions per wafer.
+    pub scope2_node_growth: f64,
+}
+
+impl ManufacturingTrend {
+    /// The Imec numbers quoted by the paper: 9.3 %/yr and 19.5 %/node for
+    /// scope 1; 11.9 %/yr and 25.2 %/node for scope 2.
+    pub const IMEC: ManufacturingTrend = ManufacturingTrend {
+        scope1_annual_growth: 0.093,
+        scope2_annual_growth: 0.119,
+        scope1_node_growth: 0.195,
+        scope2_node_growth: 0.252,
+    };
+
+    /// Creates a custom trend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any growth rate is not finite or ≤ −100 %
+    /// (which would make a footprint non-positive).
+    pub fn new(
+        scope1_annual_growth: f64,
+        scope2_annual_growth: f64,
+        scope1_node_growth: f64,
+        scope2_node_growth: f64,
+    ) -> Result<Self> {
+        for (name, v) in [
+            ("scope1 annual growth", scope1_annual_growth),
+            ("scope2 annual growth", scope2_annual_growth),
+            ("scope1 node growth", scope1_node_growth),
+            ("scope2 node growth", scope2_node_growth),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v <= -1.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(-1, +inf)",
+                });
+            }
+        }
+        Ok(ManufacturingTrend {
+            scope1_annual_growth,
+            scope2_annual_growth,
+            scope1_node_growth,
+            scope2_node_growth,
+        })
+    }
+
+    /// Multiplicative scope-1 factor after `transitions` node transitions.
+    pub fn scope1_node_factor(&self, transitions: u32) -> f64 {
+        (1.0 + self.scope1_node_growth).powi(transitions as i32)
+    }
+
+    /// Multiplicative scope-2 factor after `transitions` node transitions.
+    pub fn scope2_node_factor(&self, transitions: u32) -> f64 {
+        (1.0 + self.scope2_node_growth).powi(transitions as i32)
+    }
+
+    /// Multiplicative scope-1 factor after `years` years.
+    pub fn scope1_annual_factor(&self, years: f64) -> f64 {
+        (1.0 + self.scope1_annual_growth).powf(years)
+    }
+
+    /// Multiplicative scope-2 factor after `years` years.
+    pub fn scope2_annual_factor(&self, years: f64) -> f64 {
+        (1.0 + self.scope2_annual_growth).powf(years)
+    }
+
+    /// Projects a per-wafer scope breakdown forward by `transitions` node
+    /// transitions. Scope 3 is held constant: the paper provides no trend
+    /// for it and FOCAL treats material footprint as first-order flat per
+    /// wafer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the breakdown arithmetic.
+    pub fn project_nodes(
+        &self,
+        per_wafer: &ScopeBreakdown,
+        transitions: u32,
+    ) -> Result<ScopeBreakdown> {
+        per_wafer.scaled_per_scope(
+            self.scope1_node_factor(transitions),
+            self.scope2_node_factor(transitions),
+            1.0,
+        )
+    }
+
+    /// Projects a per-wafer scope breakdown forward by `years` years.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `years` is negative or not finite, or propagates
+    /// breakdown arithmetic errors.
+    pub fn project_years(&self, per_wafer: &ScopeBreakdown, years: f64) -> Result<ScopeBreakdown> {
+        if !years.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "years",
+                value: years,
+            });
+        }
+        if years < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "years",
+                value: years,
+                expected: "[0, +inf)",
+            });
+        }
+        per_wafer.scaled_per_scope(
+            self.scope1_annual_factor(years),
+            self.scope2_annual_factor(years),
+            1.0,
+        )
+    }
+
+    /// The paper's §6 headline: the combined manufacturing footprint of a
+    /// wafer grows by ≈ 25.2 % (scope-2-dominated approximation) per node.
+    ///
+    /// For a breakdown-free quick estimate the studies use the scope-2
+    /// growth as *the* per-node wafer-footprint growth, as the paper does in
+    /// its §7 case study ("chip area halves but the manufacturing footprint
+    /// increases by 25.2 %").
+    pub fn wafer_footprint_node_factor(&self, transitions: u32) -> f64 {
+        self.scope2_node_factor(transitions)
+    }
+}
+
+impl Default for ManufacturingTrend {
+    /// Defaults to the Imec data.
+    fn default() -> Self {
+        ManufacturingTrend::IMEC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imec_constants_match_paper() {
+        let t = ManufacturingTrend::IMEC;
+        assert_eq!(t.scope1_annual_growth, 0.093);
+        assert_eq!(t.scope2_annual_growth, 0.119);
+        assert_eq!(t.scope1_node_growth, 0.195);
+        assert_eq!(t.scope2_node_growth, 0.252);
+        assert_eq!(ManufacturingTrend::default(), t);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ManufacturingTrend::new(0.1, 0.1, 0.2, 0.2).is_ok());
+        assert!(ManufacturingTrend::new(-1.0, 0.1, 0.2, 0.2).is_err());
+        assert!(ManufacturingTrend::new(0.1, f64::NAN, 0.2, 0.2).is_err());
+        // Negative growth above -100% is allowed (a greening fab).
+        assert!(ManufacturingTrend::new(-0.05, -0.05, -0.05, -0.05).is_ok());
+    }
+
+    #[test]
+    fn node_factors_compound() {
+        let t = ManufacturingTrend::IMEC;
+        assert_eq!(t.scope2_node_factor(0), 1.0);
+        assert!((t.scope2_node_factor(1) - 1.252).abs() < 1e-12);
+        assert!((t.scope2_node_factor(2) - 1.252 * 1.252).abs() < 1e-12);
+        assert!((t.scope1_node_factor(3) - 1.195_f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annual_factors_compound() {
+        let t = ManufacturingTrend::IMEC;
+        assert!((t.scope2_annual_factor(1.0) - 1.119).abs() < 1e-12);
+        assert!((t.scope2_annual_factor(0.0) - 1.0).abs() < 1e-12);
+        // Two years of 11.9 % ≈ one node of 25.2 % (the Imec cadence).
+        let two_years = t.scope2_annual_factor(2.0);
+        let one_node = t.scope2_node_factor(1);
+        assert!((two_years - one_node).abs() / one_node < 0.01);
+    }
+
+    #[test]
+    fn projection_applies_per_scope() {
+        let t = ManufacturingTrend::IMEC;
+        let base = ScopeBreakdown::new(10.0, 50.0, 40.0).unwrap();
+        let next = t.project_nodes(&base, 1).unwrap();
+        assert!((next.scope1() - 11.95).abs() < 1e-9);
+        assert!((next.scope2() - 62.6).abs() < 1e-9);
+        assert_eq!(next.scope3(), 40.0);
+    }
+
+    #[test]
+    fn year_projection_validates_input() {
+        let t = ManufacturingTrend::IMEC;
+        let base = ScopeBreakdown::new(1.0, 1.0, 1.0).unwrap();
+        assert!(t.project_years(&base, -1.0).is_err());
+        assert!(t.project_years(&base, f64::NAN).is_err());
+        let y5 = t.project_years(&base, 5.0).unwrap();
+        assert!(y5.scope2() > y5.scope1()); // scope 2 grows faster
+    }
+
+    #[test]
+    fn wafer_footprint_factor_uses_scope2() {
+        let t = ManufacturingTrend::IMEC;
+        assert_eq!(t.wafer_footprint_node_factor(1), t.scope2_node_factor(1));
+    }
+}

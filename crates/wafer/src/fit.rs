@@ -1,0 +1,235 @@
+//! Small least-squares polynomial fitting, used to reproduce the linear and
+//! second-degree trendlines of the paper's Figure 1.
+
+use focal_core::{ModelError, Result};
+
+/// A polynomial `p(x) = c₀ + c₁·x + … + c_d·x^d` fitted by ordinary least
+/// squares.
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::Polynomial;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+/// let p = Polynomial::fit(&xs, &ys, 1)?;
+/// assert!((p.coefficients()[0] - 1.0).abs() < 1e-9);
+/// assert!((p.coefficients()[1] - 2.0).abs() < 1e-9);
+/// assert!((p.evaluate(10.0) - 21.0).abs() < 1e-9);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Fits a degree-`degree` polynomial to the points `(xs[i], ys[i])` by
+    /// solving the normal equations with partial-pivot Gaussian
+    /// elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slices have different lengths, fewer than
+    /// `degree + 1` points, contain non-finite values, or if the normal
+    /// system is singular (e.g. all x values identical).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(ModelError::Inconsistent {
+                constraint: "x and y slices must have equal length",
+            });
+        }
+        let n_coef = degree + 1;
+        if xs.len() < n_coef {
+            return Err(ModelError::Inconsistent {
+                constraint: "need at least degree+1 points to fit a polynomial",
+            });
+        }
+        for &v in xs.iter().chain(ys.iter()) {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: "fit data",
+                    value: v,
+                });
+            }
+        }
+
+        // Normal equations: (VᵀV) c = Vᵀy with V the Vandermonde matrix.
+        let mut ata = vec![vec![0.0; n_coef]; n_coef];
+        let mut aty = vec![0.0; n_coef];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let mut pow = vec![1.0; 2 * degree + 1];
+            for k in 1..pow.len() {
+                pow[k] = pow[k - 1] * x;
+            }
+            for (i, row) in ata.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell += pow[i + j];
+                }
+                aty[i] += pow[i] * y;
+            }
+        }
+
+        let coefficients = solve(ata, aty)?;
+        Ok(Polynomial { coefficients })
+    }
+
+    /// The coefficients `[c₀, c₁, …, c_d]` in ascending-power order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// The coefficient of determination R² of this fit on the given data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn r_squared(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "x and y slices must have equal length");
+        assert!(!xs.is_empty(), "R² needs at least one point");
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| (y - self.evaluate(x)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            if ss_res == 0.0 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Solves the dense linear system `A·x = b` with partial-pivot Gaussian
+/// elimination. `A` is consumed.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty column range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(ModelError::Inconsistent {
+                constraint: "normal equations are singular (degenerate fit data)",
+            });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (cell, &p) in rest[0].iter_mut().zip(pivot).skip(col) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 0.5 * x).collect();
+        let p = Polynomial::fit(&xs, &ys, 1).unwrap();
+        assert!((p.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((p.coefficients()[1] + 0.5).abs() < 1e-9);
+        assert!((p.r_squared(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x + 0.25 * x * x).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!((p.coefficients()[2] - 0.25).abs() < 1e-8);
+        assert!((p.evaluate(20.0) - (1.0 + 40.0 + 100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_minimizes_noise() {
+        // y = 2x with symmetric noise: slope should stay near 2.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.1, 3.9, 6.1, 7.9];
+        let p = Polynomial::fit(&xs, &ys, 1).unwrap();
+        assert!((p.coefficients()[1] - 2.0).abs() < 0.05);
+        assert!(p.r_squared(&xs, &ys) > 0.99);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Polynomial::fit(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(Polynomial::fit(&[1.0], &[1.0], 1).is_err());
+        assert!(Polynomial::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1).is_err());
+        assert!(Polynomial::fit(&[1.0, f64::NAN], &[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn constant_fit_is_mean() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 6.0, 8.0];
+        let p = Polynomial::fit(&xs, &ys, 0).unwrap();
+        assert!((p.coefficients()[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_of_constant_data() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let p = Polynomial::fit(&xs, &ys, 0).unwrap();
+        assert_eq!(p.r_squared(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn r_squared_panics_on_mismatched_slices() {
+        let p = Polynomial::fit(&[0.0, 1.0], &[0.0, 1.0], 1).unwrap();
+        let _ = p.r_squared(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn horner_evaluation_matches_naive() {
+        let p = Polynomial {
+            coefficients: vec![1.0, -2.0, 3.0, 0.5],
+        };
+        let x = 1.7;
+        let naive = 1.0 - 2.0 * x + 3.0 * x * x + 0.5 * x * x * x;
+        assert!((p.evaluate(x) - naive).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,433 @@
+//! Wafer geometry: how many dies fit on a wafer.
+//!
+//! The unit of production in a fab is the wafer, so the embodied footprint
+//! *per chip* is, to first order, the wafer footprint divided by the number
+//! of (good) chips per wafer. This module provides three estimators:
+//!
+//! * [`Wafer::chips_de_vries`] — the empirical formula the paper uses
+//!   (de Vries \[10\]): `CPW = πd²/4A − 0.58·πd/√A`.
+//! * [`Wafer::chips_area_ratio`] — the naive `πd²/4A` upper bound.
+//! * [`Wafer::chips_exact`] — exact rasterized counting of rectangular dies
+//!   placed on a grid, with scribe lanes and edge exclusion; the ground
+//!   truth the empirical formulas approximate.
+
+use focal_core::{ModelError, Result, SiliconArea};
+
+/// A (circular) silicon wafer of a given diameter.
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::Wafer;
+/// use focal_core::SiliconArea;
+///
+/// let wafer = Wafer::W300MM;
+/// let die = SiliconArea::from_mm2(100.0)?;
+/// let cpw = wafer.chips_de_vries(die)?;
+/// assert!((cpw - 652.0).abs() < 1.0); // ≈652 dies of 100 mm² on a 300 mm wafer
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wafer {
+    diameter_mm: f64,
+}
+
+impl Wafer {
+    /// The industry-standard 300 mm wafer the paper assumes.
+    pub const W300MM: Wafer = Wafer { diameter_mm: 300.0 };
+
+    /// The legacy 200 mm wafer.
+    pub const W200MM: Wafer = Wafer { diameter_mm: 200.0 };
+
+    /// The prospective 450 mm wafer.
+    pub const W450MM: Wafer = Wafer { diameter_mm: 450.0 };
+
+    /// Creates a wafer with the given diameter in millimetres.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diameter is not strictly positive and finite.
+    pub fn new(diameter_mm: f64) -> Result<Self> {
+        if !diameter_mm.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "wafer diameter",
+                value: diameter_mm,
+            });
+        }
+        if diameter_mm <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "wafer diameter",
+                value: diameter_mm,
+                expected: "(0, +inf) mm",
+            });
+        }
+        Ok(Wafer { diameter_mm })
+    }
+
+    /// The wafer diameter in millimetres.
+    #[inline]
+    pub fn diameter_mm(&self) -> f64 {
+        self.diameter_mm
+    }
+
+    /// The wafer's total surface area in mm².
+    #[inline]
+    pub fn area_mm2(&self) -> f64 {
+        std::f64::consts::PI * (self.diameter_mm / 2.0).powi(2)
+    }
+
+    /// Gross chips per wafer by the de Vries empirical formula the paper
+    /// uses (§3.1):
+    ///
+    /// ```text
+    /// CPW = πd²/(4A) − 0.58·πd/√A
+    /// ```
+    ///
+    /// The first term is the area ratio; the second corrects for partial
+    /// dies lost along the circular edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Inconsistent`] if the die is so large relative
+    /// to the wafer that the formula yields a non-positive count.
+    pub fn chips_de_vries(&self, die: SiliconArea) -> Result<f64> {
+        let d = self.diameter_mm;
+        let a = die.get();
+        let cpw =
+            std::f64::consts::PI * d * d / (4.0 * a) - 0.58 * std::f64::consts::PI * d / a.sqrt();
+        if cpw <= 0.0 {
+            return Err(ModelError::Inconsistent {
+                constraint:
+                    "die size too large for this wafer (de Vries CPW would be non-positive)",
+            });
+        }
+        Ok(cpw)
+    }
+
+    /// The naive area-ratio estimate `πd²/(4A)`, an upper bound that
+    /// ignores edge losses.
+    pub fn chips_area_ratio(&self, die: SiliconArea) -> f64 {
+        self.area_mm2() / die.get()
+    }
+
+    /// Exact count of whole rectangular dies on the wafer.
+    ///
+    /// Dies of `die_width × die_height` (mm) are placed on a regular grid
+    /// with `scribe_mm` sawing streets between them; a die counts only if
+    /// all four corners lie within the usable radius (wafer radius minus
+    /// `edge_exclusion_mm`). The grid is centered on the wafer center,
+    /// which is the common industrial choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any dimension is non-positive/non-finite or if
+    /// the edge exclusion consumes the whole wafer.
+    pub fn chips_exact(&self, placement: &DiePlacement) -> Result<u64> {
+        placement.validate()?;
+        let usable_r = self.diameter_mm / 2.0 - placement.edge_exclusion_mm;
+        if usable_r <= 0.0 {
+            return Err(ModelError::Inconsistent {
+                constraint: "edge exclusion consumes the entire wafer",
+            });
+        }
+        let pitch_x = placement.die_width_mm + placement.scribe_mm;
+        let pitch_y = placement.die_height_mm + placement.scribe_mm;
+        let r2 = usable_r * usable_r;
+
+        // Enough grid cells to cover the usable circle on each side.
+        let nx = (usable_r / pitch_x).ceil() as i64 + 1;
+        let ny = (usable_r / pitch_y).ceil() as i64 + 1;
+
+        let mut count = 0u64;
+        for i in -nx..nx {
+            for j in -ny..ny {
+                // Die lower-left corner for a grid centered at the origin.
+                let x0 = i as f64 * pitch_x - placement.die_width_mm / 2.0;
+                let y0 = j as f64 * pitch_y - placement.die_height_mm / 2.0;
+                let x1 = x0 + placement.die_width_mm;
+                let y1 = y0 + placement.die_height_mm;
+                // All four corners must be inside the usable circle. For a
+                // convex region this implies the whole rectangle is inside.
+                let inside = [x0, x1]
+                    .iter()
+                    .all(|&x| [y0, y1].iter().all(|&y| x * x + y * y <= r2));
+                if inside {
+                    count += 1;
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// Exact count for a square die of the given area, zero scribe width and
+    /// zero edge exclusion — the configuration the de Vries formula
+    /// approximates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Wafer::chips_exact`].
+    pub fn chips_exact_square(&self, die: SiliconArea) -> Result<u64> {
+        let side = die.get().sqrt();
+        self.chips_exact(&DiePlacement::square(side))
+    }
+}
+
+impl Default for Wafer {
+    /// Defaults to the 300 mm wafer.
+    fn default() -> Self {
+        Wafer::W300MM
+    }
+}
+
+/// The physical die-placement parameters used by the exact counting model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiePlacement {
+    /// Die width in mm (excluding scribe).
+    pub die_width_mm: f64,
+    /// Die height in mm (excluding scribe).
+    pub die_height_mm: f64,
+    /// Sawing-street (scribe lane) width between adjacent dies, in mm.
+    pub scribe_mm: f64,
+    /// Unusable ring at the wafer edge, in mm.
+    pub edge_exclusion_mm: f64,
+}
+
+impl DiePlacement {
+    /// A square die of side `side_mm` with no scribe lanes and no edge
+    /// exclusion.
+    pub fn square(side_mm: f64) -> Self {
+        DiePlacement {
+            die_width_mm: side_mm,
+            die_height_mm: side_mm,
+            scribe_mm: 0.0,
+            edge_exclusion_mm: 0.0,
+        }
+    }
+
+    /// Typical production placement: 0.1 mm scribe lanes and a 3 mm edge
+    /// exclusion ring.
+    pub fn production(die_width_mm: f64, die_height_mm: f64) -> Self {
+        DiePlacement {
+            die_width_mm,
+            die_height_mm,
+            scribe_mm: 0.1,
+            edge_exclusion_mm: 3.0,
+        }
+    }
+
+    /// The die area in mm² (excluding scribe).
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_width_mm * self.die_height_mm
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("die width", self.die_width_mm),
+            ("die height", self.die_height_mm),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v <= 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(0, +inf) mm",
+                });
+            }
+        }
+        for (name, v) in [
+            ("scribe width", self.scribe_mm),
+            ("edge exclusion", self.edge_exclusion_mm),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v < 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "[0, +inf) mm",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area(mm2: f64) -> SiliconArea {
+        SiliconArea::from_mm2(mm2).unwrap()
+    }
+
+    #[test]
+    fn wafer_constructors_validate() {
+        assert!(Wafer::new(300.0).is_ok());
+        assert!(Wafer::new(0.0).is_err());
+        assert!(Wafer::new(-1.0).is_err());
+        assert!(Wafer::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn wafer_area() {
+        let w = Wafer::W300MM;
+        assert!((w.area_mm2() - std::f64::consts::PI * 150.0 * 150.0).abs() < 1e-9);
+        assert_eq!(Wafer::default(), Wafer::W300MM);
+    }
+
+    #[test]
+    fn de_vries_matches_hand_computation() {
+        // CPW(100 mm², 300 mm) = π·300²/400 − 0.58·π·300/10
+        let w = Wafer::W300MM;
+        let expected =
+            std::f64::consts::PI * 90000.0 / 400.0 - 0.58 * std::f64::consts::PI * 300.0 / 10.0;
+        let got = w.chips_de_vries(area(100.0)).unwrap();
+        assert!((got - expected).abs() < 1e-9);
+        assert!((got - 652.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn de_vries_decreases_with_die_size() {
+        let w = Wafer::W300MM;
+        let mut prev = f64::INFINITY;
+        for a in [50.0, 100.0, 200.0, 400.0, 800.0] {
+            let cpw = w.chips_de_vries(area(a)).unwrap();
+            assert!(cpw < prev, "CPW must fall as die grows");
+            prev = cpw;
+        }
+    }
+
+    #[test]
+    fn de_vries_rejects_absurd_die() {
+        // A die nearly the size of the wafer drives the formula negative.
+        let w = Wafer::W300MM;
+        assert!(w.chips_de_vries(area(70_000.0)).is_err());
+    }
+
+    #[test]
+    fn area_ratio_upper_bounds_de_vries() {
+        let w = Wafer::W300MM;
+        for a in [100.0, 300.0, 800.0] {
+            let die = area(a);
+            assert!(w.chips_area_ratio(die) > w.chips_de_vries(die).unwrap());
+        }
+    }
+
+    #[test]
+    fn exact_count_close_to_de_vries_for_small_dies() {
+        // The empirical formula approximates exact grid counting within a
+        // few percent in the practical region.
+        let w = Wafer::W300MM;
+        for a in [50.0, 100.0, 200.0, 400.0] {
+            let die = area(a);
+            let exact = w.chips_exact_square(die).unwrap() as f64;
+            let empirical = w.chips_de_vries(die).unwrap();
+            let rel = (exact - empirical).abs() / exact;
+            assert!(
+                rel < 0.06,
+                "die {a} mm²: exact {exact} vs de Vries {empirical:.1} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_count_monotone_in_die_size() {
+        let w = Wafer::W300MM;
+        let big = w.chips_exact_square(area(400.0)).unwrap();
+        let small = w.chips_exact_square(area(100.0)).unwrap();
+        assert!(small > big);
+    }
+
+    #[test]
+    fn scribe_lanes_reduce_count() {
+        let w = Wafer::W300MM;
+        let no_scribe = w.chips_exact(&DiePlacement::square(10.0)).unwrap();
+        let with_scribe = w
+            .chips_exact(&DiePlacement {
+                scribe_mm: 0.2,
+                ..DiePlacement::square(10.0)
+            })
+            .unwrap();
+        assert!(with_scribe < no_scribe);
+    }
+
+    #[test]
+    fn edge_exclusion_reduces_count() {
+        let w = Wafer::W300MM;
+        let all = w.chips_exact(&DiePlacement::square(10.0)).unwrap();
+        let excl = w
+            .chips_exact(&DiePlacement {
+                edge_exclusion_mm: 5.0,
+                ..DiePlacement::square(10.0)
+            })
+            .unwrap();
+        assert!(excl < all);
+    }
+
+    #[test]
+    fn production_placement_has_standard_margins() {
+        let p = DiePlacement::production(12.0, 8.0);
+        assert_eq!(p.scribe_mm, 0.1);
+        assert_eq!(p.edge_exclusion_mm, 3.0);
+        assert_eq!(p.die_area_mm2(), 96.0);
+    }
+
+    #[test]
+    fn exact_count_rejects_bad_placement() {
+        let w = Wafer::W300MM;
+        assert!(w
+            .chips_exact(&DiePlacement {
+                die_width_mm: -1.0,
+                ..DiePlacement::square(10.0)
+            })
+            .is_err());
+        assert!(w
+            .chips_exact(&DiePlacement {
+                edge_exclusion_mm: 200.0,
+                ..DiePlacement::square(10.0)
+            })
+            .is_err());
+        assert!(w
+            .chips_exact(&DiePlacement {
+                scribe_mm: -0.1,
+                ..DiePlacement::square(10.0)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rectangular_dies_count_consistently() {
+        // A 4:1 rectangle of the same area gives a similar count to a
+        // square; elongation costs a few percent extra edge loss.
+        let w = Wafer::W300MM;
+        let square = w.chips_exact(&DiePlacement::square(10.0)).unwrap() as f64;
+        let rect = w
+            .chips_exact(&DiePlacement {
+                die_width_mm: 20.0,
+                die_height_mm: 5.0,
+                scribe_mm: 0.0,
+                edge_exclusion_mm: 0.0,
+            })
+            .unwrap() as f64;
+        assert!((square - rect).abs() / square < 0.10);
+        assert!(rect <= square, "elongated dies lose more at the edge");
+    }
+
+    #[test]
+    fn bigger_wafers_yield_more_chips() {
+        let die = area(100.0);
+        let small = Wafer::W200MM.chips_de_vries(die).unwrap();
+        let med = Wafer::W300MM.chips_de_vries(die).unwrap();
+        let big = Wafer::W450MM.chips_de_vries(die).unwrap();
+        assert!(small < med && med < big);
+    }
+}

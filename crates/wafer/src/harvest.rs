@@ -1,0 +1,173 @@
+//! Die harvesting (binning): selling partially-defective chips as
+//! lower-performance products.
+//!
+//! §3.1 of the paper: *"In practice, to maximize profit, industry increases
+//! the effective yield by turning off or bypassing defective circuit blocks
+//! in large chips, selling those chips as lower-performance, lower-power
+//! products. In fact, profit is maximized when all defective chips can be
+//! sold as alternative products, thereby approaching the perfect yield
+//! model curve."*
+//!
+//! [`HarvestPolicy`] interpolates between a raw yield model (no harvesting)
+//! and perfect yield (full harvesting).
+
+use crate::yield_model::{DefectDensity, YieldModel};
+use focal_core::{ModelError, Result, SiliconArea};
+
+/// A harvesting policy: the fraction of *defective* dies that can still be
+/// sold as lower-bin products.
+///
+/// Effective yield is `Y_eff = Y + salvage · (1 − Y)`:
+/// `salvage = 0` reproduces the raw yield model, `salvage = 1` the perfect
+/// yield bound.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::SiliconArea;
+/// use focal_wafer::{DefectDensity, HarvestPolicy, YieldModel};
+///
+/// let die = SiliconArea::from_mm2(600.0)?;
+/// let none = HarvestPolicy::none();
+/// let full = HarvestPolicy::full();
+/// let y_raw = none.effective_yield(YieldModel::Murphy, die, DefectDensity::TSMC_VOLUME)?;
+/// let y_full = full.effective_yield(YieldModel::Murphy, die, DefectDensity::TSMC_VOLUME)?;
+/// assert!(y_raw < 1.0);
+/// assert_eq!(y_full, 1.0);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct HarvestPolicy {
+    salvage_fraction: f64,
+}
+
+impl HarvestPolicy {
+    /// No harvesting: defective dies are scrapped.
+    pub fn none() -> Self {
+        HarvestPolicy {
+            salvage_fraction: 0.0,
+        }
+    }
+
+    /// Full harvesting: every defective die is sold in some bin
+    /// (the perfect-yield bound the paper describes industry approaching).
+    pub fn full() -> Self {
+        HarvestPolicy {
+            salvage_fraction: 1.0,
+        }
+    }
+
+    /// A policy salvaging the given fraction of defective dies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `salvage_fraction` is outside `[0, 1]`.
+    pub fn new(salvage_fraction: f64) -> Result<Self> {
+        if !salvage_fraction.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "salvage fraction",
+                value: salvage_fraction,
+            });
+        }
+        if !(0.0..=1.0).contains(&salvage_fraction) {
+            return Err(ModelError::OutOfRange {
+                parameter: "salvage fraction",
+                value: salvage_fraction,
+                expected: "[0, 1]",
+            });
+        }
+        Ok(HarvestPolicy { salvage_fraction })
+    }
+
+    /// The salvaged fraction of defective dies.
+    #[inline]
+    pub fn salvage_fraction(&self) -> f64 {
+        self.salvage_fraction
+    }
+
+    /// The effective (sellable) yield under this policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors from the yield model.
+    pub fn effective_yield(
+        &self,
+        model: YieldModel,
+        die: SiliconArea,
+        d0: DefectDensity,
+    ) -> Result<f64> {
+        model.validate()?;
+        let y = model.fraction_good(die, d0);
+        Ok(y + self.salvage_fraction * (1.0 - y))
+    }
+}
+
+impl Default for HarvestPolicy {
+    /// Defaults to no harvesting (the conservative assumption).
+    fn default() -> Self {
+        HarvestPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> SiliconArea {
+        SiliconArea::from_mm2(600.0).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(HarvestPolicy::new(0.5).is_ok());
+        assert!(HarvestPolicy::new(-0.1).is_err());
+        assert!(HarvestPolicy::new(1.1).is_err());
+        assert!(HarvestPolicy::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn no_harvest_equals_raw_yield() {
+        let raw = YieldModel::Murphy.fraction_good(die(), DefectDensity::TSMC_VOLUME);
+        let eff = HarvestPolicy::none()
+            .effective_yield(YieldModel::Murphy, die(), DefectDensity::TSMC_VOLUME)
+            .unwrap();
+        assert_eq!(raw, eff);
+    }
+
+    #[test]
+    fn full_harvest_is_perfect_yield() {
+        let eff = HarvestPolicy::full()
+            .effective_yield(YieldModel::Poisson, die(), DefectDensity::TSMC_VOLUME)
+            .unwrap();
+        assert_eq!(eff, 1.0);
+    }
+
+    #[test]
+    fn effective_yield_monotone_in_salvage() {
+        let mut prev = 0.0;
+        for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let eff = HarvestPolicy::new(s)
+                .unwrap()
+                .effective_yield(YieldModel::Murphy, die(), DefectDensity::TSMC_VOLUME)
+                .unwrap();
+            assert!(eff >= prev);
+            prev = eff;
+        }
+    }
+
+    #[test]
+    fn effective_yield_validates_model_params() {
+        let res = HarvestPolicy::none().effective_yield(
+            YieldModel::NegativeBinomial { alpha: -1.0 },
+            die(),
+            DefectDensity::TSMC_VOLUME,
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(HarvestPolicy::default(), HarvestPolicy::none());
+        assert_eq!(HarvestPolicy::default().salvage_fraction(), 0.0);
+    }
+}

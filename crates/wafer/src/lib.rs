@@ -1,0 +1,55 @@
+//! # focal-wafer — wafer geometry, yield and embodied-carbon substrate
+//!
+//! FOCAL's embodied-footprint proxy is chip area because, to first order,
+//! the embodied footprint per chip is the (fixed) wafer footprint divided
+//! by the number of good chips per wafer, which falls as dies grow (§3.1
+//! of the paper). This crate builds that whole chain:
+//!
+//! * [`Wafer`] — chips-per-wafer by the de Vries empirical formula, the
+//!   naive area ratio, and exact rasterized die placement with scribe lanes
+//!   and edge exclusion.
+//! * [`YieldModel`] / [`DefectDensity`] — Murphy (used in Figure 1),
+//!   Poisson, Seeds, Bose–Einstein and negative-binomial yield.
+//! * [`HarvestPolicy`] — die binning toward the perfect-yield bound.
+//! * [`EmbodiedModel`] — per-chip embodied footprint; regenerates Figure 1.
+//! * [`ScopeBreakdown`] / [`ManufacturingTrend`] — GHG scopes 1/2/3 and
+//!   the Imec per-node/per-year manufacturing-footprint growth used by the
+//!   die-shrink analysis (§6).
+//! * [`Polynomial`] — the least-squares trendlines Figure 1 overlays.
+//!
+//! ## Example: Figure 1 in five lines
+//!
+//! ```
+//! use focal_core::SiliconArea;
+//! use focal_wafer::EmbodiedModel;
+//!
+//! let reference = SiliconArea::from_mm2(100.0)?;
+//! let murphy = EmbodiedModel::figure1_murphy();
+//! for (die_mm2, footprint) in murphy.sweep_normalized(100.0, 800.0, 8, reference)? {
+//!     println!("{die_mm2:6.0} mm² -> {footprint:.2}x");
+//! }
+//! # Ok::<(), focal_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod cost;
+mod defect_sim;
+mod embodied;
+mod fab;
+mod fit;
+mod geometry;
+mod harvest;
+mod scopes;
+mod yield_model;
+
+pub use cost::WaferEconomics;
+pub use defect_sim::{DefectDistribution, DefectSimulator, SimulatedYield};
+pub use embodied::EmbodiedModel;
+pub use fab::ManufacturingTrend;
+pub use fit::Polynomial;
+pub use geometry::{DiePlacement, Wafer};
+pub use harvest::HarvestPolicy;
+pub use scopes::ScopeBreakdown;
+pub use yield_model::{DefectDensity, YieldModel};

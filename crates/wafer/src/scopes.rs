@@ -1,0 +1,228 @@
+//! GHG Protocol scope decomposition of the manufacturing footprint (§3.1).
+//!
+//! Following the Greenhouse Gas Protocol \[41\], the embodied footprint of
+//! chip manufacturing splits into:
+//!
+//! * **Scope 1** — direct emissions of chemicals and gases (fluorinated
+//!   compounds such as SF₆, NF₃, CF₄) during fabrication.
+//! * **Scope 2** — emissions from the energy purchased for production.
+//! * **Scope 3** — upstream/downstream emissions from raw-material
+//!   extraction and processing.
+
+use focal_core::{CarbonFootprint, ModelError, Result};
+use std::fmt;
+
+/// A manufacturing carbon footprint broken down by GHG Protocol scope.
+///
+/// The unit is whatever the producing model uses (absolute kg CO₂e per
+/// wafer for the ACT baseline, relative units for FOCAL trend analyses);
+/// only consistency matters.
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::ScopeBreakdown;
+///
+/// let per_wafer = ScopeBreakdown::new(30.0, 50.0, 20.0)?;
+/// assert_eq!(per_wafer.total().get(), 100.0);
+/// assert!((per_wafer.scope2_share() - 0.5).abs() < 1e-12);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScopeBreakdown {
+    scope1: f64,
+    scope2: f64,
+    scope3: f64,
+}
+
+impl ScopeBreakdown {
+    /// Creates a breakdown from the three scope values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any component is negative or not finite, or if
+    /// all three are zero.
+    pub fn new(scope1: f64, scope2: f64, scope3: f64) -> Result<Self> {
+        for (name, v) in [("scope1", scope1), ("scope2", scope2), ("scope3", scope3)] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v < 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "[0, +inf)",
+                });
+            }
+        }
+        if scope1 + scope2 + scope3 <= 0.0 {
+            return Err(ModelError::Inconsistent {
+                constraint: "a scope breakdown must have a positive total",
+            });
+        }
+        Ok(ScopeBreakdown {
+            scope1,
+            scope2,
+            scope3,
+        })
+    }
+
+    /// Direct chemical/gas emissions.
+    #[inline]
+    pub fn scope1(&self) -> f64 {
+        self.scope1
+    }
+
+    /// Purchased-energy emissions.
+    #[inline]
+    pub fn scope2(&self) -> f64 {
+        self.scope2
+    }
+
+    /// Upstream/downstream material emissions.
+    #[inline]
+    pub fn scope3(&self) -> f64 {
+        self.scope3
+    }
+
+    /// The total footprint across all scopes.
+    pub fn total(&self) -> CarbonFootprint {
+        CarbonFootprint::from_kg_co2e(self.scope1 + self.scope2 + self.scope3)
+            .expect("validated positive total")
+    }
+
+    /// Scope-1 share of the total, in `[0, 1]`.
+    pub fn scope1_share(&self) -> f64 {
+        self.scope1 / self.total().get()
+    }
+
+    /// Scope-2 share of the total, in `[0, 1]`.
+    pub fn scope2_share(&self) -> f64 {
+        self.scope2 / self.total().get()
+    }
+
+    /// Scope-3 share of the total, in `[0, 1]`.
+    pub fn scope3_share(&self) -> f64 {
+        self.scope3 / self.total().get()
+    }
+
+    /// Scales every scope by the same factor (e.g. per-wafer → per-chip).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is not strictly positive and finite.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !factor.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "scale factor",
+                value: factor,
+            });
+        }
+        if factor <= 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "scale factor",
+                value: factor,
+                expected: "(0, +inf)",
+            });
+        }
+        ScopeBreakdown::new(
+            self.scope1 * factor,
+            self.scope2 * factor,
+            self.scope3 * factor,
+        )
+    }
+
+    /// Component-wise scaling with independent factors per scope — how the
+    /// Imec trend applies different growth rates to scope 1 and scope 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any factor is not strictly positive and finite.
+    pub fn scaled_per_scope(&self, f1: f64, f2: f64, f3: f64) -> Result<Self> {
+        for (name, v) in [
+            ("scope1 factor", f1),
+            ("scope2 factor", f2),
+            ("scope3 factor", f3),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+            if v <= 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(0, +inf)",
+                });
+            }
+        }
+        ScopeBreakdown::new(self.scope1 * f1, self.scope2 * f2, self.scope3 * f3)
+    }
+}
+
+impl fmt::Display for ScopeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scope1={:.3} scope2={:.3} scope3={:.3} (total {:.3})",
+            self.scope1,
+            self.scope2,
+            self.scope3,
+            self.total().get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ScopeBreakdown::new(1.0, 2.0, 3.0).is_ok());
+        assert!(ScopeBreakdown::new(-1.0, 2.0, 3.0).is_err());
+        assert!(ScopeBreakdown::new(0.0, 0.0, 0.0).is_err());
+        assert!(ScopeBreakdown::new(f64::NAN, 1.0, 1.0).is_err());
+        // A single non-zero scope is fine.
+        assert!(ScopeBreakdown::new(0.0, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = ScopeBreakdown::new(2.0, 3.0, 5.0).unwrap();
+        let sum = b.scope1_share() + b.scope2_share() + b.scope3_share();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b.scope3_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_shares() {
+        let b = ScopeBreakdown::new(2.0, 3.0, 5.0).unwrap();
+        let s = b.scaled(0.01).unwrap();
+        assert!((s.scope1_share() - b.scope1_share()).abs() < 1e-12);
+        assert!((s.total().get() - 0.1).abs() < 1e-12);
+        assert!(b.scaled(0.0).is_err());
+        assert!(b.scaled(-2.0).is_err());
+    }
+
+    #[test]
+    fn per_scope_scaling_applies_independently() {
+        let b = ScopeBreakdown::new(1.0, 1.0, 1.0).unwrap();
+        let s = b.scaled_per_scope(1.095, 1.252, 1.0).unwrap();
+        assert!((s.scope1() - 1.095).abs() < 1e-12);
+        assert!((s.scope2() - 1.252).abs() < 1e-12);
+        assert_eq!(s.scope3(), 1.0);
+        assert!(b.scaled_per_scope(0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let b = ScopeBreakdown::new(1.0, 2.0, 3.0).unwrap();
+        assert!(b.to_string().contains("total 6"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Die-yield models.
+//!
+//! Yield is the fraction of manufactured dies that work. All classical
+//! models express yield as a function of the *defect load* `λ = A·D0`,
+//! the expected number of defects per die (die area × defect density);
+//! they differ in the assumed spatial distribution of defects.
+//!
+//! The paper's Figure 1 uses the **Murphy** model with
+//! `D0 = 0.09 defects/cm²` (achievable in volume production per TSMC) and
+//! compares it to **perfect** yield, which industry approaches in practice
+//! by selling partially-defective chips as lower-bin products (see
+//! [`crate::harvest`]).
+
+use focal_core::{ModelError, Result, SiliconArea};
+use std::fmt;
+
+/// Defect density `D0`, stored in defects per cm².
+///
+/// # Examples
+///
+/// ```
+/// use focal_wafer::DefectDensity;
+///
+/// let d0 = DefectDensity::per_cm2(0.09)?; // TSMC volume production (paper §3.1)
+/// assert_eq!(d0.get_per_cm2(), 0.09);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DefectDensity(f64);
+
+impl DefectDensity {
+    /// The paper's value: 0.09 defects/cm², quoted from TSMC for volume
+    /// production processes.
+    pub const TSMC_VOLUME: DefectDensity = DefectDensity(0.09);
+
+    /// Creates a defect density in defects per cm².
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is negative or not finite. Zero is
+    /// allowed (it degenerates every model to perfect yield).
+    pub fn per_cm2(value: f64) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(ModelError::NotFinite {
+                parameter: "defect density",
+                value,
+            });
+        }
+        if value < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "defect density",
+                value,
+                expected: "[0, +inf) defects/cm²",
+            });
+        }
+        Ok(DefectDensity(value))
+    }
+
+    /// The density in defects per cm².
+    #[inline]
+    pub fn get_per_cm2(self) -> f64 {
+        self.0
+    }
+
+    /// Expected defects per die of the given area (the defect load
+    /// `λ = A·D0`).
+    #[inline]
+    pub fn defect_load(self, die: SiliconArea) -> f64 {
+        die.as_cm2() * self.0
+    }
+}
+
+impl fmt::Display for DefectDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} defects/cm²", self.0)
+    }
+}
+
+/// A die-yield model: maps die area and defect density to the fraction of
+/// good dies.
+///
+/// All the classical closed-form models are provided; [`YieldModel::Murphy`]
+/// is what the paper's Figure 1 uses.
+///
+/// # Examples
+///
+/// ```
+/// use focal_core::SiliconArea;
+/// use focal_wafer::{DefectDensity, YieldModel};
+///
+/// let die = SiliconArea::from_mm2(600.0)?;
+/// let y = YieldModel::Murphy.fraction_good(die, DefectDensity::TSMC_VOLUME);
+/// assert!(y > 0.5 && y < 0.8);
+/// # Ok::<(), focal_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum YieldModel {
+    /// All dies are good (`Y = 1`). Industry approaches this bound by
+    /// harvesting defective dies into lower bins.
+    Perfect,
+    /// Poisson statistics, uniform random defects: `Y = e^{−λ}`. The most
+    /// pessimistic of the classical models for large dies.
+    Poisson,
+    /// Murphy's model \[30\], integrating Poisson over a triangular defect-
+    /// density distribution: `Y = ((1 − e^{−λ})/λ)²`. The paper's choice.
+    Murphy,
+    /// Seeds' model, an exponential density distribution: `Y = 1/(1 + λ)`.
+    Seeds,
+    /// Bose–Einstein model for `n` critical layers:
+    /// `Y = 1/(1 + λ)ⁿ` (reduces to Seeds for `n = 1`).
+    BoseEinstein {
+        /// Number of critical mask layers.
+        critical_layers: u32,
+    },
+    /// Negative-binomial model with clustering parameter `alpha`:
+    /// `Y = (1 + λ/α)^{−α}`. Interpolates between Seeds (`α = 1`) and
+    /// Poisson (`α → ∞`).
+    NegativeBinomial {
+        /// Defect clustering parameter (smaller = more clustered = higher
+        /// yield for the same λ).
+        alpha: f64,
+    },
+}
+
+impl YieldModel {
+    /// The fraction of good dies for a die of area `die` under defect
+    /// density `d0`. Always in `(0, 1]`.
+    pub fn fraction_good(self, die: SiliconArea, d0: DefectDensity) -> f64 {
+        let lambda = d0.defect_load(die);
+        self.fraction_good_from_load(lambda)
+    }
+
+    /// The fraction of good dies given the defect load `λ = A·D0` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lambda` is negative or not finite.
+    pub fn fraction_good_from_load(self, lambda: f64) -> f64 {
+        debug_assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "defect load must be non-negative and finite, got {lambda}"
+        );
+        if lambda == 0.0 {
+            return 1.0;
+        }
+        match self {
+            YieldModel::Perfect => 1.0,
+            YieldModel::Poisson => (-lambda).exp(),
+            YieldModel::Murphy => {
+                let t = (1.0 - (-lambda).exp()) / lambda;
+                t * t
+            }
+            YieldModel::Seeds => 1.0 / (1.0 + lambda),
+            YieldModel::BoseEinstein { critical_layers } => {
+                1.0 / (1.0 + lambda).powi(critical_layers as i32)
+            }
+            YieldModel::NegativeBinomial { alpha } => (1.0 + lambda / alpha).powf(-alpha),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            YieldModel::Perfect => "perfect",
+            YieldModel::Poisson => "poisson",
+            YieldModel::Murphy => "murphy",
+            YieldModel::Seeds => "seeds",
+            YieldModel::BoseEinstein { .. } => "bose-einstein",
+            YieldModel::NegativeBinomial { .. } => "negative-binomial",
+        }
+    }
+
+    /// Validates model-specific parameters (e.g. a positive clustering
+    /// parameter).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive/non-finite negative-binomial
+    /// `alpha` or zero Bose–Einstein critical layers.
+    pub fn validate(self) -> Result<()> {
+        match self {
+            YieldModel::NegativeBinomial { alpha } => {
+                if !alpha.is_finite() {
+                    return Err(ModelError::NotFinite {
+                        parameter: "clustering alpha",
+                        value: alpha,
+                    });
+                }
+                if alpha <= 0.0 {
+                    return Err(ModelError::OutOfRange {
+                        parameter: "clustering alpha",
+                        value: alpha,
+                        expected: "(0, +inf)",
+                    });
+                }
+                Ok(())
+            }
+            YieldModel::BoseEinstein { critical_layers } => {
+                if critical_layers == 0 {
+                    return Err(ModelError::OutOfRange {
+                        parameter: "critical layers",
+                        value: 0.0,
+                        expected: "[1, +inf)",
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for YieldModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YieldModel::BoseEinstein { critical_layers } => {
+                write!(f, "bose-einstein(n={critical_layers})")
+            }
+            YieldModel::NegativeBinomial { alpha } => write!(f, "negative-binomial(α={alpha})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die(mm2: f64) -> SiliconArea {
+        SiliconArea::from_mm2(mm2).unwrap()
+    }
+
+    const ALL_MODELS: [YieldModel; 6] = [
+        YieldModel::Perfect,
+        YieldModel::Poisson,
+        YieldModel::Murphy,
+        YieldModel::Seeds,
+        YieldModel::BoseEinstein { critical_layers: 3 },
+        YieldModel::NegativeBinomial { alpha: 2.0 },
+    ];
+
+    #[test]
+    fn defect_density_validates() {
+        assert!(DefectDensity::per_cm2(0.0).is_ok());
+        assert!(DefectDensity::per_cm2(-0.1).is_err());
+        assert!(DefectDensity::per_cm2(f64::NAN).is_err());
+        assert_eq!(DefectDensity::TSMC_VOLUME.get_per_cm2(), 0.09);
+    }
+
+    #[test]
+    fn defect_load_uses_cm2() {
+        // 100 mm² = 1 cm²; load = 1 * 0.09.
+        let load = DefectDensity::TSMC_VOLUME.defect_load(die(100.0));
+        assert!((load - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_gives_perfect_yield_in_all_models() {
+        for m in ALL_MODELS {
+            assert_eq!(m.fraction_good_from_load(0.0), 1.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn yields_lie_in_unit_interval() {
+        for m in ALL_MODELS {
+            for lambda in [0.01, 0.1, 1.0, 5.0, 20.0] {
+                let y = m.fraction_good_from_load(lambda);
+                assert!(y > 0.0 && y <= 1.0, "{m} at λ={lambda} gave {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn yields_decrease_with_die_size() {
+        for m in ALL_MODELS {
+            if m == YieldModel::Perfect {
+                continue;
+            }
+            let y_small = m.fraction_good(die(100.0), DefectDensity::TSMC_VOLUME);
+            let y_big = m.fraction_good(die(800.0), DefectDensity::TSMC_VOLUME);
+            assert!(y_big < y_small, "{m}");
+        }
+    }
+
+    #[test]
+    fn murphy_matches_closed_form() {
+        // λ = 0.72 for an 800 mm² die at 0.09/cm².
+        let lambda: f64 = 8.0 * 0.09;
+        let expected = ((1.0 - (-lambda).exp()) / lambda).powi(2);
+        let got = YieldModel::Murphy.fraction_good(die(800.0), DefectDensity::TSMC_VOLUME);
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_ordering_poisson_most_pessimistic() {
+        // For the same λ: Poisson ≤ Murphy ≤ Seeds (classical result).
+        for lambda in [0.5, 1.0, 2.0, 4.0] {
+            let p = YieldModel::Poisson.fraction_good_from_load(lambda);
+            let m = YieldModel::Murphy.fraction_good_from_load(lambda);
+            let s = YieldModel::Seeds.fraction_good_from_load(lambda);
+            assert!(p <= m && m <= s, "λ={lambda}: {p} {m} {s}");
+        }
+    }
+
+    #[test]
+    fn bose_einstein_reduces_to_seeds_for_one_layer() {
+        let be = YieldModel::BoseEinstein { critical_layers: 1 };
+        for lambda in [0.3, 1.0, 3.0] {
+            assert!(
+                (be.fraction_good_from_load(lambda)
+                    - YieldModel::Seeds.fraction_good_from_load(lambda))
+                .abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn negative_binomial_interpolates_seeds_to_poisson() {
+        let lambda = 1.5;
+        let seeds = YieldModel::Seeds.fraction_good_from_load(lambda);
+        let poisson = YieldModel::Poisson.fraction_good_from_load(lambda);
+        let nb1 = YieldModel::NegativeBinomial { alpha: 1.0 }.fraction_good_from_load(lambda);
+        let nb_big = YieldModel::NegativeBinomial { alpha: 1e6 }.fraction_good_from_load(lambda);
+        assert!((nb1 - seeds).abs() < 1e-12);
+        assert!((nb_big - poisson).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(YieldModel::NegativeBinomial { alpha: 0.0 }
+            .validate()
+            .is_err());
+        assert!(YieldModel::NegativeBinomial { alpha: -2.0 }
+            .validate()
+            .is_err());
+        assert!(YieldModel::NegativeBinomial { alpha: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(YieldModel::BoseEinstein { critical_layers: 0 }
+            .validate()
+            .is_err());
+        assert!(YieldModel::Murphy.validate().is_ok());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(YieldModel::Murphy.to_string(), "murphy");
+        assert!(YieldModel::BoseEinstein { critical_layers: 4 }
+            .to_string()
+            .contains("n=4"));
+        assert!(YieldModel::NegativeBinomial { alpha: 2.0 }
+            .to_string()
+            .contains("α=2"));
+    }
+
+    /// The paper's Figure 1 sanity point: at 800 mm² and D0 = 0.09/cm² the
+    /// defect load is λ = 0.72 and the Murphy yield ≈ 0.51, which is what
+    /// drives the Murphy curve to ≈ 17× at the reticle limit while the
+    /// perfect-yield curve reaches only ≈ 9.5×.
+    #[test]
+    fn figure1_murphy_yield_at_reticle_limit() {
+        let y = YieldModel::Murphy.fraction_good(die(800.0), DefectDensity::TSMC_VOLUME);
+        assert!((y - 0.508).abs() < 0.005, "got {y}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the wafer geometry, yield and economics
+//! substrate.
+
+use focal_core::SiliconArea;
+use focal_wafer::{
+    DefectDensity, DiePlacement, EmbodiedModel, HarvestPolicy, ManufacturingTrend, Polynomial,
+    ScopeBreakdown, Wafer, WaferEconomics, YieldModel,
+};
+use proptest::prelude::*;
+
+fn area(mm2: f64) -> SiliconArea {
+    SiliconArea::from_mm2(mm2).unwrap()
+}
+
+proptest! {
+    /// The exact counter is invariant to swapping die width/height.
+    #[test]
+    fn exact_count_symmetric_in_dimensions(w in 5.0f64..40.0, h in 5.0f64..40.0) {
+        let wafer = Wafer::W300MM;
+        let a = wafer.chips_exact(&DiePlacement {
+            die_width_mm: w,
+            die_height_mm: h,
+            scribe_mm: 0.0,
+            edge_exclusion_mm: 0.0,
+        }).unwrap();
+        let b = wafer.chips_exact(&DiePlacement {
+            die_width_mm: h,
+            die_height_mm: w,
+            scribe_mm: 0.0,
+            edge_exclusion_mm: 0.0,
+        }).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Exact counts never exceed the area-ratio bound and shrink when
+    /// margins (scribe/edge) grow.
+    #[test]
+    fn exact_count_bounds_and_margins(
+        side in 5.0f64..40.0,
+        scribe in 0.0f64..0.5,
+        edge in 0.0f64..5.0,
+    ) {
+        let wafer = Wafer::W300MM;
+        let plain = DiePlacement::square(side);
+        let with_margins = DiePlacement {
+            scribe_mm: scribe,
+            edge_exclusion_mm: edge,
+            ..plain
+        };
+        let n_plain = wafer.chips_exact(&plain).unwrap();
+        let n_margin = wafer.chips_exact(&with_margins).unwrap();
+        prop_assert!(n_margin <= n_plain);
+        prop_assert!((n_plain as f64) <= wafer.chips_area_ratio(area(side * side)));
+    }
+
+    /// Harvesting interpolates monotonically between the raw model and
+    /// perfect yield.
+    #[test]
+    fn harvesting_is_monotone(die_mm2 in 100.0f64..800.0, s1 in 0.0f64..1.0, ds in 0.0f64..0.5) {
+        let s2 = (s1 + ds).min(1.0);
+        let die = area(die_mm2);
+        let y1 = HarvestPolicy::new(s1).unwrap()
+            .effective_yield(YieldModel::Murphy, die, DefectDensity::TSMC_VOLUME).unwrap();
+        let y2 = HarvestPolicy::new(s2).unwrap()
+            .effective_yield(YieldModel::Murphy, die, DefectDensity::TSMC_VOLUME).unwrap();
+        prop_assert!(y2 >= y1 - 1e-12);
+        prop_assert!(y2 <= 1.0 + 1e-12);
+    }
+
+    /// Per-chip embodied footprint = wafer units / good dies: doubling
+    /// defect density can only increase it.
+    #[test]
+    fn dirtier_process_raises_footprint(die_mm2 in 100.0f64..800.0, d0 in 0.01f64..0.2) {
+        let die = area(die_mm2);
+        let clean = EmbodiedModel::new(
+            Wafer::W300MM, YieldModel::Murphy, DefectDensity::per_cm2(d0).unwrap());
+        let dirty = EmbodiedModel::new(
+            Wafer::W300MM, YieldModel::Murphy, DefectDensity::per_cm2(d0 * 2.0).unwrap());
+        prop_assert!(
+            dirty.footprint_per_chip_wafer_units(die).unwrap()
+                >= clean.footprint_per_chip_wafer_units(die).unwrap() - 1e-15
+        );
+    }
+
+    /// Scope projections never change scope 3 and compound per transition.
+    #[test]
+    fn scope_projection_properties(
+        s1 in 0.1f64..100.0,
+        s2 in 0.1f64..100.0,
+        s3 in 0.1f64..100.0,
+        t in 0u32..6,
+    ) {
+        let base = ScopeBreakdown::new(s1, s2, s3).unwrap();
+        let trend = ManufacturingTrend::IMEC;
+        let projected = trend.project_nodes(&base, t).unwrap();
+        prop_assert!((projected.scope3() - s3).abs() < 1e-12);
+        prop_assert!((projected.scope1() - s1 * 1.195f64.powi(t as i32)).abs() < 1e-6);
+        prop_assert!((projected.scope2() - s2 * 1.252f64.powi(t as i32)).abs() < 1e-6);
+    }
+
+    /// Wafer economics: cost per good die scales linearly with wafer cost
+    /// and performance-per-wafer with chip performance.
+    #[test]
+    fn economics_scale_linearly(
+        die_mm2 in 50.0f64..800.0,
+        cost in 1000.0f64..50_000.0,
+        k in 1.1f64..5.0,
+        perf in 0.5f64..4.0,
+    ) {
+        let die = area(die_mm2);
+        let base = WaferEconomics::new(EmbodiedModel::figure1_murphy(), cost).unwrap();
+        let scaled = WaferEconomics::new(EmbodiedModel::figure1_murphy(), cost * k).unwrap();
+        let r = scaled.cost_per_good_die(die).unwrap() / base.cost_per_good_die(die).unwrap();
+        prop_assert!((r - k).abs() < 1e-9);
+        let ppw1 = base.performance_per_wafer(die, perf).unwrap();
+        let ppw2 = base.performance_per_wafer(die, perf * k).unwrap();
+        prop_assert!((ppw2 / ppw1 - k).abs() < 1e-9);
+    }
+
+    /// Polynomial fitting reproduces exact polynomials of its own degree
+    /// for arbitrary coefficients.
+    #[test]
+    fn polyfit_recovers_exact_polynomials(
+        c0 in -10.0f64..10.0,
+        c1 in -10.0f64..10.0,
+        c2 in -2.0f64..2.0,
+    ) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.7 + 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x + c2 * x * x).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        prop_assert!((p.coefficients()[0] - c0).abs() < 1e-6);
+        prop_assert!((p.coefficients()[1] - c1).abs() < 1e-6);
+        prop_assert!((p.coefficients()[2] - c2).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,83 @@
+//! FOCAL meets ACT: derive empirical α_E2O weights from an ACT-style
+//! bottom-up accounting for three device classes, then check that FOCAL's
+//! design conclusions hold across all of them (§3.5's complementarity
+//! argument, grounded the way the paper grounds its scenarios in Gupta et
+//! al.).
+//!
+//! Run with `cargo run --example act_vs_focal`.
+
+use focal::act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, TechNode, UsePhase};
+use focal::report::Table;
+use focal::uarch::CoreMicroarch;
+use focal::{classify, E2oWeight, SiliconArea};
+
+fn main() -> focal::Result<()> {
+    let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+
+    // -----------------------------------------------------------------
+    // Three device classes with ACT-style absolute footprints.
+    // -----------------------------------------------------------------
+    let devices = [
+        (
+            "battery phone SoC",
+            SiliconArea::from_mm2(100.0)?,
+            UsePhase::new(3.0, 0.05, CarbonIntensity::WORLD_AVERAGE)?,
+        ),
+        (
+            "always-connected device",
+            SiliconArea::from_mm2(80.0)?,
+            UsePhase::new(5.0, 4.0, CarbonIntensity::WORLD_AVERAGE)?,
+        ),
+        (
+            "datacenter CPU (green PPA)",
+            SiliconArea::from_mm2(600.0)?,
+            UsePhase::new(4.0, 200.0, CarbonIntensity::RENEWABLE)?,
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "device",
+        "embodied kg",
+        "operational kg",
+        "total kg",
+        "empirical α",
+    ]);
+    let mut alphas: Vec<(String, E2oWeight)> = Vec::new();
+    for (name, die, use_phase) in &devices {
+        let fp = DeviceFootprint::assess(&act, *die, use_phase)?;
+        table.row(vec![
+            (*name).to_string(),
+            format!("{:.1}", fp.embodied().get()),
+            format!("{:.1}", fp.operational().get()),
+            format!("{:.1}", fp.total().get()),
+            format!("{:.2}", fp.e2o_weight().get()),
+        ]);
+        alphas.push(((*name).to_string(), fp.e2o_weight()));
+    }
+    println!("{table}");
+
+    // -----------------------------------------------------------------
+    // Feed the bottom-up α values back into FOCAL: does the FSC-vs-OoO
+    // conclusion (Finding #11) hold for every device class?
+    // -----------------------------------------------------------------
+    let fsc = CoreMicroarch::ForwardSlice.design_point()?;
+    let ooo = CoreMicroarch::OutOfOrder.design_point()?;
+    let mut verdicts = Table::new(vec!["device", "α", "FSC vs OoO"]);
+    for (name, alpha) in &alphas {
+        let verdict = classify(&fsc, &ooo, *alpha);
+        verdicts.row(vec![
+            name.clone(),
+            format!("{:.2}", alpha.get()),
+            verdict.class.to_string(),
+        ]);
+    }
+    println!("{verdicts}");
+
+    println!(
+        "FOCAL's point (§3.5): when the same conclusion — here, that a \
+         complexity-effective core is strongly sustainable versus OoO — holds \
+         across the full range of empirically-derived α weights, it survives the \
+         inherent data uncertainty that makes absolute models hard to validate."
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Multicore design-space explorer: Figures 3–4 interactively on the
+//! terminal, plus the Pareto frontier over (performance, NCF).
+//!
+//! Run with `cargo run --example multicore_explorer`.
+
+use focal::core::{pareto_frontier, Candidate};
+use focal::perf::{
+    AsymmetricMulticore, LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore,
+};
+use focal::report::Table;
+use focal::studies::multicore::MulticoreStudy;
+use focal::{DesignPoint, E2oWeight, Ncf, Scenario};
+
+fn main() -> focal::Result<()> {
+    let gamma = LeakageFraction::PAPER;
+    let pollack = PollackRule::CLASSIC;
+    let reference = DesignPoint::reference();
+
+    // -----------------------------------------------------------------
+    // Figure 3 as an ASCII chart: operational dominated, fixed-time.
+    // -----------------------------------------------------------------
+    let fig3 = MulticoreStudy::default().figure3()?;
+    println!("{}", fig3.panels[3].to_chart(60, 16).render());
+
+    // -----------------------------------------------------------------
+    // A designer's table: symmetric vs. asymmetric chips at several
+    // (N, f) points, with NCF against the one-BCE reference.
+    // -----------------------------------------------------------------
+    let alpha = E2oWeight::OPERATIONAL_DOMINATED;
+    let mut table = Table::new(vec![
+        "configuration",
+        "perf",
+        "power",
+        "energy",
+        "NCF_fw",
+        "NCF_ft",
+    ]);
+    for &f_val in &[0.5, 0.8, 0.95] {
+        let f = ParallelFraction::new(f_val)?;
+        for &n in &[8u32, 16, 32] {
+            let sym = SymmetricMulticore::unit_cores(n)?.design_point(f, gamma, pollack)?;
+            let asym = AsymmetricMulticore::new(n as f64, 4.0)?.design_point(f, gamma, pollack)?;
+            for (name, dp) in [
+                (format!("sym {n} f={f_val}"), sym),
+                (format!("asym {n} f={f_val}"), asym),
+            ] {
+                table.row_numeric(
+                    name,
+                    &[
+                        dp.performance().get(),
+                        dp.power().get(),
+                        dp.energy().get(),
+                        Ncf::evaluate(&dp, &reference, Scenario::FixedWork, alpha).value(),
+                        Ncf::evaluate(&dp, &reference, Scenario::FixedTime, alpha).value(),
+                    ],
+                );
+            }
+        }
+    }
+    println!("{table}");
+
+    // -----------------------------------------------------------------
+    // Pareto frontier: which configurations are worth building?
+    // -----------------------------------------------------------------
+    let f = ParallelFraction::new(0.8)?;
+    let mut candidates = Vec::new();
+    for n in [2u32, 4, 8, 16, 32] {
+        candidates.push(Candidate::new(
+            format!("sym-{n}"),
+            SymmetricMulticore::unit_cores(n)?.design_point(f, gamma, pollack)?,
+        ));
+        if n > 4 {
+            candidates.push(Candidate::new(
+                format!("asym-{n}"),
+                AsymmetricMulticore::new(n as f64, 4.0)?.design_point(f, gamma, pollack)?,
+            ));
+        }
+        candidates.push(Candidate::new(
+            format!("big-{n}"),
+            SymmetricMulticore::big_core(n as f64)?.design_point(f, gamma, pollack)?,
+        ));
+    }
+    let frontier = pareto_frontier(&candidates, &reference, Scenario::FixedTime, alpha);
+    println!(
+        "Pareto-optimal at f=0.8 (fixed-time, operational dominated): {}",
+        frontier
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // -----------------------------------------------------------------
+    // The paper's three multicore findings, checked live.
+    // -----------------------------------------------------------------
+    let study = MulticoreStudy::default();
+    for finding in [study.finding1()?, study.finding2()?, study.finding3()?] {
+        println!("\n{finding}");
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: evaluate and classify a design change with FOCAL.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use focal::core::{classify_over_range, MonteCarloNcf};
+use focal::{
+    classify, DesignPoint, DesignPointBuilder, E2oRange, E2oWeight, Ncf, NcfBand, Scenario,
+};
+
+fn main() -> focal::Result<()> {
+    // -----------------------------------------------------------------
+    // 1. Describe two designs with FOCAL's four axes.
+    //    The paper's §5.6 OoO-vs-InO data: +75% performance for +39%
+    //    area and 2.32x power.
+    // -----------------------------------------------------------------
+    let ooo = DesignPoint::from_power_perf(1.39, 2.32, 1.75)?;
+    let ino = DesignPoint::reference();
+    println!("OoO core: {ooo}");
+    println!("InO core: {ino}\n");
+
+    // -----------------------------------------------------------------
+    // 2. Evaluate the NCF under both scenarios and both α regimes.
+    // -----------------------------------------------------------------
+    for alpha in [
+        E2oWeight::EMBODIED_DOMINATED,
+        E2oWeight::OPERATIONAL_DOMINATED,
+    ] {
+        for scenario in Scenario::ALL {
+            let ncf = Ncf::evaluate(&ooo, &ino, scenario, alpha);
+            println!(
+                "  {scenario:<11} {alpha}: NCF = {:.3} ({}{:.1}% footprint)",
+                ncf.value(),
+                if ncf.value() > 1.0 { "+" } else { "" },
+                (ncf.value() - 1.0) * 100.0,
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Classify: strongly / weakly / less sustainable (§4).
+    // -----------------------------------------------------------------
+    let verdict = classify(&ooo, &ino, E2oWeight::EMBODIED_DOMINATED);
+    println!("\nOoO vs InO is {} (Finding #9).", verdict.class);
+
+    // -----------------------------------------------------------------
+    // 4. Embrace the uncertainty: is the verdict robust across the whole
+    //    α range? (It is: OoO loses everywhere.)
+    // -----------------------------------------------------------------
+    let robust = classify_over_range(&ooo, &ino, E2oRange::FULL, 21);
+    println!("Across α ∈ [0, 1]: {robust}");
+
+    // -----------------------------------------------------------------
+    // 5. Error bars (the paper's α = 0.8 ± 0.1) and Monte-Carlo bands.
+    // -----------------------------------------------------------------
+    let band = NcfBand::evaluate(
+        &ooo,
+        &ino,
+        Scenario::FixedWork,
+        E2oRange::EMBODIED_DOMINATED,
+    );
+    println!("\nFixed-work NCF with α error bars: {band}");
+
+    let mc = MonteCarloNcf::new(E2oRange::EMBODIED_DOMINATED, 0.1, 0xF0CA1)?;
+    let summary = mc.run(&ooo, &ino, Scenario::FixedWork, 100_000);
+    println!("Monte-Carlo (±10% ratio jitter): {summary}");
+
+    // -----------------------------------------------------------------
+    // 6. A weakly sustainable mechanism: the branch predictor of §5.7.
+    //    Lower energy but higher power — sustainable only without usage
+    //    rebound.
+    // -----------------------------------------------------------------
+    let predictor = DesignPointBuilder::new()
+        .area(1.01)
+        .energy(0.93)
+        .performance(1.14)
+        .build()?;
+    let verdict = classify(&predictor, &ino, E2oWeight::OPERATIONAL_DOMINATED);
+    println!(
+        "\nA hybrid branch predictor is {} — beware Jevons' paradox.",
+        verdict.class
+    );
+    Ok(())
+}

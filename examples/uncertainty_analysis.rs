@@ -1,0 +1,126 @@
+//! Uncertainty analysis end-to-end: FOCAL's whole reason for existing is
+//! that the underlying data is uncertain. This example takes one design
+//! decision — adopting precise runahead execution — and interrogates it
+//! with every uncertainty tool in the crate: α crossovers, error-bar
+//! bands, interval arithmetic, Monte-Carlo sampling, rebound tolerance
+//! and deployment-rebound weight shifts.
+//!
+//! Run with `cargo run --example uncertainty_analysis`.
+
+use focal::core::{
+    alpha_crossover, blended_ncf, deployment_adjusted_weight, ncf_interval, rebound_tolerance,
+    MonteCarloNcf, NcfSensitivity,
+};
+use focal::report::Table;
+use focal::uarch::PreciseRunahead;
+use focal::{classify, DesignPoint, E2oRange, E2oWeight, Ncf, Scenario};
+
+fn main() -> focal::Result<()> {
+    let pre = PreciseRunahead::PAPER.design_point()?;
+    let base = DesignPoint::reference();
+    println!("Design under study: {} → {pre}\n", PreciseRunahead::PAPER);
+
+    // -----------------------------------------------------------------
+    // 1. Where does the verdict flip as α sweeps [0, 1]?
+    // -----------------------------------------------------------------
+    for scenario in Scenario::ALL {
+        println!(
+            "  {scenario:<11}: {}",
+            alpha_crossover(&pre, &base, scenario)
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // 2. Error bars: the paper's α bands, exact (NCF is affine in α).
+    // -----------------------------------------------------------------
+    let mut bands = Table::new(vec![
+        "scenario",
+        "α band",
+        "NCF min",
+        "NCF center",
+        "NCF max",
+    ]);
+    for range in [
+        E2oRange::EMBODIED_DOMINATED,
+        E2oRange::OPERATIONAL_DOMINATED,
+    ] {
+        for scenario in Scenario::ALL {
+            let band = focal::NcfBand::evaluate(&pre, &base, scenario, range);
+            bands.row(vec![
+                scenario.to_string(),
+                range.to_string(),
+                format!("{:.4}", band.min()),
+                format!("{:.4}", band.center()),
+                format!("{:.4}", band.max()),
+            ]);
+        }
+    }
+    println!("\n{bands}");
+
+    // -----------------------------------------------------------------
+    // 3. Interval arithmetic: worst-case bounds with ±10% proxy-ratio
+    //    measurement error on top of the α band.
+    // -----------------------------------------------------------------
+    let iv = ncf_interval(
+        &pre,
+        &base,
+        Scenario::FixedWork,
+        E2oRange::OPERATIONAL_DOMINATED,
+        0.10,
+    )?;
+    println!("fixed-work NCF with ±10% ratio error: {iv}");
+
+    // -----------------------------------------------------------------
+    // 4. Monte-Carlo: the probability that PRE reduces the footprint.
+    // -----------------------------------------------------------------
+    let mc = MonteCarloNcf::new(E2oRange::OPERATIONAL_DOMINATED, 0.10, 0xF0CA1)?;
+    for scenario in Scenario::ALL {
+        let s = mc.run(&pre, &base, scenario, 200_000);
+        println!("  {scenario:<11}: {s}");
+    }
+
+    // -----------------------------------------------------------------
+    // 5. Sensitivity: which uncertainty axis dominates the estimate?
+    // -----------------------------------------------------------------
+    let ncf = Ncf::evaluate(
+        &pre,
+        &base,
+        Scenario::FixedWork,
+        E2oWeight::OPERATIONAL_DOMINATED,
+    );
+    let s = NcfSensitivity::of(&ncf);
+    println!(
+        "\nsensitivities: dNCF/dα = {:+.3}, dNCF/d(embodied) = {:.2}, \
+         dNCF/d(operational) = {:.2} → dominant axis: {}",
+        s.d_alpha,
+        s.d_embodied,
+        s.d_operational,
+        s.dominant_axis()
+    );
+
+    // -----------------------------------------------------------------
+    // 6. Rebound tolerance: how much of PRE's deployment can behave
+    //    fixed-time (usage rebound) before the saving flips to a loss?
+    // -----------------------------------------------------------------
+    let tol = rebound_tolerance(&pre, &base, E2oWeight::OPERATIONAL_DOMINATED)
+        .expect("PRE is rebound-sensitive");
+    println!(
+        "rebound tolerance: the energy saving survives until {:.0}% of usage \
+         rebounds (blended NCF at that share = {:.4})",
+        tol * 100.0,
+        blended_ncf(&pre, &base, E2oWeight::OPERATIONAL_DOMINATED, tol)?
+    );
+
+    // -----------------------------------------------------------------
+    // 7. Deployment rebound: if PRE's efficiency drives 4x more units,
+    //    the effective α shifts toward embodied.
+    // -----------------------------------------------------------------
+    let shifted = deployment_adjusted_weight(E2oWeight::OPERATIONAL_DOMINATED, 4.0)?;
+    println!(
+        "deployment rebound 4x: α 0.20 → {:.2}; verdict {} → {}",
+        shifted.get(),
+        classify(&pre, &base, E2oWeight::OPERATIONAL_DOMINATED).class,
+        classify(&pre, &base, shifted).class,
+    );
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Integration tests spanning multiple crates: the studies layer must be
+//! consistent with the substrates it is built on, and the ACT baseline
+//! must agree with FOCAL's relative story.
+
+use focal::act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, UsePhase};
+use focal::perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+use focal::scaling::{iso_power_frequency, DieShrink, ScalingRegime, TechNode};
+use focal::studies::case_study::CaseStudy;
+use focal::wafer::{EmbodiedModel, ManufacturingTrend, ScopeBreakdown, Wafer};
+use focal::{classify, E2oWeight, Ncf, Scenario, SiliconArea, Sustainability};
+
+/// The §7 case study must be derivable by hand from the perf + scaling
+/// substrates (no hidden constants in the study).
+#[test]
+fn case_study_matches_first_principles() {
+    let study = CaseStudy::paper().unwrap();
+    let f = ParallelFraction::new(0.75).unwrap();
+    let gamma = LeakageFraction::PAPER;
+    let pollack = PollackRule::CLASSIC;
+
+    for cores in 4..=8u32 {
+        let opt = study.option(cores).unwrap();
+
+        // Frequency: Woo-Lee power ratio into the iso-power solver.
+        let p4 = SymmetricMulticore::unit_cores(4)
+            .unwrap()
+            .power(f, gamma, pollack);
+        let pn = SymmetricMulticore::unit_cores(cores)
+            .unwrap()
+            .power(f, gamma, pollack);
+        let phi = iso_power_frequency(pn / p4, std::f64::consts::SQRT_2).unwrap();
+        assert!((opt.frequency_gain - phi).abs() < 1e-12, "{cores} cores");
+
+        // Performance: Amdahl × frequency, normalized to the old chip.
+        let s4 = SymmetricMulticore::unit_cores(4)
+            .unwrap()
+            .speedup(f, pollack);
+        let sn = SymmetricMulticore::unit_cores(cores)
+            .unwrap()
+            .speedup(f, pollack);
+        assert!((opt.performance - sn * phi / s4).abs() < 1e-12);
+
+        // Embodied: area halving × Imec growth.
+        let expected = cores as f64 / 8.0 * ManufacturingTrend::IMEC.wafer_footprint_node_factor(1);
+        assert!((opt.embodied - expected).abs() < 1e-12);
+    }
+}
+
+/// The die-shrink study agrees with projecting a wafer's scope breakdown
+/// with the Imec trend: the scope-2 factor drives the embodied growth.
+#[test]
+fn die_shrink_consistent_with_scope_projection() {
+    let trend = ManufacturingTrend::IMEC;
+    let per_wafer = ScopeBreakdown::new(10.0, 50.0, 20.0).unwrap();
+    let next = trend.project_nodes(&per_wafer, 1).unwrap();
+    assert!((next.scope2() / per_wafer.scope2() - 1.252).abs() < 1e-9);
+
+    let shrink = DieShrink::next_node(ScalingRegime::PostDennard);
+    assert!((shrink.embodied_factor() - 0.5 * 1.252).abs() < 1e-9);
+}
+
+/// Walking the full roadmap: six post-Dennard shrinks leave the embodied
+/// footprint at 0.626^6 ≈ 6% of the 28nm design — the "smaller chips"
+/// argument of the paper's §6 discussion, cumulatively.
+#[test]
+fn roadmap_cumulative_shrink() {
+    let transitions = TechNode::N28.transitions_to(TechNode::N3).unwrap();
+    assert_eq!(transitions, 6);
+    let shrink = DieShrink::new(
+        ScalingRegime::PostDennard,
+        ManufacturingTrend::IMEC,
+        transitions,
+    );
+    let single = DieShrink::next_node(ScalingRegime::PostDennard).embodied_factor();
+    assert!((shrink.embodied_factor() - single.powi(6)).abs() < 1e-9);
+    assert!(shrink.embodied_factor() < 0.07);
+}
+
+/// The wafer model and the ACT baseline tell the same embodied story: a
+/// die twice the size carries (at least) twice the ACT embodied carbon,
+/// and more than twice the per-chip wafer footprint once yield bites.
+#[test]
+fn act_and_wafer_models_agree_on_area_scaling() {
+    let act = ActModel::new(ActParameters::for_node(TechNode::N7));
+    let small = SiliconArea::from_mm2(150.0).unwrap();
+    let big = SiliconArea::from_mm2(300.0).unwrap();
+
+    let act_ratio =
+        act.embodied_carbon(big).unwrap().get() / act.embodied_carbon(small).unwrap().get();
+    assert!((act_ratio - 2.0).abs() < 1e-9, "ACT is linear in area");
+
+    let murphy = EmbodiedModel::figure1_murphy();
+    let wafer_ratio = murphy.footprint_per_chip_wafer_units(big).unwrap()
+        / murphy.footprint_per_chip_wafer_units(small).unwrap();
+    assert!(
+        wafer_ratio > 2.0,
+        "yield makes big dies superlinearly dirty"
+    );
+}
+
+/// Empirical α from ACT feeds FOCAL and preserves the FSC conclusion.
+#[test]
+fn act_derived_alpha_flows_into_focal() {
+    let act = ActModel::new(ActParameters::for_node(TechNode::N5));
+    let device = DeviceFootprint::assess(
+        &act,
+        SiliconArea::from_mm2(200.0).unwrap(),
+        &UsePhase::new(4.0, 1.0, CarbonIntensity::WORLD_AVERAGE).unwrap(),
+    )
+    .unwrap();
+    let alpha = device.e2o_weight();
+    assert!(alpha.get() > 0.0 && alpha.get() < 1.0);
+
+    let fsc = focal::uarch::CoreMicroarch::ForwardSlice
+        .design_point()
+        .unwrap();
+    let ooo = focal::uarch::CoreMicroarch::OutOfOrder
+        .design_point()
+        .unwrap();
+    assert_eq!(classify(&fsc, &ooo, alpha).class, Sustainability::Strongly);
+}
+
+/// The studies' Figure-3 numbers can be recomputed directly from the perf
+/// crate: series values are not baked in.
+#[test]
+fn figure3_series_recompute_from_perf_crate() {
+    let fig = focal::studies::multicore::MulticoreStudy::default()
+        .figure3()
+        .unwrap();
+    // Panel 0 = embodied dominated, fixed-work; series 4 = f=0.95.
+    let series = &fig.panels[0].series[4];
+    assert_eq!(series.name, "f=0.95");
+    let f = ParallelFraction::new(0.95).unwrap();
+    for (point, &n) in series.points.iter().zip(&[1u32, 2, 4, 8, 16, 32]) {
+        let dp = SymmetricMulticore::unit_cores(n)
+            .unwrap()
+            .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)
+            .unwrap();
+        let ncf = Ncf::evaluate(
+            &dp,
+            &focal::DesignPoint::reference(),
+            Scenario::FixedWork,
+            E2oWeight::EMBODIED_DOMINATED,
+        );
+        assert!((point.ncf - ncf.value()).abs() < 1e-12, "{n} BCEs");
+        assert!((point.performance - dp.performance().get()).abs() < 1e-12);
+    }
+}
+
+/// The exact wafer-counting model stays within a few percent of the
+/// de Vries formula across the practical die-size range — the geometric
+/// justification for using the formula in Figure 1.
+#[test]
+fn exact_counting_validates_de_vries() {
+    let w = Wafer::W300MM;
+    for a in [64.0, 121.0, 225.0, 400.0, 625.0] {
+        let die = SiliconArea::from_mm2(a).unwrap();
+        let exact = w.chips_exact_square(die).unwrap() as f64;
+        let formula = w.chips_de_vries(die).unwrap();
+        let rel = (exact - formula).abs() / exact;
+        assert!(rel < 0.08, "{a} mm²: exact {exact}, de Vries {formula:.1}");
+    }
+}

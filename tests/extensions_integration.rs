@@ -1,0 +1,197 @@
+//! Integration tests for the extensions layer: fleet aggregation,
+//! sensitivity tools, clustered chips, cache hierarchies, the defect
+//! simulator, roadmaps and the reconfigurable study — all spanning
+//! multiple crates.
+
+use focal::cache::{CacheHierarchy, CacheLevel, CacheSize, CactiLite, MissRateModel};
+use focal::core::{alpha_crossover, rebound_tolerance, AlphaCrossover, Fleet, Segment};
+use focal::perf::{Cluster, ClusteredMulticore, LeakageFraction, ParallelFraction, PollackRule};
+use focal::scaling::{Roadmap, ScalingRegime, TechNode};
+use focal::uarch::CoreMicroarch;
+use focal::wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel};
+use focal::{DesignPoint, E2oWeight, Scenario};
+
+/// A realistic fleet decision: should the whole product line move from
+/// OoO to FSC cores? FOCAL says yes for every segment.
+#[test]
+fn fleet_wide_core_decision() {
+    let fleet = Fleet::new(vec![
+        Segment::new("phones", 0.4, E2oWeight::EMBODIED_DOMINATED, 0.3).unwrap(),
+        Segment::new("laptops", 0.35, E2oWeight::new(0.6).unwrap(), 0.4).unwrap(),
+        Segment::new("cloud", 0.25, E2oWeight::OPERATIONAL_DOMINATED, 0.95).unwrap(),
+    ])
+    .unwrap();
+    let fsc = CoreMicroarch::ForwardSlice.design_point().unwrap();
+    let ooo = CoreMicroarch::OutOfOrder.design_point().unwrap();
+    assert!(fleet.wins_every_segment(&fsc, &ooo, 1e-9));
+    assert!(fleet.ncf(&fsc, &ooo) < 0.7);
+}
+
+/// The branch predictor's α crossover (fixed-work) matches the Figure-8
+/// break-even area analysis: at its crossover weight, Finding #12's
+/// threshold area is exactly break-even.
+#[test]
+fn crossover_consistent_with_figure8() {
+    let bp = focal::uarch::BranchPredictor::PARIKH_HYBRID;
+    let base = DesignPoint::reference();
+    // At the paper's 4.4% (TAGE-SC-L) area:
+    let dp = bp.design_point(0.044).unwrap();
+    match alpha_crossover(&dp, &base, Scenario::FixedWork) {
+        AlphaCrossover::At { alpha, wins_below } => {
+            assert!(wins_below, "predictor wins for operational-leaning α");
+            // a = 1.044, o = 0.93 ⇒ α* = 0.07/0.114 = 0.614.
+            assert!((alpha.get() - 0.614).abs() < 0.001, "α* = {}", alpha.get());
+        }
+        other => panic!("expected crossover, got {other:?}"),
+    }
+}
+
+/// Rebound tolerance of the whole mechanism taxonomy: strongly
+/// sustainable mechanisms tolerate 100% rebound, weakly sustainable ones
+/// break at an interior share.
+#[test]
+fn rebound_tolerance_separates_strong_from_weak() {
+    let base = DesignPoint::reference();
+    let alpha = E2oWeight::OPERATIONAL_DOMINATED;
+
+    // Strong: pipeline gating — no break-even within [0, 1].
+    let gated = focal::uarch::PipelineGating::PAPER.design_point().unwrap();
+    assert_eq!(rebound_tolerance(&gated, &base, alpha), None);
+
+    // Weak: PRE — breaks at an interior fixed-time share.
+    let pre = focal::uarch::PreciseRunahead::PAPER.design_point().unwrap();
+    let tol = rebound_tolerance(&pre, &base, alpha).unwrap();
+    assert!(tol > 0.0 && tol < 1.0);
+}
+
+/// A phone-style clustered chip is more sustainable than a same-area
+/// symmetric chip for modestly-parallel workloads, mirroring Finding #5
+/// with three core classes.
+#[test]
+fn clustered_phone_chip_vs_symmetric() {
+    let gamma = LeakageFraction::PAPER;
+    let pollack = PollackRule::CLASSIC;
+    let f = ParallelFraction::new(0.6).unwrap();
+
+    let phone = ClusteredMulticore::new(vec![
+        Cluster::new(1, 4.0).unwrap(),
+        Cluster::new(3, 2.0).unwrap(),
+        Cluster::new(6, 1.0).unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(phone.total_bce(), 16.0);
+    let sym = focal::perf::SymmetricMulticore::unit_cores(16).unwrap();
+
+    let phone_dp = phone.design_point(f, gamma, pollack).unwrap();
+    let sym_dp = sym.design_point(f, gamma, pollack).unwrap();
+    // Same silicon, more serial punch.
+    assert_eq!(phone_dp.area().get(), sym_dp.area().get());
+    assert!(phone_dp.performance().get() > sym_dp.performance().get());
+}
+
+/// A two-level hierarchy reaches the same DRAM-traffic filtering as the
+/// paper's 4 MiB single LLC with measurably different area/energy — the
+/// design space the extension opens up.
+#[test]
+fn hierarchy_offers_alternative_design_points() {
+    let cacti = CactiLite::paper_65nm();
+    let base = CacheSize::from_mib(1.0).unwrap();
+    let single = CacheHierarchy::new(
+        cacti,
+        vec![CacheLevel::new(
+            CacheSize::from_mib(4.0).unwrap(),
+            base,
+            MissRateModel::SQRT2_RULE,
+        )],
+        0.8,
+        0.8,
+        0.05,
+    )
+    .unwrap();
+    let split = CacheHierarchy::new(
+        cacti,
+        vec![
+            CacheLevel::new(
+                CacheSize::from_mib(2.0).unwrap(),
+                base,
+                MissRateModel::SQRT2_RULE,
+            ),
+            CacheLevel::new(
+                CacheSize::from_mib(8.0).unwrap(),
+                CacheSize::from_mib(4.0).unwrap(),
+                MissRateModel::SQRT2_RULE,
+            ),
+        ],
+        0.8,
+        0.8,
+        0.05,
+    )
+    .unwrap();
+    assert!((single.dram_traffic_ratio() - split.dram_traffic_ratio()).abs() < 1e-12);
+    let dp_single = single.design_point().unwrap();
+    let dp_split = split.design_point().unwrap();
+    assert!((dp_single.performance().get() - dp_split.performance().get()).abs() < 1e-12);
+    assert_ne!(dp_single.area(), dp_split.area());
+}
+
+/// The Monte-Carlo defect simulator lands between the Poisson and Seeds
+/// analytic bounds for uniform defects (it IS the Poisson experiment), and
+/// clustering pushes it toward the higher-yield models — the empirical
+/// justification for Figure 1's Murphy choice.
+#[test]
+fn defect_simulation_brackets_analytic_models() {
+    let placement = DiePlacement::square(20.0); // 4 cm² dies
+    let lambda = 4.0 * 0.15;
+    let sim = DefectSimulator::new(Wafer::W300MM, DefectDistribution::Uniform, 20_260_706);
+    let uniform = sim.run(&placement, 0.15, 60).unwrap();
+    let poisson = YieldModel::Poisson.fraction_good_from_load(lambda);
+    assert!((uniform.mean_yield - poisson).abs() < 0.04);
+
+    let clustered = DefectSimulator::new(
+        Wafer::W300MM,
+        DefectDistribution::Clustered {
+            mean_cluster_size: 10.0,
+            cluster_radius_mm: 1.0,
+        },
+        20_260_706,
+    )
+    .run(&placement, 0.15, 60)
+    .unwrap();
+    let seeds = YieldModel::Seeds.fraction_good_from_load(lambda);
+    assert!(clustered.mean_yield > poisson);
+    // Murphy and Seeds sit between Poisson and strong clustering.
+    assert!(clustered.mean_yield > seeds - 0.1);
+}
+
+/// Roadmap projections agree with the §7 case study at one transition and
+/// keep compounding beyond it.
+#[test]
+fn roadmap_agrees_with_case_study() {
+    let roadmap = Roadmap::project(TechNode::N7, TechNode::N3, ScalingRegime::PostDennard).unwrap();
+    let one = &roadmap.steps()[1];
+    assert!((one.embodied - 0.626).abs() < 0.001);
+    let case = focal::studies::case_study::CaseStudy::paper().unwrap();
+    assert!((case.option(4).unwrap().embodied - one.embodied).abs() < 1e-9);
+    // Two transitions: N7 → N3.
+    let two = &roadmap.steps()[2];
+    assert!((two.embodied - 0.626 * 0.626).abs() < 0.002);
+}
+
+/// The extension figure and the paper's Figure 5(b) agree on the
+/// dark-silicon curve they share.
+#[test]
+fn extension_figure_consistent_with_fig5b() {
+    let ext = focal::studies::extensions::ReconfigurableStudy::representative()
+        .unwrap()
+        .figure()
+        .unwrap();
+    let fig5b = focal::studies::dark_silicon::DarkSiliconStudy::default()
+        .figure5b()
+        .unwrap();
+    // ext panel 0 = embodied dominated; series 2 = paper's SoC.
+    let ext_soc = &ext.panels[0].series[2];
+    let paper_soc = &fig5b.panels[0].series[0];
+    for (a, b) in ext_soc.points.iter().zip(&paper_soc.points) {
+        assert!((a.ncf - b.ncf).abs() < 1e-12);
+    }
+}

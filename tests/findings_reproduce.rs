@@ -1,0 +1,171 @@
+//! End-to-end reproduction check: every figure regenerates and every
+//! finding's numbers match the paper.
+
+use focal::studies::{all_figures, all_findings};
+
+#[test]
+fn all_figures_regenerate_with_data() {
+    let figures = all_figures().expect("figures regenerate");
+    assert_eq!(figures.len(), 9, "Figures 1 and 3-9");
+    for fig in &figures {
+        for panel in &fig.panels {
+            for series in &panel.series {
+                assert!(
+                    !series.points.is_empty(),
+                    "{}/{}/{} has points",
+                    fig.id,
+                    panel.title,
+                    series.name
+                );
+                for p in &series.points {
+                    assert!(p.ncf.is_finite() && p.ncf > 0.0);
+                    assert!(p.performance.is_finite() && p.performance >= 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_18_findings_reproduce() {
+    let findings = all_findings().expect("findings compute");
+    assert_eq!(findings.len(), 18, "17 findings + §7 case study");
+    let failures: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.reproduces())
+        .map(|f| format!("{f}"))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "non-reproducing findings:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn figures_export_csv_and_text() {
+    for fig in all_figures().unwrap() {
+        let csv = fig.to_csv();
+        assert!(csv.contains(fig.id), "{} csv has header", fig.id);
+        assert!(csv.lines().count() > fig.panels.len());
+        let text = fig.to_text(40, 10);
+        assert!(text.contains(fig.caption));
+    }
+}
+
+/// Headline numbers spot-checked straight from the paper's prose.
+#[test]
+fn paper_headline_numbers() {
+    use focal::perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+    use focal::{E2oWeight, Ncf, Scenario};
+
+    // §5.1: 32 BCEs, f = 0.95, fixed-time, multicore vs equal-area big
+    // core: −10% (α=0.8), −39% (α=0.2).
+    let f = ParallelFraction::new(0.95).unwrap();
+    let mc = SymmetricMulticore::unit_cores(32)
+        .unwrap()
+        .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)
+        .unwrap();
+    let big = SymmetricMulticore::big_core(32.0)
+        .unwrap()
+        .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)
+        .unwrap();
+    let saving_emb = Ncf::evaluate(
+        &mc,
+        &big,
+        Scenario::FixedTime,
+        E2oWeight::EMBODIED_DOMINATED,
+    )
+    .saving_percent();
+    let saving_op = Ncf::evaluate(
+        &mc,
+        &big,
+        Scenario::FixedTime,
+        E2oWeight::OPERATIONAL_DOMINATED,
+    )
+    .saving_percent();
+    assert!((saving_emb - 10.0).abs() < 1.0, "got {saving_emb}");
+    assert!((saving_op - 39.0).abs() < 1.0, "got {saving_op}");
+
+    // §5.7: PRE's four NCF values.
+    let pre = focal::uarch::PreciseRunahead::PAPER.design_point().unwrap();
+    let base = focal::DesignPoint::reference();
+    let v = |s, a: f64| Ncf::evaluate(&pre, &base, s, E2oWeight::new(a).unwrap()).value();
+    assert!((v(Scenario::FixedWork, 0.2) - 0.95).abs() < 0.01);
+    assert!((v(Scenario::FixedTime, 0.2) - 1.23).abs() < 0.01);
+    assert!((v(Scenario::FixedWork, 0.8) - 0.99).abs() < 0.01);
+    assert!((v(Scenario::FixedTime, 0.8) - 1.06).abs() < 0.01);
+
+    // §7: frequency range 1.41x (4 cores) → ~1.24x (8 cores).
+    let study = focal::studies::case_study::CaseStudy::paper().unwrap();
+    assert!((study.option(4).unwrap().frequency_gain - 1.414).abs() < 0.001);
+    assert!((study.option(8).unwrap().frequency_gain - 1.24).abs() < 0.01);
+}
+
+/// The paper's summary taxonomy (§1): which mechanisms land in which
+/// sustainability class.
+#[test]
+fn mechanism_taxonomy_matches_paper_abstract() {
+    use focal::perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
+    use focal::uarch::{CoreMicroarch, DvfsCore, PreciseRunahead, TurboBoost};
+    use focal::{classify, DesignPoint, E2oWeight, Sustainability};
+
+    let both = [
+        E2oWeight::EMBODIED_DOMINATED,
+        E2oWeight::OPERATIONAL_DOMINATED,
+    ];
+    let reference = DesignPoint::reference();
+
+    // "low-complexity core microarchitecture ... strongly sustainable"
+    let fsc = CoreMicroarch::ForwardSlice.design_point().unwrap();
+    let ooo = CoreMicroarch::OutOfOrder.design_point().unwrap();
+    for alpha in both {
+        assert_eq!(classify(&fsc, &ooo, alpha).class, Sustainability::Strongly);
+    }
+
+    // "multicore ... strongly sustainable" (vs equal-area big core)
+    let f = ParallelFraction::new(0.8).unwrap();
+    let mc = SymmetricMulticore::unit_cores(16)
+        .unwrap()
+        .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)
+        .unwrap();
+    let big = SymmetricMulticore::big_core(16.0)
+        .unwrap()
+        .design_point(f, LeakageFraction::PAPER, PollackRule::CLASSIC)
+        .unwrap();
+    for alpha in both {
+        assert_eq!(classify(&mc, &big, alpha).class, Sustainability::Strongly);
+    }
+
+    // "voltage scaling ... strongly sustainable"
+    let dvfs = DvfsCore::default_core();
+    for alpha in both {
+        assert_eq!(
+            classify(
+                &dvfs.design_point(0.8).unwrap(),
+                &dvfs.nominal_without_dvfs().unwrap(),
+                alpha
+            )
+            .class,
+            Sustainability::Strongly
+        );
+    }
+
+    // "speculation ... weakly sustainable"
+    let pre = PreciseRunahead::PAPER.design_point().unwrap();
+    for alpha in both {
+        assert_eq!(
+            classify(&pre, &reference, alpha).class,
+            Sustainability::Weakly
+        );
+    }
+
+    // "turboboosting ... not sustainable"
+    let turbo = TurboBoost::default_turbo().design_point(1.2).unwrap();
+    for alpha in both {
+        assert_eq!(
+            classify(&turbo, &reference, alpha).class,
+            Sustainability::Less
+        );
+    }
+}

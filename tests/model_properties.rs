@@ -1,0 +1,132 @@
+//! Property-based tests of the core model invariants (proptest).
+
+use focal::core::{ncf_interval, MonteCarloNcf};
+use focal::{classify, DesignPoint, E2oRange, E2oWeight, Ncf, Scenario, Sustainability};
+use proptest::prelude::*;
+
+fn arb_design() -> impl Strategy<Value = DesignPoint> {
+    (
+        0.05f64..20.0, // area
+        0.05f64..20.0, // power
+        0.05f64..20.0, // performance
+    )
+        .prop_map(|(a, p, s)| DesignPoint::from_power_perf(a, p, s).expect("positive axes"))
+}
+
+fn arb_alpha() -> impl Strategy<Value = E2oWeight> {
+    (0.0f64..=1.0).prop_map(|a| E2oWeight::new(a).expect("alpha in [0,1]"))
+}
+
+proptest! {
+    /// NCF of a design against itself is exactly 1 for any α and scenario.
+    #[test]
+    fn ncf_self_comparison_is_one(x in arb_design(), alpha in arb_alpha()) {
+        for scenario in Scenario::ALL {
+            let v = Ncf::evaluate(&x, &x, scenario, alpha).value();
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// NCF is affine in α: value(α) = α·a + (1−α)·o, so the midpoint value
+    /// is the mean of the endpoint values.
+    #[test]
+    fn ncf_is_affine_in_alpha(x in arb_design(), y in arb_design()) {
+        for scenario in Scenario::ALL {
+            let lo = Ncf::evaluate(&x, &y, scenario, E2oWeight::new(0.0).unwrap()).value();
+            let hi = Ncf::evaluate(&x, &y, scenario, E2oWeight::new(1.0).unwrap()).value();
+            let mid = Ncf::evaluate(&x, &y, scenario, E2oWeight::new(0.5).unwrap()).value();
+            prop_assert!((mid - 0.5 * (lo + hi)).abs() < 1e-9);
+        }
+    }
+
+    /// NCF is positively homogeneous: scaling both designs' axes by the
+    /// same factor leaves the NCF unchanged.
+    #[test]
+    fn ncf_is_scale_invariant(
+        x in arb_design(),
+        y in arb_design(),
+        alpha in arb_alpha(),
+        k in 0.1f64..10.0,
+    ) {
+        let sx = DesignPoint::from_raw(
+            x.area().get() * k,
+            x.power().get() * k,
+            x.energy().get() * k,
+            x.performance().get(),
+        ).unwrap();
+        let sy = DesignPoint::from_raw(
+            y.area().get() * k,
+            y.power().get() * k,
+            y.energy().get() * k,
+            y.performance().get(),
+        ).unwrap();
+        for scenario in Scenario::ALL {
+            let plain = Ncf::evaluate(&x, &y, scenario, alpha).value();
+            let scaled = Ncf::evaluate(&sx, &sy, scenario, alpha).value();
+            prop_assert!((plain - scaled).abs() < 1e-9 * plain.max(1.0));
+        }
+    }
+
+    /// The reversal inequality: NCF(X,Y)·NCF(Y,X) ≥ 1 for every scenario
+    /// and α (Cauchy–Schwarz on the weighted ratio means). Consequently a
+    /// strongly sustainable X makes Y less sustainable — but NOT vice
+    /// versa: both directions of a comparison can exceed 1 when the two
+    /// proxy ratios pull in opposite directions. This asymmetry is a real
+    /// property of the weighted-arithmetic-mean NCF definition.
+    #[test]
+    fn classification_reversal(x in arb_design(), y in arb_design(), alpha in arb_alpha()) {
+        for scenario in Scenario::ALL {
+            let fwd = Ncf::evaluate(&x, &y, scenario, alpha).value();
+            let rev = Ncf::evaluate(&y, &x, scenario, alpha).value();
+            prop_assert!(fwd * rev >= 1.0 - 1e-9, "{fwd} * {rev} < 1");
+        }
+        let fwd = classify(&x, &y, alpha).class;
+        let rev = classify(&y, &x, alpha).class;
+        if fwd == Sustainability::Strongly {
+            prop_assert_eq!(rev, Sustainability::Less);
+        }
+        if rev == Sustainability::Strongly {
+            prop_assert_eq!(fwd, Sustainability::Less);
+        }
+    }
+
+    /// The analytic NCF interval brackets every Monte-Carlo sample.
+    #[test]
+    fn interval_brackets_monte_carlo(
+        x in arb_design(),
+        y in arb_design(),
+        seed in any::<u64>(),
+    ) {
+        let range = E2oRange::FULL;
+        let iv = ncf_interval(&x, &y, Scenario::FixedWork, range, 0.05).unwrap();
+        let mc = MonteCarloNcf::new(range, 0.05, seed).unwrap();
+        let summary = mc.run(&x, &y, Scenario::FixedWork, 500);
+        prop_assert!(summary.min >= iv.lo() - 1e-9);
+        prop_assert!(summary.max <= iv.hi() + 1e-9);
+    }
+
+    /// Strict dominance in all four axes forces a strong verdict for any
+    /// interior α.
+    #[test]
+    fn dominance_implies_strong(
+        y in arb_design(),
+        shrink in 0.2f64..0.95,
+        alpha in 0.01f64..0.99,
+    ) {
+        let x = DesignPoint::from_raw(
+            y.area().get() * shrink,
+            y.power().get() * shrink,
+            y.energy().get() * shrink,
+            y.performance().get(),
+        ).unwrap();
+        let c = classify(&x, &y, E2oWeight::new(alpha).unwrap());
+        prop_assert_eq!(c.class, Sustainability::Strongly);
+    }
+
+    /// saving_percent and value are consistent: saving = (1 − value)·100.
+    #[test]
+    fn saving_percent_consistent(x in arb_design(), y in arb_design(), alpha in arb_alpha()) {
+        let ncf = Ncf::evaluate(&x, &y, Scenario::FixedTime, alpha);
+        prop_assert!((ncf.saving_percent() - (1.0 - ncf.value()) * 100.0).abs() < 1e-9);
+    }
+}

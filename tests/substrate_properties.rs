@@ -1,0 +1,177 @@
+//! Property-based tests of the substrate crates: multicore laws, yield
+//! models, wafer geometry, cache scaling, DVFS electricals.
+
+use focal::cache::{CacheSize, CactiLite, MemoryBoundWorkload, MissRateModel};
+use focal::perf::{
+    amdahl_limit, amdahl_speedup, AsymmetricMulticore, DynamicMulticore, LeakageFraction,
+    ParallelFraction, PollackRule, SymmetricMulticore,
+};
+use focal::uarch::DvfsCore;
+use focal::wafer::{DefectDensity, EmbodiedModel, Wafer, YieldModel};
+use focal::SiliconArea;
+use proptest::prelude::*;
+
+fn arb_fraction() -> impl Strategy<Value = ParallelFraction> {
+    (0.0f64..=1.0).prop_map(|f| ParallelFraction::new(f).unwrap())
+}
+
+fn arb_gamma() -> impl Strategy<Value = LeakageFraction> {
+    (0.0f64..0.99).prop_map(|g| LeakageFraction::new(g).unwrap())
+}
+
+proptest! {
+    /// Amdahl: 1 ≤ S(f, n) ≤ min(n, limit(f)).
+    #[test]
+    fn amdahl_bounds(f in arb_fraction(), n in 1u32..4096) {
+        let s = amdahl_speedup(f, n).unwrap();
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= n as f64 + 1e-9);
+        prop_assert!(s <= amdahl_limit(f) + 1e-9);
+    }
+
+    /// Woo–Lee closed form: for unit-core multicores, E = 1 + (1−f)(N−1)γ
+    /// exactly, and P = E·S.
+    #[test]
+    fn woo_lee_closed_form(f in arb_fraction(), gamma in arb_gamma(), n in 1u32..256) {
+        let chip = SymmetricMulticore::unit_cores(n).unwrap();
+        let e = chip.energy(f, gamma, PollackRule::CLASSIC);
+        let expected = 1.0 + f.serial() * (n as f64 - 1.0) * gamma.get();
+        prop_assert!((e - expected).abs() < 1e-9);
+        let p = chip.power(f, gamma, PollackRule::CLASSIC);
+        let s = chip.speedup(f, PollackRule::CLASSIC);
+        prop_assert!((p - e * s).abs() < 1e-9 * p.max(1.0));
+    }
+
+    /// The asymmetric chip's speedup is bounded by the dynamic topology's
+    /// (Hill–Marty's ordering) and at least the minimum of its two modes.
+    #[test]
+    fn hill_marty_topology_ordering(
+        f in arb_fraction(),
+        n in 6u32..128,
+    ) {
+        let pollack = PollackRule::CLASSIC;
+        let asym = AsymmetricMulticore::new(n as f64, 4.0).unwrap();
+        let dynamic = DynamicMulticore::new(n as f64).unwrap();
+        prop_assert!(asym.speedup(f, pollack) <= dynamic.speedup(f, pollack) + 1e-9);
+        let sym = SymmetricMulticore::unit_cores(n).unwrap();
+        prop_assert!(sym.speedup(f, pollack) <= dynamic.speedup(f, pollack) + 1e-9);
+    }
+
+    /// Energy conservation: every topology's design point satisfies
+    /// E = P / perf.
+    #[test]
+    fn design_points_satisfy_energy_identity(f in arb_fraction(), n in 2u32..64) {
+        let gamma = LeakageFraction::PAPER;
+        let pollack = PollackRule::CLASSIC;
+        for dp in [
+            SymmetricMulticore::unit_cores(n).unwrap().design_point(f, gamma, pollack).unwrap(),
+            AsymmetricMulticore::new((n + 4) as f64, 4.0).unwrap().design_point(f, gamma, pollack).unwrap(),
+            DynamicMulticore::new(n as f64).unwrap().design_point(f, gamma, pollack).unwrap(),
+        ] {
+            let derived = dp.power().get() / dp.performance().get();
+            prop_assert!((dp.energy().get() - derived).abs() < 1e-9 * derived.max(1.0));
+        }
+    }
+
+    /// Yield models: within (0, 1], monotone non-increasing in defect load,
+    /// and ordered Poisson ≤ Murphy ≤ Seeds.
+    #[test]
+    fn yield_model_properties(lambda in 0.0f64..30.0, delta in 0.01f64..5.0) {
+        for model in [YieldModel::Poisson, YieldModel::Murphy, YieldModel::Seeds] {
+            let y1 = model.fraction_good_from_load(lambda);
+            let y2 = model.fraction_good_from_load(lambda + delta);
+            prop_assert!(y1 > 0.0 && y1 <= 1.0);
+            prop_assert!(y2 <= y1 + 1e-12);
+        }
+        let p = YieldModel::Poisson.fraction_good_from_load(lambda);
+        let m = YieldModel::Murphy.fraction_good_from_load(lambda);
+        let s = YieldModel::Seeds.fraction_good_from_load(lambda);
+        prop_assert!(p <= m + 1e-12 && m <= s + 1e-12);
+    }
+
+    /// Chips per wafer: de Vries is positive, below the area-ratio bound,
+    /// and decreasing in die size over the practical range.
+    #[test]
+    fn chips_per_wafer_properties(a in 20.0f64..900.0, grow in 1.05f64..2.0) {
+        let w = Wafer::W300MM;
+        let die = SiliconArea::from_mm2(a).unwrap();
+        let bigger = SiliconArea::from_mm2(a * grow).unwrap();
+        let cpw = w.chips_de_vries(die).unwrap();
+        prop_assert!(cpw > 0.0);
+        prop_assert!(cpw < w.chips_area_ratio(die));
+        prop_assert!(w.chips_de_vries(bigger).unwrap() < cpw);
+    }
+
+    /// Normalized embodied footprint grows super-linearly in die size under
+    /// Murphy yield but stays finite and positive.
+    #[test]
+    fn embodied_footprint_properties(a in 100.0f64..800.0) {
+        let reference = SiliconArea::from_mm2(100.0).unwrap();
+        let die = SiliconArea::from_mm2(a).unwrap();
+        let perfect = EmbodiedModel::figure1_perfect().normalized_footprint(die, reference).unwrap();
+        let murphy = EmbodiedModel::figure1_murphy().normalized_footprint(die, reference).unwrap();
+        prop_assert!(perfect >= 1.0 - 1e-9);
+        prop_assert!(murphy >= perfect - 1e-12);
+        // Super-linearity: footprint grows at least as fast as area.
+        prop_assert!(perfect >= a / 100.0 - 1e-9);
+    }
+
+    /// Defect load is linear in area.
+    #[test]
+    fn defect_load_linear(a in 1.0f64..1000.0, k in 1.0f64..5.0) {
+        let d0 = DefectDensity::TSMC_VOLUME;
+        let l1 = d0.defect_load(SiliconArea::from_mm2(a).unwrap());
+        let l2 = d0.defect_load(SiliconArea::from_mm2(a * k).unwrap());
+        prop_assert!((l2 - l1 * k).abs() < 1e-9);
+    }
+
+    /// CACTI-lite is exactly multiplicative (a power law): the ratio
+    /// between two sizes depends only on their quotient.
+    #[test]
+    fn cacti_power_law(m in 1.0f64..8.0, k in 1.0f64..4.0) {
+        let c = CactiLite::paper_65nm();
+        let s1 = CacheSize::from_mib(m).unwrap();
+        let s2 = CacheSize::from_mib(m * k).unwrap();
+        let direct = c.energy_ratio(s2).unwrap() / c.energy_ratio(s1).unwrap();
+        let from_one = c.energy_ratio(CacheSize::from_mib(k).unwrap()).unwrap();
+        prop_assert!((direct - from_one).abs() < 1e-6);
+    }
+
+    /// The workload's performance is monotone in cache size and its energy
+    /// components stay positive.
+    #[test]
+    fn cache_workload_monotonicity(m in 1.0f64..16.0) {
+        let w = MemoryBoundWorkload::paper().unwrap();
+        let small = CacheSize::from_mib(m).unwrap();
+        let big = CacheSize::from_mib(m * 1.5).unwrap();
+        prop_assert!(w.performance(big) > w.performance(small));
+        prop_assert!(w.energy(small).unwrap() > 0.0);
+    }
+
+    /// Miss-rate power law composes: ratio(a→c) = ratio(a→b)·ratio(b→c).
+    #[test]
+    fn missrate_composes(a in 0.5f64..4.0, b in 4.0f64..16.0, c in 16.0f64..64.0) {
+        let m = MissRateModel::SQRT2_RULE;
+        let (sa, sb, sc) = (
+            CacheSize::from_mib(a).unwrap(),
+            CacheSize::from_mib(b).unwrap(),
+            CacheSize::from_mib(c).unwrap(),
+        );
+        let direct = m.miss_ratio(sc, sa);
+        let composed = m.miss_ratio(sb, sa) * m.miss_ratio(sc, sb);
+        prop_assert!((direct - composed).abs() < 1e-9);
+    }
+
+    /// DVFS electricals: energy = power / performance at every operating
+    /// point, and both shrink monotonically when scaling down.
+    #[test]
+    fn dvfs_identities(delta in 0.1f64..1.0, k in 0.2f64..1.0) {
+        let core = DvfsCore::new(delta, 0.02).unwrap();
+        let e = core.energy(k).unwrap();
+        let p = core.power(k).unwrap();
+        let s = core.performance(k).unwrap();
+        prop_assert!((e - p / s).abs() < 1e-12);
+        prop_assert!(p <= core.power(1.0).unwrap() + 1e-12);
+        prop_assert!(e <= core.energy(1.0).unwrap() + 1e-12);
+    }
+}
