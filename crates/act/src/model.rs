@@ -190,6 +190,7 @@ impl DeviceFootprint {
     /// α_E2O for this device class.
     pub fn e2o_weight(&self) -> E2oWeight {
         E2oWeight::new(self.embodied.get() / self.total().get())
+            // focal-lint: allow(panic-freedom) -- a share of a positive total lies in [0, 1]
             .expect("shares of a positive total lie in [0, 1]")
     }
 }

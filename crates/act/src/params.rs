@@ -108,14 +108,14 @@ impl ActParameters {
         }
     }
 
-    /// Returns a copy with a different fab energy supply.
+    /// Returns a copy with a different fab energy supply (kg CO₂e per kWh).
     #[must_use]
     pub fn with_fab_carbon_intensity(mut self, ci: CarbonIntensity) -> Self {
         self.fab_carbon_intensity = ci;
         self
     }
 
-    /// Returns a copy with a different yield.
+    /// Returns a copy with a different yield, a fraction of good dies.
     ///
     /// # Errors
     ///

@@ -56,6 +56,7 @@ impl CactiLite {
     /// 16 MiB at 2.9 nJ and ×20.7 the base area. Calibrated (and valid)
     /// from 512 KiB to 32 MiB.
     pub fn paper_65nm() -> Self {
+        // focal-lint: allow(panic-freedom) -- literal calibration constant, checked at first use
         let base_size = CacheSize::from_mib(1.0).expect("1 MiB is valid");
         let sixteen = 16.0_f64;
         CactiLite {
@@ -64,7 +65,9 @@ impl CactiLite {
             base_area_core_fraction: 0.25,
             energy_exponent: (2.9_f64 / 0.55).ln() / sixteen.ln(),
             area_exponent: 20.7_f64.ln() / sixteen.ln(),
+            // focal-lint: allow(panic-freedom) -- literal calibration bounds, checked at first use
             min_size: CacheSize::from_mib(0.5).expect("valid"),
+            // focal-lint: allow(panic-freedom) -- literal calibration bounds, checked at first use
             max_size: CacheSize::from_mib(32.0).expect("valid"),
         }
     }
@@ -130,12 +133,12 @@ impl CactiLite {
         self.base_size
     }
 
-    /// The fitted energy power-law exponent.
+    /// The fitted energy power-law exponent (dimensionless).
     pub fn energy_exponent(&self) -> f64 {
         self.energy_exponent
     }
 
-    /// The fitted area power-law exponent.
+    /// The fitted area power-law exponent (dimensionless).
     pub fn area_exponent(&self) -> f64 {
         self.area_exponent
     }

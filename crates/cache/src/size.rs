@@ -76,6 +76,7 @@ impl CacheSize {
     pub fn paper_sweep() -> Vec<CacheSize> {
         [1.0, 2.0, 4.0, 8.0, 16.0]
             .into_iter()
+            // focal-lint: allow(panic-freedom) -- literal paper sweep sizes, checked at first use
             .map(|m| CacheSize::from_mib(m).expect("static sizes are valid"))
             .collect()
     }
@@ -84,8 +85,11 @@ impl CacheSize {
 impl fmt::Display for CacheSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mib = self.mib();
-        if mib >= 1.0 && (mib.fract() == 0.0) {
-            write!(f, "{}MiB", mib as u64)
+        // `mib` comes out of a float division, so near-integer values
+        // (e.g. 7.999999…) must still print as whole MiB: compare to the
+        // nearest integer with a tolerance instead of `fract() == 0.0`.
+        if mib >= 0.5 && (mib - mib.round()).abs() < 1e-9 {
+            write!(f, "{}MiB", mib.round() as u64)
         } else {
             write!(f, "{}KiB", (self.bytes as f64 / 1024.0).round() as u64)
         }

@@ -66,18 +66,14 @@ impl SweepSeries {
 
     /// The point with the lowest NCF, if the series is non-empty.
     pub fn min_ncf(&self) -> Option<&SweepPoint> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.ncf.partial_cmp(&b.ncf).expect("NCF values are finite"))
+        self.points.iter().min_by(|a, b| a.ncf.total_cmp(&b.ncf))
     }
 
     /// The point with the highest performance, if the series is non-empty.
     pub fn max_performance(&self) -> Option<&SweepPoint> {
-        self.points.iter().max_by(|a, b| {
-            a.performance
-                .partial_cmp(&b.performance)
-                .expect("performance values are finite")
-        })
+        self.points
+            .iter()
+            .max_by(|a, b| a.performance.total_cmp(&b.performance))
     }
 }
 

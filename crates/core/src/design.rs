@@ -98,6 +98,7 @@ impl DesignPoint {
     /// Studies normalize their comparisons to this design (the paper's
     /// "one-BCE single-core processor").
     pub fn reference() -> Self {
+        // focal-lint: allow(panic-freedom) -- the all-ones literal design is trivially valid
         DesignPoint::from_raw(1.0, 1.0, 1.0, 1.0).expect("unit design is valid")
     }
 

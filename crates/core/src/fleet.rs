@@ -121,6 +121,23 @@ impl Fleet {
             .collect()
     }
 
+    /// The NCF of the named segment alone (dimensionless, normalized to
+    /// the reference design `y`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Inconsistent`] if no segment has that name,
+    /// so callers never need a panicking `find(…).unwrap()` lookup.
+    pub fn segment_ncf(&self, name: &str, x: &DesignPoint, y: &DesignPoint) -> Result<f64> {
+        self.segments
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.ncf(x, y))
+            .ok_or(ModelError::Inconsistent {
+                constraint: "fleet has no segment with the requested name",
+            })
+    }
+
     /// `true` if the design reduces the footprint in *every* segment —
     /// the fleet-level analogue of strong sustainability.
     pub fn wins_every_segment(&self, x: &DesignPoint, y: &DesignPoint, tolerance: f64) -> bool {
@@ -200,12 +217,23 @@ mod tests {
         let x = DesignPoint::from_raw(1.005, 1.29, 0.93, 1.38).unwrap();
         let y = DesignPoint::reference();
         let f = fleet();
-        let per = f.per_segment_ncf(&x, &y);
-        let servers = per.iter().find(|(n, _)| *n == "servers").unwrap().1;
-        let laptops = per.iter().find(|(n, _)| *n == "laptops").unwrap().1;
+        let servers = f.segment_ncf("servers", &x, &y).expect("segment exists");
+        let laptops = f.segment_ncf("laptops", &x, &y).expect("segment exists");
         assert!(servers > 1.0, "servers {servers}");
         assert!(laptops < 1.005, "laptops {laptops}");
         assert!(!f.wins_every_segment(&x, &y, 1e-9));
+    }
+
+    #[test]
+    fn segment_ncf_matches_per_segment_and_rejects_unknown_names() {
+        let x = DesignPoint::from_power_perf(1.2, 0.8, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        let f = fleet();
+        for (name, ncf) in f.per_segment_ncf(&x, &y) {
+            let looked_up = f.segment_ncf(name, &x, &y).expect("segment exists");
+            assert!((looked_up - ncf).abs() < 1e-15, "{name}");
+        }
+        assert!(f.segment_ncf("mainframes", &x, &y).is_err());
     }
 
     #[test]

@@ -86,16 +86,20 @@ pub fn alpha_crossover(x: &DesignPoint, y: &DesignPoint, scenario: Scenario) -> 
                 (false, false) => AlphaCrossover::AlwaysBelow,
                 (true, true) => AlphaCrossover::AlwaysAbove,
                 (false, true) => {
-                    // Wins at α = 0, loses at α = 1.
-                    let alpha = (1.0 - o) / (a - o);
+                    // Wins at α = 0, loses at α = 1. The crossover is in
+                    // [0, 1] mathematically; clamp guards against rounding
+                    // pushing it an epsilon outside.
+                    let alpha = ((1.0 - o) / (a - o)).clamp(0.0, 1.0);
                     AlphaCrossover::At {
+                        // focal-lint: allow(panic-freedom) -- clamped into the validated [0, 1] domain; a ≠ o in this branch
                         alpha: E2oWeight::new(alpha).expect("crossover lies in [0, 1]"),
                         wins_below: true,
                     }
                 }
                 (true, false) => {
-                    let alpha = (1.0 - o) / (a - o);
+                    let alpha = ((1.0 - o) / (a - o)).clamp(0.0, 1.0);
                     AlphaCrossover::At {
+                        // focal-lint: allow(panic-freedom) -- clamped into the validated [0, 1] domain; a ≠ o in this branch
                         alpha: E2oWeight::new(alpha).expect("crossover lies in [0, 1]"),
                         wins_below: false,
                     }

@@ -1,0 +1,188 @@
+//! The `// focal-lint: allow(<rule>) -- <reason>` escape hatch.
+//!
+//! A finding on line `L` is suppressed when a well-formed allow
+//! directive for its rule appears either on line `L` itself (trailing
+//! comment) or on line `L − 1` (a comment line directly above). The
+//! justification after `--` is **mandatory**: a directive without a
+//! non-empty reason is itself reported (rule `allow-directive`), so
+//! every suppression in the tree carries a reviewable explanation.
+//!
+//! Only plain `//` comments are directives. Doc comments (`///`, `//!`)
+//! are rendered documentation — text like "write `focal-lint:
+//! allow(<rule>)`" there is prose about the grammar, not a suppression.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::Comment;
+
+/// One parsed allow directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules this directive suppresses.
+    pub rules: Vec<Rule>,
+    /// Line the directive appears on.
+    pub line: u32,
+    /// The justification text after `--`.
+    pub reason: String,
+}
+
+/// All directives of a file plus any malformed-directive diagnostics.
+#[derive(Debug, Default)]
+pub struct Allows {
+    directives: Vec<Allow>,
+    /// Diagnostics for malformed or unjustified directives.
+    pub problems: Vec<(u32, String)>,
+}
+
+impl Allows {
+    /// Extracts directives from a file's comments.
+    pub fn parse(comments: &[Comment]) -> Allows {
+        let mut out = Allows::default();
+        for comment in comments {
+            if comment.doc {
+                continue;
+            }
+            let Some(idx) = comment.text.find("focal-lint:") else {
+                continue;
+            };
+            let body = comment.text[idx + "focal-lint:".len()..].trim();
+            let Some(rest) = body.strip_prefix("allow") else {
+                out.problems.push((
+                    comment.line,
+                    format!("unrecognized focal-lint directive `{body}` (expected `allow(<rule>) -- <reason>`)"),
+                ));
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('(') else {
+                out.problems
+                    .push((comment.line, "allow directive missing `(<rule>)`".into()));
+                continue;
+            };
+            let Some((rule_list, tail)) = rest.split_once(')') else {
+                out.problems
+                    .push((comment.line, "allow directive missing closing `)`".into()));
+                continue;
+            };
+            let mut rules = Vec::new();
+            let mut bad_rule = false;
+            for name in rule_list.split(',') {
+                let name = name.trim();
+                match Rule::from_name(name) {
+                    Some(rule) => rules.push(rule),
+                    None => {
+                        out.problems.push((
+                            comment.line,
+                            format!("unknown lint rule `{name}` in allow directive"),
+                        ));
+                        bad_rule = true;
+                    }
+                }
+            }
+            if bad_rule {
+                continue;
+            }
+            let reason = tail
+                .trim_start()
+                .strip_prefix("--")
+                .map(|r| r.trim().to_string())
+                .unwrap_or_default();
+            if reason.is_empty() {
+                out.problems.push((
+                    comment.line,
+                    "allow directive requires a justification: `-- <reason>`".into(),
+                ));
+                continue;
+            }
+            out.directives.push(Allow {
+                rules,
+                line: comment.line,
+                reason,
+            });
+        }
+        out
+    }
+
+    /// Whether `rule` is suppressed at `line` (directive on the same
+    /// line or the line directly above).
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        self.directives
+            .iter()
+            .any(|a| a.rules.contains(&rule) && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Converts directive problems into diagnostics for `file`.
+    pub fn problem_diagnostics(&self, file: &str) -> Vec<Diagnostic> {
+        self.problems
+            .iter()
+            .map(|(line, message)| Diagnostic {
+                rule: Rule::AllowDirective,
+                file: file.to_string(),
+                line: *line,
+                col: 1,
+                message: message.clone(),
+                help: "write `// focal-lint: allow(<rule>) -- <justification>`".into(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn allows(src: &str) -> Allows {
+        Allows::parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_directive_covers_same_and_next_line() {
+        let a = allows("// focal-lint: allow(panic-freedom) -- startup-only lookup\nfoo();\n");
+        assert!(a.problems.is_empty());
+        assert!(a.covers(Rule::PanicFreedom, 1));
+        assert!(a.covers(Rule::PanicFreedom, 2));
+        assert!(!a.covers(Rule::PanicFreedom, 3));
+        assert!(!a.covers(Rule::FloatEq, 2));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let a = allows("// focal-lint: allow(float-eq, unit-hygiene) -- sentinel compare\n");
+        assert!(a.covers(Rule::FloatEq, 2));
+        assert!(a.covers(Rule::UnitHygiene, 2));
+    }
+
+    #[test]
+    fn missing_reason_is_a_problem() {
+        let a = allows("// focal-lint: allow(float-eq)\n");
+        assert_eq!(a.problems.len(), 1);
+        assert!(!a.covers(Rule::FloatEq, 2));
+        assert!(a.problems[0].1.contains("justification"));
+    }
+
+    #[test]
+    fn empty_reason_is_a_problem() {
+        let a = allows("// focal-lint: allow(float-eq) --   \n");
+        assert_eq!(a.problems.len(), 1);
+        assert!(!a.covers(Rule::FloatEq, 2));
+    }
+
+    #[test]
+    fn doc_comments_are_prose_not_directives() {
+        // Documentation describing the grammar must neither suppress
+        // findings nor be reported as malformed.
+        let a = allows("/// write `// focal-lint: allow(<rule>) -- <reason>`\nfoo();\n");
+        assert!(a.problems.is_empty());
+        assert!(!a.covers(Rule::FloatEq, 2));
+        let inner = allows("//! e.g. `// focal-lint: allow(float-eq) -- sentinel`\n");
+        assert!(inner.problems.is_empty());
+        assert!(!inner.covers(Rule::FloatEq, 1));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_problem() {
+        let a = allows("// focal-lint: allow(made-up) -- because\n");
+        assert_eq!(a.problems.len(), 1);
+        assert!(a.problems[0].1.contains("unknown lint rule"));
+    }
+}

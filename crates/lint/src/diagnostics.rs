@@ -1,0 +1,212 @@
+//! Diagnostic types and the three output formats (`text`, `json`,
+//! `github`).
+
+use std::fmt;
+
+/// The lint rule that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `==`/`!=` on float-typed expressions outside test code.
+    FloatEq,
+    /// `.unwrap()`, `.expect()`, `panic!` etc. in non-test model code.
+    PanicFreedom,
+    /// Paper constants must match `data/constants.toml`.
+    ConstantProvenance,
+    /// Quantity-named public functions must carry units.
+    UnitHygiene,
+    /// Malformed or unjustified `// focal-lint: allow(...)` directives.
+    AllowDirective,
+}
+
+impl Rule {
+    /// The rule's stable kebab-case name (used in allow directives).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FloatEq => "float-eq",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::ConstantProvenance => "constant-provenance",
+            Rule::UnitHygiene => "unit-hygiene",
+            Rule::AllowDirective => "allow-directive",
+        }
+    }
+
+    /// Parses a rule name as written in an allow directive.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "float-eq" => Some(Rule::FloatEq),
+            "panic-freedom" => Some(Rule::PanicFreedom),
+            "constant-provenance" => Some(Rule::ConstantProvenance),
+            "unit-hygiene" => Some(Rule::UnitHygiene),
+            "allow-directive" => Some(Rule::AllowDirective),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, pointing at a `file:line:col`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or justify it).
+    pub help: String,
+}
+
+/// Output format selector for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable, rustc-style.
+    Text,
+    /// A JSON array of diagnostic objects.
+    Json,
+    /// GitHub Actions workflow annotations (`::error file=…`).
+    Github,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn from_arg(arg: &str) -> Option<Format> {
+        match arg {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics in the requested format, returning the full
+/// report as a string (so it is testable and the CLI just prints it).
+pub fn render(diagnostics: &[Diagnostic], format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for d in diagnostics {
+                out.push_str(&format!(
+                    "error[{}]: {}\n  --> {}:{}:{}\n  = help: {}\n\n",
+                    d.rule, d.message, d.file, d.line, d.col, d.help
+                ));
+            }
+            out.push_str(&format!(
+                "focal-lint: {} finding{}\n",
+                diagnostics.len(),
+                if diagnostics.len() == 1 { "" } else { "s" }
+            ));
+            out
+        }
+        Format::Json => {
+            let items: Vec<String> = diagnostics
+                .iter()
+                .map(|d| {
+                    format!(
+                        "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+                        d.rule,
+                        json_escape(&d.file),
+                        d.line,
+                        d.col,
+                        json_escape(&d.message),
+                        json_escape(&d.help)
+                    )
+                })
+                .collect();
+            format!("[\n{}\n]\n", items.join(",\n"))
+        }
+        Format::Github => {
+            let mut out = String::new();
+            for d in diagnostics {
+                // %0A is the escaped newline in workflow commands.
+                out.push_str(&format!(
+                    "::error file={},line={},col={},title=focal-lint[{}]::{} ({})\n",
+                    d.file, d.line, d.col, d.rule, d.message, d.help
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: Rule::FloatEq,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "float `==` comparison".into(),
+            help: "use a tolerance".into(),
+        }]
+    }
+
+    #[test]
+    fn text_format_is_rustc_style() {
+        let out = render(&sample(), Format::Text);
+        assert!(out.contains("error[float-eq]: float `==` comparison"));
+        assert!(out.contains("--> crates/x/src/lib.rs:3:9"));
+        assert!(out.contains("focal-lint: 1 finding"));
+    }
+
+    #[test]
+    fn json_format_escapes_and_lists() {
+        let mut diags = sample();
+        diags[0].message = "has \"quotes\" and\nnewline".into();
+        let out = render(&diags, Format::Json);
+        assert!(out.contains("\\\"quotes\\\""));
+        assert!(out.contains("\\n"));
+        assert!(out.starts_with("[\n"));
+        assert!(out.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn github_format_is_workflow_command() {
+        let out = render(&sample(), Format::Github);
+        assert!(out.starts_with("::error file=crates/x/src/lib.rs,line=3,col=9"));
+        assert!(out.contains("title=focal-lint[float-eq]"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in [
+            Rule::FloatEq,
+            Rule::PanicFreedom,
+            Rule::ConstantProvenance,
+            Rule::UnitHygiene,
+            Rule::AllowDirective,
+        ] {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,624 @@
+//! A minimal Rust lexer with exact `line:col` positions.
+//!
+//! `focal-lint` runs in an offline build environment without access to
+//! `syn`, so it carries its own token scanner. The lexer understands
+//! everything the lint rules need to reason about real Rust source:
+//! idents, integer/float literals (including suffixes, underscores and
+//! exponents), string/char/lifetime literals, raw strings, nested block
+//! comments, and multi-character operators. Comments are captured
+//! separately (they carry `// focal-lint: allow(...)` directives and doc
+//! text for the unit-hygiene rule) and never appear in the token stream.
+
+/// The syntactic class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including `0x`/`0o`/`0b` forms).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// String literal (regular, raw or byte).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or delimiter, possibly multi-character (`==`, `::`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// Verbatim source text (literals keep suffixes and underscores).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+/// A comment captured out-of-band.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character operators, longest-first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Lexes `source` into tokens and comments.
+///
+/// The lexer is lossy only about whitespace; malformed input (e.g. an
+/// unterminated string) is handled by consuming to end-of-file rather
+/// than erroring, which is the right trade-off for a linter that must
+/// never crash on in-progress code.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let _ = cur.src;
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            out.comments.push(Comment { text, line, doc });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek() {
+                if ch == '/' && cur.peek_at(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek_at(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            let doc =
+                (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!");
+            out.comments.push(Comment { text, line, doc });
+            continue;
+        }
+
+        // Raw / byte strings.
+        if (c == 'r' || c == 'b') && matches!(cur.peek_at(1), Some('"') | Some('#') | Some('r')) {
+            if let Some(text) = try_lex_raw_or_byte_string(&mut cur) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let (text, kind) = lex_number(&mut cur);
+            out.tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '"' {
+            let text = lex_string(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if c == '\'' {
+            let (text, kind) = lex_char_or_lifetime(&mut cur);
+            out.tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Punctuation: greedy multi-char match.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            if source_matches(&cur, op) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.to_string(),
+                line,
+                col,
+            });
+        } else {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+
+    out
+}
+
+fn source_matches(cur: &Cursor<'_>, op: &str) -> bool {
+    op.chars()
+        .enumerate()
+        .all(|(i, ch)| cur.peek_at(i) == Some(ch))
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> (String, TokenKind) {
+    let mut text = String::new();
+    let mut kind = TokenKind::Int;
+
+    // Radix prefixes never have fractions or exponents.
+    if cur.peek() == Some('0') && matches!(cur.peek_at(1), Some('x') | Some('o') | Some('b')) {
+        text.push(cur.bump().unwrap());
+        text.push(cur.bump().unwrap());
+        while let Some(ch) = cur.peek() {
+            if ch.is_ascii_hexdigit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else {
+        while let Some(ch) = cur.peek() {
+            if ch.is_ascii_digit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // A fraction only if `.` is followed by a digit or by nothing
+        // ident-like (so `1.max(2)` and ranges `0..5` stay integers).
+        if cur.peek() == Some('.') {
+            let after = cur.peek_at(1);
+            let is_fraction = match after {
+                Some(ch) if ch.is_ascii_digit() => true,
+                Some('.') => false,
+                Some(ch) if is_ident_start(ch) => false,
+                _ => true, // `1.` at end of expression
+            };
+            if is_fraction {
+                kind = TokenKind::Float;
+                text.push('.');
+                cur.bump();
+                while let Some(ch) = cur.peek() {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(), Some('e') | Some('E')) {
+            let mut offset = 1;
+            if matches!(cur.peek_at(1), Some('+') | Some('-')) {
+                offset = 2;
+            }
+            if cur.peek_at(offset).is_some_and(|ch| ch.is_ascii_digit()) {
+                kind = TokenKind::Float;
+                for _ in 0..offset {
+                    text.push(cur.bump().unwrap());
+                }
+                while let Some(ch) = cur.peek() {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Type suffix (`f64`, `u32`, `_f32`, …).
+    let mut suffix = String::new();
+    while let Some(ch) = cur.peek() {
+        if is_ident_continue(ch) {
+            suffix.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix.starts_with('f') {
+        kind = TokenKind::Float;
+    }
+    text.push_str(&suffix);
+    (text, kind)
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap()); // opening quote
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            continue;
+        }
+        text.push(ch);
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+    }
+    text
+}
+
+fn try_lex_raw_or_byte_string(cur: &mut Cursor<'_>) -> Option<String> {
+    // Accepts r"..", r#".."#, b"..", br"..", rb is not valid Rust.
+    let mut offset = 0;
+    let mut text = String::new();
+    if cur.peek_at(offset) == Some('b') {
+        text.push('b');
+        offset += 1;
+    }
+    let raw = cur.peek_at(offset) == Some('r');
+    if raw {
+        text.push('r');
+        offset += 1;
+    }
+    let mut hashes = 0;
+    while cur.peek_at(offset + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(offset + hashes) != Some('"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None;
+    }
+    for _ in 0..offset + hashes + 1 {
+        text.push(cur.bump().unwrap());
+    }
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        while let Some(ch) = cur.peek() {
+            if ch == '\\' {
+                text.push(ch);
+                cur.bump();
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                }
+                continue;
+            }
+            text.push(ch);
+            cur.bump();
+            if ch == '"' {
+                break;
+            }
+        }
+        return Some(text);
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes.
+    loop {
+        let ch = cur.peek()?;
+        text.push(ch);
+        cur.bump();
+        if ch == '"' && (0..hashes).all(|i| cur.peek_at(i) == Some('#')) {
+            for _ in 0..hashes {
+                text.push(cur.bump().unwrap());
+            }
+            return Some(text);
+        }
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> (String, TokenKind) {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap()); // the opening '
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            text.push(cur.bump().unwrap());
+            while let Some(ch) = cur.peek() {
+                text.push(ch);
+                cur.bump();
+                if ch == '\'' {
+                    break;
+                }
+            }
+            (text, TokenKind::Char)
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char literal, 'a without closing quote a lifetime.
+            if cur.peek_at(1) == Some('\'') {
+                text.push(cur.bump().unwrap());
+                text.push(cur.bump().unwrap());
+                (text, TokenKind::Char)
+            } else {
+                while let Some(ch) = cur.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                (text, TokenKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Non-alphabetic char literal like '.' or '0'.
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+            if cur.peek() == Some('\'') {
+                text.push(cur.bump().unwrap());
+            }
+            (text, TokenKind::Char)
+        }
+        None => (text, TokenKind::Char),
+    }
+}
+
+/// Normalizes a numeric literal's text for value comparison: strips
+/// underscores and any type suffix (`1_000.5f64` → `1000.5`).
+pub fn normalize_number(text: &str) -> String {
+    let no_underscores: String = text.chars().filter(|&c| c != '_').collect();
+    // Strip a trailing type suffix if present (f32/f64/i*/u*/usize/isize).
+    for suffix in [
+        "f32", "f64", "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64",
+        "u128", "usize",
+    ] {
+        if let Some(stripped) = no_underscores.strip_suffix(suffix) {
+            // Guard against stripping the `e8` of `1e8` style exponents:
+            // a valid numeric body must remain non-empty and end with a
+            // digit or dot.
+            if stripped
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_digit() || c == '.')
+            {
+                return stripped.to_string();
+            }
+        }
+    }
+    no_underscores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        let toks = kinds("let x = 0.119; let r = 0..5; let m = 1.max(2); let e = 1e-9;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Int | TokenKind::Float))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                &(TokenKind::Float, "0.119".to_string()),
+                &(TokenKind::Int, "0".to_string()),
+                &(TokenKind::Int, "5".to_string()),
+                &(TokenKind::Int, "1".to_string()),
+                &(TokenKind::Int, "2".to_string()),
+                &(TokenKind::Float, "1e-9".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn suffixed_literals_classify_and_normalize() {
+        let toks = kinds("0.05f64 1_000u32 2f32 0x1F");
+        assert_eq!(toks[0], (TokenKind::Float, "0.05f64".to_string()));
+        assert_eq!(toks[1], (TokenKind::Int, "1_000u32".to_string()));
+        assert_eq!(toks[2], (TokenKind::Float, "2f32".to_string()));
+        assert_eq!(toks[3], (TokenKind::Int, "0x1F".to_string()));
+        assert_eq!(normalize_number("0.05f64"), "0.05");
+        assert_eq!(normalize_number("1_000u32"), "1000");
+        assert_eq!(normalize_number("1e8"), "1e8");
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lexed = lex("let a = 1; // focal-lint: allow(x) -- why\n/* block\n*/ let b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("focal-lint"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.tokens.iter().all(|t| t.text != "focal"));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let lexed = lex("/// docs here\n//! module docs\n// plain\nfn x() {}");
+        assert!(lexed.comments[0].doc);
+        assert!(lexed.comments[1].doc);
+        assert!(!lexed.comments[2].doc);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_confuse_lexer() {
+        let toks = kinds(r#"let s = "a == b // not a comment"; let c = '.'; let l: &'a str = s;"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("==")));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        // The == inside the string must not appear as a Punct.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "=="));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = kinds(r##"let s = r#"has "quotes" and == inside"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quotes")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "=="));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multichar_punct_greedy() {
+        let toks = kinds("a == b != c :: d -> e ..= f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "..="]);
+    }
+}

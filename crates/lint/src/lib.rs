@@ -1,0 +1,53 @@
+//! # focal-lint
+//!
+//! Workspace-wide static analysis enforcing FOCAL-specific invariants
+//! that clippy cannot express. FOCAL's credibility rests on its
+//! first-order arithmetic being *exactly* the paper's arithmetic: one
+//! transposed constant or one unit mix-up corrupts every downstream
+//! figure, so these invariants are machine-checked rather than left to
+//! review discipline.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p focal-lint -- check [--format text|json|github]
+//! ```
+//!
+//! ## Rules
+//!
+//! * **`float-eq`** — no `==`/`!=` against float literals or NaN
+//!   outside `#[cfg(test)]` code ([`rules::float_eq`]).
+//! * **`panic-freedom`** — no `.unwrap()` / `.expect()` / `panic!` /
+//!   literal indexing in non-test code of the model crates
+//!   ([`rules::panic_free`]).
+//! * **`constant-provenance`** — every hard-coded paper constant must be
+//!   registered in `data/constants.toml` and every registered source
+//!   must still carry its value ([`rules::constants`]).
+//! * **`unit-hygiene`** — quantity-named public functions in model
+//!   crates must use quantity newtypes or document units
+//!   ([`rules::units`]).
+//!
+//! ## The escape hatch
+//!
+//! Any finding can be suppressed — with a mandatory justification — by
+//! a comment on the same line or the line directly above:
+//!
+//! ```text
+//! // focal-lint: allow(panic-freedom) -- table is a compile-time constant
+//! ```
+//!
+//! A directive without a reason is itself a finding, so the workspace
+//! never accumulates unexplained suppressions.
+
+pub mod allow;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+
+pub use diagnostics::{Diagnostic, Format, Rule};
+pub use engine::{check_workspace, run_rules, CheckConfig};
+pub use manifest::{Manifest, PaperConstant};
+pub use source::SourceFile;

@@ -1,0 +1,115 @@
+//! CLI for focal-lint: `cargo run -p focal-lint -- check`.
+
+use focal_lint::{check_workspace, diagnostics, CheckConfig, Format};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+focal-lint — FOCAL-specific static analysis
+
+USAGE:
+    focal-lint check [--format text|json|github] [--root PATH] [--manifest PATH]
+
+OPTIONS:
+    --format FMT    Output format: text (default, rustc-style), json
+                    (machine-readable array), github (workflow annotations)
+    --root PATH     Workspace root (default: auto-detected)
+    --manifest PATH Constants manifest, relative to root
+                    (default: data/constants.toml)
+
+EXIT CODES:
+    0  no findings     1  findings reported     2  usage or I/O error
+";
+
+fn detect_root() -> PathBuf {
+    // Prefer the invocation directory when it is the workspace root;
+    // fall back to the location of this crate inside the workspace
+    // (`cargo run -p focal-lint` can be launched from a sub-directory).
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(command) = iter.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if command != "check" {
+        eprintln!("unknown command `{command}`\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut manifest: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().and_then(|v| Format::from_arg(v)) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format requires one of: text, json, github");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match iter.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--manifest" => match iter.next() {
+                Some(v) => manifest = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--manifest requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut config = CheckConfig::new(root.unwrap_or_else(detect_root));
+    if let Some(m) = manifest {
+        config.manifest = m;
+    }
+
+    match check_workspace(&config) {
+        Ok(diags) => {
+            print!("{}", diagnostics::render(&diags, format));
+            if diags.is_empty() {
+                if format == Format::Text {
+                    // The summary line already says "0 findings"; add the
+                    // explicit pass marker CI logs grep for.
+                    println!("focal-lint: PASS");
+                }
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("focal-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The paper-constant manifest `data/constants.toml`.
+//!
+//! The manifest is the single source of truth for every numeric constant
+//! FOCAL takes from the paper (Imec growth rates, Pollack's exponent,
+//! defect densities, α presets, wafer geometry): each entry records the
+//! value, its units, the paper section it comes from, the textual forms
+//! it may legitimately take in source (`0.252`, `1.252`, `25.2`…) and
+//! the modules allowed to hard-code it.
+//!
+//! The build environment has no TOML crate, so this module carries a
+//! small parser for the subset the manifest uses — `[[constant]]`
+//! array-of-tables, string / float / string-array values and `#`
+//! comments — plus a canonical serializer so the golden tests can assert
+//! a byte-exact round-trip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One registered paper constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperConstant {
+    /// Stable kebab-case identifier.
+    pub name: String,
+    /// Canonical numeric value as used in the model.
+    pub value: f64,
+    /// Physical units (or `"dimensionless"`).
+    pub units: String,
+    /// Paper provenance (section / figure).
+    pub section: String,
+    /// Source-text forms that count as an occurrence of this constant.
+    pub literals: Vec<String>,
+    /// Optional keyword that must appear on the line (case-insensitive)
+    /// for a literal to count — needed for non-distinctive values like
+    /// `0.5`.
+    pub context: Option<String>,
+    /// Repo-relative files allowed (and expected) to hard-code it.
+    pub sources: Vec<String>,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Constants in file order.
+    pub constants: Vec<PaperConstant>,
+}
+
+/// A scalar or string-array TOML value (the subset we accept).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    StrArray(Vec<String>),
+}
+
+fn parse_string(raw: &str) -> Result<(String, &str), String> {
+    let rest = raw
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected string, got `{raw}`"))?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                other => return Err(format!("unsupported escape `\\{other:?}`")),
+            },
+            '"' => return Ok((out, &rest[i + 1..])),
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_value(raw: &str) -> Result<Value, String> {
+    let raw = raw.trim();
+    if raw.starts_with('"') {
+        let (s, rest) = parse_string(raw)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing content after string: `{rest}`"));
+        }
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: `{raw}`"))?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (item, after) = parse_string(rest)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("expected `,` in array, got `{rest}`"));
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    raw.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("unsupported TOML value: `{raw}`"))
+}
+
+impl Manifest {
+    /// Parses the manifest text, validating structure and invariants.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut tables: Vec<BTreeMap<String, Value>> = Vec::new();
+        let mut current: Option<BTreeMap<String, Value>> = None;
+        for (lineno, raw_line) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[constant]]" {
+                if let Some(table) = current.take() {
+                    tables.push(table);
+                }
+                current = Some(BTreeMap::new());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "line {lineno}: only `[[constant]]` tables are supported, got `{line}`"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let table = current
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside a [[constant]] table"))?;
+            let key = key.trim().to_string();
+            let parsed = parse_value(value).map_err(|e| format!("line {lineno}: {e}"))?;
+            if table.insert(key.clone(), parsed).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+        }
+        if let Some(table) = current.take() {
+            tables.push(table);
+        }
+
+        let mut constants = Vec::new();
+        for (idx, mut table) in tables.into_iter().enumerate() {
+            let take_str =
+                |table: &mut BTreeMap<String, Value>, key: &str| -> Result<String, String> {
+                    match table.remove(key) {
+                        Some(Value::Str(s)) => Ok(s),
+                        Some(_) => Err(format!("constant #{}: `{key}` must be a string", idx + 1)),
+                        None => Err(format!("constant #{}: missing `{key}`", idx + 1)),
+                    }
+                };
+            let name = take_str(&mut table, "name")?;
+            let value = match table.remove("value") {
+                Some(Value::Num(v)) => v,
+                _ => return Err(format!("constant `{name}`: missing numeric `value`")),
+            };
+            let units = take_str(&mut table, "units").map_err(|e| format!("{e} (in `{name}`)"))?;
+            let section =
+                take_str(&mut table, "section").map_err(|e| format!("{e} (in `{name}`)"))?;
+            let literals = match table.remove("literals") {
+                Some(Value::StrArray(v)) if !v.is_empty() => v,
+                _ => {
+                    return Err(format!(
+                        "constant `{name}`: `literals` must be a non-empty string array"
+                    ))
+                }
+            };
+            let context = match table.remove("context") {
+                Some(Value::Str(s)) if !s.is_empty() => Some(s),
+                Some(Value::Str(_)) | None => None,
+                Some(_) => return Err(format!("constant `{name}`: `context` must be a string")),
+            };
+            let sources = match table.remove("sources") {
+                Some(Value::StrArray(v)) if !v.is_empty() => v,
+                _ => {
+                    return Err(format!(
+                        "constant `{name}`: `sources` must be a non-empty string array"
+                    ))
+                }
+            };
+            if let Some(extra) = table.keys().next() {
+                return Err(format!("constant `{name}`: unknown key `{extra}`"));
+            }
+            // At least one literal must denote the canonical value itself.
+            let has_exact = literals
+                .iter()
+                .any(|l| l.parse::<f64>().is_ok_and(|v| v == value));
+            if !has_exact {
+                return Err(format!(
+                    "constant `{name}`: no literal form parses to the canonical value {value}"
+                ));
+            }
+            constants.push(PaperConstant {
+                name,
+                value,
+                units,
+                section,
+                literals,
+                context,
+                sources,
+            });
+        }
+
+        // Names must be unique.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &constants {
+            if !seen.insert(c.name.clone()) {
+                return Err(format!("duplicate constant name `{}`", c.name));
+            }
+        }
+        Ok(Manifest { constants })
+    }
+
+    /// Serializes back to canonical TOML (stable field order, one entry
+    /// per constant). `parse(to_toml(m)) == m` for every valid manifest.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.constants.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[[constant]]");
+            let _ = writeln!(out, "name = \"{}\"", c.name);
+            let _ = writeln!(out, "value = {}", format_float(c.value));
+            let _ = writeln!(out, "units = \"{}\"", c.units);
+            let _ = writeln!(out, "section = \"{}\"", c.section);
+            let _ = writeln!(out, "literals = [{}]", quote_list(&c.literals));
+            if let Some(context) = &c.context {
+                let _ = writeln!(out, "context = \"{context}\"");
+            }
+            let _ = writeln!(out, "sources = [{}]", quote_list(&c.sources));
+        }
+        out
+    }
+}
+
+fn quote_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn format_float(v: f64) -> String {
+    // Keep integral values readable as floats so they re-parse as f64.
+    // focal-lint: allow(float-eq) -- exact integrality check for formatting, not model arithmetic
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[[constant]]
+name = "imec-scope2-node-growth"
+value = 0.252
+units = "fraction per node transition"
+section = "§3.1, Fig. 1"
+literals = ["0.252", "1.252", "25.2"]
+sources = ["crates/wafer/src/fab.rs"]
+
+[[constant]]
+name = "pollack-exponent"
+value = 0.5
+units = "dimensionless"
+section = "§4.1"
+literals = ["0.5"]
+context = "pollack"
+sources = ["crates/perf/src/pollack.rs"]
+"#;
+
+    #[test]
+    fn parses_tables_and_fields() {
+        let m = Manifest::parse(SAMPLE).unwrap();
+        assert_eq!(m.constants.len(), 2);
+        let imec = &m.constants[0];
+        assert_eq!(imec.name, "imec-scope2-node-growth");
+        assert_eq!(imec.value, 0.252);
+        assert_eq!(imec.literals, vec!["0.252", "1.252", "25.2"]);
+        assert_eq!(imec.context, None);
+        let pollack = &m.constants[1];
+        assert_eq!(pollack.context.as_deref(), Some("pollack"));
+    }
+
+    #[test]
+    fn round_trips_through_canonical_serialization() {
+        let m = Manifest::parse(SAMPLE).unwrap();
+        let reparsed = Manifest::parse(&m.to_toml()).unwrap();
+        assert_eq!(m, reparsed);
+        // Canonical text is a fixed point.
+        assert_eq!(m.to_toml(), reparsed.to_toml());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let text = format!(
+            "{SAMPLE}\n{}",
+            &SAMPLE[SAMPLE.find("[[constant]]").unwrap()..]
+        );
+        assert!(Manifest::parse(&text).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_keys() {
+        assert!(Manifest::parse("[[constant]]\nname = \"x\"\n")
+            .unwrap_err()
+            .contains("missing"));
+        let bad = SAMPLE.replace("context = \"pollack\"", "bogus_key = \"y\"");
+        assert!(Manifest::parse(&bad).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn rejects_literals_that_miss_the_canonical_value() {
+        let bad = SAMPLE.replace("\"0.252\", ", "");
+        assert!(Manifest::parse(&bad)
+            .unwrap_err()
+            .contains("no literal form parses to the canonical value"));
+    }
+
+    #[test]
+    fn rejects_keys_outside_tables() {
+        assert!(Manifest::parse("name = \"x\"\n")
+            .unwrap_err()
+            .contains("outside"));
+    }
+}

@@ -1,0 +1,287 @@
+//! `constant-provenance`: paper constants live in `data/constants.toml`.
+//!
+//! One silently transposed constant (scope-2's +11.9 %/yr vs scope-1's
+//! +9.3 %/yr, §3.1/Fig. 1) corrupts every downstream figure, so every
+//! hard-coded occurrence of a registered paper constant is
+//! cross-checked against the manifest:
+//!
+//! * **Unregistered occurrence** — a numeric literal whose value matches
+//!   a registered constant (under the constant's optional line-context
+//!   keyword) appears in a file the manifest does not list for it. Either
+//!   the file should derive the value from the canonical definition, or
+//!   the manifest's `sources` list needs the new file.
+//! * **Provenance drift** — a file registered as a source for a constant
+//!   no longer contains any of its literal forms: someone edited the
+//!   value without updating the manifest (or vice versa).
+//!
+//! Occurrences in test code are exempt — asserting `1.252` in a unit
+//! test *is* the cross-check working as intended.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::{normalize_number, TokenKind};
+use crate::manifest::{Manifest, PaperConstant};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+fn literal_values(constant: &PaperConstant) -> Vec<f64> {
+    constant
+        .literals
+        .iter()
+        .filter_map(|l| l.parse::<f64>().ok())
+        .collect()
+}
+
+fn context_matches(constant: &PaperConstant, line_text: &str) -> bool {
+    match &constant.context {
+        None => true,
+        Some(keyword) => line_text.to_lowercase().contains(&keyword.to_lowercase()),
+    }
+}
+
+/// Runs the audit: `files` are all scanned sources, `manifest` the
+/// parsed registry. Returns diagnostics for unregistered occurrences
+/// and for registered sources that no longer match.
+pub fn check(files: &[SourceFile], manifest: &Manifest) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (constant index, source path) pairs confirmed present.
+    let mut satisfied: BTreeSet<(usize, String)> = BTreeSet::new();
+
+    for file in files {
+        for tok in &file.lexed.tokens {
+            if !matches!(tok.kind, TokenKind::Int | TokenKind::Float) {
+                continue;
+            }
+            let Ok(value) = normalize_number(&tok.text).parse::<f64>() else {
+                continue;
+            };
+            for (ci, constant) in manifest.constants.iter().enumerate() {
+                if !literal_values(constant).contains(&value) {
+                    continue;
+                }
+                if !context_matches(constant, file.line_text(tok.line)) {
+                    continue;
+                }
+                if constant.sources.iter().any(|s| s == &file.path) {
+                    satisfied.insert((ci, file.path.clone()));
+                    continue;
+                }
+                if file.in_test_code(tok.line)
+                    || file.allows.covers(Rule::ConstantProvenance, tok.line)
+                {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: Rule::ConstantProvenance,
+                    file: file.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "unregistered occurrence of paper constant `{}` ({} = {}, {})",
+                        constant.name, tok.text, constant.value, constant.section
+                    ),
+                    help: format!(
+                        "derive the value from its canonical definition instead of \
+                         re-hard-coding it, or add this file to `sources` of `{}` in \
+                         data/constants.toml",
+                        constant.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Provenance drift: every registered source must still contain the
+    // constant somewhere (test or non-test — a golden assert counts).
+    let scanned: BTreeSet<&str> = files.iter().map(|f| f.path.as_str()).collect();
+    for (ci, constant) in manifest.constants.iter().enumerate() {
+        for source in &constant.sources {
+            if !scanned.contains(source.as_str()) {
+                out.push(Diagnostic {
+                    rule: Rule::ConstantProvenance,
+                    file: "data/constants.toml".into(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "constant `{}` registers source `{source}` which was not found in \
+                         the workspace",
+                        constant.name
+                    ),
+                    help: "fix the `sources` path in data/constants.toml".into(),
+                });
+                continue;
+            }
+            if !satisfied.contains(&(ci, source.clone())) {
+                out.push(Diagnostic {
+                    rule: Rule::ConstantProvenance,
+                    file: source.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "registered source no longer contains paper constant `{}` \
+                         (expected one of {:?}, {} — value drift?)",
+                        constant.name, constant.literals, constant.section
+                    ),
+                    help: "restore the constant or update data/constants.toml to match \
+                           the paper"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        Manifest::parse(
+            r#"
+[[constant]]
+name = "imec-scope2-node-growth"
+value = 0.252
+units = "fraction per node transition"
+section = "§3.1"
+literals = ["0.252", "1.252", "25.2"]
+sources = ["crates/wafer/src/fab.rs"]
+
+[[constant]]
+name = "pollack-exponent"
+value = 0.5
+units = "dimensionless"
+section = "§4.1"
+literals = ["0.5"]
+context = "pollack"
+sources = ["crates/perf/src/pollack.rs"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    #[test]
+    fn registered_source_with_value_is_clean() {
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.252;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: PollackRule = PollackRule { exponent: 0.5 }; // pollack\n",
+            ),
+        ];
+        assert!(check(&files, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn unregistered_occurrence_is_flagged() {
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.252;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "// pollack 0.5\npub const E: f64 = 0.5; // pollack exponent\n",
+            ),
+            file("crates/scaling/src/shrink.rs", "let dirtier = 1.252;\n"),
+        ];
+        let d = check(&files, &manifest());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "crates/scaling/src/shrink.rs");
+        assert!(d[0].message.contains("imec-scope2-node-growth"));
+        assert!(d[0].message.contains("unregistered"));
+    }
+
+    #[test]
+    fn context_keyword_gates_non_distinctive_values() {
+        // 0.5 without "pollack" on the line is NOT an occurrence.
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.252;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: f64 = 0.5; // pollack's rule\n",
+            ),
+            file(
+                "crates/core/src/weight.rs",
+                "pub const BALANCED: f64 = 0.5;\n",
+            ),
+        ];
+        assert!(check(&files, &manifest()).is_empty());
+        // …but 0.5 on a line mentioning pollack elsewhere IS flagged.
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.252;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: f64 = 0.5; // pollack\n",
+            ),
+            file(
+                "crates/uarch/src/cores.rs",
+                "let perf = bce.powf(0.5); // inline pollack exponent\n",
+            ),
+        ];
+        let d = check(&files, &manifest());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("pollack-exponent"));
+    }
+
+    #[test]
+    fn drifted_source_is_flagged() {
+        // fab.rs edited to 0.262 without touching the manifest.
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.262;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: f64 = 0.5; // pollack\n",
+            ),
+        ];
+        let d = check(&files, &manifest());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no longer contains"));
+        assert_eq!(d[0].file, "crates/wafer/src/fab.rs");
+    }
+
+    #[test]
+    fn missing_source_file_is_flagged() {
+        let files = vec![file(
+            "crates/perf/src/pollack.rs",
+            "pub const P: f64 = 0.5; // pollack\n",
+        )];
+        let d = check(&files, &manifest());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not found"));
+        assert_eq!(d[0].file, "data/constants.toml");
+    }
+
+    #[test]
+    fn test_code_occurrences_are_exempt_but_satisfy_provenance() {
+        let files = vec![
+            file(
+                "crates/wafer/src/fab.rs",
+                "pub const G2: f64 = 0.252;\n#[cfg(test)]\nmod t { fn a() { assert_eq!(G2, 0.252); } }\n",
+            ),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: f64 = 0.5; // pollack\n",
+            ),
+            // A *test* file mentioning 1.252 is fine.
+            file("crates/scaling/tests/props.rs", "assert!((x - 1.252).abs() < 1e-9);\n"),
+        ];
+        assert!(check(&files, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_occurrence() {
+        let files = vec![
+            file("crates/wafer/src/fab.rs", "pub const G2: f64 = 0.252;\n"),
+            file(
+                "crates/perf/src/pollack.rs",
+                "pub const P: f64 = 0.5; // pollack\n",
+            ),
+            file(
+                "crates/scaling/src/shrink.rs",
+                "// focal-lint: allow(constant-provenance) -- doc example mirrors the paper\nlet x = 1.252;\n",
+            ),
+        ];
+        assert!(check(&files, &manifest()).is_empty());
+    }
+}

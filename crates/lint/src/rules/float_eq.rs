@@ -1,0 +1,156 @@
+//! `float-eq`: no `==`/`!=` on float-typed expressions outside tests.
+//!
+//! FOCAL's arithmetic is almost entirely `f64`; an exact comparison on a
+//! computed float (`mib.fract() == 0.0`, `f.serial() == 0.0`) silently
+//! depends on rounding behaviour and breaks under algebraically-equal
+//! refactors. Working without type inference, the rule flags the cases
+//! that are unambiguously float comparisons from the token stream alone:
+//!
+//! * either operand is a float literal (`x == 0.0`, `1.5 != y`),
+//!   including negated literals (`x == -1.0`),
+//! * either operand is `f64::NAN` / `f32::NAN` (always a bug: NaN
+//!   compares unequal to everything) or an `INFINITY` constant.
+//!
+//! Comparisons of two un-suffixed identifiers are *not* flagged — the
+//! lexer cannot know their types, and false positives would train people
+//! to scatter allows.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+fn is_float_operand(
+    tokens: &[crate::lexer::Token],
+    idx: usize,
+    forward: bool,
+) -> Option<&'static str> {
+    let get = |offset: isize| -> Option<&crate::lexer::Token> {
+        let i = idx as isize + if forward { offset } else { -offset };
+        usize::try_from(i).ok().and_then(|i| tokens.get(i))
+    };
+    // Immediate float literal, or unary minus + float literal (forward).
+    if let Some(t) = get(1) {
+        if t.kind == TokenKind::Float {
+            return Some("a float literal");
+        }
+        if forward && t.text == "-" {
+            if let Some(t2) = get(2) {
+                if t2.kind == TokenKind::Float {
+                    return Some("a float literal");
+                }
+            }
+        }
+        // `f64::NAN`, `f32::INFINITY`, `f64::EPSILON` …
+        let (a, b, c) = if forward {
+            (get(1), get(2), get(3))
+        } else {
+            (get(3), get(2), get(1))
+        };
+        if let (Some(a), Some(b), Some(c)) = (a, b, c) {
+            if (a.text == "f64" || a.text == "f32")
+                && b.text == "::"
+                && matches!(
+                    c.text.as_str(),
+                    "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON"
+                )
+            {
+                if c.text == "NAN" {
+                    return Some("`NAN` (NaN is never equal to anything)");
+                }
+                return Some("a float constant");
+            }
+        }
+    }
+    None
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        if file.in_test_code(tok.line) {
+            continue;
+        }
+        let operand =
+            is_float_operand(tokens, i, true).or_else(|| is_float_operand(tokens, i, false));
+        let Some(what) = operand else { continue };
+        if file.allows.covers(Rule::FloatEq, tok.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: Rule::FloatEq,
+            file: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!("`{}` comparison against {what} in non-test code", tok.text),
+            help: "compare with an explicit tolerance (e.g. `(a - b).abs() < 1e-9`) or a \
+                   range check; if the exact comparison is intended, justify it with \
+                   `// focal-lint: allow(float-eq) -- <reason>`"
+                .into(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/x/src/lib.rs", src))
+    }
+
+    #[test]
+    fn flags_float_literal_comparisons_both_sides() {
+        let d = findings("fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::FloatEq);
+        assert_eq!((d[0].line, d[0].col), (1, 26));
+        assert_eq!(findings("fn f(x: f64) -> bool { 0.5 != x }\n").len(), 1);
+        assert_eq!(findings("fn f(x: f64) -> bool { x == -1.0 }\n").len(), 1);
+    }
+
+    #[test]
+    fn flags_nan_comparison() {
+        let d = findings("fn f(x: f64) -> bool { x == f64::NAN }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("NAN"));
+    }
+
+    #[test]
+    fn ignores_integer_and_opaque_comparisons() {
+        assert!(findings("fn f(x: u32) -> bool { x == 0 }\n").is_empty());
+        assert!(findings("fn f(a: f64, b: f64) -> bool { a.total_cmp(&b).is_eq() }\n").is_empty());
+        // Two idents: type unknown at token level, deliberately not flagged.
+        assert!(findings("fn f(a: f64, b: f64) -> bool { a == b }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { assert!(x() == 0.0); }\n}\n";
+        assert!(findings(src).is_empty());
+        let f = SourceFile::parse(
+            "crates/x/tests/props.rs",
+            "fn t() { assert!(x() == 0.0); }\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_with_reason() {
+        let src = "// focal-lint: allow(float-eq) -- sentinel encoding\nfn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(findings(src).is_empty());
+        let trailing =
+            "fn f(x: f64) -> bool { x == 0.0 } // focal-lint: allow(float-eq) -- sentinel\n";
+        assert!(findings(trailing).is_empty());
+    }
+
+    #[test]
+    fn comparisons_inside_strings_are_ignored() {
+        assert!(findings("fn f() -> &'static str { \"x == 0.0\" }\n").is_empty());
+    }
+}

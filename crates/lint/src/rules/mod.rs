@@ -1,0 +1,44 @@
+//! The four FOCAL-specific lint rules.
+//!
+//! | rule | scope | what it catches |
+//! |---|---|---|
+//! | `float-eq` | all non-test code | `==`/`!=` against float literals / NaN |
+//! | `panic-freedom` | model-crate non-test code | `.unwrap()`, `.expect()`, `panic!`-family, indexing by literal |
+//! | `constant-provenance` | all crate sources vs `data/constants.toml` | unregistered or drifted paper constants |
+//! | `unit-hygiene` | model-crate public API | quantity-named fns without newtypes or documented units |
+//!
+//! Every rule honours the `// focal-lint: allow(<rule>) -- <reason>`
+//! escape hatch (see [`crate::allow`]).
+
+pub mod constants;
+pub mod float_eq;
+pub mod panic_free;
+pub mod units;
+
+/// Crates whose non-test code must be panic-free and unit-hygienic:
+/// the first-order model itself, where a silent panic or a unit mix-up
+/// corrupts every downstream figure.
+pub const MODEL_CRATES: &[&str] = &["core", "wafer", "perf", "cache", "uarch", "scaling", "act"];
+
+/// Whether `path` (repo-relative, `/`-separated) is non-test source of a
+/// model crate.
+pub fn is_model_src(path: &str) -> bool {
+    MODEL_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_src_classification() {
+        assert!(is_model_src("crates/core/src/fleet.rs"));
+        assert!(is_model_src("crates/wafer/src/fab.rs"));
+        assert!(!is_model_src("crates/core/tests/properties.rs"));
+        assert!(!is_model_src("crates/studies/src/soc.rs"));
+        assert!(!is_model_src("crates/lint/src/lib.rs"));
+        assert!(!is_model_src("src/lib.rs"));
+    }
+}

@@ -1,0 +1,165 @@
+//! `panic-freedom`: model crates must not panic in non-test code.
+//!
+//! The model crates (`core`, `wafer`, `perf`, `cache`, `uarch`,
+//! `scaling`, `act`) are library substrates that production harnesses
+//! drive over millions of parameter combinations; a `.unwrap()` that is
+//! "obviously fine" for today's inputs becomes a fleet-wide abort after
+//! the next refactor. Non-test code must propagate [`ModelError`]
+//! instead. The rule flags:
+//!
+//! * `.unwrap()` and `.expect(…)` calls,
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!` invocations,
+//! * indexing by an integer literal (`xs[0]`), which panics on
+//!   out-of-bounds and should be `xs.first()` / `xs.get(0)`.
+//!
+//! `debug_assert!` is deliberately not flagged (it vanishes in release
+//! builds and documents invariants), and `assert!` is left to review.
+//!
+//! [`ModelError`]: https://docs.rs/focal-core
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file (callers pre-filter to model-crate src).
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tokens = &file.lexed.tokens;
+    let mut push = |line: u32, col: u32, message: String, help: &str| {
+        out.push(Diagnostic {
+            rule: Rule::PanicFreedom,
+            file: file.path.clone(),
+            line,
+            col,
+            message,
+            help: help.into(),
+        });
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if file.in_test_code(tok.line) || file.allows.covers(Rule::PanicFreedom, tok.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+        let next = tokens.get(i + 1);
+
+        // `.unwrap()` / `.expect(`
+        if tok.kind == TokenKind::Ident && (tok.text == "unwrap" || tok.text == "expect") {
+            let after_dot = prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".");
+            let called = next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+            if after_dot && called {
+                push(
+                    tok.line,
+                    tok.col,
+                    format!("`.{}(…)` in non-test model code", tok.text),
+                    "propagate a `focal_core::ModelError` (`?`, `ok_or`, `map_err`) instead \
+                     of panicking; if the invariant is truly unbreakable, justify it with \
+                     `// focal-lint: allow(panic-freedom) -- <reason>`",
+                );
+            }
+            continue;
+        }
+
+        // `panic!` family.
+        if tok.kind == TokenKind::Ident && PANIC_MACROS.contains(&tok.text.as_str()) {
+            let invoked = next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!");
+            // `core::panic!` style paths still end with the bare ident.
+            if invoked {
+                push(
+                    tok.line,
+                    tok.col,
+                    format!("`{}!` in non-test model code", tok.text),
+                    "return a `Result` with a descriptive `ModelError` variant; panics in \
+                     the model substrate abort whole batch runs",
+                );
+            }
+            continue;
+        }
+
+        // Indexing by integer literal: `expr[3]`.
+        if tok.kind == TokenKind::Punct && tok.text == "[" {
+            let indexable = prev.is_some_and(|p| {
+                p.kind == TokenKind::Ident && p.text != "return" && p.text != "break"
+                    || (p.kind == TokenKind::Punct && (p.text == ")" || p.text == "]"))
+            });
+            let literal_index = next.is_some_and(|n| n.kind == TokenKind::Int)
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "]");
+            if indexable && literal_index {
+                push(
+                    tok.line,
+                    tok.col,
+                    "indexing by integer literal in non-test model code".into(),
+                    "use `.get(n)` / `.first()` and handle the `None`; literal indexing \
+                     panics when the collection shape changes",
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_calls() {
+        let d = findings("fn f() { let x = g().unwrap(); let y = h().expect(\"msg\"); }\n");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains(".unwrap"));
+        assert!(d[1].message.contains(".expect"));
+    }
+
+    #[test]
+    fn flags_panic_family() {
+        let d = findings("fn f() { panic!(\"boom\"); }\nfn g() { unreachable!() }\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(findings("fn f() { todo!() }\n").len(), 1);
+        assert_eq!(findings("fn f() { unimplemented!() }\n").len(), 1);
+    }
+
+    #[test]
+    fn flags_literal_indexing_only() {
+        assert_eq!(findings("fn f(xs: &[f64]) -> f64 { xs[0] }\n").len(), 1);
+        assert!(findings("fn f(xs: &[f64], i: usize) -> f64 { xs[i] }\n").is_empty());
+        // Array type declarations and literals are not index expressions.
+        assert!(findings("fn f() -> [f64; 4] { [0.0; 4] }\n").is_empty());
+        assert!(findings("const XS: [u8; 2] = [1, 2];\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<f64>) -> f64 { x.unwrap_or(0.0).max(x.unwrap_or_default()) }\n";
+        assert!(findings(src).is_empty());
+        // `expect` as a field/ident without a call is not flagged.
+        assert!(findings("struct S { expect: bool }\n").is_empty());
+    }
+
+    #[test]
+    fn debug_assert_is_not_flagged() {
+        assert!(findings("fn f(x: f64) { debug_assert!(x > 0.0); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { g().unwrap(); }\n}\n";
+        assert!(findings(test_mod).is_empty());
+        let allowed =
+            "// focal-lint: allow(panic-freedom) -- table is compile-time constant\nfn f() { T[0]; }\n";
+        assert!(findings(allowed).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_are_exempt() {
+        let src = "/// ```\n/// let x = g().unwrap();\n/// ```\nfn f() {}\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! `unit-hygiene`: quantity-named public API must carry units.
+//!
+//! A public function in a model crate whose name mentions a physical
+//! quantity (`area`, `energy`, `power`, `carbon`, `footprint`, `yield`)
+//! must make its units checkable in one of two ways:
+//!
+//! * use a `focal-core` quantity newtype (`SiliconArea`, `Energy`,
+//!   `Power`, `CarbonFootprint`, …) somewhere in its signature, or
+//! * state the units (or explicit dimensionlessness) in its doc comment
+//!   — "mm²", "kg CO₂e", "normalized", "fraction", …
+//!
+//! This makes the kgCO₂-vs-mm²-vs-joules class of mix-up reviewable at
+//! every public boundary without whole-program type inference.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Name segments that mark a function as quantity-bearing.
+const QUANTITY_KEYWORDS: &[&str] = &["area", "energy", "power", "carbon", "footprint", "yield"];
+
+/// Newtypes (focal-core plus substrate-crate quantity types) that make a
+/// signature self-describing.
+const NEWTYPES: &[&str] = &[
+    "SiliconArea",
+    "Energy",
+    "Power",
+    "CarbonFootprint",
+    "Performance",
+    "ExecutionTime",
+    "DefectDensity",
+    "CacheSize",
+    "Ncf",
+    "NcfPair",
+    "NcfBand",
+    "ScopedFootprint",
+];
+
+/// Substrings in a doc comment that count as a units statement.
+const UNIT_WORDS: &[&str] = &[
+    "mm²",
+    "mm^2",
+    "mm2",
+    "cm²",
+    "cm^2",
+    "cm2",
+    "kg",
+    "co2",
+    "co₂",
+    "joule",
+    "nanojoule",
+    "nj",
+    "kwh",
+    "watt",
+    "normalized",
+    "dimensionless",
+    "fraction",
+    "ratio",
+    "percent",
+    "%",
+    "speedup",
+    "relative",
+    "bce",
+    "mib",
+    "kib",
+    "byte",
+    "per year",
+    "per node",
+    "per wafer",
+    "per die",
+    "per cm",
+    "units:",
+    "unitless",
+    "probability",
+    "defects",
+];
+
+fn quantity_keyword(name: &str) -> Option<&'static str> {
+    let lower = name.to_lowercase();
+    lower
+        .split('_')
+        .find_map(|seg| QUANTITY_KEYWORDS.iter().find(|k| seg == **k))
+        .copied()
+}
+
+fn doc_block_above(file: &SourceFile, item_line: u32) -> String {
+    // Walk upward over doc comments and attributes; stop at anything else.
+    let mut docs = Vec::new();
+    let mut line = item_line.saturating_sub(1);
+    while line >= 1 {
+        let text = file.line_text(line).trim().to_string();
+        if text.starts_with("///") || text.starts_with("//!") {
+            docs.push(text);
+        } else if text.starts_with("#[") || text.starts_with("//") || text.ends_with(']') {
+            // attributes (possibly multi-line) and plain comments: skip
+        } else {
+            break;
+        }
+        line -= 1;
+    }
+    docs.reverse();
+    docs.join("\n")
+}
+
+/// Runs the rule over one file (callers pre-filter to model-crate src).
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if !(tok.kind == TokenKind::Ident && tok.text == "fn") {
+            continue;
+        }
+        // Require `pub` visibility, unrestricted: scan the qualifier run
+        // (`pub const unsafe fn` …) immediately before the `fn`.
+        let mut j = i;
+        let mut is_pub = false;
+        while j > 0 {
+            j -= 1;
+            let t = &tokens[j];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "const" | "unsafe" | "async" | "extern") => continue,
+                (TokenKind::Str, _) => continue, // extern "C"
+                (TokenKind::Ident, "pub") => {
+                    // `pub(crate)` etc. is not public API.
+                    is_pub = tokens
+                        .get(j + 1)
+                        .map(|n| !(n.kind == TokenKind::Punct && n.text == "("))
+                        .unwrap_or(true);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if !is_pub {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if file.in_test_code(tok.line) {
+            continue;
+        }
+        let Some(keyword) = quantity_keyword(&name_tok.text) else {
+            continue;
+        };
+
+        // Signature: tokens until the body `{` or a trailing `;`.
+        let mut has_newtype = false;
+        let mut k = i + 2;
+        while let Some(t) = tokens.get(k) {
+            if t.kind == TokenKind::Punct && (t.text == "{" || t.text == ";") {
+                break;
+            }
+            if t.kind == TokenKind::Ident && NEWTYPES.contains(&t.text.as_str()) {
+                has_newtype = true;
+            }
+            k += 1;
+        }
+        if has_newtype {
+            continue;
+        }
+
+        // Fall back to the doc comment. The item may start on the `pub`
+        // line (or the attr line); walk up from the `pub` token's line.
+        let item_line = tokens.get(j).map(|t| t.line).unwrap_or(tok.line);
+        let docs = doc_block_above(file, item_line).to_lowercase();
+        let documented = UNIT_WORDS.iter().any(|w| docs.contains(w));
+        if documented {
+            continue;
+        }
+        if file.allows.covers(Rule::UnitHygiene, tok.line)
+            || file.allows.covers(Rule::UnitHygiene, item_line)
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: Rule::UnitHygiene,
+            file: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "public fn `{}` mentions quantity `{keyword}` but neither uses a \
+                 focal-core newtype nor states units in its doc comment",
+                name_tok.text
+            ),
+            help: "take/return `SiliconArea`/`Energy`/`Power`/`CarbonFootprint`, or \
+                   document the unit (e.g. `/// …in mm².` or `/// Normalized, \
+                   dimensionless.`)"
+                .into(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/wafer/src/x.rs", src))
+    }
+
+    #[test]
+    fn undocumented_quantity_fn_is_flagged() {
+        let d = findings("pub fn wafer_area(d: f64) -> f64 { d * d }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("wafer_area"));
+        assert!(d[0].message.contains("area"));
+    }
+
+    #[test]
+    fn newtype_in_signature_passes() {
+        let src = "pub fn wafer_area(d: f64) -> SiliconArea { SiliconArea::from_mm2(d * d) }\n";
+        assert!(findings(src).is_empty());
+        let arg = "pub fn embodied_carbon(die: SiliconArea) -> f64 { die.get() }\n";
+        assert!(findings(arg).is_empty());
+    }
+
+    #[test]
+    fn documented_units_pass() {
+        let src = "/// The wafer area in mm².\npub fn wafer_area(d: f64) -> f64 { d * d }\n";
+        assert!(findings(src).is_empty());
+        let norm =
+            "/// Normalized energy (dimensionless).\npub fn energy_ratio(x: f64) -> f64 { x }\n";
+        assert!(findings(norm).is_empty());
+    }
+
+    #[test]
+    fn doc_block_survives_attributes_between() {
+        let src =
+            "/// Yield as a fraction of good dies.\n#[inline]\n#[must_use]\npub fn yield_fraction(x: f64) -> f64 { x }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn non_quantity_and_private_fns_are_ignored() {
+        assert!(findings("pub fn classify(x: f64) -> f64 { x }\n").is_empty());
+        assert!(findings("fn area_helper(x: f64) -> f64 { x }\n").is_empty());
+        assert!(findings("pub(crate) fn area_helper(x: f64) -> f64 { x }\n").is_empty());
+    }
+
+    #[test]
+    fn keyword_matches_whole_segments_only() {
+        // "compare" contains "are" but not the segment "area".
+        assert!(findings("pub fn compare_designs(x: f64) -> f64 { x }\n").is_empty());
+        // "powf" is not "power".
+        assert!(findings("pub fn powf_sweep(x: f64) -> f64 { x }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "// focal-lint: allow(unit-hygiene) -- legacy API, units in module docs\npub fn area_of(x: f64) -> f64 { x }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n pub fn area_probe(x: f64) -> f64 { x }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+}

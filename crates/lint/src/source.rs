@@ -1,0 +1,232 @@
+//! Per-file source model: lexed tokens, allow directives, raw lines and
+//! the line spans occupied by `#[cfg(test)]` items.
+
+use crate::allow::Allows;
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path (always with `/` separators).
+    pub path: String,
+    /// Raw lines (1-based access via [`SourceFile::line_text`]).
+    pub lines: Vec<String>,
+    /// Token/comment streams.
+    pub lexed: Lexed,
+    /// Parsed allow directives.
+    pub allows: Allows,
+    /// Inclusive line spans covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Whether the whole file is test/bench code by location
+    /// (`tests/`, `benches/`, `examples/`).
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `text` as the file at `path`.
+    pub fn parse(path: impl Into<String>, text: &str) -> SourceFile {
+        let path = path.into();
+        let lexed = lex(text);
+        let allows = Allows::parse(&lexed.comments);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let is_test_file = {
+            let p = format!("/{path}");
+            p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+        };
+        SourceFile {
+            path,
+            lines: text.lines().map(str::to_string).collect(),
+            lexed,
+            allows,
+            test_spans,
+            is_test_file,
+        }
+    }
+
+    /// The raw text of a 1-based line (empty for out-of-range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether `line` lies in test code (a `#[cfg(test)]` item or a
+    /// test-by-location file).
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_spans
+                .iter()
+                .any(|&(start, end)| (start..=end).contains(&line))
+    }
+}
+
+/// Finds the inclusive line spans of items gated behind `#[cfg(test)]`.
+///
+/// The scan looks for an attribute whose tokens mention both `cfg` and
+/// `test` (this covers `#[cfg(test)]` and `#[cfg(all(test, …))]`), then
+/// extends the span over the following item: through the matching `}`
+/// of its body, or through the terminating `;` for bodiless items.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1) else { break };
+        if !(open.kind == TokenKind::Punct && open.text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident {
+                saw_cfg |= t.text == "cfg";
+                saw_test |= t.text == "test";
+                saw_not |= t.text == "not";
+            }
+            j += 1;
+        }
+        // `not` disqualifies conservatively: `#[cfg(not(test))]` gates
+        // *production* code and must not be treated as a test span.
+        if !(saw_cfg && saw_test) || saw_not {
+            i = j;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        // Skip any further attributes before the item itself.
+        let mut k = j;
+        while k + 1 < tokens.len()
+            && tokens[k].kind == TokenKind::Punct
+            && tokens[k].text == "#"
+            && tokens[k + 1].text == "["
+        {
+            let mut d = 1usize;
+            k += 2;
+            while k < tokens.len() && d > 0 {
+                match tokens[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Walk to the item's body `{` (or a `;` for bodiless items).
+        let mut end_line = attr_line;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct && t.text == ";" {
+                end_line = t.line;
+                k += 1;
+                break;
+            }
+            if t.kind == TokenKind::Punct && t.text == "{" {
+                let mut d = 1usize;
+                k += 1;
+                while k < tokens.len() && d > 0 {
+                    match tokens[k].text.as_str() {
+                        "{" => d += 1,
+                        "}" => d -= 1,
+                        _ => {}
+                    }
+                    if d == 0 {
+                        end_line = tokens[k].line;
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        spans.push((attr_line, end_line));
+        i = k;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNIPPET: &str = r#"
+pub fn model_code() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() {
+        assert!(model_code() == 1.0);
+    }
+}
+
+pub fn more_model_code() {}
+"#;
+
+    #[test]
+    fn cfg_test_mod_span_covers_its_body_only() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", SNIPPET);
+        assert!(!f.in_test_code(2)); // model_code
+        assert!(f.in_test_code(6)); // the attribute
+        assert!(f.in_test_code(10)); // the assert inside
+        assert!(f.in_test_code(12)); // closing brace
+        assert!(!f.in_test_code(14)); // more_model_code
+    }
+
+    #[test]
+    fn cfg_all_test_is_recognized() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[cfg(all(test, feature = \"x\"))]\nmod t {\n fn f() {}\n}\nfn live() {}\n",
+        );
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn prod() { work(); }\n");
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_span() {
+        let f = SourceFile::parse("x.rs", "#[cfg(feature = \"extra\")]\nfn gated() {}\n");
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn files_under_tests_are_test_code() {
+        let f = SourceFile::parse("crates/x/tests/properties.rs", "fn helper() {}\n");
+        assert!(f.in_test_code(1));
+        let b = SourceFile::parse("crates/bench/benches/figures.rs", "fn b() {}\n");
+        assert!(b.in_test_code(1));
+        let s = SourceFile::parse("crates/x/src/lib.rs", "fn live() {}\n");
+        assert!(!s.in_test_code(1));
+    }
+
+    #[test]
+    fn bodiless_cfg_test_item_spans_to_semicolon() {
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n");
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+}

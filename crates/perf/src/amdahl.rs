@@ -39,7 +39,9 @@ pub fn amdahl_speedup(f: ParallelFraction, n: u32) -> Result<f64> {
 ///
 /// For `f = 1` the limit is unbounded and `+inf` is returned.
 pub fn amdahl_limit(f: ParallelFraction) -> f64 {
-    if f.serial() == 0.0 {
+    // `serial()` is non-negative by construction; a `<=` guard covers the
+    // fully-parallel case without an exact float equality.
+    if f.serial() <= 0.0 {
         f64::INFINITY
     } else {
         1.0 / f.serial()

@@ -106,6 +106,7 @@ impl AsymmetricMulticore {
     pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
         let perf_big = pollack
             .core_performance(self.big_core_bce)
+            // focal-lint: allow(panic-freedom) -- big_core_bce validated positive at construction
             .expect("validated big core");
         f.serial() / perf_big + f.parallel() / self.small_cores()
     }
@@ -116,17 +117,19 @@ impl AsymmetricMulticore {
     }
 
     /// Energy for one unit of work (Eq. 6): serial-phase energy plus
-    /// parallel-phase energy.
+    /// parallel-phase energy, normalized to a one-BCE core at full load.
     pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
         let m = self.big_core_bce;
         let small = self.small_cores();
+        // focal-lint: allow(panic-freedom) -- big_core_bce validated positive at construction
         let perf_big = pollack.core_performance(m).expect("validated big core");
         let serial_power = m + small * gamma.get();
         let parallel_power = m * gamma.get() + small;
         f.serial() / perf_big * serial_power + f.parallel() / small * parallel_power
     }
 
-    /// Average power (Eq. 5): energy divided by execution time.
+    /// Average power (Eq. 5): energy divided by execution time, in
+    /// normalized BCE units.
     pub fn power(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
         self.energy(f, gamma, pollack) / self.execution_time(f, pollack)
     }

@@ -133,6 +133,7 @@ impl ClusteredMulticore {
             .map(|c| {
                 pollack
                     .core_performance(c.bce_per_core)
+                    // focal-lint: allow(panic-freedom) -- bce_per_core validated positive at construction
                     .expect("validated cluster")
             })
             .fold(0.0, f64::max)
@@ -147,6 +148,7 @@ impl ClusteredMulticore {
                 c.count as f64
                     * pollack
                         .core_performance(c.bce_per_core)
+                        // focal-lint: allow(panic-freedom) -- bce_per_core validated positive at construction
                         .expect("validated cluster")
             })
             .sum()
@@ -182,7 +184,7 @@ impl ClusteredMulticore {
             + f.parallel() / self.parallel_throughput(pollack) * parallel_power
     }
 
-    /// Average power, `energy / time`.
+    /// Average power, `energy / time`, in normalized BCE units.
     pub fn power(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
         self.energy(f, gamma, pollack) / self.execution_time(f, pollack)
     }

@@ -74,6 +74,7 @@ impl DynamicMulticore {
     pub fn execution_time(&self, f: ParallelFraction, pollack: PollackRule) -> f64 {
         let fused_perf = pollack
             .core_performance(self.total_bce)
+            // focal-lint: allow(panic-freedom) -- total_bce validated positive at construction
             .expect("validated total_bce");
         f.serial() / fused_perf + f.parallel() / self.total_bce
     }
@@ -83,13 +84,14 @@ impl DynamicMulticore {
         1.0 / self.execution_time(f, pollack)
     }
 
-    /// Average power: `N` units in both phases (see the type-level model
-    /// notes), so exactly `N` regardless of `f`.
+    /// Average power in normalized BCE units: `N` units in both phases
+    /// (see the type-level model notes), so exactly `N` regardless of `f`.
     pub fn power(&self, _f: ParallelFraction, _gamma: LeakageFraction) -> f64 {
         self.total_bce
     }
 
-    /// Energy for one unit of work, `E = P/S`.
+    /// Energy for one unit of work, `E = P/S`, normalized to a one-BCE
+    /// core at full load.
     pub fn energy(&self, f: ParallelFraction, gamma: LeakageFraction, pollack: PollackRule) -> f64 {
         self.power(f, gamma) / self.speedup(f, pollack)
     }

@@ -122,6 +122,7 @@ impl SymmetricMulticore {
     pub fn core_performance(&self, pollack: PollackRule) -> f64 {
         pollack
             .core_performance(self.bce_per_core)
+            // focal-lint: allow(panic-freedom) -- bce_per_core validated positive at construction
             .expect("validated bce_per_core")
     }
 

@@ -65,6 +65,7 @@ impl TechNode {
         TechNode::ROADMAP
             .iter()
             .position(|&n| n == self)
+            // focal-lint: allow(panic-freedom) -- ROADMAP enumerates every TechNode variant
             .expect("every node is on the roadmap")
     }
 

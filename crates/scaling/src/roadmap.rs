@@ -83,6 +83,7 @@ impl Roadmap {
                 embodied: shrink.embodied_factor(),
             });
             if t < total {
+                // focal-lint: allow(panic-freedom) -- `t < total` keeps the walk inside the roadmap
                 node = node.next().expect("within the roadmap");
             }
         }

@@ -95,7 +95,8 @@ impl Accelerator {
         self.area_overhead
     }
 
-    /// The energy advantage factor.
+    /// The energy advantage factor, a dimensionless ratio (core energy ÷
+    /// accelerator energy for the same work).
     #[inline]
     pub fn energy_advantage(&self) -> f64 {
         self.energy_advantage
@@ -162,7 +163,9 @@ impl Accelerator {
         let saving_rate = (1.0 - alpha.get()) * (1.0 - 1.0 / self.energy_advantage);
         if saving_rate <= 0.0 {
             // α = 1 or no energy advantage: never breaks even unless free.
-            return if self.area_overhead == 0.0 {
+            // The overhead is validated non-negative, so `<=` is the
+            // "exactly free" case without a float equality.
+            return if self.area_overhead <= 0.0 {
                 Some(0.0)
             } else {
                 None

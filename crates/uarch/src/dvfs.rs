@@ -95,13 +95,13 @@ impl DvfsCore {
         })
     }
 
-    /// The dynamic power share δ.
+    /// The dynamic power share δ, a fraction of total power in `[0, 1]`.
     #[inline]
     pub fn dynamic_power_fraction(&self) -> f64 {
         self.dynamic_power_fraction
     }
 
-    /// The regulator area overhead.
+    /// The regulator area overhead, a fraction of the core's chip area.
     #[inline]
     pub fn regulator_area_overhead(&self) -> f64 {
         self.regulator_area_overhead

@@ -79,7 +79,7 @@ impl EmbodiedModel {
         self.wafer
     }
 
-    /// The yield model used.
+    /// The yield model used (maps defect load to a fraction of good dies).
     pub fn yield_model(&self) -> YieldModel {
         self.yield_model
     }

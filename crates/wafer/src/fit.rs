@@ -103,8 +103,10 @@ impl Polynomial {
             .zip(ys)
             .map(|(&x, &y)| (y - self.evaluate(x)).powi(2))
             .sum();
-        if ss_tot == 0.0 {
-            if ss_res == 0.0 {
+        // Both are sums of squares, hence non-negative: `<=` catches the
+        // degenerate all-points-equal case without a float equality.
+        if ss_tot <= 0.0 {
+            if ss_res <= 0.0 {
                 1.0
             } else {
                 f64::NEG_INFINITY
@@ -120,15 +122,11 @@ impl Polynomial {
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        // Partial pivot.
+        // Partial pivot. The range `col..n` always contains `col`, so the
+        // fallback never fires; `total_cmp` orders any float pair.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite pivots")
-            })
-            .expect("non-empty column range");
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         if a[pivot_row][col].abs() < 1e-12 {
             return Err(ModelError::Inconsistent {
                 constraint: "normal equations are singular (degenerate fit data)",
@@ -141,8 +139,10 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
             let factor = a[row][col] / a[col][col];
             let (pivot_rows, rest) = a.split_at_mut(row);
             let pivot = &pivot_rows[col];
-            for (cell, &p) in rest[0].iter_mut().zip(pivot).skip(col) {
-                *cell -= factor * p;
+            if let Some(target) = rest.first_mut() {
+                for (cell, &p) in target.iter_mut().zip(pivot).skip(col) {
+                    *cell -= factor * p;
+                }
             }
             b[row] -= factor * b[col];
         }

@@ -91,6 +91,7 @@ impl ScopeBreakdown {
     /// The total footprint across all scopes.
     pub fn total(&self) -> CarbonFootprint {
         CarbonFootprint::from_kg_co2e(self.scope1 + self.scope2 + self.scope3)
+            // focal-lint: allow(panic-freedom) -- a sum of construction-validated non-negative scopes
             .expect("validated positive total")
     }
 

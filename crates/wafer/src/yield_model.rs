@@ -141,7 +141,9 @@ impl YieldModel {
             lambda.is_finite() && lambda >= 0.0,
             "defect load must be non-negative and finite, got {lambda}"
         );
-        if lambda == 0.0 {
+        // The load is asserted non-negative above; `<=` short-circuits the
+        // defect-free case (and Murphy's 0/0) without a float equality.
+        if lambda <= 0.0 {
             return 1.0;
         }
         match self {

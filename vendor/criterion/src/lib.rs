@@ -1,0 +1,198 @@
+//! Offline vendored shim for the subset of the `criterion` API that the
+//! FOCAL bench harness uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a minimal wall-clock benchmark runner that is
+//! source-compatible with `crates/bench`:
+//!
+//! * [`Criterion::bench_function`] / [`Criterion::benchmark_group`]
+//! * [`BenchmarkGroup::bench_with_input`] + [`BenchmarkId::from_parameter`]
+//! * [`Bencher::iter`]
+//! * [`criterion_group!`] / [`criterion_main!`]
+//!
+//! It reports a simple mean ns/iter instead of criterion's full
+//! statistics, and honours the `--test` flag cargo passes when running
+//! bench targets under `cargo test` (each benchmark executes exactly one
+//! iteration).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark is measured for (after a short warm-up).
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn measure<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    if test_mode() {
+        run_once(&mut f, 1);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Calibrate the iteration count against the warm-up budget.
+    let mut iters = 1u64;
+    loop {
+        let t = run_once(&mut f, iters);
+        if t >= WARMUP_TIME || iters > u64::MAX / 2 {
+            let per_iter = t.as_nanos().max(1) / iters as u128;
+            iters = (MEASURE_TIME.as_nanos() / per_iter).clamp(1, u64::MAX as u128) as u64;
+            break;
+        }
+        iters *= 2;
+    }
+    let elapsed = run_once(&mut f, iters);
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {ns:>14.1} ns/iter ({iters} iters)");
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::from_parameter(p)` — names the case after `p`.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A function-plus-parameter id.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        measure(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`, with no input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        measure(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        measure(id, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export for drop-in compatibility with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline vendored shim for the subset of the `rand` 0.8 API that the
+//! FOCAL workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a deterministic, dependency-free stand-in that is
+//! API-compatible with the calls made by `focal-core::uncertainty` and
+//! `focal-wafer::defect_sim`:
+//!
+//! * [`SeedableRng::seed_from_u64`] + [`rngs::StdRng`]
+//! * [`distributions::Uniform`] (`new`, `new_inclusive`) and
+//!   [`distributions::Distribution::sample`]
+//!
+//! The generator is **not** the real `StdRng` (ChaCha12); it is
+//! xoshiro256++ seeded through SplitMix64. All downstream users seed
+//! explicitly and only rely on determinism-given-seed and reasonable
+//! statistical quality, both of which this implementation provides.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 exactly as `rand` does for small seeds.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that produce values of `T` from a generator.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A uniform distribution over a floating-point interval.
+    ///
+    /// `new(lo, hi)` samples `[lo, hi)`; `new_inclusive(lo, hi)` samples
+    /// `[lo, hi]`. As in `rand` 0.8, constructing an empty range panics.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over the half-open interval `[lo, hi)`.
+        pub fn new(lo: f64, hi: f64) -> Self {
+            assert!(lo < hi, "Uniform::new called with low >= high");
+            Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over the closed interval `[lo, hi]`.
+        pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive called with low > high");
+            Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits -> f64 in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let unit = if self.inclusive {
+                // Rescale so 1.0 is attainable (up to f64 granularity).
+                unit * ((1u64 << 53) as f64 / ((1u64 << 53) - 1) as f64)
+            } else {
+                unit
+            };
+            self.lo + unit * (self.hi - self.lo)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn determinism_given_seed() {
+            let d = Uniform::new(0.0, 1.0);
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..64 {
+                assert_eq!(d.sample(&mut a), d.sample(&mut b));
+            }
+        }
+
+        #[test]
+        fn samples_stay_in_range_and_look_uniform() {
+            let d = Uniform::new_inclusive(-3.0, 5.0);
+            let mut rng = StdRng::seed_from_u64(7);
+            let n = 20_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let v = d.sample(&mut rng);
+                assert!((-3.0..=5.0).contains(&v));
+                sum += v;
+            }
+            let mean = sum / n as f64;
+            assert!((mean - 1.0).abs() < 0.1, "mean {mean} too far from 1.0");
+        }
+    }
+}
