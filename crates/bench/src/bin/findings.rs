@@ -1,5 +1,9 @@
 //! Recomputes all 17 findings plus the §7 case-study headline, printing
 //! paper-vs-measured tables for every quantitative claim.
+//!
+//! Exits `0` only if every finding reproduces the paper (see
+//! [`focal_bench::findings_exit_code`]), so CI can gate on this binary;
+//! `crates/bench/tests/findings_exit.rs` pins the exit code.
 
 fn main() -> focal_core::Result<()> {
     let findings = focal_studies::all_findings()?;
@@ -7,9 +11,6 @@ fn main() -> focal_core::Result<()> {
         println!("{f}");
         println!("{}", f.to_table());
     }
-    let ok = focal_bench::print_findings_summary(&findings);
-    if ok != findings.len() {
-        std::process::exit(1);
-    }
-    Ok(())
+    focal_bench::print_findings_summary(&findings);
+    std::process::exit(focal_bench::findings_exit_code(&findings));
 }

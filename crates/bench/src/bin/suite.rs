@@ -1,0 +1,77 @@
+//! Runs the entire FOCAL reproduction — all figures, all findings, the
+//! robustness and crossover ablations — in one command.
+//!
+//! ```sh
+//! FOCAL_THREADS=4 cargo run --release -p focal-bench --bin suite
+//! ```
+//!
+//! The JSON summary goes to stdout; the human per-stage timing table goes
+//! to stderr. Flags:
+//!
+//! * `--no-timings` — omit the thread count and per-stage wall-clock from
+//!   the JSON, leaving only thread-count-invariant content. CI runs the
+//!   suite under `FOCAL_THREADS=1` and `FOCAL_THREADS=4` with this flag
+//!   and diffs the outputs byte-for-byte.
+//! * `--dump-dir <dir>` — additionally write every figure's CSV dump to
+//!   `<dir>/<fig>.csv`.
+//! * `--samples <n>` — Monte-Carlo samples per robustness run (default:
+//!   [`focal_bench::suite::ROBUSTNESS_SAMPLES`]). Any value stays
+//!   bit-identical across thread counts; large values make the suite a
+//!   parallel-speedup benchmark.
+//!
+//! Exits nonzero if any stage fails to reproduce the paper.
+
+use focal_bench::suite::{run_suite_with_samples, ROBUSTNESS_SAMPLES};
+use focal_engine::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut no_timings = false;
+    let mut dump_dir: Option<&String> = None;
+    let mut samples = ROBUSTNESS_SAMPLES;
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
+            "--no-timings" => no_timings = true,
+            "--dump-dir" if args.get(i + 1).is_some() => {
+                i += 1;
+                dump_dir = args.get(i);
+            }
+            "--samples" if args.get(i + 1).is_some() => {
+                i += 1;
+                samples = match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(n)) if n > 0 => n,
+                    _ => {
+                        eprintln!("--samples expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (expected --no-timings, --dump-dir <dir>, --samples <n>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let engine = Engine::from_env();
+    let report = run_suite_with_samples(&engine, samples)?;
+
+    if let Some(dir) = dump_dir {
+        std::fs::create_dir_all(dir)?;
+        for fig in focal_studies::all_figures_on(&engine)? {
+            std::fs::write(
+                std::path::Path::new(dir).join(format!("{}.csv", fig.id)),
+                fig.to_csv(),
+            )?;
+        }
+    }
+
+    eprintln!("{}", report.human_summary());
+    print!("{}", report.to_json(!no_timings));
+    std::process::exit(i32::from(!report.ok()));
+}

@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod suite;
+
 use focal_studies::Figure;
 
 /// Prints a regenerated figure in the harness's standard format: caption,
@@ -36,6 +38,21 @@ pub fn print_findings_summary(findings: &[focal_studies::Finding]) -> usize {
         findings.len()
     );
     ok
+}
+
+/// Process exit code for a findings run: `0` only if *every* finding
+/// reproduces the paper, `1` otherwise — so CI can gate on the `findings`
+/// binary (and the `suite` binary) directly.
+///
+/// An empty slice is a failure: it means the registry produced nothing,
+/// which must never read as success.
+#[must_use]
+pub fn findings_exit_code(findings: &[focal_studies::Finding]) -> i32 {
+    if !findings.is_empty() && findings.iter().all(|f| f.reproduces()) {
+        0
+    } else {
+        1
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,395 @@
+//! The one-command reproduction suite behind the `suite` binary.
+//!
+//! [`run_suite`] regenerates the entire evaluation — all 9 figures, all
+//! 18 findings, the Monte-Carlo verdict-robustness ablation and the
+//! α-crossover ablation — on one [`Engine`], timing each stage and
+//! collecting a machine-readable summary.
+//!
+//! The summary deliberately separates *deterministic* content (figure
+//! CSV sizes and FNV-64 digests, finding verdicts, robustness
+//! agreements, crossovers) from *timing* content (wall-clock per stage,
+//! thread count): [`SuiteReport::to_json`] can omit the latter, so CI
+//! runs the suite under `FOCAL_THREADS=1` and `FOCAL_THREADS=4` and
+//! `diff`s the two JSON files byte-for-byte.
+
+use focal_core::{
+    alpha_crossover_batch, classify_over_range_on, DesignPoint, E2oRange, Result, Scenario,
+};
+use focal_engine::Engine;
+use focal_studies::robustness::verdict_robustness_on;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Samples per Monte-Carlo robustness run — two full engine chunks plus
+/// a partial one, so the suite exercises uneven chunk shapes every time.
+pub const ROBUSTNESS_SAMPLES: usize = 2 * focal_core::MC_CHUNK_SAMPLES + 257;
+
+/// Seed for the robustness stage (arbitrary but fixed: the suite is a
+/// regression surface, not an experiment).
+pub const ROBUSTNESS_SEED: u64 = 42;
+
+/// Proxy-ratio jitter for the robustness stage (±10 %, the paper's
+/// working assumption for first-order proxy error).
+pub const ROBUSTNESS_JITTER: f64 = 0.1;
+
+/// One suite stage: a name, its wall-clock, whether it passed, and its
+/// deterministic key→value entries.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name (`"figures"`, `"findings"`, …).
+    pub name: &'static str,
+    /// Wall-clock milliseconds this stage took.
+    pub wall_ms: u128,
+    /// `false` if the stage detected a reproduction failure.
+    pub ok: bool,
+    /// Deterministic entries, in insertion order.
+    pub entries: Vec<(String, String)>,
+}
+
+/// The full suite result.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Worker count the suite ran with.
+    pub threads: usize,
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+/// FNV-1a 64-bit digest, used to fingerprint figure CSV bytes in the
+/// summary without embedding the full dump.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SuiteReport {
+    /// `true` if every stage passed.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.stages.iter().all(|s| s.ok)
+    }
+
+    /// Renders the machine-readable JSON summary.
+    ///
+    /// With `with_timings = false` the thread count and per-stage
+    /// wall-clock are omitted, leaving only thread-count-invariant
+    /// content: two runs at different `FOCAL_THREADS` must then be
+    /// byte-identical (CI diffs exactly this).
+    #[must_use]
+    pub fn to_json(&self, with_timings: bool) -> String {
+        let mut out = String::from("{\n  \"suite\": \"focal-reproduction\",\n");
+        if with_timings {
+            let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        }
+        out.push_str("  \"stages\": [\n");
+        for (i, stage) in self.stages.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"ok\": {}",
+                json_escape(stage.name),
+                stage.ok
+            );
+            if with_timings {
+                let _ = write!(out, ", \"wall_ms\": {}", stage.wall_ms);
+            }
+            out.push_str(", \"entries\": {");
+            for (j, (k, v)) in stage.entries.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\"{}\": \"{}\"",
+                    if j == 0 { "" } else { ", " },
+                    json_escape(k),
+                    json_escape(v)
+                );
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 == self.stages.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        let _ = write!(out, "  ],\n  \"ok\": {}\n}}\n", self.ok());
+        out
+    }
+
+    /// Renders the human per-stage timing summary (for stderr).
+    #[must_use]
+    pub fn human_summary(&self) -> String {
+        let mut out = format!("reproduction suite on {} thread(s):\n", self.threads);
+        let total: u128 = self.stages.iter().map(|s| s.wall_ms).sum();
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} ms   {}",
+                s.name,
+                s.wall_ms,
+                if s.ok { "ok" } else { "FAILED" }
+            );
+        }
+        let _ = write!(out, "  {:<12} {total:>8} ms", "total");
+        out
+    }
+}
+
+/// The mechanism pairs the ablation stages sweep: the α-regime-sensitive
+/// design comparisons of §5–§6 (the same set as the `ablation_alpha`
+/// binary).
+fn ablation_mechanisms() -> Result<Vec<(&'static str, DesignPoint, DesignPoint)>> {
+    let reference = DesignPoint::reference();
+    Ok(vec![
+        (
+            "fsc-vs-ooo",
+            focal_uarch::CoreMicroarch::ForwardSlice.design_point()?,
+            focal_uarch::CoreMicroarch::OutOfOrder.design_point()?,
+        ),
+        (
+            "ooo-vs-ino",
+            focal_uarch::CoreMicroarch::OutOfOrder.design_point()?,
+            focal_uarch::CoreMicroarch::InOrder.design_point()?,
+        ),
+        (
+            "pre-vs-baseline",
+            focal_uarch::PreciseRunahead::PAPER.design_point()?,
+            reference,
+        ),
+        (
+            "pipeline-gating",
+            focal_uarch::PipelineGating::PAPER.design_point()?,
+            reference,
+        ),
+        (
+            "accelerator-30pct",
+            focal_uarch::Accelerator::HAMEED_H264.design_point(0.3)?,
+            reference,
+        ),
+        (
+            "dark-silicon-30pct",
+            focal_uarch::DarkSiliconSoc::PAPER.design_point(0.3)?,
+            reference,
+        ),
+        (
+            "die-shrink-post-dennard",
+            focal_scaling::DieShrink::next_node(focal_scaling::ScalingRegime::PostDennard)
+                .design_points()?
+                .0,
+            reference,
+        ),
+    ])
+}
+
+/// Runs the whole reproduction on `engine` and collects the report,
+/// with [`ROBUSTNESS_SAMPLES`] Monte-Carlo samples per robustness run.
+///
+/// # Errors
+///
+/// Propagates model-construction errors from the studies; never fails
+/// for the built-in paper configurations.
+pub fn run_suite(engine: &Engine) -> Result<SuiteReport> {
+    run_suite_with_samples(engine, ROBUSTNESS_SAMPLES)
+}
+
+/// [`run_suite`] with an explicit Monte-Carlo sample count for the
+/// robustness stage (the suite's `--samples` flag). The chunk geometry
+/// depends only on the sample count, so any value remains bit-identical
+/// across thread counts; larger values turn the suite into a useful
+/// parallel-speedup benchmark.
+///
+/// # Errors
+///
+/// Propagates model-construction errors from the studies; never fails
+/// for the built-in paper configurations.
+pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Result<SuiteReport> {
+    let mut stages = Vec::new();
+
+    // Stage 1: every paper figure, fingerprinted at the CSV-byte level.
+    let t = Instant::now();
+    let figures = focal_studies::all_figures_on(engine)?;
+    let mut entries: Vec<(String, String)> = figures
+        .iter()
+        .map(|f| {
+            let csv = f.to_csv();
+            (
+                f.id.to_string(),
+                format!("{} bytes, fnv64={:016x}", csv.len(), fnv64(csv.as_bytes())),
+            )
+        })
+        .collect();
+    entries.sort();
+    stages.push(Stage {
+        name: "figures",
+        wall_ms: t.elapsed().as_millis(),
+        ok: figures.len() == 9,
+        entries,
+    });
+
+    // Stage 2: every finding, gated on reproduction.
+    let t = Instant::now();
+    let findings = focal_studies::all_findings_on(engine)?;
+    let reproduced = findings.iter().filter(|f| f.reproduces()).count();
+    let mut entries: Vec<(String, String)> = findings
+        .iter()
+        .map(|f| {
+            (
+                format!("finding-{:02}", f.id),
+                if f.reproduces() { "ok" } else { "FAILED" }.to_string(),
+            )
+        })
+        .collect();
+    entries.push((
+        "reproduced".to_string(),
+        format!("{reproduced}/{}", findings.len()),
+    ));
+    entries.sort();
+    stages.push(Stage {
+        name: "findings",
+        wall_ms: t.elapsed().as_millis(),
+        ok: reproduced == findings.len(),
+        entries,
+    });
+
+    // Stage 3: Monte-Carlo verdict robustness across the taxonomy (the
+    // §3.5 ablation). Agreements are exact sample fractions, so their
+    // shortest-f64 rendering is thread-count invariant.
+    let t = Instant::now();
+    let robustness = verdict_robustness_on(
+        engine,
+        ROBUSTNESS_JITTER,
+        robustness_samples,
+        ROBUSTNESS_SEED,
+    )?;
+    let mut entries: Vec<(String, String)> = robustness
+        .iter()
+        .map(|r| {
+            (
+                r.mechanism.to_string(),
+                format!("min_agreement={}", r.min_agreement()),
+            )
+        })
+        .collect();
+    entries.sort();
+    stages.push(Stage {
+        name: "robustness",
+        wall_ms: t.elapsed().as_millis(),
+        ok: !robustness.is_empty(),
+        entries,
+    });
+
+    // Stage 4: α-crossover + verdict-stability ablation over the
+    // regime-sensitive mechanisms.
+    let t = Instant::now();
+    let mechanisms = ablation_mechanisms()?;
+    let pairs: Vec<(DesignPoint, DesignPoint)> =
+        mechanisms.iter().map(|&(_, x, y)| (x, y)).collect();
+    let fixed_work = alpha_crossover_batch(engine, &pairs, Scenario::FixedWork);
+    let fixed_time = alpha_crossover_batch(engine, &pairs, Scenario::FixedTime);
+    let mut entries: Vec<(String, String)> = mechanisms
+        .iter()
+        .zip(fixed_work.iter().zip(&fixed_time))
+        .map(|((name, x, y), (fw, ft))| {
+            let stability = classify_over_range_on(engine, x, y, E2oRange::FULL, 101);
+            (
+                (*name).to_string(),
+                format!(
+                    "fw: {fw}; ft: {ft}; {}",
+                    if stability.is_stable() {
+                        "stable"
+                    } else {
+                        "flips"
+                    }
+                ),
+            )
+        })
+        .collect();
+    entries.sort();
+    stages.push(Stage {
+        name: "crossovers",
+        wall_ms: t.elapsed().as_millis(),
+        ok: !entries.is_empty(),
+        entries,
+    });
+
+    Ok(SuiteReport {
+        threads: engine.threads(),
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn suite_runs_and_passes_on_the_paper_configuration() {
+        let report = run_suite(&Engine::serial()).unwrap();
+        assert!(report.ok());
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["figures", "findings", "robustness", "crossovers"]);
+        // 9 figures, 18 findings + the reproduced summary row.
+        assert_eq!(report.stages[0].entries.len(), 9);
+        assert_eq!(report.stages[1].entries.len(), 19);
+    }
+
+    #[test]
+    fn deterministic_json_is_thread_count_invariant() {
+        let a = run_suite(&Engine::serial()).unwrap();
+        let b = run_suite(&Engine::with_threads(3)).unwrap();
+        assert_eq!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn timed_json_includes_threads_and_wall_ms() {
+        let report = run_suite(&Engine::serial()).unwrap();
+        let timed = report.to_json(true);
+        assert!(timed.contains("\"threads\": 1"));
+        assert!(timed.contains("\"wall_ms\""));
+        let bare = report.to_json(false);
+        assert!(!bare.contains("\"threads\""));
+        assert!(!bare.contains("\"wall_ms\""));
+    }
+
+    #[test]
+    fn human_summary_lists_every_stage() {
+        let report = run_suite(&Engine::serial()).unwrap();
+        let text = report.human_summary();
+        for stage in &report.stages {
+            assert!(text.contains(stage.name), "{text}");
+        }
+        assert!(text.contains("total"));
+    }
+}

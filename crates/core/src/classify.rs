@@ -189,11 +189,26 @@ pub fn classify_over_range(
     range: E2oRange,
     grid_points: usize,
 ) -> RobustClassification {
-    let per_alpha: Vec<(E2oWeight, Sustainability)> = range
-        .grid(grid_points)
-        .into_iter()
-        .map(|alpha| (alpha, classify(x, y, alpha).class))
-        .collect();
+    classify_over_range_on(&focal_engine::Engine::from_env(), x, y, range, grid_points)
+}
+
+/// [`classify_over_range`] on an explicit engine: the α grid is evaluated
+/// in parallel with [`focal_engine::Engine::par_map`], which preserves
+/// grid order, so the result is identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `grid_points < 2` (propagated from [`E2oRange::grid`]).
+pub fn classify_over_range_on(
+    engine: &focal_engine::Engine,
+    x: &DesignPoint,
+    y: &DesignPoint,
+    range: E2oRange,
+    grid_points: usize,
+) -> RobustClassification {
+    let grid = range.grid(grid_points);
+    let per_alpha: Vec<(E2oWeight, Sustainability)> =
+        engine.par_map(&grid, |&alpha| (alpha, classify(x, y, alpha).class));
     let mut observed = Vec::new();
     for (_, class) in &per_alpha {
         if !observed.contains(class) {

@@ -109,6 +109,22 @@ pub fn alpha_crossover(x: &DesignPoint, y: &DesignPoint, scenario: Scenario) -> 
     }
 }
 
+/// Computes [`alpha_crossover`] for every `(x, y)` pair of a design-space
+/// sweep in parallel, preserving pair order.
+///
+/// Each crossover is an independent closed-form evaluation, so
+/// [`focal_engine::Engine::par_map`]'s order-preserving merge makes the
+/// result identical at every thread count. Use
+/// [`focal_engine::Engine::serial`] (or `FOCAL_THREADS=1` with
+/// [`focal_engine::Engine::from_env`]) for the exact serial path.
+pub fn alpha_crossover_batch(
+    engine: &focal_engine::Engine,
+    pairs: &[(DesignPoint, DesignPoint)],
+    scenario: Scenario,
+) -> Vec<AlphaCrossover> {
+    engine.par_map(pairs, |(x, y)| alpha_crossover(x, y, scenario))
+}
+
 /// First-order sensitivities of one NCF evaluation: how much the value
 /// moves per unit change in α and per 1 % change in each proxy ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -330,6 +346,26 @@ mod tests {
         // Same ft and fw value: blend-independent.
         let flat = dp(1.0, 1.2, 1.2, 1.0);
         assert_eq!(rebound_tolerance(&flat, &y, E2oWeight::BALANCED), None);
+    }
+
+    #[test]
+    fn crossover_batch_matches_scalar_calls() {
+        let y = DesignPoint::reference();
+        let pairs: Vec<(DesignPoint, DesignPoint)> = (1..40)
+            .map(|i| (dp(0.5 + 0.05 * i as f64, 1.1, 1.1, 1.0), y))
+            .collect();
+        let want: Vec<AlphaCrossover> = pairs
+            .iter()
+            .map(|(x, y)| alpha_crossover(x, y, Scenario::FixedWork))
+            .collect();
+        for threads in [1, 2, 7] {
+            let got = alpha_crossover_batch(
+                &focal_engine::Engine::with_threads(threads),
+                &pairs,
+                Scenario::FixedWork,
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]

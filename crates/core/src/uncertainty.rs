@@ -15,10 +15,21 @@ use crate::error::{ensure_finite, ensure_positive, ModelError, Result};
 use crate::ncf::Ncf;
 use crate::scenario::Scenario;
 use crate::weight::E2oRange;
+use focal_engine::{chunk_count, chunk_seed, Engine};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+
+/// Samples drawn per Monte-Carlo chunk.
+///
+/// The chunk geometry is part of the *sampling semantics*, not a tuning
+/// knob: chunk `c` draws its `StdRng` from `seed + c` (see
+/// [`focal_engine::chunk_seed`]) and chunks concatenate in index order,
+/// which is what makes [`MonteCarloNcf`] results bit-identical at every
+/// thread count. Changing this constant changes the sampled values the
+/// same way changing the seed would.
+pub const MC_CHUNK_SAMPLES: usize = 4096;
 
 /// A closed interval `[lo, hi]` with conservative (outward-rounding-free)
 /// arithmetic for the operations NCF needs: addition, scaling by a
@@ -314,7 +325,8 @@ impl MonteCarloNcf {
     }
 
     /// Draws `samples` NCF values for `x` vs `y` under `scenario` and
-    /// summarizes them.
+    /// summarizes them, parallelizing across the engine selected by
+    /// `FOCAL_THREADS` (see [`MonteCarloNcf::run_on`]).
     ///
     /// # Panics
     ///
@@ -326,23 +338,52 @@ impl MonteCarloNcf {
         scenario: Scenario,
         samples: usize,
     ) -> McSummary {
-        assert!(samples > 0, "Monte-Carlo needs at least one sample");
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let alpha_dist = Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
-        let jitter =
-            Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
+        self.run_on(&Engine::from_env(), x, y, scenario, samples)
+    }
 
+    /// [`MonteCarloNcf::run`] on an explicit [`Engine`].
+    ///
+    /// Sampling is chunked in blocks of [`MC_CHUNK_SAMPLES`]: chunk `c`
+    /// seeds its own `StdRng` from `seed + c` and the chunks concatenate
+    /// in index order, so the summary is **bit-identical for every thread
+    /// count** (the differential tests in `tests/engine_determinism.rs`
+    /// pin this). With a single-threaded engine the chunk loop runs
+    /// inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn run_on(
+        &self,
+        engine: &Engine,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> McSummary {
+        assert!(samples > 0, "Monte-Carlo needs at least one sample");
         let a_ratio = x.area() / y.area();
         let o_ratio = scenario.operational_ratio(x, y);
 
-        let mut values: Vec<f64> = (0..samples)
-            .map(|_| {
-                let alpha = alpha_dist.sample(&mut rng);
-                let a = a_ratio * jitter.sample(&mut rng);
-                let o = o_ratio * jitter.sample(&mut rng);
-                alpha * a + (1.0 - alpha) * o
-            })
-            .collect();
+        let n_chunks = chunk_count(samples, MC_CHUNK_SAMPLES);
+        let chunks: Vec<Vec<f64>> = engine.par_chunk_map(n_chunks, |c| {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c));
+            let alpha_dist =
+                Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
+            let jitter =
+                Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
+            let lo = c * MC_CHUNK_SAMPLES;
+            let hi = (lo + MC_CHUNK_SAMPLES).min(samples);
+            (lo..hi)
+                .map(|_| {
+                    let alpha = alpha_dist.sample(&mut rng);
+                    let a = a_ratio * jitter.sample(&mut rng);
+                    let o = o_ratio * jitter.sample(&mut rng);
+                    alpha * a + (1.0 - alpha) * o
+                })
+                .collect()
+        });
+        let mut values: Vec<f64> = chunks.concat();
         values.sort_by(|a, b| a.total_cmp(b));
 
         let n = values.len();
@@ -464,6 +505,28 @@ mod tests {
         let a = mc.run(&x, &y, Scenario::FixedWork, 1000);
         let b = mc.run(&x, &y, Scenario::FixedWork, 1000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monte_carlo_is_thread_count_invariant() {
+        let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).unwrap();
+        let y = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 7).unwrap();
+        // 3 chunks (two full, one partial) exercises uneven chunk shapes.
+        let samples = 2 * MC_CHUNK_SAMPLES + 123;
+        let serial = mc.run_on(&Engine::serial(), &x, &y, Scenario::FixedWork, samples);
+        for threads in [2, 3, 7] {
+            let par = mc.run_on(
+                &Engine::with_threads(threads),
+                &x,
+                &y,
+                Scenario::FixedWork,
+                samples,
+            );
+            // PartialEq on McSummary compares every field with f64 `==`,
+            // which only holds for bit-identical values.
+            assert_eq!(serial, par, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! # focal-engine — deterministic parallel evaluation for FOCAL
+//!
+//! FOCAL's evaluation is embarrassingly parallel: 9 figures, 18 findings,
+//! α sweeps over hundreds of grid points, and Monte-Carlo samplers that
+//! draw thousands of NCF values per design point. This crate provides the
+//! one thing all of those need and `std` alone does not give: a
+//! **dependency-free scoped-thread work-stealing pool whose results are
+//! bit-identical regardless of thread count**.
+//!
+//! ## The determinism contract
+//!
+//! Every operation splits its work into *chunks* with a thread-count
+//! independent geometry, evaluates chunks in whatever order the scheduler
+//! reaches them, and then **merges results in chunk-index order**. Because
+//! chunk geometry, per-chunk computation, and merge order are all
+//! independent of how many workers ran, the output of [`Engine::par_map`],
+//! [`Engine::par_chunk_map`] and [`Engine::par_reduce`] is a pure function
+//! of the inputs — `FOCAL_THREADS=1`, `=2` and `=64` produce the same
+//! bytes. Randomized workloads keep the contract by deriving each chunk's
+//! generator from [`chunk_seed`]`(seed, chunk_index)` rather than sharing
+//! one sequential stream.
+//!
+//! With one thread (or one chunk) every operation takes the exact serial
+//! code path: no worker threads are spawned, no queues are built, and the
+//! chunk loop runs inline on the caller's thread.
+//!
+//! ## Thread-count selection
+//!
+//! [`Engine::from_env`] honours the `FOCAL_THREADS` environment variable
+//! (any positive integer) and falls back to
+//! [`std::thread::available_parallelism`]. [`Engine::with_threads`] pins
+//! the count explicitly — the differential tests use this to compare
+//! 1-, 2- and 7-thread runs inside one process.
+//!
+//! ## Example
+//!
+//! ```
+//! use focal_engine::Engine;
+//!
+//! let xs: Vec<u64> = (0..10_000).collect();
+//! let serial = Engine::serial().par_map(&xs, |&x| x * x);
+//! let parallel = Engine::with_threads(7).par_map(&xs, |&x| x * x);
+//! assert_eq!(serial, parallel);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod pool;
+
+pub use pool::{chunk_count, chunk_seed, Engine};

@@ -1,0 +1,488 @@
+//! The scoped-thread work-stealing pool behind [`Engine`].
+//!
+//! Scheduling: the chunk-index space `0..n_chunks` is pre-partitioned
+//! into one contiguous [`StealRange`] per worker. A worker pops chunks
+//! from the *front* of its own range; when the range drains it steals a
+//! chunk from the *back* of the most loaded victim's range. Both ends are
+//! manipulated with a single packed compare-and-swap, so the scheduler is
+//! lock-free and never blocks a worker that still has work. No queue ever
+//! *gains* chunks, so one full empty scan is a correct termination proof.
+//!
+//! Determinism does not depend on any of this: every chunk's result is
+//! tagged with its chunk index and the caller-visible output is assembled
+//! in index order after the scope joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Environment variable selecting the worker count (any positive integer).
+pub const THREADS_ENV: &str = "FOCAL_THREADS";
+
+/// A contiguous range of chunk indices `[start, end)` packed into one
+/// `AtomicU64` (`start` in the high 32 bits), so owner pops and thief
+/// steals are single CAS operations.
+struct StealRange {
+    bits: AtomicU64,
+}
+
+#[inline]
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+#[inline]
+fn unpack(bits: u64) -> (u32, u32) {
+    ((bits >> 32) as u32, bits as u32)
+}
+
+impl StealRange {
+    fn new(start: u32, end: u32) -> Self {
+        StealRange {
+            bits: AtomicU64::new(pack(start, end)),
+        }
+    }
+
+    /// Number of chunks currently queued (racy snapshot, used only for
+    /// victim selection).
+    fn len(&self) -> u32 {
+        let (s, e) = unpack(self.bits.load(Ordering::Relaxed));
+        e.saturating_sub(s)
+    }
+
+    /// Pops the front chunk (owner side).
+    fn pop_front(&self) -> Option<u32> {
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                pack(s + 1, e),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(s),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals the back chunk (thief side).
+    fn steal_back(&self) -> Option<u32> {
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let (s, e) = unpack(cur);
+            if s >= e {
+                return None;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                pack(s, e - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(e - 1),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Derives the RNG seed for one chunk of a randomized workload.
+///
+/// The scheme is deliberately the simplest thing that satisfies the
+/// determinism policy (DESIGN.md §9): `seed + chunk_index`, wrapping.
+/// Downstream generators (the vendored `StdRng`) expand the seed through
+/// SplitMix64, so adjacent seeds yield statistically independent streams.
+#[inline]
+#[must_use]
+pub fn chunk_seed(seed: u64, chunk_index: usize) -> u64 {
+    seed.wrapping_add(chunk_index as u64)
+}
+
+/// Number of chunks a workload of `items` elements splits into at a given
+/// `chunk_size` (the last chunk may be short). Returns 0 for an empty
+/// workload.
+#[inline]
+#[must_use]
+pub fn chunk_count(items: usize, chunk_size: usize) -> usize {
+    debug_assert!(chunk_size > 0, "chunk_size must be positive");
+    items.div_ceil(chunk_size.max(1))
+}
+
+/// A deterministic parallel evaluation engine: a worker count plus the
+/// scheduling policy described in the crate docs.
+///
+/// `Engine` is a cheap `Copy` value — workers are scoped threads spawned
+/// per operation, so there is no persistent pool to manage or shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// The single-threaded engine: every operation takes the exact serial
+    /// code path (no threads are spawned).
+    #[must_use]
+    pub fn serial() -> Engine {
+        Engine { threads: 1 }
+    }
+
+    /// An engine with an explicit worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Engine {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads the worker count from `FOCAL_THREADS`, falling back to
+    /// [`std::thread::available_parallelism`] when the variable is unset
+    /// or not a positive integer.
+    #[must_use]
+    pub fn from_env() -> Engine {
+        let configured = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        match configured {
+            Some(n) => Engine::with_threads(n),
+            None => {
+                Engine::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+            }
+        }
+    }
+
+    /// The worker count this engine runs with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n_chunks − 1)` and returns the results
+    /// **in chunk-index order**, regardless of the order the scheduler
+    /// executed them in. This is the primitive everything else builds on;
+    /// use it directly when each chunk needs its index (e.g. to derive a
+    /// per-chunk RNG via [`chunk_seed`]).
+    ///
+    /// With one worker or at most one chunk this is exactly
+    /// `(0..n_chunks).map(f).collect()` on the calling thread.
+    pub fn par_chunk_map<R, F>(&self, n_chunks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        // The packed scheduler indexes chunks with u32; workloads beyond
+        // 2^32 chunks are out of scope (that is ≥ 2^32 items) — fall back
+        // to the serial path rather than mis-schedule.
+        if self.threads == 1 || n_chunks <= 1 || n_chunks > u32::MAX as usize {
+            return (0..n_chunks).map(f).collect();
+        }
+
+        let workers = self.threads.min(n_chunks);
+        let per = n_chunks / workers;
+        let extra = n_chunks % workers;
+        // Pre-partition 0..n_chunks into one contiguous range per worker
+        // (the first `extra` workers take one more chunk).
+        let mut start = 0u32;
+        let queues: Vec<StealRange> = (0..workers)
+            .map(|w| {
+                let len = per + usize::from(w < extra);
+                let end = start + len as u32;
+                let q = StealRange::new(start, end);
+                start = end;
+                q
+            })
+            .collect();
+
+        let collected: Mutex<Vec<(u32, R)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let collected = &collected;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(u32, R)> = Vec::new();
+                    loop {
+                        // Drain our own range from the front…
+                        if let Some(i) = queues.get(me).and_then(StealRange::pop_front) {
+                            local.push((i, f(i as usize)));
+                            continue;
+                        }
+                        // …then steal single chunks from the back of the
+                        // most loaded victim. Queues never refill, so a
+                        // fully empty scan means all work is done or in
+                        // flight elsewhere.
+                        let victim = queues
+                            .iter()
+                            .enumerate()
+                            .filter(|&(v, q)| v != me && q.len() > 0)
+                            .max_by_key(|&(_, q)| q.len())
+                            .map(|(v, _)| v);
+                        match victim
+                            .and_then(|v| queues.get(v))
+                            .and_then(StealRange::steal_back)
+                        {
+                            Some(i) => local.push((i, f(i as usize))),
+                            None => break,
+                        }
+                    }
+                    collected
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+
+        let mut pairs = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Deterministic merge: chunk-index order, independent of which
+        // worker computed what when.
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(
+            pairs.len() == n_chunks && pairs.iter().enumerate().all(|(i, &(c, _))| i == c as usize),
+            "scheduler must evaluate every chunk exactly once"
+        );
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Maps `f` over `items`, preserving item order in the output.
+    ///
+    /// Chunk geometry is internal: since `f` is applied per item and the
+    /// output is the in-order concatenation of the chunks, the result is
+    /// identical for every thread count by construction.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        // Target ~4 chunks per worker for load balance; chunks of at
+        // least one item.
+        let chunk_size = items.len().div_ceil(self.threads * 4).max(1);
+        let n_chunks = chunk_count(items.len(), chunk_size);
+        let chunks: Vec<Vec<R>> = self.par_chunk_map(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            items
+                .get(lo..hi)
+                .unwrap_or_default()
+                .iter()
+                .map(&f)
+                .collect()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Chunked deterministic reduction: folds each chunk of `chunk_size`
+    /// items with `fold` (starting from `init()`), then merges the chunk
+    /// accumulators **in chunk order** with `merge`.
+    ///
+    /// The reduction tree has the same shape at every thread count —
+    /// including one, where the chunk loop runs inline — so results are
+    /// bit-identical even for non-associative floating-point operations.
+    /// For associative `fold`/`merge` pairs the result equals the plain
+    /// serial fold (the engine's property tests pin this).
+    ///
+    /// `chunk_size` is part of the reduction's *semantics* (it fixes the
+    /// float evaluation order), which is why it is an explicit parameter
+    /// rather than a per-engine heuristic.
+    pub fn par_reduce<T, A, I, F, M>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> A
+    where
+        T: Sync,
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, &T) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let chunk_size = chunk_size.max(1);
+        let n_chunks = chunk_count(items.len(), chunk_size);
+        let accs: Vec<A> = self.par_chunk_map(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            items
+                .get(lo..hi)
+                .unwrap_or_default()
+                .iter()
+                .fold(init(), &fold)
+        });
+        let mut accs = accs.into_iter();
+        let first = accs.next().unwrap_or_else(&init);
+        accs.fold(first, merge)
+    }
+}
+
+impl Default for Engine {
+    /// Same as [`Engine::from_env`].
+    fn default() -> Self {
+        Engine::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for (s, e) in [(0, 0), (0, 1), (7, 9), (u32::MAX - 1, u32::MAX)] {
+            assert_eq!(unpack(pack(s, e)), (s, e));
+        }
+    }
+
+    #[test]
+    fn steal_range_pops_and_steals_disjointly() {
+        let q = StealRange::new(0, 5);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop_front(), Some(0));
+        assert_eq!(q.steal_back(), Some(4));
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.steal_back(), Some(3));
+        assert_eq!(q.pop_front(), Some(2));
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.steal_back(), None);
+    }
+
+    #[test]
+    fn chunk_seed_is_additive() {
+        assert_eq!(chunk_seed(42, 0), 42);
+        assert_eq!(chunk_seed(42, 3), 45);
+        assert_eq!(chunk_seed(u64::MAX, 1), 0); // wraps, never panics
+    }
+
+    #[test]
+    fn chunk_count_covers_all_items() {
+        assert_eq!(chunk_count(0, 8), 0);
+        assert_eq!(chunk_count(1, 8), 1);
+        assert_eq!(chunk_count(8, 8), 1);
+        assert_eq!(chunk_count(9, 8), 2);
+    }
+
+    #[test]
+    fn threads_clamped_to_at_least_one() {
+        assert_eq!(Engine::with_threads(0).threads(), 1);
+        assert_eq!(Engine::serial().threads(), 1);
+        assert!(Engine::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunk_map_returns_chunk_order() {
+        for threads in [1, 2, 3, 8] {
+            let e = Engine::with_threads(threads);
+            let got = e.par_chunk_map(23, |c| c * 10);
+            let want: Vec<usize> = (0..23).map(|c| c * 10).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_runs_every_chunk_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        Engine::with_threads(5).par_chunk_map(97, |c| {
+            hits[c].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<i64> = (0..1000).collect();
+        let want: Vec<i64> = items.iter().map(|x| x * 3 - 1).collect();
+        for threads in [1, 2, 7, 16] {
+            let got = Engine::with_threads(threads).par_map(&items, |x| x * 3 - 1);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let e = Engine::with_threads(4);
+        assert_eq!(e.par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(e.par_map(&[9u8], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_reduce_merges_in_chunk_order() {
+        // String concatenation is associative but *not* commutative, so
+        // any out-of-order merge scrambles the result.
+        let items: Vec<String> = (0..50).map(|i| format!("{i},")).collect();
+        let want: String = items.concat();
+        for threads in [1, 2, 7] {
+            let got = Engine::with_threads(threads).par_reduce(
+                &items,
+                4,
+                String::new,
+                |acc, s| acc + s,
+                |a, b| a + &b,
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_float_sums_are_bit_identical_across_threads() {
+        let items: Vec<f64> = (0..10_001).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reduce = |threads| {
+            Engine::with_threads(threads).par_reduce(
+                &items,
+                128,
+                || 0.0f64,
+                |acc, &x| acc + x,
+                |a, b| a + b,
+            )
+        };
+        let t1 = reduce(1);
+        for threads in [2, 3, 7, 13] {
+            assert_eq!(t1.to_bits(), reduce(threads).to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_of_empty_input_is_init() {
+        let got = Engine::with_threads(3).par_reduce(
+            &[] as &[u64],
+            8,
+            || 17u64,
+            |acc, &x| acc + x,
+            |a, b| a + b,
+        );
+        assert_eq!(got, 17);
+    }
+
+    #[test]
+    fn from_env_parses_focal_threads() {
+        // Env mutation is process-global; this test is the only place the
+        // engine crate touches the variable, and it restores the prior
+        // state before returning.
+        let prior = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Engine::from_env().threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Engine::from_env().threads() >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(Engine::from_env().threads() >= 1);
+        match prior {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+}

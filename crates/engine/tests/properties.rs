@@ -1,0 +1,87 @@
+//! Property tests for the engine's scheduling invariants: whatever the
+//! item count, chunk size and thread count, every item is processed
+//! exactly once and in order, and the chunked reduction tree gives the
+//! same answer as a plain serial fold for associative operations.
+
+use focal_engine::{chunk_count, chunk_seed, Engine};
+use proptest::prelude::*;
+
+proptest! {
+    /// `par_map` is the identity on indices: no item is lost, duplicated
+    /// or reordered at any thread count.
+    #[test]
+    fn par_map_never_loses_or_duplicates_items(
+        n in 0usize..2000,
+        threads in 1usize..12,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let engine = Engine::with_threads(threads);
+        let mapped = engine.par_map(&items, |&x| x);
+        prop_assert_eq!(mapped, items);
+    }
+
+    /// `par_chunk_map` visits each chunk index exactly once and returns
+    /// results in chunk order, for arbitrary chunk counts and threads.
+    #[test]
+    fn par_chunk_map_covers_each_chunk_exactly_once(
+        n_chunks in 0usize..300,
+        threads in 1usize..12,
+    ) {
+        let engine = Engine::with_threads(threads);
+        let visited = engine.par_chunk_map(n_chunks, |c| c);
+        let expected: Vec<usize> = (0..n_chunks).collect();
+        prop_assert_eq!(visited, expected);
+    }
+
+    /// `par_reduce` over an associative, commutative op (integer sum)
+    /// equals the plain serial fold, for arbitrary item counts, chunk
+    /// sizes (including 0, which the engine clamps to 1) and threads.
+    #[test]
+    fn par_reduce_matches_serial_fold_for_associative_ops(
+        n in 0u64..2000,
+        chunk_size in 0usize..130,
+        threads in 1usize..12,
+    ) {
+        let items: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let serial: u64 = items.iter().fold(0, |acc, &x| acc.wrapping_add(x));
+        let engine = Engine::with_threads(threads);
+        let parallel = engine.par_reduce(
+            &items,
+            chunk_size,
+            || 0u64,
+            |acc, &x| acc.wrapping_add(x),
+            |a, b| a.wrapping_add(b),
+        );
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Chunk geometry is a pure function of item count and chunk size:
+    /// every item index lands in exactly one chunk, and the last chunk is
+    /// never empty.
+    #[test]
+    fn chunk_geometry_partitions_the_items(
+        items in 0usize..100_000,
+        chunk_size in 1usize..5000,
+    ) {
+        let n = chunk_count(items, chunk_size);
+        prop_assert!(n * chunk_size >= items, "chunks must cover all items");
+        if items > 0 {
+            prop_assert!((n - 1) * chunk_size < items, "last chunk must be non-empty");
+        } else {
+            prop_assert_eq!(n, 0);
+        }
+    }
+
+    /// Chunk seeds are distinct for distinct chunks of one run (no seed
+    /// collision within any realistic chunk count).
+    #[test]
+    fn chunk_seeds_are_distinct_within_a_run(
+        seed in any::<u64>(),
+        a in 0usize..1_000_000,
+        b in 0usize..1_000_000,
+    ) {
+        if a != b {
+            prop_assert_ne!(chunk_seed(seed, a), chunk_seed(seed, b));
+        }
+    }
+}

@@ -17,8 +17,11 @@ pub mod units;
 
 /// Crates whose non-test code must be panic-free and unit-hygienic:
 /// the first-order model itself, where a silent panic or a unit mix-up
-/// corrupts every downstream figure.
-pub const MODEL_CRATES: &[&str] = &["core", "wafer", "perf", "cache", "uarch", "scaling", "act"];
+/// corrupts every downstream figure, plus the parallel engine that every
+/// model evaluation now runs through.
+pub const MODEL_CRATES: &[&str] = &[
+    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine",
+];
 
 /// Whether `path` (repo-relative, `/`-separated) is non-test source of a
 /// model crate.
@@ -36,7 +39,9 @@ mod tests {
     fn model_src_classification() {
         assert!(is_model_src("crates/core/src/fleet.rs"));
         assert!(is_model_src("crates/wafer/src/fab.rs"));
+        assert!(is_model_src("crates/engine/src/pool.rs"));
         assert!(!is_model_src("crates/core/tests/properties.rs"));
+        assert!(!is_model_src("crates/engine/tests/properties.rs"));
         assert!(!is_model_src("crates/studies/src/soc.rs"));
         assert!(!is_model_src("crates/lint/src/lib.rs"));
         assert!(!is_model_src("src/lib.rs"));

@@ -55,5 +55,5 @@ pub mod wafer_figure;
 
 pub use figure::{Figure, Panel};
 pub use finding::{Finding, Metric};
-pub use registry::{all_figures, all_findings};
+pub use registry::{all_figures, all_figures_on, all_findings, all_findings_on};
 pub use report::{findings_markdown, findings_summary_table};

@@ -16,57 +16,94 @@ use crate::microarch::MicroarchStudy;
 use crate::multicore::MulticoreStudy;
 use crate::speculation::SpeculationStudy;
 use focal_core::Result;
+use focal_engine::Engine;
+
+/// The figure builders, in paper order. Each entry is an independent
+/// `fn() -> Result<Figure>`, which is what lets the registry fan the
+/// regeneration out across the engine without shared state.
+const FIGURE_BUILDERS: [fn() -> Result<Figure>; 9] = [
+    || crate::wafer_figure::figure1(),
+    || MulticoreStudy::default().figure3(),
+    || AsymmetricStudy::default().figure4(),
+    || AcceleratorStudy::default().figure5a(),
+    || DarkSiliconStudy::default().figure5b(),
+    || CachingStudy::paper()?.figure6(),
+    || MicroarchStudy.figure7(),
+    || SpeculationStudy::default().figure8(),
+    || CaseStudy::paper()?.figure9(),
+];
+
+/// The finding builders: finding `n` (1-based) is entry `n − 1`, with the
+/// §7 case-study headline as entry 17 (id 18).
+const FINDING_BUILDERS: [fn() -> Result<Finding>; 18] = [
+    || MulticoreStudy::default().finding1(),
+    || MulticoreStudy::default().finding2(),
+    || MulticoreStudy::default().finding3(),
+    || AsymmetricStudy::default().finding4(),
+    || AsymmetricStudy::default().finding5(),
+    || AcceleratorStudy::default().finding6(),
+    || DarkSiliconStudy::default().finding7(),
+    || CachingStudy::paper()?.finding8(),
+    || MicroarchStudy.finding9(),
+    || MicroarchStudy.finding10(),
+    || MicroarchStudy.finding11(),
+    || SpeculationStudy::default().finding12(),
+    || SpeculationStudy::default().finding13(),
+    || DvfsStudy::default().finding14(),
+    || DvfsStudy::default().finding15(),
+    || GatingStudy::default().finding16(),
+    || DieShrinkStudy.finding17(),
+    || CaseStudy::paper()?.headline(),
+];
 
 /// Regenerates every figure of the paper's evaluation (Figures 1 and 3–9;
-/// Figure 2 is a conceptual illustration with no data series).
+/// Figure 2 is a conceptual illustration with no data series), in
+/// parallel across the engine selected by `FOCAL_THREADS`.
 ///
 /// # Errors
 ///
 /// Never fails for the paper's built-in configurations.
 pub fn all_figures() -> Result<Vec<Figure>> {
-    Ok(vec![
-        crate::wafer_figure::figure1()?,
-        MulticoreStudy::default().figure3()?,
-        AsymmetricStudy::default().figure4()?,
-        AcceleratorStudy::default().figure5a()?,
-        DarkSiliconStudy::default().figure5b()?,
-        CachingStudy::paper()?.figure6()?,
-        MicroarchStudy.figure7()?,
-        SpeculationStudy::default().figure8()?,
-        CaseStudy::paper()?.figure9()?,
-    ])
+    all_figures_on(&Engine::from_env())
 }
 
-/// Recomputes all 17 findings plus the §7 case-study headline (id 18).
+/// [`all_figures`] on an explicit [`Engine`].
+///
+/// Every builder is a pure function and `par_map` preserves builder
+/// order, so the output — down to the CSV bytes — is identical at every
+/// thread count (pinned by `tests/engine_determinism.rs`).
+///
+/// # Errors
+///
+/// Never fails for the paper's built-in configurations.
+pub fn all_figures_on(engine: &Engine) -> Result<Vec<Figure>> {
+    engine
+        .par_map(&FIGURE_BUILDERS, |build| build())
+        .into_iter()
+        .collect()
+}
+
+/// Recomputes all 17 findings plus the §7 case-study headline (id 18),
+/// in parallel across the engine selected by `FOCAL_THREADS`.
 ///
 /// # Errors
 ///
 /// Never fails for the paper's built-in configurations.
 pub fn all_findings() -> Result<Vec<Finding>> {
-    let multicore = MulticoreStudy::default();
-    let asymmetric = AsymmetricStudy::default();
-    let speculation = SpeculationStudy::default();
-    let dvfs = DvfsStudy::default();
-    Ok(vec![
-        multicore.finding1()?,
-        multicore.finding2()?,
-        multicore.finding3()?,
-        asymmetric.finding4()?,
-        asymmetric.finding5()?,
-        AcceleratorStudy::default().finding6()?,
-        DarkSiliconStudy::default().finding7()?,
-        CachingStudy::paper()?.finding8()?,
-        MicroarchStudy.finding9()?,
-        MicroarchStudy.finding10()?,
-        MicroarchStudy.finding11()?,
-        speculation.finding12()?,
-        speculation.finding13()?,
-        dvfs.finding14()?,
-        dvfs.finding15()?,
-        GatingStudy::default().finding16()?,
-        DieShrinkStudy.finding17()?,
-        CaseStudy::paper()?.headline()?,
-    ])
+    all_findings_on(&Engine::from_env())
+}
+
+/// [`all_findings`] on an explicit [`Engine`]; finding order (and every
+/// measured metric) is thread-count invariant.
+///
+/// # Errors
+///
+/// Never fails for the paper's built-in configurations.
+pub fn all_findings_on(engine: &Engine) -> Result<Vec<Finding>> {
+    engine
+        .par_map(&FINDING_BUILDERS, |build| build())
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

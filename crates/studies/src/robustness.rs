@@ -57,6 +57,28 @@ pub fn verdict_robustness(
     samples: usize,
     seed: u64,
 ) -> Result<Vec<VerdictRobustness>> {
+    verdict_robustness_on(
+        &focal_engine::Engine::from_env(),
+        ratio_jitter,
+        samples,
+        seed,
+    )
+}
+
+/// [`verdict_robustness`] on an explicit engine: the Monte-Carlo sampler
+/// uses chunked per-seed streams, so the agreements are bit-identical at
+/// every thread count.
+///
+/// # Errors
+///
+/// Propagates model-construction errors; never fails for the built-in
+/// taxonomy with `ratio_jitter ∈ [0, 1)`.
+pub fn verdict_robustness_on(
+    engine: &focal_engine::Engine,
+    ratio_jitter: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<VerdictRobustness>> {
     let rows = taxonomy()?;
     let reference = DesignPoint::reference();
     let mut out = Vec::new();
@@ -72,8 +94,8 @@ pub fn verdict_robustness(
             (E2oRange::OPERATIONAL_DOMINATED, row.paper_operational),
         ] {
             let mc = MonteCarloNcf::new(range, ratio_jitter, seed)?;
-            let fw = mc.run(&x, &y, Scenario::FixedWork, samples);
-            let ft = mc.run(&x, &y, Scenario::FixedTime, samples);
+            let fw = mc.run_on(engine, &x, &y, Scenario::FixedWork, samples);
+            let ft = mc.run_on(engine, &x, &y, Scenario::FixedTime, samples);
             let (expect_fw, expect_ft) = expectations(regime_verdict);
             worst_fw = worst_fw.min(agreement(&fw, expect_fw));
             worst_ft = worst_ft.min(agreement(&ft, expect_ft));

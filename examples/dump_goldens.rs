@@ -1,0 +1,26 @@
+//! Regenerates the golden CSV dumps pinned by `tests/figure_goldens.rs`.
+//!
+//! Run from the repo root after an *intentional* model change:
+//!
+//! ```sh
+//! cargo run --example dump_goldens
+//! ```
+//!
+//! and review the `tests/goldens/*.csv` diff like any other golden
+//! update. The differential tests in `tests/engine_determinism.rs`
+//! guarantee the dumps are independent of `FOCAL_THREADS`, so the
+//! regeneration thread count does not matter.
+
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    fs::create_dir_all(&dir)?;
+    for fig in focal::studies::all_figures()? {
+        let path = dir.join(format!("{}.csv", fig.id));
+        fs::write(&path, fig.to_csv())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

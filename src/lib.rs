@@ -60,6 +60,7 @@
 pub use focal_act as act;
 pub use focal_cache as cache;
 pub use focal_core as core;
+pub use focal_engine as engine;
 pub use focal_perf as perf;
 pub use focal_report as report;
 pub use focal_scaling as scaling;

@@ -1,10 +1,51 @@
 //! Golden-value regression tests: exact pinned data points for every
 //! figure, so any drift in the model chain is caught at the digit level
 //! (the findings tests use the paper's rounded numbers; these use the
-//! model's own exact values).
+//! model's own exact values), plus full-CSV golden files capturing every
+//! byte of every figure dump (regenerate with
+//! `cargo run --example dump_goldens` after an intentional model change).
 
 use focal::studies::all_figures;
 use focal::studies::Figure;
+
+/// Every figure's full CSV dump, captured from the serial model before
+/// the parallel engine existed. Byte-compared, not parsed: any change to
+/// values, ordering or formatting is a regression until a human re-dumps.
+const GOLDEN_CSVS: [(&str, &str); 9] = [
+    ("fig1", include_str!("goldens/fig1.csv")),
+    ("fig3", include_str!("goldens/fig3.csv")),
+    ("fig4", include_str!("goldens/fig4.csv")),
+    ("fig5a", include_str!("goldens/fig5a.csv")),
+    ("fig5b", include_str!("goldens/fig5b.csv")),
+    ("fig6", include_str!("goldens/fig6.csv")),
+    ("fig7", include_str!("goldens/fig7.csv")),
+    ("fig8", include_str!("goldens/fig8.csv")),
+    ("fig9", include_str!("goldens/fig9.csv")),
+];
+
+#[test]
+fn every_figure_csv_matches_its_golden_file_byte_for_byte() {
+    let figures = all_figures().unwrap();
+    assert_eq!(
+        figures.len(),
+        GOLDEN_CSVS.len(),
+        "a figure was added or removed; update tests/goldens/"
+    );
+    for fig in &figures {
+        let (_, golden) = GOLDEN_CSVS
+            .iter()
+            .find(|(id, _)| *id == fig.id)
+            .unwrap_or_else(|| panic!("no golden CSV for {}", fig.id));
+        let csv = fig.to_csv();
+        assert!(
+            csv.as_bytes() == golden.as_bytes(),
+            "{} CSV drifted from tests/goldens/{}.csv; if the model change \
+             is intentional, regenerate with `cargo run --example dump_goldens`",
+            fig.id,
+            fig.id
+        );
+    }
+}
 
 fn figure(id: &str) -> Figure {
     all_figures()

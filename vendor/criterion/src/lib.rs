@@ -63,7 +63,9 @@ fn measure<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     loop {
         let t = run_once(&mut f, iters);
         if t >= WARMUP_TIME || iters > u64::MAX / 2 {
-            let per_iter = t.as_nanos().max(1) / iters as u128;
+            // In release builds a trivial body can time at ~0 ns, so the
+            // quotient (not just the numerator) needs the >= 1 floor.
+            let per_iter = (t.as_nanos() / iters as u128).max(1);
             iters = (MEASURE_TIME.as_nanos() / per_iter).clamp(1, u64::MAX as u128) as u64;
             break;
         }
