@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use focal_core::{DesignPoint, E2oRange, E2oWeight, MonteCarloNcf, Ncf, Scenario};
 use focal_perf::{LeakageFraction, ParallelFraction, PollackRule, SymmetricMulticore};
-use focal_wafer::{DefectDensity, Wafer, YieldModel};
+use focal_wafer::{
+    DefectDensity, DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel,
+};
 use std::hint::black_box;
 
 fn bench_ncf(c: &mut Criterion) {
@@ -75,11 +77,25 @@ fn bench_wafer_math(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_defect_sim(c: &mut Criterion) {
+    let placement = DiePlacement::square(10.0);
+    let sim = DefectSimulator::new(Wafer::W300MM, DefectDistribution::Uniform, 0xF0CA1);
+    let mut group = c.benchmark_group("defect_sim");
+    group.bench_function("indexed/die10mm", |b| {
+        b.iter(|| black_box(sim.run(black_box(&placement), 0.2, 4).unwrap()))
+    });
+    group.bench_function("naive/die10mm", |b| {
+        b.iter(|| black_box(sim.run_reference(black_box(&placement), 0.2, 4).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_ncf,
     bench_monte_carlo,
     bench_multicore_models,
-    bench_wafer_math
+    bench_wafer_math,
+    bench_defect_sim
 );
 criterion_main!(kernels);

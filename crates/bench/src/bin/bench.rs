@@ -1,0 +1,234 @@
+//! The workspace microbenchmark harness: times the named model kernels
+//! and writes `BENCH.json`, the machine-readable perf trajectory CI
+//! archives on every run.
+//!
+//! ```sh
+//! cargo run --release -p focal-bench --bin bench
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — run every kernel exactly once instead of
+//!   calibrated median-of-5 trials (CI's fast schema check).
+//! * `--out <path>` — where to write the JSON (default `BENCH.json`).
+//! * `--check-speedup` — exit nonzero unless the spatial-index defect
+//!   kernel beats the retained naive reference by ≥ 5× at the
+//!   `square(10 mm)` / 0.2 defects·cm⁻² acceptance configuration.
+//!
+//! The human-readable table goes to stderr; only file I/O touches disk.
+
+use focal_bench::micro::{to_bench_json, BenchRecord, Measurement, MicroBench};
+use focal_bench::suite::{run_suite, DEFECT_SIM_DENSITY, DEFECT_SIM_SEED};
+use focal_core::{DesignPoint, E2oRange, MonteCarloNcf, Scenario, MC_CHUNK_SAMPLES};
+use focal_engine::Engine;
+use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer};
+use std::hint::black_box;
+
+/// The speedup the spatial-index kernel must show over the naive
+/// reference under `--check-speedup`.
+const MIN_DEFECT_SIM_SPEEDUP: f64 = 5.0;
+
+/// Wafers per defect-sim benchmark operation: enough to amortize the
+/// index build without inflating a single op into seconds.
+const BENCH_WAFERS: usize = 4;
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut check_speedup = false;
+    let mut out_path = "BENCH.json".to_string();
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check-speedup" => check_speedup = true,
+            "--out" if args.get(i + 1).is_some() => {
+                i += 1;
+                if let Some(p) = args.get(i) {
+                    out_path.clone_from(p);
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (expected --smoke, --check-speedup, --out <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let bench = if smoke {
+        MicroBench::smoke()
+    } else {
+        MicroBench::standard()
+    };
+    let engine = Engine::from_env();
+    let threads = engine.threads();
+    let rev = git_rev();
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let add = |records: &mut Vec<BenchRecord>, kernel: &str, m: Measurement| {
+        eprintln!("  {kernel:<40} {:>14.1} ns/op  (x{})", m.ns_per_op, m.iters);
+        records.push(BenchRecord {
+            kernel: kernel.to_string(),
+            ns_per_op: m.ns_per_op,
+            iters: m.iters,
+            threads,
+            git_rev: rev.clone(),
+        });
+    };
+    eprintln!(
+        "focal-bench microbenchmarks ({} thread(s), git {rev}):",
+        threads
+    );
+
+    // Exact die-placement counter.
+    let placement10 = DiePlacement::square(10.0);
+    add(
+        &mut records,
+        "chips_exact/square10mm",
+        bench.measure(|| {
+            let _ = black_box(Wafer::W300MM.chips_exact(black_box(&placement10)));
+        }),
+    );
+
+    // Defect simulator: uniform and clustered at three die sizes, plus
+    // the naive reference at the acceptance configuration.
+    let uniform = DefectSimulator::new(Wafer::W300MM, DefectDistribution::Uniform, DEFECT_SIM_SEED);
+    let clustered = DefectSimulator::new(
+        Wafer::W300MM,
+        DefectDistribution::Clustered {
+            mean_cluster_size: 8.0,
+            cluster_radius_mm: 2.0,
+        },
+        DEFECT_SIM_SEED,
+    );
+    for side in [10.0f64, 20.0, 28.0] {
+        let placement = DiePlacement::square(side);
+        // Surface configuration errors once, outside the timed loop.
+        uniform.run(&placement, DEFECT_SIM_DENSITY, 1)?;
+        add(
+            &mut records,
+            &format!("defect_sim/uniform/die{side:.0}mm"),
+            bench.measure(|| {
+                let _ =
+                    black_box(uniform.run(black_box(&placement), DEFECT_SIM_DENSITY, BENCH_WAFERS));
+            }),
+        );
+    }
+    for side in [10.0f64, 20.0] {
+        let placement = DiePlacement::square(side);
+        clustered.run(&placement, DEFECT_SIM_DENSITY, 1)?;
+        add(
+            &mut records,
+            &format!("defect_sim/clustered/die{side:.0}mm"),
+            bench.measure(|| {
+                let _ = black_box(clustered.run(
+                    black_box(&placement),
+                    DEFECT_SIM_DENSITY,
+                    BENCH_WAFERS,
+                ));
+            }),
+        );
+    }
+    add(
+        &mut records,
+        "defect_sim/naive/die10mm",
+        bench.measure(|| {
+            let _ = black_box(uniform.run_reference(
+                black_box(&placement10),
+                DEFECT_SIM_DENSITY,
+                BENCH_WAFERS,
+            ));
+        }),
+    );
+
+    // One Monte-Carlo NCF chunk on the serial engine: the per-sample
+    // kernel cost without pool scheduling in the way.
+    let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1)?;
+    let y = DesignPoint::reference();
+    let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 42)?;
+    let serial = Engine::serial();
+    add(
+        &mut records,
+        "monte_carlo_ncf/chunk4096",
+        bench.measure(|| {
+            let _ = black_box(mc.run_on(
+                &serial,
+                black_box(&x),
+                black_box(&y),
+                Scenario::FixedWork,
+                MC_CHUNK_SAMPLES,
+            ));
+        }),
+    );
+
+    // Every paper figure, end to end, on the configured engine.
+    focal_studies::all_figures_on(&engine)?;
+    add(
+        &mut records,
+        "all_figures",
+        bench.measure(|| {
+            let _ = black_box(focal_studies::all_figures_on(black_box(&engine)));
+        }),
+    );
+
+    // Suite stages ride along from one instrumented run (iters = 1):
+    // their wall-clocks are the coarse end of the trajectory.
+    let report = run_suite(&engine)?;
+    for stage in &report.stages {
+        add(
+            &mut records,
+            &format!("suite/{}", stage.name),
+            Measurement {
+                ns_per_op: stage.wall_us as f64 * 1000.0,
+                iters: 1,
+                trials: 1,
+            },
+        );
+    }
+
+    // The acceptance gate: spatial index vs retained naive reference.
+    let fast = records
+        .iter()
+        .find(|r| r.kernel == "defect_sim/uniform/die10mm")
+        .map(|r| r.ns_per_op);
+    let naive = records
+        .iter()
+        .find(|r| r.kernel == "defect_sim/naive/die10mm")
+        .map(|r| r.ns_per_op);
+    let speedup = match (fast, naive) {
+        (Some(f), Some(n)) if f > 0.0 => n / f,
+        _ => 0.0,
+    };
+    eprintln!(
+        "defect-sim spatial index vs naive reference at square(10mm)/{DEFECT_SIM_DENSITY} \
+         defects/cm^2: {speedup:.1}x"
+    );
+
+    std::fs::write(&out_path, to_bench_json(&records))?;
+    eprintln!("wrote {} kernel records to {out_path}", records.len());
+
+    if check_speedup && speedup < MIN_DEFECT_SIM_SPEEDUP {
+        eprintln!(
+            "FAILED: defect-sim speedup {speedup:.1}x is below the required \
+             {MIN_DEFECT_SIM_SPEEDUP}x"
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
 pub mod suite;
 
 use focal_studies::Figure;

@@ -17,6 +17,7 @@ use focal_core::{
 };
 use focal_engine::Engine;
 use focal_studies::robustness::verdict_robustness_on;
+use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -32,14 +33,27 @@ pub const ROBUSTNESS_SEED: u64 = 42;
 /// working assumption for first-order proxy error).
 pub const ROBUSTNESS_JITTER: f64 = 0.1;
 
+/// Seed for the defect-sim stage (fixed: the stage is a regression
+/// surface for the spatial-index kernel, not an experiment).
+pub const DEFECT_SIM_SEED: u64 = 0xF0CA1;
+
+/// Defect density for the defect-sim stage, in defects/cm² — the
+/// acceptance configuration the microbenchmark harness also measures.
+pub const DEFECT_SIM_DENSITY: f64 = 0.2;
+
+/// Wafers simulated per defect-sim stage run.
+pub const DEFECT_SIM_WAFERS: usize = 32;
+
 /// One suite stage: a name, its wall-clock, whether it passed, and its
 /// deterministic key→value entries.
 #[derive(Debug, Clone)]
 pub struct Stage {
     /// Stage name (`"figures"`, `"findings"`, …).
     pub name: &'static str,
-    /// Wall-clock milliseconds this stage took.
-    pub wall_ms: u128,
+    /// Wall-clock **microseconds** this stage took. Timings are kept at
+    /// microsecond granularity internally and only rounded at
+    /// serialization, so sub-millisecond stages don't report as 0.
+    pub wall_us: u128,
     /// `false` if the stage detected a reproduction failure.
     pub ok: bool,
     /// Deterministic entries, in insertion order.
@@ -67,7 +81,7 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -111,7 +125,7 @@ impl SuiteReport {
                 stage.ok
             );
             if with_timings {
-                let _ = write!(out, ", \"wall_ms\": {}", stage.wall_ms);
+                let _ = write!(out, ", \"wall_us\": {}", stage.wall_us);
             }
             out.push_str(", \"entries\": {");
             for (j, (k, v)) in stage.entries.iter().enumerate() {
@@ -135,20 +149,22 @@ impl SuiteReport {
     }
 
     /// Renders the human per-stage timing summary (for stderr).
+    /// Durations are tracked in microseconds and printed as fractional
+    /// milliseconds, so fast stages stay distinguishable from zero.
     #[must_use]
     pub fn human_summary(&self) -> String {
         let mut out = format!("reproduction suite on {} thread(s):\n", self.threads);
-        let total: u128 = self.stages.iter().map(|s| s.wall_ms).sum();
+        let total: u128 = self.stages.iter().map(|s| s.wall_us).sum();
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  {:<12} {:>8} ms   {}",
+                "  {:<12} {:>12.3} ms   {}",
                 s.name,
-                s.wall_ms,
+                s.wall_us as f64 / 1000.0,
                 if s.ok { "ok" } else { "FAILED" }
             );
         }
-        let _ = write!(out, "  {:<12} {total:>8} ms", "total");
+        let _ = write!(out, "  {:<12} {:>12.3} ms", "total", total as f64 / 1000.0);
         out
     }
 }
@@ -239,7 +255,7 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Res
     entries.sort();
     stages.push(Stage {
         name: "figures",
-        wall_ms: t.elapsed().as_millis(),
+        wall_us: t.elapsed().as_micros(),
         ok: figures.len() == 9,
         entries,
     });
@@ -264,7 +280,7 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Res
     entries.sort();
     stages.push(Stage {
         name: "findings",
-        wall_ms: t.elapsed().as_millis(),
+        wall_us: t.elapsed().as_micros(),
         ok: reproduced == findings.len(),
         entries,
     });
@@ -291,7 +307,7 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Res
     entries.sort();
     stages.push(Stage {
         name: "robustness",
-        wall_ms: t.elapsed().as_millis(),
+        wall_us: t.elapsed().as_micros(),
         ok: !robustness.is_empty(),
         entries,
     });
@@ -325,8 +341,52 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Res
     entries.sort();
     stages.push(Stage {
         name: "crossovers",
-        wall_ms: t.elapsed().as_millis(),
+        wall_us: t.elapsed().as_micros(),
         ok: !entries.is_empty(),
+        entries,
+    });
+
+    // Stage 5: the Monte-Carlo wafer defect simulator backing Figure 1's
+    // yield substrate. Fixed seed, so the entries are deterministic and
+    // the FOCAL_THREADS byte-diff in CI covers the spatial-index kernel.
+    let t = Instant::now();
+    let placement = DiePlacement::square(10.0);
+    let uniform = DefectSimulator::new(Wafer::W300MM, DefectDistribution::Uniform, DEFECT_SIM_SEED)
+        .run(&placement, DEFECT_SIM_DENSITY, DEFECT_SIM_WAFERS)?;
+    let clustered = DefectSimulator::new(
+        Wafer::W300MM,
+        DefectDistribution::Clustered {
+            mean_cluster_size: 8.0,
+            cluster_radius_mm: 2.0,
+        },
+        DEFECT_SIM_SEED,
+    )
+    .run(&placement, DEFECT_SIM_DENSITY, DEFECT_SIM_WAFERS)?;
+    // 10 mm dies are 1 cm², so λ = defect density; uniform defects must
+    // track Poisson and clustering must not lower the yield.
+    let analytic = YieldModel::Poisson.fraction_good_from_load(DEFECT_SIM_DENSITY);
+    let entries: Vec<(String, String)> = vec![
+        (
+            "clustered".to_string(),
+            format!(
+                "dies={}, mean_good={}, yield={}",
+                clustered.dies_per_wafer, clustered.mean_good_dies, clustered.mean_yield
+            ),
+        ),
+        ("poisson-analytic".to_string(), format!("{analytic}")),
+        (
+            "uniform".to_string(),
+            format!(
+                "dies={}, mean_good={}, yield={}",
+                uniform.dies_per_wafer, uniform.mean_good_dies, uniform.mean_yield
+            ),
+        ),
+    ];
+    stages.push(Stage {
+        name: "defect-sim",
+        wall_us: t.elapsed().as_micros(),
+        ok: (uniform.mean_yield - analytic).abs() < 0.05
+            && clustered.mean_yield >= uniform.mean_yield,
         entries,
     });
 
@@ -359,10 +419,21 @@ mod tests {
         let report = run_suite(&Engine::serial()).unwrap();
         assert!(report.ok());
         let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
-        assert_eq!(names, ["figures", "findings", "robustness", "crossovers"]);
+        assert_eq!(
+            names,
+            [
+                "figures",
+                "findings",
+                "robustness",
+                "crossovers",
+                "defect-sim"
+            ]
+        );
         // 9 figures, 18 findings + the reproduced summary row.
         assert_eq!(report.stages[0].entries.len(), 9);
         assert_eq!(report.stages[1].entries.len(), 19);
+        // Uniform + clustered sim results plus the analytic anchor.
+        assert_eq!(report.stages[4].entries.len(), 3);
     }
 
     #[test]
@@ -373,14 +444,34 @@ mod tests {
     }
 
     #[test]
-    fn timed_json_includes_threads_and_wall_ms() {
+    fn timed_json_includes_threads_and_wall_us() {
         let report = run_suite(&Engine::serial()).unwrap();
         let timed = report.to_json(true);
         assert!(timed.contains("\"threads\": 1"));
-        assert!(timed.contains("\"wall_ms\""));
+        assert!(timed.contains("\"wall_us\""));
         let bare = report.to_json(false);
         assert!(!bare.contains("\"threads\""));
-        assert!(!bare.contains("\"wall_ms\""));
+        assert!(!bare.contains("\"wall_us\""));
+    }
+
+    #[test]
+    fn human_summary_keeps_submillisecond_resolution() {
+        let report = SuiteReport {
+            threads: 1,
+            stages: vec![Stage {
+                name: "fast",
+                wall_us: 250,
+                ok: true,
+                entries: Vec::new(),
+            }],
+        };
+        // A 250 µs stage must not round down to a bare 0 ms.
+        assert!(
+            report.human_summary().contains("0.250 ms"),
+            "{}",
+            report.human_summary()
+        );
+        assert!(report.to_json(true).contains("\"wall_us\": 250"));
     }
 
     #[test]

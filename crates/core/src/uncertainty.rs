@@ -362,16 +362,19 @@ impl MonteCarloNcf {
         samples: usize,
     ) -> McSummary {
         assert!(samples > 0, "Monte-Carlo needs at least one sample");
+        // Everything that does not depend on the sampled α/jitter is
+        // hoisted out of the chunk loop: the baseline NCF ratios and the
+        // two sampling distributions (both `Copy`, shared by every chunk).
+        // Only the RNG itself is per-chunk state, seeded by chunk index.
         let a_ratio = x.area() / y.area();
         let o_ratio = scenario.operational_ratio(x, y);
+        let alpha_dist = Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
+        let jitter =
+            Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
 
         let n_chunks = chunk_count(samples, MC_CHUNK_SAMPLES);
         let chunks: Vec<Vec<f64>> = engine.par_chunk_map(n_chunks, |c| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c));
-            let alpha_dist =
-                Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
-            let jitter =
-                Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
             let lo = c * MC_CHUNK_SAMPLES;
             let hi = (lo + MC_CHUNK_SAMPLES).min(samples);
             (lo..hi)

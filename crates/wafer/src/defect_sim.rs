@@ -7,8 +7,20 @@
 //! [`crate::Wafer::chips_exact`], and a die is good iff no defect lands
 //! on it. Comparing the simulated good-die counts against the analytic
 //! models validates the substrate Figure 1 rests on.
+//!
+//! ## Kernel complexity
+//!
+//! Dies sit on a regular centered grid, so a defect at `(x, y)` maps to
+//! its unique candidate grid cell by two divisions. [`DefectSimulator::run`]
+//! exploits this with a precomputed [`GridIndex`] (grid cell → dense die
+//! id, plus a per-wafer good-die bitset), making one wafer O(dies +
+//! defects) instead of the all-pairs O(dies × defects).
+//! [`DefectSimulator::run_reference`] retains the naive scan as the
+//! reference oracle: both kernels draw the same random variates in the
+//! same order, so their [`SimulatedYield`] results are **bit-identical**
+//! (a property test pins this; the `bench` binary measures the speedup).
 
-use crate::geometry::{DiePlacement, Wafer};
+use crate::geometry::{DiePlacement, PlacedDie, Wafer};
 use focal_core::{ModelError, Result};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
@@ -80,6 +92,9 @@ impl DefectSimulator {
     /// Simulates `wafers` wafers at `defect_density_per_cm2`, returning
     /// the batch statistics.
     ///
+    /// Runs the O(dies + defects) spatial-index kernel; results are
+    /// bit-identical to [`DefectSimulator::run_reference`].
+    ///
     /// # Errors
     ///
     /// Returns an error for invalid placements, non-positive defect
@@ -91,6 +106,50 @@ impl DefectSimulator {
         defect_density_per_cm2: f64,
         wafers: usize,
     ) -> Result<SimulatedYield> {
+        self.validate(defect_density_per_cm2, wafers)?;
+        let index = GridIndex::build(&self.wafer, placement)?;
+        let mut hit = vec![0u64; index.dies.len().div_ceil(64)];
+        self.batch(
+            index.dies.len(),
+            defect_density_per_cm2,
+            wafers,
+            |defects| index.good_dies(defects, &mut hit),
+        )
+    }
+
+    /// The naive all-pairs O(dies × defects) kernel, retained as the
+    /// reference oracle for the spatial index: it draws the same random
+    /// variates in the same order as [`DefectSimulator::run`], so the two
+    /// must produce bit-identical [`SimulatedYield`]s. Property tests
+    /// assert this and the `bench` binary measures the speedup against it;
+    /// production callers should always use [`DefectSimulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DefectSimulator::run`].
+    pub fn run_reference(
+        &self,
+        placement: &DiePlacement,
+        defect_density_per_cm2: f64,
+        wafers: usize,
+    ) -> Result<SimulatedYield> {
+        self.validate(defect_density_per_cm2, wafers)?;
+        let dies: Vec<PlacedDie> = self.wafer.die_grid(placement)?.collect();
+        if dies.is_empty() {
+            return Err(ModelError::Inconsistent {
+                constraint: "no dies fit the wafer with this placement",
+            });
+        }
+        self.batch(dies.len(), defect_density_per_cm2, wafers, |defects| {
+            dies.iter()
+                .filter(|die| !defects.iter().any(|&(x, y)| die.contains(x, y)))
+                .count() as u64
+        })
+    }
+
+    /// Validates the non-placement run parameters (placement validation
+    /// happens in the die-grid rasterizer).
+    fn validate(&self, defect_density_per_cm2: f64, wafers: usize) -> Result<()> {
         if !defect_density_per_cm2.is_finite() {
             return Err(ModelError::NotFinite {
                 parameter: "defect density",
@@ -131,14 +190,22 @@ impl DefectSimulator {
                 });
             }
         }
+        Ok(())
+    }
 
-        let dies = self.die_rects(placement)?;
-        if dies.is_empty() {
-            return Err(ModelError::Inconsistent {
-                constraint: "no dies fit the wafer with this placement",
-            });
-        }
-
+    /// Drives the per-wafer sampling loop: every kernel variant sees the
+    /// identical defect stream (same RNG, same call order) and only
+    /// differs in how `good_dies` counts the surviving dies.
+    fn batch<F>(
+        &self,
+        dies_per_wafer: usize,
+        defect_density_per_cm2: f64,
+        wafers: usize,
+        mut good_dies: F,
+    ) -> Result<SimulatedYield>
+    where
+        F: FnMut(&[(f64, f64)]) -> u64,
+    {
         let radius = self.wafer.diameter_mm() / 2.0;
         let wafer_area_cm2 = std::f64::consts::PI * radius * radius / 100.0;
         let expected_defects = defect_density_per_cm2 * wafer_area_cm2;
@@ -148,24 +215,31 @@ impl DefectSimulator {
         let unit = Uniform::new(0.0f64, 1.0);
 
         let mut total_good = 0u64;
+        let mut defects: Vec<(f64, f64)> = Vec::new();
         for _ in 0..wafers {
-            let defects = self.sample_defects(expected_defects, radius, &mut rng, coord, unit);
-            total_good += dies
-                .iter()
-                .filter(|rect| !defects.iter().any(|&(x, y)| rect.contains(x, y)))
-                .count() as u64;
+            defects.clear();
+            self.sample_defects(
+                expected_defects,
+                radius,
+                &mut rng,
+                coord,
+                unit,
+                &mut defects,
+            );
+            total_good += good_dies(&defects);
         }
 
         let mean_good = total_good as f64 / wafers as f64;
         Ok(SimulatedYield {
-            dies_per_wafer: dies.len() as u64,
+            dies_per_wafer: dies_per_wafer as u64,
             mean_good_dies: mean_good,
-            mean_yield: mean_good / dies.len() as f64,
+            mean_yield: mean_good / dies_per_wafer as f64,
             wafers,
         })
     }
 
-    /// Draws one wafer's defect coordinates.
+    /// Draws one wafer's defect coordinates into `defects` (cleared by the
+    /// caller; the buffer is reused across wafers to avoid reallocation).
     fn sample_defects(
         &self,
         expected_defects: f64,
@@ -173,8 +247,8 @@ impl DefectSimulator {
         rng: &mut StdRng,
         coord: Uniform<f64>,
         unit: Uniform<f64>,
-    ) -> Vec<(f64, f64)> {
-        let mut defects = Vec::new();
+        defects: &mut Vec<(f64, f64)>,
+    ) {
         let sample_on_wafer = |rng: &mut StdRng| loop {
             let x = coord.sample(rng);
             let y = coord.sample(rng);
@@ -204,39 +278,128 @@ impl DefectSimulator {
                 }
             }
         }
-        defects
+    }
+}
+
+/// Sentinel for a grid cell holding no whole die (edge cells).
+const NO_DIE: u32 = u32::MAX;
+
+/// Spatial index over the placed dies of one `(wafer, placement)` pair:
+/// a dense cell → die-id table over the bounding cell box, so locating
+/// the die (if any) under a defect is O(1).
+///
+/// Lookups re-check candidates with the exact [`PlacedDie::contains`]
+/// predicate the naive scan uses — the integer cell math is only a
+/// *candidate filter* — and probe the 3×3 cell neighbourhood to absorb
+/// floating-point rounding at cell boundaries. Together these make the
+/// indexed kernel's hit set identical, bit for bit, to the all-pairs
+/// scan's.
+#[derive(Debug, Clone)]
+struct GridIndex {
+    dies: Vec<PlacedDie>,
+    /// Row-major `(ncols × nrows)` table of dense die ids ([`NO_DIE`] for
+    /// cells whose die fell outside the usable circle).
+    cells: Vec<u32>,
+    col_min: i64,
+    row_min: i64,
+    ncols: i64,
+    nrows: i64,
+    pitch_x: f64,
+    pitch_y: f64,
+    half_w: f64,
+    half_h: f64,
+}
+
+impl GridIndex {
+    fn build(wafer: &Wafer, placement: &DiePlacement) -> Result<GridIndex> {
+        let dies: Vec<PlacedDie> = wafer.die_grid(placement)?.collect();
+        if dies.is_empty() {
+            return Err(ModelError::Inconsistent {
+                constraint: "no dies fit the wafer with this placement",
+            });
+        }
+        if dies.len() >= NO_DIE as usize {
+            return Err(ModelError::Inconsistent {
+                constraint: "die count exceeds the spatial index's u32 id space",
+            });
+        }
+        let (mut col_min, mut col_max) = (i64::MAX, i64::MIN);
+        let (mut row_min, mut row_max) = (i64::MAX, i64::MIN);
+        for die in &dies {
+            col_min = col_min.min(die.col);
+            col_max = col_max.max(die.col);
+            row_min = row_min.min(die.row);
+            row_max = row_max.max(die.row);
+        }
+        let ncols = col_max - col_min + 1;
+        let nrows = row_max - row_min + 1;
+        let mut cells = vec![NO_DIE; (ncols * nrows) as usize];
+        for (id, die) in dies.iter().enumerate() {
+            let idx = ((die.row - row_min) * ncols + (die.col - col_min)) as usize;
+            if let Some(cell) = cells.get_mut(idx) {
+                *cell = id as u32;
+            }
+        }
+        Ok(GridIndex {
+            dies,
+            cells,
+            col_min,
+            row_min,
+            ncols,
+            nrows,
+            pitch_x: placement.die_width_mm + placement.scribe_mm,
+            pitch_y: placement.die_height_mm + placement.scribe_mm,
+            half_w: placement.die_width_mm / 2.0,
+            half_h: placement.die_height_mm / 2.0,
+        })
     }
 
-    /// The placed die rectangles (centered grid, matching
-    /// [`Wafer::chips_exact`]).
-    fn die_rects(&self, placement: &DiePlacement) -> Result<Vec<DieRect>> {
-        // Reuse the exact counter's geometry by replicating its placement
-        // rule; chips_exact validates the placement for us.
-        let count = self.wafer.chips_exact(placement)?;
-        let usable_r = self.wafer.diameter_mm() / 2.0 - placement.edge_exclusion_mm;
-        let pitch_x = placement.die_width_mm + placement.scribe_mm;
-        let pitch_y = placement.die_height_mm + placement.scribe_mm;
-        let r2 = usable_r * usable_r;
-        let nx = (usable_r / pitch_x).ceil() as i64 + 1;
-        let ny = (usable_r / pitch_y).ceil() as i64 + 1;
+    /// Counts the dies no defect landed on, using `hit` (one bit per die,
+    /// sized by [`GridIndex::build`]'s caller) as the kill bitset.
+    fn good_dies(&self, defects: &[(f64, f64)], hit: &mut [u64]) -> u64 {
+        for word in hit.iter_mut() {
+            *word = 0;
+        }
+        for &(x, y) in defects {
+            self.mark_hits(x, y, hit);
+        }
+        let killed: u64 = hit.iter().map(|w| u64::from(w.count_ones())).sum();
+        self.dies.len() as u64 - killed
+    }
 
-        let mut rects = Vec::new();
-        for i in -nx..nx {
-            for j in -ny..ny {
-                let x0 = i as f64 * pitch_x - placement.die_width_mm / 2.0;
-                let y0 = j as f64 * pitch_y - placement.die_height_mm / 2.0;
-                let x1 = x0 + placement.die_width_mm;
-                let y1 = y0 + placement.die_height_mm;
-                let inside = [x0, x1]
-                    .iter()
-                    .all(|&x| [y0, y1].iter().all(|&y| x * x + y * y <= r2));
-                if inside {
-                    rects.push(DieRect { x0, y0, x1, y1 });
+    /// Sets the bit of every die containing `(x, y)`.
+    fn mark_hits(&self, x: f64, y: f64, hit: &mut [u64]) {
+        // The die of grid column i spans u = x + w/2 ∈ [i·pitch, i·pitch + w),
+        // so floor(u / pitch) names the unique candidate column (same for
+        // rows). Probe ±1 cells to cover rounding at the boundaries.
+        let ci = ((x + self.half_w) / self.pitch_x).floor() as i64;
+        let cj = ((y + self.half_h) / self.pitch_y).floor() as i64;
+        for dj in -1..=1i64 {
+            let row = cj + dj;
+            if row < self.row_min || row >= self.row_min + self.nrows {
+                continue;
+            }
+            for di in -1..=1i64 {
+                let col = ci + di;
+                if col < self.col_min || col >= self.col_min + self.ncols {
+                    continue;
+                }
+                let idx = ((row - self.row_min) * self.ncols + (col - self.col_min)) as usize;
+                let id = self.cells.get(idx).copied().unwrap_or(NO_DIE);
+                if id == NO_DIE {
+                    continue;
+                }
+                let contains = self
+                    .dies
+                    .get(id as usize)
+                    .is_some_and(|die| die.contains(x, y));
+                if contains {
+                    if let Some(word) = hit.get_mut((id / 64) as usize) {
+                        *word |= 1u64 << (id % 64);
+                    }
                 }
             }
         }
-        debug_assert_eq!(rects.len() as u64, count);
-        Ok(rects)
     }
 }
 
@@ -263,20 +426,6 @@ fn sample_poisson(lambda: f64, rng: &mut StdRng, unit: Uniform<f64>) -> u64 {
             return k;
         }
         k += 1;
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct DieRect {
-    x0: f64,
-    y0: f64,
-    x1: f64,
-    y1: f64,
-}
-
-impl DieRect {
-    fn contains(&self, x: f64, y: f64) -> bool {
-        self.x0 <= x && x < self.x1 && self.y0 <= y && y < self.y1
     }
 }
 
@@ -361,17 +510,51 @@ mod tests {
     }
 
     #[test]
+    fn indexed_kernel_matches_reference_oracle() {
+        // The acceptance configuration (10 mm dies, 0.2 defects/cm²) plus
+        // scribe/edge/rectangular variants, both distributions.
+        let placements = [
+            DiePlacement::square(10.0),
+            DiePlacement::production(14.0, 9.0),
+            DiePlacement {
+                scribe_mm: 0.15,
+                ..DiePlacement::square(22.0)
+            },
+        ];
+        let distributions = [
+            DefectDistribution::Uniform,
+            DefectDistribution::Clustered {
+                mean_cluster_size: 6.0,
+                cluster_radius_mm: 1.5,
+            },
+        ];
+        for placement in &placements {
+            for dist in distributions {
+                let s = sim(dist);
+                let fast = s.run(placement, 0.2, 12).unwrap();
+                let naive = s.run_reference(placement, 0.2, 12).unwrap();
+                // PartialEq on SimulatedYield is field-wise f64 `==`, so
+                // this pins bit-identical results.
+                assert_eq!(fast, naive, "{placement:?} {dist:?}");
+            }
+        }
+    }
+
+    #[test]
     fn invalid_inputs_rejected() {
         let s = sim(DefectDistribution::Uniform);
         let placement = DiePlacement::square(20.0);
         assert!(s.run(&placement, -0.1, 10).is_err());
         assert!(s.run(&placement, f64::NAN, 10).is_err());
         assert!(s.run(&placement, 0.09, 0).is_err());
+        assert!(s.run_reference(&placement, -0.1, 10).is_err());
+        assert!(s.run_reference(&placement, 0.09, 0).is_err());
         let bad = sim(DefectDistribution::Clustered {
             mean_cluster_size: 0.5,
             cluster_radius_mm: 1.0,
         });
         assert!(bad.run(&placement, 0.09, 10).is_err());
+        assert!(bad.run_reference(&placement, 0.09, 10).is_err());
     }
 
     #[test]
@@ -382,6 +565,27 @@ mod tests {
             .unwrap();
         let exact = Wafer::W300MM.chips_exact(&placement).unwrap();
         assert_eq!(result.dies_per_wafer, exact);
+    }
+
+    #[test]
+    fn grid_index_locates_every_die_center() {
+        let placement = DiePlacement::production(12.0, 7.0);
+        let index = GridIndex::build(&Wafer::W300MM, &placement).unwrap();
+        let mut hit = vec![0u64; index.dies.len().div_ceil(64)];
+        // A defect at each die's center kills exactly that die.
+        for (id, die) in index.dies.iter().enumerate() {
+            let center = (0.5 * (die.x0 + die.x1), 0.5 * (die.y0 + die.y1));
+            let good = index.good_dies(&[center], &mut hit);
+            assert_eq!(good, index.dies.len() as u64 - 1, "die {id}");
+        }
+        // A defect on scribe-lane territory (just past a die's upper-x
+        // edge) kills nothing.
+        let first = index.dies.first().unwrap();
+        let on_scribe = (first.x1 + placement.scribe_mm / 2.0, first.y0 + 1.0);
+        assert_eq!(
+            index.good_dies(&[on_scribe], &mut hit),
+            index.dies.len() as u64
+        );
     }
 
     #[test]

@@ -118,11 +118,35 @@ impl Wafer {
     /// `edge_exclusion_mm`). The grid is centered on the wafer center,
     /// which is the common industrial choice.
     ///
+    /// The count is produced by the shared [`Wafer::die_grid`] rasterizer,
+    /// which also backs the defect simulator's spatial index.
+    ///
     /// # Errors
     ///
     /// Returns an error if any dimension is non-positive/non-finite or if
     /// the edge exclusion consumes the whole wafer.
     pub fn chips_exact(&self, placement: &DiePlacement) -> Result<u64> {
+        Ok(self.die_grid(placement)?.count() as u64)
+    }
+
+    /// Iterates over every whole die the centered grid places inside the
+    /// usable circle, in row-major `(row, col)` order.
+    ///
+    /// This is the single die-placement rasterizer: [`Wafer::chips_exact`]
+    /// counts its items and the defect simulator builds its spatial index
+    /// from them, so the two can never disagree about which dies exist.
+    ///
+    /// The scan is pruned analytically: rows whose whole y-band lies
+    /// outside the usable circle are skipped, and each remaining row only
+    /// visits the columns the circle equation admits (plus a safety margin
+    /// of two cells; the exact per-corner test remains the arbiter, so the
+    /// pruning never changes which dies are produced).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any dimension is non-positive/non-finite or if
+    /// the edge exclusion consumes the whole wafer.
+    pub fn die_grid(&self, placement: &DiePlacement) -> Result<DieGrid> {
         placement.validate()?;
         let usable_r = self.diameter_mm / 2.0 - placement.edge_exclusion_mm;
         if usable_r <= 0.0 {
@@ -130,33 +154,7 @@ impl Wafer {
                 constraint: "edge exclusion consumes the entire wafer",
             });
         }
-        let pitch_x = placement.die_width_mm + placement.scribe_mm;
-        let pitch_y = placement.die_height_mm + placement.scribe_mm;
-        let r2 = usable_r * usable_r;
-
-        // Enough grid cells to cover the usable circle on each side.
-        let nx = (usable_r / pitch_x).ceil() as i64 + 1;
-        let ny = (usable_r / pitch_y).ceil() as i64 + 1;
-
-        let mut count = 0u64;
-        for i in -nx..nx {
-            for j in -ny..ny {
-                // Die lower-left corner for a grid centered at the origin.
-                let x0 = i as f64 * pitch_x - placement.die_width_mm / 2.0;
-                let y0 = j as f64 * pitch_y - placement.die_height_mm / 2.0;
-                let x1 = x0 + placement.die_width_mm;
-                let y1 = y0 + placement.die_height_mm;
-                // All four corners must be inside the usable circle. For a
-                // convex region this implies the whole rectangle is inside.
-                let inside = [x0, x1]
-                    .iter()
-                    .all(|&x| [y0, y1].iter().all(|&y| x * x + y * y <= r2));
-                if inside {
-                    count += 1;
-                }
-            }
-        }
-        Ok(count)
+        Ok(DieGrid::new(usable_r, placement))
     }
 
     /// Exact count for a square die of the given area, zero scribe width and
@@ -258,6 +256,140 @@ impl DiePlacement {
             }
         }
         Ok(())
+    }
+}
+
+/// One die placed by the centered-grid rasterizer: its grid cell plus the
+/// rectangle it occupies on the wafer (mm, wafer-center origin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedDie {
+    /// Grid column index (0 is the column straddling the wafer center).
+    pub col: i64,
+    /// Grid row index (0 is the row straddling the wafer center).
+    pub row: i64,
+    /// Lower-left corner x in mm.
+    pub x0: f64,
+    /// Lower-left corner y in mm.
+    pub y0: f64,
+    /// Upper-right corner x in mm.
+    pub x1: f64,
+    /// Upper-right corner y in mm.
+    pub y1: f64,
+}
+
+impl PlacedDie {
+    /// `true` if the point lies on this die. Lower edges are inclusive and
+    /// upper edges exclusive, so the dies of a grid tile the plane without
+    /// double-counting boundary points.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        self.x0 <= x && x < self.x1 && self.y0 <= y && y < self.y1
+    }
+}
+
+/// Iterator over the whole dies a [`DiePlacement`] puts on a [`Wafer`];
+/// see [`Wafer::die_grid`].
+#[derive(Debug, Clone)]
+pub struct DieGrid {
+    die_w: f64,
+    die_h: f64,
+    pitch_x: f64,
+    pitch_y: f64,
+    r2: f64,
+    nx_cap: i64,
+    row_end: i64,
+    row: i64,
+    col: i64,
+    col_end: i64,
+    y0: f64,
+    y1: f64,
+}
+
+impl DieGrid {
+    fn new(usable_r: f64, placement: &DiePlacement) -> DieGrid {
+        let pitch_x = placement.die_width_mm + placement.scribe_mm;
+        let pitch_y = placement.die_height_mm + placement.scribe_mm;
+        // Exhaustive per-axis cell caps (enough cells to cover the usable
+        // circle on each side) — the pruned bounds below never exceed them.
+        let nx_cap = (usable_r / pitch_x).ceil() as i64 + 1;
+        let ny_cap = (usable_r / pitch_y).ceil() as i64 + 1;
+        // A die in row j reaches |y| = |j|·pitch_y + h/2, so rows beyond
+        // (usable_r − h/2)/pitch_y cannot pass the corner test. The +2
+        // margin absorbs floating-point rounding of the analytic bound;
+        // the exact test decides membership either way.
+        let nj = (((usable_r - placement.die_height_mm / 2.0) / pitch_y).floor() as i64 + 2)
+            .clamp(0, ny_cap);
+        let mut grid = DieGrid {
+            die_w: placement.die_width_mm,
+            die_h: placement.die_height_mm,
+            pitch_x,
+            pitch_y,
+            r2: usable_r * usable_r,
+            nx_cap,
+            row_end: nj,
+            row: -nj,
+            col: 0,
+            col_end: -1,
+            y0: 0.0,
+            y1: 0.0,
+        };
+        grid.enter_row();
+        grid
+    }
+
+    /// Positions the column cursor for `self.row`: the row's y-band and
+    /// the analytically pruned (superset) column range.
+    fn enter_row(&mut self) {
+        let y0 = self.row as f64 * self.pitch_y - self.die_h / 2.0;
+        let y1 = y0 + self.die_h;
+        let ymax = y0.abs().max(y1.abs());
+        // Columns must satisfy |i|·pitch_x + w/2 ≤ √(r² − ymax²); same +2
+        // rounding margin as the row bound, capped by the exhaustive scan.
+        let xr = (self.r2 - ymax * ymax).max(0.0).sqrt();
+        let ni =
+            (((xr - self.die_w / 2.0) / self.pitch_x).floor() as i64 + 2).clamp(0, self.nx_cap);
+        self.y0 = y0;
+        self.y1 = y1;
+        self.col = -ni;
+        self.col_end = ni;
+    }
+}
+
+impl Iterator for DieGrid {
+    type Item = PlacedDie;
+
+    fn next(&mut self) -> Option<PlacedDie> {
+        while self.row <= self.row_end {
+            while self.col <= self.col_end {
+                let i = self.col;
+                self.col += 1;
+                // Die lower-left corner for a grid centered at the origin.
+                let x0 = i as f64 * self.pitch_x - self.die_w / 2.0;
+                let x1 = x0 + self.die_w;
+                let (y0, y1) = (self.y0, self.y1);
+                // All four corners must be inside the usable circle. For a
+                // convex region this implies the whole rectangle is inside.
+                let inside = [x0, x1]
+                    .iter()
+                    .all(|&x| [y0, y1].iter().all(|&y| x * x + y * y <= self.r2));
+                if inside {
+                    return Some(PlacedDie {
+                        col: i,
+                        row: self.row,
+                        x0,
+                        y0,
+                        x1,
+                        y1,
+                    });
+                }
+            }
+            self.row += 1;
+            if self.row <= self.row_end {
+                self.enter_row();
+            }
+        }
+        None
     }
 }
 
@@ -420,6 +552,96 @@ mod tests {
             .unwrap() as f64;
         assert!((square - rect).abs() / square < 0.10);
         assert!(rect <= square, "elongated dies lose more at the edge");
+    }
+
+    /// The exhaustive rasterizer the pruned [`DieGrid`] must agree with:
+    /// scan every cell of the covering grid and apply the corner test.
+    fn exhaustive_rects(wafer: Wafer, p: &DiePlacement) -> Vec<(i64, i64, f64, f64, f64, f64)> {
+        let usable_r = wafer.diameter_mm() / 2.0 - p.edge_exclusion_mm;
+        let pitch_x = p.die_width_mm + p.scribe_mm;
+        let pitch_y = p.die_height_mm + p.scribe_mm;
+        let r2 = usable_r * usable_r;
+        let nx = (usable_r / pitch_x).ceil() as i64 + 1;
+        let ny = (usable_r / pitch_y).ceil() as i64 + 1;
+        let mut out = Vec::new();
+        for j in -ny..=ny {
+            for i in -nx..=nx {
+                let x0 = i as f64 * pitch_x - p.die_width_mm / 2.0;
+                let y0 = j as f64 * pitch_y - p.die_height_mm / 2.0;
+                let x1 = x0 + p.die_width_mm;
+                let y1 = y0 + p.die_height_mm;
+                let inside = [x0, x1]
+                    .iter()
+                    .all(|&x| [y0, y1].iter().all(|&y| x * x + y * y <= r2));
+                if inside {
+                    out.push((i, j, x0, y0, x1, y1));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn die_grid_matches_exhaustive_scan_for_all_placement_shapes() {
+        let cases = [
+            ("square", DiePlacement::square(10.0)),
+            ("square-large", DiePlacement::square(28.0)),
+            (
+                "rectangular",
+                DiePlacement {
+                    die_width_mm: 20.0,
+                    die_height_mm: 5.0,
+                    scribe_mm: 0.0,
+                    edge_exclusion_mm: 0.0,
+                },
+            ),
+            (
+                "scribe",
+                DiePlacement {
+                    scribe_mm: 0.2,
+                    ..DiePlacement::square(12.0)
+                },
+            ),
+            (
+                "edge-exclusion",
+                DiePlacement {
+                    edge_exclusion_mm: 5.0,
+                    ..DiePlacement::square(12.0)
+                },
+            ),
+            ("production", DiePlacement::production(17.0, 9.0)),
+        ];
+        for wafer in [Wafer::W200MM, Wafer::W300MM, Wafer::W450MM] {
+            for (name, placement) in &cases {
+                let want = exhaustive_rects(wafer, placement);
+                let got: Vec<(i64, i64, f64, f64, f64, f64)> = wafer
+                    .die_grid(placement)
+                    .unwrap()
+                    .map(|d| (d.col, d.row, d.x0, d.y0, d.x1, d.y1))
+                    .collect();
+                assert_eq!(got, want, "{name} on {} mm wafer", wafer.diameter_mm());
+                assert_eq!(
+                    wafer.chips_exact(placement).unwrap(),
+                    want.len() as u64,
+                    "{name} count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placed_die_boundary_semantics() {
+        let die = Wafer::W300MM
+            .die_grid(&DiePlacement::square(10.0))
+            .unwrap()
+            .find(|d| d.col == 0 && d.row == 0)
+            .unwrap();
+        // Lower edges inclusive, upper edges exclusive.
+        assert!(die.contains(die.x0, die.y0));
+        assert!(!die.contains(die.x1, die.y0));
+        assert!(!die.contains(die.x0, die.y1));
+        let mid = (0.5 * (die.x0 + die.x1), 0.5 * (die.y0 + die.y1));
+        assert!(die.contains(mid.0, mid.1));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use defect_sim::{DefectDistribution, DefectSimulator, SimulatedYield};
 pub use embodied::EmbodiedModel;
 pub use fab::ManufacturingTrend;
 pub use fit::Polynomial;
-pub use geometry::{DiePlacement, Wafer};
+pub use geometry::{DieGrid, DiePlacement, PlacedDie, Wafer};
 pub use harvest::HarvestPolicy;
 pub use scopes::ScopeBreakdown;
 pub use yield_model::{DefectDensity, YieldModel};

@@ -3,8 +3,8 @@
 
 use focal_core::SiliconArea;
 use focal_wafer::{
-    DefectDensity, DiePlacement, EmbodiedModel, HarvestPolicy, ManufacturingTrend, Polynomial,
-    ScopeBreakdown, Wafer, WaferEconomics, YieldModel,
+    DefectDensity, DefectDistribution, DefectSimulator, DiePlacement, EmbodiedModel, HarvestPolicy,
+    ManufacturingTrend, Polynomial, ScopeBreakdown, Wafer, WaferEconomics, YieldModel,
 };
 use proptest::prelude::*;
 
@@ -115,6 +115,37 @@ proptest! {
         let ppw1 = base.performance_per_wafer(die, perf).unwrap();
         let ppw2 = base.performance_per_wafer(die, perf * k).unwrap();
         prop_assert!((ppw2 / ppw1 - k).abs() < 1e-9);
+    }
+
+    /// The spatial-index defect kernel is bit-identical to the retained
+    /// naive all-pairs oracle for arbitrary seeds, densities, placements
+    /// and both defect distributions (`PartialEq` on `SimulatedYield`
+    /// compares every field with f64 `==`).
+    #[test]
+    fn defect_sim_spatial_index_matches_naive_oracle(
+        seed in any::<u64>(),
+        density in 0.0f64..0.6,
+        w in 8.0f64..30.0,
+        h in 8.0f64..30.0,
+        scribe in 0.0f64..0.3,
+        edge in 0.0f64..4.0,
+        clustered in any::<bool>(),
+    ) {
+        let placement = DiePlacement {
+            die_width_mm: w,
+            die_height_mm: h,
+            scribe_mm: scribe,
+            edge_exclusion_mm: edge,
+        };
+        let distribution = if clustered {
+            DefectDistribution::Clustered { mean_cluster_size: 6.0, cluster_radius_mm: 2.0 }
+        } else {
+            DefectDistribution::Uniform
+        };
+        let sim = DefectSimulator::new(Wafer::W300MM, distribution, seed);
+        let fast = sim.run(&placement, density, 3).unwrap();
+        let naive = sim.run_reference(&placement, density, 3).unwrap();
+        prop_assert_eq!(fast, naive);
     }
 
     /// Polynomial fitting reproduces exact polynomials of its own degree
