@@ -49,7 +49,7 @@ fn main() -> focal_core::Result<()> {
 
     let mut table = Table::new(vec!["mechanism", "verdict at α grid", "stable?"]);
     for (name, x, y) in &mechanisms {
-        let robust = classify_over_range(x, y, E2oRange::FULL, 101);
+        let robust = classify_over_range(x, y, E2oRange::FULL, 101)?;
         table.row(vec![
             (*name).to_string(),
             robust

@@ -189,7 +189,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Suite stages ride along from one instrumented run (iters = 1):
     // their wall-clocks are the coarse end of the trajectory.
-    let report = run_suite(&engine)?;
+    let report = run_suite(&engine);
     for stage in &report.stages {
         add(
             &mut records,
@@ -220,7 +220,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          defects/cm^2: {speedup:.1}x"
     );
 
-    std::fs::write(&out_path, to_bench_json(&records))?;
+    if let Err(e) = std::fs::write(&out_path, to_bench_json(&records)) {
+        eprintln!("error: failed to write '{out_path}': {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {} kernel records to {out_path}", records.len());
 
     if check_speedup && speedup < MIN_DEFECT_SIM_SPEEDUP {

@@ -18,13 +18,18 @@
 //!   [`focal_bench::suite::ROBUSTNESS_SAMPLES`]). Any value stays
 //!   bit-identical across thread counts; large values make the suite a
 //!   parallel-speedup benchmark.
+//! * `--inject <kind>@<site>:<index>` — arm the deterministic
+//!   fault-injection harness before running (e.g. `panic@figures:3`,
+//!   `nan@mc:1017`). The targeted stage degrades to `status: error` with
+//!   a minimal repro line; every other stage still runs. See DESIGN.md
+//!   §12.
 //!
-//! Exits nonzero if any stage fails to reproduce the paper.
+//! Exits nonzero if any stage fails to reproduce the paper or errors.
 
 use focal_bench::suite::{run_suite_with_samples, ROBUSTNESS_SAMPLES};
-use focal_engine::Engine;
+use focal_engine::{fault, Engine, FaultPlan};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut no_timings = false;
     let mut dump_dir: Option<&String> = None;
@@ -47,10 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 };
             }
+            "--inject" if args.get(i + 1).is_some() => {
+                i += 1;
+                let spec = args.get(i).map(String::as_str).unwrap_or_default();
+                match FaultPlan::parse(spec) {
+                    Ok(plan) => fault::arm(plan),
+                    Err(e) => {
+                        eprintln!("--inject: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown argument `{other}` \
-                     (expected --no-timings, --dump-dir <dir>, --samples <n>)"
+                    "unknown argument `{other}` (expected --no-timings, \
+                     --dump-dir <dir>, --samples <n>, --inject <spec>)"
                 );
                 std::process::exit(2);
             }
@@ -59,15 +75,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let engine = Engine::from_env();
-    let report = run_suite_with_samples(&engine, samples)?;
+    let report = run_suite_with_samples(&engine, samples);
 
     if let Some(dir) = dump_dir {
-        std::fs::create_dir_all(dir)?;
-        for fig in focal_studies::all_figures_on(&engine)? {
-            std::fs::write(
-                std::path::Path::new(dir).join(format!("{}.csv", fig.id)),
-                fig.to_csv(),
-            )?;
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: failed to create dump dir '{dir}': {e}");
+            std::process::exit(1);
+        }
+        match focal_studies::all_figures_on(&engine) {
+            Ok(figures) => {
+                for fig in figures {
+                    let path = std::path::Path::new(dir).join(format!("{}.csv", fig.id));
+                    if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                        eprintln!("error: failed to write '{}': {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: figure dump skipped: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

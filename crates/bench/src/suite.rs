@@ -11,14 +11,29 @@
 //! thread count): [`SuiteReport::to_json`] can omit the latter, so CI
 //! runs the suite under `FOCAL_THREADS=1` and `FOCAL_THREADS=4` and
 //! `diff`s the two JSON files byte-for-byte.
+//!
+//! ## Degradation, not abortion
+//!
+//! Every stage runs under isolation (see [`StageStatus`]): a panic or a
+//! poisoned engine chunk inside one stage records that stage as
+//! `status: error` — carrying the chunk-level diagnostic and a minimal
+//! reproduction line — while the remaining stages still execute. Stage
+//! outputs are additionally audited for NaN/∞ *before* they are
+//! fingerprinted, so silent numeric corruption surfaces as a structured
+//! error rather than a poisoned digest. The suite binary still exits
+//! nonzero when any stage is not `ok`. Error diagnostics come from the
+//! engine's thread-count-invariant [`focal_engine::ChunkError`], so even
+//! a faulted report stays byte-identical across `FOCAL_THREADS` values.
 
 use focal_core::{
-    alpha_crossover_batch, classify_over_range_on, DesignPoint, E2oRange, Result, Scenario,
+    alpha_crossover_batch, classify_over_range_on, DesignPoint, E2oRange, ModelError, Result,
+    Scenario,
 };
-use focal_engine::Engine;
+use focal_engine::{fault, ChunkError, Engine};
 use focal_studies::robustness::verdict_robustness_on;
 use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel};
 use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 /// Samples per Monte-Carlo robustness run — two full engine chunks plus
@@ -44,7 +59,39 @@ pub const DEFECT_SIM_DENSITY: f64 = 0.2;
 /// Wafers simulated per defect-sim stage run.
 pub const DEFECT_SIM_WAFERS: usize = 32;
 
-/// One suite stage: a name, its wall-clock, whether it passed, and its
+/// Outcome of one suite stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// The stage ran to completion and its acceptance checks passed.
+    Ok,
+    /// The stage ran to completion but an acceptance check failed
+    /// (e.g. a finding did not reproduce).
+    Failed,
+    /// The stage was cut short by an isolated fault — a poisoned engine
+    /// chunk, a non-finite output, or a stage-level panic. The remaining
+    /// stages still ran.
+    Error,
+}
+
+impl StageStatus {
+    /// The JSON serialization of the status.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageStatus::Ok => "ok",
+            StageStatus::Failed => "failed",
+            StageStatus::Error => "error",
+        }
+    }
+
+    /// `true` only for [`StageStatus::Ok`].
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        self == StageStatus::Ok
+    }
+}
+
+/// One suite stage: a name, its wall-clock, its outcome, and its
 /// deterministic key→value entries.
 #[derive(Debug, Clone)]
 pub struct Stage {
@@ -54,9 +101,12 @@ pub struct Stage {
     /// microsecond granularity internally and only rounded at
     /// serialization, so sub-millisecond stages don't report as 0.
     pub wall_us: u128,
-    /// `false` if the stage detected a reproduction failure.
-    pub ok: bool,
-    /// Deterministic entries, in insertion order.
+    /// The stage outcome; anything but [`StageStatus::Ok`] fails the
+    /// suite.
+    pub status: StageStatus,
+    /// Deterministic entries, in insertion order. For `error` stages
+    /// these are the diagnostic entries (`error`, and `repro` with the
+    /// minimal reproduction coordinates).
     pub entries: Vec<(String, String)>,
 }
 
@@ -101,7 +151,7 @@ impl SuiteReport {
     /// `true` if every stage passed.
     #[must_use]
     pub fn ok(&self) -> bool {
-        self.stages.iter().all(|s| s.ok)
+        self.stages.iter().all(|s| s.status.is_ok())
     }
 
     /// Renders the machine-readable JSON summary.
@@ -120,9 +170,10 @@ impl SuiteReport {
         for (i, stage) in self.stages.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"name\": \"{}\", \"ok\": {}",
+                "    {{\"name\": \"{}\", \"ok\": {}, \"status\": \"{}\"",
                 json_escape(stage.name),
-                stage.ok
+                stage.status.is_ok(),
+                stage.status.as_str()
             );
             if with_timings {
                 let _ = write!(out, ", \"wall_us\": {}", stage.wall_us);
@@ -161,7 +212,11 @@ impl SuiteReport {
                 "  {:<12} {:>12.3} ms   {}",
                 s.name,
                 s.wall_us as f64 / 1000.0,
-                if s.ok { "ok" } else { "FAILED" }
+                match s.status {
+                    StageStatus::Ok => "ok",
+                    StageStatus::Failed => "FAILED",
+                    StageStatus::Error => "ERROR",
+                }
             );
         }
         let _ = write!(out, "  {:<12} {:>12.3} ms", "total", total as f64 / 1000.0);
@@ -215,14 +270,96 @@ fn ablation_mechanisms() -> Result<Vec<(&'static str, DesignPoint, DesignPoint)>
     ])
 }
 
+/// Deterministic diagnostic entries for an `error` stage: the error text
+/// plus, where the error carries them, the minimal reproduction
+/// coordinates as a one-line `repro` entry.
+fn error_entries(name: &'static str, err: &ModelError) -> Vec<(String, String)> {
+    let mut entries = vec![("error".to_string(), err.to_string())];
+    match err {
+        ModelError::ChunkPoisoned {
+            chunk_index,
+            chunk_seed,
+            ..
+        } => entries.push((
+            "repro".to_string(),
+            format!("stage={name} chunk_index={chunk_index} chunk_seed={chunk_seed}"),
+        )),
+        ModelError::NonFiniteOutput { context, .. } => {
+            entries.push(("repro".to_string(), format!("stage={name} {context}")));
+        }
+        _ => {}
+    }
+    entries
+}
+
+/// Runs one stage body under isolation.
+///
+/// The body returns `Ok((passed, entries))` on completion; a returned
+/// [`ModelError`] or an escaping panic records the stage as
+/// [`StageStatus::Error`] with deterministic diagnostics instead of
+/// aborting the suite. Poisoned engine chunks arrive here either as
+/// `Err(ModelError::ChunkPoisoned)` (fallible engine paths) or as a
+/// resumed panic whose payload downcasts to [`ChunkError`] (infallible
+/// paths) — both produce the same diagnostic entries. The stage name is
+/// registered as the fault-injection site for the duration of the body,
+/// which is what scopes `--inject panic@<stage>:<chunk>` plans.
+fn run_stage<F>(name: &'static str, body: F) -> Stage
+where
+    F: FnOnce() -> Result<(bool, Vec<(String, String)>)>,
+{
+    fault::enter_site(name);
+    let t = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(body));
+    let wall_us = t.elapsed().as_micros();
+    fault::leave_site();
+    let (status, entries) = match outcome {
+        Ok(Ok((true, entries))) => (StageStatus::Ok, entries),
+        Ok(Ok((false, entries))) => (StageStatus::Failed, entries),
+        Ok(Err(e)) => (StageStatus::Error, error_entries(name, &e)),
+        Err(payload) => {
+            let entries = match payload.downcast::<ChunkError>() {
+                Ok(chunk) => error_entries(name, &ModelError::from(*chunk)),
+                Err(other) => {
+                    let msg = other
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| other.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    vec![("error".to_string(), format!("stage panicked: {msg}"))]
+                }
+            };
+            (StageStatus::Error, entries)
+        }
+    };
+    Stage {
+        name,
+        wall_us,
+        status,
+        entries,
+    }
+}
+
+/// Returns [`ModelError::NonFiniteOutput`] if `value` is NaN or infinite.
+/// The stage-boundary tripwire: every number a stage is about to
+/// fingerprint or judge goes through here first.
+fn audit_finite(context: impl FnOnce() -> String, value: f64) -> Result<()> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(ModelError::NonFiniteOutput {
+            context: context(),
+            value,
+        })
+    }
+}
+
 /// Runs the whole reproduction on `engine` and collects the report,
 /// with [`ROBUSTNESS_SAMPLES`] Monte-Carlo samples per robustness run.
 ///
-/// # Errors
-///
-/// Propagates model-construction errors from the studies; never fails
-/// for the built-in paper configurations.
-pub fn run_suite(engine: &Engine) -> Result<SuiteReport> {
+/// Individual stage faults degrade to `status: error` stages (see
+/// [`StageStatus`]); the suite itself always completes and reports.
+#[must_use]
+pub fn run_suite(engine: &Engine) -> SuiteReport {
     run_suite_with_samples(engine, ROBUSTNESS_SAMPLES)
 }
 
@@ -232,100 +369,122 @@ pub fn run_suite(engine: &Engine) -> Result<SuiteReport> {
 /// across thread counts; larger values turn the suite into a useful
 /// parallel-speedup benchmark.
 ///
-/// # Errors
-///
-/// Propagates model-construction errors from the studies; never fails
-/// for the built-in paper configurations.
-pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Result<SuiteReport> {
+/// Individual stage faults degrade to `status: error` stages (see
+/// [`StageStatus`]); the suite itself always completes and reports.
+#[must_use]
+pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> SuiteReport {
     let mut stages = Vec::new();
 
     // Stage 1: every paper figure, fingerprinted at the CSV-byte level.
-    let t = Instant::now();
-    let figures = focal_studies::all_figures_on(engine)?;
-    let mut entries: Vec<(String, String)> = figures
-        .iter()
-        .map(|f| {
-            let csv = f.to_csv();
-            (
-                f.id.to_string(),
-                format!("{} bytes, fnv64={:016x}", csv.len(), fnv64(csv.as_bytes())),
-            )
-        })
-        .collect();
-    entries.sort();
-    stages.push(Stage {
-        name: "figures",
-        wall_us: t.elapsed().as_micros(),
-        ok: figures.len() == 9,
-        entries,
-    });
+    stages.push(run_stage("figures", || {
+        let figures = focal_studies::all_figures_on(engine)?;
+        for f in &figures {
+            for (pi, panel) in f.panels.iter().enumerate() {
+                for s in &panel.series {
+                    for p in &s.points {
+                        for (axis, v) in [("performance", p.performance), ("ncf", p.ncf)] {
+                            audit_finite(
+                                || {
+                                    format!(
+                                        "figure {} panel {pi} series {} point {} ({axis})",
+                                        f.id, s.name, p.label
+                                    )
+                                },
+                                v,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        let mut entries: Vec<(String, String)> = figures
+            .iter()
+            .map(|f| {
+                let csv = f.to_csv();
+                (
+                    f.id.to_string(),
+                    format!("{} bytes, fnv64={:016x}", csv.len(), fnv64(csv.as_bytes())),
+                )
+            })
+            .collect();
+        entries.sort();
+        Ok((figures.len() == 9, entries))
+    }));
 
     // Stage 2: every finding, gated on reproduction.
-    let t = Instant::now();
-    let findings = focal_studies::all_findings_on(engine)?;
-    let reproduced = findings.iter().filter(|f| f.reproduces()).count();
-    let mut entries: Vec<(String, String)> = findings
-        .iter()
-        .map(|f| {
-            (
-                format!("finding-{:02}", f.id),
-                if f.reproduces() { "ok" } else { "FAILED" }.to_string(),
-            )
-        })
-        .collect();
-    entries.push((
-        "reproduced".to_string(),
-        format!("{reproduced}/{}", findings.len()),
-    ));
-    entries.sort();
-    stages.push(Stage {
-        name: "findings",
-        wall_us: t.elapsed().as_micros(),
-        ok: reproduced == findings.len(),
-        entries,
-    });
+    stages.push(run_stage("findings", || {
+        let findings = focal_studies::all_findings_on(engine)?;
+        for f in &findings {
+            for m in &f.metrics {
+                for (axis, v) in [("paper", m.paper), ("measured", m.measured)] {
+                    audit_finite(
+                        || format!("finding {:02} metric {} ({axis})", f.id, m.name),
+                        v,
+                    )?;
+                }
+            }
+        }
+        let reproduced = findings.iter().filter(|f| f.reproduces()).count();
+        let mut entries: Vec<(String, String)> = findings
+            .iter()
+            .map(|f| {
+                (
+                    format!("finding-{:02}", f.id),
+                    if f.reproduces() { "ok" } else { "FAILED" }.to_string(),
+                )
+            })
+            .collect();
+        entries.push((
+            "reproduced".to_string(),
+            format!("{reproduced}/{}", findings.len()),
+        ));
+        entries.sort();
+        Ok((reproduced == findings.len(), entries))
+    }));
 
     // Stage 3: Monte-Carlo verdict robustness across the taxonomy (the
     // §3.5 ablation). Agreements are exact sample fractions, so their
     // shortest-f64 rendering is thread-count invariant.
-    let t = Instant::now();
-    let robustness = verdict_robustness_on(
-        engine,
-        ROBUSTNESS_JITTER,
-        robustness_samples,
-        ROBUSTNESS_SEED,
-    )?;
-    let mut entries: Vec<(String, String)> = robustness
-        .iter()
-        .map(|r| {
-            (
-                r.mechanism.to_string(),
-                format!("min_agreement={}", r.min_agreement()),
-            )
-        })
-        .collect();
-    entries.sort();
-    stages.push(Stage {
-        name: "robustness",
-        wall_us: t.elapsed().as_micros(),
-        ok: !robustness.is_empty(),
-        entries,
-    });
+    stages.push(run_stage("robustness", || {
+        let robustness = verdict_robustness_on(
+            engine,
+            ROBUSTNESS_JITTER,
+            robustness_samples,
+            ROBUSTNESS_SEED,
+        )?;
+        for r in &robustness {
+            for (axis, v) in [
+                ("fixed_work_agreement", r.fixed_work_agreement),
+                ("fixed_time_agreement", r.fixed_time_agreement),
+            ] {
+                audit_finite(|| format!("robustness {} ({axis})", r.mechanism), v)?;
+            }
+        }
+        let mut entries: Vec<(String, String)> = robustness
+            .iter()
+            .map(|r| {
+                (
+                    r.mechanism.to_string(),
+                    format!("min_agreement={}", r.min_agreement()),
+                )
+            })
+            .collect();
+        entries.sort();
+        Ok((!robustness.is_empty(), entries))
+    }));
 
     // Stage 4: α-crossover + verdict-stability ablation over the
     // regime-sensitive mechanisms.
-    let t = Instant::now();
-    let mechanisms = ablation_mechanisms()?;
-    let pairs: Vec<(DesignPoint, DesignPoint)> =
-        mechanisms.iter().map(|&(_, x, y)| (x, y)).collect();
-    let fixed_work = alpha_crossover_batch(engine, &pairs, Scenario::FixedWork);
-    let fixed_time = alpha_crossover_batch(engine, &pairs, Scenario::FixedTime);
-    let mut entries: Vec<(String, String)> = mechanisms
-        .iter()
-        .zip(fixed_work.iter().zip(&fixed_time))
-        .map(|((name, x, y), (fw, ft))| {
-            let stability = classify_over_range_on(engine, x, y, E2oRange::FULL, 101);
-            (
+    stages.push(run_stage("crossovers", || {
+        let mechanisms = ablation_mechanisms()?;
+        let pairs: Vec<(DesignPoint, DesignPoint)> =
+            mechanisms.iter().map(|&(_, x, y)| (x, y)).collect();
+        let fixed_work = alpha_crossover_batch(engine, &pairs, Scenario::FixedWork);
+        let fixed_time = alpha_crossover_batch(engine, &pairs, Scenario::FixedTime);
+        let mut entries: Vec<(String, String)> = Vec::with_capacity(mechanisms.len());
+        for ((name, x, y), (fw, ft)) in mechanisms.iter().zip(fixed_work.iter().zip(&fixed_time)) {
+            let stability = classify_over_range_on(engine, x, y, E2oRange::FULL, 101)?;
+            entries.push((
                 (*name).to_string(),
                 format!(
                     "fw: {fw}; ft: {ft}; {}",
@@ -335,65 +494,66 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Res
                         "flips"
                     }
                 ),
-            )
-        })
-        .collect();
-    entries.sort();
-    stages.push(Stage {
-        name: "crossovers",
-        wall_us: t.elapsed().as_micros(),
-        ok: !entries.is_empty(),
-        entries,
-    });
+            ));
+        }
+        entries.sort();
+        Ok((!entries.is_empty(), entries))
+    }));
 
     // Stage 5: the Monte-Carlo wafer defect simulator backing Figure 1's
     // yield substrate. Fixed seed, so the entries are deterministic and
     // the FOCAL_THREADS byte-diff in CI covers the spatial-index kernel.
-    let t = Instant::now();
-    let placement = DiePlacement::square(10.0);
-    let uniform = DefectSimulator::new(Wafer::W300MM, DefectDistribution::Uniform, DEFECT_SIM_SEED)
+    stages.push(run_stage("defect-sim", || {
+        let placement = DiePlacement::square(10.0);
+        let uniform = DefectSimulator::new(
+            Wafer::W300MM,
+            DefectDistribution::Uniform,
+            DEFECT_SIM_SEED,
+        )
         .run(&placement, DEFECT_SIM_DENSITY, DEFECT_SIM_WAFERS)?;
-    let clustered = DefectSimulator::new(
-        Wafer::W300MM,
-        DefectDistribution::Clustered {
-            mean_cluster_size: 8.0,
-            cluster_radius_mm: 2.0,
-        },
-        DEFECT_SIM_SEED,
-    )
-    .run(&placement, DEFECT_SIM_DENSITY, DEFECT_SIM_WAFERS)?;
-    // 10 mm dies are 1 cm², so λ = defect density; uniform defects must
-    // track Poisson and clustering must not lower the yield.
-    let analytic = YieldModel::Poisson.fraction_good_from_load(DEFECT_SIM_DENSITY);
-    let entries: Vec<(String, String)> = vec![
-        (
-            "clustered".to_string(),
-            format!(
-                "dies={}, mean_good={}, yield={}",
-                clustered.dies_per_wafer, clustered.mean_good_dies, clustered.mean_yield
+        let clustered = DefectSimulator::new(
+            Wafer::W300MM,
+            DefectDistribution::Clustered {
+                mean_cluster_size: 8.0,
+                cluster_radius_mm: 2.0,
+            },
+            DEFECT_SIM_SEED,
+        )
+        .run(&placement, DEFECT_SIM_DENSITY, DEFECT_SIM_WAFERS)?;
+        for (label, r) in [("uniform", &uniform), ("clustered", &clustered)] {
+            for (axis, v) in [("mean_good", r.mean_good_dies), ("yield", r.mean_yield)] {
+                audit_finite(|| format!("defect-sim {label} ({axis})"), v)?;
+            }
+        }
+        // 10 mm dies are 1 cm², so λ = defect density; uniform defects must
+        // track Poisson and clustering must not lower the yield.
+        let analytic = YieldModel::Poisson.fraction_good_from_load(DEFECT_SIM_DENSITY);
+        let entries: Vec<(String, String)> = vec![
+            (
+                "clustered".to_string(),
+                format!(
+                    "dies={}, mean_good={}, yield={}",
+                    clustered.dies_per_wafer, clustered.mean_good_dies, clustered.mean_yield
+                ),
             ),
-        ),
-        ("poisson-analytic".to_string(), format!("{analytic}")),
-        (
-            "uniform".to_string(),
-            format!(
-                "dies={}, mean_good={}, yield={}",
-                uniform.dies_per_wafer, uniform.mean_good_dies, uniform.mean_yield
+            ("poisson-analytic".to_string(), format!("{analytic}")),
+            (
+                "uniform".to_string(),
+                format!(
+                    "dies={}, mean_good={}, yield={}",
+                    uniform.dies_per_wafer, uniform.mean_good_dies, uniform.mean_yield
+                ),
             ),
-        ),
-    ];
-    stages.push(Stage {
-        name: "defect-sim",
-        wall_us: t.elapsed().as_micros(),
-        ok: (uniform.mean_yield - analytic).abs() < 0.05
-            && clustered.mean_yield >= uniform.mean_yield,
-        entries,
-    });
+        ];
+        let passed = (uniform.mean_yield - analytic).abs() < 0.05
+            && clustered.mean_yield >= uniform.mean_yield;
+        Ok((passed, entries))
+    }));
 
-    Ok(SuiteReport {
+    SuiteReport {
         threads: engine.threads(),
         stages,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -416,7 +576,7 @@ mod tests {
 
     #[test]
     fn suite_runs_and_passes_on_the_paper_configuration() {
-        let report = run_suite(&Engine::serial()).unwrap();
+        let report = run_suite(&Engine::serial());
         assert!(report.ok());
         let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
         assert_eq!(
@@ -438,14 +598,14 @@ mod tests {
 
     #[test]
     fn deterministic_json_is_thread_count_invariant() {
-        let a = run_suite(&Engine::serial()).unwrap();
-        let b = run_suite(&Engine::with_threads(3)).unwrap();
+        let a = run_suite(&Engine::serial());
+        let b = run_suite(&Engine::with_threads(3));
         assert_eq!(a.to_json(false), b.to_json(false));
     }
 
     #[test]
     fn timed_json_includes_threads_and_wall_us() {
-        let report = run_suite(&Engine::serial()).unwrap();
+        let report = run_suite(&Engine::serial());
         let timed = report.to_json(true);
         assert!(timed.contains("\"threads\": 1"));
         assert!(timed.contains("\"wall_us\""));
@@ -461,7 +621,7 @@ mod tests {
             stages: vec![Stage {
                 name: "fast",
                 wall_us: 250,
-                ok: true,
+                status: StageStatus::Ok,
                 entries: Vec::new(),
             }],
         };
@@ -476,7 +636,7 @@ mod tests {
 
     #[test]
     fn human_summary_lists_every_stage() {
-        let report = run_suite(&Engine::serial()).unwrap();
+        let report = run_suite(&Engine::serial());
         let text = report.human_summary();
         for stage in &report.stages {
             assert!(text.contains(stage.name), "{text}");

@@ -168,9 +168,11 @@ impl fmt::Display for RobustClassification {
 /// Classifies `x` vs `y` over `grid_points` evenly spaced α values spanning
 /// `range`, reporting whether the verdict is robust to the α uncertainty.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `grid_points < 2` (propagated from [`E2oRange::grid`]).
+/// Returns [`crate::ModelError::OutOfRange`] if `grid_points < 2`
+/// (propagated from [`E2oRange::grid`]), or
+/// [`crate::ModelError::ChunkPoisoned`] if a grid chunk panics.
 ///
 /// # Examples
 ///
@@ -179,7 +181,7 @@ impl fmt::Display for RobustClassification {
 ///
 /// let x = DesignPoint::from_power_perf(0.5, 0.5, 1.0)?;
 /// let y = DesignPoint::reference();
-/// let robust = classify_over_range(&x, &y, E2oRange::FULL, 11);
+/// let robust = classify_over_range(&x, &y, E2oRange::FULL, 11)?;
 /// assert_eq!(robust.stable_class(), Some(Sustainability::Strongly));
 /// # Ok::<(), focal_core::ModelError>(())
 /// ```
@@ -188,38 +190,38 @@ pub fn classify_over_range(
     y: &DesignPoint,
     range: E2oRange,
     grid_points: usize,
-) -> RobustClassification {
+) -> crate::Result<RobustClassification> {
     classify_over_range_on(&focal_engine::Engine::from_env(), x, y, range, grid_points)
 }
 
 /// [`classify_over_range`] on an explicit engine: the α grid is evaluated
-/// in parallel with [`focal_engine::Engine::par_map`], which preserves
+/// in parallel with [`focal_engine::Engine::try_par_map`], which preserves
 /// grid order, so the result is identical at every thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `grid_points < 2` (propagated from [`E2oRange::grid`]).
+/// See [`classify_over_range`].
 pub fn classify_over_range_on(
     engine: &focal_engine::Engine,
     x: &DesignPoint,
     y: &DesignPoint,
     range: E2oRange,
     grid_points: usize,
-) -> RobustClassification {
-    let grid = range.grid(grid_points);
+) -> crate::Result<RobustClassification> {
+    let grid = range.grid(grid_points)?;
     let per_alpha: Vec<(E2oWeight, Sustainability)> =
-        engine.par_map(&grid, |&alpha| (alpha, classify(x, y, alpha).class));
+        engine.try_par_map(0, &grid, |&alpha| (alpha, classify(x, y, alpha).class))?;
     let mut observed = Vec::new();
     for (_, class) in &per_alpha {
         if !observed.contains(class) {
             observed.push(*class);
         }
     }
-    RobustClassification {
+    Ok(RobustClassification {
         at_center: classify(x, y, range.center()).class,
         observed,
         per_alpha,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -321,7 +323,7 @@ mod tests {
         // at high α the area savings dominate (strong), at low α the
         // operational increase dominates (less).
         let x = DesignPoint::from_raw(0.3, 1.15, 1.15, 1.0).unwrap();
-        let robust = classify_over_range(&x, &reference(), E2oRange::FULL, 21);
+        let robust = classify_over_range(&x, &reference(), E2oRange::FULL, 21).unwrap();
         assert!(!robust.is_stable());
         assert!(robust.observed.len() >= 2);
         assert_eq!(robust.stable_class(), None);
@@ -330,7 +332,7 @@ mod tests {
     #[test]
     fn robust_classification_stable_for_dominant_designs() {
         let x = DesignPoint::from_power_perf(0.5, 0.5, 1.5).unwrap();
-        let robust = classify_over_range(&x, &reference(), E2oRange::FULL, 21);
+        let robust = classify_over_range(&x, &reference(), E2oRange::FULL, 21).unwrap();
         assert!(robust.is_stable());
         assert_eq!(robust.stable_class(), Some(Sustainability::Strongly));
         assert_eq!(robust.per_alpha.len(), 21);

@@ -53,6 +53,28 @@ pub enum ModelError {
         /// Human-readable description of the calibrated domain.
         domain: &'static str,
     },
+    /// A chunk of a parallel evaluation panicked (or had a fault
+    /// injected) and was isolated by the engine. Carries the minimal
+    /// reproduction coordinates: the lowest failing chunk index and the
+    /// chunk's derived RNG seed (see `focal_engine::ChunkError`).
+    ChunkPoisoned {
+        /// Index of the poisoned chunk (lowest failing index of the run,
+        /// identical at every thread count).
+        chunk_index: usize,
+        /// The chunk's derived RNG seed (`seed + chunk_index`, wrapping).
+        chunk_seed: u64,
+        /// Stringified panic payload (or injected-fault description).
+        payload: String,
+    },
+    /// A computed output value that must be a finite number was NaN or
+    /// infinite — the stage-boundary tripwire that turns silent numeric
+    /// corruption into a structured error before results are fingerprinted.
+    NonFiniteOutput {
+        /// Where the value was produced (e.g. `"figure f7 panel 0"`).
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -75,11 +97,34 @@ impl fmt::Display for ModelError {
             ModelError::OutsideCalibration { model, domain } => {
                 write!(f, "model `{model}` is only calibrated for {domain}")
             }
+            ModelError::ChunkPoisoned {
+                chunk_index,
+                chunk_seed,
+                payload,
+            } => write!(
+                f,
+                "chunk {chunk_index} (chunk_seed {chunk_seed}) poisoned: {payload}"
+            ),
+            ModelError::NonFiniteOutput { context, value } => {
+                write!(f, "non-finite output in {context}: {value}")
+            }
         }
     }
 }
 
 impl std::error::Error for ModelError {}
+
+impl From<focal_engine::ChunkError> for ModelError {
+    /// Lifts the engine's structured chunk failure into the model error
+    /// space, preserving the reproduction coordinates verbatim.
+    fn from(e: focal_engine::ChunkError) -> Self {
+        ModelError::ChunkPoisoned {
+            chunk_index: e.chunk_index,
+            chunk_seed: e.chunk_seed,
+            payload: e.payload,
+        }
+    }
+}
 
 /// Convenience alias for `Result<T, ModelError>`.
 pub type Result<T> = std::result::Result<T, ModelError>;
@@ -174,6 +219,38 @@ mod tests {
             domain: "1 MiB to 16 MiB",
         };
         assert!(err.to_string().contains("cacti-lite"));
+    }
+
+    #[test]
+    fn chunk_error_lifts_losslessly() {
+        let e = focal_engine::ChunkError {
+            chunk_index: 3,
+            chunk_seed: 45,
+            payload: "boom".into(),
+        };
+        let m: ModelError = e.into();
+        assert_eq!(
+            m,
+            ModelError::ChunkPoisoned {
+                chunk_index: 3,
+                chunk_seed: 45,
+                payload: "boom".into(),
+            }
+        );
+        let msg = m.to_string();
+        assert!(msg.contains("chunk 3"));
+        assert!(msg.contains("chunk_seed 45"));
+    }
+
+    #[test]
+    fn non_finite_output_names_context() {
+        let m = ModelError::NonFiniteOutput {
+            context: "figure f7 panel 0".into(),
+            value: f64::NAN,
+        };
+        let msg = m.to_string();
+        assert!(msg.contains("figure f7 panel 0"));
+        assert!(msg.contains("NaN"));
     }
 
     #[test]

@@ -290,7 +290,7 @@ impl fmt::Display for McSummary {
 /// let x = DesignPoint::from_power_perf(0.6, 0.7, 1.0)?;
 /// let y = DesignPoint::reference();
 /// let mc = MonteCarloNcf::new(E2oRange::OPERATIONAL_DOMINATED, 0.1, 42)?;
-/// let summary = mc.run(&x, &y, Scenario::FixedWork, 10_000);
+/// let summary = mc.run(&x, &y, Scenario::FixedWork, 10_000)?;
 /// assert!(summary.prob_reduction > 0.99);
 /// # Ok::<(), focal_core::ModelError>(())
 /// ```
@@ -328,16 +328,16 @@ impl MonteCarloNcf {
     /// summarizes them, parallelizing across the engine selected by
     /// `FOCAL_THREADS` (see [`MonteCarloNcf::run_on`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples == 0`.
+    /// See [`MonteCarloNcf::run_on`].
     pub fn run(
         &self,
         x: &DesignPoint,
         y: &DesignPoint,
         scenario: Scenario,
         samples: usize,
-    ) -> McSummary {
+    ) -> Result<McSummary> {
         self.run_on(&Engine::from_env(), x, y, scenario, samples)
     }
 
@@ -350,9 +350,16 @@ impl MonteCarloNcf {
     /// pin this). With a single-threaded engine the chunk loop runs
     /// inline on the calling thread.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples == 0`.
+    /// * [`ModelError::OutOfRange`] if `samples == 0`.
+    /// * [`ModelError::ChunkPoisoned`] if a sampling chunk panics (or an
+    ///   armed fault plan targets one); the error names the lowest failing
+    ///   chunk and its derived seed, identically at every thread count.
+    /// * [`ModelError::NonFiniteOutput`] if any drawn NCF value is NaN or
+    ///   infinite (including values poisoned by an armed `nan@mc:<index>`
+    ///   fault plan) — the tripwire fires before any summary statistic is
+    ///   computed, naming the lowest offending sample index.
     pub fn run_on(
         &self,
         engine: &Engine,
@@ -360,8 +367,14 @@ impl MonteCarloNcf {
         y: &DesignPoint,
         scenario: Scenario,
         samples: usize,
-    ) -> McSummary {
-        assert!(samples > 0, "Monte-Carlo needs at least one sample");
+    ) -> Result<McSummary> {
+        if samples == 0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "samples",
+                value: 0.0,
+                expected: "[1, +inf) (Monte-Carlo needs at least one sample)",
+            });
+        }
         // Everything that does not depend on the sampled α/jitter is
         // hoisted out of the chunk loop: the baseline NCF ratios and the
         // two sampling distributions (both `Copy`, shared by every chunk).
@@ -373,20 +386,42 @@ impl MonteCarloNcf {
             Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
 
         let n_chunks = chunk_count(samples, MC_CHUNK_SAMPLES);
-        let chunks: Vec<Vec<f64>> = engine.par_chunk_map(n_chunks, |c| {
+        let chunks: Vec<Vec<f64>> = engine.try_par_chunk_map(self.seed, n_chunks, |c| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c));
+            // Armed `nan@mc:<sample>` fault plans poison exactly one
+            // global sample index; disarmed runs pay one atomic load per
+            // chunk. The index is global, so the poisoned sample is the
+            // same at every thread count.
+            let nan_at = focal_engine::fault::nan_target("mc");
             let lo = c * MC_CHUNK_SAMPLES;
             let hi = (lo + MC_CHUNK_SAMPLES).min(samples);
             (lo..hi)
-                .map(|_| {
+                .map(|i| {
                     let alpha = alpha_dist.sample(&mut rng);
                     let a = a_ratio * jitter.sample(&mut rng);
                     let o = o_ratio * jitter.sample(&mut rng);
+                    if nan_at == Some(i as u64) {
+                        return f64::NAN;
+                    }
                     alpha * a + (1.0 - alpha) * o
                 })
                 .collect()
-        });
+        })?;
         let mut values: Vec<f64> = chunks.concat();
+        // NaN/∞ tripwire *before* sorting, while sample indices are still
+        // global draw order: a non-finite draw becomes a structured error
+        // naming its minimal reproduction coordinates, never a silently
+        // corrupted summary.
+        if let Some((i, &v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            let c = i / MC_CHUNK_SAMPLES;
+            return Err(ModelError::NonFiniteOutput {
+                context: format!(
+                    "monte-carlo sample {i} (chunk {c}, chunk_seed {})",
+                    chunk_seed(self.seed, c)
+                ),
+                value: v,
+            });
+        }
         values.sort_by(|a, b| a.total_cmp(b));
 
         let n = values.len();
@@ -399,10 +434,10 @@ impl MonteCarloNcf {
         let pct = |p: f64| values[((p * (n - 1) as f64).round() as usize).min(n - 1)];
         let below = values.iter().filter(|&&v| v < 1.0).count();
 
-        McSummary {
+        Ok(McSummary {
             mean,
             std_dev: var.sqrt(),
-            // focal-lint: allow(panic-freedom) -- non-empty: `samples > 0` asserted at entry
+            // focal-lint: allow(panic-freedom) -- non-empty: `samples == 0` rejected at entry
             min: values[0],
             max: values[n - 1],
             p05: pct(0.05),
@@ -410,20 +445,24 @@ impl MonteCarloNcf {
             p95: pct(0.95),
             prob_reduction: below as f64 / n as f64,
             samples: n,
-        }
+        })
     }
 
     /// Convenience: evaluates the deterministic center-point NCF alongside
     /// the Monte-Carlo summary.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloNcf::run_on`].
     pub fn run_with_center(
         &self,
         x: &DesignPoint,
         y: &DesignPoint,
         scenario: Scenario,
         samples: usize,
-    ) -> (Ncf, McSummary) {
+    ) -> Result<(Ncf, McSummary)> {
         let center = Ncf::evaluate(x, y, scenario, self.range.center());
-        (center, self.run(x, y, scenario, samples))
+        Ok((center, self.run(x, y, scenario, samples)?))
     }
 }
 
@@ -477,7 +516,7 @@ mod tests {
         let y = DesignPoint::reference();
         let range = E2oRange::EMBODIED_DOMINATED;
         let iv = ncf_interval(&x, &y, Scenario::FixedTime, range, 0.0).unwrap();
-        for alpha in range.grid(9) {
+        for alpha in range.grid(9).unwrap() {
             let v = Ncf::evaluate(&x, &y, Scenario::FixedTime, alpha).value();
             assert!(iv.contains(v), "{v} not in {iv}");
         }
@@ -505,8 +544,8 @@ mod tests {
         let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).unwrap();
         let y = DesignPoint::reference();
         let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 7).unwrap();
-        let a = mc.run(&x, &y, Scenario::FixedWork, 1000);
-        let b = mc.run(&x, &y, Scenario::FixedWork, 1000);
+        let a = mc.run(&x, &y, Scenario::FixedWork, 1000).unwrap();
+        let b = mc.run(&x, &y, Scenario::FixedWork, 1000).unwrap();
         assert_eq!(a, b);
     }
 
@@ -517,15 +556,19 @@ mod tests {
         let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 7).unwrap();
         // 3 chunks (two full, one partial) exercises uneven chunk shapes.
         let samples = 2 * MC_CHUNK_SAMPLES + 123;
-        let serial = mc.run_on(&Engine::serial(), &x, &y, Scenario::FixedWork, samples);
+        let serial = mc
+            .run_on(&Engine::serial(), &x, &y, Scenario::FixedWork, samples)
+            .unwrap();
         for threads in [2, 3, 7] {
-            let par = mc.run_on(
-                &Engine::with_threads(threads),
-                &x,
-                &y,
-                Scenario::FixedWork,
-                samples,
-            );
+            let par = mc
+                .run_on(
+                    &Engine::with_threads(threads),
+                    &x,
+                    &y,
+                    Scenario::FixedWork,
+                    samples,
+                )
+                .unwrap();
             // PartialEq on McSummary compares every field with f64 `==`,
             // which only holds for bit-identical values.
             assert_eq!(serial, par, "threads={threads}");
@@ -539,7 +582,7 @@ mod tests {
         let range = E2oRange::OPERATIONAL_DOMINATED;
         let iv = ncf_interval(&x, &y, Scenario::FixedTime, range, 0.05).unwrap();
         let mc = MonteCarloNcf::new(range, 0.05, 99).unwrap();
-        let s = mc.run(&x, &y, Scenario::FixedTime, 5000);
+        let s = mc.run(&x, &y, Scenario::FixedTime, 5000).unwrap();
         assert!(s.min >= iv.lo() - 1e-12);
         assert!(s.max <= iv.hi() + 1e-12);
         assert!(iv.contains(s.mean));
@@ -550,7 +593,7 @@ mod tests {
         let x = DesignPoint::from_power_perf(1.1, 1.05, 1.0).unwrap();
         let y = DesignPoint::reference();
         let mc = MonteCarloNcf::new(E2oRange::FULL, 0.2, 3).unwrap();
-        let s = mc.run(&x, &y, Scenario::FixedWork, 2000);
+        let s = mc.run(&x, &y, Scenario::FixedWork, 2000).unwrap();
         assert!(s.min <= s.p05 && s.p05 <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
         assert_eq!(s.samples, 2000);
     }
@@ -563,11 +606,14 @@ mod tests {
         let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 11).unwrap();
         assert_eq!(
             mc.run(&better, &y, Scenario::FixedWork, 2000)
+                .unwrap()
                 .prob_reduction,
             1.0
         );
         assert_eq!(
-            mc.run(&worse, &y, Scenario::FixedWork, 2000).prob_reduction,
+            mc.run(&worse, &y, Scenario::FixedWork, 2000)
+                .unwrap()
+                .prob_reduction,
             0.0
         );
     }
@@ -577,16 +623,19 @@ mod tests {
         let x = DesignPoint::from_power_perf(0.9, 0.8, 1.0).unwrap();
         let y = DesignPoint::reference();
         let mc = MonteCarloNcf::new(E2oRange::EMBODIED_DOMINATED, 0.0, 5).unwrap();
-        let (center, _) = mc.run_with_center(&x, &y, Scenario::FixedWork, 10);
+        let (center, _) = mc.run_with_center(&x, &y, Scenario::FixedWork, 10).unwrap();
         let direct = Ncf::evaluate(&x, &y, Scenario::FixedWork, E2oWeight::EMBODIED_DOMINATED);
         assert_eq!(center.value(), direct.value());
     }
 
     #[test]
-    #[should_panic(expected = "at least one sample")]
-    fn zero_samples_panics() {
+    fn zero_samples_is_a_structured_error() {
         let x = DesignPoint::reference();
         let mc = MonteCarloNcf::new(E2oRange::FULL, 0.0, 1).unwrap();
-        let _ = mc.run(&x, &x, Scenario::FixedWork, 0);
+        let err = mc.run(&x, &x, Scenario::FixedWork, 0).unwrap_err();
+        assert!(
+            matches!(err, ModelError::OutOfRange { parameter, .. } if parameter == "samples"),
+            "{err}"
+        );
     }
 }

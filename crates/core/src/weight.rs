@@ -191,19 +191,26 @@ impl E2oRange {
     /// Returns `n` evenly spaced weights spanning the band (inclusive of
     /// both endpoints), for grid sweeps.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n < 2` (a grid needs at least both endpoints).
-    pub fn grid(&self, n: usize) -> Vec<E2oWeight> {
-        assert!(n >= 2, "an alpha grid needs at least 2 points, got {n}");
+    /// Returns [`ModelError::OutOfRange`] if `n < 2` (a grid needs at
+    /// least both endpoints).
+    pub fn grid(&self, n: usize) -> Result<Vec<E2oWeight>> {
+        if n < 2 {
+            return Err(ModelError::OutOfRange {
+                parameter: "grid_points",
+                value: n as f64,
+                expected: "[2, +inf) (a grid needs both endpoints)",
+            });
+        }
         let lo = self.low().0;
         let hi = self.high().0;
-        (0..n)
+        Ok((0..n)
             .map(|i| {
                 let t = i as f64 / (n - 1) as f64;
                 E2oWeight(lo + t * (hi - lo))
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -262,7 +269,7 @@ mod tests {
 
     #[test]
     fn grid_spans_band_inclusively() {
-        let g = E2oRange::EMBODIED_DOMINATED.grid(5);
+        let g = E2oRange::EMBODIED_DOMINATED.grid(5).unwrap();
         assert_eq!(g.len(), 5);
         assert!((g[0].get() - 0.7).abs() < 1e-12);
         assert!((g[4].get() - 0.9).abs() < 1e-12);
@@ -270,9 +277,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 points")]
-    fn grid_panics_for_single_point() {
-        let _ = E2oRange::FULL.grid(1);
+    fn grid_rejects_degenerate_point_counts() {
+        for n in [0, 1] {
+            let err = E2oRange::FULL.grid(n).unwrap_err();
+            assert!(
+                matches!(err, ModelError::OutOfRange { parameter, .. } if parameter == "grid_points"),
+                "n={n}: {err}"
+            );
+        }
     }
 
     #[test]

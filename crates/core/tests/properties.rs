@@ -19,7 +19,7 @@ proptest! {
         for range in [E2oRange::EMBODIED_DOMINATED, E2oRange::OPERATIONAL_DOMINATED, E2oRange::FULL] {
             for scenario in Scenario::ALL {
                 let band = NcfBand::evaluate(&x, &y, scenario, range);
-                for alpha in range.grid(33) {
+                for alpha in range.grid(33).expect("33 >= 2") {
                     let v = Ncf::evaluate(&x, &y, scenario, alpha).value();
                     prop_assert!(v >= band.min() - 1e-9);
                     prop_assert!(v <= band.max() + 1e-9);
@@ -74,7 +74,7 @@ proptest! {
     /// most one sign change).
     #[test]
     fn at_most_two_verdict_changes_over_alpha(x in arb_design(), y in arb_design()) {
-        let robust = classify_over_range(&x, &y, E2oRange::FULL, 201);
+        let robust = classify_over_range(&x, &y, E2oRange::FULL, 201).expect("201 >= 2");
         let mut changes = 0;
         for w in robust.per_alpha.windows(2) {
             if w[0].1 != w[1].1 {

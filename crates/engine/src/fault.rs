@@ -1,0 +1,356 @@
+//! Structured chunk failures and the deterministic fault-injection hook.
+//!
+//! ## Chunk poisoning
+//!
+//! [`ChunkError`] is the structured outcome of a *poisoned* chunk: a chunk
+//! whose closure panicked (or was injected with a fault). The engine's
+//! `try_*` operations catch the unwind at the chunk boundary, so a poisoned
+//! chunk never tears down the worker pool or the process — the caller gets
+//! `Err(ChunkError)` naming the failing chunk, its derived RNG seed and the
+//! panic payload. The reported chunk is always the **lowest failing chunk
+//! index**, which makes the error itself thread-count invariant: the same
+//! `ChunkError` is returned at `FOCAL_THREADS=1` and `=64`.
+//!
+//! ## Fault injection
+//!
+//! The rest of this module is a process-global, deterministic
+//! fault-injection plan used by the reproduction suite's `--inject` flag
+//! and the fault-tolerance tests. A [`FaultPlan`] names a *site* (the
+//! suite stage for chunk panics, a sampler label such as `mc` for NaN
+//! poisoning) and an index, parsed from the spec grammar
+//!
+//! ```text
+//! <kind>@<site>:<index>      kind ∈ {panic, nan}
+//! panic@figures:3            panic in chunk 3 while stage `figures` runs
+//! nan@mc:1017                poison Monte-Carlo sample 1017 with NaN
+//! ```
+//!
+//! The plan is disarmed by default and gated behind one relaxed atomic
+//! load, so production runs pay (near) nothing. Injected chunk panics are
+//! raised *inside* the engine's chunk isolation and therefore surface as
+//! ordinary [`ChunkError`]s — the injection harness proves the isolation
+//! machinery end to end with the exact failure modes it exists for.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A chunk of a parallel operation panicked (or had a fault injected).
+///
+/// The error is deterministic: whatever the thread count and scheduling,
+/// the reported chunk is the lowest-indexed chunk that fails when
+/// evaluated, `chunk_seed` is [`crate::chunk_seed`]`(seed, chunk_index)`
+/// for the seed the operation was invoked with (0 for unseeded
+/// workloads), and `payload` is the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// Index of the poisoned chunk (lowest failing index of the run).
+    pub chunk_index: usize,
+    /// The chunk's derived RNG seed (`seed + chunk_index`, wrapping).
+    pub chunk_seed: u64,
+    /// Stringified panic payload (or injected-fault description).
+    pub payload: String,
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk {} (chunk_seed {}) poisoned: {}",
+            self.chunk_index, self.chunk_seed, self.payload
+        )
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Renders a caught panic payload as a string: `&str` and `String`
+/// payloads verbatim, nested [`ChunkError`]s via their `Display` (so a
+/// failure inside a nested engine operation keeps its chunk context),
+/// anything else as a placeholder.
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(e) = payload.downcast_ref::<ChunkError>() {
+        e.to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// What an injected fault does at its trigger point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the start of the matching chunk.
+    Panic,
+    /// Replace the matching sample's value with `f64::NAN`.
+    Nan,
+}
+
+/// One deterministic injected fault: *kind* at *site*, *index*.
+///
+/// Sites are strings so the plan can name any instrumented location:
+/// suite stage names (`figures`, `findings`, `robustness`, `crossovers`,
+/// `defect-sim`) for chunk panics, sampler labels (`mc`) for NaN
+/// poisoning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What the fault does when it triggers.
+    pub kind: FaultKind,
+    /// The instrumented site the fault targets.
+    pub site: String,
+    /// Chunk index (for [`FaultKind::Panic`]) or global sample index
+    /// (for [`FaultKind::Nan`]) at which the fault fires.
+    pub index: u64,
+}
+
+impl FaultPlan {
+    /// Parses an injection spec: `<kind>@<site>:<index>` with
+    /// `kind ∈ {panic, nan}` (e.g. `panic@figures:3`, `nan@mc:1017`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the grammar violation.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let err = || {
+            format!(
+                "invalid fault spec `{spec}`: expected <kind>@<site>:<index> \
+                 with kind in {{panic, nan}}, e.g. panic@figures:3 or nan@mc:1017"
+            )
+        };
+        let (kind, rest) = spec.split_once('@').ok_or_else(err)?;
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "nan" => FaultKind::Nan,
+            _ => return Err(err()),
+        };
+        let (site, index) = rest.rsplit_once(':').ok_or_else(err)?;
+        if site.is_empty() {
+            return Err(err());
+        }
+        let index: u64 = index.parse().map_err(|_| err())?;
+        Ok(FaultPlan {
+            kind,
+            site: site.to_string(),
+            index,
+        })
+    }
+
+    /// Renders the plan back in spec grammar (`parse` ∘ `spec` is the
+    /// identity).
+    #[must_use]
+    pub fn spec(&self) -> String {
+        let kind = match self.kind {
+            FaultKind::Panic => "panic",
+            FaultKind::Nan => "nan",
+        };
+        format!("{kind}@{}:{}", self.site, self.index)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec())
+    }
+}
+
+/// Fast disarmed check: one relaxed load on every instrumented path.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed plan plus the currently entered site, behind one lock (the
+/// lock is only taken when [`ARMED`] reads true, or by the arm/disarm and
+/// site-entry control paths that run once per stage, not per chunk).
+static STATE: Mutex<FaultState> = Mutex::new(FaultState {
+    plan: None,
+    site: None,
+});
+
+struct FaultState {
+    plan: Option<FaultPlan>,
+    site: Option<String>,
+}
+
+fn state() -> std::sync::MutexGuard<'static, FaultState> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `plan` process-wide. Intended for fault-injection tests and the
+/// suite's `--inject` flag only; callers that arm must [`disarm`] (or
+/// exit) afterwards, and concurrent tests sharing a process must
+/// serialize around the armed window.
+pub fn arm(plan: FaultPlan) {
+    let mut s = state();
+    s.plan = Some(plan);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms any armed plan (idempotent).
+pub fn disarm() {
+    let mut s = state();
+    s.plan = None;
+    ARMED.store(false, Ordering::Release);
+}
+
+/// `true` while a plan is armed — instrumented hot paths use this as
+/// their zero-cost early-out before doing any per-sample matching.
+#[inline]
+#[must_use]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Enters a named injection site (the suite calls this once per stage).
+/// Chunk-panic faults only fire while their site is entered.
+pub fn enter_site(name: &str) {
+    if let Ok(mut s) = STATE.lock().map_err(|_| ()) {
+        s.site = Some(name.to_string());
+    }
+}
+
+/// Leaves the current site (chunk-panic faults stop firing).
+pub fn leave_site() {
+    if let Ok(mut s) = STATE.lock().map_err(|_| ()) {
+        s.site = None;
+    }
+}
+
+/// Called by the engine at every chunk boundary: returns the injected
+/// fault description if an armed panic-fault targets `chunk` of the
+/// currently entered site.
+pub(crate) fn injected_chunk_fault(chunk: usize) -> Option<String> {
+    if !armed() {
+        return None;
+    }
+    let s = state();
+    let plan = s.plan.as_ref()?;
+    let site = s.site.as_deref()?;
+    if plan.kind == FaultKind::Panic && plan.site == site && plan.index == chunk as u64 {
+        Some(format!("injected fault: {}", plan.spec()))
+    } else {
+        None
+    }
+}
+
+/// Returns the sample index an armed NaN-fault targets at `site`, if any.
+/// Instrumented samplers fetch this once per chunk and compare sample
+/// indices locally, so the disarmed cost is one atomic load per chunk.
+#[must_use]
+pub fn nan_target(site: &str) -> Option<u64> {
+    if !armed() {
+        return None;
+    }
+    let s = state();
+    let plan = s.plan.as_ref()?;
+    if plan.kind == FaultKind::Nan && plan.site == site {
+        Some(plan.index)
+    } else {
+        None
+    }
+}
+
+/// Serializes unit tests (across this crate's modules) that arm the
+/// process-global plan, so they stay order-independent under the parallel
+/// test runner.
+#[cfg(test)]
+pub(crate) fn tests_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_valid_specs() {
+        for spec in ["panic@figures:3", "nan@mc:1017", "panic@defect-sim:0"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.spec(), spec);
+            assert_eq!(plan.to_string(), spec);
+        }
+        let p = FaultPlan::parse("panic@figures:3").unwrap();
+        assert_eq!(p.kind, FaultKind::Panic);
+        assert_eq!(p.site, "figures");
+        assert_eq!(p.index, 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_grammar() {
+        for spec in [
+            "",
+            "panic",
+            "panic@",
+            "panic@figures",
+            "panic@figures:",
+            "panic@:3",
+            "panic@figures:three",
+            "abort@figures:3",
+            "nan@mc:-1",
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains("invalid fault spec"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn chunk_error_display_names_chunk_and_seed() {
+        let e = ChunkError {
+            chunk_index: 3,
+            chunk_seed: 45,
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("chunk 3"));
+        assert!(s.contains("chunk_seed 45"));
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn payload_to_string_handles_common_shapes() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(payload_to_string(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(payload_to_string(s.as_ref()), "owned");
+        let e: Box<dyn std::any::Any + Send> = Box::new(ChunkError {
+            chunk_index: 1,
+            chunk_seed: 2,
+            payload: "inner".into(),
+        });
+        assert!(payload_to_string(e.as_ref()).contains("chunk 1"));
+        let other: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(
+            payload_to_string(other.as_ref()),
+            "<non-string panic payload>"
+        );
+    }
+
+    #[test]
+    fn injected_chunk_fault_requires_site_and_index_match() {
+        let _guard = tests_lock();
+        arm(FaultPlan::parse("panic@figures:3").unwrap());
+        assert!(injected_chunk_fault(3).is_none(), "no site entered yet");
+        enter_site("figures");
+        assert!(injected_chunk_fault(2).is_none());
+        let msg = injected_chunk_fault(3).unwrap();
+        assert!(msg.contains("injected fault: panic@figures:3"));
+        enter_site("findings");
+        assert!(injected_chunk_fault(3).is_none(), "wrong site");
+        leave_site();
+        disarm();
+        assert!(!armed());
+        assert!(injected_chunk_fault(3).is_none());
+    }
+
+    #[test]
+    fn nan_target_matches_site() {
+        let _guard = tests_lock();
+        assert_eq!(nan_target("mc"), None);
+        arm(FaultPlan::parse("nan@mc:1017").unwrap());
+        assert_eq!(nan_target("mc"), Some(1017));
+        assert_eq!(nan_target("other"), None);
+        disarm();
+        assert_eq!(nan_target("mc"), None);
+    }
+}

@@ -24,6 +24,25 @@
 //! code path: no worker threads are spawned, no queues are built, and the
 //! chunk loop runs inline on the caller's thread.
 //!
+//! ## The fault-tolerance contract
+//!
+//! Every chunk runs inside [`std::panic::catch_unwind`], so a panicking
+//! chunk *poisons that chunk* instead of tearing down the pool or the
+//! process. The fallible operations ([`Engine::try_par_map`],
+//! [`Engine::try_par_chunk_map`], [`Engine::try_par_reduce`]) return
+//! `Err(`[`ChunkError`]`)` naming the **lowest failing chunk index**, its
+//! derived seed and the panic payload — the same error at every thread
+//! count, extending the determinism contract to failures. The infallible
+//! operations resume the panic on the calling thread with the
+//! [`ChunkError`] as payload, downcastable by an outer `catch_unwind`.
+//! Worker threads always join, so an engine remains fully usable after a
+//! poisoned run.
+//!
+//! The [`fault`] module adds a deterministic fault-injection hook
+//! ([`FaultPlan`], spec grammar `<kind>@<site>:<index>`) that raises
+//! synthetic faults through this exact machinery; the reproduction
+//! suite's `--inject` flag uses it to prove the isolation end to end.
+//!
 //! ## Thread-count selection
 //!
 //! [`Engine::from_env`] honours the `FOCAL_THREADS` environment variable
@@ -46,6 +65,8 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
+pub mod fault;
 mod pool;
 
-pub use pool::{chunk_count, chunk_seed, Engine};
+pub use fault::{ChunkError, FaultKind, FaultPlan};
+pub use pool::{chunk_count, chunk_seed, Engine, PAR_MAP_CHUNKS, THREADS_ENV};

@@ -12,11 +12,21 @@
 //! tagged with its chunk index and the caller-visible output is assembled
 //! in index order after the scope joins.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::fault::{self, ChunkError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// Environment variable selecting the worker count (any positive integer).
 pub const THREADS_ENV: &str = "FOCAL_THREADS";
+
+/// Chunk-count target for [`Engine::par_map`]'s internal geometry.
+///
+/// The chunk size is derived from the item count **only** (never the
+/// thread count), so chunk indices — and therefore any [`ChunkError`]'s
+/// `chunk_index` — mean the same thing at every `FOCAL_THREADS`. 64
+/// chunks load-balance well past the worker counts FOCAL targets while
+/// keeping per-chunk overhead negligible.
+pub const PAR_MAP_CHUNKS: usize = 64;
 
 /// A contiguous range of chunk indices `[start, end)` packed into one
 /// `AtomicU64` (`start` in the high 32 bits), so owner pops and thief
@@ -167,9 +177,126 @@ impl Engine {
     /// use it directly when each chunk needs its index (e.g. to derive a
     /// per-chunk RNG via [`chunk_seed`]).
     ///
-    /// With one worker or at most one chunk this is exactly
-    /// `(0..n_chunks).map(f).collect()` on the calling thread.
+    /// Chunks run under the same per-chunk isolation as
+    /// [`Engine::try_par_chunk_map`]; if a chunk panics, the panic resumes
+    /// on the calling thread with a [`ChunkError`] payload naming the
+    /// lowest failing chunk (downcastable by an outer
+    /// [`std::panic::catch_unwind`]) instead of tearing down the pool.
+    ///
+    /// With one worker or at most one chunk the chunk loop runs inline on
+    /// the calling thread, in index order.
     pub fn par_chunk_map<R, F>(&self, n_chunks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self.try_par_chunk_map(0, n_chunks, f) {
+            Ok(v) => v,
+            // Propagate as a panic carrying the structured error — an
+            // outer catch_unwind can downcast to ChunkError. resume_unwind
+            // does not re-run the panic hook, so the original panic's
+            // backtrace (already printed when it first fired) is not
+            // duplicated.
+            Err(e) => std::panic::resume_unwind(Box::new(e)),
+        }
+    }
+
+    /// Fallible [`Engine::par_chunk_map`]: every chunk runs inside
+    /// [`std::panic::catch_unwind`], so a panicking chunk *poisons* that
+    /// chunk instead of unwinding through the worker pool. On failure the
+    /// returned [`ChunkError`] names the **lowest failing chunk index**
+    /// (with its [`chunk_seed`]-derived seed and stringified payload),
+    /// which makes the error thread-count invariant: whichever chunk
+    /// happens to fail *first in time*, the reported chunk is the same at
+    /// `FOCAL_THREADS=1` and `=64`.
+    ///
+    /// Failure short-circuits deterministically: once a chunk at index
+    /// `i` fails, chunks with indices above the current lowest failure
+    /// are skipped (their results could never be observed), while every
+    /// chunk *below* it still runs — so a lower-indexed failure is never
+    /// missed. Worker threads always join; the engine is fully reusable
+    /// after a poisoned run.
+    ///
+    /// `seed` is threaded into the error for reproduction only (it is the
+    /// base the failing chunk's RNG seed is derived from); pass 0 for
+    /// non-randomized workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChunkError`] of the lowest failing chunk if any
+    /// chunk panics or an armed [`crate::fault::FaultPlan`] targets one.
+    pub fn try_par_chunk_map<R, F>(
+        &self,
+        seed: u64,
+        n_chunks: usize,
+        f: F,
+    ) -> Result<Vec<R>, ChunkError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        enum Outcome<R> {
+            Done(R),
+            Poisoned(ChunkError),
+            Skipped,
+        }
+
+        let first_fail = AtomicUsize::new(usize::MAX);
+        let outcomes = self.schedule(n_chunks, |c| {
+            if c > first_fail.load(Ordering::Acquire) {
+                return Outcome::Skipped;
+            }
+            if let Some(payload) = fault::injected_chunk_fault(c) {
+                first_fail.fetch_min(c, Ordering::AcqRel);
+                return Outcome::Poisoned(ChunkError {
+                    chunk_index: c,
+                    chunk_seed: chunk_seed(seed, c),
+                    payload,
+                });
+            }
+            // AssertUnwindSafe: on unwind every chunk result is discarded
+            // and only the ChunkError escapes, so no closure state in a
+            // broken intermediate state is ever observed by the caller.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c))) {
+                Ok(v) => Outcome::Done(v),
+                Err(p) => {
+                    first_fail.fetch_min(c, Ordering::AcqRel);
+                    Outcome::Poisoned(ChunkError {
+                        chunk_index: c,
+                        chunk_seed: chunk_seed(seed, c),
+                        payload: fault::payload_to_string(p.as_ref()),
+                    })
+                }
+            }
+        });
+
+        let mut out = Vec::with_capacity(n_chunks);
+        for (i, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Outcome::Done(v) => out.push(v),
+                Outcome::Poisoned(e) => return Err(e),
+                // A chunk is only skipped when a *lower-indexed* chunk
+                // recorded a failure, so an in-order scan always hits
+                // that Poisoned entry first. Surface a structured error
+                // anyway rather than trusting the invariant blindly.
+                Outcome::Skipped => {
+                    return Err(ChunkError {
+                        chunk_index: i,
+                        chunk_seed: chunk_seed(seed, i),
+                        payload: "chunk skipped without a recorded failure \
+                                  (scheduler invariant violated)"
+                            .to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The scheduling core: evaluates `f` over `0..n_chunks` and returns
+    /// results in chunk-index order. `f` must not unwind (the public
+    /// entry points wrap it in per-chunk isolation first).
+    fn schedule<R, F>(&self, n_chunks: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
@@ -252,23 +379,46 @@ impl Engine {
 
     /// Maps `f` over `items`, preserving item order in the output.
     ///
-    /// Chunk geometry is internal: since `f` is applied per item and the
+    /// Chunk geometry is internal and derived from the item count **only**
+    /// (see [`PAR_MAP_CHUNKS`]): since `f` is applied per item and the
     /// output is the in-order concatenation of the chunks, the result is
-    /// identical for every thread count by construction.
+    /// identical for every thread count by construction — and so is the
+    /// chunk index a failing item is reported under.
+    ///
+    /// Panics in `f` propagate like [`Engine::par_chunk_map`]: a single
+    /// resumed panic with a [`ChunkError`] payload naming the lowest
+    /// failing chunk.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        if self.threads == 1 || items.len() <= 1 {
-            return items.iter().map(f).collect();
+        match self.try_par_map(0, items, f) {
+            Ok(v) => v,
+            Err(e) => std::panic::resume_unwind(Box::new(e)),
         }
-        // Target ~4 chunks per worker for load balance; chunks of at
-        // least one item.
-        let chunk_size = items.len().div_ceil(self.threads * 4).max(1);
+    }
+
+    /// Fallible [`Engine::par_map`]: isolates per-chunk panics and armed
+    /// fault injections exactly like [`Engine::try_par_chunk_map`]. The
+    /// chunk an item belongs to is `item_index / ceil(len / 64)`, fixed by
+    /// the item count alone, so a reported `chunk_index` identifies the
+    /// same slice of items at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChunkError`] of the lowest failing chunk if `f`
+    /// panics for any item or an armed fault plan targets a chunk.
+    pub fn try_par_map<T, R, F>(&self, seed: u64, items: &[T], f: F) -> Result<Vec<R>, ChunkError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let chunk_size = items.len().div_ceil(PAR_MAP_CHUNKS).max(1);
         let n_chunks = chunk_count(items.len(), chunk_size);
-        let chunks: Vec<Vec<R>> = self.par_chunk_map(n_chunks, |c| {
+        let chunks: Vec<Vec<R>> = self.try_par_chunk_map(seed, n_chunks, |c| {
             let lo = c * chunk_size;
             let hi = (lo + chunk_size).min(items.len());
             items
@@ -277,12 +427,12 @@ impl Engine {
                 .iter()
                 .map(&f)
                 .collect()
-        });
+        })?;
         let mut out = Vec::with_capacity(items.len());
         for chunk in chunks {
             out.extend(chunk);
         }
-        out
+        Ok(out)
     }
 
     /// Chunked deterministic reduction: folds each chunk of `chunk_size`
@@ -298,6 +448,10 @@ impl Engine {
     /// `chunk_size` is part of the reduction's *semantics* (it fixes the
     /// float evaluation order), which is why it is an explicit parameter
     /// rather than a per-engine heuristic.
+    ///
+    /// Panics in `fold` propagate like [`Engine::par_chunk_map`]: a single
+    /// resumed panic with a [`ChunkError`] payload naming the lowest
+    /// failing chunk.
     pub fn par_reduce<T, A, I, F, M>(
         &self,
         items: &[T],
@@ -313,9 +467,40 @@ impl Engine {
         F: Fn(A, &T) -> A + Sync,
         M: Fn(A, A) -> A,
     {
+        match self.try_par_reduce(0, items, chunk_size, init, fold, merge) {
+            Ok(a) => a,
+            Err(e) => std::panic::resume_unwind(Box::new(e)),
+        }
+    }
+
+    /// Fallible [`Engine::par_reduce`]: isolates per-chunk panics and
+    /// armed fault injections exactly like [`Engine::try_par_chunk_map`].
+    /// The merge phase runs on the calling thread only after every chunk
+    /// folded successfully.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChunkError`] of the lowest failing chunk if `fold`
+    /// panics in any chunk or an armed fault plan targets one.
+    pub fn try_par_reduce<T, A, I, F, M>(
+        &self,
+        seed: u64,
+        items: &[T],
+        chunk_size: usize,
+        init: I,
+        fold: F,
+        merge: M,
+    ) -> Result<A, ChunkError>
+    where
+        T: Sync,
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, &T) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
         let chunk_size = chunk_size.max(1);
         let n_chunks = chunk_count(items.len(), chunk_size);
-        let accs: Vec<A> = self.par_chunk_map(n_chunks, |c| {
+        let accs: Vec<A> = self.try_par_chunk_map(seed, n_chunks, |c| {
             let lo = c * chunk_size;
             let hi = (lo + chunk_size).min(items.len());
             items
@@ -323,10 +508,10 @@ impl Engine {
                 .unwrap_or_default()
                 .iter()
                 .fold(init(), &fold)
-        });
+        })?;
         let mut accs = accs.into_iter();
         let first = accs.next().unwrap_or_else(&init);
-        accs.fold(first, merge)
+        Ok(accs.fold(first, merge))
     }
 }
 
@@ -466,6 +651,170 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(got, 17);
+    }
+
+    /// Marker for deliberate test panics; the filtering hook below keeps
+    /// them out of test output while leaving real panics visible.
+    const POISON: &str = "focal-test-poison";
+
+    /// Installs (once, process-wide) a panic hook that stays silent for
+    /// this module's deliberate panics and defers to the default hook for
+    /// everything else.
+    fn quiet_deliberate_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.contains(POISON) {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn try_par_chunk_map_reports_lowest_failing_chunk_at_every_thread_count() {
+        quiet_deliberate_panics();
+        let failing = [3usize, 11, 17];
+        let mut reference: Option<ChunkError> = None;
+        for threads in [1, 2, 7, 16] {
+            let e = Engine::with_threads(threads);
+            let err = e
+                .try_par_chunk_map(100, 23, |c| {
+                    if failing.contains(&c) {
+                        panic!("{POISON} chunk {c}");
+                    }
+                    c
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk_index, 3, "threads={threads}");
+            assert_eq!(err.chunk_seed, chunk_seed(100, 3), "threads={threads}");
+            assert!(err.payload.contains(POISON), "threads={threads}");
+            match &reference {
+                None => reference = Some(err),
+                Some(r) => assert_eq!(*r, err, "threads={threads}: error not invariant"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_after_a_poisoned_run() {
+        quiet_deliberate_panics();
+        let e = Engine::with_threads(4);
+        for round in 0..3 {
+            let err = e
+                .try_par_chunk_map(0, 16, |c| {
+                    if c == 5 {
+                        panic!("{POISON} round {round}");
+                    }
+                    c * 2
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk_index, 5);
+            // The very same engine still computes clean runs correctly.
+            let ok = e.par_chunk_map(16, |c| c * 2);
+            assert_eq!(ok, (0..16).map(|c| c * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn infallible_ops_resume_with_a_downcastable_chunk_error() {
+        quiet_deliberate_panics();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Engine::with_threads(3).par_chunk_map(10, |c| {
+                if c == 7 {
+                    panic!("{POISON} deep");
+                }
+                c
+            })
+        }))
+        .unwrap_err();
+        let err = caught
+            .downcast_ref::<ChunkError>()
+            .expect("payload should be the structured ChunkError");
+        assert_eq!(err.chunk_index, 7);
+        assert_eq!(err.chunk_seed, chunk_seed(0, 7));
+    }
+
+    #[test]
+    fn try_par_map_chunk_geometry_is_item_count_only() {
+        quiet_deliberate_panics();
+        // 1000 items → chunk_size 16 → failing item 500 is in chunk 31
+        // regardless of thread count.
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 7, 32] {
+            let err = Engine::with_threads(threads)
+                .try_par_map(0, &items, |&x| {
+                    if x == 500 {
+                        panic!("{POISON} item {x}");
+                    }
+                    x
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk_index, 500 / 16, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_succeeds_like_par_map() {
+        let items: Vec<i64> = (0..777).collect();
+        let want: Vec<i64> = items.iter().map(|x| x + 1).collect();
+        for threads in [1, 2, 7] {
+            let got = Engine::with_threads(threads)
+                .try_par_map(0, &items, |x| x + 1)
+                .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_reduce_isolates_fold_panics() {
+        quiet_deliberate_panics();
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let err = Engine::with_threads(threads)
+                .try_par_reduce(
+                    9,
+                    &items,
+                    8,
+                    || 0u64,
+                    |acc, &x| {
+                        if x == 42 {
+                            panic!("{POISON} fold");
+                        }
+                        acc + x
+                    },
+                    |a, b| a + b,
+                )
+                .unwrap_err();
+            // Item 42 lives in chunk 42 / 8 = 5.
+            assert_eq!(err.chunk_index, 5, "threads={threads}");
+            assert_eq!(err.chunk_seed, chunk_seed(9, 5), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn injected_chunk_faults_surface_as_chunk_errors() {
+        // Serialize with fault.rs's own global-state tests via a fresh
+        // arm/disarm window; the engine tests binary runs tests in
+        // parallel, so take the same care those tests do.
+        let _guard = crate::fault::tests_lock();
+        fault::arm(fault::FaultPlan::parse("panic@unit-test:4").unwrap());
+        fault::enter_site("unit-test");
+        let err = Engine::with_threads(3)
+            .try_par_chunk_map(7, 10, |c| c)
+            .unwrap_err();
+        fault::leave_site();
+        fault::disarm();
+        assert_eq!(err.chunk_index, 4);
+        assert_eq!(err.chunk_seed, chunk_seed(7, 4));
+        assert!(err.payload.contains("injected fault: panic@unit-test:4"));
     }
 
     #[test]

@@ -94,8 +94,8 @@ pub fn verdict_robustness_on(
             (E2oRange::OPERATIONAL_DOMINATED, row.paper_operational),
         ] {
             let mc = MonteCarloNcf::new(range, ratio_jitter, seed)?;
-            let fw = mc.run_on(engine, &x, &y, Scenario::FixedWork, samples);
-            let ft = mc.run_on(engine, &x, &y, Scenario::FixedTime, samples);
+            let fw = mc.run_on(engine, &x, &y, Scenario::FixedWork, samples)?;
+            let ft = mc.run_on(engine, &x, &y, Scenario::FixedTime, samples)?;
             let (expect_fw, expect_ft) = expectations(regime_verdict);
             worst_fw = worst_fw.min(agreement(&fw, expect_fw));
             worst_ft = worst_ft.min(agreement(&ft, expect_ft));

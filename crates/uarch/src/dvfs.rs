@@ -380,7 +380,7 @@ mod tests {
         let c = DvfsCore::default_core();
         let nominal = c.nominal_without_dvfs().unwrap();
         let scaled = c.design_point(0.7).unwrap();
-        let robust = classify_over_range(&scaled, &nominal, E2oRange::FULL, 21);
+        let robust = classify_over_range(&scaled, &nominal, E2oRange::FULL, 21).unwrap();
         // Strongly sustainable for all α except the extreme embodied-only
         // corner (α near 1, where the regulator area dominates).
         assert!(robust.observed.contains(&Sustainability::Strongly));

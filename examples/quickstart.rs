@@ -46,7 +46,7 @@ fn main() -> focal::Result<()> {
     // 4. Embrace the uncertainty: is the verdict robust across the whole
     //    α range? (It is: OoO loses everywhere.)
     // -----------------------------------------------------------------
-    let robust = classify_over_range(&ooo, &ino, E2oRange::FULL, 21);
+    let robust = classify_over_range(&ooo, &ino, E2oRange::FULL, 21)?;
     println!("Across α ∈ [0, 1]: {robust}");
 
     // -----------------------------------------------------------------
@@ -61,7 +61,7 @@ fn main() -> focal::Result<()> {
     println!("\nFixed-work NCF with α error bars: {band}");
 
     let mc = MonteCarloNcf::new(E2oRange::EMBODIED_DOMINATED, 0.1, 0xF0CA1)?;
-    let summary = mc.run(&ooo, &ino, Scenario::FixedWork, 100_000);
+    let summary = mc.run(&ooo, &ino, Scenario::FixedWork, 100_000)?;
     println!("Monte-Carlo (±10% ratio jitter): {summary}");
 
     // -----------------------------------------------------------------

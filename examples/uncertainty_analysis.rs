@@ -75,7 +75,7 @@ fn main() -> focal::Result<()> {
     // -----------------------------------------------------------------
     let mc = MonteCarloNcf::new(E2oRange::OPERATIONAL_DOMINATED, 0.10, 0xF0CA1)?;
     for scenario in Scenario::ALL {
-        let s = mc.run(&pre, &base, scenario, 200_000);
+        let s = mc.run(&pre, &base, scenario, 200_000)?;
         println!("  {scenario:<11}: {s}");
     }
 

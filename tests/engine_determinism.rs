@@ -52,9 +52,13 @@ fn monte_carlo_summaries_are_bit_identical_across_thread_counts() {
     for scenario in [Scenario::FixedWork, Scenario::FixedTime] {
         for samples in sample_counts {
             let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 9001).unwrap();
-            let reference = mc.run_on(&Engine::serial(), &x, &y, scenario, samples);
+            let reference = mc
+                .run_on(&Engine::serial(), &x, &y, scenario, samples)
+                .unwrap();
             for threads in THREAD_COUNTS {
-                let run = mc.run_on(&Engine::with_threads(threads), &x, &y, scenario, samples);
+                let run = mc
+                    .run_on(&Engine::with_threads(threads), &x, &y, scenario, samples)
+                    .unwrap();
                 assert_summary_identical(
                     &reference,
                     &run,
@@ -69,10 +73,11 @@ fn monte_carlo_summaries_are_bit_identical_across_thread_counts() {
 fn alpha_sweeps_are_identical_across_thread_counts() {
     let x = DesignPoint::from_raw(1.3, 0.7, 0.7, 1.0).unwrap();
     let y = DesignPoint::reference();
-    let serial = classify_over_range_on(&Engine::serial(), &x, &y, E2oRange::FULL, 257);
+    let serial = classify_over_range_on(&Engine::serial(), &x, &y, E2oRange::FULL, 257).unwrap();
     for threads in THREAD_COUNTS {
         let par =
-            classify_over_range_on(&Engine::with_threads(threads), &x, &y, E2oRange::FULL, 257);
+            classify_over_range_on(&Engine::with_threads(threads), &x, &y, E2oRange::FULL, 257)
+                .unwrap();
         assert_eq!(serial.at_center, par.at_center, "{threads} threads");
         assert_eq!(serial.observed, par.observed, "{threads} threads");
         assert_eq!(

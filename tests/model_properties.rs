@@ -100,7 +100,7 @@ proptest! {
         let range = E2oRange::FULL;
         let iv = ncf_interval(&x, &y, Scenario::FixedWork, range, 0.05).unwrap();
         let mc = MonteCarloNcf::new(range, 0.05, seed).unwrap();
-        let summary = mc.run(&x, &y, Scenario::FixedWork, 500);
+        let summary = mc.run(&x, &y, Scenario::FixedWork, 500).unwrap();
         prop_assert!(summary.min >= iv.lo() - 1e-9);
         prop_assert!(summary.max <= iv.hi() + 1e-9);
     }
