@@ -72,7 +72,11 @@ impl Allows {
                     None => {
                         out.problems.push((
                             comment.line,
-                            format!("unknown lint rule `{name}` in allow directive"),
+                            format!(
+                                "unknown lint rule `{name}` in allow directive — the rule \
+                                 was renamed or removed (stale allow); see \
+                                 `focal-lint list-rules` for live rule ids"
+                            ),
                         ));
                         bad_rule = true;
                     }

@@ -4,6 +4,7 @@ use crate::diagnostics::Diagnostic;
 use crate::manifest::Manifest;
 use crate::rules;
 use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
 use std::path::{Path, PathBuf};
 
 /// Configuration for one `focal-lint check` run.
@@ -26,8 +27,10 @@ impl CheckConfig {
 }
 
 /// Directories never scanned: build output, the vendored dependency
-/// shims (third-party stand-ins, not FOCAL model code) and VCS innards.
-const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+/// shims (third-party stand-ins, not FOCAL model code), VCS innards and
+/// the lint ui-test fixtures (deliberate violations with their own
+/// harness in `crates/lint/tests/ui.rs`).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules", "fixtures"];
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -65,7 +68,7 @@ pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     Ok(files)
 }
 
-/// Runs all four rules (plus allow-directive validation) over the
+/// Runs every rule (plus allow-directive validation) over the
 /// workspace and returns diagnostics sorted by `file:line:col`.
 pub fn check_workspace(config: &CheckConfig) -> Result<Vec<Diagnostic>, String> {
     let manifest_path = config.root.join(&config.manifest);
@@ -89,8 +92,19 @@ pub fn run_rules(files: &[SourceFile], manifest: &Manifest) -> Vec<Diagnostic> {
             diagnostics.extend(rules::panic_free::check(file));
             diagnostics.extend(rules::units::check(file));
         }
+        if rules::is_determinism_src(&file.path) {
+            diagnostics.extend(rules::nondet_iteration::check(file));
+            diagnostics.extend(rules::rng_hygiene::check(file));
+        }
+        if rules::is_confinement_src(&file.path) {
+            diagnostics.extend(rules::confinement::check(file));
+        }
     }
     diagnostics.extend(rules::constants::check(files, manifest));
+    // Cross-file rules over the symbol table / call graph.
+    let table = SymbolTable::build(files);
+    diagnostics.extend(rules::reduction_order::check(files, &table));
+    diagnostics.extend(rules::panic_free::check_transitive(files, &table));
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule.name()).cmp(&(
             b.file.as_str(),

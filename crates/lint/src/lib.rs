@@ -10,7 +10,8 @@
 //! Run it as:
 //!
 //! ```text
-//! cargo run -p focal-lint -- check [--format text|json|github]
+//! cargo run -p focal-lint -- check [--format text|json|github|sarif]
+//! cargo run -p focal-lint -- list-rules
 //! ```
 //!
 //! ## Rules
@@ -18,14 +19,30 @@
 //! * **`float-eq`** — no `==`/`!=` against float literals or NaN
 //!   outside `#[cfg(test)]` code ([`rules::float_eq`]).
 //! * **`panic-freedom`** — no `.unwrap()` / `.expect()` / `panic!` /
-//!   literal indexing in non-test code of the model crates
-//!   ([`rules::panic_free`]).
+//!   literal indexing in non-test code of the model crates, nor any
+//!   call chain that reaches one outside them — panic-reachability is
+//!   transitive over the workspace call graph ([`rules::panic_free`]).
 //! * **`constant-provenance`** — every hard-coded paper constant must be
 //!   registered in `data/constants.toml` and every registered source
 //!   must still carry its value ([`rules::constants`]).
 //! * **`unit-hygiene`** — quantity-named public functions in model
 //!   crates must use quantity newtypes or document units
 //!   ([`rules::units`]).
+//! * **`nondet-iteration`** — no `HashMap`/`HashSet` in
+//!   determinism-scoped crates; iteration order must be stable
+//!   ([`rules::nondet_iteration`]).
+//! * **`rng-hygiene`** — no entropy/time seeding, and per-chunk seeding
+//!   in parallel closures must go through `chunk_seed`
+//!   ([`rules::rng_hygiene`]).
+//! * **`reduction-order`** — float `sum`/`fold` only inside
+//!   focal-engine's chunk-order-merged parallel operations
+//!   ([`rules::reduction_order`]).
+//! * **`concurrency-confinement`** — threads, locks and atomics stay in
+//!   `crates/engine` ([`rules::confinement`]).
+//!
+//! The cross-file rules run on a lightweight symbol table and call
+//! graph ([`symbols`]) built from the same token streams — no `syn`,
+//! no rustc; resolution is conservative and ambiguity-aware.
 //!
 //! ## The escape hatch
 //!
@@ -46,8 +63,10 @@ pub mod lexer;
 pub mod manifest;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
 pub use diagnostics::{Diagnostic, Format, Rule};
 pub use engine::{check_workspace, run_rules, CheckConfig};
 pub use manifest::{Manifest, PaperConstant};
 pub use source::SourceFile;
+pub use symbols::SymbolTable;

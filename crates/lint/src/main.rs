@@ -8,11 +8,19 @@ const USAGE: &str = "\
 focal-lint — FOCAL-specific static analysis
 
 USAGE:
-    focal-lint check [--format text|json|github] [--root PATH] [--manifest PATH]
+    focal-lint check [--format text|json|github|sarif] [--root PATH] [--manifest PATH]
+    focal-lint list-rules
+
+COMMANDS:
+    check           Run every rule over the workspace
+    list-rules      Print each rule's id, severity and scope
+                    (the rule ids are what allow directives may name;
+                    an allow naming anything else is a finding)
 
 OPTIONS:
     --format FMT    Output format: text (default, rustc-style), json
-                    (machine-readable array), github (workflow annotations)
+                    (machine-readable array), github (workflow
+                    annotations), sarif (SARIF 2.1.0 report)
     --root PATH     Workspace root (default: auto-detected)
     --manifest PATH Constants manifest, relative to root
                     (default: data/constants.toml)
@@ -48,6 +56,10 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    if command == "list-rules" {
+        print!("{}", diagnostics::render_rule_list());
+        return ExitCode::SUCCESS;
+    }
     if command != "check" {
         eprintln!("unknown command `{command}`\n");
         eprint!("{USAGE}");
@@ -62,7 +74,7 @@ fn main() -> ExitCode {
             "--format" => match iter.next().and_then(|v| Format::from_arg(v)) {
                 Some(f) => format = f,
                 None => {
-                    eprintln!("--format requires one of: text, json, github");
+                    eprintln!("--format requires one of: text, json, github, sarif");
                     return ExitCode::from(2);
                 }
             },

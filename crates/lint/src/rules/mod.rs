@@ -1,18 +1,26 @@
-//! The four FOCAL-specific lint rules.
+//! The FOCAL-specific lint rules.
 //!
 //! | rule | scope | what it catches |
 //! |---|---|---|
 //! | `float-eq` | all non-test code | `==`/`!=` against float literals / NaN |
-//! | `panic-freedom` | model-crate non-test code | `.unwrap()`, `.expect()`, `panic!`-family, indexing by literal |
+//! | `panic-freedom` | model-crate non-test code, call-graph transitive | `.unwrap()`, `.expect()`, `panic!`-family, indexing by literal — directly or through a call chain |
 //! | `constant-provenance` | all crate sources vs `data/constants.toml` | unregistered or drifted paper constants |
 //! | `unit-hygiene` | model-crate public API | quantity-named fns without newtypes or documented units |
+//! | `nondet-iteration` | determinism crates | `HashMap`/`HashSet` whose iteration order can reach results |
+//! | `rng-hygiene` | determinism crates | entropy/time-seeded RNGs; parallel seeding outside `chunk_seed` |
+//! | `reduction-order` | determinism crates | float `sum`/`fold` in unblessed parallel merge paths |
+//! | `concurrency-confinement` | all src outside `crates/engine` | `thread::spawn`, locks, atomics leaking out of the engine |
 //!
 //! Every rule honours the `// focal-lint: allow(<rule>) -- <reason>`
 //! escape hatch (see [`crate::allow`]).
 
+pub mod confinement;
 pub mod constants;
 pub mod float_eq;
+pub mod nondet_iteration;
 pub mod panic_free;
+pub mod reduction_order;
+pub mod rng_hygiene;
 pub mod units;
 
 /// Crates whose non-test code must be panic-free and unit-hygienic:
@@ -23,12 +31,36 @@ pub const MODEL_CRATES: &[&str] = &[
     "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine",
 ];
 
+/// Crates whose non-test code feeds the byte-diffed digests: the model
+/// crates plus everything that assembles figures, findings and bench
+/// records from them. Determinism rules run here.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "studies", "report",
+    "bench",
+];
+
 /// Whether `path` (repo-relative, `/`-separated) is non-test source of a
 /// model crate.
 pub fn is_model_src(path: &str) -> bool {
     MODEL_CRATES
         .iter()
         .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Whether `path` is non-test source of a determinism-scoped crate.
+pub fn is_determinism_src(path: &str) -> bool {
+    DETERMINISM_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Whether `path` is in scope for `concurrency-confinement`: any `src/`
+/// tree except the engine (whose whole purpose is the confined
+/// concurrency) and the linter itself (whose rule tables and tests spell
+/// the forbidden names).
+pub fn is_confinement_src(path: &str) -> bool {
+    let in_src = path.starts_with("src/") || path.contains("/src/");
+    in_src && !path.starts_with("crates/engine/src/") && !path.starts_with("crates/lint/")
 }
 
 #[cfg(test)]
@@ -45,5 +77,27 @@ mod tests {
         assert!(!is_model_src("crates/studies/src/soc.rs"));
         assert!(!is_model_src("crates/lint/src/lib.rs"));
         assert!(!is_model_src("src/lib.rs"));
+    }
+
+    #[test]
+    fn determinism_src_adds_result_assemblers() {
+        assert!(is_determinism_src("crates/core/src/fleet.rs"));
+        assert!(is_determinism_src("crates/studies/src/soc.rs"));
+        assert!(is_determinism_src("crates/report/src/lib.rs"));
+        assert!(is_determinism_src("crates/bench/src/lib.rs"));
+        assert!(!is_determinism_src("crates/lint/src/lib.rs"));
+        assert!(!is_determinism_src("crates/studies/tests/figures.rs"));
+        assert!(!is_determinism_src("src/lib.rs"));
+    }
+
+    #[test]
+    fn confinement_src_excludes_engine_and_lint_only() {
+        assert!(is_confinement_src("crates/core/src/fleet.rs"));
+        assert!(is_confinement_src("crates/studies/src/soc.rs"));
+        assert!(is_confinement_src("src/lib.rs"));
+        assert!(!is_confinement_src("crates/engine/src/pool.rs"));
+        assert!(!is_confinement_src("crates/lint/src/engine.rs"));
+        assert!(!is_confinement_src("crates/core/tests/properties.rs"));
+        assert!(!is_confinement_src("tests/suite.rs"));
     }
 }

@@ -1,0 +1,93 @@
+//! `nondet-iteration`: no hash-ordered collections in determinism code.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`'s
+//! per-process seed, so any loop, `collect`, or reduction over one can
+//! reorder floating-point accumulation or output rows between runs —
+//! exactly the class of bug the suite's 1-vs-4-thread byte-diff exists
+//! to catch, except at its root instead of at the digest. Determinism
+//! crates must use `BTreeMap`/`BTreeSet` (or sort before iterating, via
+//! a `Vec`). The rule flags every mention of a hash-ordered type in
+//! non-test determinism code, including the `use` that imports it.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Identifiers that mark hash-ordered (iteration-order-unstable) state.
+const HASH_ORDERED: &[&str] = &["HashMap", "HashSet", "hash_map", "hash_set", "RandomState"];
+
+/// Runs the rule over one file (callers pre-filter to determinism src).
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for tok in &file.lexed.tokens {
+        if tok.kind != TokenKind::Ident || !HASH_ORDERED.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if file.in_test_code(tok.line) || file.allows.covers(Rule::NondetIteration, tok.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: Rule::NondetIteration,
+            file: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{}` in determinism-scoped code: iteration order varies per process",
+                tok.text
+            ),
+            help: "use `BTreeMap`/`BTreeSet`, or collect into a `Vec` and sort before \
+                   iterating; if order provably never escapes (pure membership tests), \
+                   justify with `// focal-lint: allow(nondet-iteration) -- <reason>`"
+                .into(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_hashmap_use_and_mentions() {
+        let src =
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, f64> { HashMap::new() }\n";
+        let d = findings(src);
+        assert_eq!(d.len(), 3);
+        assert!(d[0].message.contains("HashMap"));
+    }
+
+    #[test]
+    fn flags_hashset_and_random_state() {
+        assert_eq!(findings("fn f(s: &HashSet<u32>) {}\n").len(), 1);
+        assert_eq!(findings("fn f(s: RandomState) {}\n").len(), 1);
+        assert_eq!(
+            findings("use std::collections::hash_map::Entry;\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn btree_collections_pass() {
+        let src = "use std::collections::{BTreeMap, BTreeSet};\nfn f() -> BTreeMap<u32, f64> { BTreeMap::new() }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        assert!(findings("fn f() -> &'static str { \"HashMap\" }\n").is_empty());
+        assert!(findings("// a HashMap would be wrong here\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let test_mod = "#[cfg(test)]\nmod t {\n use std::collections::HashMap;\n}\n";
+        assert!(findings(test_mod).is_empty());
+        let allowed = "// focal-lint: allow(nondet-iteration) -- membership only, never iterated\nfn f(s: &HashSet<u32>) -> bool { s.contains(&1) }\n";
+        assert!(findings(allowed).is_empty());
+    }
+}

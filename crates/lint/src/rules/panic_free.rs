@@ -1,16 +1,25 @@
-//! `panic-freedom`: model crates must not panic in non-test code.
+//! `panic-freedom`: model crates must not panic in non-test code —
+//! directly, or through anything they call.
 //!
 //! The model crates (`core`, `wafer`, `perf`, `cache`, `uarch`,
-//! `scaling`, `act`) are library substrates that production harnesses
-//! drive over millions of parameter combinations; a `.unwrap()` that is
-//! "obviously fine" for today's inputs becomes a fleet-wide abort after
-//! the next refactor. Non-test code must propagate [`ModelError`]
-//! instead. The rule flags:
+//! `scaling`, `act`, `engine`) are library substrates that production
+//! harnesses drive over millions of parameter combinations; a
+//! `.unwrap()` that is "obviously fine" for today's inputs becomes a
+//! fleet-wide abort after the next refactor. Non-test code must
+//! propagate [`ModelError`] instead. The direct pass flags:
 //!
 //! * `.unwrap()` and `.expect(…)` calls,
 //! * `panic!`, `unreachable!`, `todo!`, `unimplemented!` invocations,
 //! * indexing by an integer literal (`xs[0]`), which panics on
 //!   out-of-bounds and should be `xs.first()` / `xs.get(0)`.
+//!
+//! The transitive pass ([`check_transitive`]) walks the workspace call
+//! graph: a model-crate call site whose callee *resolves outside the
+//! model crates* and can reach one of the sites above is flagged at the
+//! call, with the panic path in the message. (Callees inside model
+//! crates need no transitive report — the direct pass already flags the
+//! panic site itself.) Allowed sites count as non-panicking everywhere:
+//! one justified allow at the source also clears every caller.
 //!
 //! `debug_assert!` is deliberately not flagged (it vanishes in release
 //! builds and documents invariants), and `assert!` is left to review.
@@ -20,24 +29,28 @@
 use crate::diagnostics::{Diagnostic, Rule};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Runs the rule over one file (callers pre-filter to model-crate src).
-pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+/// One potential panic location (already filtered for test code and
+/// allow directives — an allowed site is non-panicking by fiat).
+struct PanicSite {
+    /// Token index of the site within its file.
+    tok: usize,
+    line: u32,
+    col: u32,
+    /// Short description for call-path messages: `` `.unwrap(…)` ``.
+    what: String,
+    /// Full message for the direct diagnostic.
+    message: String,
+    help: &'static str,
+}
+
+/// Finds every live (non-test, non-allowed) panic site in one file.
+fn direct_sites(file: &SourceFile) -> Vec<PanicSite> {
     let mut out = Vec::new();
     let tokens = &file.lexed.tokens;
-    let mut push = |line: u32, col: u32, message: String, help: &str| {
-        out.push(Diagnostic {
-            rule: Rule::PanicFreedom,
-            file: file.path.clone(),
-            line,
-            col,
-            message,
-            help: help.into(),
-        });
-    };
-
     for (i, tok) in tokens.iter().enumerate() {
         if file.in_test_code(tok.line) || file.allows.covers(Rule::PanicFreedom, tok.line) {
             continue;
@@ -50,14 +63,16 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
             let after_dot = prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".");
             let called = next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
             if after_dot && called {
-                push(
-                    tok.line,
-                    tok.col,
-                    format!("`.{}(…)` in non-test model code", tok.text),
-                    "propagate a `focal_core::ModelError` (`?`, `ok_or`, `map_err`) instead \
-                     of panicking; if the invariant is truly unbreakable, justify it with \
-                     `// focal-lint: allow(panic-freedom) -- <reason>`",
-                );
+                out.push(PanicSite {
+                    tok: i,
+                    line: tok.line,
+                    col: tok.col,
+                    what: format!("`.{}(…)`", tok.text),
+                    message: format!("`.{}(…)` in non-test model code", tok.text),
+                    help: "propagate a `focal_core::ModelError` (`?`, `ok_or`, `map_err`) \
+                           instead of panicking; if the invariant is truly unbreakable, \
+                           justify it with `// focal-lint: allow(panic-freedom) -- <reason>`",
+                });
             }
             continue;
         }
@@ -67,13 +82,15 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
             let invoked = next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == "!");
             // `core::panic!` style paths still end with the bare ident.
             if invoked {
-                push(
-                    tok.line,
-                    tok.col,
-                    format!("`{}!` in non-test model code", tok.text),
-                    "return a `Result` with a descriptive `ModelError` variant; panics in \
-                     the model substrate abort whole batch runs",
-                );
+                out.push(PanicSite {
+                    tok: i,
+                    line: tok.line,
+                    col: tok.col,
+                    what: format!("`{}!`", tok.text),
+                    message: format!("`{}!` in non-test model code", tok.text),
+                    help: "return a `Result` with a descriptive `ModelError` variant; panics \
+                           in the model substrate abort whole batch runs",
+                });
             }
             continue;
         }
@@ -89,15 +106,180 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                     .get(i + 2)
                     .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "]");
             if indexable && literal_index {
-                push(
-                    tok.line,
-                    tok.col,
-                    "indexing by integer literal in non-test model code".into(),
-                    "use `.get(n)` / `.first()` and handle the `None`; literal indexing \
-                     panics when the collection shape changes",
-                );
+                out.push(PanicSite {
+                    tok: i,
+                    line: tok.line,
+                    col: tok.col,
+                    what: "indexing by integer literal".into(),
+                    message: "indexing by integer literal in non-test model code".into(),
+                    help: "use `.get(n)` / `.first()` and handle the `None`; literal indexing \
+                           panics when the collection shape changes",
+                });
             }
         }
+    }
+    out
+}
+
+/// Runs the direct rule over one file (callers pre-filter to model-crate
+/// src).
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    direct_sites(file)
+        .into_iter()
+        .map(|s| Diagnostic {
+            rule: Rule::PanicFreedom,
+            file: file.path.clone(),
+            line: s.line,
+            col: s.col,
+            message: s.message,
+            help: s.help.into(),
+        })
+        .collect()
+}
+
+/// How a definition reaches a panic: the chain of callee names walked
+/// and the terminal site's location.
+#[derive(Clone)]
+struct Witness {
+    /// Callee names from the definition down to the panicking one.
+    path: Vec<String>,
+    /// `file:line` of the terminal panic site.
+    site: String,
+    /// Short description of the terminal site.
+    what: String,
+}
+
+/// Memoized panic-reachability over the call graph.
+struct Reachability<'a> {
+    files: &'a [SourceFile],
+    table: &'a SymbolTable,
+    /// Live panic sites per file index.
+    sites: Vec<Vec<PanicSite>>,
+    /// Call indices grouped by caller definition.
+    calls_by_def: Vec<Vec<usize>>,
+    /// `None` = not computed; `Some(None)` = proven panic-free.
+    memo: Vec<Option<Option<Witness>>>,
+    visiting: Vec<bool>,
+}
+
+impl<'a> Reachability<'a> {
+    fn new(files: &'a [SourceFile], table: &'a SymbolTable) -> Reachability<'a> {
+        let sites = files.iter().map(direct_sites).collect();
+        let mut calls_by_def = vec![Vec::new(); table.fns.len()];
+        for (idx, call) in table.calls.iter().enumerate() {
+            if let Some(d) = call.caller {
+                calls_by_def[d].push(idx);
+            }
+        }
+        Reachability {
+            files,
+            table,
+            sites,
+            calls_by_def,
+            memo: vec![None; table.fns.len()],
+            visiting: vec![false; table.fns.len()],
+        }
+    }
+
+    /// The witness through which definition `d` can panic, if any.
+    fn panics(&mut self, d: usize) -> Option<Witness> {
+        if let Some(known) = &self.memo[d] {
+            return known.clone();
+        }
+        // Recursion (a cycle back into a def being computed) proves
+        // nothing; treat the back edge as panic-free.
+        if self.visiting[d] {
+            return None;
+        }
+        self.visiting[d] = true;
+        let result = self.compute(d);
+        self.visiting[d] = false;
+        self.memo[d] = Some(result.clone());
+        result
+    }
+
+    fn compute(&mut self, d: usize) -> Option<Witness> {
+        let def = &self.table.fns[d];
+        let (open, close) = def.body?;
+        // A direct site inside the body.
+        if let Some(site) = self.sites[def.file]
+            .iter()
+            .find(|s| (open..=close).contains(&s.tok))
+        {
+            return Some(Witness {
+                path: vec![def.name.clone()],
+                site: format!("{}:{}", self.files[def.file].path, site.line),
+                what: site.what.clone(),
+            });
+        }
+        // Or a resolvable call to something that panics.
+        for call_idx in self.calls_by_def[d].clone() {
+            let call = &self.table.calls[call_idx];
+            // An allow on the call line clears this edge.
+            if self.files[call.file]
+                .allows
+                .covers(Rule::PanicFreedom, call.line)
+            {
+                continue;
+            }
+            let Some(target) = self.table.resolve(call, self.files) else {
+                continue;
+            };
+            if self.table.fns[target].is_test {
+                continue;
+            }
+            if let Some(mut w) = self.panics(target) {
+                w.path.insert(0, self.table.fns[d].name.clone());
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+/// Runs the transitive rule over the workspace: flags model-crate call
+/// sites whose callee resolves outside the model crates and can reach a
+/// panic. Diagnostics carry the call path and the terminal site.
+pub fn check_transitive(files: &[SourceFile], table: &SymbolTable) -> Vec<Diagnostic> {
+    let mut reach = Reachability::new(files, table);
+    let mut out = Vec::new();
+    for call in table.calls.iter() {
+        let file = &files[call.file];
+        if !crate::rules::is_model_src(&file.path)
+            || file.in_test_code(call.line)
+            || file.allows.covers(Rule::PanicFreedom, call.line)
+        {
+            continue;
+        }
+        let Some(target) = table.resolve(call, files) else {
+            continue;
+        };
+        let target_def = &table.fns[target];
+        // Panics inside model src are the direct pass's findings — a
+        // transitive report here would double-count them.
+        if crate::rules::is_model_src(&files[target_def.file].path) || target_def.is_test {
+            continue;
+        }
+        let Some(w) = reach.panics(target) else {
+            continue;
+        };
+        out.push(Diagnostic {
+            rule: Rule::PanicFreedom,
+            file: file.path.clone(),
+            line: call.line,
+            col: call.col,
+            message: format!(
+                "call into `{}` can panic: {} — {} at {}",
+                call.callee,
+                w.path.join(" → "),
+                w.what,
+                w.site
+            ),
+            help: "make the callee return a `Result` (or justify the call with \
+                   `// focal-lint: allow(panic-freedom) -- <reason>`); model code must not \
+                   reach a panic through any call chain"
+                .into(),
+        });
     }
     out
 }
@@ -108,6 +290,15 @@ mod tests {
 
     fn findings(src: &str) -> Vec<Diagnostic> {
         check(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    fn transitive(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(*p, s))
+            .collect();
+        let table = SymbolTable::build(&files);
+        check_transitive(&files, &table)
     }
 
     #[test]
@@ -161,5 +352,129 @@ mod tests {
     fn doc_comment_examples_are_exempt() {
         let src = "/// ```\n/// let x = g().unwrap();\n/// ```\nfn f() {}\n";
         assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn transitive_call_into_panicking_helper_is_flagged() {
+        let d = transitive(&[
+            (
+                "crates/core/src/model.rs",
+                "pub fn evaluate(x: f64) -> f64 { shared_helper(x) }\n",
+            ),
+            (
+                "crates/studies/src/util.rs",
+                "pub fn shared_helper(x: f64) -> f64 { table().unwrap() * x }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "crates/core/src/model.rs");
+        assert!(d[0].message.contains("shared_helper"));
+        assert!(d[0].message.contains(".unwrap"));
+        assert!(d[0].message.contains("crates/studies/src/util.rs:1"));
+    }
+
+    #[test]
+    fn transitive_walks_multi_hop_chains() {
+        let d = transitive(&[
+            (
+                "crates/wafer/src/yield_model.rs",
+                "pub fn batch(x: f64) -> f64 { outer_helper(x) }\n",
+            ),
+            (
+                "crates/report/src/chain.rs",
+                "pub fn outer_helper(x: f64) -> f64 { inner_helper(x) }\npub fn inner_helper(x: f64) -> f64 { if x < 0.0 { panic!(\"neg\") } else { x } }\n",
+            ),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("outer_helper → inner_helper"));
+        assert!(d[0].message.contains("`panic!`"));
+    }
+
+    #[test]
+    fn transitive_respects_allow_at_source_and_at_call() {
+        // An allow at the panic site clears the whole chain…
+        let at_source = transitive(&[
+            (
+                "crates/core/src/model.rs",
+                "pub fn evaluate(x: f64) -> f64 { shared_helper(x) }\n",
+            ),
+            (
+                "crates/studies/src/util.rs",
+                "pub fn shared_helper(x: f64) -> f64 {\n    // focal-lint: allow(panic-freedom) -- static table, always present\n    table().unwrap() * x\n}\n",
+            ),
+        ]);
+        assert!(at_source.is_empty(), "{at_source:?}");
+        // …and an allow at the call site clears just that caller.
+        let at_call = transitive(&[
+            (
+                "crates/core/src/model.rs",
+                "pub fn evaluate(x: f64) -> f64 {\n    // focal-lint: allow(panic-freedom) -- input validated by caller\n    shared_helper(x)\n}\n",
+            ),
+            (
+                "crates/studies/src/util.rs",
+                "pub fn shared_helper(x: f64) -> f64 { table().unwrap() * x }\n",
+            ),
+        ]);
+        assert!(at_call.is_empty(), "{at_call:?}");
+    }
+
+    #[test]
+    fn transitive_skips_model_internal_and_clean_callees() {
+        // Model → model: the direct pass owns the report.
+        let internal = transitive(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn caller(x: f64) -> f64 { model_helper(x) }\n",
+            ),
+            (
+                "crates/wafer/src/b.rs",
+                "pub fn model_helper(x: f64) -> f64 { t().unwrap() * x }\n",
+            ),
+        ]);
+        assert!(internal.is_empty(), "{internal:?}");
+        // Clean non-model callee: nothing to report.
+        let clean = transitive(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn caller(x: f64) -> f64 { tidy_helper(x) }\n",
+            ),
+            (
+                "crates/studies/src/b.rs",
+                "pub fn tidy_helper(x: f64) -> f64 { x * 2.0 }\n",
+            ),
+        ]);
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn transitive_survives_recursive_call_graphs() {
+        let d = transitive(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn caller(x: f64) -> f64 { ping(x) }\n",
+            ),
+            (
+                "crates/studies/src/b.rs",
+                "pub fn ping(x: f64) -> f64 { if x > 0.0 { pong(x - 1.0) } else { x } }\npub fn pong(x: f64) -> f64 { ping(x).max(probe().unwrap()) }\n",
+            ),
+        ]);
+        // The cycle terminates and the unwrap inside it is still found.
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("ping"));
+    }
+
+    #[test]
+    fn transitive_ignores_test_code_callers() {
+        let d = transitive(&[
+            (
+                "crates/core/src/a.rs",
+                "#[cfg(test)]\nmod t {\n fn probe() { shared_helper(1.0); }\n}\n",
+            ),
+            (
+                "crates/studies/src/b.rs",
+                "pub fn shared_helper(x: f64) -> f64 { t().unwrap() * x }\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -1,0 +1,230 @@
+//! `rng-hygiene`: every RNG is explicitly, reproducibly seeded.
+//!
+//! Three shapes of nondeterministic randomness are flagged in
+//! determinism-scoped code:
+//!
+//! * **entropy seeding** — `from_entropy()`, `thread_rng()`,
+//!   `rand::random()`: a fresh OS-entropy seed per run means no two runs
+//!   ever agree;
+//! * **time seeding** — `seed_from_u64(…)` whose argument is derived
+//!   from `SystemTime`/`Instant`/`now()`/`elapsed()`: morally identical
+//!   to entropy seeding with extra steps;
+//! * **per-chunk seeding outside the blessed pattern** — inside the
+//!   argument of a `par_*`/`try_par_*` call, `seed_from_u64(…)` must go
+//!   through `chunk_seed(seed, chunk)` so every chunk derives its stream
+//!   from the run seed and its own index; seeding from anything else
+//!   makes the stream depend on scheduling.
+
+use crate::diagnostics::{Diagnostic, Rule};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::symbols::matching_paren;
+use std::collections::BTreeSet;
+
+/// Constructors that pull OS entropy.
+const ENTROPY_FNS: &[&str] = &["from_entropy", "thread_rng"];
+
+/// Identifiers that mark a seed as time-derived.
+const TIME_IDENTS: &[&str] = &[
+    "SystemTime",
+    "UNIX_EPOCH",
+    "Instant",
+    "elapsed",
+    "now",
+    "duration_since",
+];
+
+/// Runs the rule over one file (callers pre-filter to determinism src).
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let tokens = &file.lexed.tokens;
+    // (token index, message) — BTreeSet dedupes a site reachable both as
+    // a standalone scan hit and through a parallel-closure scan.
+    let mut flagged: BTreeSet<(usize, String)> = BTreeSet::new();
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = tokens
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+
+        if ENTROPY_FNS.contains(&tok.text.as_str()) && called {
+            flagged.insert((
+                i,
+                format!(
+                    "`{}()` seeds from OS entropy: runs are unreproducible",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        // `rand::random` (with or without turbofish / call parens).
+        if tok.text == "random"
+            && i >= 2
+            && tokens[i - 1].text == "::"
+            && tokens[i - 2].text == "rand"
+        {
+            flagged.insert((
+                i,
+                "`rand::random()` uses the entropy-seeded thread RNG".to_string(),
+            ));
+            continue;
+        }
+        if tok.text == "seed_from_u64" && called {
+            let Some(close) = matching_paren(tokens, i + 1) else {
+                continue;
+            };
+            let time_derived = tokens[i + 2..close]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && TIME_IDENTS.contains(&t.text.as_str()));
+            if time_derived {
+                flagged.insert((
+                    i,
+                    "`seed_from_u64(…)` seeded from wall-clock time: runs are \
+                     unreproducible"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Inside parallel-operation arguments, explicit seeding must derive
+    // from `chunk_seed`; a constant or captured seed would give every
+    // chunk the same stream (or a scheduling-dependent one).
+    for (i, tok) in tokens.iter().enumerate() {
+        let is_par_call = tok.kind == TokenKind::Ident
+            && (tok.text.starts_with("par_") || tok.text.starts_with("try_par_"))
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+        if !is_par_call {
+            continue;
+        }
+        let Some(close) = matching_paren(tokens, i + 1) else {
+            continue;
+        };
+        for j in i + 2..close {
+            if !(tokens[j].kind == TokenKind::Ident && tokens[j].text == "seed_from_u64") {
+                continue;
+            }
+            let Some(seed_open) = tokens
+                .get(j + 1)
+                .filter(|n| n.kind == TokenKind::Punct && n.text == "(")
+                .map(|_| j + 1)
+            else {
+                continue;
+            };
+            let Some(seed_close) = matching_paren(tokens, seed_open) else {
+                continue;
+            };
+            let uses_chunk_seed = tokens[seed_open + 1..seed_close]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "chunk_seed");
+            if !uses_chunk_seed {
+                flagged.insert((
+                    j,
+                    format!(
+                        "RNG seeded independently of the chunk index inside `{}(…)`: \
+                         use `chunk_seed(seed, chunk)` so streams are \
+                         schedule-independent",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+
+    flagged
+        .into_iter()
+        .filter(|(i, _)| {
+            let line = tokens[*i].line;
+            !file.in_test_code(line) && !file.allows.covers(Rule::RngHygiene, line)
+        })
+        .map(|(i, message)| Diagnostic {
+            rule: Rule::RngHygiene,
+            file: file.path.clone(),
+            line: tokens[i].line,
+            col: tokens[i].col,
+            message,
+            help: "derive every RNG from the run's explicit seed — serially via \
+                   `StdRng::seed_from_u64(seed)`, per-chunk via \
+                   `StdRng::seed_from_u64(chunk_seed(seed, chunk))`"
+                .into(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_entropy_constructors() {
+        assert_eq!(
+            findings("fn f() { let r = StdRng::from_entropy(); }\n").len(),
+            1
+        );
+        assert_eq!(
+            findings("fn f() { let r = rand::thread_rng(); }\n").len(),
+            1
+        );
+        assert_eq!(
+            findings("fn f() -> f64 { rand::random::<f64>() }\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn flags_time_derived_seeds() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(\
+                   SystemTime::now().duration_since(UNIX_EPOCH).as_secs()); }\n";
+        assert_eq!(findings(src).len(), 1);
+        let inst =
+            "fn f(t: Instant) { let r = StdRng::seed_from_u64(t.elapsed().as_nanos() as u64); }\n";
+        assert_eq!(findings(inst).len(), 1);
+    }
+
+    #[test]
+    fn explicit_seed_passes() {
+        assert!(findings("fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); }\n").is_empty());
+        assert!(findings("fn f() { let r = StdRng::seed_from_u64(42); }\n").is_empty());
+    }
+
+    #[test]
+    fn par_closure_must_use_chunk_seed() {
+        let bad = "fn f(e: &Engine, seed: u64) {\n    e.par_chunk_map(4, |c| {\n        let r = StdRng::seed_from_u64(seed);\n        draw(r)\n    });\n}\n";
+        let d = findings(bad);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("chunk index"));
+        let good = "fn f(e: &Engine, seed: u64) {\n    e.par_chunk_map(4, |c| {\n        let r = StdRng::seed_from_u64(chunk_seed(seed, c));\n        draw(r)\n    });\n}\n";
+        assert!(findings(good).is_empty());
+    }
+
+    #[test]
+    fn serial_seeding_outside_par_is_fine() {
+        let src = "fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); serial(r) }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn dedupes_time_seed_inside_par_closure() {
+        // Both scans hit this site; it must yield one diagnostic per
+        // problem, not one per scan.
+        let src = "fn f(e: &Engine) { e.par_map(xs, |x| StdRng::seed_from_u64(\
+                   SystemTime::now().as_secs()).gen()); }\n";
+        assert_eq!(findings(src).len(), 2); // time-derived + not-chunk_seed
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let test_mod = "#[cfg(test)]\nmod t {\n fn t() { rand::thread_rng(); }\n}\n";
+        assert!(findings(test_mod).is_empty());
+        let allowed = "// focal-lint: allow(rng-hygiene) -- interactive demo, reproducibility not needed\nfn f() { let r = StdRng::from_entropy(); }\n";
+        assert!(findings(allowed).is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! Lightweight symbol table and call graph over the lexed workspace.
+//!
+//! This is deliberately *not* a Rust name resolver: focal-lint has no
+//! dependency on `syn` or rustc internals, so resolution works on the
+//! token stream and is conservative. A call site resolves to a `fn`
+//! definition only when the match is unambiguous:
+//!
+//! 1. a definition with the same name in the **same file**, else
+//! 2. a **unique** same-named definition in the same crate, else
+//! 3. (non-method calls only) a **unique** same-named definition in the
+//!    whole workspace.
+//!
+//! Anything ambiguous stays unresolved, and rules built on the graph
+//! (transitive panic-reachability, reduction-order blessing) must treat
+//! unresolved calls conservatively for their own failure direction.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Words that look like `name(` in the token stream but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "loop", "match", "return", "break", "continue", "fn",
+    "let", "as", "move", "ref", "mut", "pub", "use", "mod", "impl", "struct", "enum", "union",
+    "trait", "type", "where", "unsafe", "async", "await", "dyn", "const", "static", "crate",
+    "super", "self", "Self", "extern", "true", "false",
+];
+
+/// One `fn` definition found in the workspace.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub name: String,
+    /// Index into the file list passed to [`SymbolTable::build`].
+    pub file: usize,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token-index range `(open_brace, close_brace)` of the body, if the
+    /// definition has one (trait-method signatures do not).
+    pub body: Option<(usize, usize)>,
+    /// Whether the definition lives in test code.
+    pub is_test: bool,
+}
+
+/// One call site: an identifier directly followed by `(`.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Index into the file list passed to [`SymbolTable::build`].
+    pub file: usize,
+    /// Index into [`SymbolTable::fns`] of the innermost enclosing
+    /// definition, when the call happens inside one.
+    pub caller: Option<usize>,
+    /// The called name (`frob` in both `frob(x)` and `x.frob(y)`).
+    pub callee: String,
+    /// The path segment right before the name (`Rng` in `Rng::frob(…)`).
+    pub qualifier: Option<String>,
+    /// Whether the call is a method call (`x.frob(…)`).
+    pub is_method: bool,
+    /// Token index of the callee identifier within its file.
+    pub tok: usize,
+    /// 1-based position of the callee identifier.
+    pub line: u32,
+    /// 1-based column of the callee identifier.
+    pub col: u32,
+}
+
+/// The workspace-wide symbol table: all `fn` definitions, all call
+/// sites, and a name index for resolution.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every `fn` definition, in file order.
+    pub fns: Vec<FnDef>,
+    /// Every call site, in file order.
+    pub calls: Vec<CallSite>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// The crate a repo-relative path belongs to (`crates/<name>/…` →
+/// `<name>`; everything else is the workspace root crate).
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("(root)")
+}
+
+/// Returns the token index of the `)` matching the `(` at `open`, if
+/// the stream closes it.
+pub fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn find_defs(file_idx: usize, file: &SourceFile, out: &mut Vec<FnDef>) {
+    let tokens = &file.lexed.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if !(tok.kind == TokenKind::Ident && tok.text == "fn") {
+            i += 1;
+            continue;
+        }
+        // `fn(f64) -> f64` pointer types have `(` here, not a name.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Walk the signature to the body `{` (matching it) or a `;` for
+        // bodiless trait-method signatures. Parens/brackets in the
+        // signature never contain `{` or `;` at depth 0.
+        let mut j = i + 2;
+        let mut body = None;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    ";" => break,
+                    "{" => {
+                        let mut depth = 1usize;
+                        let mut k = j + 1;
+                        while k < tokens.len() && depth > 0 {
+                            match tokens[k].text.as_str() {
+                                "{" => depth += 1,
+                                "}" => depth -= 1,
+                                _ => {}
+                            }
+                            if depth == 0 {
+                                body = Some((j, k));
+                            }
+                            k += 1;
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        out.push(FnDef {
+            name: name_tok.text.clone(),
+            file: file_idx,
+            line: tok.line,
+            col: tok.col,
+            body,
+            is_test: file.in_test_code(tok.line),
+        });
+        i += 2;
+    }
+}
+
+fn find_calls(
+    file_idx: usize,
+    file: &SourceFile,
+    defs: &[FnDef],
+    def_range: std::ops::Range<usize>,
+    out: &mut Vec<CallSite>,
+) {
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || NON_CALL_KEYWORDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let called = tokens
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+        if !called {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+        // The name in `fn name(` is a definition, not a call.
+        if prev.is_some_and(|p| p.kind == TokenKind::Ident && p.text == "fn") {
+            continue;
+        }
+        let is_method = prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".");
+        let qualifier = if prev.is_some_and(|p| p.kind == TokenKind::Punct && p.text == "::") {
+            i.checked_sub(2)
+                .and_then(|j| tokens.get(j))
+                .filter(|q| q.kind == TokenKind::Ident)
+                .map(|q| q.text.clone())
+        } else {
+            None
+        };
+        // Innermost enclosing definition: smallest body range containing
+        // this token (defs for this file only).
+        let caller = def_range
+            .clone()
+            .filter(|&d| {
+                defs[d]
+                    .body
+                    .is_some_and(|(open, close)| (open..=close).contains(&i))
+            })
+            .min_by_key(|&d| {
+                let (open, close) = defs[d].body.unwrap_or((0, usize::MAX));
+                close - open
+            });
+        out.push(CallSite {
+            file: file_idx,
+            caller,
+            callee: tok.text.clone(),
+            qualifier,
+            is_method,
+            tok: i,
+            line: tok.line,
+            col: tok.col,
+        });
+    }
+}
+
+impl SymbolTable {
+    /// Builds the table over the given files (indices into `files` are
+    /// the `file` fields of the resulting defs and call sites).
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut calls = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            let start = fns.len();
+            find_defs(file_idx, file, &mut fns);
+            let range = start..fns.len();
+            find_calls(file_idx, file, &fns, range, &mut calls);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, def) in fns.iter().enumerate() {
+            by_name.entry(def.name.clone()).or_default().push(idx);
+        }
+        SymbolTable {
+            fns,
+            calls,
+            by_name,
+        }
+    }
+
+    /// All definitions with the given name.
+    pub fn defs_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolves a call site to a definition index, or `None` when the
+    /// target is ambiguous or outside the workspace (std, vendored
+    /// shims). See the module docs for the resolution ladder.
+    pub fn resolve(&self, call: &CallSite, files: &[SourceFile]) -> Option<usize> {
+        let candidates = self.defs_named(&call.callee);
+        if candidates.is_empty() {
+            return None;
+        }
+        let unique = |set: Vec<usize>| {
+            if set.len() == 1 {
+                set.first().copied()
+            } else {
+                None
+            }
+        };
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&d| self.fns[d].file == call.file)
+            .collect();
+        if !same_file.is_empty() {
+            return unique(same_file);
+        }
+        let call_crate = crate_of(&files[call.file].path);
+        let same_crate: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&d| crate_of(&files[self.fns[d].file].path) == call_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return unique(same_crate);
+        }
+        // Method-call receivers are invisible to a token-level pass, so
+        // cross-crate method resolution would be guesswork; plain calls
+        // resolve globally when the name is workspace-unique.
+        if call.is_method {
+            return None;
+        }
+        unique(candidates.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(sources: &[(&str, &str)]) -> (SymbolTable, Vec<SourceFile>) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(*p, s))
+            .collect();
+        (SymbolTable::build(&files), files)
+    }
+
+    #[test]
+    fn finds_defs_and_bodies() {
+        let (t, _) = table(&[(
+            "crates/core/src/a.rs",
+            "fn plain(x: f64) -> f64 { x }\ntrait T { fn sig(&self) -> f64; }\n",
+        )]);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].name, "plain");
+        assert!(t.fns[0].body.is_some());
+        assert_eq!(t.fns[1].name, "sig");
+        assert!(t.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn call_sites_carry_caller_and_shape() {
+        let (t, _) = table(&[(
+            "crates/core/src/a.rs",
+            "fn inner(x: f64) -> f64 { x }\nfn outer(x: f64) -> f64 { inner(x).max(Rng::gen(x)) }\n",
+        )]);
+        let inner_call = t.calls.iter().find(|c| c.callee == "inner").unwrap();
+        assert_eq!(inner_call.caller, Some(1));
+        assert!(!inner_call.is_method);
+        let max_call = t.calls.iter().find(|c| c.callee == "max").unwrap();
+        assert!(max_call.is_method);
+        let gen_call = t.calls.iter().find(|c| c.callee == "gen").unwrap();
+        assert_eq!(gen_call.qualifier.as_deref(), Some("Rng"));
+    }
+
+    #[test]
+    fn keywords_and_fn_pointers_are_not_calls() {
+        let (t, _) = table(&[(
+            "crates/core/src/a.rs",
+            "fn f(g: fn(f64) -> f64, x: f64) -> f64 { if (x > 0.0) { g(x) } else { x } }\n",
+        )]);
+        assert!(t.calls.iter().all(|c| c.callee == "g"));
+        assert_eq!(t.fns.len(), 1);
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_crate_then_global() {
+        let (t, files) = table(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn use_local() { helper(); }\n",
+            ),
+            ("crates/a/src/other.rs", "fn use_crate() { helper(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn use_global() { helper(); }\nfn only_here() {}\n",
+            ),
+            ("crates/c/src/lib.rs", "fn use_unique() { only_here(); }\n"),
+        ]);
+        let resolve_from = |callee: &str, file: usize| {
+            let call = t
+                .calls
+                .iter()
+                .find(|c| c.callee == callee && c.file == file)
+                .unwrap();
+            t.resolve(call, &files)
+        };
+        // Same file (file 0), same crate (file 1), global-unique (file 2).
+        assert_eq!(resolve_from("helper", 0), Some(0));
+        assert_eq!(resolve_from("helper", 1), Some(0));
+        assert_eq!(resolve_from("helper", 2), Some(0));
+        assert_eq!(resolve_from("only_here", 3), Some(4));
+    }
+
+    #[test]
+    fn ambiguous_and_method_calls_stay_unresolved() {
+        let (t, files) = table(&[
+            ("crates/a/src/lib.rs", "fn dup() {}\n"),
+            ("crates/b/src/lib.rs", "fn dup() {}\n"),
+            (
+                "crates/c/src/lib.rs",
+                "fn caller(x: X) { dup(); x.dup(); }\n",
+            ),
+        ]);
+        let plain = t
+            .calls
+            .iter()
+            .find(|c| c.callee == "dup" && !c.is_method)
+            .unwrap();
+        assert_eq!(t.resolve(plain, &files), None);
+        // A method call never resolves across crates, even when unique.
+        let (t2, files2) = table(&[
+            ("crates/a/src/lib.rs", "fn unique_fn() {}\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn caller(x: X) { x.unique_fn(); }\n",
+            ),
+        ]);
+        let method = t2.calls.iter().find(|c| c.is_method).unwrap();
+        assert_eq!(t2.resolve(method, &files2), None);
+    }
+
+    #[test]
+    fn crate_of_classifies_paths() {
+        assert_eq!(crate_of("crates/engine/src/pool.rs"), "engine");
+        assert_eq!(crate_of("crates/lint/tests/ui.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "(root)");
+        assert_eq!(crate_of("tests/suite.rs"), "(root)");
+    }
+
+    #[test]
+    fn matching_paren_matches_nested() {
+        let file = SourceFile::parse("x.rs", "f(a, g(b, h(c)), d)\n");
+        let tokens = &file.lexed.tokens;
+        let open = tokens.iter().position(|t| t.text == "(").unwrap();
+        let close = matching_paren(tokens, open).unwrap();
+        assert_eq!(tokens[close].text, ")");
+        assert_eq!(close, tokens.len() - 1);
+    }
+
+    #[test]
+    fn test_defs_are_marked() {
+        let (t, _) = table(&[(
+            "crates/core/src/a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod t {\n fn probe() {}\n}\n",
+        )]);
+        assert!(!t.fns[0].is_test);
+        assert!(t.fns[1].is_test);
+    }
+}

@@ -1,0 +1,13 @@
+//@ path: crates/studies/src/confinement_fixture.rs
+// Violation: concurrency primitives outside crates/engine.
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub static PROGRESS: AtomicU64 = AtomicU64::new(0);
+
+pub fn run_all(figures: Vec<Figure>) -> Vec<Output> {
+    let results = Mutex::new(Vec::new());
+    let handle = thread::spawn(move || evaluate(figures));
+    handle.join().unwrap_or_default();
+    results.into_inner().unwrap_or_default()
+}

@@ -1,0 +1,12 @@
+//@ path: crates/engine/src/confinement_fixture.rs
+// Clean: the same primitives are fine inside crates/engine — confined
+// concurrency is the engine's whole job.
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub static STEALS: AtomicU64 = AtomicU64::new(0);
+
+pub fn collect(n: usize) -> Vec<(u32, f64)> {
+    let collected: Mutex<Vec<(u32, f64)>> = Mutex::new(Vec::with_capacity(n));
+    collected.into_inner().unwrap_or_default()
+}

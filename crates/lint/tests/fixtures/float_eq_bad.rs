@@ -1,0 +1,10 @@
+//@ path: crates/perf/src/float_eq_fixture.rs
+// Violation: exact float comparison in non-test code.
+
+pub fn is_baseline(speedup: f64) -> bool {
+    speedup == 1.0
+}
+
+pub fn diverged(x: f64, nan_probe: f64) -> bool {
+    x != 0.0 || nan_probe == f64::NAN
+}

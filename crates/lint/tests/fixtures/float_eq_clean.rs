@@ -1,0 +1,10 @@
+//@ path: crates/perf/src/float_eq_fixture.rs
+// Clean: tolerance compare and is_nan() instead of ==.
+
+pub fn is_baseline(speedup: f64) -> bool {
+    (speedup - 1.0).abs() < 1e-12
+}
+
+pub fn diverged(x: f64, nan_probe: f64) -> bool {
+    x.abs() > 1e-12 || nan_probe.is_nan()
+}

@@ -1,0 +1,11 @@
+//@ path: crates/core/src/nondet_fixture.rs
+// Violation: hash-ordered collections in a determinism-scoped crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut by_key: HashMap<u32, f64> = HashMap::new();
+    for (k, v) in xs {
+        *by_key.entry(*k).or_insert(0.0) += v;
+    }
+    by_key.into_iter().collect()
+}

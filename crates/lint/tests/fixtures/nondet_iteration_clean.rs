@@ -1,0 +1,12 @@
+//@ path: crates/core/src/nondet_fixture.rs
+// Clean: BTreeMap iterates in key order, so the collected rows (and any
+// float accumulation over them) are stable across runs.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut by_key: BTreeMap<u32, f64> = BTreeMap::new();
+    for (k, v) in xs {
+        *by_key.entry(*k).or_insert(0.0) += v;
+    }
+    by_key.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/cache/src/panic_fixture.rs
+// Violation: direct panics in model-crate code.
+
+pub fn lookup(xs: &[f64]) -> f64 {
+    let first = xs.first().copied().unwrap();
+    if first < 0.0 {
+        panic!("negative cache size");
+    }
+    xs[0]
+}

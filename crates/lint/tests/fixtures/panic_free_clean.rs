@@ -1,0 +1,10 @@
+//@ path: crates/cache/src/panic_fixture.rs
+// Clean: the same lookup propagating a Result.
+
+pub fn lookup(xs: &[f64]) -> Result<f64, ModelError> {
+    let first = xs.first().copied().ok_or(ModelError::EmptyInput)?;
+    if first < 0.0 {
+        return Err(ModelError::NegativeCacheSize);
+    }
+    Ok(first)
+}

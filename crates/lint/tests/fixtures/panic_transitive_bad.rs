@@ -1,0 +1,8 @@
+//@ path: crates/core/src/transitive_fixture.rs
+//@ aux: panic_transitive_bad_aux.rs
+// Violation: model code reaching a panic through a call chain that
+// leaves the model crates (the panic itself is two hops away).
+
+pub fn evaluate(x: f64) -> f64 {
+    interp_shared(x) * 2.0
+}

@@ -1,0 +1,16 @@
+//@ path: crates/studies/src/interp_fixture.rs
+// Aux for panic_transitive_bad: a non-model helper chain ending in an
+// unwrap. The direct rule does not scan studies, so only the transitive
+// pass can see this.
+
+pub fn interp_shared(x: f64) -> f64 {
+    lookup_row(x)
+}
+
+fn lookup_row(x: f64) -> f64 {
+    table_for(x).unwrap()
+}
+
+fn table_for(_x: f64) -> Option<f64> {
+    None
+}

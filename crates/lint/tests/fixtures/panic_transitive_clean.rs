@@ -1,0 +1,8 @@
+//@ path: crates/core/src/transitive_fixture.rs
+//@ aux: panic_transitive_clean_aux.rs
+// Clean: the same call chain, but the helper's unwrap carries a
+// justified allow — an allow at the source clears every caller.
+
+pub fn evaluate(x: f64) -> f64 {
+    interp_shared(x) * 2.0
+}

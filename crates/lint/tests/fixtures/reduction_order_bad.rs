@@ -1,0 +1,15 @@
+//@ path: crates/studies/src/reduction_fixture.rs
+// Violation: a float sum and a float fold merged by a home-grown
+// parallel helper with no chunk-order guarantee.
+
+pub fn total(xs: &[f64]) -> f64 {
+    par_apply(xs, |chunk| chunk.iter().sum::<f64>())
+}
+
+pub fn weighted(xs: &[f64]) -> f64 {
+    par_apply(xs, |chunk| chunk.iter().fold(0.0, |acc, x| acc + x))
+}
+
+fn par_apply(xs: &[f64], merge: impl Fn(&[f64]) -> f64) -> f64 {
+    merge(xs)
+}

@@ -1,0 +1,11 @@
+//@ path: crates/studies/src/reduction_fixture.rs
+// Clean: the same reductions routed through focal-engine's blessed,
+// chunk-order-merged operations.
+
+pub fn total(engine: &Engine, xs: &[f64]) -> f64 {
+    engine.par_reduce(xs, |chunk| chunk.iter().sum::<f64>(), 0.0, |a, b| a + b)
+}
+
+pub fn weighted(engine: &Engine, xs: &[f64]) -> f64 {
+    engine.par_map(xs, |x| x * 2.0).iter().fold(0.0, |acc, x| acc + x)
+}

@@ -1,0 +1,21 @@
+//@ path: crates/wafer/src/rng_fixture.rs
+// Violations: entropy seeding, time seeding, and a parallel closure
+// seeding its RNG without the chunk index.
+
+pub fn sample_entropy() -> f64 {
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}
+
+pub fn sample_clock() -> f64 {
+    let seed = SystemTime::now().duration_since(UNIX_EPOCH).as_secs();
+    let mut rng = StdRng::seed_from_u64(seed_mix(SystemTime::now()));
+    rng.gen()
+}
+
+pub fn sample_chunks(engine: &Engine, seed: u64) -> Vec<f64> {
+    engine.par_chunk_map(8, |chunk| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        draw(&mut rng, chunk)
+    })
+}

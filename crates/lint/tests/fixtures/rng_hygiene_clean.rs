@@ -1,0 +1,15 @@
+//@ path: crates/wafer/src/rng_fixture.rs
+// Clean: the run seed is explicit, and each parallel chunk derives its
+// stream from `chunk_seed(seed, chunk)`.
+
+pub fn sample_serial(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+pub fn sample_chunks(engine: &Engine, seed: u64) -> Vec<f64> {
+    engine.par_chunk_map(8, |chunk| {
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
+        draw(&mut rng, chunk)
+    })
+}

@@ -1,0 +1,8 @@
+//@ path: crates/studies/src/stale_allow_fixture.rs
+// Violation: the allow names a rule id that does not exist (renamed or
+// removed) — a stale suppression that silently protects nothing.
+
+pub fn f(x: f64) -> f64 {
+    // focal-lint: allow(determinism) -- left over from an old rule name
+    x * 2.0
+}

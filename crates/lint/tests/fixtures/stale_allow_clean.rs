@@ -1,0 +1,7 @@
+//@ path: crates/studies/src/stale_allow_fixture.rs
+// Clean: a live rule id with a justification.
+
+// focal-lint: allow(nondet-iteration) -- membership probe only; order never observed
+pub fn f(s: &HashSet<u32>) -> bool {
+    s.contains(&1)
+}

@@ -1,0 +1,8 @@
+//@ path: crates/act/src/unit_fixture.rs
+// Violation: a quantity-named public fn with bare f64s and no units in
+// its docs.
+
+/// Combines the per-die contributions.
+pub fn embodied_carbon(die: f64, packaging: f64) -> f64 {
+    die + packaging
+}

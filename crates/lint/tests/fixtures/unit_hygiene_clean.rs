@@ -1,0 +1,7 @@
+//@ path: crates/act/src/unit_fixture.rs
+// Clean: the same fn with units stated in the doc comment.
+
+/// Combines the per-die contributions, in kg CO₂e.
+pub fn embodied_carbon(die: f64, packaging: f64) -> f64 {
+    die + packaging
+}

@@ -1,0 +1,139 @@
+//! Fixture-based ui tests: every rule has at least one violating and
+//! one clean fixture under `tests/fixtures/`, each paired with a
+//! `.expected` file holding exactly the diagnostics it must produce
+//! (one `rule file:line:col message` line per finding; empty = clean).
+//!
+//! Fixture grammar (lexed as ordinary comments, so they stay valid
+//! input to the linter):
+//!
+//! * `//@ path: <virtual path>` — required; the repo-relative path the
+//!   fixture pretends to live at, which is what selects rule scopes.
+//! * `//@ aux: <file>` — optional, repeatable; another fixture lexed
+//!   into the same run (for cross-file rules). Aux fixtures are named
+//!   `*_aux.rs` and are not run as cases themselves.
+//!
+//! Regenerate expectations after an intentional diagnostic change with
+//! `UPDATE_EXPECTED=1 cargo test -p focal-lint --test ui`.
+
+use focal_lint::{run_rules, Manifest, SourceFile};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Reads a fixture and returns its `//@ path:` virtual path and `//@
+/// aux:` references.
+fn directives(text: &str, fixture: &Path) -> (String, Vec<String>) {
+    let mut path = None;
+    let mut auxes = Vec::new();
+    for line in text.lines() {
+        if let Some(p) = line.strip_prefix("//@ path:") {
+            path = Some(p.trim().to_string());
+        } else if let Some(a) = line.strip_prefix("//@ aux:") {
+            auxes.push(a.trim().to_string());
+        }
+    }
+    let path = path.unwrap_or_else(|| panic!("{fixture:?} is missing its `//@ path:` header"));
+    (path, auxes)
+}
+
+fn load(fixture: &Path) -> Vec<SourceFile> {
+    let text = std::fs::read_to_string(fixture).unwrap();
+    let (vpath, auxes) = directives(&text, fixture);
+    let mut files = vec![SourceFile::parse(vpath, &text)];
+    for aux in auxes {
+        let aux_path = fixtures_dir().join(&aux);
+        let aux_text = std::fs::read_to_string(&aux_path)
+            .unwrap_or_else(|e| panic!("aux fixture {aux_path:?}: {e}"));
+        let (aux_vpath, aux_auxes) = directives(&aux_text, &aux_path);
+        assert!(aux_auxes.is_empty(), "aux fixtures must not nest ({aux})");
+        files.push(SourceFile::parse(aux_vpath, &aux_text));
+    }
+    files
+}
+
+fn render(files: &[SourceFile]) -> String {
+    let diags = run_rules(files, &Manifest::default());
+    let mut out = String::new();
+    for d in &diags {
+        out.push_str(&format!(
+            "{} {}:{}:{} {}\n",
+            d.rule, d.file, d.line, d.col, d.message
+        ));
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_expected_diagnostics() {
+    let dir = fixtures_dir();
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {dir:?}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "rs")
+                && !p
+                    .file_stem()
+                    .is_some_and(|s| s.to_string_lossy().ends_with("_aux"))
+        })
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "no fixtures found in {dir:?}");
+
+    let update = std::env::var_os("UPDATE_EXPECTED").is_some();
+    let mut failures = Vec::new();
+    for case in &cases {
+        let actual = render(&load(case));
+        let expected_path = case.with_extension("expected");
+        if update {
+            std::fs::write(&expected_path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("{expected_path:?}: {e} (run with UPDATE_EXPECTED=1 to create)")
+        });
+        if actual != expected {
+            failures.push(format!(
+                "== {} ==\n--- expected ---\n{expected}--- actual ---\n{actual}",
+                case.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} fixture(s) diverged:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Every rule id appears in at least one non-empty `.expected` file —
+/// i.e. the corpus actually exercises the whole rule set (the clean
+/// fixtures are the negative cases).
+#[test]
+fn corpus_covers_every_rule() {
+    let dir = fixtures_dir();
+    let mut hit: std::collections::BTreeSet<String> = Default::default();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|x| x == "expected") {
+            for line in std::fs::read_to_string(&p).unwrap().lines() {
+                if let Some(rule) = line.split_whitespace().next() {
+                    hit.insert(rule.to_string());
+                }
+            }
+        }
+    }
+    for rule in focal_lint::Rule::ALL {
+        // constant-provenance needs the real manifest; it is pinned by
+        // the golden workspace audit instead of a fixture.
+        if *rule == focal_lint::Rule::ConstantProvenance {
+            continue;
+        }
+        assert!(
+            hit.contains(rule.name()),
+            "no violating fixture exercises `{rule}` (corpus hits: {hit:?})"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The determinism regression test: the whole workspace must be clean
+//! under focal-lint with every rule (including the determinism family
+//! and transitive panic-freedom) enabled. This is the static half of
+//! the bit-identical guarantee — the dynamic half is the suite's
+//! 1-vs-4-thread byte-diff in CI.
+
+use focal_lint::{check_workspace, CheckConfig};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_all_rules() {
+    let diags = check_workspace(&CheckConfig::new(repo_root())).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "focal-lint found {} finding(s) in the workspace:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| format!(
+                "  [{}] {}:{}:{} {}",
+                d.rule, d.file, d.line, d.col, d.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
