@@ -51,6 +51,24 @@ impl CarbonIntensity {
         Ok(CarbonIntensity(value))
     }
 
+    /// Looks up one of the named grid presets — the spellings scenario
+    /// files use (`"coal-heavy"`, `"world-average"`, `"renewable"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name.
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "coal-heavy" => Ok(CarbonIntensity::COAL_HEAVY),
+            "world-average" => Ok(CarbonIntensity::WORLD_AVERAGE),
+            "renewable" => Ok(CarbonIntensity::RENEWABLE),
+            _ => Err(ModelError::Inconsistent {
+                constraint: "carbon intensity name must be one of \
+                             coal-heavy | world-average | renewable",
+            }),
+        }
+    }
+
     /// The intensity in g CO₂e/kWh.
     #[inline]
     pub fn get(self) -> f64 {

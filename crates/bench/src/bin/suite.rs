@@ -12,12 +12,20 @@
 //!   the JSON, leaving only thread-count-invariant content. CI runs the
 //!   suite under `FOCAL_THREADS=1` and `FOCAL_THREADS=4` with this flag
 //!   and diffs the outputs byte-for-byte.
-//! * `--dump-dir <dir>` — additionally write every figure's CSV dump to
-//!   `<dir>/<fig>.csv`.
+//! * `--dump-dir <dir>` — additionally write every hand-coded figure's
+//!   CSV dump to `<dir>/registry/<fig>.csv` and, when `--scenarios` is
+//!   given, every scenario's output to `<dir>/scenarios/<id>.csv` (or
+//!   `.txt` for findings and robustness). The two corpora are keyed into
+//!   separate subdirectories so DSL twins can never clobber the
+//!   hand-coded dumps they mirror.
 //! * `--samples <n>` — Monte-Carlo samples per robustness run (default:
 //!   [`focal_bench::suite::ROBUSTNESS_SAMPLES`]). Any value stays
 //!   bit-identical across thread counts; large values make the suite a
 //!   parallel-speedup benchmark.
+//! * `--scenarios <dir>` — evaluate every `*.toml` scenario under
+//!   `<dir>` as an additional `scenarios` stage (see DESIGN.md §13).
+//! * `--scenarios-only` — with `--scenarios`, skip the hand-coded stages
+//!   and run the scenario corpus alone.
 //! * `--inject <kind>@<site>:<index>` — arm the deterministic
 //!   fault-injection harness before running (e.g. `panic@figures:3`,
 //!   `nan@mc:1017`). The targeted stage degrades to `status: error` with
@@ -26,14 +34,14 @@
 //!
 //! Exits nonzero if any stage fails to reproduce the paper or errors.
 
-use focal_bench::suite::{run_suite_with_samples, ROBUSTNESS_SAMPLES};
+use focal_bench::suite::{run_suite_with_options, SuiteOptions};
 use focal_engine::{fault, Engine, FaultPlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut no_timings = false;
     let mut dump_dir: Option<&String> = None;
-    let mut samples = ROBUSTNESS_SAMPLES;
+    let mut options = SuiteOptions::default();
     let mut i = 0;
     while let Some(arg) = args.get(i) {
         match arg.as_str() {
@@ -42,9 +50,14 @@ fn main() {
                 i += 1;
                 dump_dir = args.get(i);
             }
+            "--scenarios" if args.get(i + 1).is_some() => {
+                i += 1;
+                options.scenarios_dir = args.get(i).map(std::path::PathBuf::from);
+            }
+            "--scenarios-only" => options.scenarios_only = true,
             "--samples" if args.get(i + 1).is_some() => {
                 i += 1;
-                samples = match args.get(i).map(|v| v.parse()) {
+                options.robustness_samples = match args.get(i).map(|v| v.parse()) {
                     Some(Ok(n)) if n > 0 => n,
                     _ => {
                         eprintln!("--samples expects a positive integer");
@@ -66,35 +79,87 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}` (expected --no-timings, \
-                     --dump-dir <dir>, --samples <n>, --inject <spec>)"
+                     --dump-dir <dir>, --samples <n>, --inject <spec>, \
+                     --scenarios <dir>, --scenarios-only)"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+    if options.scenarios_only && options.scenarios_dir.is_none() {
+        eprintln!("--scenarios-only needs --scenarios <dir>");
+        std::process::exit(2);
+    }
 
     let engine = Engine::from_env();
-    let report = run_suite_with_samples(&engine, samples);
+    let report = run_suite_with_options(&engine, &options);
 
     if let Some(dir) = dump_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: failed to create dump dir '{dir}': {e}");
-            std::process::exit(1);
-        }
-        match focal_studies::all_figures_on(&engine) {
-            Ok(figures) => {
-                for fig in figures {
-                    let path = std::path::Path::new(dir).join(format!("{}.csv", fig.id));
-                    if let Err(e) = std::fs::write(&path, fig.to_csv()) {
-                        eprintln!("error: failed to write '{}': {e}", path.display());
-                        std::process::exit(1);
+        // Hand-coded registry dumps and scenario dumps go to separate
+        // subdirectories, keyed by figure id and scenario id, so a DSL
+        // twin (same id as the figure it mirrors) can never clobber the
+        // hand-coded artifact it is compared against.
+        let skip_registry = options.scenarios_only && options.scenarios_dir.is_some();
+        if !skip_registry {
+            let registry_dir = std::path::Path::new(dir).join("registry");
+            if let Err(e) = std::fs::create_dir_all(&registry_dir) {
+                eprintln!(
+                    "error: failed to create dump dir '{}': {e}",
+                    registry_dir.display()
+                );
+                std::process::exit(1);
+            }
+            match focal_studies::all_figures_on(&engine) {
+                Ok(figures) => {
+                    for fig in figures {
+                        let path = registry_dir.join(format!("{}.csv", fig.id));
+                        if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                            eprintln!("error: failed to write '{}': {e}", path.display());
+                            std::process::exit(1);
+                        }
                     }
                 }
+                Err(e) => {
+                    eprintln!("error: figure dump skipped: {e}");
+                    std::process::exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("error: figure dump skipped: {e}");
+        }
+        if let Some(scenarios_src) = &options.scenarios_dir {
+            let scenario_dir = std::path::Path::new(dir).join("scenarios");
+            if let Err(e) = std::fs::create_dir_all(&scenario_dir) {
+                eprintln!(
+                    "error: failed to create dump dir '{}': {e}",
+                    scenario_dir.display()
+                );
                 std::process::exit(1);
+            }
+            match focal_scenario::load_dir(scenarios_src) {
+                Ok(scenarios) => {
+                    for scenario in &scenarios {
+                        let output = match scenario.evaluate_on(&engine) {
+                            Ok(output) => output,
+                            Err(e) => {
+                                eprintln!("error: scenario '{}' dump skipped: {e}", scenario.id());
+                                std::process::exit(1);
+                            }
+                        };
+                        let ext = match output {
+                            focal_scenario::ScenarioOutput::Figure(_) => "csv",
+                            _ => "txt",
+                        };
+                        let path = scenario_dir.join(format!("{}.{ext}", scenario.id()));
+                        if let Err(e) = std::fs::write(&path, output.to_bytes()) {
+                            eprintln!("error: failed to write '{}': {e}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: scenario dump skipped: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

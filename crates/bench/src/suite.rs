@@ -34,6 +34,7 @@ use focal_studies::robustness::verdict_robustness_on;
 use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel};
 use std::fmt::Write as _;
 use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Samples per Monte-Carlo robustness run — two full engine chunks plus
@@ -58,6 +59,31 @@ pub const DEFECT_SIM_DENSITY: f64 = 0.2;
 
 /// Wafers simulated per defect-sim stage run.
 pub const DEFECT_SIM_WAFERS: usize = 32;
+
+/// Options for [`run_suite_with_options`].
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Monte-Carlo samples per robustness run (the `--samples` flag).
+    pub robustness_samples: usize,
+    /// When set, evaluate every `*.toml` scenario under this directory
+    /// as an additional `scenarios` stage after the hand-coded stages
+    /// (the `--scenarios <dir>` flag). The default suite output is
+    /// unchanged when unset.
+    pub scenarios_dir: Option<PathBuf>,
+    /// With [`SuiteOptions::scenarios_dir`], skip the hand-coded stages
+    /// and run the scenarios stage alone (the `--scenarios-only` flag).
+    pub scenarios_only: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            robustness_samples: ROBUSTNESS_SAMPLES,
+            scenarios_dir: None,
+            scenarios_only: false,
+        }
+    }
+}
 
 /// Outcome of one suite stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -373,6 +399,65 @@ pub fn run_suite(engine: &Engine) -> SuiteReport {
 /// [`StageStatus`]); the suite itself always completes and reports.
 #[must_use]
 pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> SuiteReport {
+    run_suite_with_options(
+        engine,
+        &SuiteOptions {
+            robustness_samples,
+            ..SuiteOptions::default()
+        },
+    )
+}
+
+/// The declarative-scenario stage: loads every `*.toml` under `dir`,
+/// evaluates the batch through the engine's `try_par_map` fan (same
+/// seed/chunk discipline as the hand-coded stages), and reports one
+/// suite-format digest entry per scenario id. Load failures and
+/// per-scenario evaluation failures degrade the stage to `failed`
+/// without aborting the suite.
+fn scenarios_stage(engine: &Engine, dir: &Path) -> Stage {
+    let dir = dir.to_path_buf();
+    run_stage("scenarios", move || {
+        let scenarios = match focal_scenario::load_dir(&dir) {
+            Ok(scenarios) => scenarios,
+            Err(e) => {
+                return Ok((false, vec![("load-error".to_string(), e.to_string())]));
+            }
+        };
+        let results = focal_scenario::evaluate_all_on(engine, &scenarios)?;
+        let mut passed = !results.is_empty();
+        let mut entries: Vec<(String, String)> = Vec::with_capacity(results.len());
+        for (id, result) in results {
+            match result {
+                Ok(output) => entries.push((id, output.digest_entry())),
+                Err(e) => {
+                    passed = false;
+                    entries.push((id, format!("ERROR: {e}")));
+                }
+            }
+        }
+        entries.sort();
+        Ok((passed, entries))
+    })
+}
+
+/// [`run_suite_with_samples`] plus the scenario options: with
+/// [`SuiteOptions::scenarios_dir`] set, a `scenarios` stage evaluates
+/// the declarative corpus after (or with `scenarios_only`, instead of)
+/// the hand-coded stages.
+///
+/// Individual stage faults degrade to `status: error` stages (see
+/// [`StageStatus`]); the suite itself always completes and reports.
+#[must_use]
+pub fn run_suite_with_options(engine: &Engine, options: &SuiteOptions) -> SuiteReport {
+    let robustness_samples = options.robustness_samples;
+    if options.scenarios_only {
+        if let Some(dir) = &options.scenarios_dir {
+            return SuiteReport {
+                threads: engine.threads(),
+                stages: vec![scenarios_stage(engine, dir)],
+            };
+        }
+    }
     let mut stages = Vec::new();
 
     // Stage 1: every paper figure, fingerprinted at the CSV-byte level.
@@ -550,6 +635,12 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Sui
         Ok((passed, entries))
     }));
 
+    // Optional stage 6: the declarative scenario corpus, flag-gated so
+    // the default suite output keeps exactly the five stages above.
+    if let Some(dir) = &options.scenarios_dir {
+        stages.push(scenarios_stage(engine, dir));
+    }
+
     SuiteReport {
         threads: engine.threads(),
         stages,
@@ -632,6 +723,101 @@ mod tests {
             report.human_summary()
         );
         assert!(report.to_json(true).contains("\"wall_us\": 250"));
+    }
+
+    fn shipped_scenarios() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/scenarios")
+    }
+
+    #[test]
+    fn scenarios_stage_is_flag_gated_and_appended() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_with_options(&Engine::serial(), &options);
+        assert!(report.ok());
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "figures",
+                "findings",
+                "robustness",
+                "crossovers",
+                "defect-sim",
+                "scenarios"
+            ]
+        );
+        // 9 figure twins + 18 finding twins + taxonomy robustness.
+        let scenarios = report.stages.last().expect("scenarios stage");
+        assert_eq!(scenarios.entries.len(), 28);
+    }
+
+    #[test]
+    fn scenarios_only_runs_the_single_stage() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            scenarios_only: true,
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_with_options(&Engine::serial(), &options);
+        assert!(report.ok());
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["scenarios"]);
+    }
+
+    #[test]
+    fn scenario_twin_digests_match_the_hand_coded_figure_digests() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_with_options(&Engine::serial(), &options);
+        let stage = |name: &str| {
+            report
+                .stages
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing stage {name}"))
+        };
+        let figures = stage("figures");
+        let scenarios = stage("scenarios");
+        for (id, digest) in &figures.entries {
+            let twin = scenarios
+                .entries
+                .iter()
+                .find(|(tid, _)| tid == id)
+                .unwrap_or_else(|| panic!("no scenario twin digest for {id}"));
+            assert_eq!(&twin.1, digest, "twin digest diverges for {id}");
+        }
+    }
+
+    #[test]
+    fn scenarios_stage_with_scenarios_is_thread_count_invariant() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            scenarios_only: true,
+            ..SuiteOptions::default()
+        };
+        let a = run_suite_with_options(&Engine::serial(), &options);
+        let b = run_suite_with_options(&Engine::with_threads(3), &options);
+        assert_eq!(a.to_json(false), b.to_json(false));
+    }
+
+    #[test]
+    fn missing_scenario_dir_degrades_to_a_failed_stage() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(PathBuf::from("/nonexistent/scenarios")),
+            scenarios_only: true,
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_with_options(&Engine::serial(), &options);
+        assert!(!report.ok());
+        let stage = report.stages.first().expect("scenarios stage");
+        assert_eq!(stage.status, StageStatus::Failed);
+        assert_eq!(stage.entries.len(), 1);
+        assert_eq!(stage.entries[0].0, "load-error");
     }
 
     #[test]

@@ -126,6 +126,30 @@ impl MemoryBoundWorkload {
         })
     }
 
+    /// Fraction of base execution time stalled on memory.
+    #[inline]
+    pub fn stall_fraction(&self) -> f64 {
+        self.stall_fraction
+    }
+
+    /// Fraction of base energy spent in the memory system.
+    #[inline]
+    pub fn memory_energy_fraction(&self) -> f64 {
+        self.memory_energy_fraction
+    }
+
+    /// Fraction of base energy spent in LLC accesses.
+    #[inline]
+    pub fn cache_energy_fraction(&self) -> f64 {
+        self.cache_energy_fraction
+    }
+
+    /// The miss-rate model.
+    #[inline]
+    pub fn miss_model(&self) -> MissRateModel {
+        self.miss_model
+    }
+
     /// The base LLC size everything is normalized to.
     pub fn base_size(&self) -> CacheSize {
         self.base_size

@@ -163,6 +163,30 @@ impl E2oRange {
         })
     }
 
+    /// Creates a band from its inclusive `[low, high]` bounds — the form
+    /// scenario files use (`alpha_low`/`alpha_high`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bounds are inverted, leave `[0, 1]`, or
+    /// are not finite.
+    pub fn from_bounds(low: f64, high: f64) -> Result<Self> {
+        for (name, v) in [("alpha low bound", low), ("alpha high bound", high)] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        if high < low {
+            return Err(ModelError::Inconsistent {
+                constraint: "alpha band bounds must satisfy low <= high",
+            });
+        }
+        E2oRange::new((low + high) / 2.0, (high - low) / 2.0)
+    }
+
     /// The band's lower bound.
     pub fn low(&self) -> E2oWeight {
         E2oWeight(self.center.0 - self.half_width)

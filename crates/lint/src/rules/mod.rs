@@ -28,7 +28,7 @@ pub mod units;
 /// corrupts every downstream figure, plus the parallel engine that every
 /// model evaluation now runs through.
 pub const MODEL_CRATES: &[&str] = &[
-    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine",
+    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "scenario",
 ];
 
 /// Crates whose non-test code feeds the byte-diffed digests: the model
@@ -36,7 +36,7 @@ pub const MODEL_CRATES: &[&str] = &[
 /// records from them. Determinism rules run here.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "studies", "report",
-    "bench",
+    "bench", "scenario",
 ];
 
 /// Whether `path` (repo-relative, `/`-separated) is non-test source of a
@@ -72,6 +72,8 @@ mod tests {
         assert!(is_model_src("crates/core/src/fleet.rs"));
         assert!(is_model_src("crates/wafer/src/fab.rs"));
         assert!(is_model_src("crates/engine/src/pool.rs"));
+        assert!(is_model_src("crates/scenario/src/canonical.rs"));
+        assert!(!is_model_src("crates/scenario/tests/negative.rs"));
         assert!(!is_model_src("crates/core/tests/properties.rs"));
         assert!(!is_model_src("crates/engine/tests/properties.rs"));
         assert!(!is_model_src("crates/studies/src/soc.rs"));
@@ -85,6 +87,7 @@ mod tests {
         assert!(is_determinism_src("crates/studies/src/soc.rs"));
         assert!(is_determinism_src("crates/report/src/lib.rs"));
         assert!(is_determinism_src("crates/bench/src/lib.rs"));
+        assert!(is_determinism_src("crates/scenario/src/compile.rs"));
         assert!(!is_determinism_src("crates/lint/src/lib.rs"));
         assert!(!is_determinism_src("crates/studies/tests/figures.rs"));
         assert!(!is_determinism_src("src/lib.rs"));

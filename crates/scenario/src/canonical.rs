@@ -1,0 +1,1738 @@
+//! Canonicalization: resolve a type-checked [`ScenarioDef`] into a
+//! [`CanonicalScenario`] with every default filled in from the studies'
+//! own paper constants, units normalized (KiB → MiB, percent →
+//! fraction), cross-field constraints validated (inverted sweeps, empty
+//! axes, kind/family compatibility), and a stable canonical rendering
+//! whose FNV-64 digest is insensitive to key order and comments in the
+//! source file.
+
+use crate::error::{Result, ScenarioError};
+use crate::schema::{
+    ActAssumptions, CarbonIntensitySpec, Params, ScenarioDef, ScenarioKind, Sourced, StudyFamily,
+    Sweep,
+};
+use focal_act::{ActModel, ActParameters, CarbonIntensity, DeviceFootprint, UsePhase};
+use focal_cache::{CacheSize, CactiLite, MemoryBoundWorkload, MissRateModel};
+use focal_core::{E2oRange, E2oWeight, SiliconArea};
+use focal_perf::{LeakageFraction, ParallelFraction, PollackRule};
+use focal_scaling::TechNode;
+use focal_studies::accelerator::AcceleratorStudy;
+use focal_studies::asymmetric::AsymmetricStudy;
+use focal_studies::caching::CachingStudy;
+use focal_studies::case_study::CaseStudy;
+use focal_studies::dark_silicon::DarkSiliconStudy;
+use focal_studies::dvfs::DvfsStudy;
+use focal_studies::gating::GatingStudy;
+use focal_studies::multicore::MulticoreStudy;
+use focal_studies::speculation::SpeculationStudy;
+use focal_uarch::{
+    Accelerator, BranchPredictor, DarkSiliconSoc, DvfsCore, PipelineGating, PreciseRunahead,
+    TurboBoost,
+};
+use focal_wafer::{DefectDensity, Wafer, YieldModel};
+
+/// KiB per MiB, for `*_kib` unit normalization.
+const KIB_PER_MIB: f64 = 1024.0;
+
+/// Percentage points per unit fraction, for `*_percent` normalization.
+const PERCENT: f64 = 100.0;
+
+/// The fully resolved parameters of one study family — what the
+/// compiler actually evaluates. Every field is a validated model type,
+/// so evaluation cannot fail on malformed input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudySpec {
+    /// Figure 1: embodied footprint vs. die size.
+    Wafer {
+        /// Wafer geometry.
+        wafer: Wafer,
+        /// Defect density shared by all yield models.
+        defect_density: DefectDensity,
+        /// One curve per yield model.
+        yield_models: Vec<YieldModel>,
+        /// Smallest die in the sweep, mm².
+        die_min_mm2: f64,
+        /// Largest die in the sweep, mm².
+        die_max_mm2: f64,
+        /// Grid points.
+        die_steps: usize,
+        /// Die size the footprints are normalized to, mm².
+        reference_mm2: f64,
+    },
+    /// §5.1 symmetric multicore.
+    Multicore {
+        /// The configured study.
+        study: MulticoreStudy,
+        /// BCE sweep.
+        bces: Vec<u32>,
+        /// Parallel fractions.
+        fs: Vec<ParallelFraction>,
+        /// α regimes.
+        alphas: Vec<E2oWeight>,
+    },
+    /// §5.2 asymmetric multicore.
+    Asymmetric {
+        /// The configured study.
+        study: AsymmetricStudy,
+        /// BCE sweep.
+        bces: Vec<u32>,
+        /// Parallel fractions (the study's raw-`f64` sweep).
+        fs: Vec<f64>,
+        /// α regimes.
+        alphas: Vec<E2oWeight>,
+    },
+    /// §5.3 hardware acceleration.
+    Accelerator {
+        /// The configured study.
+        study: AcceleratorStudy,
+        /// Utilization grid points.
+        steps: usize,
+        /// α uncertainty bands (one curve each).
+        ranges: Vec<E2oRange>,
+    },
+    /// §5.4 dark silicon.
+    DarkSilicon {
+        /// The configured study.
+        study: DarkSiliconStudy,
+        /// Utilization grid points.
+        steps: usize,
+        /// α uncertainty bands.
+        ranges: Vec<E2oRange>,
+    },
+    /// §5.5 caching.
+    Caching {
+        /// The configured study.
+        study: CachingStudy,
+        /// LLC sweep.
+        sizes: Vec<CacheSize>,
+        /// α regimes.
+        alphas: Vec<E2oWeight>,
+    },
+    /// §5.6 core microarchitecture.
+    Microarch {
+        /// α regimes.
+        alphas: Vec<E2oWeight>,
+    },
+    /// §5.7 speculation.
+    Speculation {
+        /// The configured study.
+        study: SpeculationStudy,
+        /// Predictor-area grid points.
+        steps: usize,
+        /// Largest predictor area, fraction of the core.
+        max_area: f64,
+        /// α regimes.
+        alphas: Vec<E2oWeight>,
+    },
+    /// §5.8 DVFS.
+    Dvfs {
+        /// The configured study.
+        study: DvfsStudy,
+    },
+    /// §5.9 pipeline gating.
+    Gating {
+        /// The configured study.
+        study: GatingStudy,
+    },
+    /// §6 die shrink (no parameters).
+    DieShrink,
+    /// §7 case study.
+    CaseStudy {
+        /// The configured study.
+        study: CaseStudy,
+        /// α regimes (Figure 9 panels).
+        alphas: Vec<E2oWeight>,
+    },
+    /// §3.5 taxonomy verdict robustness.
+    Taxonomy {
+        /// Monte-Carlo samples per mechanism.
+        samples: usize,
+        /// Base seed of the chunked sample streams.
+        seed: u64,
+        /// Multiplicative proxy-ratio jitter.
+        jitter: f64,
+    },
+}
+
+/// A fully canonicalized scenario: identity plus resolved spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalScenario {
+    /// Unique scenario id.
+    pub id: String,
+    /// What it evaluates to.
+    pub kind: ScenarioKind,
+    /// The study family.
+    pub family: StudyFamily,
+    /// Finding index (`None` for figures and robustness).
+    pub index: Option<u32>,
+    /// Optional free-text title.
+    pub title: Option<String>,
+    /// The resolved evaluation spec.
+    pub spec: StudySpec,
+}
+
+/// The registry figure id a family's figure scenario compiles to, if the
+/// family has one.
+#[must_use]
+pub fn figure_id(family: StudyFamily) -> Option<&'static str> {
+    match family {
+        StudyFamily::Wafer => Some("fig1"),
+        StudyFamily::Multicore => Some("fig3"),
+        StudyFamily::Asymmetric => Some("fig4"),
+        StudyFamily::Accelerator => Some("fig5a"),
+        StudyFamily::DarkSilicon => Some("fig5b"),
+        StudyFamily::Caching => Some("fig6"),
+        StudyFamily::Microarch => Some("fig7"),
+        StudyFamily::Speculation => Some("fig8"),
+        StudyFamily::CaseStudy => Some("fig9"),
+        StudyFamily::Dvfs
+        | StudyFamily::Gating
+        | StudyFamily::DieShrink
+        | StudyFamily::Taxonomy => None,
+    }
+}
+
+/// The finding indices a family can compile to.
+#[must_use]
+pub fn finding_indices(family: StudyFamily) -> &'static [u32] {
+    match family {
+        StudyFamily::Wafer | StudyFamily::Taxonomy => &[],
+        StudyFamily::Multicore => &[1, 2, 3],
+        StudyFamily::Asymmetric => &[4, 5],
+        StudyFamily::Accelerator => &[6],
+        StudyFamily::DarkSilicon => &[7],
+        StudyFamily::Caching => &[8],
+        StudyFamily::Microarch => &[9, 10, 11],
+        StudyFamily::Speculation => &[12, 13],
+        StudyFamily::Dvfs => &[14, 15],
+        StudyFamily::Gating => &[16],
+        StudyFamily::DieShrink => &[17],
+        StudyFamily::CaseStudy => &[18],
+    }
+}
+
+/// The `[params]` keys a family understands.
+fn allowed_params(family: StudyFamily) -> &'static [&'static str] {
+    match family {
+        StudyFamily::Wafer => &[
+            "wafer_diameter_mm",
+            "defect_density_per_cm2",
+            "yield_models",
+        ],
+        StudyFamily::Multicore => &["gamma", "pollack_exponent"],
+        StudyFamily::Asymmetric => &["gamma", "pollack_exponent", "big_core_bce"],
+        StudyFamily::Accelerator => &["area_overhead", "energy_advantage"],
+        StudyFamily::DarkSilicon => &["accelerator_area_fraction", "energy_advantage"],
+        StudyFamily::Caching => &[
+            "stall_fraction",
+            "memory_energy_fraction",
+            "cache_energy_fraction",
+            "base_mib",
+            "base_kib",
+            "miss_exponent",
+        ],
+        StudyFamily::Microarch | StudyFamily::DieShrink | StudyFamily::Taxonomy => &[],
+        StudyFamily::Speculation => &[
+            "predictor_energy_ratio",
+            "predictor_performance_ratio",
+            "runahead_performance_ratio",
+            "runahead_energy_ratio",
+            "runahead_area_overhead",
+        ],
+        StudyFamily::Dvfs => &[
+            "dynamic_power_fraction",
+            "regulator_area_overhead",
+            "turbo_area_overhead",
+            "downscale",
+            "boost",
+        ],
+        StudyFamily::Gating => &[
+            "gating_energy_ratio",
+            "gating_performance_ratio",
+            "gating_area_overhead",
+        ],
+        StudyFamily::CaseStudy => &["parallel_fraction", "base_cores", "gamma"],
+    }
+}
+
+/// The `[sweep]` keys a family understands.
+fn allowed_sweep(family: StudyFamily) -> &'static [&'static str] {
+    match family {
+        StudyFamily::Wafer => &["die_min_mm2", "die_max_mm2", "die_steps", "reference_mm2"],
+        StudyFamily::Multicore | StudyFamily::Asymmetric => &["bce", "parallel_fraction"],
+        StudyFamily::Accelerator | StudyFamily::DarkSilicon => &["utilization_steps"],
+        StudyFamily::Caching => &["llc_mib", "llc_kib"],
+        StudyFamily::Speculation => &[
+            "area_steps",
+            "max_predictor_area",
+            "max_predictor_area_percent",
+        ],
+        StudyFamily::Microarch
+        | StudyFamily::Dvfs
+        | StudyFamily::Gating
+        | StudyFamily::DieShrink
+        | StudyFamily::CaseStudy
+        | StudyFamily::Taxonomy => &[],
+    }
+}
+
+/// The `[assumptions]` keys a family understands (`act` stands for the
+/// whole `[assumptions.act]` table).
+fn allowed_assumptions(family: StudyFamily) -> &'static [&'static str] {
+    match family {
+        StudyFamily::Multicore
+        | StudyFamily::Asymmetric
+        | StudyFamily::Caching
+        | StudyFamily::Microarch
+        | StudyFamily::Speculation
+        | StudyFamily::CaseStudy => &["alpha", "act"],
+        StudyFamily::Accelerator | StudyFamily::DarkSilicon => {
+            &["alpha_center", "alpha_half_width"]
+        }
+        StudyFamily::Wafer
+        | StudyFamily::Dvfs
+        | StudyFamily::Gating
+        | StudyFamily::DieShrink
+        | StudyFamily::Taxonomy => &[],
+    }
+}
+
+macro_rules! provided {
+    ($out:ident, $src:expr, $($field:ident),+ $(,)?) => {
+        $( if let Some(s) = &$src.$field { $out.push((stringify!($field), s.line)); } )+
+    };
+}
+
+fn provided_params(p: &Params) -> Vec<(&'static str, u32)> {
+    let mut out = Vec::new();
+    provided!(
+        out,
+        p,
+        gamma,
+        pollack_exponent,
+        big_core_bce,
+        area_overhead,
+        energy_advantage,
+        accelerator_area_fraction,
+        stall_fraction,
+        memory_energy_fraction,
+        cache_energy_fraction,
+        base_mib,
+        base_kib,
+        miss_exponent,
+        predictor_energy_ratio,
+        predictor_performance_ratio,
+        runahead_performance_ratio,
+        runahead_energy_ratio,
+        runahead_area_overhead,
+        dynamic_power_fraction,
+        regulator_area_overhead,
+        turbo_area_overhead,
+        downscale,
+        boost,
+        gating_energy_ratio,
+        gating_performance_ratio,
+        gating_area_overhead,
+        parallel_fraction,
+        base_cores,
+        wafer_diameter_mm,
+        defect_density_per_cm2,
+        yield_models,
+    );
+    out
+}
+
+fn provided_sweep(s: &Sweep) -> Vec<(&'static str, u32)> {
+    let mut out = Vec::new();
+    provided!(
+        out,
+        s,
+        bce,
+        parallel_fraction,
+        llc_mib,
+        llc_kib,
+        utilization_steps,
+        area_steps,
+        max_predictor_area,
+        max_predictor_area_percent,
+        die_min_mm2,
+        die_max_mm2,
+        die_steps,
+        reference_mm2,
+    );
+    out
+}
+
+struct Ctx<'a> {
+    def: &'a ScenarioDef,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&self, line: u32, key: &str, message: String) -> ScenarioError {
+        ScenarioError::new(message)
+            .in_file(&self.def.file)
+            .at_line(line)
+            .for_key(key)
+    }
+
+    fn model<T>(&self, key: &str, line: u32, r: focal_core::Result<T>) -> Result<T> {
+        r.map_err(|e| self.err(line, key, e.to_string()))
+    }
+
+    /// Checks that every provided key is understood by the family.
+    fn reject_unused(&self) -> Result<()> {
+        let family = self.def.study;
+        for (key, line) in provided_params(&self.def.params) {
+            if !allowed_params(family).contains(&key) {
+                return Err(self.err(
+                    line,
+                    key,
+                    format!(
+                        "`{}` is not a parameter of the {} study",
+                        key,
+                        family.as_str()
+                    ),
+                ));
+            }
+        }
+        for (key, line) in provided_sweep(&self.def.sweep) {
+            if !allowed_sweep(family).contains(&key) {
+                return Err(self.err(
+                    line,
+                    key,
+                    format!(
+                        "`{}` is not a sweep axis of the {} study",
+                        key,
+                        family.as_str()
+                    ),
+                ));
+            }
+        }
+        let a = &self.def.assumptions;
+        let allowed = allowed_assumptions(family);
+        let mut keys: Vec<(&'static str, u32)> = Vec::new();
+        provided!(keys, a, alpha, alpha_center, alpha_half_width);
+        if let Some(act) = &a.act {
+            keys.push(("act", act.node.line));
+        }
+        for (key, line) in keys {
+            if !allowed.contains(&key) {
+                return Err(self.err(
+                    line,
+                    key,
+                    format!(
+                        "`{}` assumptions do not apply to the {} study",
+                        key,
+                        family.as_str()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn f64_or(&self, key: &'static str, v: &Option<Sourced<f64>>, default: f64) -> f64 {
+        let _ = key;
+        v.as_ref().map_or(default, |s| s.value)
+    }
+
+    /// Resolves the α weights: explicit `alpha`, an ACT derivation, or
+    /// the paper's default pair.
+    fn alphas(&self) -> Result<Vec<E2oWeight>> {
+        let a = &self.def.assumptions;
+        match (&a.alpha, &a.act) {
+            (Some(alpha), Some(act)) => Err(self.err(
+                act.node.line,
+                "act",
+                format!(
+                    "`alpha` (line {}) and `[assumptions.act]` both set the \
+                     embodied-to-operational weight; choose one",
+                    alpha.line
+                ),
+            )),
+            (Some(alpha), None) => {
+                if alpha.value.is_empty() {
+                    return Err(self.err(
+                        alpha.line,
+                        "alpha",
+                        "`alpha` must list at least one weight".to_string(),
+                    ));
+                }
+                alpha
+                    .value
+                    .iter()
+                    .map(|&v| self.model("alpha", alpha.line, E2oWeight::new(v)))
+                    .collect()
+            }
+            (None, Some(act)) => Ok(vec![self.act_alpha(act)?]),
+            (None, None) => Ok(focal_studies::labels::DEFAULT_WEIGHTS.to_vec()),
+        }
+    }
+
+    /// Derives a single α bottom-up through the ACT model.
+    fn act_alpha(&self, act: &ActAssumptions) -> Result<E2oWeight> {
+        let node = self.model("node", act.node.line, TechNode::parse(&act.node.value))?;
+        let intensity = match &act.carbon_intensity.value {
+            CarbonIntensitySpec::Named(name) => self.model(
+                "carbon_intensity",
+                act.carbon_intensity.line,
+                CarbonIntensity::from_name(name),
+            )?,
+            CarbonIntensitySpec::GramsPerKwh(v) => self.model(
+                "carbon_intensity",
+                act.carbon_intensity.line,
+                CarbonIntensity::g_per_kwh(*v),
+            )?,
+        };
+        let use_phase = self.model(
+            "lifetime_years",
+            act.lifetime_years.line,
+            UsePhase::new(
+                act.lifetime_years.value,
+                act.average_power_watts.value,
+                intensity,
+            ),
+        )?;
+        let die = self.model(
+            "die_mm2",
+            act.die_mm2.line,
+            SiliconArea::from_mm2(act.die_mm2.value),
+        )?;
+        let model = ActModel::new(ActParameters::for_node(node));
+        let footprint = self.model(
+            "die_mm2",
+            act.die_mm2.line,
+            DeviceFootprint::assess(&model, die, &use_phase),
+        )?;
+        Ok(footprint.e2o_weight())
+    }
+
+    /// Resolves the α uncertainty bands for the range-based figures.
+    fn ranges(&self) -> Result<Vec<E2oRange>> {
+        let a = &self.def.assumptions;
+        match (&a.alpha_center, &a.alpha_half_width) {
+            (None, None) => Ok(focal_studies::labels::DEFAULT_RANGES.to_vec()),
+            (Some(centers), Some(half)) => {
+                if centers.value.is_empty() {
+                    return Err(self.err(
+                        centers.line,
+                        "alpha_center",
+                        "`alpha_center` must list at least one band center".to_string(),
+                    ));
+                }
+                centers
+                    .value
+                    .iter()
+                    .map(|&c| {
+                        self.model("alpha_center", centers.line, E2oRange::new(c, half.value))
+                    })
+                    .collect()
+            }
+            (Some(centers), None) => Err(self.err(
+                centers.line,
+                "alpha_center",
+                "`alpha_center` needs `alpha_half_width` alongside it".to_string(),
+            )),
+            (None, Some(half)) => Err(self.err(
+                half.line,
+                "alpha_half_width",
+                "`alpha_half_width` needs `alpha_center` alongside it".to_string(),
+            )),
+        }
+    }
+
+    fn steps_or(
+        &self,
+        key: &'static str,
+        v: &Option<Sourced<usize>>,
+        default: usize,
+    ) -> Result<usize> {
+        match v {
+            None => Ok(default),
+            Some(s) if s.value >= 2 => Ok(s.value),
+            Some(s) => Err(self.err(
+                s.line,
+                key,
+                format!("`{}` needs at least two grid points, got {}", key, s.value),
+            )),
+        }
+    }
+
+    fn spec(&self) -> Result<StudySpec> {
+        match self.def.study {
+            StudyFamily::Wafer => self.wafer_spec(),
+            StudyFamily::Multicore => self.multicore_spec(),
+            StudyFamily::Asymmetric => self.asymmetric_spec(),
+            StudyFamily::Accelerator => self.accelerator_spec(),
+            StudyFamily::DarkSilicon => self.dark_silicon_spec(),
+            StudyFamily::Caching => self.caching_spec(),
+            StudyFamily::Microarch => Ok(StudySpec::Microarch {
+                alphas: self.alphas()?,
+            }),
+            StudyFamily::Speculation => self.speculation_spec(),
+            StudyFamily::Dvfs => self.dvfs_spec(),
+            StudyFamily::Gating => self.gating_spec(),
+            StudyFamily::DieShrink => Ok(StudySpec::DieShrink),
+            StudyFamily::CaseStudy => self.case_study_spec(),
+            StudyFamily::Taxonomy => self.taxonomy_spec(),
+        }
+    }
+
+    fn wafer_spec(&self) -> Result<StudySpec> {
+        let p = &self.def.params;
+        let s = &self.def.sweep;
+        let wafer = match &p.wafer_diameter_mm {
+            Some(d) => self.model("wafer_diameter_mm", d.line, Wafer::new(d.value))?,
+            None => Wafer::W300MM,
+        };
+        let defect_density = match &p.defect_density_per_cm2 {
+            Some(d) => self.model(
+                "defect_density_per_cm2",
+                d.line,
+                DefectDensity::per_cm2(d.value),
+            )?,
+            None => DefectDensity::TSMC_VOLUME,
+        };
+        let yield_models = match &p.yield_models {
+            None => vec![YieldModel::Perfect, YieldModel::Murphy],
+            Some(specs) => {
+                if specs.value.is_empty() {
+                    return Err(self.err(
+                        specs.line,
+                        "yield_models",
+                        "`yield_models` must list at least one model".to_string(),
+                    ));
+                }
+                specs
+                    .value
+                    .iter()
+                    .map(|spec| self.model("yield_models", specs.line, YieldModel::parse(spec)))
+                    .collect::<Result<Vec<_>>>()?
+            }
+        };
+        let die_min_mm2 = self.f64_or(
+            "die_min_mm2",
+            &s.die_min_mm2,
+            focal_studies::wafer_figure::DIE_MIN_MM2,
+        );
+        let die_max_mm2 = self.f64_or(
+            "die_max_mm2",
+            &s.die_max_mm2,
+            focal_studies::wafer_figure::DIE_MAX_MM2,
+        );
+        if die_min_mm2 >= die_max_mm2 {
+            let line = s
+                .die_min_mm2
+                .as_ref()
+                .map(|v| v.line)
+                .or(s.die_max_mm2.as_ref().map(|v| v.line))
+                .unwrap_or(self.def.study_line);
+            return Err(self.err(
+                line,
+                "die_min_mm2",
+                format!(
+                    "inverted die sweep: die_min_mm2 ({die_min_mm2}) must be below \
+                     die_max_mm2 ({die_max_mm2})"
+                ),
+            ));
+        }
+        if die_min_mm2 <= 0.0 {
+            let line = s
+                .die_min_mm2
+                .as_ref()
+                .map_or(self.def.study_line, |v| v.line);
+            return Err(self.err(
+                line,
+                "die_min_mm2",
+                format!("die sizes must be positive, got {die_min_mm2}"),
+            ));
+        }
+        let reference_mm2 = self.f64_or(
+            "reference_mm2",
+            &s.reference_mm2,
+            focal_studies::wafer_figure::REFERENCE_MM2,
+        );
+        if reference_mm2 <= 0.0 {
+            let line = s
+                .reference_mm2
+                .as_ref()
+                .map_or(self.def.study_line, |v| v.line);
+            return Err(self.err(
+                line,
+                "reference_mm2",
+                format!("the reference die must be positive, got {reference_mm2}"),
+            ));
+        }
+        let die_steps = self.steps_or(
+            "die_steps",
+            &s.die_steps,
+            focal_studies::wafer_figure::DIE_STEPS,
+        )?;
+        Ok(StudySpec::Wafer {
+            wafer,
+            defect_density,
+            yield_models,
+            die_min_mm2,
+            die_max_mm2,
+            die_steps,
+            reference_mm2,
+        })
+    }
+
+    fn gamma_or_default(&self, default: LeakageFraction) -> Result<LeakageFraction> {
+        match &self.def.params.gamma {
+            Some(g) => self.model("gamma", g.line, LeakageFraction::new(g.value)),
+            None => Ok(default),
+        }
+    }
+
+    fn pollack_or_default(&self, default: PollackRule) -> Result<PollackRule> {
+        match &self.def.params.pollack_exponent {
+            Some(p) => self.model("pollack_exponent", p.line, PollackRule::new(p.value)),
+            None => Ok(default),
+        }
+    }
+
+    fn bces_or(&self, default: &[u32]) -> Result<Vec<u32>> {
+        match &self.def.sweep.bce {
+            None => Ok(default.to_vec()),
+            Some(b) if b.value.is_empty() => Err(self.err(
+                b.line,
+                "bce",
+                "`bce` must list at least one chip size".to_string(),
+            )),
+            Some(b) => Ok(b.value.clone()),
+        }
+    }
+
+    fn multicore_spec(&self) -> Result<StudySpec> {
+        let defaults = MulticoreStudy::default();
+        let study = MulticoreStudy {
+            gamma: self.gamma_or_default(defaults.gamma)?,
+            pollack: self.pollack_or_default(defaults.pollack)?,
+        };
+        let bces = self.bces_or(&focal_studies::multicore::BCE_SWEEP)?;
+        let fs = match &self.def.sweep.parallel_fraction {
+            None => ParallelFraction::paper_sweep(),
+            Some(fs) if fs.value.is_empty() => {
+                return Err(self.err(
+                    fs.line,
+                    "parallel_fraction",
+                    "`parallel_fraction` must list at least one value".to_string(),
+                ))
+            }
+            Some(fs) => fs
+                .value
+                .iter()
+                .map(|&f| self.model("parallel_fraction", fs.line, ParallelFraction::new(f)))
+                .collect::<Result<Vec<_>>>()?,
+        };
+        Ok(StudySpec::Multicore {
+            study,
+            bces,
+            fs,
+            alphas: self.alphas()?,
+        })
+    }
+
+    fn asymmetric_spec(&self) -> Result<StudySpec> {
+        let defaults = AsymmetricStudy::default();
+        let big = &self.def.params.big_core_bce;
+        let big_core_bce = self.f64_or("big_core_bce", big, defaults.big_core_bce);
+        if big_core_bce <= 0.0 {
+            let line = big.as_ref().map_or(self.def.study_line, |v| v.line);
+            return Err(self.err(
+                line,
+                "big_core_bce",
+                format!("the big core needs positive area, got {big_core_bce}"),
+            ));
+        }
+        let study = AsymmetricStudy {
+            gamma: self.gamma_or_default(defaults.gamma)?,
+            pollack: self.pollack_or_default(defaults.pollack)?,
+            big_core_bce,
+        };
+        let bces = self.bces_or(&focal_studies::asymmetric::BCE_SWEEP)?;
+        let fs = match &self.def.sweep.parallel_fraction {
+            None => focal_studies::asymmetric::F_SWEEP.to_vec(),
+            Some(fs) if fs.value.is_empty() => {
+                return Err(self.err(
+                    fs.line,
+                    "parallel_fraction",
+                    "`parallel_fraction` must list at least one value".to_string(),
+                ))
+            }
+            Some(fs) => {
+                for &f in &fs.value {
+                    // Validate through the typed constructor even though the
+                    // study sweep takes raw fractions.
+                    self.model("parallel_fraction", fs.line, ParallelFraction::new(f))?;
+                }
+                fs.value.clone()
+            }
+        };
+        Ok(StudySpec::Asymmetric {
+            study,
+            bces,
+            fs,
+            alphas: self.alphas()?,
+        })
+    }
+
+    fn accelerator_spec(&self) -> Result<StudySpec> {
+        let defaults = AcceleratorStudy::default().accelerator;
+        let p = &self.def.params;
+        let area = self.f64_or("area_overhead", &p.area_overhead, defaults.area_overhead());
+        let energy = self.f64_or(
+            "energy_advantage",
+            &p.energy_advantage,
+            defaults.energy_advantage(),
+        );
+        let line = p
+            .area_overhead
+            .as_ref()
+            .map(|v| v.line)
+            .or(p.energy_advantage.as_ref().map(|v| v.line))
+            .unwrap_or(self.def.study_line);
+        let accelerator = self.model("area_overhead", line, Accelerator::new(area, energy))?;
+        Ok(StudySpec::Accelerator {
+            study: AcceleratorStudy { accelerator },
+            steps: self.steps_or(
+                "utilization_steps",
+                &self.def.sweep.utilization_steps,
+                focal_studies::accelerator::UTILIZATION_STEPS,
+            )?,
+            ranges: self.ranges()?,
+        })
+    }
+
+    fn dark_silicon_spec(&self) -> Result<StudySpec> {
+        let defaults = DarkSiliconStudy::default().soc;
+        let p = &self.def.params;
+        let fraction = self.f64_or(
+            "accelerator_area_fraction",
+            &p.accelerator_area_fraction,
+            defaults.accelerator_area_fraction(),
+        );
+        let energy = self.f64_or(
+            "energy_advantage",
+            &p.energy_advantage,
+            defaults.energy_advantage(),
+        );
+        let line = p
+            .accelerator_area_fraction
+            .as_ref()
+            .map(|v| v.line)
+            .or(p.energy_advantage.as_ref().map(|v| v.line))
+            .unwrap_or(self.def.study_line);
+        let soc = self.model(
+            "accelerator_area_fraction",
+            line,
+            DarkSiliconSoc::new(fraction, energy),
+        )?;
+        Ok(StudySpec::DarkSilicon {
+            study: DarkSiliconStudy { soc },
+            steps: self.steps_or(
+                "utilization_steps",
+                &self.def.sweep.utilization_steps,
+                focal_studies::dark_silicon::UTILIZATION_STEPS,
+            )?,
+            ranges: self.ranges()?,
+        })
+    }
+
+    fn caching_spec(&self) -> Result<StudySpec> {
+        let paper = CachingStudy::paper()
+            .map_err(|e| self.err(self.def.study_line, "study", e.to_string()))?
+            .workload;
+        let p = &self.def.params;
+        let stall = self.f64_or("stall_fraction", &p.stall_fraction, paper.stall_fraction());
+        let memory = self.f64_or(
+            "memory_energy_fraction",
+            &p.memory_energy_fraction,
+            paper.memory_energy_fraction(),
+        );
+        let cache = self.f64_or(
+            "cache_energy_fraction",
+            &p.cache_energy_fraction,
+            paper.cache_energy_fraction(),
+        );
+        let miss_model = match &p.miss_exponent {
+            Some(m) => self.model("miss_exponent", m.line, MissRateModel::new(m.value))?,
+            None => paper.miss_model(),
+        };
+        let base_size = match (&p.base_mib, &p.base_kib) {
+            (Some(mib), Some(kib)) => {
+                return Err(self.err(
+                    kib.line,
+                    "base_kib",
+                    format!(
+                        "`base_mib` (line {}) and `base_kib` both set the base LLC size; \
+                         choose one",
+                        mib.line
+                    ),
+                ))
+            }
+            (Some(mib), None) => {
+                self.model("base_mib", mib.line, CacheSize::from_mib(mib.value))?
+            }
+            (None, Some(kib)) => self.model(
+                "base_kib",
+                kib.line,
+                CacheSize::from_mib(kib.value / KIB_PER_MIB),
+            )?,
+            (None, None) => paper.base_size(),
+        };
+        let line = [
+            p.stall_fraction.as_ref(),
+            p.memory_energy_fraction.as_ref(),
+            p.cache_energy_fraction.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+        .map(|v| v.line)
+        .next()
+        .unwrap_or(self.def.study_line);
+        let workload = self.model(
+            "stall_fraction",
+            line,
+            MemoryBoundWorkload::new(
+                CactiLite::paper_65nm(),
+                miss_model,
+                base_size,
+                stall,
+                memory,
+                cache,
+            ),
+        )?;
+        let s = &self.def.sweep;
+        let sizes = match (&s.llc_mib, &s.llc_kib) {
+            (Some(mib), Some(kib)) => {
+                return Err(self.err(
+                    kib.line,
+                    "llc_kib",
+                    format!(
+                        "`llc_mib` (line {}) and `llc_kib` both set the LLC sweep; choose one",
+                        mib.line
+                    ),
+                ))
+            }
+            (Some(mib), None) => {
+                if mib.value.is_empty() {
+                    return Err(self.err(
+                        mib.line,
+                        "llc_mib",
+                        "`llc_mib` must list at least one size".to_string(),
+                    ));
+                }
+                mib.value
+                    .iter()
+                    .map(|&v| self.model("llc_mib", mib.line, CacheSize::from_mib(v)))
+                    .collect::<Result<Vec<_>>>()?
+            }
+            (None, Some(kib)) => {
+                if kib.value.is_empty() {
+                    return Err(self.err(
+                        kib.line,
+                        "llc_kib",
+                        "`llc_kib` must list at least one size".to_string(),
+                    ));
+                }
+                kib.value
+                    .iter()
+                    .map(|&v| self.model("llc_kib", kib.line, CacheSize::from_mib(v / KIB_PER_MIB)))
+                    .collect::<Result<Vec<_>>>()?
+            }
+            (None, None) => CacheSize::paper_sweep(),
+        };
+        Ok(StudySpec::Caching {
+            study: CachingStudy { workload },
+            sizes,
+            alphas: self.alphas()?,
+        })
+    }
+
+    fn speculation_spec(&self) -> Result<StudySpec> {
+        let defaults = SpeculationStudy::default();
+        let p = &self.def.params;
+        let predictor = match (&p.predictor_energy_ratio, &p.predictor_performance_ratio) {
+            (None, None) => defaults.predictor,
+            (e, perf) => {
+                let energy = self.f64_or(
+                    "predictor_energy_ratio",
+                    e,
+                    defaults.predictor.energy_ratio(),
+                );
+                let performance = self.f64_or(
+                    "predictor_performance_ratio",
+                    perf,
+                    defaults.predictor.performance_ratio(),
+                );
+                let line = e
+                    .as_ref()
+                    .map(|v| v.line)
+                    .or(perf.as_ref().map(|v| v.line))
+                    .unwrap_or(self.def.study_line);
+                self.model(
+                    "predictor_energy_ratio",
+                    line,
+                    BranchPredictor::new(energy, performance),
+                )?
+            }
+        };
+        let runahead = match (
+            &p.runahead_performance_ratio,
+            &p.runahead_energy_ratio,
+            &p.runahead_area_overhead,
+        ) {
+            (None, None, None) => defaults.runahead,
+            (perf, e, a) => {
+                let performance = self.f64_or(
+                    "runahead_performance_ratio",
+                    perf,
+                    defaults.runahead.performance_ratio,
+                );
+                let energy =
+                    self.f64_or("runahead_energy_ratio", e, defaults.runahead.energy_ratio);
+                let area =
+                    self.f64_or("runahead_area_overhead", a, defaults.runahead.area_overhead);
+                let line = [perf.as_ref(), e.as_ref(), a.as_ref()]
+                    .into_iter()
+                    .flatten()
+                    .map(|v| v.line)
+                    .next()
+                    .unwrap_or(self.def.study_line);
+                self.model(
+                    "runahead_performance_ratio",
+                    line,
+                    PreciseRunahead::new(performance, energy, area),
+                )?
+            }
+        };
+        let s = &self.def.sweep;
+        let max_area = match (&s.max_predictor_area, &s.max_predictor_area_percent) {
+            (Some(frac), Some(pct)) => {
+                return Err(self.err(
+                    pct.line,
+                    "max_predictor_area_percent",
+                    format!(
+                        "`max_predictor_area` (line {}) and `max_predictor_area_percent` \
+                         both set the sweep ceiling; choose one",
+                        frac.line
+                    ),
+                ))
+            }
+            (Some(frac), None) => frac.value,
+            (None, Some(pct)) => pct.value / PERCENT,
+            (None, None) => focal_studies::speculation::MAX_PREDICTOR_AREA,
+        };
+        if max_area <= 0.0 {
+            let line = s
+                .max_predictor_area
+                .as_ref()
+                .map(|v| v.line)
+                .or(s.max_predictor_area_percent.as_ref().map(|v| v.line))
+                .unwrap_or(self.def.study_line);
+            return Err(self.err(
+                line,
+                "max_predictor_area",
+                format!("the predictor-area ceiling must be positive, got {max_area}"),
+            ));
+        }
+        Ok(StudySpec::Speculation {
+            study: SpeculationStudy {
+                predictor,
+                runahead,
+            },
+            steps: self.steps_or(
+                "area_steps",
+                &s.area_steps,
+                focal_studies::speculation::AREA_STEPS,
+            )?,
+            max_area,
+            alphas: self.alphas()?,
+        })
+    }
+
+    fn dvfs_spec(&self) -> Result<StudySpec> {
+        let defaults = DvfsStudy::default();
+        let p = &self.def.params;
+        let dynamic = self.f64_or(
+            "dynamic_power_fraction",
+            &p.dynamic_power_fraction,
+            defaults.core.dynamic_power_fraction(),
+        );
+        let regulator = self.f64_or(
+            "regulator_area_overhead",
+            &p.regulator_area_overhead,
+            defaults.core.regulator_area_overhead(),
+        );
+        let line = p
+            .dynamic_power_fraction
+            .as_ref()
+            .map(|v| v.line)
+            .or(p.regulator_area_overhead.as_ref().map(|v| v.line))
+            .unwrap_or(self.def.study_line);
+        let core = self.model(
+            "dynamic_power_fraction",
+            line,
+            DvfsCore::new(dynamic, regulator),
+        )?;
+        let turbo_area = self.f64_or(
+            "turbo_area_overhead",
+            &p.turbo_area_overhead,
+            defaults.turbo.turbo_area_overhead(),
+        );
+        let turbo_line = p
+            .turbo_area_overhead
+            .as_ref()
+            .map_or(self.def.study_line, |v| v.line);
+        let turbo = self.model(
+            "turbo_area_overhead",
+            turbo_line,
+            TurboBoost::new(core, turbo_area),
+        )?;
+        Ok(StudySpec::Dvfs {
+            study: DvfsStudy {
+                core,
+                turbo,
+                downscale: self.f64_or("downscale", &p.downscale, defaults.downscale),
+                boost: self.f64_or("boost", &p.boost, defaults.boost),
+            },
+        })
+    }
+
+    fn gating_spec(&self) -> Result<StudySpec> {
+        let defaults = GatingStudy::default().gating;
+        let p = &self.def.params;
+        let energy = self.f64_or(
+            "gating_energy_ratio",
+            &p.gating_energy_ratio,
+            defaults.energy_ratio,
+        );
+        let performance = self.f64_or(
+            "gating_performance_ratio",
+            &p.gating_performance_ratio,
+            defaults.performance_ratio,
+        );
+        let area = self.f64_or(
+            "gating_area_overhead",
+            &p.gating_area_overhead,
+            defaults.area_overhead,
+        );
+        let line = [
+            p.gating_energy_ratio.as_ref(),
+            p.gating_performance_ratio.as_ref(),
+            p.gating_area_overhead.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+        .map(|v| v.line)
+        .next()
+        .unwrap_or(self.def.study_line);
+        let gating = self.model(
+            "gating_energy_ratio",
+            line,
+            PipelineGating::new(energy, performance, area),
+        )?;
+        Ok(StudySpec::Gating {
+            study: GatingStudy { gating },
+        })
+    }
+
+    fn case_study_spec(&self) -> Result<StudySpec> {
+        let defaults = CaseStudy::paper()
+            .map_err(|e| self.err(self.def.study_line, "study", e.to_string()))?;
+        let p = &self.def.params;
+        let f = match &p.parallel_fraction {
+            Some(f) => self.model("parallel_fraction", f.line, ParallelFraction::new(f.value))?,
+            None => defaults.f,
+        };
+        let base_cores = match &p.base_cores {
+            Some(c) if c.value == 0 => {
+                return Err(self.err(
+                    c.line,
+                    "base_cores",
+                    "`base_cores` must be positive".to_string(),
+                ))
+            }
+            Some(c) => c.value,
+            None => defaults.base_cores,
+        };
+        Ok(StudySpec::CaseStudy {
+            study: CaseStudy {
+                f,
+                gamma: self.gamma_or_default(defaults.gamma)?,
+                base_cores,
+                trend: defaults.trend,
+            },
+            alphas: self.alphas()?,
+        })
+    }
+
+    fn taxonomy_spec(&self) -> Result<StudySpec> {
+        let mc = self.def.monte_carlo.as_ref().ok_or_else(|| {
+            ScenarioError::new(
+                "robustness scenarios need a `[monte_carlo]` table (samples, seed, jitter)",
+            )
+            .in_file(&self.def.file)
+            .at_line(self.def.study_line)
+            .for_key("monte_carlo")
+        })?;
+        if !(0.0..1.0).contains(&mc.jitter.value) {
+            return Err(self.err(
+                mc.jitter.line,
+                "jitter",
+                format!("`jitter` must be in [0, 1), got {}", mc.jitter.value),
+            ));
+        }
+        Ok(StudySpec::Taxonomy {
+            samples: mc.samples.value,
+            seed: mc.seed.value,
+            jitter: mc.jitter.value,
+        })
+    }
+}
+
+/// Resolves a type-checked definition into a canonical scenario.
+///
+/// # Errors
+///
+/// Returns a structured [`ScenarioError`] for kind/family mismatches,
+/// out-of-range indices, keys the family does not understand, inverted
+/// or empty sweeps, and any model-constructor rejection.
+pub fn canonicalize(def: &ScenarioDef) -> Result<CanonicalScenario> {
+    let ctx = Ctx { def };
+    ctx.reject_unused()?;
+
+    match def.kind {
+        ScenarioKind::Figure => {
+            if figure_id(def.study).is_none() {
+                return Err(ctx.err(
+                    def.study_line,
+                    "kind",
+                    format!("the {} study has no figure", def.study.as_str()),
+                ));
+            }
+            if let Some(index) = &def.index {
+                return Err(ctx.err(
+                    index.line,
+                    "index",
+                    "figure scenarios derive their identity from `study`; remove `index`"
+                        .to_string(),
+                ));
+            }
+        }
+        ScenarioKind::Finding => {
+            let valid = finding_indices(def.study);
+            match &def.index {
+                None => {
+                    return Err(ctx.err(
+                        def.study_line,
+                        "index",
+                        format!(
+                            "finding scenarios need `index` (the {} study covers {:?})",
+                            def.study.as_str(),
+                            valid
+                        ),
+                    ))
+                }
+                Some(index) if !valid.contains(&index.value) => {
+                    return Err(ctx.err(
+                        index.line,
+                        "index",
+                        format!(
+                            "finding {} is not produced by the {} study (covers {:?})",
+                            index.value,
+                            def.study.as_str(),
+                            valid
+                        ),
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        ScenarioKind::Robustness => {
+            if def.study != StudyFamily::Taxonomy {
+                return Err(ctx.err(
+                    def.study_line,
+                    "kind",
+                    format!(
+                        "robustness scenarios run on the taxonomy study, not {}",
+                        def.study.as_str()
+                    ),
+                ));
+            }
+        }
+    }
+    if def.study == StudyFamily::Taxonomy && def.kind != ScenarioKind::Robustness {
+        return Err(ctx.err(
+            def.study_line,
+            "kind",
+            "the taxonomy study only supports kind = \"robustness\"".to_string(),
+        ));
+    }
+    if def.kind != ScenarioKind::Robustness {
+        if let Some(mc) = &def.monte_carlo {
+            return Err(ctx.err(
+                mc.samples.line,
+                "monte_carlo",
+                "`[monte_carlo]` only applies to robustness scenarios".to_string(),
+            ));
+        }
+    }
+
+    Ok(CanonicalScenario {
+        id: def.id.clone(),
+        kind: def.kind,
+        family: def.study,
+        index: def.index.as_ref().map(|i| i.value),
+        title: def.title.clone(),
+        spec: ctx.spec()?,
+    })
+}
+
+fn yield_spec(model: YieldModel) -> String {
+    match model {
+        YieldModel::Perfect => "perfect".to_string(),
+        YieldModel::Poisson => "poisson".to_string(),
+        YieldModel::Murphy => "murphy".to_string(),
+        YieldModel::Seeds => "seeds".to_string(),
+        YieldModel::BoseEinstein { critical_layers } => {
+            format!("bose-einstein:{critical_layers}")
+        }
+        YieldModel::NegativeBinomial { alpha } => format!("negative-binomial:{alpha}"),
+        // `YieldModel` is non-exhaustive; fall back to the model's own
+        // label so future variants still render something parseable.
+        other => other.label().to_string(),
+    }
+}
+
+fn fmt_f64s(values: &[f64]) -> String {
+    let parts: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn fmt_u32s(values: &[u32]) -> String {
+    let parts: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn fmt_strs(values: &[String]) -> String {
+    let parts: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+impl CanonicalScenario {
+    /// Renders the canonical form: fixed table order, alphabetical keys,
+    /// every default spelled out. Two scenario files that resolve to the
+    /// same evaluation render identically, whatever their key order or
+    /// comments.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[scenario]\n");
+        out.push_str(&format!("family = {:?}\n", self.family.as_str()));
+        out.push_str(&format!("id = {:?}\n", self.id));
+        if let Some(index) = self.index {
+            out.push_str(&format!("index = {index}\n"));
+        }
+        out.push_str(&format!("kind = {:?}\n", self.kind.as_str()));
+        if let Some(title) = &self.title {
+            out.push_str(&format!("title = {title:?}\n"));
+        }
+        out.push_str("[resolved]\n");
+        for (key, value) in self.resolved_entries() {
+            out.push_str(&format!("{key} = {value}\n"));
+        }
+        out
+    }
+
+    /// The FNV-64 digest of [`CanonicalScenario::canonical_text`] — the
+    /// stable identity of the resolved evaluation.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        crate::digest::fnv64(self.canonical_text().as_bytes())
+    }
+
+    /// `(key, rendered value)` pairs of the resolved spec, sorted by key.
+    fn resolved_entries(&self) -> Vec<(&'static str, String)> {
+        let alpha_entry = |alphas: &[E2oWeight]| {
+            let values: Vec<f64> = alphas.iter().map(|a| a.get()).collect();
+            ("alpha", fmt_f64s(&values))
+        };
+        let mut entries: Vec<(&'static str, String)> = match &self.spec {
+            StudySpec::Wafer {
+                wafer,
+                defect_density,
+                yield_models,
+                die_min_mm2,
+                die_max_mm2,
+                die_steps,
+                reference_mm2,
+            } => vec![
+                (
+                    "defect_density_per_cm2",
+                    defect_density.get_per_cm2().to_string(),
+                ),
+                ("die_max_mm2", die_max_mm2.to_string()),
+                ("die_min_mm2", die_min_mm2.to_string()),
+                ("die_steps", die_steps.to_string()),
+                ("reference_mm2", reference_mm2.to_string()),
+                ("wafer_diameter_mm", wafer.diameter_mm().to_string()),
+                (
+                    "yield_models",
+                    fmt_strs(
+                        &yield_models
+                            .iter()
+                            .map(|&m| yield_spec(m))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+            ],
+            StudySpec::Multicore {
+                study,
+                bces,
+                fs,
+                alphas,
+            } => vec![
+                alpha_entry(alphas),
+                ("bce", fmt_u32s(bces)),
+                ("gamma", study.gamma.get().to_string()),
+                (
+                    "parallel_fraction",
+                    fmt_f64s(&fs.iter().map(|f| f.parallel()).collect::<Vec<_>>()),
+                ),
+                ("pollack_exponent", study.pollack.exponent().to_string()),
+            ],
+            StudySpec::Asymmetric {
+                study,
+                bces,
+                fs,
+                alphas,
+            } => vec![
+                alpha_entry(alphas),
+                ("bce", fmt_u32s(bces)),
+                ("big_core_bce", study.big_core_bce.to_string()),
+                ("gamma", study.gamma.get().to_string()),
+                ("parallel_fraction", fmt_f64s(fs)),
+                ("pollack_exponent", study.pollack.exponent().to_string()),
+            ],
+            StudySpec::Accelerator {
+                study,
+                steps,
+                ranges,
+            } => vec![
+                ("alpha_bands", fmt_ranges(ranges)),
+                (
+                    "area_overhead",
+                    study.accelerator.area_overhead().to_string(),
+                ),
+                (
+                    "energy_advantage",
+                    study.accelerator.energy_advantage().to_string(),
+                ),
+                ("utilization_steps", steps.to_string()),
+            ],
+            StudySpec::DarkSilicon {
+                study,
+                steps,
+                ranges,
+            } => vec![
+                (
+                    "accelerator_area_fraction",
+                    study.soc.accelerator_area_fraction().to_string(),
+                ),
+                ("alpha_bands", fmt_ranges(ranges)),
+                ("energy_advantage", study.soc.energy_advantage().to_string()),
+                ("utilization_steps", steps.to_string()),
+            ],
+            StudySpec::Caching {
+                study,
+                sizes,
+                alphas,
+            } => vec![
+                alpha_entry(alphas),
+                ("base_mib", study.workload.base_size().mib().to_string()),
+                (
+                    "cache_energy_fraction",
+                    study.workload.cache_energy_fraction().to_string(),
+                ),
+                (
+                    "llc_mib",
+                    fmt_f64s(&sizes.iter().map(|s| s.mib()).collect::<Vec<_>>()),
+                ),
+                (
+                    "memory_energy_fraction",
+                    study.workload.memory_energy_fraction().to_string(),
+                ),
+                (
+                    "miss_exponent",
+                    study.workload.miss_model().exponent().to_string(),
+                ),
+                (
+                    "stall_fraction",
+                    study.workload.stall_fraction().to_string(),
+                ),
+            ],
+            StudySpec::Microarch { alphas } => vec![alpha_entry(alphas)],
+            StudySpec::Speculation {
+                study,
+                steps,
+                max_area,
+                alphas,
+            } => vec![
+                alpha_entry(alphas),
+                ("area_steps", steps.to_string()),
+                ("max_predictor_area", max_area.to_string()),
+                (
+                    "predictor_energy_ratio",
+                    study.predictor.energy_ratio().to_string(),
+                ),
+                (
+                    "predictor_performance_ratio",
+                    study.predictor.performance_ratio().to_string(),
+                ),
+                (
+                    "runahead_area_overhead",
+                    study.runahead.area_overhead.to_string(),
+                ),
+                (
+                    "runahead_energy_ratio",
+                    study.runahead.energy_ratio.to_string(),
+                ),
+                (
+                    "runahead_performance_ratio",
+                    study.runahead.performance_ratio.to_string(),
+                ),
+            ],
+            StudySpec::Dvfs { study } => vec![
+                ("boost", study.boost.to_string()),
+                ("downscale", study.downscale.to_string()),
+                (
+                    "dynamic_power_fraction",
+                    study.core.dynamic_power_fraction().to_string(),
+                ),
+                (
+                    "regulator_area_overhead",
+                    study.core.regulator_area_overhead().to_string(),
+                ),
+                (
+                    "turbo_area_overhead",
+                    study.turbo.turbo_area_overhead().to_string(),
+                ),
+            ],
+            StudySpec::Gating { study } => vec![
+                (
+                    "gating_area_overhead",
+                    study.gating.area_overhead.to_string(),
+                ),
+                ("gating_energy_ratio", study.gating.energy_ratio.to_string()),
+                (
+                    "gating_performance_ratio",
+                    study.gating.performance_ratio.to_string(),
+                ),
+            ],
+            StudySpec::DieShrink => Vec::new(),
+            StudySpec::CaseStudy { study, alphas } => vec![
+                alpha_entry(alphas),
+                ("base_cores", study.base_cores.to_string()),
+                ("gamma", study.gamma.get().to_string()),
+                ("parallel_fraction", study.f.parallel().to_string()),
+            ],
+            StudySpec::Taxonomy {
+                samples,
+                seed,
+                jitter,
+            } => vec![
+                ("jitter", jitter.to_string()),
+                ("samples", samples.to_string()),
+                ("seed", seed.to_string()),
+            ],
+        };
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+}
+
+fn fmt_ranges(ranges: &[E2oRange]) -> String {
+    let parts: Vec<String> = ranges
+        .iter()
+        .map(|r| format!("\"{}±{}\"", r.center().get(), r.half_width()))
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::parse_scenario;
+
+    fn canon(text: &str) -> Result<CanonicalScenario> {
+        canonicalize(&parse_scenario(text, "t.toml")?)
+    }
+
+    #[test]
+    fn minimal_figure_twin_resolves_paper_defaults() {
+        let c =
+            canon("[scenario]\nid = \"fig3\"\nkind = \"figure\"\nstudy = \"multicore\"\n").unwrap();
+        match &c.spec {
+            StudySpec::Multicore {
+                study,
+                bces,
+                fs,
+                alphas,
+            } => {
+                assert_eq!(*study, MulticoreStudy::default());
+                assert_eq!(bces, &focal_studies::multicore::BCE_SWEEP.to_vec());
+                assert_eq!(fs, &ParallelFraction::paper_sweep());
+                assert_eq!(alphas, &focal_studies::labels::DEFAULT_WEIGHTS.to_vec());
+            }
+            other => panic!("wrong spec: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_values_match_defaults_bitwise() {
+        let explicit = canon(concat!(
+            "[scenario]\nid = \"fig3\"\nkind = \"figure\"\nstudy = \"multicore\"\n",
+            "[params]\ngamma = 0.2\npollack_exponent = 0.5\n",
+            "[sweep]\nbce = [1, 2, 4, 8, 16, 32]\n",
+            "parallel_fraction = [0.5, 0.7, 0.8, 0.9, 0.95]\n",
+            "[assumptions]\nalpha = [0.8, 0.2]\n",
+        ))
+        .unwrap();
+        let implicit =
+            canon("[scenario]\nid = \"fig3\"\nkind = \"figure\"\nstudy = \"multicore\"\n").unwrap();
+        assert_eq!(explicit.spec, implicit.spec);
+        assert_eq!(explicit.canonical_text(), implicit.canonical_text());
+        assert_eq!(explicit.digest(), implicit.digest());
+    }
+
+    #[test]
+    fn kib_normalizes_to_mib() {
+        let kib = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"caching\"\n",
+            "[sweep]\nllc_kib = [1024, 2048]\n",
+        ))
+        .unwrap();
+        let mib = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"caching\"\n",
+            "[sweep]\nllc_mib = [1, 2]\n",
+        ))
+        .unwrap();
+        assert_eq!(kib.spec, mib.spec);
+    }
+
+    #[test]
+    fn inverted_die_sweep_is_an_error() {
+        let e = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"wafer\"\n",
+            "[sweep]\ndie_min_mm2 = 800\ndie_max_mm2 = 100\n",
+        ))
+        .unwrap_err();
+        assert_eq!(e.key.as_deref(), Some("die_min_mm2"));
+        assert!(e.to_string().contains("inverted"), "{e}");
+    }
+
+    #[test]
+    fn unused_keys_are_rejected_per_family() {
+        let e = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"multicore\"\n",
+            "[params]\nstall_fraction = 0.5\n",
+        ))
+        .unwrap_err();
+        assert_eq!(e.key.as_deref(), Some("stall_fraction"));
+        assert_eq!(e.line, Some(6));
+    }
+
+    #[test]
+    fn kind_family_compatibility_is_enforced() {
+        let e = canon("[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"dvfs\"\n").unwrap_err();
+        assert!(e.to_string().contains("no figure"), "{e}");
+
+        let e =
+            canon("[scenario]\nid = \"f\"\nkind = \"finding\"\nstudy = \"gating\"\n").unwrap_err();
+        assert_eq!(e.key.as_deref(), Some("index"));
+
+        let e =
+            canon("[scenario]\nid = \"f\"\nkind = \"finding\"\nindex = 9\nstudy = \"gating\"\n")
+                .unwrap_err();
+        assert!(e.to_string().contains("not produced"), "{e}");
+
+        let e =
+            canon("[scenario]\nid = \"f\"\nkind = \"robustness\"\nstudy = \"dvfs\"\n").unwrap_err();
+        assert!(e.to_string().contains("taxonomy"), "{e}");
+    }
+
+    #[test]
+    fn act_assumptions_derive_one_alpha() {
+        let c = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"microarch\"\n",
+            "[assumptions.act]\nnode = \"7nm\"\nlifetime_years = 4\n",
+            "carbon_intensity = \"world-average\"\naverage_power_watts = 15\ndie_mm2 = 100\n",
+        ))
+        .unwrap();
+        match &c.spec {
+            StudySpec::Microarch { alphas } => {
+                assert_eq!(alphas.len(), 1);
+                let a = alphas.first().map(|a| a.get()).unwrap_or(f64::NAN);
+                assert!((0.0..=1.0).contains(&a), "derived alpha {a}");
+            }
+            other => panic!("wrong spec: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alpha_and_act_conflict() {
+        let e = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"figure\"\nstudy = \"microarch\"\n",
+            "[assumptions]\nalpha = [0.8]\n",
+            "[assumptions.act]\nnode = \"7nm\"\nlifetime_years = 4\n",
+            "carbon_intensity = \"renewable\"\naverage_power_watts = 15\ndie_mm2 = 100\n",
+        ))
+        .unwrap_err();
+        assert_eq!(e.key.as_deref(), Some("act"));
+    }
+
+    #[test]
+    fn robustness_needs_monte_carlo() {
+        let e = canon("[scenario]\nid = \"f\"\nkind = \"robustness\"\nstudy = \"taxonomy\"\n")
+            .unwrap_err();
+        assert_eq!(e.key.as_deref(), Some("monte_carlo"));
+
+        let c = canon(concat!(
+            "[scenario]\nid = \"f\"\nkind = \"robustness\"\nstudy = \"taxonomy\"\n",
+            "[monte_carlo]\nsamples = 64\nseed = 42\njitter = 0.1\n",
+        ))
+        .unwrap();
+        assert_eq!(
+            c.spec,
+            StudySpec::Taxonomy {
+                samples: 64,
+                seed: 42,
+                jitter: 0.1
+            }
+        );
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_complete() {
+        let c =
+            canon("[scenario]\nid = \"fig3\"\nkind = \"figure\"\nstudy = \"multicore\"\n").unwrap();
+        let text = c.canonical_text();
+        assert!(text.starts_with("[scenario]\n"), "{text}");
+        assert!(text.contains("family = \"multicore\""), "{text}");
+        assert!(text.contains("bce = [1, 2, 4, 8, 16, 32]"), "{text}");
+        assert!(text.contains("gamma = 0.2"), "{text}");
+        // Keys inside [resolved] are sorted.
+        let resolved: Vec<&str> = text
+            .lines()
+            .skip_while(|l| *l != "[resolved]")
+            .skip(1)
+            .collect();
+        let mut sorted = resolved.clone();
+        sorted.sort_unstable();
+        assert_eq!(resolved, sorted);
+    }
+}

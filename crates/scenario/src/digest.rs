@@ -1,0 +1,38 @@
+//! Output fingerprinting, byte-compatible with the suite's figure
+//! digests: FNV-1a 64 over the rendered bytes, reported as
+//! `"{len} bytes, fnv64={hash:016x}"`.
+
+/// FNV-1a 64-bit digest (the same function the suite uses for figure
+/// CSV bytes, so scenario digests and suite digests are comparable).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The suite's digest-entry rendering for a blob of output bytes.
+#[must_use]
+pub fn digest_entry(bytes: &[u8]) -> String {
+    format!("{} bytes, fnv64={:016x}", bytes.len(), fnv64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_entry_matches_the_suite_format() {
+        assert_eq!(digest_entry(b"foobar"), "6 bytes, fnv64=85944171f73967e8");
+    }
+}

@@ -1,0 +1,114 @@
+//! Structured scenario errors: every parse, schema or canonicalization
+//! failure names the offending file, line and key. The DSL front end
+//! never panics on malformed input — the negative-path corpus in
+//! `tests/fixtures/` pins this.
+
+use std::fmt;
+
+/// A structured error from the scenario front end (parser, schema,
+/// canonicalizer or loader).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// The scenario file the error was found in, when known.
+    pub file: Option<String>,
+    /// 1-based line of the offending construct, when known.
+    pub line: Option<u32>,
+    /// The offending key (or table name), when the error is about one.
+    pub key: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// Creates an error carrying only a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ScenarioError {
+            file: None,
+            line: None,
+            key: None,
+            message: message.into(),
+        }
+    }
+
+    /// Returns the error with the file recorded.
+    #[must_use]
+    pub fn in_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Returns the error with the line recorded.
+    #[must_use]
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Returns the error with the offending key recorded.
+    #[must_use]
+    pub fn for_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.file, self.line) {
+            (Some(file), Some(line)) => write!(f, "{file}:{line}: ")?,
+            (Some(file), None) => write!(f, "{file}: ")?,
+            (None, Some(line)) => write!(f, "line {line}: ")?,
+            (None, None) => {}
+        }
+        if let Some(key) = &self.key {
+            write!(f, "key `{key}`: ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<focal_core::ModelError> for ScenarioError {
+    fn from(e: focal_core::ModelError) -> Self {
+        ScenarioError::new(e.to_string())
+    }
+}
+
+/// Scenario-front-end result alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_file_line_and_key() {
+        let e = ScenarioError::new("bad value")
+            .in_file("data/scenarios/x.toml")
+            .at_line(7)
+            .for_key("gamma");
+        assert_eq!(
+            e.to_string(),
+            "data/scenarios/x.toml:7: key `gamma`: bad value"
+        );
+    }
+
+    #[test]
+    fn display_degrades_without_location() {
+        assert_eq!(ScenarioError::new("oops").to_string(), "oops");
+        assert_eq!(
+            ScenarioError::new("oops").at_line(3).to_string(),
+            "line 3: oops"
+        );
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let m = focal_core::ModelError::Inconsistent {
+            constraint: "a constraint",
+        };
+        let s: ScenarioError = m.into();
+        assert!(s.to_string().contains("a constraint"));
+    }
+}

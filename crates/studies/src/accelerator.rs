@@ -32,9 +32,23 @@ impl AcceleratorStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn curve(&self, range: E2oRange, name: &str) -> Result<SweepSeries> {
+        self.curve_grid(range, name, UTILIZATION_STEPS)
+    }
+
+    /// [`AcceleratorStudy::curve`] over an explicit utilization grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points.
+    pub fn curve_grid(&self, range: E2oRange, name: &str, steps: usize) -> Result<SweepSeries> {
+        if steps < 2 {
+            return Err(focal_core::ModelError::Inconsistent {
+                constraint: "a utilization sweep needs at least two grid points",
+            });
+        }
         let mut s = SweepSeries::new(name);
-        for i in 0..UTILIZATION_STEPS {
-            let u = i as f64 / (UTILIZATION_STEPS - 1) as f64;
+        for i in 0..steps {
+            let u = i as f64 / (steps - 1) as f64;
             let ncf = self.accelerator.ncf(u, range.center())?;
             s.push_raw(format!("u={u:.2}"), u, ncf);
         }
@@ -48,13 +62,21 @@ impl AcceleratorStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn figure5a(&self) -> Result<Figure> {
-        let panels = vec![Panel::new(
-            "(6.5% extra chip area)",
-            vec![
-                self.curve(E2oRange::EMBODIED_DOMINATED, "embodied dominated")?,
-                self.curve(E2oRange::OPERATIONAL_DOMINATED, "operational dominated")?,
-            ],
-        )];
+        self.figure5a_grid(UTILIZATION_STEPS, &crate::labels::DEFAULT_RANGES)
+    }
+
+    /// [`AcceleratorStudy::figure5a`] over an explicit utilization grid and
+    /// α bands — the scenario compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points.
+    pub fn figure5a_grid(&self, steps: usize, ranges: &[E2oRange]) -> Result<Figure> {
+        let mut curves = Vec::new();
+        for &range in ranges {
+            curves.push(self.curve_grid(range, &crate::labels::range_label(range), steps)?);
+        }
+        let panels = vec![Panel::new("(6.5% extra chip area)", curves)];
         Ok(Figure::new(
             "fig5a",
             "Hardware specialization: total footprint (normalized to the OoO \
@@ -75,14 +97,20 @@ impl AcceleratorStudy {
         let op = focal_core::E2oWeight::OPERATIONAL_DOMINATED;
         let emb = focal_core::E2oWeight::EMBODIED_DOMINATED;
         let ncf_half = self.accelerator.ncf(0.5, op)?;
+        // The H.264 accelerator breaks even below full utilization under
+        // both regimes; propagate an error instead of panicking if a
+        // custom accelerator never does.
+        let no_break_even = focal_core::ModelError::Inconsistent {
+            constraint: "the accelerator never breaks even within [0, 1] utilization",
+        };
         let break_even_emb = self
             .accelerator
             .break_even_utilization(emb)
-            .expect("the H.264 accelerator breaks even below full utilization");
+            .ok_or(no_break_even.clone())?;
         let break_even_op = self
             .accelerator
             .break_even_utilization(op)
-            .expect("break-even exists under operational dominance");
+            .ok_or(no_break_even)?;
 
         Ok(Finding {
             id: 6,

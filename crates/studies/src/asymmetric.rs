@@ -62,19 +62,27 @@ impl AsymmetricStudy {
     ///
     /// Never fails for the built-in sweep.
     pub fn figure4(&self) -> Result<Figure> {
+        self.figure4_sweep(&BCE_SWEEP, &F_SWEEP, &crate::labels::DEFAULT_WEIGHTS)
+    }
+
+    /// [`AsymmetricStudy::figure4`] over explicit BCE counts, parallel
+    /// fractions and α regimes — the scenario compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor guards.
+    pub fn figure4_sweep(&self, bces: &[u32], fs: &[f64], alphas: &[E2oWeight]) -> Result<Figure> {
         let reference = DesignPoint::reference();
         let mut panels = Vec::new();
-        for (alpha, alpha_name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
-        ] {
+        for &alpha in alphas {
+            let alpha_name = crate::labels::weight_label_short(alpha);
             for scenario in Scenario::ALL {
                 let mut series = Vec::new();
-                for &fv in &F_SWEEP {
+                for &fv in fs {
                     let f = ParallelFraction::new(fv)?;
                     let mut sym = SweepSeries::new(format!("sym {fv}"));
                     let mut asym = SweepSeries::new(format!("asym {fv}"));
-                    for &n in &BCE_SWEEP {
+                    for &n in bces {
                         let sp = self.symmetric_point(n, f)?;
                         sym.push_design(format!("{n} BCEs"), &sp, &reference, scenario, alpha);
                         let ap = self.asymmetric_point(n as f64, f)?;

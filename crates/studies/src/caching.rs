@@ -34,9 +34,23 @@ impl CachingStudy {
     ///
     /// Never fails for the paper sweep.
     pub fn curve(&self, scenario: Scenario, alpha: E2oWeight) -> Result<SweepSeries> {
+        self.curve_sizes(scenario, alpha, &CacheSize::paper_sweep())
+    }
+
+    /// [`CachingStudy::curve`] over an explicit cache-size sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn curve_sizes(
+        &self,
+        scenario: Scenario,
+        alpha: E2oWeight,
+        sizes: &[CacheSize],
+    ) -> Result<SweepSeries> {
         let base = self.workload.design_point(self.workload.base_size())?;
         let mut s = SweepSeries::new(scenario.label());
-        for size in CacheSize::paper_sweep() {
+        for &size in sizes {
             let dp = self.workload.design_point(size)?;
             s.push_design(size.to_string(), &dp, &base, scenario, alpha);
         }
@@ -50,16 +64,24 @@ impl CachingStudy {
     ///
     /// Never fails for the paper sweep.
     pub fn figure6(&self) -> Result<Figure> {
+        self.figure6_sweep(&CacheSize::paper_sweep(), &crate::labels::DEFAULT_WEIGHTS)
+    }
+
+    /// [`CachingStudy::figure6`] over explicit cache sizes and α regimes —
+    /// the scenario compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for sizes outside the CACTI calibration.
+    pub fn figure6_sweep(&self, sizes: &[CacheSize], alphas: &[E2oWeight]) -> Result<Figure> {
         let mut panels = Vec::new();
-        for (alpha, name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
-        ] {
+        for &alpha in alphas {
+            let name = crate::labels::weight_label_long(alpha);
             panels.push(Panel::new(
                 format!("({name})"),
                 vec![
-                    self.curve(Scenario::FixedWork, alpha)?,
-                    self.curve(Scenario::FixedTime, alpha)?,
+                    self.curve_sizes(Scenario::FixedWork, alpha, sizes)?,
+                    self.curve_sizes(Scenario::FixedTime, alpha, sizes)?,
                 ],
             ));
         }

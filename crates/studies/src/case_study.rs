@@ -117,12 +117,20 @@ impl CaseStudy {
     ///
     /// Never fails for the paper configuration.
     pub fn figure9(&self) -> Result<Figure> {
+        self.figure9_weights(&crate::labels::DEFAULT_WEIGHTS)
+    }
+
+    /// [`CaseStudy::figure9`] over explicit α regimes — the scenario
+    /// compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper configuration.
+    pub fn figure9_weights(&self, alphas: &[E2oWeight]) -> Result<Figure> {
         let old = DesignPoint::reference();
         let mut panels = Vec::new();
-        for (alpha, name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
-        ] {
+        for &alpha in alphas {
+            let name = crate::labels::weight_label_long(alpha);
             let mut series = Vec::new();
             for scenario in Scenario::ALL {
                 let mut s = SweepSeries::new(scenario.label());

@@ -31,9 +31,23 @@ impl DarkSiliconStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn curve(&self, range: E2oRange, name: &str) -> Result<SweepSeries> {
+        self.curve_grid(range, name, UTILIZATION_STEPS)
+    }
+
+    /// [`DarkSiliconStudy::curve`] over an explicit utilization grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points.
+    pub fn curve_grid(&self, range: E2oRange, name: &str, steps: usize) -> Result<SweepSeries> {
+        if steps < 2 {
+            return Err(focal_core::ModelError::Inconsistent {
+                constraint: "a utilization sweep needs at least two grid points",
+            });
+        }
         let mut s = SweepSeries::new(name);
-        for i in 0..UTILIZATION_STEPS {
-            let u = i as f64 / (UTILIZATION_STEPS - 1) as f64;
+        for i in 0..steps {
+            let u = i as f64 / (steps - 1) as f64;
             s.push_raw(format!("u={u:.2}"), u, self.soc.ncf(u, range.center())?);
         }
         Ok(s)
@@ -46,17 +60,25 @@ impl DarkSiliconStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn figure5b(&self) -> Result<Figure> {
+        self.figure5b_grid(UTILIZATION_STEPS, &crate::labels::DEFAULT_RANGES)
+    }
+
+    /// [`DarkSiliconStudy::figure5b`] over an explicit utilization grid and
+    /// α bands — the scenario compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points.
+    pub fn figure5b_grid(&self, steps: usize, ranges: &[E2oRange]) -> Result<Figure> {
+        let mut curves = Vec::new();
+        for &range in ranges {
+            curves.push(self.curve_grid(range, &crate::labels::range_label(range), steps)?);
+        }
         Ok(Figure::new(
             "fig5b",
             "Dark silicon (accelerators fill 2/3 of the chip): total footprint \
              normalized to the OoO core vs. fraction of time on accelerators",
-            vec![Panel::new(
-                "(200% extra chip area)",
-                vec![
-                    self.curve(E2oRange::EMBODIED_DOMINATED, "embodied dominated")?,
-                    self.curve(E2oRange::OPERATIONAL_DOMINATED, "operational dominated")?,
-                ],
-            )],
+            vec![Panel::new("(200% extra chip area)", curves)],
         ))
     }
 
@@ -72,10 +94,14 @@ impl DarkSiliconStudy {
         let op = E2oWeight::OPERATIONAL_DOMINATED;
         // Representative utilization for the embodied-dominated headline.
         let ncf_emb = self.soc.ncf(0.25, emb)?;
-        let break_even_op = self
-            .soc
-            .break_even_utilization(op)
-            .expect("the dark-silicon SoC eventually breaks even under op dominance");
+        // The paper's SoC eventually breaks even under operational
+        // dominance; a custom SoC that never does is reported, not a panic.
+        let break_even_op =
+            self.soc
+                .break_even_utilization(op)
+                .ok_or(focal_core::ModelError::Inconsistent {
+                    constraint: "the SoC never breaks even within [0, 1] utilization",
+                })?;
         // Qualitative: under embodied dominance, no utilization level saves.
         let mut never_saves_emb = true;
         for i in 0..=10 {

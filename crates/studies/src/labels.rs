@@ -1,0 +1,115 @@
+//! Shared series/panel label conventions.
+//!
+//! The hand-coded figures spell their α regimes two ways — Figures 3/4/7
+//! abbreviate ("embodied dom") while Figures 5/6/8/9 write the long form
+//! ("embodied dominated"). Scenario-compiled figures must reproduce the
+//! hand-coded CSV bytes exactly, so both spellings live here as the single
+//! source of truth and the hand-coded builders call these helpers too.
+
+use focal_core::{E2oRange, E2oWeight};
+use focal_wafer::YieldModel;
+
+/// Tolerance for recognizing a weight as one of the paper's presets.
+const PRESET_EPS: f64 = 1e-12;
+
+/// The default α pair swept by every two-regime figure.
+pub const DEFAULT_WEIGHTS: [E2oWeight; 2] = [
+    E2oWeight::EMBODIED_DOMINATED,
+    E2oWeight::OPERATIONAL_DOMINATED,
+];
+
+/// The default α uncertainty bands swept by the Figure 5 panels.
+pub const DEFAULT_RANGES: [E2oRange; 2] = [
+    E2oRange::EMBODIED_DOMINATED,
+    E2oRange::OPERATIONAL_DOMINATED,
+];
+
+fn is_preset(alpha: E2oWeight, preset: E2oWeight) -> bool {
+    (alpha.get() - preset.get()).abs() < PRESET_EPS
+}
+
+/// The abbreviated regime label used by Figures 3, 4 and 7
+/// (`"embodied dom"` / `"operational dom"`); custom weights are labelled
+/// by value.
+pub fn weight_label_short(alpha: E2oWeight) -> String {
+    if is_preset(alpha, E2oWeight::EMBODIED_DOMINATED) {
+        "embodied dom".to_string()
+    } else if is_preset(alpha, E2oWeight::OPERATIONAL_DOMINATED) {
+        "operational dom".to_string()
+    } else {
+        format!("alpha={}", alpha.get())
+    }
+}
+
+/// The long regime label used by Figures 6, 8 and 9
+/// (`"embodied dominated"` / `"operational dominated"`).
+pub fn weight_label_long(alpha: E2oWeight) -> String {
+    if is_preset(alpha, E2oWeight::EMBODIED_DOMINATED) {
+        "embodied dominated".to_string()
+    } else if is_preset(alpha, E2oWeight::OPERATIONAL_DOMINATED) {
+        "operational dominated".to_string()
+    } else {
+        format!("alpha={}", alpha.get())
+    }
+}
+
+/// The band label used by the Figure 5 curves: presets get the long
+/// regime name, custom bands are labelled `alpha=center±half`.
+pub fn range_label(range: E2oRange) -> String {
+    let preset = |p: E2oRange| {
+        is_preset(range.center(), p.center())
+            && (range.half_width() - p.half_width()).abs() < PRESET_EPS
+    };
+    if preset(E2oRange::EMBODIED_DOMINATED) {
+        "embodied dominated".to_string()
+    } else if preset(E2oRange::OPERATIONAL_DOMINATED) {
+        "operational dominated".to_string()
+    } else {
+        format!("alpha={}±{}", range.center().get(), range.half_width())
+    }
+}
+
+/// The series label Figure 1 gives a yield model (`"perfect yield"` /
+/// `"Murphy model"`); other models use their short report label.
+pub fn yield_model_label(model: YieldModel) -> String {
+    match model {
+        YieldModel::Perfect => "perfect yield".to_string(),
+        YieldModel::Murphy => "Murphy model".to_string(),
+        other => format!("{} model", other.label()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_weights_get_paper_spellings() {
+        assert_eq!(
+            weight_label_short(E2oWeight::EMBODIED_DOMINATED),
+            "embodied dom"
+        );
+        assert_eq!(
+            weight_label_long(E2oWeight::OPERATIONAL_DOMINATED),
+            "operational dominated"
+        );
+        assert_eq!(
+            range_label(E2oRange::EMBODIED_DOMINATED),
+            "embodied dominated"
+        );
+    }
+
+    #[test]
+    fn custom_weights_are_labelled_by_value() {
+        let w = E2oWeight::new(0.6).unwrap();
+        assert_eq!(weight_label_short(w), "alpha=0.6");
+        assert_eq!(weight_label_long(w), "alpha=0.6");
+    }
+
+    #[test]
+    fn yield_models_match_figure1_series_names() {
+        assert_eq!(yield_model_label(YieldModel::Perfect), "perfect yield");
+        assert_eq!(yield_model_label(YieldModel::Murphy), "Murphy model");
+        assert_eq!(yield_model_label(YieldModel::Seeds), "seeds model");
+    }
+}

@@ -43,6 +43,7 @@ pub mod extensions;
 mod figure;
 mod finding;
 pub mod gating;
+pub mod labels;
 pub mod microarch;
 pub mod multicore;
 mod registry;
@@ -55,5 +56,8 @@ pub mod wafer_figure;
 
 pub use figure::{Figure, Panel};
 pub use finding::{Finding, Metric};
-pub use registry::{all_figures, all_figures_on, all_findings, all_findings_on};
+pub use registry::{
+    all_figures, all_figures_on, all_findings, all_findings_on, builtin_registry, RegistryEntry,
+    StudyBuilder, StudyKind, StudyOutput, FIGURE_IDS, FINDING_IDS,
+};
 pub use report::{findings_markdown, findings_summary_table};

@@ -20,12 +20,20 @@ impl MicroarchStudy {
     ///
     /// Never fails for the built-in data.
     pub fn figure7(&self) -> Result<Figure> {
+        self.figure7_weights(&crate::labels::DEFAULT_WEIGHTS)
+    }
+
+    /// [`MicroarchStudy::figure7`] over explicit α regimes — the scenario
+    /// compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in data.
+    pub fn figure7_weights(&self, alphas: &[E2oWeight]) -> Result<Figure> {
         let ino = CoreMicroarch::InOrder.design_point()?;
         let mut panels = Vec::new();
-        for (alpha, alpha_name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
-        ] {
+        for &alpha in alphas {
+            let alpha_name = crate::labels::weight_label_short(alpha);
             for scenario in Scenario::ALL {
                 let mut s = SweepSeries::new("cores");
                 for core in CoreMicroarch::ALL {

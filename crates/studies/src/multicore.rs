@@ -69,7 +69,7 @@ impl MulticoreStudy {
     pub fn big_core_point(&self, n: f64) -> Result<DesignPoint> {
         // f is irrelevant for one core; use 0 for clarity.
         SymmetricMulticore::big_core(n)?.design_point(
-            ParallelFraction::new(0.0).expect("0 is a valid fraction"),
+            ParallelFraction::new(0.0)?,
             self.gamma,
             self.pollack,
         )
@@ -85,24 +85,43 @@ impl MulticoreStudy {
     /// Never fails for the built-in sweep; the `Result` propagates
     /// constructor guards.
     pub fn figure3(&self) -> Result<Figure> {
+        self.figure3_sweep(
+            &BCE_SWEEP,
+            &ParallelFraction::paper_sweep(),
+            &crate::labels::DEFAULT_WEIGHTS,
+        )
+    }
+
+    /// [`MulticoreStudy::figure3`] over explicit BCE counts, parallel
+    /// fractions and α regimes — the entry point the scenario compiler
+    /// lowers to. `figure3` delegates here with the paper's grids, so a
+    /// scenario naming the same grids reproduces its CSV byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor guards (e.g. a zero BCE count).
+    pub fn figure3_sweep(
+        &self,
+        bces: &[u32],
+        fs: &[ParallelFraction],
+        alphas: &[E2oWeight],
+    ) -> Result<Figure> {
         let reference = DesignPoint::reference();
         let mut panels = Vec::new();
-        for (alpha, alpha_name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dom"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dom"),
-        ] {
+        for &alpha in alphas {
+            let alpha_name = crate::labels::weight_label_short(alpha);
             for scenario in Scenario::ALL {
                 let mut series = Vec::new();
-                for f in ParallelFraction::paper_sweep() {
+                for &f in fs {
                     let mut s = SweepSeries::new(format!("f={}", f.parallel()));
-                    for &n in &BCE_SWEEP {
+                    for &n in bces {
                         let dp = self.multicore_point(n, f)?;
                         s.push_design(format!("{n} BCEs"), &dp, &reference, scenario, alpha);
                     }
                     series.push(s);
                 }
                 let mut single = SweepSeries::new("single-core");
-                for &n in &BCE_SWEEP {
+                for &n in bces {
                     let dp = self.big_core_point(n as f64)?;
                     s_push(&mut single, n, &dp, &reference, scenario, alpha);
                 }

@@ -18,6 +18,34 @@ use crate::speculation::SpeculationStudy;
 use focal_core::Result;
 use focal_engine::Engine;
 
+/// The registry ids of the nine figures, in paper (and builder) order.
+pub const FIGURE_IDS: [&str; 9] = [
+    "fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
+];
+
+/// The registry ids of the 18 findings, matching the suite's
+/// `finding-NN` naming.
+pub const FINDING_IDS: [&str; 18] = [
+    "finding-01",
+    "finding-02",
+    "finding-03",
+    "finding-04",
+    "finding-05",
+    "finding-06",
+    "finding-07",
+    "finding-08",
+    "finding-09",
+    "finding-10",
+    "finding-11",
+    "finding-12",
+    "finding-13",
+    "finding-14",
+    "finding-15",
+    "finding-16",
+    "finding-17",
+    "finding-18",
+];
+
 /// The figure builders, in paper order. Each entry is an independent
 /// `fn() -> Result<Figure>`, which is what lets the registry fan the
 /// regeneration out across the engine without shared state.
@@ -55,6 +83,85 @@ const FINDING_BUILDERS: [fn() -> Result<Finding>; 18] = [
     || DieShrinkStudy.finding17(),
     || CaseStudy::paper()?.headline(),
 ];
+
+/// Whether a registry entry regenerates a figure or checks a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyKind {
+    /// A paper figure (CSV-rendering panels of sweep series).
+    Figure,
+    /// A paper finding (paper-vs-measured metrics plus a verdict).
+    Finding,
+}
+
+/// The output of one registry entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudyOutput {
+    /// A regenerated figure.
+    Figure(Figure),
+    /// A checked finding.
+    Finding(Finding),
+}
+
+/// The builder behind one registry entry — the same `fn` pointers that
+/// back [`all_figures_on`] / [`all_findings_on`], so a data-driven
+/// consumer (the scenario compiler, the oracle tests) evaluates exactly
+/// the code path the hand-coded suite runs.
+#[derive(Debug, Clone, Copy)]
+pub enum StudyBuilder {
+    /// Builds a figure.
+    Figure(fn() -> Result<Figure>),
+    /// Builds a finding.
+    Finding(fn() -> Result<Finding>),
+}
+
+/// One entry of the data-driven registry: a stable id, its kind, and the
+/// hand-coded builder that serves as the oracle for any DSL twin.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// Stable id (`fig1`…`fig9`, `finding-01`…`finding-18`).
+    pub id: &'static str,
+    /// Figure or finding.
+    pub kind: StudyKind,
+    /// The hand-coded builder.
+    pub builder: StudyBuilder,
+}
+
+impl RegistryEntry {
+    /// Evaluates the entry's builder.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper's built-in configurations.
+    pub fn build(&self) -> Result<StudyOutput> {
+        match self.builder {
+            StudyBuilder::Figure(f) => Ok(StudyOutput::Figure(f()?)),
+            StudyBuilder::Finding(f) => Ok(StudyOutput::Finding(f()?)),
+        }
+    }
+}
+
+/// The complete data-driven registry: all 9 figures followed by all 18
+/// findings, built from the same `fn` pointers as [`all_figures_on`] and
+/// [`all_findings_on`] (so there is exactly one source of truth for what
+/// each id computes).
+pub fn builtin_registry() -> Vec<RegistryEntry> {
+    let mut entries = Vec::with_capacity(FIGURE_IDS.len() + FINDING_IDS.len());
+    for (id, build) in FIGURE_IDS.iter().zip(FIGURE_BUILDERS) {
+        entries.push(RegistryEntry {
+            id,
+            kind: StudyKind::Figure,
+            builder: StudyBuilder::Figure(build),
+        });
+    }
+    for (id, build) in FINDING_IDS.iter().zip(FINDING_BUILDERS) {
+        entries.push(RegistryEntry {
+            id,
+            kind: StudyKind::Finding,
+            builder: StudyBuilder::Finding(build),
+        });
+    }
+    entries
+}
 
 /// Regenerates every figure of the paper's evaluation (Figures 1 and 3–9;
 /// Figure 2 is a conceptual illustration with no data series), in
@@ -144,6 +251,30 @@ mod tests {
         let findings = all_findings().unwrap();
         for (i, f) in findings.iter().enumerate() {
             assert_eq!(f.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn builtin_registry_mirrors_the_builder_arrays() {
+        let entries = builtin_registry();
+        assert_eq!(entries.len(), 27);
+        let figures = all_figures().unwrap();
+        let findings = all_findings().unwrap();
+        for (entry, fig) in entries.iter().take(FIGURE_IDS.len()).zip(&figures) {
+            assert_eq!(entry.kind, StudyKind::Figure);
+            assert_eq!(entry.id, fig.id);
+            match entry.build().unwrap() {
+                StudyOutput::Figure(built) => assert_eq!(built.to_csv(), fig.to_csv()),
+                StudyOutput::Finding(f) => panic!("{} built a finding {f}", entry.id),
+            }
+        }
+        for (entry, finding) in entries.iter().skip(FIGURE_IDS.len()).zip(&findings) {
+            assert_eq!(entry.kind, StudyKind::Finding);
+            assert_eq!(entry.id, format!("finding-{:02}", finding.id));
+            match entry.build().unwrap() {
+                StudyOutput::Finding(built) => assert_eq!(&built, finding),
+                StudyOutput::Figure(f) => panic!("{} built figure {}", entry.id, f.id),
+            }
         }
     }
 }

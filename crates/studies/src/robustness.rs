@@ -184,7 +184,11 @@ fn mechanism_points(
             focal_scaling::DieShrink::next_node(focal_scaling::ScalingRegime::PostDennard)
                 .design_points()?
         }
-        other => unreachable!("unknown taxonomy mechanism {other}"),
+        _ => {
+            return Err(focal_core::ModelError::Inconsistent {
+                constraint: "unknown taxonomy mechanism name",
+            })
+        }
     })
 }
 

@@ -9,6 +9,9 @@ use focal_uarch::{BranchPredictor, PreciseRunahead};
 /// Number of predictor-area grid points for Figure 8 (0 % to 8 %).
 pub const AREA_STEPS: usize = 17;
 
+/// The largest predictor area Figure 8 sweeps (8 % of the core).
+pub const MAX_PREDICTOR_AREA: f64 = 0.08;
+
 /// The speculation study.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeculationStudy {
@@ -34,10 +37,31 @@ impl SpeculationStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn curve(&self, scenario: Scenario, alpha: E2oWeight) -> Result<SweepSeries> {
+        self.curve_grid(scenario, alpha, AREA_STEPS, MAX_PREDICTOR_AREA)
+    }
+
+    /// [`SpeculationStudy::curve`] over an explicit predictor-area grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points or an area
+    /// outside the predictor model's domain.
+    pub fn curve_grid(
+        &self,
+        scenario: Scenario,
+        alpha: E2oWeight,
+        steps: usize,
+        max_area: f64,
+    ) -> Result<SweepSeries> {
+        if steps < 2 {
+            return Err(focal_core::ModelError::Inconsistent {
+                constraint: "a predictor-area sweep needs at least two grid points",
+            });
+        }
         let base = DesignPoint::reference();
         let mut s = SweepSeries::new(scenario.label());
-        for i in 0..AREA_STEPS {
-            let area = 0.08 * i as f64 / (AREA_STEPS - 1) as f64;
+        for i in 0..steps {
+            let area = max_area * i as f64 / (steps - 1) as f64;
             let dp = self.predictor.design_point(area)?;
             let ncf = Ncf::evaluate(&dp, &base, scenario, alpha);
             s.push_raw(format!("{:.1}%", area * 100.0), area, ncf.value());
@@ -53,16 +77,34 @@ impl SpeculationStudy {
     ///
     /// Never fails for the built-in grid.
     pub fn figure8(&self) -> Result<Figure> {
+        self.figure8_grid(
+            AREA_STEPS,
+            MAX_PREDICTOR_AREA,
+            &crate::labels::DEFAULT_WEIGHTS,
+        )
+    }
+
+    /// [`SpeculationStudy::figure8`] over an explicit predictor-area grid
+    /// and α regimes — the scenario compiler's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a grid of fewer than two points or an area
+    /// outside the predictor model's domain.
+    pub fn figure8_grid(
+        &self,
+        steps: usize,
+        max_area: f64,
+        alphas: &[E2oWeight],
+    ) -> Result<Figure> {
         let mut panels = Vec::new();
-        for (alpha, name) in [
-            (E2oWeight::EMBODIED_DOMINATED, "embodied dominated"),
-            (E2oWeight::OPERATIONAL_DOMINATED, "operational dominated"),
-        ] {
+        for &alpha in alphas {
+            let name = crate::labels::weight_label_long(alpha);
             panels.push(Panel::new(
                 format!("({name})"),
                 vec![
-                    self.curve(Scenario::FixedWork, alpha)?,
-                    self.curve(Scenario::FixedTime, alpha)?,
+                    self.curve_grid(Scenario::FixedWork, alpha, steps, max_area)?,
+                    self.curve_grid(Scenario::FixedTime, alpha, steps, max_area)?,
                 ],
             ));
         }
@@ -144,16 +186,17 @@ impl SpeculationStudy {
         let val = |scenario, alpha: f64| -> Result<f64> {
             Ok(Ncf::evaluate(&pre, &base, scenario, E2oWeight::new(alpha)?).value())
         };
+        let fw_02 = val(Scenario::FixedWork, 0.2)?;
+        let ft_02 = val(Scenario::FixedTime, 0.2)?;
+        let fw_08 = val(Scenario::FixedWork, 0.8)?;
+        let ft_08 = val(Scenario::FixedTime, 0.8)?;
         let metrics = vec![
-            Metric::new("NCF_fw,0.2", 0.95, val(Scenario::FixedWork, 0.2)?, 0.01),
-            Metric::new("NCF_ft,0.2", 1.23, val(Scenario::FixedTime, 0.2)?, 0.01),
-            Metric::new("NCF_fw,0.8", 0.99, val(Scenario::FixedWork, 0.8)?, 0.01),
-            Metric::new("NCF_ft,0.8", 1.06, val(Scenario::FixedTime, 0.8)?, 0.01),
+            Metric::new("NCF_fw,0.2", 0.95, fw_02, 0.01),
+            Metric::new("NCF_ft,0.2", 1.23, ft_02, 0.01),
+            Metric::new("NCF_fw,0.8", 0.99, fw_08, 0.01),
+            Metric::new("NCF_ft,0.8", 1.06, ft_08, 0.01),
         ];
-        let qualitative_holds = metrics[0].measured < 1.0
-            && metrics[1].measured > 1.0
-            && metrics[2].measured < 1.0
-            && metrics[3].measured > 1.0;
+        let qualitative_holds = fw_02 < 1.0 && ft_02 > 1.0 && fw_08 < 1.0 && ft_08 > 1.0;
         Ok(Finding {
             id: 13,
             claim: "Runahead execution is weakly sustainable",

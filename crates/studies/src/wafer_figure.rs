@@ -7,6 +7,15 @@ use focal_wafer::{EmbodiedModel, Polynomial};
 /// Number of die-size grid points for the Figure 1 sweep.
 pub const DIE_STEPS: usize = 15;
 
+/// Smallest die size in the Figure 1 sweep (mm²).
+pub const DIE_MIN_MM2: f64 = 100.0;
+
+/// Largest die size in the Figure 1 sweep (mm²).
+pub const DIE_MAX_MM2: f64 = 800.0;
+
+/// The die size the Figure 1 footprints are normalized to (mm²).
+pub const REFERENCE_MM2: f64 = 100.0;
+
 /// Builds Figure 1: normalized embodied footprint per chip (vs. a 100 mm²
 /// die) as a function of die size, for perfect yield and the Murphy model
 /// on a 300 mm wafer. The x-axis (stored in the series' `performance`
@@ -16,14 +25,43 @@ pub const DIE_STEPS: usize = 15;
 ///
 /// Never fails for the built-in sweep.
 pub fn figure1() -> Result<Figure> {
-    let reference = SiliconArea::from_mm2(100.0)?;
+    figure1_with(
+        &[
+            EmbodiedModel::figure1_perfect(),
+            EmbodiedModel::figure1_murphy(),
+        ],
+        DIE_MIN_MM2,
+        DIE_MAX_MM2,
+        DIE_STEPS,
+        REFERENCE_MM2,
+    )
+}
+
+/// [`figure1`] over explicit embodied models and an explicit die-size
+/// sweep — the scenario compiler's entry point. Series are labelled from
+/// each model's yield model via [`crate::labels::yield_model_label`].
+///
+/// # Errors
+///
+/// Returns an error for a non-positive sweep, inverted bounds, or a grid
+/// of fewer than two points.
+pub fn figure1_with(
+    models: &[EmbodiedModel],
+    min_mm2: f64,
+    max_mm2: f64,
+    steps: usize,
+    reference_mm2: f64,
+) -> Result<Figure> {
+    if steps < 2 {
+        return Err(focal_core::ModelError::Inconsistent {
+            constraint: "a die-size sweep needs at least two grid points",
+        });
+    }
+    let reference = SiliconArea::from_mm2(reference_mm2)?;
     let mut series = Vec::new();
-    for (model, name) in [
-        (EmbodiedModel::figure1_perfect(), "perfect yield"),
-        (EmbodiedModel::figure1_murphy(), "Murphy model"),
-    ] {
-        let mut s = SweepSeries::new(name);
-        for (die_mm2, footprint) in model.sweep_normalized(100.0, 800.0, DIE_STEPS, reference)? {
+    for model in models {
+        let mut s = SweepSeries::new(crate::labels::yield_model_label(model.yield_model()));
+        for (die_mm2, footprint) in model.sweep_normalized(min_mm2, max_mm2, steps, reference)? {
             s.push_raw(format!("{die_mm2:.0} mm²"), die_mm2, footprint);
         }
         series.push(s);

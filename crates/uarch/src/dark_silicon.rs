@@ -87,6 +87,19 @@ impl DarkSiliconSoc {
         })
     }
 
+    /// The fraction of the chip occupied by accelerators.
+    #[inline]
+    pub fn accelerator_area_fraction(&self) -> f64 {
+        self.accelerator_area_fraction
+    }
+
+    /// The energy advantage factor, a dimensionless ratio (core energy ÷
+    /// accelerator energy for the same work).
+    #[inline]
+    pub fn energy_advantage(&self) -> f64 {
+        self.energy_advantage
+    }
+
     /// The chip's area relative to the bare core: `1/(1 − d)` (3 for the
     /// paper's two-thirds configuration, i.e. +200 % extra chip area).
     pub fn chip_area_ratio(&self) -> f64 {

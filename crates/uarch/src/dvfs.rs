@@ -257,6 +257,18 @@ impl TurboBoost {
         })
     }
 
+    /// The underlying DVFS core.
+    #[inline]
+    pub fn core(&self) -> DvfsCore {
+        self.core
+    }
+
+    /// The extra chip area fraction of the turbo hardware.
+    #[inline]
+    pub fn turbo_area_overhead(&self) -> f64 {
+        self.turbo_area_overhead
+    }
+
     /// The boosted design point at `freq_scale > 1`, normalized to the
     /// nominal core without DVFS/turbo hardware.
     ///

@@ -164,6 +164,53 @@ impl PreciseRunahead {
         area_overhead: 0.005,
     };
 
+    /// Creates a runahead data point from its performance and energy
+    /// ratios (dimensionless, vs. the baseline OoO core) and extra chip
+    /// area fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a ratio is not strictly positive and finite,
+    /// or the area overhead is negative or not finite.
+    pub fn new(performance_ratio: f64, energy_ratio: f64, area_overhead: f64) -> Result<Self> {
+        for (name, v) in [
+            ("runahead performance ratio", performance_ratio),
+            ("runahead energy ratio", energy_ratio),
+            ("runahead area overhead", area_overhead),
+        ] {
+            if !v.is_finite() {
+                return Err(ModelError::NotFinite {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        for (name, v) in [
+            ("runahead performance ratio", performance_ratio),
+            ("runahead energy ratio", energy_ratio),
+        ] {
+            if v <= 0.0 {
+                return Err(ModelError::OutOfRange {
+                    parameter: name,
+                    value: v,
+                    expected: "(0, +inf)",
+                });
+            }
+        }
+        if area_overhead < 0.0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "runahead area overhead",
+                value: area_overhead,
+                expected: "[0, +inf)",
+            });
+        }
+        Ok(PreciseRunahead {
+            performance_ratio,
+            energy_ratio,
+            area_overhead,
+        })
+    }
+
     /// Relative power, `energy × performance`.
     pub fn power_ratio(&self) -> f64 {
         self.energy_ratio * self.performance_ratio

@@ -161,6 +161,48 @@ impl YieldModel {
         }
     }
 
+    /// Parses a scenario-file spec: a bare model name (`perfect`,
+    /// `poisson`, `murphy`, `seeds`) or a parameterized one
+    /// (`bose-einstein:N` critical layers, `negative-binomial:ALPHA`
+    /// clustering). The parsed model is [`YieldModel::validate`]d.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown name or an invalid parameter.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let (name, param) = match spec.split_once(':') {
+            Some((n, p)) => (n.trim(), Some(p.trim())),
+            None => (spec.trim(), None),
+        };
+        let model = match (name, param) {
+            ("perfect", None) => YieldModel::Perfect,
+            ("poisson", None) => YieldModel::Poisson,
+            ("murphy", None) => YieldModel::Murphy,
+            ("seeds", None) => YieldModel::Seeds,
+            ("bose-einstein", Some(p)) => {
+                let critical_layers = p.parse::<u32>().map_err(|_| ModelError::Inconsistent {
+                    constraint: "bose-einstein needs an integer layer count (bose-einstein:N)",
+                })?;
+                YieldModel::BoseEinstein { critical_layers }
+            }
+            ("negative-binomial", Some(p)) => {
+                let alpha = p.parse::<f64>().map_err(|_| ModelError::Inconsistent {
+                    constraint:
+                        "negative-binomial needs a clustering parameter (negative-binomial:ALPHA)",
+                })?;
+                YieldModel::NegativeBinomial { alpha }
+            }
+            _ => {
+                return Err(ModelError::Inconsistent {
+                    constraint: "yield model must be perfect | poisson | murphy | seeds | \
+                                 bose-einstein:N | negative-binomial:ALPHA",
+                })
+            }
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
     /// A short label for reports.
     pub fn label(self) -> &'static str {
         match self {

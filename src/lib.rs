@@ -64,6 +64,7 @@ pub use focal_engine as engine;
 pub use focal_perf as perf;
 pub use focal_report as report;
 pub use focal_scaling as scaling;
+pub use focal_scenario as scenario;
 pub use focal_studies as studies;
 pub use focal_uarch as uarch;
 pub use focal_wafer as wafer;
