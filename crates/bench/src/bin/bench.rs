@@ -19,7 +19,10 @@
 
 use focal_bench::micro::{to_bench_json, BenchRecord, Measurement, MicroBench};
 use focal_bench::suite::{run_suite, DEFECT_SIM_DENSITY, DEFECT_SIM_SEED};
-use focal_core::{DesignPoint, E2oRange, MonteCarloNcf, Scenario, MC_CHUNK_SAMPLES};
+use focal_core::{
+    mc_kernel_isa, DesignPoint, E2oRange, MonteCarloNcf, Scenario, SweepMemo, MC_CHUNK_SAMPLES,
+    MC_GROUP_CHUNKS,
+};
 use focal_engine::Engine;
 use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer};
 use std::hint::black_box;
@@ -27,6 +30,28 @@ use std::hint::black_box;
 /// The speedup the spatial-index kernel must show over the naive
 /// reference under `--check-speedup`.
 const MIN_DEFECT_SIM_SPEEDUP: f64 = 5.0;
+
+/// The speedup the SoA Monte-Carlo kernel must show over the pinned
+/// scalar oracle under `--check-speedup`, by dispatched ISA. The
+/// interleaved layout needs 4-wide 64-bit vectors to pay off; below
+/// AVX-512 the full 2× is not reachable, so the gate steps down
+/// (AVX2) or is waived (pure scalar dispatch — the kernels are then
+/// the same loop).
+fn min_mc_kernel_speedup(isa: &str) -> Option<f64> {
+    match isa {
+        "avx512" => Some(2.0),
+        "avx2" => Some(1.2),
+        _ => None,
+    }
+}
+
+/// The speedup a warm memoized sweep must show over its cold twin under
+/// `--check-speedup`.
+const MIN_SWEEP_MEMO_SPEEDUP: f64 = 5.0;
+
+/// Monte-Carlo sample count for the kernel gate: 16 chunks — two full
+/// lockstep units — so the vector path dominates the measurement.
+const MC_GATE_SAMPLES: usize = 2 * MC_GROUP_CHUNKS * MC_CHUNK_SAMPLES;
 
 /// Wafers per defect-sim benchmark operation: enough to amortize the
 /// index build without inflating a single op into seconds.
@@ -177,6 +202,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
     );
 
+    // The SoA kernel gate pair: sample *generation* only (the sort and
+    // summary are identical work on both sides and would dilute the
+    // kernel ratio). Measured serial and within this one process with a
+    // calibrated policy even under --smoke — single-shot timings on a
+    // shared box are too noisy to gate a 2× threshold on.
+    let gate_bench = if smoke {
+        MicroBench {
+            target_trial_ns: 5_000_000,
+            trials: 3,
+            fixed_iters: None,
+        }
+    } else {
+        MicroBench::standard()
+    };
+    add(
+        &mut records,
+        "mc_kernel/soa",
+        gate_bench.measure(|| {
+            let _ = black_box(mc.sample_values_on(
+                &serial,
+                black_box(&x),
+                black_box(&y),
+                Scenario::FixedWork,
+                MC_GATE_SAMPLES,
+            ));
+        }),
+    );
+    add(
+        &mut records,
+        "mc_kernel/scalar",
+        gate_bench.measure(|| {
+            let _ = black_box(mc.sample_values_scalar_on(
+                &serial,
+                black_box(&x),
+                black_box(&y),
+                Scenario::FixedWork,
+                MC_GATE_SAMPLES,
+            ));
+        }),
+    );
+
+    // The memoized-sweep gate pair: the taxonomy robustness sweep run
+    // cold (fresh memo every op, so every Monte-Carlo experiment is a
+    // miss) vs warm (one pre-populated memo reused every op, so every
+    // experiment is a lookup). Same calibrated policy as the kernel gate.
+    let memo_sweep = |memo: &mut SweepMemo| {
+        focal_studies::robustness::verdict_robustness_with(
+            &serial,
+            0.1,
+            MC_CHUNK_SAMPLES,
+            42,
+            &mut Some(memo),
+        )
+    };
+    add(
+        &mut records,
+        "sweep_memo/cold",
+        gate_bench.measure(|| {
+            let mut memo = SweepMemo::new();
+            let _ = black_box(memo_sweep(black_box(&mut memo)));
+        }),
+    );
+    let mut warm_memo = SweepMemo::new();
+    memo_sweep(&mut warm_memo)?;
+    add(
+        &mut records,
+        "sweep_memo/warm",
+        gate_bench.measure(|| {
+            let _ = black_box(memo_sweep(black_box(&mut warm_memo)));
+        }),
+    );
+
     // Every paper figure, end to end, on the configured engine.
     focal_studies::all_figures_on(&engine)?;
     add(
@@ -220,17 +317,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          defects/cm^2: {speedup:.1}x"
     );
 
+    // The SoA kernel gate: vector kernel vs pinned scalar oracle, with
+    // the threshold picked by the ISA the kernel dispatched to.
+    let ns_of = |records: &[BenchRecord], kernel: &str| {
+        records
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .map(|r| r.ns_per_op)
+    };
+    let isa = mc_kernel_isa();
+    let mc_speedup = match (
+        ns_of(&records, "mc_kernel/soa"),
+        ns_of(&records, "mc_kernel/scalar"),
+    ) {
+        (Some(soa), Some(scalar)) if soa > 0.0 => scalar / soa,
+        _ => 0.0,
+    };
+    eprintln!(
+        "mc-kernel SoA vs scalar oracle at {MC_GATE_SAMPLES} samples ({isa} dispatch): \
+         {mc_speedup:.2}x"
+    );
+
+    // The memoized-sweep gate: warm (fully cached) vs cold repeat of the
+    // same robustness sweep.
+    let memo_speedup = match (
+        ns_of(&records, "sweep_memo/cold"),
+        ns_of(&records, "sweep_memo/warm"),
+    ) {
+        (Some(cold), Some(warm)) if warm > 0.0 => cold / warm,
+        _ => 0.0,
+    };
+    eprintln!("sweep-memo warm vs cold robustness sweep: {memo_speedup:.1}x");
+
     if let Err(e) = std::fs::write(&out_path, to_bench_json(&records)) {
         eprintln!("error: failed to write '{out_path}': {e}");
         std::process::exit(1);
     }
     eprintln!("wrote {} kernel records to {out_path}", records.len());
 
+    let mut failed = false;
     if check_speedup && speedup < MIN_DEFECT_SIM_SPEEDUP {
         eprintln!(
             "FAILED: defect-sim speedup {speedup:.1}x is below the required \
              {MIN_DEFECT_SIM_SPEEDUP}x"
         );
+        failed = true;
+    }
+    if check_speedup {
+        match min_mc_kernel_speedup(isa) {
+            Some(min) if mc_speedup < min => {
+                eprintln!(
+                    "FAILED: mc-kernel speedup {mc_speedup:.2}x is below the required \
+                     {min}x at {isa} dispatch"
+                );
+                failed = true;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("note: mc-kernel gate waived (scalar dispatch — no vector ISA available)")
+            }
+        }
+        if memo_speedup < MIN_SWEEP_MEMO_SPEEDUP {
+            eprintln!(
+                "FAILED: sweep-memo speedup {memo_speedup:.1}x is below the required \
+                 {MIN_SWEEP_MEMO_SPEEDUP}x"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     Ok(())

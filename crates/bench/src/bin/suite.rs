@@ -26,6 +26,11 @@
 //!   `<dir>` as an additional `scenarios` stage (see DESIGN.md §13).
 //! * `--scenarios-only` — with `--scenarios`, skip the hand-coded stages
 //!   and run the scenario corpus alone.
+//! * `--memo` — thread a sweep memo through the robustness, crossovers
+//!   and scenarios stages, so repeated sub-evaluations (notably the
+//!   scenario twin of the robustness sweep) are answered from the cache.
+//!   Deterministic output is byte-identical with or without this flag;
+//!   hit/miss counters appear in the timed JSON and the stderr summary.
 //! * `--inject <kind>@<site>:<index>` — arm the deterministic
 //!   fault-injection harness before running (e.g. `panic@figures:3`,
 //!   `nan@mc:1017`). The targeted stage degrades to `status: error` with
@@ -55,6 +60,7 @@ fn main() {
                 options.scenarios_dir = args.get(i).map(std::path::PathBuf::from);
             }
             "--scenarios-only" => options.scenarios_only = true,
+            "--memo" => options.memo = true,
             "--samples" if args.get(i + 1).is_some() => {
                 i += 1;
                 options.robustness_samples = match args.get(i).map(|v| v.parse()) {
@@ -80,7 +86,7 @@ fn main() {
                 eprintln!(
                     "unknown argument `{other}` (expected --no-timings, \
                      --dump-dir <dir>, --samples <n>, --inject <spec>, \
-                     --scenarios <dir>, --scenarios-only)"
+                     --scenarios <dir>, --scenarios-only, --memo)"
                 );
                 std::process::exit(2);
             }

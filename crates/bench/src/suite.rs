@@ -26,11 +26,12 @@
 //! a faulted report stays byte-identical across `FOCAL_THREADS` values.
 
 use focal_core::{
-    alpha_crossover_batch, classify_over_range_on, DesignPoint, E2oRange, ModelError, Result,
-    Scenario,
+    alpha_crossover_batch, alpha_crossover_batch_memo, classify_over_range_memo_on,
+    classify_over_range_on, DesignPoint, E2oRange, ModelError, Result, Scenario, SweepMemo,
+    SweepMemoStats,
 };
 use focal_engine::{fault, ChunkError, Engine};
-use focal_studies::robustness::verdict_robustness_on;
+use focal_studies::robustness::verdict_robustness_with;
 use focal_wafer::{DefectDistribution, DefectSimulator, DiePlacement, Wafer, YieldModel};
 use std::fmt::Write as _;
 use std::panic::AssertUnwindSafe;
@@ -73,6 +74,12 @@ pub struct SuiteOptions {
     /// With [`SuiteOptions::scenarios_dir`], skip the hand-coded stages
     /// and run the scenarios stage alone (the `--scenarios-only` flag).
     pub scenarios_only: bool,
+    /// Thread a [`SweepMemo`] through the robustness, crossovers and
+    /// scenarios stages (the `--memo` flag), so repeated sub-evaluations
+    /// — notably the scenario twin of the robustness sweep — are answered
+    /// from the cache. Deterministic output is byte-identical either way;
+    /// hit/miss counters land in the *timed* report only.
+    pub memo: bool,
 }
 
 impl Default for SuiteOptions {
@@ -81,6 +88,7 @@ impl Default for SuiteOptions {
             robustness_samples: ROBUSTNESS_SAMPLES,
             scenarios_dir: None,
             scenarios_only: false,
+            memo: false,
         }
     }
 }
@@ -143,6 +151,11 @@ pub struct SuiteReport {
     pub threads: usize,
     /// Stages in execution order.
     pub stages: Vec<Stage>,
+    /// Sweep-memo counters when the suite ran with
+    /// [`SuiteOptions::memo`]. Like `threads`, this is run-environment
+    /// metadata, not deterministic content: it appears only in the timed
+    /// report, so the `--no-timings` byte-diff is memo-agnostic.
+    pub memo_stats: Option<SweepMemoStats>,
 }
 
 /// FNV-1a 64-bit digest, used to fingerprint figure CSV bytes in the
@@ -191,6 +204,15 @@ impl SuiteReport {
         let mut out = String::from("{\n  \"suite\": \"focal-reproduction\",\n");
         if with_timings {
             let _ = writeln!(out, "  \"threads\": {},", self.threads);
+            if let Some(stats) = &self.memo_stats {
+                let _ = writeln!(
+                    out,
+                    "  \"memo\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+                    stats.hits(),
+                    stats.misses(),
+                    stats.entries()
+                );
+            }
         }
         out.push_str("  \"stages\": [\n");
         for (i, stage) in self.stages.iter().enumerate() {
@@ -246,6 +268,15 @@ impl SuiteReport {
             );
         }
         let _ = write!(out, "  {:<12} {:>12.3} ms", "total", total as f64 / 1000.0);
+        if let Some(stats) = &self.memo_stats {
+            let _ = write!(
+                out,
+                "\n  sweep memo: {} hits, {} misses, {} entries",
+                stats.hits(),
+                stats.misses(),
+                stats.entries()
+            );
+        }
         out
     }
 }
@@ -414,7 +445,7 @@ pub fn run_suite_with_samples(engine: &Engine, robustness_samples: usize) -> Sui
 /// suite-format digest entry per scenario id. Load failures and
 /// per-scenario evaluation failures degrade the stage to `failed`
 /// without aborting the suite.
-fn scenarios_stage(engine: &Engine, dir: &Path) -> Stage {
+fn scenarios_stage(engine: &Engine, dir: &Path, memo: Option<&mut SweepMemo>) -> Stage {
     let dir = dir.to_path_buf();
     run_stage("scenarios", move || {
         let scenarios = match focal_scenario::load_dir(&dir) {
@@ -423,7 +454,10 @@ fn scenarios_stage(engine: &Engine, dir: &Path) -> Stage {
                 return Ok((false, vec![("load-error".to_string(), e.to_string())]));
             }
         };
-        let results = focal_scenario::evaluate_all_on(engine, &scenarios)?;
+        let results = match memo {
+            Some(memo) => focal_scenario::evaluate_all_memo_on(engine, &scenarios, memo)?,
+            None => focal_scenario::evaluate_all_on(engine, &scenarios)?,
+        };
         let mut passed = !results.is_empty();
         let mut entries: Vec<(String, String)> = Vec::with_capacity(results.len());
         for (id, result) in results {
@@ -450,11 +484,16 @@ fn scenarios_stage(engine: &Engine, dir: &Path) -> Stage {
 #[must_use]
 pub fn run_suite_with_options(engine: &Engine, options: &SuiteOptions) -> SuiteReport {
     let robustness_samples = options.robustness_samples;
+    // One memo for the whole run, threaded `&mut` through the stages that
+    // use it — stages execute strictly sequentially, so no locking.
+    let mut memo = options.memo.then(SweepMemo::new);
     if options.scenarios_only {
         if let Some(dir) = &options.scenarios_dir {
+            let stages = vec![scenarios_stage(engine, dir, memo.as_mut())];
             return SuiteReport {
                 threads: engine.threads(),
-                stages: vec![scenarios_stage(engine, dir)],
+                stages,
+                memo_stats: memo.map(|m| m.stats()),
             };
         }
     }
@@ -531,11 +570,12 @@ pub fn run_suite_with_options(engine: &Engine, options: &SuiteOptions) -> SuiteR
     // §3.5 ablation). Agreements are exact sample fractions, so their
     // shortest-f64 rendering is thread-count invariant.
     stages.push(run_stage("robustness", || {
-        let robustness = verdict_robustness_on(
+        let robustness = verdict_robustness_with(
             engine,
             ROBUSTNESS_JITTER,
             robustness_samples,
             ROBUSTNESS_SEED,
+            &mut memo.as_mut(),
         )?;
         for r in &robustness {
             for (axis, v) in [
@@ -564,11 +604,23 @@ pub fn run_suite_with_options(engine: &Engine, options: &SuiteOptions) -> SuiteR
         let mechanisms = ablation_mechanisms()?;
         let pairs: Vec<(DesignPoint, DesignPoint)> =
             mechanisms.iter().map(|&(_, x, y)| (x, y)).collect();
-        let fixed_work = alpha_crossover_batch(engine, &pairs, Scenario::FixedWork);
-        let fixed_time = alpha_crossover_batch(engine, &pairs, Scenario::FixedTime);
+        let mut memo = memo.as_mut();
+        let (fixed_work, fixed_time) = match memo.as_deref_mut() {
+            Some(memo) => (
+                alpha_crossover_batch_memo(engine, &pairs, Scenario::FixedWork, memo),
+                alpha_crossover_batch_memo(engine, &pairs, Scenario::FixedTime, memo),
+            ),
+            None => (
+                alpha_crossover_batch(engine, &pairs, Scenario::FixedWork),
+                alpha_crossover_batch(engine, &pairs, Scenario::FixedTime),
+            ),
+        };
         let mut entries: Vec<(String, String)> = Vec::with_capacity(mechanisms.len());
         for ((name, x, y), (fw, ft)) in mechanisms.iter().zip(fixed_work.iter().zip(&fixed_time)) {
-            let stability = classify_over_range_on(engine, x, y, E2oRange::FULL, 101)?;
+            let stability = match memo.as_deref_mut() {
+                Some(memo) => classify_over_range_memo_on(engine, x, y, E2oRange::FULL, 101, memo)?,
+                None => classify_over_range_on(engine, x, y, E2oRange::FULL, 101)?,
+            };
             entries.push((
                 (*name).to_string(),
                 format!(
@@ -638,12 +690,13 @@ pub fn run_suite_with_options(engine: &Engine, options: &SuiteOptions) -> SuiteR
     // Optional stage 6: the declarative scenario corpus, flag-gated so
     // the default suite output keeps exactly the five stages above.
     if let Some(dir) = &options.scenarios_dir {
-        stages.push(scenarios_stage(engine, dir));
+        stages.push(scenarios_stage(engine, dir, memo.as_mut()));
     }
 
     SuiteReport {
         threads: engine.threads(),
         stages,
+        memo_stats: memo.map(|m| m.stats()),
     }
 }
 
@@ -715,6 +768,7 @@ mod tests {
                 status: StageStatus::Ok,
                 entries: Vec::new(),
             }],
+            memo_stats: None,
         };
         // A 250 µs stage must not round down to a bare 0 ms.
         assert!(
@@ -818,6 +872,63 @@ mod tests {
         assert_eq!(stage.status, StageStatus::Failed);
         assert_eq!(stage.entries.len(), 1);
         assert_eq!(stage.entries[0].0, "load-error");
+    }
+
+    /// The memo is a pure cache: deterministic suite output must be
+    /// byte-identical with and without it, across thread counts, with
+    /// the scenario corpus included (whose robustness twin is the memo's
+    /// headline hit).
+    #[test]
+    fn memo_suite_output_is_byte_identical_to_unmemoized() {
+        let base = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            ..SuiteOptions::default()
+        };
+        let memo = SuiteOptions {
+            memo: true,
+            ..base.clone()
+        };
+        let plain = run_suite_with_options(&Engine::serial(), &base);
+        let memoized = run_suite_with_options(&Engine::serial(), &memo);
+        assert_eq!(plain.to_json(false), memoized.to_json(false));
+        let memoized_mt = run_suite_with_options(&Engine::with_threads(3), &memo);
+        assert_eq!(plain.to_json(false), memoized_mt.to_json(false));
+    }
+
+    /// With the robustness stage configured to the scenario twin's
+    /// sample count, the twin reruns the stage's exact Monte-Carlo
+    /// experiments: a memoized suite must answer all of them from the
+    /// cache, and must report counters only in the timed JSON.
+    #[test]
+    fn memo_stats_record_hits_and_stay_out_of_deterministic_json() {
+        let options = SuiteOptions {
+            scenarios_dir: Some(shipped_scenarios()),
+            memo: true,
+            // data/scenarios/taxonomy-robustness.toml: samples = 1024,
+            // seed 42, jitter 0.1 — the stage's seed and jitter already
+            // match, so aligning the sample count makes the twin's keys
+            // identical to the stage's.
+            robustness_samples: 1024,
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_with_options(&Engine::serial(), &options);
+        assert!(report.ok());
+        let stats = report.memo_stats.expect("memo stats with --memo");
+        assert!(
+            stats.mc.hits >= 44,
+            "robustness twin should replay 11 mechanisms x 2 bands x 2 scenarios from cache, got {stats:?}"
+        );
+        assert!(stats.hits() > 0 && stats.misses() > 0);
+        assert!(report.to_json(true).contains("\"memo\""));
+        assert!(!report.to_json(false).contains("\"memo\""));
+        assert!(report.human_summary().contains("sweep memo:"));
+    }
+
+    #[test]
+    fn unmemoized_suite_reports_no_memo_stats() {
+        let report = run_suite(&Engine::serial());
+        assert!(report.memo_stats.is_none());
+        assert!(!report.to_json(true).contains("\"memo\""));
     }
 
     #[test]

@@ -224,6 +224,86 @@ pub fn classify_over_range_on(
     })
 }
 
+/// [`classify_over_range_on`] with a [`crate::SweepMemo`]: grid points whose
+/// `(x, y, α)` classification is already cached are answered from the memo,
+/// and only the missing points are fanned out to the engine. The result is
+/// byte-identical to the unmemoized call — the per-point classification is a
+/// pure function of the cache key.
+///
+/// While a fault plan is armed (see [`focal_engine::fault::armed`]) the memo
+/// is bypassed entirely so injected faults reach the real evaluation path.
+///
+/// # Errors
+///
+/// See [`classify_over_range`].
+pub fn classify_over_range_memo_on(
+    engine: &focal_engine::Engine,
+    x: &DesignPoint,
+    y: &DesignPoint,
+    range: E2oRange,
+    grid_points: usize,
+    memo: &mut crate::SweepMemo,
+) -> crate::Result<RobustClassification> {
+    if focal_engine::fault::armed() {
+        return classify_over_range_on(engine, x, y, range, grid_points);
+    }
+    let grid = range.grid(grid_points)?;
+    let mut cached: Vec<Option<Sustainability>> = grid
+        .iter()
+        .map(|&alpha| memo.classify_lookup(x, y, alpha, DEFAULT_TOLERANCE))
+        .collect();
+    let missing: Vec<E2oWeight> = grid
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(&alpha, _)| alpha)
+        .collect();
+    let fresh: Vec<(E2oWeight, Sustainability)> = if missing.is_empty() {
+        Vec::new()
+    } else {
+        engine.try_par_map(0, &missing, |&alpha| (alpha, classify(x, y, alpha).class))?
+    };
+    for &(alpha, class) in &fresh {
+        memo.classify_insert(x, y, alpha, DEFAULT_TOLERANCE, class);
+    }
+    let mut fresh = fresh.into_iter();
+    let mut per_alpha = Vec::with_capacity(grid.len());
+    for (&alpha, hit) in grid.iter().zip(cached.iter_mut()) {
+        let class = match hit.take() {
+            Some(class) => class,
+            None => {
+                fresh
+                    .next()
+                    .ok_or(crate::ModelError::Inconsistent {
+                        constraint: "memoized α grid produced fewer fresh results than misses",
+                    })?
+                    .1
+            }
+        };
+        per_alpha.push((alpha, class));
+    }
+    let mut observed = Vec::new();
+    for (_, class) in &per_alpha {
+        if !observed.contains(class) {
+            observed.push(*class);
+        }
+    }
+    let center = range.center();
+    let at_center = match memo.classify_lookup(x, y, center, DEFAULT_TOLERANCE) {
+        Some(class) => class,
+        None => {
+            let class = classify(x, y, center).class;
+            memo.classify_insert(x, y, center, DEFAULT_TOLERANCE, class);
+            class
+        }
+    };
+    Ok(RobustClassification {
+        at_center,
+        observed,
+        per_alpha,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

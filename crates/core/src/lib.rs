@@ -59,6 +59,8 @@ mod classify;
 mod design;
 mod error;
 mod fleet;
+mod mc_kernel;
+mod memo;
 mod ncf;
 mod quantity;
 mod rebound;
@@ -69,19 +71,22 @@ mod weight;
 
 pub use analysis::{classify_all, pareto_frontier, Candidate, SweepPoint, SweepSeries};
 pub use classify::{
-    classify, classify_over_range, classify_over_range_on, classify_with_tolerance, Classification,
-    RobustClassification, Sustainability, DEFAULT_TOLERANCE,
+    classify, classify_over_range, classify_over_range_memo_on, classify_over_range_on,
+    classify_with_tolerance, Classification, RobustClassification, Sustainability,
+    DEFAULT_TOLERANCE,
 };
 pub use design::{DesignPoint, DesignPointBuilder};
 pub use error::{ModelError, Result};
 pub use fleet::{Fleet, Segment};
+pub use mc_kernel::{mc_kernel_isa, MC_GROUP_CHUNKS};
+pub use memo::{MemoStats, SweepMemo, SweepMemoStats};
 pub use ncf::{Ncf, NcfBand, NcfPair};
 pub use quantity::{CarbonFootprint, Energy, ExecutionTime, Performance, Power, SiliconArea};
 pub use rebound::{deployment_adjusted_weight, lifetime_adjusted_weight};
 pub use scenario::Scenario;
 pub use sensitivity::{
-    alpha_crossover, alpha_crossover_batch, blended_ncf, rebound_tolerance, AlphaCrossover,
-    NcfSensitivity,
+    alpha_crossover, alpha_crossover_batch, alpha_crossover_batch_memo, blended_ncf,
+    rebound_tolerance, AlphaCrossover, NcfSensitivity,
 };
 pub use uncertainty::{ncf_interval, Interval, McSummary, MonteCarloNcf, MC_CHUNK_SAMPLES};
 pub use weight::{E2oRange, E2oWeight};

@@ -125,6 +125,52 @@ pub fn alpha_crossover_batch(
     engine.par_map(pairs, |(x, y)| alpha_crossover(x, y, scenario))
 }
 
+/// [`alpha_crossover_batch`] with a [`crate::SweepMemo`]: pairs whose
+/// crossover is already cached are answered from the memo and only the
+/// missing pairs are fanned out to the engine, preserving pair order. The
+/// result is element-wise identical to the unmemoized call.
+///
+/// While a fault plan is armed (see [`focal_engine::fault::armed`]) the memo
+/// is bypassed entirely so injected faults reach the real evaluation path.
+pub fn alpha_crossover_batch_memo(
+    engine: &focal_engine::Engine,
+    pairs: &[(DesignPoint, DesignPoint)],
+    scenario: Scenario,
+    memo: &mut crate::SweepMemo,
+) -> Vec<AlphaCrossover> {
+    if focal_engine::fault::armed() {
+        return alpha_crossover_batch(engine, pairs, scenario);
+    }
+    let mut cached: Vec<Option<AlphaCrossover>> = pairs
+        .iter()
+        .map(|(x, y)| memo.crossover_lookup(x, y, scenario))
+        .collect();
+    let missing: Vec<(DesignPoint, DesignPoint)> = pairs
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(&pair, _)| pair)
+        .collect();
+    let fresh = alpha_crossover_batch(engine, &missing, scenario);
+    for ((x, y), result) in missing.iter().zip(&fresh) {
+        memo.crossover_insert(x, y, scenario, *result);
+    }
+    let mut fresh = fresh.into_iter();
+    pairs
+        .iter()
+        .zip(cached.iter_mut())
+        .map(|((x, y), hit)| match hit.take() {
+            Some(result) => result,
+            // Misses and fresh results are in the same order by
+            // construction; recompute serially if the engine ever
+            // under-returned rather than panic.
+            None => fresh
+                .next()
+                .unwrap_or_else(|| alpha_crossover(x, y, scenario)),
+        })
+        .collect()
+}
+
 /// First-order sensitivities of one NCF evaluation: how much the value
 /// moves per unit change in α and per 1 % change in each proxy ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -12,11 +12,12 @@
 
 use crate::design::DesignPoint;
 use crate::error::{ensure_finite, ensure_positive, ModelError, Result};
+use crate::mc_kernel::{self, McParams, MC_GROUP_CHUNKS};
 use crate::ncf::Ncf;
 use crate::scenario::Scenario;
 use crate::weight::E2oRange;
 use focal_engine::{chunk_count, chunk_seed, Engine};
-use rand::distributions::{Distribution, Uniform};
+use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -344,11 +345,18 @@ impl MonteCarloNcf {
     /// [`MonteCarloNcf::run`] on an explicit [`Engine`].
     ///
     /// Sampling is chunked in blocks of [`MC_CHUNK_SAMPLES`]: chunk `c`
-    /// seeds its own `StdRng` from `seed + c` and the chunks concatenate
-    /// in index order, so the summary is **bit-identical for every thread
-    /// count** (the differential tests in `tests/engine_determinism.rs`
-    /// pin this). With a single-threaded engine the chunk loop runs
-    /// inline on the calling thread.
+    /// seeds its own `StdRng` from `seed + c` and chunk streams occupy
+    /// consecutive logical index ranges, so the summary is
+    /// **bit-identical for every thread count** (the differential tests
+    /// in `tests/engine_determinism.rs` pin this). With a single-threaded
+    /// engine the chunk loop runs inline on the calling thread.
+    ///
+    /// Since the SoA rework, groups of [`MC_GROUP_CHUNKS`] chunks are
+    /// drawn by the lockstep vector kernel (`mc_kernel`) where the CPU
+    /// supports it. This is invisible in the result: each chunk's draw
+    /// stream is bit-identical to its serial form, and the summary
+    /// depends only on the sorted multiset of samples.
+    /// [`MonteCarloNcf::run_scalar_on`] is the pinned pre-SoA reference.
     ///
     /// # Errors
     ///
@@ -368,6 +376,110 @@ impl MonteCarloNcf {
         scenario: Scenario,
         samples: usize,
     ) -> Result<McSummary> {
+        let mut values = self.sample_values_on(engine, x, y, scenario, samples)?;
+        values.sort_by(|a, b| a.total_cmp(b));
+        Ok(Self::summarize(&values))
+    }
+
+    /// Pinned scalar reference implementation of [`MonteCarloNcf::run_on`]:
+    /// the exact pre-SoA per-sample loop (one serial `StdRng` per chunk,
+    /// per-chunk `Vec`s concatenated in index order). Kept as the oracle
+    /// the vector kernel is differential-tested and benchmarked against;
+    /// model code should call [`MonteCarloNcf::run_on`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MonteCarloNcf::run_on`] — including, by
+    /// construction, every error *value*.
+    pub fn run_scalar_on(
+        &self,
+        engine: &Engine,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> Result<McSummary> {
+        let mut values = self.sample_values_scalar_on(engine, x, y, scenario, samples)?;
+        values.sort_by(|a, b| a.total_cmp(b));
+        Ok(Self::summarize(&values))
+    }
+
+    /// [`MonteCarloNcf::run_on`] with a [`crate::SweepMemo`]: an experiment
+    /// with an identical `(x, y, scenario, α range, jitter, seed, samples)`
+    /// key is answered from the memo; a miss runs the real sampler and
+    /// caches the summary. Repeated sweeps (e.g. the robustness study and
+    /// its scenario-DSL twin) therefore pay for each distinct experiment
+    /// once.
+    ///
+    /// While a fault plan is armed (see [`focal_engine::fault::armed`]) the
+    /// memo is bypassed entirely so injected faults reach the real sampler.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloNcf::run`]; `samples == 0` is rejected before the
+    /// memo is consulted.
+    pub fn run_memo_on(
+        &self,
+        engine: &Engine,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+        memo: &mut crate::SweepMemo,
+    ) -> Result<McSummary> {
+        if samples == 0 || focal_engine::fault::armed() {
+            return self.run_on(engine, x, y, scenario, samples);
+        }
+        if let Some(summary) = memo.mc_lookup(
+            x,
+            y,
+            scenario,
+            self.range,
+            self.ratio_uncertainty,
+            self.seed,
+            samples,
+        ) {
+            return Ok(summary);
+        }
+        let summary = self.run_on(engine, x, y, scenario, samples)?;
+        memo.mc_insert(
+            x,
+            y,
+            scenario,
+            self.range,
+            self.ratio_uncertainty,
+            self.seed,
+            samples,
+            summary.clone(),
+        );
+        Ok(summary)
+    }
+
+    /// Draws the raw sample buffer through the SoA lockstep kernel,
+    /// applies any armed `nan@mc:<index>` fault poke, and runs the
+    /// non-finite tripwire. Exposed (for benchmarks and differential
+    /// tests) because it isolates generation cost from the sort and
+    /// summary that [`MonteCarloNcf::run_on`] adds on top.
+    ///
+    /// The buffer's *order* is an internal layout detail: full groups of
+    /// [`MC_GROUP_CHUNKS`] chunks may be lane-interleaved on machines
+    /// where the vector kernel is active. The multiset of values — and
+    /// therefore anything derived from the sorted buffer — is
+    /// bit-identical to [`MonteCarloNcf::sample_values_scalar_on`] at
+    /// every thread count; only elementwise comparisons against the
+    /// scalar buffer are meaningless.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloNcf::run_on`].
+    pub fn sample_values_on(
+        &self,
+        engine: &Engine,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> Result<Vec<f64>> {
         if samples == 0 {
             return Err(ModelError::OutOfRange {
                 parameter: "samples",
@@ -375,16 +487,81 @@ impl MonteCarloNcf {
                 expected: "[1, +inf) (Monte-Carlo needs at least one sample)",
             });
         }
-        // Everything that does not depend on the sampled α/jitter is
-        // hoisted out of the chunk loop: the baseline NCF ratios and the
-        // two sampling distributions (both `Copy`, shared by every chunk).
-        // Only the RNG itself is per-chunk state, seeded by chunk index.
-        let a_ratio = x.area() / y.area();
-        let o_ratio = scenario.operational_ratio(x, y);
-        let alpha_dist = Uniform::new_inclusive(self.range.low().get(), self.range.high().get());
-        let jitter =
-            Uniform::new_inclusive(1.0 - self.ratio_uncertainty, 1.0 + self.ratio_uncertainty);
+        let params = self.params(x, y, scenario);
+        let seed = self.seed;
+        // The kernel writes straight into one preallocated buffer — no
+        // per-chunk Vecs, no concat. Work units of MC_GROUP_CHUNKS chunks
+        // let full units take the lockstep vector path.
+        let mut values = engine.try_par_chunk_map_into(
+            seed,
+            samples,
+            MC_CHUNK_SAMPLES,
+            MC_GROUP_CHUNKS,
+            0.0f64,
+            |c0, out| mc_kernel::fill_unit(seed, c0, &params, out),
+        )?;
+        let interleaved = mc_kernel::lockstep_enabled();
+        // Armed `nan@mc:<sample>` fault plans poison exactly one global
+        // sample index. The poke lands *after* the fill so the RNG draw
+        // stream is untouched (the scalar loop drew all three words
+        // before overwriting, too); `buffer_index` routes the logical
+        // index through the kernel's layout.
+        if let Some(target) = focal_engine::fault::nan_target("mc") {
+            if let Ok(target) = usize::try_from(target) {
+                let pos = mc_kernel::buffer_index(target, samples, interleaved);
+                if let Some(v) = values.get_mut(pos) {
+                    *v = f64::NAN;
+                }
+            }
+        }
+        // NaN/∞ tripwire *before* sorting: scan every lane position and
+        // report the lowest *logical* (draw-order) sample index, so the
+        // structured error names the same minimal reproduction
+        // coordinates as the scalar kernel, at every thread count.
+        let mut lowest: Option<(usize, f64)> = None;
+        for (pos, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                let i = mc_kernel::logical_index(pos, samples, interleaved);
+                if lowest.map_or(true, |(prev, _)| i < prev) {
+                    lowest = Some((i, v));
+                }
+            }
+        }
+        if let Some((i, v)) = lowest {
+            let c = i / MC_CHUNK_SAMPLES;
+            return Err(ModelError::NonFiniteOutput {
+                context: format!(
+                    "monte-carlo sample {i} (chunk {c}, chunk_seed {})",
+                    chunk_seed(seed, c)
+                ),
+                value: v,
+            });
+        }
+        Ok(values)
+    }
 
+    /// Scalar twin of [`MonteCarloNcf::sample_values_on`]: the pre-SoA
+    /// sampling loop, buffer in logical draw order.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarloNcf::run_on`].
+    pub fn sample_values_scalar_on(
+        &self,
+        engine: &Engine,
+        x: &DesignPoint,
+        y: &DesignPoint,
+        scenario: Scenario,
+        samples: usize,
+    ) -> Result<Vec<f64>> {
+        if samples == 0 {
+            return Err(ModelError::OutOfRange {
+                parameter: "samples",
+                value: 0.0,
+                expected: "[1, +inf) (Monte-Carlo needs at least one sample)",
+            });
+        }
+        let params = self.params(x, y, scenario);
         let n_chunks = chunk_count(samples, MC_CHUNK_SAMPLES);
         let chunks: Vec<Vec<f64>> = engine.try_par_chunk_map(self.seed, n_chunks, |c| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(self.seed, c));
@@ -397,21 +574,15 @@ impl MonteCarloNcf {
             let hi = (lo + MC_CHUNK_SAMPLES).min(samples);
             (lo..hi)
                 .map(|i| {
-                    let alpha = alpha_dist.sample(&mut rng);
-                    let a = a_ratio * jitter.sample(&mut rng);
-                    let o = o_ratio * jitter.sample(&mut rng);
+                    let v = params.sample(&mut rng);
                     if nan_at == Some(i as u64) {
                         return f64::NAN;
                     }
-                    alpha * a + (1.0 - alpha) * o
+                    v
                 })
                 .collect()
         })?;
-        let mut values: Vec<f64> = chunks.concat();
-        // NaN/∞ tripwire *before* sorting, while sample indices are still
-        // global draw order: a non-finite draw becomes a structured error
-        // naming its minimal reproduction coordinates, never a silently
-        // corrupted summary.
+        let values: Vec<f64> = chunks.concat();
         if let Some((i, &v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             let c = i / MC_CHUNK_SAMPLES;
             return Err(ModelError::NonFiniteOutput {
@@ -422,8 +593,28 @@ impl MonteCarloNcf {
                 value: v,
             });
         }
-        values.sort_by(|a, b| a.total_cmp(b));
+        Ok(values)
+    }
 
+    /// Hoists everything that does not depend on the sampled α/jitter:
+    /// the baseline NCF ratios and the two sampling distributions (all
+    /// `Copy`, shared by every chunk). Only the RNG itself is per-chunk
+    /// state, seeded by chunk index.
+    fn params(&self, x: &DesignPoint, y: &DesignPoint, scenario: Scenario) -> McParams {
+        McParams {
+            alpha: Uniform::new_inclusive(self.range.low().get(), self.range.high().get()),
+            jitter: Uniform::new_inclusive(
+                1.0 - self.ratio_uncertainty,
+                1.0 + self.ratio_uncertainty,
+            ),
+            a_ratio: x.area() / y.area(),
+            o_ratio: scenario.operational_ratio(x, y),
+        }
+    }
+
+    /// Summary statistics of a sorted, non-empty, all-finite sample
+    /// buffer (the callers' tripwires established all three).
+    fn summarize(values: &[f64]) -> McSummary {
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -434,7 +625,7 @@ impl MonteCarloNcf {
         let pct = |p: f64| values[((p * (n - 1) as f64).round() as usize).min(n - 1)];
         let below = values.iter().filter(|&&v| v < 1.0).count();
 
-        Ok(McSummary {
+        McSummary {
             mean,
             std_dev: var.sqrt(),
             // focal-lint: allow(panic-freedom) -- non-empty: `samples == 0` rejected at entry
@@ -445,7 +636,7 @@ impl MonteCarloNcf {
             p95: pct(0.95),
             prob_reduction: below as f64 / n as f64,
             samples: n,
-        })
+        }
     }
 
     /// Convenience: evaluates the deterministic center-point NCF alongside

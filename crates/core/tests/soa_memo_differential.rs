@@ -1,0 +1,187 @@
+//! Differential tests for the two perf layers added by the SoA/memo PR:
+//!
+//! 1. The vectorized (struct-of-arrays, lockstep-RNG) Monte-Carlo kernel
+//!    must be **bit-identical** to the pinned scalar oracle
+//!    ([`MonteCarloNcf::run_scalar_on`]) — same draw stream, same sorted
+//!    sample multiset, same summary — at every thread count and sample
+//!    count, including tails and sub-chunk runs.
+//! 2. The memoized sweep variants must return exactly what their
+//!    unmemoized twins return, on cold and warm caches alike.
+
+use focal_core::{
+    alpha_crossover_batch, alpha_crossover_batch_memo, classify_over_range_memo_on,
+    classify_over_range_on, DesignPoint, E2oRange, MonteCarloNcf, Scenario, SweepMemo,
+    MC_CHUNK_SAMPLES, MC_GROUP_CHUNKS,
+};
+use focal_engine::Engine;
+use proptest::prelude::*;
+
+fn arb_design() -> impl Strategy<Value = DesignPoint> {
+    (0.05f64..20.0, 0.05f64..20.0, 0.05f64..20.0, 0.05f64..20.0)
+        .prop_map(|(a, p, e, s)| DesignPoint::from_raw(a, p, e, s).expect("positive axes"))
+}
+
+/// Sample counts that exercise every kernel shape: sub-chunk runs, exact
+/// chunk/unit boundaries, tails just past a boundary, and the suite's own
+/// uneven configuration.
+fn interesting_samples() -> impl Strategy<Value = usize> {
+    (0usize..10, 1usize..2 * MC_CHUNK_SAMPLES).prop_map(|(pick, fuzz)| match pick {
+        0 => 1,
+        1 => 2,
+        2 => 7,
+        3 => MC_CHUNK_SAMPLES - 1,
+        4 => MC_CHUNK_SAMPLES,
+        5 => MC_CHUNK_SAMPLES + 1,
+        6 => 2 * MC_CHUNK_SAMPLES + 257,
+        7 => MC_GROUP_CHUNKS * MC_CHUNK_SAMPLES,
+        8 => MC_GROUP_CHUNKS * MC_CHUNK_SAMPLES + 511,
+        _ => fuzz,
+    })
+}
+
+fn sorted_bits(mut values: Vec<f64>) -> Vec<u64> {
+    values.sort_by(|a, b| a.total_cmp(b));
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// The SoA kernel and the scalar oracle draw the same stream: the
+    /// sorted sample multiset is bit-identical and the summaries are
+    /// equal, at 1, 2 and 7 threads (7 never divides the unit count, so
+    /// work stealing is exercised).
+    #[test]
+    fn soa_kernel_is_bit_identical_to_scalar_oracle(
+        x in arb_design(),
+        seed in any::<u64>(),
+        samples in interesting_samples(),
+        jitter in 0.0f64..0.5,
+    ) {
+        let y = DesignPoint::reference();
+        let mc = MonteCarloNcf::new(E2oRange::FULL, jitter, seed).expect("jitter in [0, 1)");
+        let serial = Engine::serial();
+        let oracle = mc
+            .run_scalar_on(&serial, &x, &y, Scenario::FixedWork, samples)
+            .expect("samples >= 1");
+        let oracle_bits = sorted_bits(
+            mc.sample_values_scalar_on(&serial, &x, &y, Scenario::FixedWork, samples)
+                .expect("samples >= 1"),
+        );
+        for threads in [1usize, 2, 7] {
+            let engine = Engine::with_threads(threads);
+            let soa = mc
+                .run_on(&engine, &x, &y, Scenario::FixedWork, samples)
+                .expect("samples >= 1");
+            prop_assert_eq!(&soa, &oracle, "summary diverges at {} threads", threads);
+            let soa_bits = sorted_bits(
+                mc.sample_values_on(&engine, &x, &y, Scenario::FixedWork, samples)
+                    .expect("samples >= 1"),
+            );
+            prop_assert_eq!(&soa_bits, &oracle_bits, "sample multiset diverges at {} threads", threads);
+        }
+    }
+
+    /// Memoized variants are pure caches: cold call, warm call and
+    /// unmemoized call all agree exactly.
+    #[test]
+    fn memo_variants_match_unmemoized_cold_and_warm(
+        x in arb_design(),
+        y in arb_design(),
+        seed in any::<u64>(),
+    ) {
+        let engine = Engine::serial();
+        let mut memo = SweepMemo::new();
+
+        let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, seed).expect("valid jitter");
+        let samples = 2 * MC_CHUNK_SAMPLES + 257;
+        let plain = mc.run_on(&engine, &x, &y, Scenario::FixedWork, samples).expect("runs");
+        let cold = mc
+            .run_memo_on(&engine, &x, &y, Scenario::FixedWork, samples, &mut memo)
+            .expect("runs");
+        let warm = mc
+            .run_memo_on(&engine, &x, &y, Scenario::FixedWork, samples, &mut memo)
+            .expect("runs");
+        prop_assert_eq!(&cold, &plain);
+        prop_assert_eq!(&warm, &plain);
+        prop_assert_eq!(memo.stats().mc.hits, 1);
+
+        let plain = classify_over_range_on(&engine, &x, &y, E2oRange::FULL, 31).expect("runs");
+        let cold =
+            classify_over_range_memo_on(&engine, &x, &y, E2oRange::FULL, 31, &mut memo)
+                .expect("runs");
+        let warm =
+            classify_over_range_memo_on(&engine, &x, &y, E2oRange::FULL, 31, &mut memo)
+                .expect("runs");
+        prop_assert_eq!(&cold, &plain);
+        prop_assert_eq!(&warm, &plain);
+
+        let pairs = [(x, y), (y, x), (x, y)];
+        for scenario in [Scenario::FixedWork, Scenario::FixedTime] {
+            let plain = alpha_crossover_batch(&engine, &pairs, scenario);
+            let cold = alpha_crossover_batch_memo(&engine, &pairs, scenario, &mut memo);
+            let warm = alpha_crossover_batch_memo(&engine, &pairs, scenario, &mut memo);
+            prop_assert_eq!(&cold, &plain);
+            prop_assert_eq!(&warm, &plain);
+        }
+    }
+
+    /// Overlapping α grids reuse cached points: a denser grid over the
+    /// same range only misses on the new points, and still matches the
+    /// unmemoized result.
+    #[test]
+    fn overlapping_grids_share_cached_points(x in arb_design(), y in arb_design()) {
+        let engine = Engine::serial();
+        let mut memo = SweepMemo::new();
+        classify_over_range_memo_on(&engine, &x, &y, E2oRange::FULL, 11, &mut memo)
+            .expect("runs");
+        let misses_after_coarse = memo.stats().classify.misses;
+        // The 21-point FULL grid contains every 11-point grid value.
+        let fine =
+            classify_over_range_memo_on(&engine, &x, &y, E2oRange::FULL, 21, &mut memo)
+                .expect("runs");
+        let plain = classify_over_range_on(&engine, &x, &y, E2oRange::FULL, 21).expect("runs");
+        prop_assert_eq!(&fine, &plain);
+        let stats = memo.stats().classify;
+        prop_assert!(stats.hits >= 11, "coarse grid points should all hit, got {:?}", stats);
+        prop_assert!(
+            stats.misses - misses_after_coarse <= 10,
+            "only the new fine-grid points may miss, got {:?}",
+            stats
+        );
+    }
+}
+
+/// `samples == 1`: one value is every order statistic, and the unbiased
+/// std-dev denominator `n - 1` must degrade to 0, not NaN.
+#[test]
+fn mc_summary_with_one_sample_collapses_all_percentiles() {
+    let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).expect("valid");
+    let y = DesignPoint::reference();
+    let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 9).expect("valid jitter");
+    let s = mc
+        .run_on(&Engine::serial(), &x, &y, Scenario::FixedWork, 1)
+        .expect("one sample is allowed");
+    assert_eq!(s.samples, 1);
+    assert_eq!(s.std_dev, 0.0);
+    for v in [s.min, s.max, s.p05, s.p50, s.p95] {
+        assert_eq!(v.to_bits(), s.mean.to_bits());
+    }
+    assert!(s.prob_reduction == 0.0 || s.prob_reduction == 1.0);
+}
+
+/// `samples == 2`: the nearest-rank index `round(p * (n-1))` puts p05 on
+/// the smaller value and both p50 and p95 on the larger.
+#[test]
+fn mc_summary_with_two_samples_uses_nearest_rank_percentiles() {
+    let x = DesignPoint::from_power_perf(0.7, 0.9, 1.1).expect("valid");
+    let y = DesignPoint::reference();
+    let mc = MonteCarloNcf::new(E2oRange::FULL, 0.1, 9).expect("valid jitter");
+    let s = mc
+        .run_on(&Engine::serial(), &x, &y, Scenario::FixedWork, 2)
+        .expect("two samples are allowed");
+    assert_eq!(s.samples, 2);
+    assert!(s.min <= s.max);
+    assert_eq!(s.p05.to_bits(), s.min.to_bits());
+    assert_eq!(s.p50.to_bits(), s.max.to_bits());
+    assert_eq!(s.p95.to_bits(), s.max.to_bits());
+    assert_eq!(s.mean.to_bits(), ((s.min + s.max) / 2.0).to_bits());
+}

@@ -293,6 +293,147 @@ impl Engine {
         Ok(out)
     }
 
+    /// Chunked map that writes results **directly into one preallocated
+    /// output buffer** instead of returning per-chunk `Vec`s for the
+    /// caller to concatenate — the zero-copy sibling of
+    /// [`Engine::try_par_chunk_map`] for kernels that produce a dense
+    /// `Vec<R>` of `total` items.
+    ///
+    /// The item space `0..total` is cut into chunks of `chunk_size`
+    /// (the last may be short), and chunks are handed to workers in
+    /// *work units* of `group` consecutive chunks: `f(c0, slice)`
+    /// receives the index of the unit's first chunk and the mutable
+    /// output slice covering items `c0 * chunk_size ..` for the whole
+    /// unit. Batch kernels use `group > 1` to process several chunk
+    /// streams in lockstep; `group == 1` degenerates to one chunk per
+    /// call. The output is always in logical item order — the unit
+    /// decomposition is invisible in the result, so the buffer is
+    /// identical at every thread count and every `group`ing for a
+    /// per-chunk-deterministic `f`.
+    ///
+    /// Fault semantics match [`Engine::try_par_chunk_map`] at *chunk*
+    /// granularity even though scheduling is per unit: before a unit's
+    /// kernel runs, every chunk in the unit is checked against armed
+    /// fault injections in ascending order, so an injected fault reports
+    /// its exact `chunk_index` / [`chunk_seed`]. A genuine panic in `f`
+    /// cannot be attributed more precisely than the unit that raised it
+    /// and is deterministically reported against the unit's first chunk
+    /// `c0`. Once a failure at chunk `i` is recorded, units whose first
+    /// chunk lies above the current lowest failure are skipped; the
+    /// lowest-indexed failure wins, as before. (One corner is coarser
+    /// than the per-chunk API: a genuine panic in an *earlier* chunk of
+    /// the same unit as a *later* injected fault reports the injected
+    /// chunk, because injection checks run before the unit's kernel.)
+    ///
+    /// `fill` initializes the buffer; on success every item has been
+    /// overwritten by `f` (units cover `0..total` exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ChunkError`] of the lowest failing chunk if `f`
+    /// panics in any unit or an armed fault plan targets a chunk.
+    pub fn try_par_chunk_map_into<R, F>(
+        &self,
+        seed: u64,
+        total: usize,
+        chunk_size: usize,
+        group: usize,
+        fill: R,
+        f: F,
+    ) -> Result<Vec<R>, ChunkError>
+    where
+        R: Clone + Send,
+        F: Fn(usize, &mut [R]) + Sync,
+    {
+        enum Outcome {
+            Done,
+            Poisoned(ChunkError),
+            Skipped,
+        }
+
+        let chunk_size = chunk_size.max(1);
+        let group = group.max(1);
+        let n_chunks = chunk_count(total, chunk_size);
+        let unit_size = chunk_size * group;
+        let n_units = chunk_count(total, unit_size);
+        let mut out = vec![fill; total];
+
+        let first_fail = AtomicUsize::new(usize::MAX);
+        // One mutable slice per unit, handed out exactly once. A Mutex per
+        // slot (taken once, never contended) lets disjoint &mut slices
+        // cross the Sync closure boundary without unsafe aliasing claims.
+        let slots: Vec<Mutex<Option<&mut [R]>>> = out
+            .chunks_mut(unit_size)
+            .map(|s| Mutex::new(Some(s)))
+            .collect();
+        let outcomes = self.schedule(n_units, |u| {
+            let c0 = u * group;
+            if c0 > first_fail.load(Ordering::Acquire) {
+                return Outcome::Skipped;
+            }
+            let c_end = (c0 + group).min(n_chunks);
+            // Ascending per-chunk injection check: exact chunk attribution.
+            for c in c0..c_end {
+                if let Some(payload) = fault::injected_chunk_fault(c) {
+                    first_fail.fetch_min(c, Ordering::AcqRel);
+                    return Outcome::Poisoned(ChunkError {
+                        chunk_index: c,
+                        chunk_seed: chunk_seed(seed, c),
+                        payload,
+                    });
+                }
+            }
+            let slice = slots
+                .get(u)
+                .and_then(|s| s.lock().unwrap_or_else(PoisonError::into_inner).take());
+            let Some(slice) = slice else {
+                // Unreachable (each unit is scheduled exactly once); report
+                // structurally rather than trusting the invariant blindly.
+                first_fail.fetch_min(c0, Ordering::AcqRel);
+                return Outcome::Poisoned(ChunkError {
+                    chunk_index: c0,
+                    chunk_seed: chunk_seed(seed, c0),
+                    payload: "output slot for unit already taken \
+                              (scheduler invariant violated)"
+                        .to_string(),
+                });
+            };
+            // AssertUnwindSafe: on unwind the whole output buffer is
+            // discarded and only the ChunkError escapes, so a partially
+            // written slice is never observed by the caller.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c0, slice))) {
+                Ok(()) => Outcome::Done,
+                Err(p) => {
+                    first_fail.fetch_min(c0, Ordering::AcqRel);
+                    Outcome::Poisoned(ChunkError {
+                        chunk_index: c0,
+                        chunk_seed: chunk_seed(seed, c0),
+                        payload: fault::payload_to_string(p.as_ref()),
+                    })
+                }
+            }
+        });
+        drop(slots);
+
+        for (u, o) in outcomes.into_iter().enumerate() {
+            match o {
+                Outcome::Done => {}
+                Outcome::Poisoned(e) => return Err(e),
+                Outcome::Skipped => {
+                    let c0 = u * group;
+                    return Err(ChunkError {
+                        chunk_index: c0,
+                        chunk_seed: chunk_seed(seed, c0),
+                        payload: "unit skipped without a recorded failure \
+                                  (scheduler invariant violated)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// The scheduling core: evaluates `f` over `0..n_chunks` and returns
     /// results in chunk-index order. `f` must not unwind (the public
     /// entry points wrap it in per-chunk isolation first).
@@ -797,6 +938,100 @@ mod tests {
             assert_eq!(err.chunk_index, 5, "threads={threads}");
             assert_eq!(err.chunk_seed, chunk_seed(9, 5), "threads={threads}");
         }
+    }
+
+    /// Reference kernel for the `_into` tests: item i gets `c * 1000 + k`
+    /// where `c` is its chunk and `k` its offset within the chunk.
+    fn fill_unit(chunk_size: usize, c0: usize, slice: &mut [usize]) {
+        for (j, v) in slice.iter_mut().enumerate() {
+            *v = (c0 + j / chunk_size) * 1000 + j % chunk_size;
+        }
+    }
+
+    #[test]
+    fn try_par_chunk_map_into_writes_logical_order_at_every_thread_count() {
+        // 10 chunks of 8 with a short tail, grouped 3 chunks per unit
+        // (last unit short too).
+        let total = 9 * 8 + 5;
+        let want: Vec<usize> = (0..total).map(|i| (i / 8) * 1000 + i % 8).collect();
+        for threads in [1, 2, 3, 7] {
+            let got = Engine::with_threads(threads)
+                .try_par_chunk_map_into(0, total, 8, 3, usize::MAX, |c0, s| fill_unit(8, c0, s))
+                .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_chunk_map_into_handles_degenerate_shapes() {
+        let e = Engine::with_threads(4);
+        // Empty workload: no units, empty output.
+        let empty = e
+            .try_par_chunk_map_into(0, 0, 8, 3, 0usize, |_, _| unreachable!())
+            .unwrap();
+        assert!(empty.is_empty());
+        // Single short chunk, group larger than the chunk count.
+        let got = e
+            .try_par_chunk_map_into(0, 5, 8, 4, 0usize, |c0, s| fill_unit(8, c0, s))
+            .unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_par_chunk_map_into_panic_reports_units_first_chunk() {
+        quiet_deliberate_panics();
+        // 12 chunks, group 4 → units {0..4}, {4..8}, {8..12}. A panic
+        // while unit 1 runs is attributed to its first chunk, 4.
+        for threads in [1, 2, 7] {
+            let err = Engine::with_threads(threads)
+                .try_par_chunk_map_into(9, 12 * 8, 8, 4, 0usize, |c0, s| {
+                    if c0 == 4 {
+                        panic!("{POISON} unit at {c0}");
+                    }
+                    fill_unit(8, c0, s);
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk_index, 4, "threads={threads}");
+            assert_eq!(err.chunk_seed, chunk_seed(9, 4), "threads={threads}");
+            assert!(err.payload.contains(POISON), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_chunk_map_into_injected_fault_names_exact_chunk_inside_unit() {
+        let _guard = crate::fault::tests_lock();
+        fault::arm(fault::FaultPlan::parse("panic@into-test:6").unwrap());
+        fault::enter_site("into-test");
+        // Chunk 6 sits in the middle of unit {4..8}: the injection check
+        // must attribute it to chunk 6, not the unit's first chunk 4.
+        let err = Engine::with_threads(3)
+            .try_par_chunk_map_into(7, 12 * 8, 8, 4, 0usize, |c0, s| fill_unit(8, c0, s))
+            .unwrap_err();
+        fault::leave_site();
+        fault::disarm();
+        assert_eq!(err.chunk_index, 6);
+        assert_eq!(err.chunk_seed, chunk_seed(7, 6));
+        assert!(err.payload.contains("injected fault: panic@into-test:6"));
+    }
+
+    #[test]
+    fn engine_is_reusable_after_a_poisoned_into_run() {
+        quiet_deliberate_panics();
+        let e = Engine::with_threads(4);
+        let err = e
+            .try_par_chunk_map_into(0, 16 * 4, 4, 2, 0usize, |c0, s| {
+                if c0 == 6 {
+                    panic!("{POISON} into");
+                }
+                fill_unit(4, c0, s);
+            })
+            .unwrap_err();
+        assert_eq!(err.chunk_index, 6);
+        let want: Vec<usize> = (0..16 * 4).map(|i| (i / 4) * 1000 + i % 4).collect();
+        let ok = e
+            .try_par_chunk_map_into(0, 16 * 4, 4, 2, 0usize, |c0, s| fill_unit(4, c0, s))
+            .unwrap();
+        assert_eq!(ok, want);
     }
 
     #[test]

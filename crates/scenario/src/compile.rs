@@ -14,7 +14,9 @@ use focal_core::ModelError;
 use focal_engine::Engine;
 use focal_studies::die_shrink::DieShrinkStudy;
 use focal_studies::microarch::MicroarchStudy;
-use focal_studies::robustness::{verdict_robustness_on, VerdictRobustness};
+use focal_studies::robustness::{
+    verdict_robustness_on, verdict_robustness_with, VerdictRobustness,
+};
 use focal_studies::wafer_figure::figure1_with;
 use focal_studies::{Figure, Finding};
 use focal_wafer::EmbodiedModel;
@@ -150,6 +152,33 @@ impl CompiledScenario {
                 jitter,
             } => {
                 let rows = verdict_robustness_on(engine, *jitter, *samples, *seed)?;
+                Ok(ScenarioOutput::Robustness(rows))
+            }
+            _ => self.evaluate(),
+        }
+    }
+
+    /// [`CompiledScenario::evaluate_on`] with a [`focal_core::SweepMemo`]:
+    /// robustness scenarios route their Monte-Carlo experiments through the
+    /// memo (so a twin of an already-run sweep is answered from the cache);
+    /// every other kind evaluates exactly as [`CompiledScenario::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledScenario::evaluate_on`].
+    pub fn evaluate_memo_on(
+        &self,
+        engine: &Engine,
+        memo: &mut focal_core::SweepMemo,
+    ) -> focal_core::Result<ScenarioOutput> {
+        match &self.canonical.spec {
+            StudySpec::Taxonomy {
+                samples,
+                seed,
+                jitter,
+            } => {
+                let rows =
+                    verdict_robustness_with(engine, *jitter, *samples, *seed, &mut Some(memo))?;
                 Ok(ScenarioOutput::Robustness(rows))
             }
             _ => self.evaluate(),
@@ -375,6 +404,41 @@ pub fn evaluate_all_on(
     for scenario in scenarios {
         let result = if is_robustness(scenario) {
             scenario.evaluate_on(engine)
+        } else {
+            fan_iter.next().ok_or(ModelError::Inconsistent {
+                constraint: "parallel fan returned fewer results than scenarios",
+            })?
+        };
+        out.push((scenario.id().to_string(), result));
+    }
+    Ok(out)
+}
+
+/// [`evaluate_all_on`] with a [`focal_core::SweepMemo`]: robustness
+/// scenarios run through [`CompiledScenario::evaluate_memo_on`] (strictly
+/// sequentially, since the memo is a single mutable table) while the
+/// non-robustness fan is unchanged. Output is element-wise identical to
+/// [`evaluate_all_on`].
+///
+/// # Errors
+///
+/// See [`evaluate_all_on`].
+pub fn evaluate_all_memo_on(
+    engine: &Engine,
+    scenarios: &[CompiledScenario],
+    memo: &mut focal_core::SweepMemo,
+) -> focal_core::Result<Vec<(String, focal_core::Result<ScenarioOutput>)>> {
+    let is_robustness =
+        |s: &CompiledScenario| matches!(s.canonical().spec, StudySpec::Taxonomy { .. });
+    let fan: Vec<&CompiledScenario> = scenarios.iter().filter(|s| !is_robustness(s)).collect();
+    let fan_results = engine
+        .try_par_map(0, &fan, |s| s.evaluate())
+        .map_err(ModelError::from)?;
+    let mut fan_iter = fan_results.into_iter();
+    let mut out = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        let result = if is_robustness(scenario) {
+            scenario.evaluate_memo_on(engine, memo)
         } else {
             fan_iter.next().ok_or(ModelError::Inconsistent {
                 constraint: "parallel fan returned fewer results than scenarios",

@@ -79,6 +79,26 @@ pub fn verdict_robustness_on(
     samples: usize,
     seed: u64,
 ) -> Result<Vec<VerdictRobustness>> {
+    let mut memo = None;
+    verdict_robustness_with(engine, ratio_jitter, samples, seed, &mut memo)
+}
+
+/// [`verdict_robustness_on`] with an optional [`focal_core::SweepMemo`]:
+/// every Monte-Carlo experiment is routed through
+/// [`MonteCarloNcf::run_memo_on`], so a second sweep with the same
+/// parameters (e.g. the scenario-DSL twin of the suite's robustness stage)
+/// is answered from the cache. `None` falls back to the unmemoized path.
+///
+/// # Errors
+///
+/// See [`verdict_robustness`].
+pub fn verdict_robustness_with(
+    engine: &focal_engine::Engine,
+    ratio_jitter: f64,
+    samples: usize,
+    seed: u64,
+    memo: &mut Option<&mut focal_core::SweepMemo>,
+) -> Result<Vec<VerdictRobustness>> {
     let rows = taxonomy()?;
     let reference = DesignPoint::reference();
     let mut out = Vec::new();
@@ -94,8 +114,16 @@ pub fn verdict_robustness_on(
             (E2oRange::OPERATIONAL_DOMINATED, row.paper_operational),
         ] {
             let mc = MonteCarloNcf::new(range, ratio_jitter, seed)?;
-            let fw = mc.run_on(engine, &x, &y, Scenario::FixedWork, samples)?;
-            let ft = mc.run_on(engine, &x, &y, Scenario::FixedTime, samples)?;
+            let (fw, ft) = match memo.as_deref_mut() {
+                Some(memo) => (
+                    mc.run_memo_on(engine, &x, &y, Scenario::FixedWork, samples, memo)?,
+                    mc.run_memo_on(engine, &x, &y, Scenario::FixedTime, samples, memo)?,
+                ),
+                None => (
+                    mc.run_on(engine, &x, &y, Scenario::FixedWork, samples)?,
+                    mc.run_on(engine, &x, &y, Scenario::FixedTime, samples)?,
+                ),
+            };
             let (expect_fw, expect_ft) = expectations(regime_verdict);
             worst_fw = worst_fw.min(agreement(&fw, expect_fw));
             worst_ft = worst_ft.min(agreement(&ft, expect_ft));
