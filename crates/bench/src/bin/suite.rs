@@ -102,26 +102,20 @@ fn main() {
     let report = run_suite_with_options(&engine, &options);
 
     if let Some(dir) = dump_dir {
-        // Hand-coded registry dumps and scenario dumps go to separate
-        // subdirectories, keyed by figure id and scenario id, so a DSL
-        // twin (same id as the figure it mirrors) can never clobber the
-        // hand-coded artifact it is compared against.
+        // Hand-coded registry dumps and scenario dumps go through the
+        // shared namespaced DumpDir (registry/, scenarios/ — serve/ is
+        // reserved for focal-serve transcripts), keyed by figure id and
+        // scenario id, so a DSL twin (same id as the figure it mirrors)
+        // can never clobber the hand-coded artifact it is compared
+        // against.
+        let dump = focal_bench::dump::DumpDir::new(dir);
         let skip_registry = options.scenarios_only && options.scenarios_dir.is_some();
         if !skip_registry {
-            let registry_dir = std::path::Path::new(dir).join("registry");
-            if let Err(e) = std::fs::create_dir_all(&registry_dir) {
-                eprintln!(
-                    "error: failed to create dump dir '{}': {e}",
-                    registry_dir.display()
-                );
-                std::process::exit(1);
-            }
             match focal_studies::all_figures_on(&engine) {
                 Ok(figures) => {
                     for fig in figures {
-                        let path = registry_dir.join(format!("{}.csv", fig.id));
-                        if let Err(e) = std::fs::write(&path, fig.to_csv()) {
-                            eprintln!("error: failed to write '{}': {e}", path.display());
+                        if let Err(e) = dump.write_registry(fig.id, &fig.to_csv()) {
+                            eprintln!("error: failed to dump figure '{}': {e}", fig.id);
                             std::process::exit(1);
                         }
                     }
@@ -133,14 +127,6 @@ fn main() {
             }
         }
         if let Some(scenarios_src) = &options.scenarios_dir {
-            let scenario_dir = std::path::Path::new(dir).join("scenarios");
-            if let Err(e) = std::fs::create_dir_all(&scenario_dir) {
-                eprintln!(
-                    "error: failed to create dump dir '{}': {e}",
-                    scenario_dir.display()
-                );
-                std::process::exit(1);
-            }
             match focal_scenario::load_dir(scenarios_src) {
                 Ok(scenarios) => {
                     for scenario in &scenarios {
@@ -155,9 +141,9 @@ fn main() {
                             focal_scenario::ScenarioOutput::Figure(_) => "csv",
                             _ => "txt",
                         };
-                        let path = scenario_dir.join(format!("{}.{ext}", scenario.id()));
-                        if let Err(e) = std::fs::write(&path, output.to_bytes()) {
-                            eprintln!("error: failed to write '{}': {e}", path.display());
+                        if let Err(e) = dump.write_scenario(scenario.id(), ext, &output.to_bytes())
+                        {
+                            eprintln!("error: failed to dump scenario '{}': {e}", scenario.id());
                             std::process::exit(1);
                         }
                     }

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dump;
 pub mod micro;
 pub mod suite;
 

@@ -207,10 +207,11 @@ impl SuiteReport {
             if let Some(stats) = &self.memo_stats {
                 let _ = writeln!(
                     out,
-                    "  \"memo\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+                    "  \"memo\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},",
                     stats.hits(),
                     stats.misses(),
-                    stats.entries()
+                    stats.entries(),
+                    stats.hit_rate()
                 );
             }
         }
@@ -271,10 +272,11 @@ impl SuiteReport {
         if let Some(stats) = &self.memo_stats {
             let _ = write!(
                 out,
-                "\n  sweep memo: {} hits, {} misses, {} entries",
+                "\n  sweep memo: {} hits, {} misses, {} entries ({:.1}% hit rate)",
                 stats.hits(),
                 stats.misses(),
-                stats.entries()
+                stats.entries(),
+                stats.hit_rate() * 100.0
             );
         }
         out

@@ -1,0 +1,64 @@
+//! Pins the `--memo` reporting contract at the binary level: the human
+//! summary (stderr) always carries the sweep-memo counters — including
+//! under `--no-timings` — while the `--no-timings` JSON (stdout) stays
+//! memo-agnostic, byte-identical with and without `--memo`.
+
+use std::process::Command;
+
+fn run_suite(args: &[&str]) -> (Vec<u8>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_suite"))
+        .args(args)
+        .env("FOCAL_THREADS", "2")
+        .output()
+        .expect("suite binary runs");
+    assert!(
+        out.status.success(),
+        "suite {args:?} exited {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        out.stdout,
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn memo_counters_reach_the_no_timings_human_summary() {
+    let (_, stderr) = run_suite(&["--memo", "--no-timings"]);
+    let memo_line = stderr
+        .lines()
+        .find(|l| l.contains("sweep memo:"))
+        .unwrap_or_else(|| panic!("no sweep memo line in stderr:\n{stderr}"));
+    for piece in ["hits", "misses", "entries", "% hit rate)"] {
+        assert!(memo_line.contains(piece), "{memo_line}");
+    }
+}
+
+#[test]
+fn no_timings_json_is_memo_agnostic() {
+    let (plain, plain_err) = run_suite(&["--no-timings"]);
+    let (memo, _) = run_suite(&["--memo", "--no-timings"]);
+    assert_eq!(
+        plain, memo,
+        "--no-timings JSON must be byte-identical with and without --memo"
+    );
+    assert!(!String::from_utf8_lossy(&plain).contains("\"memo\""));
+    assert!(
+        !plain_err.contains("sweep memo:"),
+        "no memo line without --memo:\n{plain_err}"
+    );
+}
+
+#[test]
+fn timed_json_memo_block_carries_the_hit_rate() {
+    let (stdout, _) = run_suite(&["--memo"]);
+    let json = String::from_utf8_lossy(&stdout);
+    let memo_line = json
+        .lines()
+        .find(|l| l.contains("\"memo\""))
+        .unwrap_or_else(|| panic!("no memo block in timed JSON:\n{json}"));
+    for key in ["\"hits\"", "\"misses\"", "\"entries\"", "\"hit_rate\""] {
+        assert!(memo_line.contains(key), "{memo_line}");
+    }
+}

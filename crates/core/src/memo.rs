@@ -54,6 +54,22 @@ pub struct MemoStats {
     pub entries: usize,
 }
 
+impl MemoStats {
+    /// Fraction of lookups answered from the table, in `0.0..=1.0`.
+    ///
+    /// Defined as `0.0` when no lookups have happened, so callers can
+    /// print it unconditionally.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Counters for every table of a [`SweepMemo`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepMemoStats {
@@ -82,6 +98,18 @@ impl SweepMemoStats {
     #[must_use]
     pub fn entries(&self) -> usize {
         self.classify.entries + self.crossover.entries + self.mc.entries
+    }
+
+    /// Fraction of all lookups answered from any table, in `0.0..=1.0`
+    /// (`0.0` when no lookups have happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
     }
 }
 
@@ -496,5 +524,18 @@ mod tests {
         assert_eq!(s.hits(), 1);
         assert_eq!(s.misses(), 1);
         assert_eq!(s.entries(), 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_lookups() {
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+        assert_eq!(SweepMemoStats::default().hit_rate(), 0.0);
+        let one_sided = MemoStats {
+            hits: 3,
+            misses: 0,
+            entries: 3,
+        };
+        assert_eq!(one_sided.hit_rate(), 1.0);
     }
 }

@@ -576,6 +576,70 @@ impl Engine {
         Ok(out)
     }
 
+    /// [`Engine::try_par_map`] with **per-item** fault isolation: every
+    /// item runs inside its own [`std::panic::catch_unwind`], so a
+    /// panicking item poisons *only its own slot* instead of the whole
+    /// map. The serving layer uses this so one poisoned query in a
+    /// coalesced batch degrades only itself.
+    ///
+    /// The returned vector is in item order; a failing item's slot holds
+    /// a [`ChunkError`] whose `chunk_index` is the **item index** (and
+    /// whose seed is [`chunk_seed`]`(seed, item_index)`), which makes
+    /// per-item diagnostics thread-count invariant — the same item fails
+    /// with the same error at `FOCAL_THREADS=1` and `=64`. Chunk geometry
+    /// and merge order are those of [`Engine::try_par_map`].
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` fails only when an armed
+    /// [`crate::fault::FaultPlan`] targets a chunk of this call (genuine
+    /// panics never escape the per-item isolation); the error names the
+    /// lowest injected chunk, exactly like [`Engine::try_par_chunk_map`].
+    pub fn try_par_map_isolated<T, R, F>(
+        &self,
+        seed: u64,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<Result<R, ChunkError>>, ChunkError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let chunk_size = items.len().div_ceil(PAR_MAP_CHUNKS).max(1);
+        let n_chunks = chunk_count(items.len(), chunk_size);
+        let chunks: Vec<Vec<Result<R, ChunkError>>> =
+            self.try_par_chunk_map(seed, n_chunks, |c| {
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                items
+                    .get(lo..hi)
+                    .unwrap_or_default()
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, item)| {
+                        // AssertUnwindSafe: a poisoned item contributes only
+                        // its ChunkError; its partial state is never observed.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(
+                            |p| {
+                                let item_index = lo + offset;
+                                ChunkError {
+                                    chunk_index: item_index,
+                                    chunk_seed: chunk_seed(seed, item_index),
+                                    payload: fault::payload_to_string(p.as_ref()),
+                                }
+                            },
+                        )
+                    })
+                    .collect()
+            })?;
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+
     /// Chunked deterministic reduction: folds each chunk of `chunk_size`
     /// items with `fold` (starting from `init()`), then merges the chunk
     /// accumulators **in chunk order** with `merge`.
@@ -910,6 +974,50 @@ mod tests {
             let got = Engine::with_threads(threads)
                 .try_par_map(0, &items, |x| x + 1)
                 .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolated_confines_panic_to_its_item() {
+        quiet_deliberate_panics();
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 2, 4, 7] {
+            let slots = Engine::with_threads(threads)
+                .try_par_map_isolated(5, &items, |&x| {
+                    if x == 123 {
+                        panic!("{POISON} item {x}");
+                    }
+                    x * 2
+                })
+                .unwrap();
+            assert_eq!(slots.len(), items.len(), "threads={threads}");
+            for (i, slot) in slots.iter().enumerate() {
+                if i == 123 {
+                    let err = slot.as_ref().unwrap_err();
+                    // The error's chunk_index is the *item* index, and its
+                    // seed is derived from it — both thread-count-invariant.
+                    assert_eq!(err.chunk_index, 123, "threads={threads}");
+                    assert_eq!(err.chunk_seed, chunk_seed(5, 123), "threads={threads}");
+                    assert!(err.payload.contains("item 123"), "threads={threads}");
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolated_all_ok_matches_par_map() {
+        let items: Vec<i64> = (0..500).collect();
+        let want: Vec<i64> = items.iter().map(|x| x * 7).collect();
+        for threads in [1, 3, 8] {
+            let got: Vec<i64> = Engine::with_threads(threads)
+                .try_par_map_isolated(0, &items, |x| x * 7)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
             assert_eq!(got, want, "threads={threads}");
         }
     }

@@ -26,9 +26,10 @@ pub mod units;
 /// Crates whose non-test code must be panic-free and unit-hygienic:
 /// the first-order model itself, where a silent panic or a unit mix-up
 /// corrupts every downstream figure, plus the parallel engine that every
-/// model evaluation now runs through.
+/// model evaluation now runs through, and the serving layer that exposes
+/// both to untrusted request streams.
 pub const MODEL_CRATES: &[&str] = &[
-    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "scenario",
+    "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "scenario", "serve",
 ];
 
 /// Crates whose non-test code feeds the byte-diffed digests: the model
@@ -36,7 +37,7 @@ pub const MODEL_CRATES: &[&str] = &[
 /// records from them. Determinism rules run here.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "core", "wafer", "perf", "cache", "uarch", "scaling", "act", "engine", "studies", "report",
-    "bench", "scenario",
+    "bench", "scenario", "serve",
 ];
 
 /// Whether `path` (repo-relative, `/`-separated) is non-test source of a

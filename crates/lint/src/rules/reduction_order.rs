@@ -24,6 +24,7 @@ use crate::symbols::{matching_paren, SymbolTable};
 const BLESSED_ENGINE_API: &[&str] = &[
     "par_map",
     "try_par_map",
+    "try_par_map_isolated",
     "par_chunk_map",
     "try_par_chunk_map",
     "par_reduce",

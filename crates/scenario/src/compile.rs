@@ -115,6 +115,17 @@ impl CompiledScenario {
         }
     }
 
+    /// The Monte-Carlo seed this scenario evaluates under, when it has
+    /// one (robustness/taxonomy studies). Deterministic scenarios return
+    /// `None`: their outputs are pure functions of the canonical spec.
+    #[must_use]
+    pub fn mc_seed(&self) -> Option<u64> {
+        match self.canonical.spec {
+            StudySpec::Taxonomy { seed, .. } => Some(seed),
+            _ => None,
+        }
+    }
+
     /// Evaluates the scenario serially. Robustness scenarios need an
     /// engine — use [`CompiledScenario::evaluate_on`].
     ///

@@ -1,0 +1,391 @@
+//! `focal-loadgen` — replays a scenario corpus against `focal-serve`
+//! and reports throughput + latency percentiles as BENCH.json records.
+//!
+//! ```text
+//! focal-loadgen --addr <host:port> | --addr-file <path>
+//!               [--corpus <dir>]     scenario TOML dir (default data/scenarios)
+//!               [--repeat <k>]       warm passes over the corpus (default 20)
+//!               [--window <n>]       pipelined in-flight requests (default 64)
+//!               [--rate <r>]         target requests/sec, 0 = unthrottled
+//!               [--smoke]            small fixed workload for CI
+//!               [--out <path>]       write BENCH.json here (default stdout)
+//!               [--check-speedup <x>]    fail unless warm ≥ x· cold throughput
+//!               [--min-throughput <t>]   fail unless warm ≥ t evals/sec
+//! focal-loadgen --emit <passes> [--corpus <dir>]   print request NDJSON, no server
+//! ```
+//!
+//! The run is two-phase: pass 0 sends every corpus scenario once (all
+//! cache misses — the *cold* measurement), then `--repeat` warm passes
+//! replay the identical payloads (text-level cache hits). Request ids
+//! are `p<pass>-r<seq>`, so `--emit` output is reproducible and serve
+//! responses to it can be byte-diffed across server configurations.
+//!
+//! Records: `serve/cold` and `serve/warm` (ns per evaluation, `iters`
+//! = request count) plus `serve/latency/p50|p95|p99` over the warm
+//! per-request round-trip times. `--check-speedup`/`--min-throughput`
+//! turn the records into CI gates.
+
+use focal_bench::micro::{to_bench_json, BenchRecord};
+use focal_serve::detect_git_rev;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: focal-loadgen (--addr <host:port> | --addr-file <path> | --emit <passes>) \
+         [--corpus <dir>] [--repeat <k>] [--window <n>] [--rate <r>] [--smoke] \
+         [--out <path>] [--check-speedup <x>] [--min-throughput <t>]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("focal-loadgen: {msg}");
+    std::process::exit(1);
+}
+
+/// Loads every `*.toml` under `dir` (sorted by filename) as raw
+/// request payload text.
+fn load_corpus(dir: &str) -> Vec<String> {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+            .collect(),
+        Err(e) => fail(&format!("cannot read corpus dir '{dir}': {e}")),
+    };
+    paths.sort();
+    let mut corpus = Vec::with_capacity(paths.len());
+    for path in paths {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => corpus.push(text),
+            Err(e) => fail(&format!("cannot read '{}': {e}", path.display())),
+        }
+    }
+    if corpus.is_empty() {
+        fail(&format!("corpus dir '{dir}' holds no .toml scenarios"));
+    }
+    corpus
+}
+
+/// Renders the request line for corpus item `seq` of pass `pass`.
+fn request_line(pass: usize, seq: usize, scenario: &str) -> String {
+    format!(
+        "{{\"id\":\"p{pass}-r{seq}\",\"scenario\":\"{}\"}}",
+        focal_serve::json::escape(scenario)
+    )
+}
+
+/// One measured pass over the corpus: sends `lines` with up to
+/// `window` requests in flight, returns (elapsed, per-request
+/// round-trip latencies).
+fn run_pass(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut std::io::BufWriter<TcpStream>,
+    lines: &[String],
+    window: usize,
+    rate: f64,
+) -> (Duration, Vec<u64>) {
+    let started = Instant::now();
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(lines.len());
+    let mut latencies: Vec<u64> = Vec::with_capacity(lines.len());
+    let mut next_recv = 0usize;
+    let pace = if rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / rate))
+    } else {
+        None
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(gap) = pace {
+            let due = started + gap.saturating_mul(i as u32);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        sent_at.push(Instant::now());
+        if writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            fail("server closed the connection mid-pass");
+        }
+        // Keep at most `window` requests in flight; push buffered
+        // sends onto the wire before blocking on a response.
+        while i + 1 - next_recv >= window {
+            if writer.flush().is_err() {
+                fail("server closed the connection mid-pass");
+            }
+            latencies.push(recv_one(reader, &sent_at, next_recv));
+            next_recv += 1;
+        }
+    }
+    if writer.flush().is_err() {
+        fail("server closed the connection at flush");
+    }
+    while next_recv < lines.len() {
+        latencies.push(recv_one(reader, &sent_at, next_recv));
+        next_recv += 1;
+    }
+    (started.elapsed(), latencies)
+}
+
+/// Receives one response line and returns the round-trip nanoseconds
+/// for request `idx`. Responses arrive in request order (the protocol
+/// guarantees it), so pairing is positional.
+fn recv_one(reader: &mut BufReader<TcpStream>, sent_at: &[Instant], idx: usize) -> u64 {
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => fail("server closed the connection before all responses arrived"),
+        Ok(_) => {}
+        Err(e) => fail(&format!("read failed: {e}")),
+    }
+    if response.contains("\"ok\":false") {
+        fail(&format!(
+            "server returned an error response: {}",
+            response.trim()
+        ));
+    }
+    let elapsed = sent_at
+        .get(idx)
+        .map(|t| t.elapsed())
+        .unwrap_or(Duration::ZERO);
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nearest-rank percentile over sorted latencies.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() - 1) * pct / 100;
+    sorted.get(rank).copied().unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut corpus_dir = "data/scenarios".to_string();
+    let mut repeat: usize = 20;
+    let mut window: usize = 64;
+    let mut rate: f64 = 0.0;
+    let mut out: Option<String> = None;
+    let mut check_speedup: Option<f64> = None;
+    let mut min_throughput: Option<f64> = None;
+    let mut emit: Option<usize> = None;
+
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value()),
+            "--addr-file" => addr_file = Some(value()),
+            "--corpus" => corpus_dir = value(),
+            "--repeat" => match value().parse() {
+                Ok(n) => repeat = n,
+                Err(_) => usage(),
+            },
+            "--window" => match value().parse() {
+                Ok(n) if n > 0 => window = n,
+                _ => usage(),
+            },
+            "--rate" => match value().parse() {
+                Ok(r) => rate = r,
+                Err(_) => usage(),
+            },
+            "--smoke" => {
+                repeat = 10;
+                window = 32;
+            }
+            "--out" => out = Some(value()),
+            "--check-speedup" => match value().parse() {
+                Ok(x) => check_speedup = Some(x),
+                Err(_) => usage(),
+            },
+            "--min-throughput" => match value().parse() {
+                Ok(t) => min_throughput = Some(t),
+                Err(_) => usage(),
+            },
+            "--emit" => match value().parse() {
+                Ok(n) => emit = Some(n),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let corpus = load_corpus(&corpus_dir);
+
+    // --emit: print the request stream and exit (feeds `focal-serve
+    // --stdin` in the CI byte-diff job; ids are deterministic).
+    if let Some(passes) = emit {
+        let stdout = std::io::stdout();
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        for pass in 0..passes {
+            for (seq, scenario) in corpus.iter().enumerate() {
+                let line = request_line(pass, seq, scenario);
+                if writeln!(w, "{line}").is_err() {
+                    fail("stdout write failed");
+                }
+            }
+        }
+        return;
+    }
+
+    let addr = match (addr, addr_file) {
+        (Some(a), _) => a,
+        // The server writes its ephemeral port only once it is
+        // listening, so a freshly launched smoke job races us here —
+        // poll briefly instead of failing on the first read.
+        (None, Some(path)) => {
+            let mut found: Option<String> = None;
+            for _ in 0..500 {
+                match std::fs::read_to_string(&path) {
+                    Ok(text) if !text.trim().is_empty() => {
+                        found = Some(text.trim().to_string());
+                        break;
+                    }
+                    _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+                }
+            }
+            match found {
+                Some(a) => a,
+                None => fail(&format!("addr file '{path}' never appeared")),
+            }
+        }
+        (None, None) => usage(),
+    };
+
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    // Nagle + delayed ACK would serialize the pipelined windows into
+    // 40 ms round trips; this is a latency benchmark, so turn it off.
+    if let Err(e) = stream.set_nodelay(true) {
+        fail(&format!("cannot set TCP_NODELAY: {e}"));
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => std::io::BufWriter::new(w),
+        Err(e) => fail(&format!("cannot clone stream: {e}")),
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Pass 0: cold (every scenario is a cache miss on a fresh
+    // connection). Passes 1..=repeat: warm (byte-identical payloads).
+    let cold_lines: Vec<String> = corpus
+        .iter()
+        .enumerate()
+        .map(|(seq, s)| request_line(0, seq, s))
+        .collect();
+    let (cold_elapsed, _) = run_pass(&mut reader, &mut writer, &cold_lines, window, rate);
+
+    // Warm passes are measured individually and the gate uses the BEST
+    // pass: a single scheduler hiccup inside one pass must not fail a
+    // CI floor that the serving path genuinely clears. Latency
+    // percentiles still aggregate every warm round trip, so the tail
+    // stays honest.
+    let mut warm_latencies: Vec<u64> = Vec::with_capacity(repeat * corpus.len());
+    let mut best_warm: Option<Duration> = None;
+    let mut warm_total: u64 = 0;
+    for pass in 1..=repeat {
+        let pass_lines: Vec<String> = corpus
+            .iter()
+            .enumerate()
+            .map(|(seq, s)| request_line(pass, seq, s))
+            .collect();
+        let (elapsed, latencies) = run_pass(&mut reader, &mut writer, &pass_lines, window, rate);
+        warm_latencies.extend(latencies);
+        warm_total += pass_lines.len() as u64;
+        if best_warm.map_or(true, |best| elapsed < best) {
+            best_warm = Some(elapsed);
+        }
+    }
+    warm_latencies.sort_unstable();
+
+    let git_rev = detect_git_rev();
+    let threads = focal_engine::Engine::from_env().threads();
+    let cold_n = cold_lines.len() as f64;
+    let cold_ns = cold_elapsed.as_nanos() as f64 / cold_n;
+    let warm_ns = best_warm.map_or(0.0, |best| best.as_nanos() as f64 / cold_n.max(1.0));
+    let record = |kernel: &str, ns_per_op: f64, iters: u64| BenchRecord {
+        kernel: kernel.to_string(),
+        ns_per_op,
+        iters,
+        threads,
+        git_rev: git_rev.clone(),
+    };
+    let records = vec![
+        record("serve/cold", cold_ns, cold_lines.len() as u64),
+        record("serve/warm", warm_ns, warm_total),
+        record(
+            "serve/latency/p50",
+            percentile(&warm_latencies, 50) as f64,
+            warm_total,
+        ),
+        record(
+            "serve/latency/p95",
+            percentile(&warm_latencies, 95) as f64,
+            warm_total,
+        ),
+        record(
+            "serve/latency/p99",
+            percentile(&warm_latencies, 99) as f64,
+            warm_total,
+        ),
+    ];
+
+    let warm_throughput = if warm_ns > 0.0 { 1e9 / warm_ns } else { 0.0 };
+    let speedup = if warm_ns > 0.0 {
+        cold_ns / warm_ns
+    } else {
+        0.0
+    };
+    eprintln!(
+        "focal-loadgen: cold {:.0} ns/eval ({} evals), warm {:.0} ns/eval best-of-{repeat} \
+         ({} evals, {:.0} evals/sec, {speedup:.1}x cold), p50/p95/p99 {}/{}/{} ns",
+        cold_ns,
+        cold_lines.len(),
+        warm_ns,
+        warm_total,
+        warm_throughput,
+        percentile(&warm_latencies, 50),
+        percentile(&warm_latencies, 95),
+        percentile(&warm_latencies, 99),
+    );
+
+    let json = to_bench_json(&records);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                fail(&format!("cannot write '{path}': {e}"));
+            }
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(floor) = check_speedup {
+        if speedup < floor {
+            fail(&format!(
+                "warm-cache speedup {speedup:.2}x is below the {floor:.2}x floor"
+            ));
+        }
+    }
+    if let Some(floor) = min_throughput {
+        if warm_throughput < floor {
+            fail(&format!(
+                "warm throughput {warm_throughput:.0} evals/sec is below the {floor:.0} floor"
+            ));
+        }
+    }
+}

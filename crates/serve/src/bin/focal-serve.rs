@@ -1,0 +1,107 @@
+//! `focal-serve` — the carbon-query server binary.
+//!
+//! ```text
+//! focal-serve [--stdin]                      serve stdin → stdout (default)
+//! focal-serve --tcp <addr>                   serve TCP (127.0.0.1:0 = free port)
+//!             [--port-file <path>]           write the bound address here
+//!             [--max-conns <n>]              exit after n connections (0 = forever)
+//! common:     [--no-cache]                   disable the evaluation cache + memo
+//!             [--dump-dir <dir>]             also write serve/<request-id>.json
+//!             [--threads <n>]                engine threads (default: FOCAL_THREADS)
+//! ```
+//!
+//! Exit status: 0 on clean shutdown (stdin EOF or `--max-conns`
+//! reached), 1 on an I/O failure, 2 on a usage error. Stats go to
+//! stderr only; stdout carries nothing but response lines.
+
+use focal_bench::dump::DumpDir;
+use focal_engine::Engine;
+use focal_serve::{serve_stream, serve_tcp, ServeCore, ServeOptions, TcpOptions};
+use std::io::BufReader;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: focal-serve [--stdin | --tcp <addr>] [--port-file <path>] \
+         [--max-conns <n>] [--no-cache] [--dump-dir <dir>] [--threads <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tcp_addr: Option<String> = None;
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut max_conns: usize = 0;
+    let mut opts = ServeOptions::from_env();
+
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
+            "--stdin" => {}
+            "--tcp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => tcp_addr = Some(addr.clone()),
+                    None => usage(),
+                }
+            }
+            "--port-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => port_file = Some(path.into()),
+                    None => usage(),
+                }
+            }
+            "--max-conns" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => max_conns = n,
+                    None => usage(),
+                }
+            }
+            "--no-cache" => opts.cache = false,
+            "--dump-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.dump_dir = Some(DumpDir::new(dir)),
+                    None => usage(),
+                }
+            }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => opts.engine = Engine::with_threads(n),
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let result = match tcp_addr {
+        Some(addr) => serve_tcp(
+            &TcpOptions {
+                addr,
+                port_file,
+                max_conns,
+            },
+            &opts,
+        ),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = BufReader::new(stdin.lock());
+            let mut writer = std::io::BufWriter::new(stdout.lock());
+            let mut core = ServeCore::new(opts);
+            let r = serve_stream(&mut reader, &mut writer, &mut core);
+            eprintln!("{}", core.stats_line());
+            r
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("focal-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,438 @@
+//! The serve wire protocol: newline-delimited JSON requests in,
+//! newline-delimited JSON responses out.
+//!
+//! # Grammar
+//!
+//! One JSON object per input line. Blank lines are ignored. Two
+//! envelope shapes are accepted:
+//!
+//! ```text
+//! request  := {"id": string, "scenario": string, "include_output"?: bool}
+//! batch    := {"batch": [request, ...]}            (at most MAX_BATCH)
+//! ```
+//!
+//! `scenario` carries the full `focal-scenario` TOML study text — the
+//! same schema `data/scenarios/*.toml` uses — as a JSON string. Every
+//! response is one JSON object on one line, in request order:
+//!
+//! ```text
+//! ok   := {"id": string, "ok": true, "scenario_id": string,
+//!          "kind": "figure"|"finding"|"robustness", "digest": string,
+//!          "provenance": {"scenario_digest": string, "seed": int,
+//!                         "git_rev": string},
+//!          "output"?: string}
+//! err  := {"id": string|null, "ok": false,
+//!          "error": {"line": int, "message": string, "key"?: string}}
+//! ```
+//!
+//! `error.line` is the 1-based input line of the offending request, so
+//! a client replaying a corpus can point at the bad line; scenario
+//! compile errors additionally carry the offending TOML key. Envelope
+//! errors (malformed JSON, unknown keys, an oversized batch) fail the
+//! whole line with `id: null` unless the id was parseable; request
+//! errors (bad scenario text, evaluation failure) fail only their own
+//! request. A response line never depends on how requests were
+//! coalesced into evaluation batches, which is what makes serve output
+//! byte-diffable across `FOCAL_THREADS` and cache settings.
+
+use crate::json::{escape, JsonValue};
+
+/// Maximum requests accepted inside one explicit `{"batch": [...]}`
+/// envelope. Protects the per-line parse from unbounded allocation;
+/// clients with more work send more lines (the server coalesces
+/// adjacent lines into engine fan-outs on its own).
+pub const MAX_BATCH: usize = 256;
+
+/// Maximum accepted request-line length in bytes (1 MiB). A line
+/// longer than this fails with a structured error instead of growing
+/// without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One parsed scenario query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: String,
+    /// Scenario DSL (TOML) source text.
+    pub scenario: String,
+    /// Whether to embed the rendered output text in the response
+    /// (defaults to `false`: provenance and digest only).
+    pub include_output: bool,
+}
+
+/// A per-request failure that still produces a response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The request id when it was parseable, else `None` (rendered as
+    /// JSON `null`).
+    pub id: Option<String>,
+    /// 1-based input line the request arrived on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// The offending key, when the error is about one.
+    pub key: Option<String>,
+}
+
+impl RequestError {
+    fn envelope(line: usize, message: impl Into<String>) -> RequestError {
+        RequestError {
+            id: None,
+            line,
+            message: message.into(),
+            key: None,
+        }
+    }
+}
+
+/// The parse outcome for one request slot: a query to evaluate or an
+/// error response to emit in its place.
+pub type ParsedRequest = Result<Request, RequestError>;
+
+/// Envelope keys accepted on a single request object.
+const REQUEST_KEYS: &[&str] = &["id", "scenario", "include_output"];
+
+/// Parses one input line into its request slots.
+///
+/// A single-request line yields one slot; a `{"batch": [...]}` line
+/// yields one slot per element. Envelope-level failures (malformed
+/// JSON, wrong shape, unknown envelope key, oversized batch) yield a
+/// single error slot for the whole line. `line_no` is the 1-based
+/// input line number used in error responses.
+#[must_use]
+pub fn parse_line(text: &str, line_no: usize) -> Vec<ParsedRequest> {
+    if text.len() > MAX_LINE_BYTES {
+        return vec![Err(RequestError::envelope(
+            line_no,
+            format!(
+                "request line too long: {} bytes (limit {MAX_LINE_BYTES})",
+                text.len()
+            ),
+        ))];
+    }
+    let value = match JsonValue::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return vec![Err(RequestError::envelope(
+                line_no,
+                format!("malformed JSON: {e}"),
+            ))]
+        }
+    };
+    let Some(pairs) = value.as_object() else {
+        return vec![Err(RequestError::envelope(
+            line_no,
+            "request line must be a JSON object",
+        ))];
+    };
+    if pairs.iter().any(|(k, _)| k == "batch") {
+        return parse_batch(&value, pairs, line_no);
+    }
+    vec![parse_request(&value, line_no)]
+}
+
+fn parse_batch(
+    value: &JsonValue,
+    pairs: &[(String, JsonValue)],
+    line_no: usize,
+) -> Vec<ParsedRequest> {
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "batch") {
+        return vec![Err(RequestError {
+            key: Some(key.clone()),
+            ..RequestError::envelope(line_no, format!("unknown key `{key}` in batch envelope"))
+        })];
+    }
+    let Some(items) = value.get("batch").and_then(JsonValue::as_array) else {
+        return vec![Err(RequestError::envelope(
+            line_no,
+            "`batch` must be an array of request objects",
+        ))];
+    };
+    if items.len() > MAX_BATCH {
+        return vec![Err(RequestError::envelope(
+            line_no,
+            format!(
+                "batch too large: {} requests (limit {MAX_BATCH})",
+                items.len()
+            ),
+        ))];
+    }
+    // Duplicate-id detection is scoped to the explicit batch envelope:
+    // ids on *different* lines may repeat (the response order already
+    // disambiguates them), and cross-line checks would make error
+    // behavior depend on how lines were coalesced.
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let slot = match parse_request(item, line_no) {
+            Ok(req) if seen.iter().any(|s| s == &req.id) => Err(RequestError {
+                id: Some(req.id.clone()),
+                line: line_no,
+                message: format!("duplicate request id `{}` in batch", req.id),
+                key: Some("id".to_string()),
+            }),
+            Ok(req) => {
+                seen.push(req.id.clone());
+                Ok(req)
+            }
+            Err(e) => Err(e),
+        };
+        out.push(slot);
+    }
+    out
+}
+
+fn parse_request(value: &JsonValue, line_no: usize) -> ParsedRequest {
+    let Some(pairs) = value.as_object() else {
+        return Err(RequestError::envelope(
+            line_no,
+            "request must be a JSON object",
+        ));
+    };
+    // The id is recovered first so later errors can carry it.
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let fail = |message: String, key: Option<&str>| {
+        Err(RequestError {
+            id: id.clone(),
+            line: line_no,
+            message,
+            key: key.map(str::to_string),
+        })
+    };
+    if let Some((key, _)) = pairs
+        .iter()
+        .find(|(k, _)| !REQUEST_KEYS.contains(&k.as_str()))
+    {
+        return fail(format!("unknown key `{key}` in request"), Some(key));
+    }
+    let Some(id) = id.clone() else {
+        return fail("missing or non-string `id`".to_string(), Some("id"));
+    };
+    let Some(scenario) = value.get("scenario").and_then(JsonValue::as_str) else {
+        return fail(
+            "missing or non-string `scenario`".to_string(),
+            Some("scenario"),
+        );
+    };
+    let include_output = match value.get("include_output") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => {
+                return fail(
+                    "`include_output` must be a boolean".to_string(),
+                    Some("include_output"),
+                )
+            }
+        },
+    };
+    Ok(Request {
+        id,
+        scenario: scenario.to_string(),
+        include_output,
+    })
+}
+
+/// Provenance attached to every successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// FNV-64 digest of the canonical scenario text, `{:016x}`.
+    pub scenario_digest: u64,
+    /// The Monte-Carlo seed the evaluation ran under (0 for fully
+    /// deterministic scenario kinds, which have no sampling).
+    pub seed: u64,
+    /// `git rev-parse --short HEAD` of the serving binary's tree, or
+    /// `"unknown"` outside a git checkout.
+    pub git_rev: String,
+}
+
+/// Renders a success response line (no trailing newline).
+///
+/// Field order is fixed; a cache hit re-renders from the cached
+/// evaluation, so hit and miss bytes are identical by construction.
+#[must_use]
+pub fn render_ok(
+    id: &str,
+    scenario_id: &str,
+    kind: &str,
+    digest: &str,
+    provenance: &Provenance,
+    output: Option<&str>,
+) -> String {
+    let mut line = format!(
+        "{{\"id\":\"{}\",\"ok\":true,\"scenario_id\":\"{}\",\"kind\":\"{}\",\"digest\":\"{}\",\
+         \"provenance\":{{\"scenario_digest\":\"{:016x}\",\"seed\":{},\"git_rev\":\"{}\"}}",
+        escape(id),
+        escape(scenario_id),
+        escape(kind),
+        escape(digest),
+        provenance.scenario_digest,
+        provenance.seed,
+        escape(&provenance.git_rev),
+    );
+    if let Some(text) = output {
+        line.push_str(&format!(",\"output\":\"{}\"", escape(text)));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders an error response line (no trailing newline).
+#[must_use]
+pub fn render_err(error: &RequestError) -> String {
+    let id = match &error.id {
+        Some(id) => format!("\"{}\"", escape(id)),
+        None => "null".to_string(),
+    };
+    let key = match &error.key {
+        Some(key) => format!(",\"key\":\"{}\"", escape(key)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"line\":{},\"message\":\"{}\"{key}}}}}",
+        error.line,
+        escape(&error.message),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> ParsedRequest {
+        let mut slots = parse_line(text, 7);
+        assert_eq!(slots.len(), 1);
+        slots.pop().unwrap()
+    }
+
+    #[test]
+    fn single_request_parses() {
+        let req =
+            one(r#"{"id": "q1", "scenario": "[scenario]\nid = \"x\"", "include_output": true}"#)
+                .unwrap();
+        assert_eq!(req.id, "q1");
+        assert!(req.scenario.starts_with("[scenario]"));
+        assert!(req.include_output);
+        assert!(
+            !one(r#"{"id": "q2", "scenario": "t"}"#)
+                .unwrap()
+                .include_output
+        );
+    }
+
+    #[test]
+    fn envelope_errors_name_the_line_and_key() {
+        let err = one(r#"{"id": "q", "scenario": "t", "bogus": 1}"#).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert_eq!(err.key.as_deref(), Some("bogus"));
+        assert_eq!(err.id.as_deref(), Some("q"));
+
+        let err = one("{\"id\": \"q\"").unwrap_err();
+        assert!(err.message.contains("malformed JSON"));
+        assert!(err.id.is_none());
+
+        let err = one("[1, 2]").unwrap_err();
+        assert!(err.message.contains("must be a JSON object"));
+    }
+
+    #[test]
+    fn missing_fields_are_per_request_errors() {
+        let err = one(r#"{"scenario": "t"}"#).unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("id"));
+        let err = one(r#"{"id": "q"}"#).unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("scenario"));
+        let err = one(r#"{"id": "q", "scenario": "t", "include_output": "yes"}"#).unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("include_output"));
+    }
+
+    #[test]
+    fn batch_parses_per_slot_with_duplicate_ids_flagged() {
+        let slots = parse_line(
+            r#"{"batch": [{"id": "a", "scenario": "t"}, {"id": "b", "scenario": "t"}, {"id": "a", "scenario": "t"}, "nope"]}"#,
+            3,
+        );
+        assert_eq!(slots.len(), 4);
+        assert!(slots[0].is_ok());
+        assert!(slots[1].is_ok());
+        let dup = slots[2].as_ref().unwrap_err();
+        assert!(dup.message.contains("duplicate request id `a`"));
+        assert_eq!(dup.id.as_deref(), Some("a"));
+        assert!(slots[3].is_err());
+    }
+
+    #[test]
+    fn oversized_batch_is_one_envelope_error() {
+        let items: Vec<String> = (0..MAX_BATCH + 1)
+            .map(|i| format!(r#"{{"id": "q{i}", "scenario": "t"}}"#))
+            .collect();
+        let line = format!(r#"{{"batch": [{}]}}"#, items.join(","));
+        let slots = parse_line(&line, 9);
+        assert_eq!(slots.len(), 1);
+        let err = slots[0].as_ref().unwrap_err();
+        assert!(err.message.contains("batch too large"), "{}", err.message);
+        assert_eq!(err.line, 9);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected() {
+        let line = format!(
+            r#"{{"id": "q", "scenario": "{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let err = one(&line).unwrap_err();
+        assert!(err.message.contains("too long"));
+    }
+
+    #[test]
+    fn response_rendering_is_stable() {
+        let prov = Provenance {
+            scenario_digest: 0xdead_beef,
+            seed: 42,
+            git_rev: "abc1234".to_string(),
+        };
+        assert_eq!(
+            render_ok(
+                "q\"1",
+                "fig3-dsl",
+                "figure",
+                "12 bytes, fnv64=00000000deadbeef",
+                &prov,
+                None
+            ),
+            "{\"id\":\"q\\\"1\",\"ok\":true,\"scenario_id\":\"fig3-dsl\",\"kind\":\"figure\",\
+             \"digest\":\"12 bytes, fnv64=00000000deadbeef\",\"provenance\":{\"scenario_digest\":\
+             \"00000000deadbeef\",\"seed\":42,\"git_rev\":\"abc1234\"}}"
+        );
+        assert_eq!(
+            render_err(&RequestError {
+                id: None,
+                line: 3,
+                message: "bad".to_string(),
+                key: Some("scenario".to_string()),
+            }),
+            "{\"id\":null,\"ok\":false,\"error\":{\"line\":3,\"message\":\"bad\",\"key\":\"scenario\"}}"
+        );
+    }
+
+    #[test]
+    fn rendered_responses_parse_back() {
+        let prov = Provenance {
+            scenario_digest: 1,
+            seed: 0,
+            git_rev: "unknown".to_string(),
+        };
+        let ok = render_ok("a", "s", "finding", "d", &prov, Some("col1,col2\n1,2\n"));
+        let v = JsonValue::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("output").and_then(JsonValue::as_str),
+            Some("col1,col2\n1,2\n")
+        );
+        let err = render_err(&RequestError::envelope(1, "boom \"quoted\""));
+        let v = JsonValue::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(false));
+    }
+}

@@ -1,0 +1,236 @@
+//! Transports: newline-delimited JSON over a byte stream or TCP.
+//!
+//! # Batching policy
+//!
+//! [`serve_stream`] blocks for the first request line, then *coalesces*
+//! every further complete line already sitting in the read buffer — up
+//! to [`MAX_BATCH`] — into one [`ServeCore::handle_lines`] call, so a
+//! pipelining client gets its queries fanned out across the engine in
+//! one `try_par_map_isolated` instead of being evaluated one at a
+//! time. Coalescing never changes response *content or order* (each
+//! response is a pure function of its own request line), only how much
+//! parallelism a moment of the input stream enjoys — which is why
+//! serve output stays byte-diffable while throughput scales with
+//! client pipelining.
+//!
+//! # Concurrency model
+//!
+//! [`serve_tcp`] follows the engine's confinement discipline: the only
+//! thread primitive is a scoped spawn, every connection gets its own
+//! [`ServeCore`] (cache, memo, counters — nothing shared), and the
+//! accept loop owns all cross-connection state. Determinism under
+//! concurrent clients is therefore structural: connections cannot
+//! observe each other.
+
+use crate::proto::MAX_BATCH;
+use crate::service::{ServeCore, ServeOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Serves one byte stream to completion: reads request lines until
+/// EOF, writes one response line per request.
+///
+/// # Errors
+///
+/// Propagates I/O failures on the underlying stream; protocol-level
+/// problems are per-request error *responses*, never `Err`.
+pub fn serve_stream<R: Read, W: Write>(
+    reader: &mut BufReader<R>,
+    writer: &mut W,
+    core: &mut ServeCore,
+) -> std::io::Result<()> {
+    let mut line_no: usize = 0;
+    let mut eof = false;
+    while !eof {
+        let mut batch: Vec<(usize, String)> = Vec::new();
+        // Block for one line, then drain whatever else has already
+        // arrived (bounded by MAX_BATCH) without blocking again.
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                eof = true;
+                break;
+            }
+            line_no += 1;
+            if !line.trim().is_empty() {
+                batch.push((line_no, line));
+            }
+            if batch.len() >= MAX_BATCH || !buffered_line_ready(reader) {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            continue; // blank input; wait for the next line or EOF
+        }
+        for response in core.handle_lines(&batch) {
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Whether the reader's internal buffer already holds a complete line
+/// (so reading it cannot block).
+fn buffered_line_ready<R: Read>(reader: &BufReader<R>) -> bool {
+    reader.buffer().contains(&b'\n')
+}
+
+/// TCP server configuration.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// When set, the actually-bound address is written here once
+    /// listening — how CI scripts discover an ephemeral port.
+    pub port_file: Option<std::path::PathBuf>,
+    /// Accept at most this many connections, then return (0 = serve
+    /// forever). Lets smoke jobs shut the server down cleanly.
+    pub max_conns: usize,
+}
+
+/// Binds and serves TCP connections, one scoped thread per connection,
+/// each with a fresh [`ServeCore`] built from `opts` (the dump prefix
+/// is extended with the connection ordinal).
+///
+/// # Errors
+///
+/// Propagates bind/port-file I/O failures. Per-connection I/O errors
+/// are reported on stderr and end only that connection.
+pub fn serve_tcp(tcp: &TcpOptions, opts: &ServeOptions) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&tcp.addr)?;
+    let local = listener.local_addr()?;
+    if let Some(path) = &tcp.port_file {
+        std::fs::write(path, format!("{local}\n"))?;
+    }
+    eprintln!("focal-serve: listening on {local}");
+
+    // focal-lint: allow(concurrency-confinement) -- serve accept loop: scoped thread per connection, each owning a private ServeCore; no state crosses threads
+    std::thread::scope(|scope| {
+        let mut accepted: usize = 0;
+        for conn in listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("focal-serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let conn_opts = ServeOptions {
+                dump_prefix: format!("{}c{accepted}-", opts.dump_prefix),
+                ..opts.clone()
+            };
+            scope.spawn(move || serve_conn(stream, conn_opts));
+            accepted += 1;
+            if tcp.max_conns != 0 && accepted >= tcp.max_conns {
+                break;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Serves one accepted connection to completion.
+fn serve_conn(stream: TcpStream, opts: ServeOptions) {
+    // Response lines are small; Nagle would trade 40 ms of latency per
+    // window for nothing.
+    let _ = stream.set_nodelay(true);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".to_string());
+    let mut core = ServeCore::new(opts);
+    let result = match stream.try_clone() {
+        Ok(write_half) => {
+            let mut reader = BufReader::new(stream);
+            let mut writer = std::io::BufWriter::new(write_half);
+            serve_stream(&mut reader, &mut writer, &mut core)
+        }
+        Err(e) => Err(e),
+    };
+    if let Err(e) = result {
+        eprintln!("focal-serve: connection {peer} failed: {e}");
+    }
+    eprintln!("focal-serve: {peer} done; {}", core.stats_line());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focal_engine::Engine;
+    use std::io::Cursor;
+
+    fn opts() -> ServeOptions {
+        ServeOptions {
+            engine: Engine::serial(),
+            cache: true,
+            dump_dir: None,
+            dump_prefix: String::new(),
+            git_rev: "testrev".to_string(),
+        }
+    }
+
+    fn run(input: &str) -> Vec<String> {
+        let mut reader = BufReader::new(Cursor::new(input.as_bytes().to_vec()));
+        let mut out: Vec<u8> = Vec::new();
+        let mut core = ServeCore::new(opts());
+        serve_stream(&mut reader, &mut out, &mut core).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn one_response_per_request_line_in_order() {
+        let scenario =
+            "[scenario]\nid = \"fig3-serve\"\nkind = \"figure\"\nstudy = \"multicore\"\n";
+        let ok_line = format!(
+            "{{\"id\": \"q1\", \"scenario\": \"{}\"}}",
+            crate::json::escape(scenario)
+        );
+        let input = format!("{ok_line}\nnot-json\n\n{ok_line}\n");
+        let lines = run(&input);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"id\":\"q1\""));
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"ok\":false"));
+        assert!(lines[1].contains("\"line\":2"));
+        // The blank line is skipped but still counted for numbering:
+        // the second ok response came from input line 4.
+        assert_eq!(lines[0], lines[2]);
+    }
+
+    #[test]
+    fn coalescing_never_changes_bytes() {
+        // Same corpus served through a tiny pipe (one line at a time)
+        // and via one pre-filled buffer (maximal coalescing) must
+        // produce identical bytes.
+        let scenario =
+            "[scenario]\nid = \"fig3-serve\"\nkind = \"figure\"\nstudy = \"multicore\"\n";
+        let line = format!(
+            "{{\"id\": \"q\", \"scenario\": \"{}\"}}",
+            crate::json::escape(scenario)
+        );
+        let input = format!("{line}\n").repeat(10);
+
+        let coalesced = run(&input);
+
+        let mut one_at_a_time = Vec::new();
+        let mut core = ServeCore::new(opts());
+        for (i, l) in input.lines().enumerate() {
+            for r in core.handle_lines(&[(i + 1, l.to_string())]) {
+                one_at_a_time.push(r);
+            }
+        }
+        assert_eq!(coalesced, one_at_a_time);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(run("").is_empty());
+        assert!(run("\n\n \n").is_empty());
+    }
+}

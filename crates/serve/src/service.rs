@@ -1,0 +1,572 @@
+//! [`ServeCore`]: the transport-independent request handler.
+//!
+//! A core owns one engine handle, one [`ServeCache`] and one
+//! [`focal_core::SweepMemo`], and turns parsed input lines into
+//! response lines. The pipeline per coalesced batch of lines is:
+//!
+//! 1. **Parse** every line with [`crate::proto::parse_line`] — parse
+//!    failures become error responses immediately and never reach the
+//!    engine.
+//! 2. **Resolve** each request against the cache (text level, then a
+//!    compile + digest-level probe). Hits render straight from the
+//!    cached evaluation.
+//! 3. **Fan out** the deduplicated misses: deterministic scenarios go
+//!    through [`focal_engine::Engine::try_par_map_isolated`] (one
+//!    panicking query poisons only its own slot), robustness scenarios
+//!    run sequentially through the shared sweep memo under their own
+//!    `catch_unwind`.
+//! 4. **Render** responses in input order, splicing the request id and
+//!    `include_output` choice into the (possibly cached) evaluation.
+//!
+//! # Determinism
+//!
+//! Response bytes are a pure function of (request line, corpus of
+//! evaluations): never of thread count (the engine merges in chunk
+//! order), never of how lines were coalesced (per-request errors carry
+//! no batch geometry), and never of cache state (hits re-render from
+//! the same fields a cold evaluation produces). The serve CI job
+//! byte-diffs all three axes.
+
+use crate::cache::{CachedEval, ServeCache};
+use crate::proto::{parse_line, render_err, render_ok, Provenance, Request, RequestError};
+use focal_bench::dump::DumpDir;
+use focal_core::SweepMemo;
+use focal_engine::{fault, Engine};
+use focal_scenario::{CompiledScenario, ScenarioKind};
+use std::collections::BTreeMap;
+
+/// Configuration for one [`ServeCore`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Engine handle (thread count comes from `FOCAL_THREADS` via
+    /// [`Engine::from_env`] unless the caller overrides it).
+    pub engine: Engine,
+    /// Whether the evaluation cache and sweep memo are consulted
+    /// (`--no-cache` turns this off so CI can byte-diff warm vs cold).
+    pub cache: bool,
+    /// Optional `--dump-dir` root: every response line is also written
+    /// to `serve/<prefix><request-id>.json`.
+    pub dump_dir: Option<DumpDir>,
+    /// Filename prefix inside the serve namespace (TCP mode prefixes
+    /// the connection ordinal so two clients reusing an id cannot
+    /// clobber each other's transcripts).
+    pub dump_prefix: String,
+    /// `git rev-parse --short HEAD`, stamped into response provenance.
+    pub git_rev: String,
+}
+
+impl ServeOptions {
+    /// Defaults: engine from the environment, cache on, no dumping,
+    /// git revision detected from the working tree.
+    #[must_use]
+    pub fn from_env() -> ServeOptions {
+        ServeOptions {
+            engine: Engine::from_env(),
+            cache: true,
+            dump_dir: None,
+            dump_prefix: String::new(),
+            git_rev: detect_git_rev(),
+        }
+    }
+}
+
+/// Per-core counters, reported on stderr at shutdown (never in
+/// response bytes, which must stay cache-agnostic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Request slots seen (batch elements count individually).
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses.
+    pub errors: u64,
+}
+
+/// The transport-independent serving core. One per connection: the
+/// cache is deliberately connection-local, so a client's warm-up never
+/// changes another client's latency profile and cores need no
+/// cross-thread state at all (the confinement lint holds for serve).
+pub struct ServeCore {
+    opts: ServeOptions,
+    cache: ServeCache,
+    memo: SweepMemo,
+    stats: ServeStats,
+}
+
+/// One request slot mid-pipeline: either already renderable or waiting
+/// on the evaluation keyed by its canonical digest.
+enum Slot {
+    Ready(String),
+    Pending {
+        id: String,
+        line: usize,
+        include_output: bool,
+        digest: u64,
+    },
+}
+
+impl ServeCore {
+    /// A fresh core with empty cache and memo.
+    #[must_use]
+    pub fn new(opts: ServeOptions) -> ServeCore {
+        ServeCore {
+            opts,
+            cache: ServeCache::new(),
+            memo: SweepMemo::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// One human-readable stats line for stderr.
+    #[must_use]
+    pub fn stats_line(&self) -> String {
+        let text = self.cache.text_stats();
+        let digest = self.cache.digest_stats();
+        let memo = self.memo.stats();
+        format!(
+            "serve: {} requests, {} ok, {} errors; cache {} hits ({} text, {} digest), \
+             {} misses, {} entries; sweep memo {} hits, {} misses",
+            self.stats.requests,
+            self.stats.ok,
+            self.stats.errors,
+            text.hits + digest.hits,
+            text.hits,
+            digest.hits,
+            digest.misses,
+            self.cache.entries(),
+            memo.hits(),
+            memo.misses(),
+        )
+    }
+
+    /// Handles one coalesced batch of input lines (`(line_no, text)`
+    /// pairs, 1-based) and returns one response line per request slot,
+    /// in input order. Blank lines produce no slot.
+    pub fn handle_lines(&mut self, lines: &[(usize, String)]) -> Vec<String> {
+        // The serve cache and memo stand down while a fault plan is
+        // armed, mirroring the engine's own memoized paths: an injected
+        // panic must reach the isolation machinery, not a cache hit.
+        let caching = self.opts.cache && !fault::armed();
+
+        let mut slots: Vec<Slot> = Vec::new();
+        // Deduplicated evaluation queue: canonical digest → compiled
+        // scenario (+ the source spelling that first demanded it).
+        let mut queue: BTreeMap<u64, (CompiledScenario, String)> = BTreeMap::new();
+
+        for (line_no, text) in lines {
+            if text.trim().is_empty() {
+                continue;
+            }
+            for parsed in parse_line(text, *line_no) {
+                self.stats.requests += 1;
+                match parsed {
+                    Err(e) => slots.push(Slot::Ready(self.rendered_err(&e))),
+                    Ok(req) => slots.push(self.resolve(req, *line_no, caching, &mut queue)),
+                }
+            }
+        }
+
+        self.evaluate_queue(queue, caching, &mut slots);
+
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(line) => line,
+                // Unreachable by construction: evaluate_queue rewrites
+                // every Pending slot. Render a structured error rather
+                // than panicking if that invariant ever breaks.
+                Slot::Pending { id, line, .. } => self.rendered_err(&RequestError {
+                    id: Some(id),
+                    line,
+                    message: "internal: evaluation slot left unresolved".to_string(),
+                    key: None,
+                }),
+            })
+            .collect()
+    }
+
+    /// Resolves one parsed request against the cache, queueing an
+    /// evaluation on a full miss.
+    fn resolve(
+        &mut self,
+        req: Request,
+        line_no: usize,
+        caching: bool,
+        queue: &mut BTreeMap<u64, (CompiledScenario, String)>,
+    ) -> Slot {
+        if caching {
+            if let Some(hit) = self.cache.lookup_text(&req.scenario) {
+                let line = render_response(&req, hit, &self.opts.git_rev);
+                return Slot::Ready(self.finish_ok(&req.id, line));
+            }
+        }
+        let label = format!("request:{line_no}");
+        let compiled = match CompiledScenario::compile(&req.scenario, &label) {
+            Ok(c) => c,
+            Err(e) => {
+                let key = e.key.clone();
+                return Slot::Ready(self.rendered_err(&RequestError {
+                    id: Some(req.id),
+                    line: line_no,
+                    message: format!("invalid scenario: {e}"),
+                    key,
+                }));
+            }
+        };
+        let digest = compiled.canonical().digest();
+        if caching {
+            if let Some(hit) = self.cache.lookup_digest(&req.scenario, digest) {
+                let line = render_response(&req, hit, &self.opts.git_rev);
+                return Slot::Ready(self.finish_ok(&req.id, line));
+            }
+        }
+        queue.entry(digest).or_insert((compiled, req.scenario));
+        Slot::Pending {
+            id: req.id,
+            line: line_no,
+            include_output: req.include_output,
+            digest,
+        }
+    }
+
+    /// Evaluates the deduplicated miss queue and rewrites every
+    /// `Pending` slot into a `Ready` response.
+    fn evaluate_queue(
+        &mut self,
+        queue: BTreeMap<u64, (CompiledScenario, String)>,
+        caching: bool,
+        slots: &mut [Slot],
+    ) {
+        if queue.is_empty() {
+            return;
+        }
+        let mut results: BTreeMap<u64, Result<CachedEval, String>> = BTreeMap::new();
+
+        // Robustness scenarios need the engine + memo and already
+        // parallelize internally; everything else fans out across the
+        // queue with per-item isolation.
+        let mut fan: Vec<(u64, CompiledScenario, String)> = Vec::new();
+        for (digest, (compiled, text)) in queue {
+            if compiled.canonical().kind == ScenarioKind::Robustness {
+                let outcome = self.evaluate_robustness(&compiled, caching);
+                let entry = finish_eval(&compiled, outcome);
+                if caching {
+                    if let Ok(eval) = &entry {
+                        self.cache.insert(&text, eval.clone());
+                    }
+                }
+                results.insert(digest, entry);
+            } else {
+                fan.push((digest, compiled, text));
+            }
+        }
+
+        if !fan.is_empty() {
+            match self
+                .opts
+                .engine
+                .try_par_map_isolated(0, &fan, |(_, compiled, _)| compiled.evaluate())
+            {
+                Ok(outcomes) => {
+                    for ((digest, compiled, text), outcome) in fan.iter().zip(outcomes) {
+                        let outcome = match outcome {
+                            Ok(inner) => inner.map_err(|e| format!("evaluation failed: {e}")),
+                            Err(ce) => Err(format!("evaluation panicked: {}", ce.payload)),
+                        };
+                        let entry = finish_eval(compiled, outcome);
+                        if caching {
+                            if let Ok(eval) = &entry {
+                                self.cache.insert(text, eval.clone());
+                            }
+                        }
+                        results.insert(*digest, entry);
+                    }
+                }
+                Err(ce) => {
+                    // The fan-out harness itself failed (armed fault in
+                    // the chunk machinery): every queued request in this
+                    // batch degrades, later batches are unaffected.
+                    for (digest, _, _) in &fan {
+                        results
+                            .insert(*digest, Err(format!("evaluation panicked: {}", ce.payload)));
+                    }
+                }
+            }
+        }
+
+        for slot in slots.iter_mut() {
+            let Slot::Pending {
+                id,
+                line,
+                include_output,
+                digest,
+            } = slot
+            else {
+                continue;
+            };
+            let rendered = match results.get(digest) {
+                Some(Ok(eval)) => {
+                    let req = Request {
+                        id: id.clone(),
+                        scenario: String::new(),
+                        include_output: *include_output,
+                    };
+                    let line = render_response(&req, eval, &self.opts.git_rev);
+                    self.finish_ok(id, line)
+                }
+                Some(Err(message)) => self.rendered_err(&RequestError {
+                    id: Some(id.clone()),
+                    line: *line,
+                    message: message.clone(),
+                    key: None,
+                }),
+                None => self.rendered_err(&RequestError {
+                    id: Some(id.clone()),
+                    line: *line,
+                    message: "internal: evaluation result missing".to_string(),
+                    key: None,
+                }),
+            };
+            *slot = Slot::Ready(rendered);
+        }
+    }
+
+    /// Evaluates one robustness scenario under panic isolation,
+    /// through the memo when caching is active.
+    fn evaluate_robustness(
+        &mut self,
+        compiled: &CompiledScenario,
+        caching: bool,
+    ) -> Result<focal_scenario::ScenarioOutput, String> {
+        let engine = self.opts.engine;
+        let memo = &mut self.memo;
+        // AssertUnwindSafe: on a panic mid-evaluation the memo may have
+        // absorbed some completed sub-experiments, but entries are only
+        // ever inserted whole, so later lookups still see exactly the
+        // values a clean evaluation would produce.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if caching {
+                compiled.evaluate_memo_on(&engine, memo)
+            } else {
+                compiled.evaluate_on(&engine)
+            }
+        }));
+        match run {
+            Ok(Ok(output)) => Ok(output),
+            Ok(Err(e)) => Err(format!("evaluation failed: {e}")),
+            Err(payload) => Err(format!(
+                "evaluation panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+        }
+    }
+
+    /// Counts and (optionally) dumps a success response.
+    fn finish_ok(&mut self, id: &str, line: String) -> String {
+        self.stats.ok += 1;
+        self.dump(id, &line);
+        line
+    }
+
+    /// Renders, counts and (optionally) dumps an error response.
+    fn rendered_err(&mut self, error: &RequestError) -> String {
+        self.stats.errors += 1;
+        let line = render_err(error);
+        let name = match &error.id {
+            Some(id) => id.clone(),
+            None => format!("line-{}", error.line),
+        };
+        self.dump(&name, &line);
+        line
+    }
+
+    fn dump(&self, id: &str, line: &str) {
+        if let Some(dump) = &self.opts.dump_dir {
+            let name = format!("{}{id}", self.opts.dump_prefix);
+            if let Err(e) = dump.write_serve(&name, line) {
+                eprintln!("warning: serve transcript dump failed for '{name}': {e}");
+            }
+        }
+    }
+}
+
+/// Builds the cache entry (or error string) from one finished
+/// evaluation.
+fn finish_eval(
+    compiled: &CompiledScenario,
+    outcome: Result<focal_scenario::ScenarioOutput, String>,
+) -> Result<CachedEval, String> {
+    let output = outcome?;
+    let bytes = output.to_bytes();
+    Ok(CachedEval {
+        scenario_id: compiled.id().to_string(),
+        kind: compiled.canonical().kind.as_str().to_string(),
+        digest_entry: focal_scenario::digest_entry(&bytes),
+        output_text: String::from_utf8_lossy(&bytes).into_owned(),
+        scenario_digest: compiled.canonical().digest(),
+        seed: compiled.mc_seed().unwrap_or(0),
+    })
+}
+
+/// Renders the response line for `req` from a (cached or fresh)
+/// evaluation. Pure: the same evaluation always renders the same
+/// bytes, which is the cache-hit byte-identity guarantee.
+fn render_response(req: &Request, eval: &CachedEval, git_rev: &str) -> String {
+    let provenance = Provenance {
+        scenario_digest: eval.scenario_digest,
+        seed: eval.seed,
+        git_rev: git_rev.to_string(),
+    };
+    render_ok(
+        &req.id,
+        &eval.scenario_id,
+        &eval.kind,
+        &eval.digest_entry,
+        &provenance,
+        req.include_output.then_some(eval.output_text.as_str()),
+    )
+}
+
+/// Best-effort string form of a panic payload (mirrors the engine's
+/// internal rendering, which is crate-private).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `git rev-parse --short HEAD` of the current directory, or
+/// `"unknown"` when git or the checkout is unavailable. Stamped into
+/// every response's provenance block.
+#[must_use]
+pub fn detect_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> ServeCore {
+        ServeCore::new(ServeOptions {
+            engine: Engine::serial(),
+            cache: true,
+            dump_dir: None,
+            dump_prefix: String::new(),
+            git_rev: "testrev".to_string(),
+        })
+    }
+
+    fn fig3_request(id: &str) -> String {
+        let scenario =
+            "[scenario]\nid = \"fig3-serve\"\nkind = \"figure\"\nstudy = \"multicore\"\n";
+        format!(
+            "{{\"id\": \"{id}\", \"scenario\": \"{}\"}}",
+            crate::json::escape(scenario)
+        )
+    }
+
+    #[test]
+    fn cold_and_warm_responses_are_byte_identical() {
+        let mut core = core();
+        let cold = core.handle_lines(&[(1, fig3_request("q1"))]);
+        let warm = core.handle_lines(&[(2, fig3_request("q1"))]);
+        assert_eq!(cold, warm);
+        assert_eq!(core.cache.text_stats().hits, 1);
+        assert!(cold[0].contains("\"ok\":true"));
+        assert!(cold[0].contains("\"scenario_id\":\"fig3-serve\""));
+        assert!(cold[0].contains("\"git_rev\":\"testrev\""));
+    }
+
+    #[test]
+    fn malformed_lines_are_isolated_errors() {
+        let mut core = core();
+        let lines = vec![
+            (1, "{not json".to_string()),
+            (2, fig3_request("good")),
+            (
+                3,
+                "{\"id\": \"x\", \"scenario\": \"[scenario]\\nbogus\"}".to_string(),
+            ),
+        ];
+        let responses = core.handle_lines(&lines);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].contains("\"ok\":false"));
+        assert!(responses[0].contains("\"line\":1"));
+        assert!(responses[1].contains("\"ok\":true"));
+        assert!(responses[2].contains("\"ok\":false"));
+        assert!(responses[2].contains("\"line\":3"));
+        assert_eq!(core.stats().errors, 2);
+        assert_eq!(core.stats().ok, 1);
+    }
+
+    #[test]
+    fn cache_off_produces_identical_bytes() {
+        let mut on = core();
+        let mut off = ServeCore::new(ServeOptions {
+            cache: false,
+            ..on.opts.clone()
+        });
+        let lines: Vec<(usize, String)> = (1..=3)
+            .map(|i| (i, fig3_request(&format!("q{i}"))))
+            .collect();
+        let a = on.handle_lines(&lines);
+        let b = off.handle_lines(&lines);
+        assert_eq!(a, b);
+        // Second round: `on` serves from cache, `off` re-evaluates.
+        let a2 = on.handle_lines(&lines);
+        let b2 = off.handle_lines(&lines);
+        assert_eq!(a2, b2);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn duplicate_scenarios_in_one_batch_evaluate_once() {
+        let mut core = core();
+        let lines = vec![(1, fig3_request("a")), (2, fig3_request("b"))];
+        let responses = core.handle_lines(&lines);
+        assert_eq!(responses.len(), 2);
+        // Same scenario, different ids: identical apart from the id.
+        assert_eq!(
+            responses[0].replace("\"id\":\"a\"", "\"id\":\"b\""),
+            responses[1]
+        );
+    }
+
+    #[test]
+    fn include_output_embeds_the_rendered_text() {
+        let mut core = core();
+        let scenario =
+            "[scenario]\nid = \"fig3-serve\"\nkind = \"figure\"\nstudy = \"multicore\"\n";
+        let line = format!(
+            "{{\"id\": \"q\", \"scenario\": \"{}\", \"include_output\": true}}",
+            crate::json::escape(scenario)
+        );
+        let responses = core.handle_lines(&[(1, line)]);
+        assert!(responses[0].contains("\"output\":\""));
+        let parsed = crate::json::JsonValue::parse(&responses[0]).unwrap();
+        let output = parsed
+            .get("output")
+            .and_then(crate::json::JsonValue::as_str)
+            .unwrap();
+        assert!(output.contains(','), "expected CSV output, got {output:?}");
+    }
+}

@@ -51,6 +51,7 @@
 //! * [`act`] — an ACT-style bottom-up baseline (§3.5).
 //! * [`studies`] — every paper figure and finding, regenerated.
 //! * [`report`] — tables, CSV and ASCII charts for the harness.
+//! * [`serve`] — NDJSON batch/streaming query service over the engine.
 //!
 //! The most common types are re-exported at the crate root.
 
@@ -65,6 +66,7 @@ pub use focal_perf as perf;
 pub use focal_report as report;
 pub use focal_scaling as scaling;
 pub use focal_scenario as scenario;
+pub use focal_serve as serve;
 pub use focal_studies as studies;
 pub use focal_uarch as uarch;
 pub use focal_wafer as wafer;
