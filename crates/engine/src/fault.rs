@@ -14,26 +14,43 @@
 //! ## Fault injection
 //!
 //! The rest of this module is a process-global, deterministic
-//! fault-injection plan used by the reproduction suite's `--inject` flag
-//! and the fault-tolerance tests. A [`FaultPlan`] names a *site* (the
-//! suite stage for chunk panics, a sampler label such as `mc` for NaN
-//! poisoning) and an index, parsed from the spec grammar
+//! fault-injection plan used by the reproduction suite's `--inject` flag,
+//! `focal-serve --inject`, and the fault-tolerance tests. A [`FaultPlan`]
+//! names a *site* (the suite stage for chunk panics, a sampler label such
+//! as `mc` for NaN poisoning, the literal `serve` for serving-layer
+//! faults) plus optional connection/index qualifiers, parsed from the
+//! spec grammar
 //!
 //! ```text
-//! <kind>@<site>:<index>      kind ∈ {panic, nan}
+//! <kind>@<site>[:conn<N>][:<index>][:<millis>ms]
+//!     kind ∈ {panic, nan, latency, shortread, shortwrite}
 //! panic@figures:3            panic in chunk 3 while stage `figures` runs
 //! nan@mc:1017                poison Monte-Carlo sample 1017 with NaN
+//! panic@serve:3              panic while evaluating serve request 3
+//! latency@serve:conn2:50ms   50 ms stall per request on connection 2
+//! latency@serve:1:20ms       20 ms stall before serve request 1
+//! shortread@serve:conn0      connection 0 reads arrive a few bytes at a time
+//! shortwrite@serve           every response write is split into tiny chunks
 //! ```
+//!
+//! `conn<N>` restricts a serve fault to one connection (stdin counts as
+//! connection 0); without it the fault applies to every connection. The
+//! index is the per-connection request ordinal for serve sites and the
+//! chunk/sample index for engine sites; `latency` without an index stalls
+//! every request its connection filter matches.
 //!
 //! The plan is disarmed by default and gated behind one relaxed atomic
 //! load, so production runs pay (near) nothing. Injected chunk panics are
 //! raised *inside* the engine's chunk isolation and therefore surface as
 //! ordinary [`ChunkError`]s — the injection harness proves the isolation
-//! machinery end to end with the exact failure modes it exists for.
+//! machinery end to end with the exact failure modes it exists for. The
+//! serving layer queries its own faults through [`serve_panic_target`],
+//! [`serve_latency`], [`serve_short_read`] and [`serve_short_write`].
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 /// A chunk of a parallel operation panicked (or had a fault injected).
 ///
@@ -83,58 +100,138 @@ pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String 
 /// What an injected fault does at its trigger point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
-    /// Panic at the start of the matching chunk.
+    /// Panic at the start of the matching chunk (or while evaluating the
+    /// matching serve request).
     Panic,
     /// Replace the matching sample's value with `f64::NAN`.
     Nan,
+    /// Stall the matching serve request(s) for [`FaultPlan::millis`].
+    Latency,
+    /// Deliver reads on the matching connection a few bytes at a time
+    /// (short-read chaos: stresses line reassembly).
+    ShortRead,
+    /// Split response writes on the matching connection into tiny
+    /// partial writes (short-write chaos: stresses the flush path).
+    ShortWrite,
 }
 
-/// One deterministic injected fault: *kind* at *site*, *index*.
+impl FaultKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Nan => "nan",
+            FaultKind::Latency => "latency",
+            FaultKind::ShortRead => "shortread",
+            FaultKind::ShortWrite => "shortwrite",
+        }
+    }
+}
+
+/// One deterministic injected fault: *kind* at *site*, with optional
+/// connection and index qualifiers.
 ///
 /// Sites are strings so the plan can name any instrumented location:
 /// suite stage names (`figures`, `findings`, `robustness`, `crossovers`,
 /// `defect-sim`) for chunk panics, sampler labels (`mc`) for NaN
-/// poisoning.
+/// poisoning, and [`SERVE_SITE`] for serving-layer faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     /// What the fault does when it triggers.
     pub kind: FaultKind,
     /// The instrumented site the fault targets.
     pub site: String,
-    /// Chunk index (for [`FaultKind::Panic`]) or global sample index
-    /// (for [`FaultKind::Nan`]) at which the fault fires.
-    pub index: u64,
+    /// Connection filter for serve faults (`conn<N>` in the grammar):
+    /// `None` matches every connection.
+    pub conn: Option<u64>,
+    /// Chunk index (for [`FaultKind::Panic`]), global sample index (for
+    /// [`FaultKind::Nan`]) or per-connection request ordinal (serve
+    /// site) at which the fault fires. `None` means "every index" and
+    /// is only valid for the chaos kinds (latency/shortread/shortwrite).
+    pub index: Option<u64>,
+    /// Latency payload in milliseconds (0 for non-latency kinds).
+    pub millis: u64,
 }
 
 impl FaultPlan {
-    /// Parses an injection spec: `<kind>@<site>:<index>` with
-    /// `kind ∈ {panic, nan}` (e.g. `panic@figures:3`, `nan@mc:1017`).
+    /// Parses an injection spec:
+    /// `<kind>@<site>[:conn<N>][:<index>][:<millis>ms]` with
+    /// `kind ∈ {panic, nan, latency, shortread, shortwrite}` (e.g.
+    /// `panic@figures:3`, `nan@mc:1017`, `latency@serve:conn2:50ms`).
     ///
     /// # Errors
     ///
     /// Returns a human-readable description of the grammar violation.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let err = || {
+        let err = |why: &str| {
             format!(
-                "invalid fault spec `{spec}`: expected <kind>@<site>:<index> \
-                 with kind in {{panic, nan}}, e.g. panic@figures:3 or nan@mc:1017"
+                "invalid fault spec `{spec}`: {why} — expected \
+                 <kind>@<site>[:conn<N>][:<index>][:<millis>ms] with kind in \
+                 {{panic, nan, latency, shortread, shortwrite}}, e.g. \
+                 panic@figures:3, nan@mc:1017 or latency@serve:conn2:50ms"
             )
         };
-        let (kind, rest) = spec.split_once('@').ok_or_else(err)?;
+        let (kind, rest) = spec
+            .split_once('@')
+            .ok_or_else(|| err("missing `@<site>`"))?;
         let kind = match kind {
             "panic" => FaultKind::Panic,
             "nan" => FaultKind::Nan,
-            _ => return Err(err()),
+            "latency" => FaultKind::Latency,
+            "shortread" => FaultKind::ShortRead,
+            "shortwrite" => FaultKind::ShortWrite,
+            _ => return Err(err("unknown kind")),
         };
-        let (site, index) = rest.rsplit_once(':').ok_or_else(err)?;
+        let mut segments = rest.split(':');
+        let site = segments.next().unwrap_or_default();
         if site.is_empty() {
-            return Err(err());
+            return Err(err("empty site"));
         }
-        let index: u64 = index.parse().map_err(|_| err())?;
+        let mut conn: Option<u64> = None;
+        let mut index: Option<u64> = None;
+        let mut millis: Option<u64> = None;
+        for segment in segments {
+            if let Some(n) = segment.strip_prefix("conn") {
+                if conn.is_some() {
+                    return Err(err("duplicate conn qualifier"));
+                }
+                conn = Some(n.parse().map_err(|_| err("bad conn number"))?);
+            } else if let Some(ms) = segment.strip_suffix("ms") {
+                if millis.is_some() {
+                    return Err(err("duplicate millis qualifier"));
+                }
+                millis = Some(ms.parse().map_err(|_| err("bad millis value"))?);
+            } else if index.is_none() {
+                index = Some(segment.parse().map_err(|_| err("bad index"))?);
+            } else {
+                return Err(err("duplicate index qualifier"));
+            }
+        }
+        match kind {
+            FaultKind::Panic | FaultKind::Nan => {
+                if index.is_none() {
+                    return Err(err("panic/nan faults need an index"));
+                }
+                if millis.is_some() {
+                    return Err(err("panic/nan faults take no millis"));
+                }
+            }
+            FaultKind::Latency => {
+                if millis.is_none() {
+                    return Err(err("latency faults need a `<millis>ms` payload"));
+                }
+            }
+            FaultKind::ShortRead | FaultKind::ShortWrite => {
+                if millis.is_some() {
+                    return Err(err("shortread/shortwrite faults take no millis"));
+                }
+            }
+        }
         Ok(FaultPlan {
             kind,
             site: site.to_string(),
+            conn,
             index,
+            millis: millis.unwrap_or(0),
         })
     }
 
@@ -142,11 +239,17 @@ impl FaultPlan {
     /// identity).
     #[must_use]
     pub fn spec(&self) -> String {
-        let kind = match self.kind {
-            FaultKind::Panic => "panic",
-            FaultKind::Nan => "nan",
-        };
-        format!("{kind}@{}:{}", self.site, self.index)
+        let mut out = format!("{}@{}", self.kind.as_str(), self.site);
+        if let Some(conn) = self.conn {
+            out.push_str(&format!(":conn{conn}"));
+        }
+        if let Some(index) = self.index {
+            out.push_str(&format!(":{index}"));
+        }
+        if self.kind == FaultKind::Latency {
+            out.push_str(&format!(":{}ms", self.millis));
+        }
+        out
     }
 }
 
@@ -201,6 +304,16 @@ pub fn armed() -> bool {
     ARMED.load(Ordering::Acquire)
 }
 
+/// The spec string of the armed plan, if any — used by injection sites
+/// to label the synthetic fault they raise.
+#[must_use]
+pub fn armed_spec() -> Option<String> {
+    if !armed() {
+        return None;
+    }
+    state().plan.as_ref().map(FaultPlan::spec)
+}
+
 /// Enters a named injection site (the suite calls this once per stage).
 /// Chunk-panic faults only fire while their site is entered.
 pub fn enter_site(name: &str) {
@@ -226,7 +339,7 @@ pub(crate) fn injected_chunk_fault(chunk: usize) -> Option<String> {
     let s = state();
     let plan = s.plan.as_ref()?;
     let site = s.site.as_deref()?;
-    if plan.kind == FaultKind::Panic && plan.site == site && plan.index == chunk as u64 {
+    if plan.kind == FaultKind::Panic && plan.site == site && plan.index == Some(chunk as u64) {
         Some(format!("injected fault: {}", plan.spec()))
     } else {
         None
@@ -244,10 +357,74 @@ pub fn nan_target(site: &str) -> Option<u64> {
     let s = state();
     let plan = s.plan.as_ref()?;
     if plan.kind == FaultKind::Nan && plan.site == site {
-        Some(plan.index)
+        plan.index
     } else {
         None
     }
+}
+
+/// The site name serving-layer faults target (`--inject panic@serve:3`).
+pub const SERVE_SITE: &str = "serve";
+
+/// Runs `f` on the armed plan if it targets the serve site; the common
+/// armed-check + site filter for every serve-layer query below.
+fn serve_plan<T>(f: impl FnOnce(&FaultPlan) -> Option<T>) -> Option<T> {
+    if !armed() {
+        return None;
+    }
+    let s = state();
+    let plan = s.plan.as_ref()?;
+    if plan.site != SERVE_SITE {
+        return None;
+    }
+    f(plan)
+}
+
+/// Whether `plan`'s connection filter matches connection `conn`.
+fn conn_matches(plan: &FaultPlan, conn: u64) -> bool {
+    plan.conn.map_or(true, |c| c == conn)
+}
+
+/// The per-connection request ordinal an armed `panic@serve` fault
+/// targets on connection `conn`, if any.
+#[must_use]
+pub fn serve_panic_target(conn: u64) -> Option<u64> {
+    serve_plan(|p| {
+        if p.kind == FaultKind::Panic && conn_matches(p, conn) {
+            p.index
+        } else {
+            None
+        }
+    })
+}
+
+/// The injected stall for request `request` on connection `conn`, if an
+/// armed `latency@serve` fault matches (a plan without an index stalls
+/// every request its connection filter matches).
+#[must_use]
+pub fn serve_latency(conn: u64, request: u64) -> Option<Duration> {
+    serve_plan(|p| {
+        let matches = p.kind == FaultKind::Latency
+            && conn_matches(p, conn)
+            && p.index.map_or(true, |i| i == request);
+        matches.then(|| Duration::from_millis(p.millis))
+    })
+}
+
+/// Whether an armed `shortread@serve` fault targets connection `conn`
+/// (reads should be delivered a few bytes at a time).
+#[must_use]
+pub fn serve_short_read(conn: u64) -> bool {
+    serve_plan(|p| (p.kind == FaultKind::ShortRead && conn_matches(p, conn)).then_some(()))
+        .is_some()
+}
+
+/// Whether an armed `shortwrite@serve` fault targets connection `conn`
+/// (response writes should be split into tiny partial writes).
+#[must_use]
+pub fn serve_short_write(conn: u64) -> bool {
+    serve_plan(|p| (p.kind == FaultKind::ShortWrite && conn_matches(p, conn)).then_some(()))
+        .is_some()
 }
 
 /// Serializes unit tests (across this crate's modules) that arm the
@@ -265,7 +442,17 @@ mod tests {
 
     #[test]
     fn parse_round_trips_valid_specs() {
-        for spec in ["panic@figures:3", "nan@mc:1017", "panic@defect-sim:0"] {
+        for spec in [
+            "panic@figures:3",
+            "nan@mc:1017",
+            "panic@defect-sim:0",
+            "panic@serve:3",
+            "panic@serve:conn2:3",
+            "latency@serve:conn2:50ms",
+            "latency@serve:1:20ms",
+            "shortread@serve:conn0",
+            "shortwrite@serve",
+        ] {
             let plan = FaultPlan::parse(spec).unwrap();
             assert_eq!(plan.spec(), spec);
             assert_eq!(plan.to_string(), spec);
@@ -273,7 +460,13 @@ mod tests {
         let p = FaultPlan::parse("panic@figures:3").unwrap();
         assert_eq!(p.kind, FaultKind::Panic);
         assert_eq!(p.site, "figures");
-        assert_eq!(p.index, 3);
+        assert_eq!(p.index, Some(3));
+        assert_eq!(p.conn, None);
+        let p = FaultPlan::parse("latency@serve:conn2:50ms").unwrap();
+        assert_eq!(p.kind, FaultKind::Latency);
+        assert_eq!(p.conn, Some(2));
+        assert_eq!(p.index, None);
+        assert_eq!(p.millis, 50);
     }
 
     #[test]
@@ -288,10 +481,58 @@ mod tests {
             "panic@figures:three",
             "abort@figures:3",
             "nan@mc:-1",
+            "panic@serve:3:50ms",
+            "latency@serve:conn2",
+            "latency@serve",
+            "shortread@serve:10ms",
+            "panic@serve:conn1:conn2:3",
+            "panic@serve:1:2",
+            "latency@serve:5ms:6ms",
         ] {
             let err = FaultPlan::parse(spec).unwrap_err();
             assert!(err.contains("invalid fault spec"), "{spec}: {err}");
         }
+    }
+
+    #[test]
+    fn serve_queries_respect_kind_conn_and_index() {
+        let _guard = tests_lock();
+        assert_eq!(serve_panic_target(0), None);
+
+        arm(FaultPlan::parse("panic@serve:3").unwrap());
+        assert_eq!(serve_panic_target(0), Some(3));
+        assert_eq!(serve_panic_target(7), Some(3), "no conn filter = any conn");
+        assert_eq!(serve_latency(0, 3), None);
+        assert!(!serve_short_read(0));
+
+        arm(FaultPlan::parse("panic@serve:conn2:3").unwrap());
+        assert_eq!(serve_panic_target(2), Some(3));
+        assert_eq!(serve_panic_target(1), None);
+
+        arm(FaultPlan::parse("latency@serve:conn2:50ms").unwrap());
+        assert_eq!(serve_latency(2, 0), Some(Duration::from_millis(50)));
+        assert_eq!(serve_latency(2, 99), Some(Duration::from_millis(50)));
+        assert_eq!(serve_latency(1, 0), None);
+
+        arm(FaultPlan::parse("latency@serve:1:20ms").unwrap());
+        assert_eq!(serve_latency(0, 1), Some(Duration::from_millis(20)));
+        assert_eq!(serve_latency(0, 2), None);
+
+        arm(FaultPlan::parse("shortread@serve:conn0").unwrap());
+        assert!(serve_short_read(0));
+        assert!(!serve_short_read(1));
+        assert!(!serve_short_write(0));
+
+        arm(FaultPlan::parse("shortwrite@serve").unwrap());
+        assert!(serve_short_write(0));
+        assert!(serve_short_write(5));
+
+        arm(FaultPlan::parse("panic@figures:3").unwrap());
+        assert_eq!(serve_panic_target(0), None, "wrong site");
+
+        disarm();
+        assert_eq!(serve_panic_target(0), None);
+        assert_eq!(serve_latency(0, 0), None);
     }
 
     #[test]

@@ -39,9 +39,12 @@
 //! poisoned run.
 //!
 //! The [`fault`] module adds a deterministic fault-injection hook
-//! ([`FaultPlan`], spec grammar `<kind>@<site>:<index>`) that raises
-//! synthetic faults through this exact machinery; the reproduction
-//! suite's `--inject` flag uses it to prove the isolation end to end.
+//! ([`FaultPlan`], spec grammar `<kind>@<site>[:conn<N>][:<index>][:<millis>ms]`)
+//! that raises synthetic faults through this exact machinery; the
+//! reproduction suite's `--inject` flag uses it to prove the isolation
+//! end to end, and `focal-serve --inject` extends the same plans into
+//! the serving layer (request panics, injected latency, short
+//! reads/writes keyed by connection and request index).
 //!
 //! ## Thread-count selection
 //!

@@ -7,6 +7,7 @@
 //!               [--repeat <k>]       warm passes over the corpus (default 20)
 //!               [--window <n>]       pipelined in-flight requests (default 64)
 //!               [--rate <r>]         target requests/sec, 0 = unthrottled
+//!               [--connections <n>]  concurrent client connections (default 1)
 //!               [--smoke]            small fixed workload for CI
 //!               [--out <path>]       write BENCH.json here (default stdout)
 //!               [--check-speedup <x>]    fail unless warm ≥ x· cold throughput
@@ -19,6 +20,12 @@
 //! replay the identical payloads (text-level cache hits). Request ids
 //! are `p<pass>-r<seq>`, so `--emit` output is reproducible and serve
 //! responses to it can be byte-diffed across server configurations.
+//!
+//! With `--connections N > 1` the same two-phase workload runs on N
+//! concurrent connections (one scoped thread per client); each gets
+//! its own records under `serve/conn<k>/…` and the aggregate records
+//! below merge every connection (latency percentiles over all round
+//! trips, throughput summed — the connections really do run at once).
 //!
 //! Records: `serve/cold` and `serve/warm` (ns per evaluation, `iters`
 //! = request count) plus `serve/latency/p50|p95|p99` over the warm
@@ -34,8 +41,8 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: focal-loadgen (--addr <host:port> | --addr-file <path> | --emit <passes>) \
-         [--corpus <dir>] [--repeat <k>] [--window <n>] [--rate <r>] [--smoke] \
-         [--out <path>] [--check-speedup <x>] [--min-throughput <t>]"
+         [--corpus <dir>] [--repeat <k>] [--window <n>] [--rate <r>] [--connections <n>] \
+         [--smoke] [--out <path>] [--check-speedup <x>] [--min-throughput <t>]"
     );
     std::process::exit(2);
 }
@@ -166,6 +173,86 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
     sorted.get(rank).copied().unwrap_or(0)
 }
 
+/// One connection's measured workload: cold pass + warm passes.
+struct ConnResult {
+    /// Cold pass mean ns per evaluation.
+    cold_ns: f64,
+    /// Cold evaluations (= corpus size).
+    cold_evals: u64,
+    /// Best warm pass mean ns per evaluation.
+    warm_ns: f64,
+    /// Warm evaluations across every pass.
+    warm_evals: u64,
+    /// Every warm round-trip latency, unsorted.
+    latencies: Vec<u64>,
+}
+
+/// Connects to `addr` and runs the full two-phase workload on one
+/// connection.
+fn run_connection(
+    addr: &str,
+    corpus: &[String],
+    repeat: usize,
+    window: usize,
+    rate: f64,
+) -> ConnResult {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    // Nagle + delayed ACK would serialize the pipelined windows into
+    // 40 ms round trips; this is a latency benchmark, so turn it off.
+    if let Err(e) = stream.set_nodelay(true) {
+        fail(&format!("cannot set TCP_NODELAY: {e}"));
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => std::io::BufWriter::new(w),
+        Err(e) => fail(&format!("cannot clone stream: {e}")),
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Pass 0: cold (every scenario is a cache miss on a fresh
+    // connection). Passes 1..=repeat: warm (byte-identical payloads).
+    let cold_lines: Vec<String> = corpus
+        .iter()
+        .enumerate()
+        .map(|(seq, s)| request_line(0, seq, s))
+        .collect();
+    let (cold_elapsed, _) = run_pass(&mut reader, &mut writer, &cold_lines, window, rate);
+
+    // Warm passes are measured individually and the gate uses the BEST
+    // pass: a single scheduler hiccup inside one pass must not fail a
+    // CI floor that the serving path genuinely clears. Latency
+    // percentiles still aggregate every warm round trip, so the tail
+    // stays honest.
+    let mut latencies: Vec<u64> = Vec::with_capacity(repeat * corpus.len());
+    let mut best_warm: Option<Duration> = None;
+    let mut warm_evals: u64 = 0;
+    for pass in 1..=repeat {
+        let pass_lines: Vec<String> = corpus
+            .iter()
+            .enumerate()
+            .map(|(seq, s)| request_line(pass, seq, s))
+            .collect();
+        let (elapsed, pass_latencies) =
+            run_pass(&mut reader, &mut writer, &pass_lines, window, rate);
+        latencies.extend(pass_latencies);
+        warm_evals += pass_lines.len() as u64;
+        if best_warm.map_or(true, |best| elapsed < best) {
+            best_warm = Some(elapsed);
+        }
+    }
+
+    let cold_n = cold_lines.len() as f64;
+    ConnResult {
+        cold_ns: cold_elapsed.as_nanos() as f64 / cold_n.max(1.0),
+        cold_evals: cold_lines.len() as u64,
+        warm_ns: best_warm.map_or(0.0, |best| best.as_nanos() as f64 / cold_n.max(1.0)),
+        warm_evals,
+        latencies,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
@@ -174,6 +261,7 @@ fn main() {
     let mut repeat: usize = 20;
     let mut window: usize = 64;
     let mut rate: f64 = 0.0;
+    let mut connections: usize = 1;
     let mut out: Option<String> = None;
     let mut check_speedup: Option<f64> = None;
     let mut min_throughput: Option<f64> = None;
@@ -200,6 +288,10 @@ fn main() {
             "--rate" => match value().parse() {
                 Ok(r) => rate = r,
                 Err(_) => usage(),
+            },
+            "--connections" => match value().parse() {
+                Ok(n) if n > 0 => connections = n,
+                _ => usage(),
             },
             "--smoke" => {
                 repeat = 10;
@@ -266,58 +358,56 @@ fn main() {
         (None, None) => usage(),
     };
 
-    let stream = match TcpStream::connect(&addr) {
-        Ok(s) => s,
-        Err(e) => fail(&format!("cannot connect to {addr}: {e}")),
+    // Run the workload: one connection inline, or N concurrent
+    // connections on scoped threads, merged in connection order so
+    // records and output stay deterministic in layout.
+    let results: Vec<ConnResult> = if connections <= 1 {
+        vec![run_connection(&addr, &corpus, repeat, window, rate)]
+    } else {
+        let addr_ref = &addr;
+        let corpus_ref = &corpus;
+        // focal-lint: allow(concurrency-confinement) -- load generator client: one scoped thread per connection, each owning its own socket; results merge in connection order
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    scope.spawn(move || run_connection(addr_ref, corpus_ref, repeat, window, rate))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| fail("connection thread panicked"))
+                })
+                .collect()
+        })
     };
-    // Nagle + delayed ACK would serialize the pipelined windows into
-    // 40 ms round trips; this is a latency benchmark, so turn it off.
-    if let Err(e) = stream.set_nodelay(true) {
-        fail(&format!("cannot set TCP_NODELAY: {e}"));
-    }
-    let mut writer = match stream.try_clone() {
-        Ok(w) => std::io::BufWriter::new(w),
-        Err(e) => fail(&format!("cannot clone stream: {e}")),
-    };
-    let mut reader = BufReader::new(stream);
 
-    // Pass 0: cold (every scenario is a cache miss on a fresh
-    // connection). Passes 1..=repeat: warm (byte-identical payloads).
-    let cold_lines: Vec<String> = corpus
-        .iter()
-        .enumerate()
-        .map(|(seq, s)| request_line(0, seq, s))
-        .collect();
-    let (cold_elapsed, _) = run_pass(&mut reader, &mut writer, &cold_lines, window, rate);
-
-    // Warm passes are measured individually and the gate uses the BEST
-    // pass: a single scheduler hiccup inside one pass must not fail a
-    // CI floor that the serving path genuinely clears. Latency
-    // percentiles still aggregate every warm round trip, so the tail
-    // stays honest.
-    let mut warm_latencies: Vec<u64> = Vec::with_capacity(repeat * corpus.len());
-    let mut best_warm: Option<Duration> = None;
-    let mut warm_total: u64 = 0;
-    for pass in 1..=repeat {
-        let pass_lines: Vec<String> = corpus
+    // Aggregate: per-eval times are eval-weighted means, latency
+    // percentiles pool every warm round trip, throughput sums across
+    // connections (they really do run concurrently).
+    let cold_evals: u64 = results.iter().map(|r| r.cold_evals).sum();
+    let warm_total: u64 = results.iter().map(|r| r.warm_evals).sum();
+    let weighted = |num: f64, den: u64| if den > 0 { num / den as f64 } else { 0.0 };
+    let cold_ns = weighted(
+        results
             .iter()
-            .enumerate()
-            .map(|(seq, s)| request_line(pass, seq, s))
-            .collect();
-        let (elapsed, latencies) = run_pass(&mut reader, &mut writer, &pass_lines, window, rate);
-        warm_latencies.extend(latencies);
-        warm_total += pass_lines.len() as u64;
-        if best_warm.map_or(true, |best| elapsed < best) {
-            best_warm = Some(elapsed);
-        }
-    }
+            .map(|r| r.cold_ns * r.cold_evals as f64)
+            .sum(),
+        cold_evals,
+    );
+    let warm_ns = weighted(
+        results
+            .iter()
+            .map(|r| r.warm_ns * r.warm_evals as f64)
+            .sum(),
+        warm_total,
+    );
+    let mut warm_latencies: Vec<u64> = results.iter().flat_map(|r| r.latencies.clone()).collect();
     warm_latencies.sort_unstable();
 
     let git_rev = detect_git_rev();
     let threads = focal_engine::Engine::from_env().threads();
-    let cold_n = cold_lines.len() as f64;
-    let cold_ns = cold_elapsed.as_nanos() as f64 / cold_n;
-    let warm_ns = best_warm.map_or(0.0, |best| best.as_nanos() as f64 / cold_n.max(1.0));
     let record = |kernel: &str, ns_per_op: f64, iters: u64| BenchRecord {
         kernel: kernel.to_string(),
         ns_per_op,
@@ -325,8 +415,8 @@ fn main() {
         threads,
         git_rev: git_rev.clone(),
     };
-    let records = vec![
-        record("serve/cold", cold_ns, cold_lines.len() as u64),
+    let mut records = vec![
+        record("serve/cold", cold_ns, cold_evals),
         record("serve/warm", warm_ns, warm_total),
         record(
             "serve/latency/p50",
@@ -344,18 +434,42 @@ fn main() {
             warm_total,
         ),
     ];
+    if connections > 1 {
+        for (k, r) in results.iter().enumerate() {
+            records.push(record(
+                &format!("serve/conn{k}/cold"),
+                r.cold_ns,
+                r.cold_evals,
+            ));
+            records.push(record(
+                &format!("serve/conn{k}/warm"),
+                r.warm_ns,
+                r.warm_evals,
+            ));
+        }
+    }
 
-    let warm_throughput = if warm_ns > 0.0 { 1e9 / warm_ns } else { 0.0 };
+    let warm_throughput = results
+        .iter()
+        .map(|r| {
+            if r.warm_ns > 0.0 {
+                1e9 / r.warm_ns
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>();
     let speedup = if warm_ns > 0.0 {
         cold_ns / warm_ns
     } else {
         0.0
     };
     eprintln!(
-        "focal-loadgen: cold {:.0} ns/eval ({} evals), warm {:.0} ns/eval best-of-{repeat} \
-         ({} evals, {:.0} evals/sec, {speedup:.1}x cold), p50/p95/p99 {}/{}/{} ns",
+        "focal-loadgen: {connections} connection(s); cold {:.0} ns/eval ({} evals), \
+         warm {:.0} ns/eval best-of-{repeat} ({} evals, {:.0} evals/sec, {speedup:.1}x cold), \
+         p50/p95/p99 {}/{}/{} ns",
         cold_ns,
-        cold_lines.len(),
+        cold_evals,
         warm_ns,
         warm_total,
         warm_throughput,

@@ -4,25 +4,45 @@
 //! focal-serve [--stdin]                      serve stdin → stdout (default)
 //! focal-serve --tcp <addr>                   serve TCP (127.0.0.1:0 = free port)
 //!             [--port-file <path>]           write the bound address here
-//!             [--max-conns <n>]              exit after n connections (0 = forever)
+//!             [--max-conns <n>]              concurrent-connection cap; over-cap
+//!                                            connections get one `rejected` line
+//!                                            (0 = unlimited)
+//!             [--max-accepts <n>]            accept n connections total, then
+//!                                            drain and exit (0 = until ctl)
 //! common:     [--no-cache]                   disable the evaluation cache + memo
 //!             [--dump-dir <dir>]             also write serve/<request-id>.json
 //!             [--threads <n>]                engine threads (default: FOCAL_THREADS)
+//!             [--idle-timeout <ms>]          close idle connections (0 = never)
+//!             [--request-deadline <ms>]      shed requests stuck pre-evaluation
+//!                                            (0 = never)
+//!             [--max-queue <n>]              admission bound per coalesced batch
+//!                                            (0 = unbounded)
+//!             [--drain-deadline <ms>]        force-close stragglers this long
+//!                                            after a drain begins (default 5000)
+//!             [--inject <spec>]              arm a deterministic fault plan, e.g.
+//!                                            panic@serve:3, latency@serve:conn2:50ms,
+//!                                            shortread@serve, shortwrite@serve:conn0
 //! ```
 //!
-//! Exit status: 0 on clean shutdown (stdin EOF or `--max-conns`
-//! reached), 1 on an I/O failure, 2 on a usage error. Stats go to
-//! stderr only; stdout carries nothing but response lines.
+//! Exit status: 0 on clean shutdown (stdin EOF, `--max-accepts`
+//! reached, or a `{"ctl": "shutdown"}` request drained), 1 on an I/O
+//! failure, 2 on a usage error. Stats go to stderr only; stdout
+//! carries nothing but response lines.
 
 use focal_bench::dump::DumpDir;
-use focal_engine::Engine;
-use focal_serve::{serve_stream, serve_tcp, ServeCore, ServeOptions, TcpOptions};
+use focal_engine::{fault, Engine, FaultPlan};
+use focal_serve::{
+    serve_stream, serve_tcp, ChaosReader, ChaosWriter, ServeCore, ServeOptions, TcpOptions,
+};
 use std::io::BufReader;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: focal-serve [--stdin | --tcp <addr>] [--port-file <path>] \
-         [--max-conns <n>] [--no-cache] [--dump-dir <dir>] [--threads <n>]"
+         [--max-conns <n>] [--max-accepts <n>] [--no-cache] [--dump-dir <dir>] \
+         [--threads <n>] [--idle-timeout <ms>] [--request-deadline <ms>] \
+         [--max-queue <n>] [--drain-deadline <ms>] [--inject <spec>]"
     );
     std::process::exit(2);
 }
@@ -32,6 +52,7 @@ fn main() {
     let mut tcp_addr: Option<String> = None;
     let mut port_file: Option<std::path::PathBuf> = None;
     let mut max_conns: usize = 0;
+    let mut max_accepts: usize = 0;
     let mut opts = ServeOptions::from_env();
 
     let mut i = 0;
@@ -59,6 +80,13 @@ fn main() {
                     None => usage(),
                 }
             }
+            "--max-accepts" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => max_accepts = n,
+                    None => usage(),
+                }
+            }
             "--no-cache" => opts.cache = false,
             "--dump-dir" => {
                 i += 1;
@@ -74,6 +102,50 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--idle-timeout" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.limits.idle_timeout = None,
+                    Some(ms) => opts.limits.idle_timeout = Some(Duration::from_millis(ms)),
+                    None => usage(),
+                }
+            }
+            "--request-deadline" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(0) => opts.limits.request_deadline = None,
+                    Some(ms) => opts.limits.request_deadline = Some(Duration::from_millis(ms)),
+                    None => usage(),
+                }
+            }
+            "--max-queue" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => opts.limits.max_queue = n,
+                    None => usage(),
+                }
+            }
+            "--drain-deadline" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) => opts.limits.drain_deadline = Duration::from_millis(ms),
+                    None => usage(),
+                }
+            }
+            "--inject" => {
+                i += 1;
+                match args.get(i).map(|s| FaultPlan::parse(s)) {
+                    Some(Ok(plan)) => {
+                        eprintln!("focal-serve: armed fault plan {}", plan.spec());
+                        fault::arm(plan);
+                    }
+                    Some(Err(e)) => {
+                        eprintln!("focal-serve: bad --inject spec: {e}");
+                        std::process::exit(2);
+                    }
+                    None => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -86,14 +158,18 @@ fn main() {
                 addr,
                 port_file,
                 max_conns,
+                max_accepts,
             },
             &opts,
         ),
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let mut reader = BufReader::new(stdin.lock());
-            let mut writer = std::io::BufWriter::new(stdout.lock());
+            // Chaos adapters cover the stdin transport too (conn 0);
+            // they are transparent unless a shortread/shortwrite plan
+            // is armed.
+            let mut reader = BufReader::new(ChaosReader::new(stdin.lock(), 0));
+            let mut writer = std::io::BufWriter::new(ChaosWriter::new(stdout.lock(), 0));
             let mut core = ServeCore::new(opts);
             let r = serve_stream(&mut reader, &mut writer, &mut core);
             eprintln!("{}", core.stats_line());

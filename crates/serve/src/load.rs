@@ -1,0 +1,239 @@
+//! Overload safety: serving limits, shared server gauges, and the
+//! drain state machine.
+//!
+//! # The shedding policy
+//!
+//! `focal-serve` degrades **per request, never per connection**, and
+//! when it must shed load it sheds *new* work before abandoning
+//! *in-flight* work:
+//!
+//! 1. A connection over `--max-conns` is rejected with one structured
+//!    `rejected` error line before close — admitted connections are
+//!    never evicted to make room.
+//! 2. A request beyond the per-batch admission bound (`--max-queue`)
+//!    gets a structured `overloaded` error response — admitted requests
+//!    in the same batch still evaluate.
+//! 3. A request whose `--request-deadline` expires while it waits for
+//!    the evaluation fan-out gets a structured `timeout` error —
+//!    evaluations already running are never cancelled.
+//! 4. On drain (control request or `--max-accepts` reached) the server
+//!    stops accepting, lets in-flight batches finish, sends every open
+//!    connection a final `shutdown` line, and only force-closes
+//!    stragglers once `--drain-deadline` expires.
+//!
+//! No path closes a connection without a final structured line; the
+//! `serve-chaos` CI job gates exactly that invariant.
+//!
+//! [`ServerState`] is the one piece of cross-connection state in the
+//! serving layer. Everything else (cache, memo, counters) stays
+//! confined to its connection's [`crate::service::ServeCore`]; the
+//! gauges here are monitoring/drain signals that never feed response
+//! *content* for scenario requests — only `ping` introspection
+//! responses, which are documented as live values outside the byte-diff
+//! guarantee.
+
+use std::net::{Shutdown, TcpStream};
+// focal-lint: allow(concurrency-confinement) -- cross-connection gauges and the drain flag: monitoring/shutdown signals only, never scenario response content
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+// focal-lint: allow(concurrency-confinement) -- the drain registry needs one lock so the accept loop can force-close stragglers at the drain deadline
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Serving limits, carried in [`crate::ServeOptions`] and threaded to
+/// both transports. Every limit defaults to "off" so in-memory tests
+/// and byte-diff corpora see the exact pre-hardening behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Close a connection (with a structured `timeout` line) when no
+    /// *complete* request line arrives for this long. Partial bytes do
+    /// not reset the clock, which is what defeats slow-loris clients.
+    /// `None` = never.
+    pub idle_timeout: Option<Duration>,
+    /// Shed a request (structured `timeout` response) when this much
+    /// time passes between reading its batch and starting its
+    /// evaluation. In-flight evaluations are never cancelled. `None` =
+    /// never.
+    pub request_deadline: Option<Duration>,
+    /// Admission bound per coalesced batch: request slots beyond this
+    /// many get structured `overloaded` responses instead of
+    /// evaluating. `0` = unbounded (the protocol's `MAX_BATCH` still
+    /// applies).
+    pub max_queue: usize,
+    /// How long a drain waits for in-flight connections before
+    /// force-closing them.
+    pub drain_deadline: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            idle_timeout: None,
+            request_deadline: None,
+            max_queue: 0,
+            drain_deadline: Duration::from_millis(5000),
+        }
+    }
+}
+
+/// Cross-connection server state: live gauges, the drain flag, and the
+/// registry of open sockets a drain past its deadline force-closes.
+///
+/// One instance exists per server (the TCP accept loop or the stdin
+/// transport owns it on its stack); connection threads hold `&Server-
+/// State` borrows inside the accept loop's scope.
+#[derive(Debug, Default)]
+pub struct ServerState {
+    // focal-lint: allow(concurrency-confinement) -- live connection gauge read by ping responses and the drain wait loop
+    conns: AtomicUsize,
+    // focal-lint: allow(concurrency-confinement) -- in-flight request gauge read by ping responses across connections
+    inflight: AtomicUsize,
+    // focal-lint: allow(concurrency-confinement) -- drain flag set once by a control request or the accept loop, polled at batch boundaries
+    draining: AtomicBool,
+    // focal-lint: allow(concurrency-confinement) -- socket registry so the drain deadline can unblock stuck connections via Shutdown::Read
+    registry: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl ServerState {
+    /// Fresh state: no connections, not draining.
+    #[must_use]
+    pub fn new() -> ServerState {
+        ServerState::default()
+    }
+
+    /// Live connection count.
+    #[must_use]
+    pub fn conns(&self) -> usize {
+        self.conns.load(Ordering::Acquire)
+    }
+
+    /// Request slots currently inside an evaluation batch, across every
+    /// connection.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Whether a drain has begun (no new connections; open connections
+    /// finish their current batch, send a final `shutdown` line and
+    /// close).
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Begins the drain (idempotent).
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Records a newly admitted connection. Called by the accept loop
+    /// *before* spawning the connection thread so the `--max-conns`
+    /// check never races the gauge.
+    pub fn conn_opened(&self) {
+        self.conns.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records a finished connection.
+    pub fn conn_closed(&self) {
+        self.conns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Adds `n` request slots to the in-flight gauge for the duration
+    /// of a batch.
+    pub fn batch_started(&self, n: usize) {
+        self.inflight.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Removes `n` request slots from the in-flight gauge.
+    pub fn batch_finished(&self, n: usize) {
+        self.inflight.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Registers an open connection socket for forced drain; returns
+    /// the slot to pass to [`ServerState::deregister`].
+    pub fn register(&self, stream: &TcpStream) -> usize {
+        let mut registry = self.registry();
+        let clone = stream.try_clone().ok();
+        registry.push(clone);
+        registry.len() - 1
+    }
+
+    /// Drops a closed connection's registry entry.
+    pub fn deregister(&self, slot: usize) {
+        let mut registry = self.registry();
+        if let Some(entry) = registry.get_mut(slot) {
+            *entry = None;
+        }
+    }
+
+    /// Force-closes every still-registered connection by shutting down
+    /// its read half: blocked reads return EOF, the connection thread
+    /// flushes its final line and exits. Write halves stay open so that
+    /// final line can still be delivered.
+    pub fn force_close_all(&self) -> usize {
+        let registry = self.registry();
+        let mut closed = 0;
+        for stream in registry.iter().flatten() {
+            if stream.shutdown(Shutdown::Read).is_ok() {
+                closed += 1;
+            }
+        }
+        closed
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, Vec<Option<TcpStream>>> {
+        self.registry.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Per-connection context threaded from the transport into
+/// [`crate::service::ServeCore::handle_batch`]: the connection ordinal
+/// (fault-injection key, stdin is 0) and the shared server state.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnCtx<'a> {
+    /// Connection ordinal within this server (accept order; stdin = 0).
+    pub conn: u64,
+    /// The server's shared gauges and drain flag.
+    pub state: &'a ServerState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_track_connections_and_batches() {
+        let state = ServerState::new();
+        assert_eq!(state.conns(), 0);
+        assert_eq!(state.inflight(), 0);
+        assert!(!state.draining());
+        state.conn_opened();
+        state.conn_opened();
+        state.batch_started(3);
+        assert_eq!(state.conns(), 2);
+        assert_eq!(state.inflight(), 3);
+        state.batch_finished(3);
+        state.conn_closed();
+        assert_eq!(state.conns(), 1);
+        assert_eq!(state.inflight(), 0);
+        state.begin_drain();
+        state.begin_drain();
+        assert!(state.draining());
+    }
+
+    #[test]
+    fn limits_default_to_off() {
+        let limits = Limits::default();
+        assert_eq!(limits.idle_timeout, None);
+        assert_eq!(limits.request_deadline, None);
+        assert_eq!(limits.max_queue, 0);
+        assert_eq!(limits.drain_deadline, Duration::from_millis(5000));
+    }
+
+    #[test]
+    fn force_close_with_empty_registry_is_fine() {
+        let state = ServerState::new();
+        assert_eq!(state.force_close_all(), 0);
+        state.deregister(17); // out of range: no-op
+    }
+}

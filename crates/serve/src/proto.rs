@@ -3,12 +3,14 @@
 //!
 //! # Grammar
 //!
-//! One JSON object per input line. Blank lines are ignored. Two
+//! One JSON object per input line. Blank lines are ignored. Four
 //! envelope shapes are accepted:
 //!
 //! ```text
 //! request  := {"id": string, "scenario": string, "include_output"?: bool}
 //! batch    := {"batch": [request, ...]}            (at most MAX_BATCH)
+//! ping     := {"ping": true, "id"?: string}
+//! ctl      := {"ctl": "shutdown", "id"?: string}
 //! ```
 //!
 //! `scenario` carries the full `focal-scenario` TOML study text — the
@@ -22,18 +24,34 @@
 //!                         "git_rev": string},
 //!          "output"?: string}
 //! err  := {"id": string|null, "ok": false,
-//!          "error": {"line": int, "message": string, "key"?: string}}
+//!          "error": {"kind": string, "line": int, "message": string,
+//!                    "key"?: string}}
+//! pong := {"id": string|null, "ok": true,
+//!          "ping": {"version": string, "git_rev": string, "conn": int,
+//!                   "conns": int, "inflight": int, "draining": bool,
+//!                   "cache": {"entries": int, "hits": int, "misses": int},
+//!                   "requests": int}}
+//! ctl  := {"id": string|null, "ok": true, "ctl": "shutdown",
+//!          "draining": true}
 //! ```
 //!
-//! `error.line` is the 1-based input line of the offending request, so
-//! a client replaying a corpus can point at the bad line; scenario
-//! compile errors additionally carry the offending TOML key. Envelope
-//! errors (malformed JSON, unknown keys, an oversized batch) fail the
-//! whole line with `id: null` unless the id was parseable; request
-//! errors (bad scenario text, evaluation failure) fail only their own
-//! request. A response line never depends on how requests were
-//! coalesced into evaluation batches, which is what makes serve output
-//! byte-diffable across `FOCAL_THREADS` and cache settings.
+//! `error.kind` is the machine-readable failure class ([`ErrorKind`]):
+//! `bad_request` (parse/validation), `evaluation` (the scenario ran and
+//! failed or panicked), `timeout` (idle timeout or request deadline),
+//! `overloaded` (shed by the admission bound), `rejected` (connection
+//! refused at `--max-conns`), `shutdown` (server draining) and
+//! `internal`. `error.line` is the 1-based input line of the offending
+//! request (0 for connection-level notices that answer no particular
+//! line), so a client replaying a corpus can point at the bad line;
+//! scenario compile errors additionally carry the offending TOML key.
+//! Envelope errors (malformed JSON, unknown keys, an oversized batch)
+//! fail the whole line with `id: null` unless the id was parseable;
+//! request errors (bad scenario text, evaluation failure) fail only
+//! their own request. A *scenario* response line never depends on how
+//! requests were coalesced into evaluation batches, which is what makes
+//! serve output byte-diffable across `FOCAL_THREADS` and cache
+//! settings; `ping` responses carry live gauges by design and are the
+//! documented exception to the byte-diff guarantee.
 
 use crate::json::{escape, JsonValue};
 
@@ -60,13 +78,56 @@ pub struct Request {
     pub include_output: bool,
 }
 
+/// Machine-readable failure class carried in every error response as
+/// `error.kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request never parsed or validated (malformed JSON, unknown
+    /// keys, bad scenario TOML, oversized line/batch).
+    BadRequest,
+    /// The scenario evaluated and failed (or panicked — including
+    /// injected faults).
+    Evaluation,
+    /// Idle timeout on the connection or request deadline exceeded
+    /// before evaluation started.
+    Timeout,
+    /// Shed by the admission bound (`--max-queue`): the server chose
+    /// not to evaluate this request under load.
+    Overloaded,
+    /// The connection itself was refused (`--max-conns` capacity).
+    Rejected,
+    /// The server is draining; the connection closes after this line.
+    Shutdown,
+    /// An internal invariant broke (should never be seen).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire spelling of the kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Evaluation => "evaluation",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
 /// A per-request failure that still produces a response line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestError {
     /// The request id when it was parseable, else `None` (rendered as
     /// JSON `null`).
     pub id: Option<String>,
-    /// 1-based input line the request arrived on.
+    /// Failure class (`error.kind` on the wire).
+    pub kind: ErrorKind,
+    /// 1-based input line the request arrived on (0 for
+    /// connection-level notices).
     pub line: usize,
     /// What went wrong.
     pub message: String,
@@ -78,16 +139,48 @@ impl RequestError {
     fn envelope(line: usize, message: impl Into<String>) -> RequestError {
         RequestError {
             id: None,
+            kind: ErrorKind::BadRequest,
             line,
+            message: message.into(),
+            key: None,
+        }
+    }
+
+    /// A connection-level notice (no input line): the final structured
+    /// line a connection receives before the server closes it.
+    #[must_use]
+    pub fn notice(kind: ErrorKind, message: impl Into<String>) -> RequestError {
+        RequestError {
+            id: None,
+            kind,
+            line: 0,
             message: message.into(),
             key: None,
         }
     }
 }
 
+/// One parsed input slot: a scenario query, a health probe, or a
+/// control verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// An ordinary scenario evaluation request.
+    Scenario(Request),
+    /// `{"ping": true}` — answer with live server introspection.
+    Ping {
+        /// Optional client-chosen id, echoed back.
+        id: Option<String>,
+    },
+    /// `{"ctl": "shutdown"}` — begin a graceful drain.
+    Shutdown {
+        /// Optional client-chosen id, echoed back.
+        id: Option<String>,
+    },
+}
+
 /// The parse outcome for one request slot: a query to evaluate or an
 /// error response to emit in its place.
-pub type ParsedRequest = Result<Request, RequestError>;
+pub type ParsedRequest = Result<Query, RequestError>;
 
 /// Envelope keys accepted on a single request object.
 const REQUEST_KEYS: &[&str] = &["id", "scenario", "include_output"];
@@ -95,10 +188,13 @@ const REQUEST_KEYS: &[&str] = &["id", "scenario", "include_output"];
 /// Parses one input line into its request slots.
 ///
 /// A single-request line yields one slot; a `{"batch": [...]}` line
-/// yields one slot per element. Envelope-level failures (malformed
-/// JSON, wrong shape, unknown envelope key, oversized batch) yield a
-/// single error slot for the whole line. `line_no` is the 1-based
-/// input line number used in error responses.
+/// yields one slot per element; `{"ping": true}` and
+/// `{"ctl": "shutdown"}` yield one introspection/control slot (neither
+/// is accepted *inside* a batch envelope — they answer about the
+/// connection, not a request). Envelope-level failures (malformed JSON,
+/// wrong shape, unknown envelope key, oversized batch) yield a single
+/// error slot for the whole line. `line_no` is the 1-based input line
+/// number used in error responses.
 #[must_use]
 pub fn parse_line(text: &str, line_no: usize) -> Vec<ParsedRequest> {
     if text.len() > MAX_LINE_BYTES {
@@ -128,7 +224,51 @@ pub fn parse_line(text: &str, line_no: usize) -> Vec<ParsedRequest> {
     if pairs.iter().any(|(k, _)| k == "batch") {
         return parse_batch(&value, pairs, line_no);
     }
-    vec![parse_request(&value, line_no)]
+    if pairs.iter().any(|(k, _)| k == "ping") {
+        return vec![parse_probe(&value, pairs, line_no, "ping")];
+    }
+    if pairs.iter().any(|(k, _)| k == "ctl") {
+        return vec![parse_probe(&value, pairs, line_no, "ctl")];
+    }
+    vec![parse_request(&value, line_no).map(Query::Scenario)]
+}
+
+/// Parses a `{"ping": true}` or `{"ctl": "shutdown"}` line (`verb` is
+/// the envelope key that selected this shape).
+fn parse_probe(
+    value: &JsonValue,
+    pairs: &[(String, JsonValue)],
+    line_no: usize,
+    verb: &str,
+) -> ParsedRequest {
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let fail = |message: String, key: &str| {
+        Err(RequestError {
+            id: id.clone(),
+            kind: ErrorKind::BadRequest,
+            line: line_no,
+            message,
+            key: Some(key.to_string()),
+        })
+    };
+    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != verb && k != "id") {
+        return fail(format!("unknown key `{key}` in {verb} request"), key);
+    }
+    if verb == "ping" {
+        match value.get("ping").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(Query::Ping { id }),
+            _ => fail("`ping` must be the boolean true".to_string(), "ping"),
+        }
+    } else {
+        match value.get("ctl").and_then(JsonValue::as_str) {
+            Some("shutdown") => Ok(Query::Shutdown { id }),
+            Some(other) => fail(format!("unknown ctl verb `{other}`"), "ctl"),
+            None => fail("`ctl` must be a string verb".to_string(), "ctl"),
+        }
+    }
 }
 
 fn parse_batch(
@@ -167,13 +307,14 @@ fn parse_batch(
         let slot = match parse_request(item, line_no) {
             Ok(req) if seen.iter().any(|s| s == &req.id) => Err(RequestError {
                 id: Some(req.id.clone()),
+                kind: ErrorKind::BadRequest,
                 line: line_no,
                 message: format!("duplicate request id `{}` in batch", req.id),
                 key: Some("id".to_string()),
             }),
             Ok(req) => {
                 seen.push(req.id.clone());
-                Ok(req)
+                Ok(Query::Scenario(req))
             }
             Err(e) => Err(e),
         };
@@ -182,7 +323,7 @@ fn parse_batch(
     out
 }
 
-fn parse_request(value: &JsonValue, line_no: usize) -> ParsedRequest {
+fn parse_request(value: &JsonValue, line_no: usize) -> Result<Request, RequestError> {
     let Some(pairs) = value.as_object() else {
         return Err(RequestError::envelope(
             line_no,
@@ -197,6 +338,7 @@ fn parse_request(value: &JsonValue, line_no: usize) -> ParsedRequest {
     let fail = |message: String, key: Option<&str>| {
         Err(RequestError {
             id: id.clone(),
+            kind: ErrorKind::BadRequest,
             line: line_no,
             message,
             key: key.map(str::to_string),
@@ -292,10 +434,75 @@ pub fn render_err(error: &RequestError) -> String {
         None => String::new(),
     };
     format!(
-        "{{\"id\":{id},\"ok\":false,\"error\":{{\"line\":{},\"message\":\"{}\"{key}}}}}",
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"line\":{},\"message\":\"{}\"{key}}}}}",
+        error.kind.as_str(),
         error.line,
         escape(&error.message),
     )
+}
+
+/// Live server introspection carried in a `ping` response. Gauges are
+/// snapshot at batch entry; on a single connection the values are a
+/// deterministic function of the request stream, while cross-connection
+/// gauges (`conns`, `inflight`) are live by design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PingInfo {
+    /// Serving crate version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Git revision of the serving binary's tree, or `"unknown"`.
+    pub git_rev: String,
+    /// This connection's ordinal (accept order; stdin = 0).
+    pub conn: u64,
+    /// Open connections server-wide.
+    pub conns: usize,
+    /// Request slots inside evaluation batches server-wide, snapshot
+    /// *before* this ping's own batch was counted.
+    pub inflight: usize,
+    /// Whether a drain has begun.
+    pub draining: bool,
+    /// Entries in this connection's digest→evaluation cache.
+    pub cache_entries: usize,
+    /// Cache hits on this connection.
+    pub cache_hits: u64,
+    /// Cache misses on this connection.
+    pub cache_misses: u64,
+    /// Scenario requests this connection has served before this ping.
+    pub requests: u64,
+}
+
+/// Renders a `ping` response line (no trailing newline).
+#[must_use]
+pub fn render_ping(id: Option<&str>, info: &PingInfo) -> String {
+    let id = match id {
+        Some(id) => format!("\"{}\"", escape(id)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"ping\":{{\"version\":\"{}\",\"git_rev\":\"{}\",\
+         \"conn\":{},\"conns\":{},\"inflight\":{},\"draining\":{},\
+         \"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},\"requests\":{}}}}}",
+        escape(&info.version),
+        escape(&info.git_rev),
+        info.conn,
+        info.conns,
+        info.inflight,
+        info.draining,
+        info.cache_entries,
+        info.cache_hits,
+        info.cache_misses,
+        info.requests,
+    )
+}
+
+/// Renders the acknowledgement for a `{"ctl": "shutdown"}` request (no
+/// trailing newline).
+#[must_use]
+pub fn render_ctl(id: Option<&str>) -> String {
+    let id = match id {
+        Some(id) => format!("\"{}\"", escape(id)),
+        None => "null".to_string(),
+    };
+    format!("{{\"id\":{id},\"ok\":true,\"ctl\":\"shutdown\",\"draining\":true}}")
 }
 
 #[cfg(test)]
@@ -308,19 +515,49 @@ mod tests {
         slots.pop().unwrap()
     }
 
+    fn one_req(text: &str) -> Request {
+        match one(text).unwrap() {
+            Query::Scenario(req) => req,
+            other => panic!("expected a scenario query, got {other:?}"),
+        }
+    }
+
     #[test]
     fn single_request_parses() {
-        let req =
-            one(r#"{"id": "q1", "scenario": "[scenario]\nid = \"x\"", "include_output": true}"#)
-                .unwrap();
+        let req = one_req(
+            r#"{"id": "q1", "scenario": "[scenario]\nid = \"x\"", "include_output": true}"#,
+        );
         assert_eq!(req.id, "q1");
         assert!(req.scenario.starts_with("[scenario]"));
         assert!(req.include_output);
-        assert!(
-            !one(r#"{"id": "q2", "scenario": "t"}"#)
-                .unwrap()
-                .include_output
+        assert!(!one_req(r#"{"id": "q2", "scenario": "t"}"#).include_output);
+    }
+
+    #[test]
+    fn ping_and_ctl_lines_parse() {
+        assert_eq!(
+            one(r#"{"ping": true, "id": "p1"}"#).unwrap(),
+            Query::Ping {
+                id: Some("p1".to_string())
+            }
         );
+        assert_eq!(one(r#"{"ping": true}"#).unwrap(), Query::Ping { id: None });
+        assert_eq!(
+            one(r#"{"ctl": "shutdown"}"#).unwrap(),
+            Query::Shutdown { id: None }
+        );
+
+        let err = one(r#"{"ping": 1}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("boolean true"));
+        let err = one(r#"{"ping": true, "scenario": "t"}"#).unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("scenario"));
+        let err = one(r#"{"ctl": "restart", "id": "c"}"#).unwrap_err();
+        assert!(err.message.contains("unknown ctl verb `restart`"));
+        assert_eq!(err.id.as_deref(), Some("c"));
+        // Probes are connection-scoped: not legal inside a batch.
+        let slots = parse_line(r#"{"batch": [{"ping": true}]}"#, 1);
+        assert!(slots[0].as_ref().is_err());
     }
 
     #[test]
@@ -409,11 +646,40 @@ mod tests {
         assert_eq!(
             render_err(&RequestError {
                 id: None,
+                kind: ErrorKind::BadRequest,
                 line: 3,
                 message: "bad".to_string(),
                 key: Some("scenario".to_string()),
             }),
-            "{\"id\":null,\"ok\":false,\"error\":{\"line\":3,\"message\":\"bad\",\"key\":\"scenario\"}}"
+            "{\"id\":null,\"ok\":false,\"error\":{\"kind\":\"bad_request\",\"line\":3,\
+             \"message\":\"bad\",\"key\":\"scenario\"}}"
+        );
+        assert_eq!(
+            render_err(&RequestError::notice(ErrorKind::Timeout, "idle timeout")),
+            "{\"id\":null,\"ok\":false,\"error\":{\"kind\":\"timeout\",\"line\":0,\
+             \"message\":\"idle timeout\"}}"
+        );
+        assert_eq!(
+            render_ctl(Some("c1")),
+            "{\"id\":\"c1\",\"ok\":true,\"ctl\":\"shutdown\",\"draining\":true}"
+        );
+        let info = PingInfo {
+            version: "0.1.0".to_string(),
+            git_rev: "abc1234".to_string(),
+            conn: 2,
+            conns: 3,
+            inflight: 1,
+            draining: false,
+            cache_entries: 4,
+            cache_hits: 9,
+            cache_misses: 5,
+            requests: 14,
+        };
+        assert_eq!(
+            render_ping(Some("p"), &info),
+            "{\"id\":\"p\",\"ok\":true,\"ping\":{\"version\":\"0.1.0\",\"git_rev\":\"abc1234\",\
+             \"conn\":2,\"conns\":3,\"inflight\":1,\"draining\":false,\
+             \"cache\":{\"entries\":4,\"hits\":9,\"misses\":5},\"requests\":14}}"
         );
     }
 

@@ -28,12 +28,16 @@
 //! byte-diffs all three axes.
 
 use crate::cache::{CachedEval, ServeCache};
-use crate::proto::{parse_line, render_err, render_ok, Provenance, Request, RequestError};
+use crate::load::{ConnCtx, Limits, ServerState};
+use crate::proto::{
+    parse_line, render_ctl, render_err, render_ok, render_ping, ErrorKind, PingInfo, Provenance,
+    Query, Request, RequestError,
+};
 use focal_bench::dump::DumpDir;
 use focal_core::SweepMemo;
 use focal_engine::{fault, Engine};
 use focal_scenario::{CompiledScenario, ScenarioKind};
-use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Configuration for one [`ServeCore`].
 #[derive(Debug, Clone)]
@@ -53,11 +57,14 @@ pub struct ServeOptions {
     pub dump_prefix: String,
     /// `git rev-parse --short HEAD`, stamped into response provenance.
     pub git_rev: String,
+    /// Overload limits (deadlines, admission bound, drain). Defaults
+    /// to all-off, which reproduces pre-hardening behavior exactly.
+    pub limits: Limits,
 }
 
 impl ServeOptions {
     /// Defaults: engine from the environment, cache on, no dumping,
-    /// git revision detected from the working tree.
+    /// git revision detected from the working tree, no limits.
     #[must_use]
     pub fn from_env() -> ServeOptions {
         ServeOptions {
@@ -66,6 +73,7 @@ impl ServeOptions {
             dump_dir: None,
             dump_prefix: String::new(),
             git_rev: detect_git_rev(),
+            limits: Limits::default(),
         }
     }
 }
@@ -91,18 +99,34 @@ pub struct ServeCore {
     cache: ServeCache,
     memo: SweepMemo,
     stats: ServeStats,
+    /// Scenario request slots seen on this connection so far, in input
+    /// order. This is the per-connection request ordinal that
+    /// `panic@serve[:conn<N>]:<index>` and `latency@serve:...:<index>`
+    /// plans key on, and the `requests` gauge in `ping` responses.
+    served_slots: u64,
 }
 
 /// One request slot mid-pipeline: either already renderable or waiting
-/// on the evaluation keyed by its canonical digest.
+/// on the evaluation at a queue index.
 enum Slot {
     Ready(String),
     Pending {
         id: String,
         line: usize,
         include_output: bool,
-        digest: u64,
+        queue_idx: usize,
     },
+}
+
+/// One deduplicated pending evaluation.
+struct QueueEntry {
+    digest: u64,
+    compiled: CompiledScenario,
+    text: String,
+    /// Set when an armed `panic@serve` plan targets the request that
+    /// queued this entry: the evaluation panics instead of running, and
+    /// the engine's isolation machinery must contain it.
+    inject_panic: bool,
 }
 
 impl ServeCore {
@@ -114,6 +138,7 @@ impl ServeCore {
             cache: ServeCache::new(),
             memo: SweepMemo::new(),
             stats: ServeStats::default(),
+            served_slots: 0,
         }
     }
 
@@ -121,6 +146,19 @@ impl ServeCore {
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// The configured overload limits (shared with the transport so
+    /// both layers enforce one policy).
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.opts.limits
+    }
+
+    /// Entries currently in the digest-level evaluation cache.
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.cache.entries()
     }
 
     /// One human-readable stats line for stderr.
@@ -145,19 +183,47 @@ impl ServeCore {
         )
     }
 
+    /// Handles one coalesced batch of input lines with a standalone
+    /// server state (stdin-style single connection, no limits beyond
+    /// those in the options). Equivalent to [`ServeCore::handle_batch`]
+    /// with connection ordinal 0 and throwaway gauges; transports that
+    /// share state across connections call `handle_batch` directly.
+    pub fn handle_lines(&mut self, lines: &[(usize, String)]) -> Vec<String> {
+        let state = ServerState::new();
+        let ctx = ConnCtx {
+            conn: 0,
+            state: &state,
+        };
+        self.handle_batch(lines, &ctx)
+    }
+
     /// Handles one coalesced batch of input lines (`(line_no, text)`
     /// pairs, 1-based) and returns one response line per request slot,
     /// in input order. Blank lines produce no slot.
-    pub fn handle_lines(&mut self, lines: &[(usize, String)]) -> Vec<String> {
+    ///
+    /// This is where every per-request overload policy lands, in order:
+    /// the admission bound sheds slots past `--max-queue` (structured
+    /// `overloaded` responses), injected latency is charged against the
+    /// batch, and the request deadline is checked once — after parse and
+    /// cache resolution, before the evaluation fan-out — so a batch
+    /// either evaluates whole or times out whole and response bytes stay
+    /// independent of evaluation interleaving. A `ctl` shutdown slot
+    /// flips the shared drain flag; the transport notices after writing
+    /// this batch's responses.
+    pub fn handle_batch(&mut self, lines: &[(usize, String)], ctx: &ConnCtx<'_>) -> Vec<String> {
+        let batch_entry = Instant::now();
         // The serve cache and memo stand down while a fault plan is
         // armed, mirroring the engine's own memoized paths: an injected
         // panic must reach the isolation machinery, not a cache hit.
         let caching = self.opts.cache && !fault::armed();
+        // Ping gauges are snapshot before this batch is counted, so a
+        // single connection's ping responses are a deterministic
+        // function of its own request stream.
+        let gauges = (ctx.state.conns(), ctx.state.inflight());
 
         let mut slots: Vec<Slot> = Vec::new();
-        // Deduplicated evaluation queue: canonical digest → compiled
-        // scenario (+ the source spelling that first demanded it).
-        let mut queue: BTreeMap<u64, (CompiledScenario, String)> = BTreeMap::new();
+        let mut queue: Vec<QueueEntry> = Vec::new();
+        let mut admitted: usize = 0;
 
         for (line_no, text) in lines {
             if text.trim().is_empty() {
@@ -165,14 +231,67 @@ impl ServeCore {
             }
             for parsed in parse_line(text, *line_no) {
                 self.stats.requests += 1;
-                match parsed {
-                    Err(e) => slots.push(Slot::Ready(self.rendered_err(&e))),
-                    Ok(req) => slots.push(self.resolve(req, *line_no, caching, &mut queue)),
-                }
+                let slot = match parsed {
+                    Err(e) => Slot::Ready(self.rendered_err(&e)),
+                    Ok(Query::Ping { id }) => Slot::Ready(self.pong(id.as_deref(), ctx, gauges)),
+                    Ok(Query::Shutdown { id }) => {
+                        ctx.state.begin_drain();
+                        Slot::Ready(render_ctl(id.as_deref()))
+                    }
+                    Ok(Query::Scenario(req)) => {
+                        let ordinal = self.served_slots;
+                        self.served_slots += 1;
+                        admitted += 1;
+                        let bound = self.opts.limits.max_queue;
+                        if bound > 0 && admitted > bound {
+                            Slot::Ready(self.rendered_err(&RequestError {
+                                id: Some(req.id),
+                                kind: ErrorKind::Overloaded,
+                                line: *line_no,
+                                message: format!(
+                                    "request shed: admission bound of {bound} per batch exceeded"
+                                ),
+                                key: None,
+                            }))
+                        } else {
+                            if let Some(delay) = fault::serve_latency(ctx.conn, ordinal) {
+                                std::thread::sleep(delay);
+                            }
+                            self.resolve(req, *line_no, ctx.conn, ordinal, caching, &mut queue)
+                        }
+                    }
+                };
+                slots.push(slot);
             }
         }
 
-        self.evaluate_queue(queue, caching, &mut slots);
+        let expired = self
+            .opts
+            .limits
+            .request_deadline
+            .is_some_and(|deadline| batch_entry.elapsed() > deadline);
+        if expired {
+            // All-or-none: every still-pending slot in this batch times
+            // out together, so the response corpus cannot depend on how
+            // far the evaluation fan happened to get.
+            for slot in slots.iter_mut() {
+                if let Slot::Pending { id, line, .. } = slot {
+                    let err = RequestError {
+                        id: Some(id.clone()),
+                        kind: ErrorKind::Timeout,
+                        line: *line,
+                        message: "request deadline exceeded before evaluation".to_string(),
+                        key: None,
+                    };
+                    *slot = Slot::Ready(self.rendered_err(&err));
+                }
+            }
+        } else {
+            let fanned = queue.len();
+            ctx.state.batch_started(fanned);
+            self.evaluate_queue(queue, caching, &mut slots);
+            ctx.state.batch_finished(fanned);
+        }
 
         slots
             .into_iter()
@@ -183,6 +302,7 @@ impl ServeCore {
                 // than panicking if that invariant ever breaks.
                 Slot::Pending { id, line, .. } => self.rendered_err(&RequestError {
                     id: Some(id),
+                    kind: ErrorKind::Internal,
                     line,
                     message: "internal: evaluation slot left unresolved".to_string(),
                     key: None,
@@ -191,14 +311,38 @@ impl ServeCore {
             .collect()
     }
 
+    /// Renders a `ping` response from the batch-entry gauge snapshot
+    /// and this core's counters.
+    fn pong(&self, id: Option<&str>, ctx: &ConnCtx<'_>, gauges: (usize, usize)) -> String {
+        let text = self.cache.text_stats();
+        let digest = self.cache.digest_stats();
+        let info = PingInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_rev: self.opts.git_rev.clone(),
+            conn: ctx.conn,
+            conns: gauges.0,
+            inflight: gauges.1,
+            draining: ctx.state.draining(),
+            cache_entries: self.cache.entries(),
+            cache_hits: text.hits + digest.hits,
+            cache_misses: digest.misses,
+            requests: self.served_slots,
+        };
+        render_ping(id, &info)
+    }
+
     /// Resolves one parsed request against the cache, queueing an
-    /// evaluation on a full miss.
+    /// evaluation on a full miss. `conn` is the connection ordinal and
+    /// `ordinal` the connection-local scenario request index — together
+    /// the coordinates that `panic@serve` fault plans target.
     fn resolve(
         &mut self,
         req: Request,
         line_no: usize,
+        conn: u64,
+        ordinal: u64,
         caching: bool,
-        queue: &mut BTreeMap<u64, (CompiledScenario, String)>,
+        queue: &mut Vec<QueueEntry>,
     ) -> Slot {
         if caching {
             if let Some(hit) = self.cache.lookup_text(&req.scenario) {
@@ -213,6 +357,7 @@ impl ServeCore {
                 let key = e.key.clone();
                 return Slot::Ready(self.rendered_err(&RequestError {
                     id: Some(req.id),
+                    kind: ErrorKind::BadRequest,
                     line: line_no,
                     message: format!("invalid scenario: {e}"),
                     key,
@@ -226,44 +371,68 @@ impl ServeCore {
                 return Slot::Ready(self.finish_ok(&req.id, line));
             }
         }
-        queue.entry(digest).or_insert((compiled, req.scenario));
+        // Deduplication is skipped while a fault plan is armed so an
+        // injected panic cannot alias a clean request onto the same
+        // evaluation: every slot then owns its own queue entry.
+        let queue_idx = if !fault::armed() {
+            if let Some(idx) = queue.iter().position(|e| e.digest == digest) {
+                idx
+            } else {
+                queue.push(QueueEntry {
+                    digest,
+                    compiled,
+                    text: req.scenario,
+                    inject_panic: false,
+                });
+                queue.len() - 1
+            }
+        } else {
+            let inject_panic =
+                fault::serve_panic_target(conn).is_some_and(|target| target == ordinal);
+            queue.push(QueueEntry {
+                digest,
+                compiled,
+                text: req.scenario,
+                inject_panic,
+            });
+            queue.len() - 1
+        };
         Slot::Pending {
             id: req.id,
             line: line_no,
             include_output: req.include_output,
-            digest,
+            queue_idx,
         }
     }
 
-    /// Evaluates the deduplicated miss queue and rewrites every
-    /// `Pending` slot into a `Ready` response.
-    fn evaluate_queue(
-        &mut self,
-        queue: BTreeMap<u64, (CompiledScenario, String)>,
-        caching: bool,
-        slots: &mut [Slot],
-    ) {
+    /// Evaluates the miss queue and rewrites every `Pending` slot into
+    /// a `Ready` response.
+    fn evaluate_queue(&mut self, queue: Vec<QueueEntry>, caching: bool, slots: &mut [Slot]) {
         if queue.is_empty() {
             return;
         }
-        let mut results: BTreeMap<u64, Result<CachedEval, String>> = BTreeMap::new();
+        let mut results: Vec<Option<Result<CachedEval, String>>> = Vec::new();
+        results.resize_with(queue.len(), || None);
 
         // Robustness scenarios need the engine + memo and already
         // parallelize internally; everything else fans out across the
         // queue with per-item isolation.
-        let mut fan: Vec<(u64, CompiledScenario, String)> = Vec::new();
-        for (digest, (compiled, text)) in queue {
-            if compiled.canonical().kind == ScenarioKind::Robustness {
-                let outcome = self.evaluate_robustness(&compiled, caching);
-                let entry = finish_eval(&compiled, outcome);
+        let mut fan: Vec<(usize, &QueueEntry)> = Vec::new();
+        for (idx, entry) in queue.iter().enumerate() {
+            if entry.compiled.canonical().kind == ScenarioKind::Robustness {
+                let outcome =
+                    self.evaluate_robustness(&entry.compiled, entry.inject_panic, caching);
+                let result = finish_eval(&entry.compiled, outcome);
                 if caching {
-                    if let Ok(eval) = &entry {
-                        self.cache.insert(&text, eval.clone());
+                    if let Ok(eval) = &result {
+                        self.cache.insert(&entry.text, eval.clone());
                     }
                 }
-                results.insert(digest, entry);
+                if let Some(slot) = results.get_mut(idx) {
+                    *slot = Some(result);
+                }
             } else {
-                fan.push((digest, compiled, text));
+                fan.push((idx, entry));
             }
         }
 
@@ -271,30 +440,41 @@ impl ServeCore {
             match self
                 .opts
                 .engine
-                .try_par_map_isolated(0, &fan, |(_, compiled, _)| compiled.evaluate())
-            {
+                .try_par_map_isolated(0, &fan, |(_, entry)| {
+                    if entry.inject_panic {
+                        // focal-lint: allow(panic-freedom) -- deliberate injected fault; the engine's per-item isolation must contain it
+                        panic!(
+                            "injected fault: {}",
+                            fault::armed_spec().unwrap_or_default()
+                        );
+                    }
+                    entry.compiled.evaluate()
+                }) {
                 Ok(outcomes) => {
-                    for ((digest, compiled, text), outcome) in fan.iter().zip(outcomes) {
+                    for ((idx, entry), outcome) in fan.iter().zip(outcomes) {
                         let outcome = match outcome {
                             Ok(inner) => inner.map_err(|e| format!("evaluation failed: {e}")),
                             Err(ce) => Err(format!("evaluation panicked: {}", ce.payload)),
                         };
-                        let entry = finish_eval(compiled, outcome);
+                        let result = finish_eval(&entry.compiled, outcome);
                         if caching {
-                            if let Ok(eval) = &entry {
-                                self.cache.insert(text, eval.clone());
+                            if let Ok(eval) = &result {
+                                self.cache.insert(&entry.text, eval.clone());
                             }
                         }
-                        results.insert(*digest, entry);
+                        if let Some(slot) = results.get_mut(*idx) {
+                            *slot = Some(result);
+                        }
                     }
                 }
                 Err(ce) => {
                     // The fan-out harness itself failed (armed fault in
                     // the chunk machinery): every queued request in this
                     // batch degrades, later batches are unaffected.
-                    for (digest, _, _) in &fan {
-                        results
-                            .insert(*digest, Err(format!("evaluation panicked: {}", ce.payload)));
+                    for (idx, _) in &fan {
+                        if let Some(slot) = results.get_mut(*idx) {
+                            *slot = Some(Err(format!("evaluation panicked: {}", ce.payload)));
+                        }
                     }
                 }
             }
@@ -305,12 +485,12 @@ impl ServeCore {
                 id,
                 line,
                 include_output,
-                digest,
+                queue_idx,
             } = slot
             else {
                 continue;
             };
-            let rendered = match results.get(digest) {
+            let rendered = match results.get(*queue_idx).and_then(Option::as_ref) {
                 Some(Ok(eval)) => {
                     let req = Request {
                         id: id.clone(),
@@ -322,12 +502,14 @@ impl ServeCore {
                 }
                 Some(Err(message)) => self.rendered_err(&RequestError {
                     id: Some(id.clone()),
+                    kind: ErrorKind::Evaluation,
                     line: *line,
                     message: message.clone(),
                     key: None,
                 }),
                 None => self.rendered_err(&RequestError {
                     id: Some(id.clone()),
+                    kind: ErrorKind::Internal,
                     line: *line,
                     message: "internal: evaluation result missing".to_string(),
                     key: None,
@@ -342,6 +524,7 @@ impl ServeCore {
     fn evaluate_robustness(
         &mut self,
         compiled: &CompiledScenario,
+        inject_panic: bool,
         caching: bool,
     ) -> Result<focal_scenario::ScenarioOutput, String> {
         let engine = self.opts.engine;
@@ -351,6 +534,13 @@ impl ServeCore {
         // ever inserted whole, so later lookups still see exactly the
         // values a clean evaluation would produce.
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                // focal-lint: allow(panic-freedom) -- deliberate injected fault; this catch_unwind must contain it
+                panic!(
+                    "injected fault: {}",
+                    fault::armed_spec().unwrap_or_default()
+                );
+            }
             if caching {
                 compiled.evaluate_memo_on(&engine, memo)
             } else {
@@ -466,12 +656,17 @@ mod tests {
     use super::*;
 
     fn core() -> ServeCore {
+        core_with_limits(Limits::default())
+    }
+
+    fn core_with_limits(limits: Limits) -> ServeCore {
         ServeCore::new(ServeOptions {
             engine: Engine::serial(),
             cache: true,
             dump_dir: None,
             dump_prefix: String::new(),
             git_rev: "testrev".to_string(),
+            limits,
         })
     }
 

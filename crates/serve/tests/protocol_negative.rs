@@ -16,6 +16,7 @@ fn opts() -> ServeOptions {
         dump_dir: None,
         dump_prefix: String::new(),
         git_rev: "testrev".to_string(),
+        limits: focal_serve::Limits::default(),
     }
 }
 

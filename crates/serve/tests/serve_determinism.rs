@@ -43,6 +43,7 @@ fn serve_with(input: &str, threads: usize, cache: bool) -> String {
         dump_dir: None,
         dump_prefix: String::new(),
         git_rev: "pinned".to_string(),
+        limits: focal_serve::Limits::default(),
     });
     serve_stream(&mut reader, &mut out, &mut core).expect("in-memory serve cannot fail");
     String::from_utf8(out).expect("responses are UTF-8")
@@ -94,6 +95,7 @@ fn line_by_line_serving_matches_coalesced_serving() {
         dump_dir: None,
         dump_prefix: String::new(),
         git_rev: "pinned".to_string(),
+        limits: focal_serve::Limits::default(),
     });
     let mut one_by_one = String::new();
     for (i, line) in input.lines().enumerate() {

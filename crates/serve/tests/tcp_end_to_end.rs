@@ -25,7 +25,8 @@ fn malformed_line_does_not_drop_the_connection() {
     let tcp = TcpOptions {
         addr: "127.0.0.1:0".to_string(),
         port_file: Some(port_file.clone()),
-        max_conns: 1,
+        max_conns: 0,
+        max_accepts: 1,
     };
     let opts = ServeOptions {
         engine: Engine::with_threads(2),
@@ -33,6 +34,7 @@ fn malformed_line_does_not_drop_the_connection() {
         dump_dir: Some(focal_bench::dump::DumpDir::new(tmp.join("dump"))),
         dump_prefix: String::new(),
         git_rev: "e2e".to_string(),
+        limits: focal_serve::Limits::default(),
     };
 
     let server = std::thread::spawn(move || serve_tcp(&tcp, &opts));
